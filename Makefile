@@ -1,0 +1,45 @@
+# entitytrace — build/test/bench entry points.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Full benchmark sweep (the testing.B mirror of the paper's evaluation).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz campaigns over every wire parser.
+fuzz:
+	$(GO) test ./internal/message/ -fuzz FuzzUnmarshalEnvelope -fuzztime 20s -run xxx
+	$(GO) test ./internal/message/ -fuzz FuzzPayloadParsers -fuzztime 20s -run xxx
+	$(GO) test ./internal/token/ -fuzz FuzzUnmarshalToken -fuzztime 20s -run xxx
+	$(GO) test ./internal/tdn/ -fuzz FuzzUnmarshalAdvertisement -fuzztime 20s -run xxx
+
+# Regenerate every table and figure of the paper (see EXPERIMENTS.md).
+repro:
+	$(GO) run ./cmd/repro -exp all -rounds 25
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/servicemonitor
+	$(GO) run ./examples/loadbalancer
+	$(GO) run ./examples/securetraces
+	$(GO) run ./examples/federation
+
+clean:
+	$(GO) clean ./...
+	rm -rf bin

@@ -1,0 +1,211 @@
+// Command brokerd runs one broker node of the pub/sub substrate (§2)
+// together with its trace manager (§3.3): it routes topic-addressed
+// messages, enforces constrained topics and authorization tokens, hosts
+// trace registrations, pings traced entities and publishes their traces.
+//
+//	brokerd -pki pki -identity pki/broker-1.pem -listen 127.0.0.1:7100 \
+//	        -tdn 127.0.0.1:7000 [-connect host:port] [-dir host:port]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/brokerdir"
+	"entitytrace/internal/core"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/token"
+	"entitytrace/internal/transport"
+)
+
+func main() {
+	var (
+		pki           = flag.String("pki", "pki", "PKI directory (trust anchor)")
+		identityPath  = flag.String("identity", "", "PEM identity file for this broker")
+		listen        = flag.String("listen", "127.0.0.1:7100", "listen address")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
+		name          = flag.String("name", "", "broker name (default: identity common name)")
+		tdnAddrs      = flag.String("tdn", "", "comma-separated TDN addresses for token validation")
+		connect       = flag.String("connect", "", "peer broker address to link with")
+		dirAddr       = flag.String("dir", "", "broker directory to register with (optional)")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7190) serving /stats and /healthz")
+		verbose       = flag.Bool("v", false, "log routing violations and session events")
+	)
+	flag.Parse()
+	if *identityPath == "" {
+		fail("missing -identity (issue one with: ca -dir %s issue broker-1)", *pki)
+	}
+	verifier, err := credential.LoadVerifier(*pki)
+	if err != nil {
+		fail("loading trust anchor: %v", err)
+	}
+	id, err := credential.LoadIdentity(*identityPath)
+	if err != nil {
+		fail("loading identity: %v", err)
+	}
+	tr, err := transport.New(*transportName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	// Token validation resolves trace topics through the TDNs, caching
+	// aggressively; the hosting broker also primes the cache from
+	// registrations.
+	var resolver core.AdResolver
+	if addrs := splitCSV(*tdnAddrs); len(addrs) > 0 {
+		cl, err := tdn.NewClient(tr, addrs...)
+		if err != nil {
+			fail("tdn client: %v", err)
+		}
+		resolver = core.NewCachingResolver(core.TDNResolver(cl))
+	} else {
+		fmt.Fprintln(os.Stderr, "brokerd: warning: no -tdn given; only locally registered topics validate")
+	}
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Printf("brokerd: "+format+"\n", args...) }
+	}
+	brokerName := *name
+	if brokerName == "" {
+		brokerName = string(id.Credential.Entity)
+	}
+	if resolver == nil {
+		resolver = core.NewCachingResolver(core.ResolverFunc(func(ident.UUID) (*tdn.Advertisement, error) {
+			return nil, core.ErrUnknownTopic
+		}))
+	}
+	b := broker.New(broker.Config{
+		Name:  brokerName,
+		Guard: core.NewTokenGuard(resolver, verifier, nil, token.DefaultClockSkew),
+		Logf:  logf,
+	})
+	l, err := tr.Listen(*listen)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	b.Serve(l)
+	mgr, err := core.NewTraceBroker(core.BrokerConfig{
+		Broker:   b,
+		Identity: id,
+		Verifier: verifier,
+		Resolver: resolver,
+		Logf:     logf,
+	})
+	if err != nil {
+		fail("trace manager: %v", err)
+	}
+	mgr.Start()
+	if *connect != "" {
+		// Persistent links re-dial and re-sync subscriptions when the
+		// peer broker restarts.
+		b.ConnectToPersistent(tr, *connect, 2*time.Second)
+	}
+	fmt.Printf("brokerd: %s serving on %s (%s)\n", brokerName, l.Addr(), *transportName)
+	if *adminAddr != "" {
+		go serveAdmin(*adminAddr, brokerName, b, mgr)
+	}
+
+	// Register with the broker directory and refresh periodically so
+	// entities can discover a valid broker (§3.2 / Ref [3]).
+	var dirClient *brokerdir.Client
+	if *dirAddr != "" {
+		dirClient = brokerdir.NewClient(tr, *dirAddr)
+		if err := dirClient.Register(brokerName, *transportName, l.Addr(), float64(b.PeerCount())); err != nil {
+			fail("directory registration: %v", err)
+		}
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if dirClient != nil {
+				_ = dirClient.Register(brokerName, *transportName, l.Addr(), float64(b.PeerCount()))
+			}
+		case <-stop:
+			fmt.Println("brokerd: shutting down")
+			if dirClient != nil {
+				_ = dirClient.Deregister(brokerName)
+			}
+			mgr.Close()
+			b.Close()
+			return
+		}
+	}
+}
+
+// serveAdmin exposes operational state over HTTP: GET /stats returns a
+// JSON snapshot of routing counters and session counts; GET /healthz
+// returns 200 while the broker runs.
+func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := b.Snapshot()
+		out := map[string]any{
+			"broker":         name,
+			"peers":          b.PeerCount(),
+			"subscriptions":  b.SubscriptionCount(),
+			"sessions":       mgr.SessionCount(),
+			"published":      snap.Published,
+			"deliveredLocal": snap.DeliveredLocal,
+			"forwarded":      snap.Forwarded,
+			"duplicates":     snap.Duplicates,
+			"violations":     snap.Violations,
+			"disconnects":    snap.Disconnects,
+			"expired":        snap.Expired,
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("brokerd: admin endpoint on http://%s/stats\n", addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "brokerd: admin endpoint: %v\n", err)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if part := trim(s[start:i]); part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trim(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "brokerd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+// Command brokerdird runs the broker discovery directory (Ref [3]
+// stand-in): brokers register and refresh themselves here; entities ask
+// it for a valid, least-loaded broker before registering for tracing
+// (§3.2).
+//
+//	brokerdird -listen 127.0.0.1:7200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"entitytrace/internal/brokerdir"
+	"entitytrace/internal/transport"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:7200", "listen address")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
+		ttl           = flag.Duration("ttl", 30*time.Second, "registration time-to-live")
+	)
+	flag.Parse()
+	tr, err := transport.New(*transportName)
+	if err != nil {
+		fail("%v", err)
+	}
+	dir := brokerdir.NewDirectory(*ttl)
+	srv := brokerdir.NewServer(dir)
+	l, err := tr.Listen(*listen)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	srv.Serve(l)
+	fmt.Printf("brokerdird: serving on %s (%s), ttl %v\n", l.Addr(), *transportName, *ttl)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("brokerdird: shutting down")
+	srv.Close()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "brokerdird: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command ca manages the PKI directory the other daemons share: it
+// creates the certificate authority every broker, TDN, traced entity and
+// tracker trusts, and issues per-entity identities (§3.1: every entity
+// presents an X.509 credential).
+//
+//	ca -dir pki init
+//	ca -dir pki issue svc-1 tracker-1 broker-1 tdn-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "pki", "PKI directory")
+		bits = flag.Int("bits", secure.DefaultRSABits, "RSA modulus size")
+		name = flag.String("name", "entitytrace-ca", "CA common name (init only)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fail("usage: ca [-dir pki] init | issue <entity>...")
+	}
+	switch args[0] {
+	case "init":
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fail("creating %s: %v", *dir, err)
+		}
+		a, err := credential.NewAuthority(*name, credential.WithKeyBits(*bits))
+		if err != nil {
+			fail("creating CA: %v", err)
+		}
+		if err := credential.SaveCA(*dir, a); err != nil {
+			fail("saving CA: %v", err)
+		}
+		fmt.Printf("CA %q written to %s/ca.pem (trust anchor: %s/ca.cert.pem)\n", *name, *dir, *dir)
+	case "issue":
+		if len(args) < 2 {
+			fail("issue needs at least one entity name")
+		}
+		a, err := credential.LoadCA(*dir, credential.WithKeyBits(*bits))
+		if err != nil {
+			fail("loading CA: %v", err)
+		}
+		for _, entity := range args[1:] {
+			id, err := a.Issue(ident.EntityID(entity))
+			if err != nil {
+				fail("issuing %s: %v", entity, err)
+			}
+			path, err := credential.SaveIdentity(*dir, id)
+			if err != nil {
+				fail("saving %s: %v", entity, err)
+			}
+			fmt.Printf("issued %s -> %s\n", entity, path)
+		}
+	default:
+		fail("unknown subcommand %q", args[0])
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ca: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,222 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation (§6) on the local machine:
+//
+//	repro -exp table3     Table 3 trace-routing rows (TCP/UDP × auth/auth+sec) and Figure 2 series
+//	repro -exp crypto     Table 3 security/authorization cost block
+//	repro -exp keydist    Table 3 key-distribution block
+//	repro -exp fig4       Figure 4 tracker scaling
+//	repro -exp fig5       Figure 5 signing-cost optimization
+//	repro -exp table4     Table 4 traced-entity scaling
+//	repro -exp complexity §1 message-complexity comparison vs the naive scheme
+//	repro -exp detection  extension: detection latency vs naive/gossip baselines
+//	repro -exp gating     extension: §3.5 interest-gating publication counts
+//	repro -exp all        everything
+//
+// Absolute numbers differ from the paper's 2007 testbed (see
+// EXPERIMENTS.md); the harness preserves the experiment structure and
+// the cost relationships.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"entitytrace/internal/harness"
+	"entitytrace/internal/stats"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: table3|crypto|keydist|fig4|fig5|table4|complexity|detection|gating|all")
+		rounds    = flag.Int("rounds", 30, "measured rounds per configuration")
+		hops      = flag.Int("maxhops", 6, "maximum chain length for table3")
+		perHopMS  = flag.Float64("perhop", 1.5, "injected per-hop latency in ms (the paper's LAN shows 1-2 ms per hop); 0 disables")
+		transport = flag.String("transport", "", "restrict table3 to one transport (tcp or udp); empty runs both")
+	)
+	flag.Parse()
+	perHop := time.Duration(*perHopMS * float64(time.Millisecond))
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table3", func() error { return runTable3(*rounds, *hops, perHop, *transport) })
+	run("crypto", func() error { return runCrypto(*rounds) })
+	run("keydist", func() error { return runKeyDist(*rounds, perHop) })
+	run("fig4", func() error { return runFig4(*rounds) })
+	run("fig5", func() error { return runFig5(*rounds) })
+	run("table4", func() error { return runTable4(*rounds) })
+	run("complexity", func() error { return runComplexity() })
+	run("detection", func() error { return runDetection(*rounds) })
+	run("gating", func() error { return runGating() })
+
+	switch *exp {
+	case "table3", "crypto", "keydist", "fig4", "fig5", "table4", "complexity", "detection", "gating", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n", title)
+	fmt.Printf("%-44s %10s %10s %10s\n", "Operation", "Mean", "StdDev", "StdErr")
+	fmt.Println("------------------------------------------------------------------------------")
+}
+
+func printRow(sm stats.Summary) {
+	fmt.Printf("%-44s %10.2f %10.2f %10.2f\n", sm.Name, sm.Mean, sm.StdDev, sm.StdErr)
+}
+
+// runTable3 reproduces the four trace-routing blocks of Table 3 (and
+// thereby the Figure 2 series): hops 2..maxhops over TCP and UDP, with
+// authorization only and with authorization & security.
+func runTable3(rounds, maxHops int, perHop time.Duration, only string) error {
+	transports := []string{"tcp", "udp"}
+	if only != "" {
+		transports = []string{only}
+	}
+	for _, tr := range transports {
+		for _, security := range []bool{false, true} {
+			mode := "Authorization Only"
+			if security {
+				mode = "Authorization & Security"
+			}
+			header(fmt.Sprintf("Table 3: Trace Routing Overhead for different hops (%s) — %s (ms)",
+				upper(tr), mode))
+			for h := 2; h <= maxHops; h++ {
+				sm, err := harness.RunTraceRouting(h, tr, security, perHop, rounds)
+				if err != nil {
+					return fmt.Errorf("%s hops=%d security=%v: %w", tr, h, security, err)
+				}
+				printRow(sm)
+			}
+		}
+	}
+	fmt.Println("\nFigure 2 plots the four series above (latency vs hops).")
+	return nil
+}
+
+func runCrypto(rounds int) error {
+	header("Table 3: Security and Authorization related costs (ms)")
+	rows, err := harness.CryptoCosts(rounds)
+	if err != nil {
+		return err
+	}
+	for _, sm := range rows {
+		printRow(sm)
+	}
+	return nil
+}
+
+func runKeyDist(rounds int, perHop time.Duration) error {
+	header("Table 3: Key Distribution Overhead (ms)")
+	for h := 2; h <= 4; h++ {
+		sm, err := harness.RunKeyDistribution(h, "tcp", perHop, rounds)
+		if err != nil {
+			return fmt.Errorf("keydist hops=%d: %w", h, err)
+		}
+		printRow(sm)
+	}
+	return nil
+}
+
+func runFig4(rounds int) error {
+	header("Figure 4: Trace time while increasing trackers (ms)")
+	points, err := harness.RunTrackerScaling([]int{10, 20, 30, 40, 50}, "tcp", rounds)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		printRow(p.Summary)
+	}
+	return nil
+}
+
+func runFig5(rounds int) error {
+	header("Figure 5: Reduction of signing costs (§6.3) (ms)")
+	plain, opt, err := harness.RunSigningOptimization("tcp", rounds)
+	if err != nil {
+		return err
+	}
+	printRow(plain)
+	printRow(opt)
+	if opt.Mean < plain.Mean {
+		fmt.Printf("optimization reduced mean trace cost by %.1f%%\n",
+			100*(plain.Mean-opt.Mean)/plain.Mean)
+	}
+	return nil
+}
+
+func runTable4(rounds int) error {
+	header("Table 4: Trace routing overhead by increasing traced entities (TCP, 30 trackers) (ms)")
+	points, err := harness.RunEntityScaling([]int{10, 20, 30}, 30, "tcp", rounds)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		printRow(p.Summary)
+	}
+	return nil
+}
+
+// runDetection is an extension experiment: detection latency and
+// message cost of this scheme against the §1 naive heartbeats and a
+// gossip detector, with matched periods and thresholds.
+func runDetection(rounds int) error {
+	if rounds > 10 {
+		rounds = 10 // each brokered round builds a fresh testbed
+	}
+	fmt.Println("\nExtension: failure-detection comparison (N=30 entities, 5 interested trackers,")
+	fmt.Println("100 ms heartbeat period, failure after 5 missed periods)")
+	rows, err := harness.RunDetectionComparison(30, rounds, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-55s %14s %12s\n", "scheme", "detect (ms)", "msgs/period")
+	for _, r := range rows {
+		fmt.Printf("%-55s %8.0f ± %-6.0f %10d\n", r.Scheme, r.Detection.Mean, r.Detection.StdDev, r.MessagesPerPeriod)
+	}
+	return nil
+}
+
+// runGating quantifies §3.5's interest gating: broker publications per
+// second with and without interested trackers.
+func runGating() error {
+	fmt.Println("\nExtension: §3.5 interest gating — broker publications per phase (2 s windows)")
+	rows, err := harness.RunInterestGating(2 * time.Second)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Println("  " + r.String())
+	}
+	return nil
+}
+
+func runComplexity() error {
+	fmt.Println("\n§1 message complexity per heartbeat period: naive all-to-all vs brokered scheme (5 interested trackers)")
+	fmt.Printf("%8s %14s %14s\n", "N", "N x (N-1)", "brokered")
+	for _, row := range harness.MessageComplexity([]int{10, 50, 100, 500, 1000}, 5) {
+		fmt.Printf("%8d %14d %14d\n", row.N, row.AllToAll, row.Brokered)
+	}
+	return nil
+}
+
+func upper(s string) string {
+	out := []rune(s)
+	for i, r := range out {
+		if r >= 'a' && r <= 'z' {
+			out[i] = r - 32
+		}
+	}
+	return string(out)
+}

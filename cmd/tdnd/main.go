@@ -1,0 +1,105 @@
+// Command tdnd runs a Topic Discovery Node (§2.2, §3.1): it creates
+// trace topics, stores signed advertisements, answers credential-gated
+// discovery queries, and replicates advertisements to peer TDNs.
+//
+//	tdnd -pki pki -identity pki/tdn-1.pem -listen 127.0.0.1:7000 [-peer host:port]...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"entitytrace/internal/credential"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/transport"
+)
+
+func main() {
+	var (
+		pki           = flag.String("pki", "pki", "PKI directory (trust anchor)")
+		identityPath  = flag.String("identity", "", "PEM identity file for this TDN")
+		listen        = flag.String("listen", "127.0.0.1:7000", "listen address")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
+		peers         = flag.String("peers", "", "comma-separated peer TDN addresses for replication")
+		dataDir       = flag.String("data", "", "directory for durable advertisement storage (empty = memory only)")
+		sweepEvery    = flag.Duration("sweep", time.Minute, "expired-advertisement sweep interval")
+	)
+	flag.Parse()
+	if *identityPath == "" {
+		fail("missing -identity (issue one with: ca -dir %s issue tdn-1)", *pki)
+	}
+	verifier, err := credential.LoadVerifier(*pki)
+	if err != nil {
+		fail("loading trust anchor: %v", err)
+	}
+	id, err := credential.LoadIdentity(*identityPath)
+	if err != nil {
+		fail("loading identity: %v", err)
+	}
+	node, err := tdn.NewNode(id, verifier)
+	if err != nil {
+		fail("creating node: %v", err)
+	}
+	if *dataDir != "" {
+		restored, err := node.EnableStorage(*dataDir)
+		if err != nil {
+			fail("enabling storage: %v", err)
+		}
+		fmt.Printf("tdnd: restored %d advertisements from %s\n", restored, *dataDir)
+	}
+	tr, err := transport.New(*transportName)
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, peer := range splitCSV(*peers) {
+		node.AddPeer(tdn.NewRemoteReplicator(tr, peer))
+	}
+	l, err := tr.Listen(*listen)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	srv := tdn.NewServer(node)
+	srv.Serve(l)
+	fmt.Printf("tdnd: %s serving on %s (%s), %d peers\n", node.Name(), l.Addr(), *transportName, len(splitCSV(*peers)))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*sweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if pruned := node.Sweep(); pruned > 0 {
+				fmt.Printf("tdnd: pruned %d expired advertisements\n", pruned)
+			}
+		case <-stop:
+			fmt.Println("tdnd: shutting down")
+			srv.Close()
+			return
+		}
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tdnd: "+format+"\n", args...)
+	os.Exit(1)
+}

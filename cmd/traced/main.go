@@ -1,0 +1,138 @@
+// Command traced runs a traced entity (§3.1-§3.2): it creates its trace
+// topic at a TDN, registers with a broker, answers pings, reports state
+// transitions and (simulated or real) load, and renews its authorization
+// tokens until interrupted.
+//
+//	traced -pki pki -identity pki/svc-1.pem -broker 127.0.0.1:7100 \
+//	       -tdn 127.0.0.1:7000 [-secure] [-symmetric] [-allow tracker-1,tracker-2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/brokerdir"
+	"entitytrace/internal/core"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/message"
+	"entitytrace/internal/sysinfo"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/transport"
+)
+
+func main() {
+	var (
+		pki           = flag.String("pki", "pki", "PKI directory (trust anchor)")
+		identityPath  = flag.String("identity", "", "PEM identity file for this entity")
+		brokerAddr    = flag.String("broker", "", "broker address (or use -dir)")
+		dirAddr       = flag.String("dir", "", "broker directory address: picks the least-loaded broker (§3.2)")
+		tdnAddrs      = flag.String("tdn", "127.0.0.1:7000", "comma-separated TDN addresses")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
+		secureTraces  = flag.Bool("secure", false, "encrypt traces under a secret trace key (§5.1)")
+		symmetric     = flag.Bool("symmetric", false, "use the §6.3 signing-cost optimization")
+		allow         = flag.String("allow", "", "comma-separated entity IDs allowed to discover the trace topic (empty allows any credentialed entity)")
+		loadEvery     = flag.Duration("load-interval", 5*time.Second, "load-report interval (0 disables)")
+		simulateLoad  = flag.Bool("simulate-load", false, "report seeded synthetic load instead of process load")
+		topicLifetime = flag.Duration("topic-lifetime", 24*time.Hour, "trace-topic lifetime (§3.1)")
+	)
+	flag.Parse()
+	if *identityPath == "" {
+		fail("missing -identity (issue one with: ca -dir %s issue svc-1)", *pki)
+	}
+	verifier, err := credential.LoadVerifier(*pki)
+	if err != nil {
+		fail("loading trust anchor: %v", err)
+	}
+	id, err := credential.LoadIdentity(*identityPath)
+	if err != nil {
+		fail("loading identity: %v", err)
+	}
+	tr, err := transport.New(*transportName)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *brokerAddr == "" {
+		if *dirAddr == "" {
+			fail("need -broker or -dir")
+		}
+		dc := brokerdir.NewClient(tr, *dirAddr)
+		pickedTr, picked, err := dc.ConnectBest()
+		if err != nil {
+			fail("broker discovery: %v", err)
+		}
+		tr = pickedTr
+		*brokerAddr = picked
+		fmt.Printf("traced: directory picked broker at %s (%s)\n", picked, pickedTr.Name())
+	}
+	registry, err := tdn.NewClient(tr, splitCSV(*tdnAddrs)...)
+	if err != nil {
+		fail("tdn client: %v", err)
+	}
+	client, err := broker.Connect(tr, *brokerAddr, id.Credential.Entity)
+	if err != nil {
+		fail("connecting to broker: %v", err)
+	}
+
+	var provider sysinfo.Provider
+	if *loadEvery > 0 {
+		if *simulateLoad {
+			provider = sysinfo.NewSimulated(time.Now().UnixNano(), 45, 25)
+		} else {
+			provider = sysinfo.NewRuntime()
+		}
+	}
+	allowed := splitCSV(*allow)
+	ent, err := core.StartTracing(core.EntityConfig{
+		Identity:         id,
+		Verifier:         verifier,
+		Registry:         registry,
+		Client:           client,
+		SecureTraces:     *secureTraces,
+		SymmetricChannel: *symmetric,
+		AllowAnyTracker:  len(allowed) == 0,
+		AllowedTrackers:  allowed,
+		TopicLifetime:    *topicLifetime,
+		LoadProvider:     provider,
+		LoadInterval:     *loadEvery,
+	})
+	if err != nil {
+		fail("starting tracing: %v", err)
+	}
+	fmt.Printf("traced: %s registered (topic %s, session %s, secure=%v, symmetric=%v)\n",
+		ent.Entity(), ent.TraceTopic(), ent.SessionID(), *secureTraces, *symmetric)
+	if err := ent.SetState(message.StateReady); err != nil {
+		fail("reporting READY: %v", err)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("traced: shutting down gracefully (SHUTDOWN trace)")
+	if err := ent.Stop(); err != nil {
+		fail("stop: %v", err)
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traced: "+format+"\n", args...)
+	os.Exit(1)
+}

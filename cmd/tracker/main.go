@@ -1,0 +1,169 @@
+// Command tracker follows a traced entity (§3.4): it discovers the
+// entity's trace topic with its credentials, subscribes to the selected
+// trace classes, answers gauge-interest probes, verifies every trace
+// (token + delegate signature) and prints the events until interrupted.
+//
+//	tracker -pki pki -identity pki/tracker-1.pem -broker 127.0.0.1:7100 \
+//	        -tdn 127.0.0.1:7000 -entity svc-1 [-classes changes,state,load]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/brokerdir"
+	"entitytrace/internal/core"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+func main() {
+	var (
+		pki           = flag.String("pki", "pki", "PKI directory (trust anchor)")
+		identityPath  = flag.String("identity", "", "PEM identity file for this tracker")
+		brokerAddr    = flag.String("broker", "", "broker address (or use -dir)")
+		dirAddr       = flag.String("dir", "", "broker directory address: picks the least-loaded broker (§3.2)")
+		tdnAddrs      = flag.String("tdn", "127.0.0.1:7000", "comma-separated TDN addresses")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
+		entity        = flag.String("entity", "", "traced entity to follow")
+		classesFlag   = flag.String("classes", "changes,state", "trace classes: changes,all,state,load,net (or 'everything')")
+	)
+	flag.Parse()
+	if *identityPath == "" || *entity == "" {
+		fail("need -identity and -entity")
+	}
+	classes, err := parseClasses(*classesFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	verifier, err := credential.LoadVerifier(*pki)
+	if err != nil {
+		fail("loading trust anchor: %v", err)
+	}
+	id, err := credential.LoadIdentity(*identityPath)
+	if err != nil {
+		fail("loading identity: %v", err)
+	}
+	tr, err := transport.New(*transportName)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *brokerAddr == "" {
+		if *dirAddr == "" {
+			fail("need -broker or -dir")
+		}
+		dc := brokerdir.NewClient(tr, *dirAddr)
+		pickedTr, picked, err := dc.ConnectBest()
+		if err != nil {
+			fail("broker discovery: %v", err)
+		}
+		tr = pickedTr
+		*brokerAddr = picked
+		fmt.Printf("tracker: directory picked broker at %s (%s)\n", picked, pickedTr.Name())
+	}
+	discovery, err := tdn.NewClient(tr, splitCSV(*tdnAddrs)...)
+	if err != nil {
+		fail("tdn client: %v", err)
+	}
+	client, err := broker.Connect(tr, *brokerAddr, id.Credential.Entity)
+	if err != nil {
+		fail("connecting to broker: %v", err)
+	}
+	tk, err := core.NewTracker(core.TrackerConfig{
+		Identity:  id,
+		Verifier:  verifier,
+		Discovery: discovery,
+		Resolver:  core.NewCachingResolver(core.TDNResolver(discovery)),
+		Client:    client,
+	})
+	if err != nil {
+		fail("creating tracker: %v", err)
+	}
+	defer tk.Close()
+
+	ad, err := tk.Discover(ident.EntityID(*entity))
+	if err != nil {
+		fail("discovery: %v (are you in the entity's discovery restrictions?)", err)
+	}
+	fmt.Printf("tracker: discovered trace topic %s for %s (owner-verified)\n", ad.TopicID, *entity)
+
+	w, err := tk.Track(ad, classes, func(ev core.Event) {
+		latency := ev.ReceivedAt.Sub(ev.SentAt).Round(100 * time.Microsecond)
+		enc := ""
+		if ev.Encrypted {
+			enc = " [encrypted]"
+		}
+		fmt.Printf("%s  %-24s %-19s %q%s (+%v)\n",
+			ev.ReceivedAt.Format("15:04:05.000"), ev.Type, ev.Class, ev.Detail, enc, latency)
+		if ev.Load != nil {
+			fmt.Printf("             load: cpu=%.1f%% mem=%d/%dMB workload=%.2f\n",
+				ev.Load.CPUPercent, ev.Load.MemoryUsedBytes>>20, ev.Load.MemoryTotalBytes>>20, ev.Load.Workload)
+		}
+		if ev.Net != nil {
+			fmt.Printf("             net: loss=%.3f rtt=%.2fms ooo=%.3f over %d pings\n",
+				ev.Net.LossRate, ev.Net.MeanRTTMillis, ev.Net.OutOfOrderRate, ev.Net.SampleCount)
+		}
+	})
+	if err != nil {
+		fail("track: %v", err)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Printf("tracker: done (delivered %d, rejected %d)\n", w.Delivered(), w.Rejected())
+}
+
+func parseClasses(s string) (topic.ClassSet, error) {
+	if s == "everything" {
+		return topic.AllClasses(), nil
+	}
+	var set topic.ClassSet
+	for _, part := range splitCSV(s) {
+		switch part {
+		case "changes":
+			set = set.Add(topic.ClassChangeNotifications)
+		case "all":
+			set = set.Add(topic.ClassAllUpdates)
+		case "state":
+			set = set.Add(topic.ClassStateTransitions)
+		case "load":
+			set = set.Add(topic.ClassLoad)
+		case "net":
+			set = set.Add(topic.ClassNetworkMetrics)
+		default:
+			return 0, fmt.Errorf("unknown class %q (want changes|all|state|load|net)", part)
+		}
+	}
+	if set.Empty() {
+		return 0, fmt.Errorf("no classes selected")
+	}
+	return set, nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracker: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module entitytrace
+
+go 1.22

@@ -1,0 +1,176 @@
+// Package baseline implements the comparison schemes the paper situates
+// itself against: the naive all-to-all heartbeat scheme of §1 ("If there
+// are N entities within the system, with each of them issuing one
+// message at regular intervals, every entity within the system receives
+// (N-1) messages... there would be Nx(N-1) messages within the system
+// every second"), and a gossip-style failure detector in the spirit of
+// van Renesse et al. (related work [7]).
+//
+// Both are discrete-time simulations with deterministic seeds, used by
+// the benchmark harness for message-complexity and detection-latency
+// comparisons.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AllToAllConfig parameterizes the naive heartbeat simulation.
+type AllToAllConfig struct {
+	// N is the number of entities.
+	N int
+	// HeartbeatEvery is the heartbeat period in ticks.
+	HeartbeatEvery int
+	// FailAfter is the number of missed heartbeats after which a peer is
+	// declared failed.
+	FailAfter int
+}
+
+// Validate checks the configuration.
+func (c AllToAllConfig) Validate() error {
+	if c.N < 2 {
+		return errors.New("baseline: all-to-all needs N >= 2")
+	}
+	if c.HeartbeatEvery < 1 || c.FailAfter < 1 {
+		return errors.New("baseline: periods must be >= 1")
+	}
+	return nil
+}
+
+// AllToAll simulates the naive scheme in discrete ticks. Every entity
+// broadcasts a heartbeat to every other entity each HeartbeatEvery
+// ticks; each entity tracks when it last heard from each peer.
+type AllToAll struct {
+	cfg   AllToAllConfig
+	tick  int
+	alive []bool
+	// lastHeard[i][j] = tick at which i last heard from j.
+	lastHeard [][]int
+	// MessagesSent counts total heartbeat transmissions.
+	MessagesSent uint64
+}
+
+// NewAllToAll builds the simulation with all entities alive.
+func NewAllToAll(cfg AllToAllConfig) (*AllToAll, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &AllToAll{
+		cfg:       cfg,
+		alive:     make([]bool, cfg.N),
+		lastHeard: make([][]int, cfg.N),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+		s.lastHeard[i] = make([]int, cfg.N)
+	}
+	return s, nil
+}
+
+// Kill marks an entity failed; it stops heartbeating.
+func (s *AllToAll) Kill(i int) error {
+	if i < 0 || i >= s.cfg.N {
+		return fmt.Errorf("baseline: entity %d out of range", i)
+	}
+	s.alive[i] = false
+	return nil
+}
+
+// Tick advances one time step, returning the number of heartbeats sent
+// during it.
+func (s *AllToAll) Tick() uint64 {
+	s.tick++
+	var sent uint64
+	if s.tick%s.cfg.HeartbeatEvery == 0 {
+		for i := 0; i < s.cfg.N; i++ {
+			if !s.alive[i] {
+				continue
+			}
+			for j := 0; j < s.cfg.N; j++ {
+				if i == j {
+					continue
+				}
+				sent++
+				s.lastHeard[j][i] = s.tick
+			}
+		}
+	}
+	s.MessagesSent += sent
+	return sent
+}
+
+// Tick reports the current simulation time.
+func (s *AllToAll) Now() int { return s.tick }
+
+// SuspectsOf reports which peers entity i currently considers failed.
+func (s *AllToAll) SuspectsOf(i int) []int {
+	var out []int
+	window := s.cfg.HeartbeatEvery * s.cfg.FailAfter
+	for j := 0; j < s.cfg.N; j++ {
+		if j == i {
+			continue
+		}
+		if s.tick-s.lastHeard[i][j] > window {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// DetectionTicks runs the simulation until every live entity suspects
+// the given failed entity, returning (ticks needed, messages sent since
+// the failure). Kill must have been called first.
+func (s *AllToAll) DetectionTicks(failed int) (int, uint64) {
+	start := s.tick
+	startMsgs := s.MessagesSent
+	for {
+		s.Tick()
+		all := true
+		for i := 0; i < s.cfg.N; i++ {
+			if i == failed || !s.alive[i] {
+				continue
+			}
+			found := false
+			for _, sus := range s.SuspectsOf(i) {
+				if sus == failed {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all {
+			return s.tick - start, s.MessagesSent - startMsgs
+		}
+	}
+}
+
+// MessagesPerPeriod returns the analytic N×(N−1) message count the paper
+// quotes for one heartbeat period.
+func MessagesPerPeriod(n int) uint64 {
+	if n < 2 {
+		return 0
+	}
+	return uint64(n) * uint64(n-1)
+}
+
+// BrokeredMessagesPerPeriod returns the message count of the paper's
+// scheme for one heartbeat period with a single hosting broker, t
+// interested trackers and interest-gated publication: one ping + one
+// response per entity, plus one trace publication fan-out per entity if
+// any tracker is interested (the broker network fans out along
+// subscription paths; with a single broker it is t deliveries).
+func BrokeredMessagesPerPeriod(n, interestedTrackers int) uint64 {
+	if n < 1 {
+		return 0
+	}
+	perEntity := uint64(2) // ping + response
+	if interestedTrackers > 0 {
+		perEntity += uint64(interestedTrackers)
+	}
+	return uint64(n) * perEntity
+}

@@ -1,0 +1,220 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllToAllConfigValidate(t *testing.T) {
+	bad := []AllToAllConfig{
+		{N: 1, HeartbeatEvery: 1, FailAfter: 1},
+		{N: 2, HeartbeatEvery: 0, FailAfter: 1},
+		{N: 2, HeartbeatEvery: 1, FailAfter: 0},
+	}
+	for i, c := range bad {
+		if _, err := NewAllToAll(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAllToAllMessageComplexity(t *testing.T) {
+	// The paper's claim: N entities → N×(N−1) messages per period.
+	for _, n := range []int{2, 5, 10, 30} {
+		s, err := NewAllToAll(AllToAllConfig{N: n, HeartbeatEvery: 1, FailAfter: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent := s.Tick()
+		if want := MessagesPerPeriod(n); sent != want {
+			t.Fatalf("N=%d: %d messages per period, want %d", n, sent, want)
+		}
+	}
+}
+
+func TestAllToAllDetection(t *testing.T) {
+	s, err := NewAllToAll(AllToAllConfig{N: 10, HeartbeatEvery: 2, FailAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up so everyone has heard from everyone.
+	for i := 0; i < 10; i++ {
+		s.Tick()
+	}
+	if err := s.Kill(4); err != nil {
+		t.Fatal(err)
+	}
+	ticks, msgs := s.DetectionTicks(4)
+	// Detection needs more than FailAfter periods and bounded by one
+	// extra period.
+	if ticks < 2*3 || ticks > 2*(3+2) {
+		t.Fatalf("detection took %d ticks", ticks)
+	}
+	if msgs == 0 {
+		t.Fatal("no messages counted during detection")
+	}
+	// Live entities suspect only the dead one.
+	for i := 0; i < 10; i++ {
+		if i == 4 {
+			continue
+		}
+		sus := s.SuspectsOf(i)
+		if len(sus) != 1 || sus[0] != 4 {
+			t.Fatalf("entity %d suspects %v", i, sus)
+		}
+	}
+	if s.Now() == 0 {
+		t.Fatal("clock not advancing")
+	}
+}
+
+func TestAllToAllKillValidation(t *testing.T) {
+	s, _ := NewAllToAll(AllToAllConfig{N: 3, HeartbeatEvery: 1, FailAfter: 1})
+	if err := s.Kill(-1); err == nil {
+		t.Fatal("killed entity -1")
+	}
+	if err := s.Kill(3); err == nil {
+		t.Fatal("killed entity 3")
+	}
+}
+
+func TestMessagesPerPeriodProperty(t *testing.T) {
+	prop := func(n uint8) bool {
+		nn := int(n%60) + 2
+		// Quadratic growth: doubling N roughly quadruples messages.
+		m1 := MessagesPerPeriod(nn)
+		m2 := MessagesPerPeriod(2 * nn)
+		return m2 > 3*m1 && m1 == uint64(nn)*uint64(nn-1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if MessagesPerPeriod(1) != 0 {
+		t.Fatal("MessagesPerPeriod(1) != 0")
+	}
+}
+
+func TestBrokeredComplexityLinear(t *testing.T) {
+	// The paper's scheme is linear in N for a fixed tracker count and
+	// silent with no trackers (beyond pings).
+	if got := BrokeredMessagesPerPeriod(10, 0); got != 20 {
+		t.Fatalf("no-interest period messages = %d, want 20 (pings+responses)", got)
+	}
+	if got := BrokeredMessagesPerPeriod(10, 3); got != 50 {
+		t.Fatalf("3-tracker period messages = %d, want 50", got)
+	}
+	if BrokeredMessagesPerPeriod(0, 5) != 0 {
+		t.Fatal("zero entities should cost zero")
+	}
+	// Crossover: for N=30, the naive scheme costs 870/period while the
+	// brokered scheme with 5 trackers costs 210.
+	if MessagesPerPeriod(30) <= BrokeredMessagesPerPeriod(30, 5) {
+		t.Fatal("naive scheme unexpectedly cheaper")
+	}
+}
+
+func TestGossipConfigValidate(t *testing.T) {
+	bad := []GossipConfig{
+		{N: 1, Fanout: 1, FailTicks: 1},
+		{N: 4, Fanout: 0, FailTicks: 1},
+		{N: 4, Fanout: 4, FailTicks: 1},
+		{N: 4, Fanout: 1, FailTicks: 0},
+	}
+	for i, c := range bad {
+		if _, err := NewGossip(c); err == nil {
+			t.Errorf("bad gossip config %d accepted", i)
+		}
+	}
+}
+
+func TestGossipDetection(t *testing.T) {
+	g, err := NewGossip(GossipConfig{N: 16, Fanout: 2, FailTicks: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.Round()
+	}
+	if err := g.Kill(3); err != nil {
+		t.Fatal(err)
+	}
+	rounds, msgs, err := g.DetectionRounds(3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds <= 4 {
+		t.Fatalf("gossip detected in %d rounds, faster than staleness threshold", rounds)
+	}
+	if msgs == 0 {
+		t.Fatal("no gossip messages counted")
+	}
+	if g.Now() == 0 {
+		t.Fatal("round counter stuck")
+	}
+}
+
+func TestGossipDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) (int, uint64) {
+		g, err := NewGossip(GossipConfig{N: 12, Fanout: 2, FailTicks: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			g.Round()
+		}
+		g.Kill(1)
+		r, m, err := g.DetectionRounds(1, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, m
+	}
+	r1, m1 := run(42)
+	r2, m2 := run(42)
+	if r1 != r2 || m1 != m2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", r1, m1, r2, m2)
+	}
+}
+
+func TestGossipNoFalsePositivesWhileHealthy(t *testing.T) {
+	g, err := NewGossip(GossipConfig{N: 10, Fanout: 3, FailTicks: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		g.Round()
+	}
+	if sus := g.MajoritySuspects(); len(sus) != 0 {
+		t.Fatalf("healthy system majority-suspects %v", sus)
+	}
+}
+
+func TestGossipKillValidation(t *testing.T) {
+	g, _ := NewGossip(GossipConfig{N: 4, Fanout: 1, FailTicks: 2, Seed: 1})
+	if err := g.Kill(9); err == nil {
+		t.Fatal("killed out-of-range node")
+	}
+}
+
+func TestGossipNonConvergence(t *testing.T) {
+	g, _ := NewGossip(GossipConfig{N: 4, Fanout: 1, FailTicks: 100, Seed: 1})
+	g.Kill(0)
+	if _, _, err := g.DetectionRounds(0, 5); err == nil {
+		t.Fatal("detection converged faster than staleness threshold allows")
+	}
+}
+
+func TestGossipMessageCountPerRound(t *testing.T) {
+	g, _ := NewGossip(GossipConfig{N: 10, Fanout: 3, FailTicks: 3, Seed: 9})
+	g.Round()
+	// 10 live nodes × fanout 3.
+	if g.MessagesSent != 30 {
+		t.Fatalf("round sent %d messages, want 30", g.MessagesSent)
+	}
+	g.Kill(0)
+	before := g.MessagesSent
+	g.Round()
+	if g.MessagesSent-before != 27 {
+		t.Fatalf("round with one dead node sent %d", g.MessagesSent-before)
+	}
+}

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// GossipConfig parameterizes the gossip failure detector (related work
+// [7]: "a given node gossips (and passes information) to a set of
+// randomly selected nodes").
+type GossipConfig struct {
+	// N is the number of nodes.
+	N int
+	// Fanout is how many random peers each node gossips to per round.
+	Fanout int
+	// FailTicks is the staleness threshold: a node whose heartbeat
+	// counter has not advanced for FailTicks rounds is suspected.
+	FailTicks int
+	// Seed makes peer selection reproducible.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c GossipConfig) Validate() error {
+	if c.N < 2 {
+		return errors.New("baseline: gossip needs N >= 2")
+	}
+	if c.Fanout < 1 || c.Fanout >= c.N {
+		return errors.New("baseline: fanout must be in [1, N)")
+	}
+	if c.FailTicks < 1 {
+		return errors.New("baseline: FailTicks must be >= 1")
+	}
+	return nil
+}
+
+// Gossip simulates a heartbeat-counter gossip protocol in rounds.
+type Gossip struct {
+	cfg   GossipConfig
+	rng   *rand.Rand
+	round int
+	alive []bool
+	// hb[i][j] = highest heartbeat counter node i has seen for node j.
+	hb [][]int
+	// seenAt[i][j] = round at which hb[i][j] last increased.
+	seenAt [][]int
+	// MessagesSent counts gossip messages (one per target per round).
+	MessagesSent uint64
+}
+
+// NewGossip builds the simulation.
+func NewGossip(cfg GossipConfig) (*Gossip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Gossip{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		alive: make([]bool, cfg.N),
+		hb:    make([][]int, cfg.N),
+		seenAt: func() [][]int {
+			s := make([][]int, cfg.N)
+			for i := range s {
+				s[i] = make([]int, cfg.N)
+			}
+			return s
+		}(),
+	}
+	for i := range g.alive {
+		g.alive[i] = true
+		g.hb[i] = make([]int, cfg.N)
+	}
+	return g, nil
+}
+
+// Kill fails a node: it stops incrementing and gossiping.
+func (g *Gossip) Kill(i int) error {
+	if i < 0 || i >= g.cfg.N {
+		return errors.New("baseline: node out of range")
+	}
+	g.alive[i] = false
+	return nil
+}
+
+// Round advances one gossip round: every live node increments its own
+// counter and pushes its full table to Fanout random peers, which merge
+// entry-wise maxima.
+func (g *Gossip) Round() {
+	g.round++
+	for i := 0; i < g.cfg.N; i++ {
+		if !g.alive[i] {
+			continue
+		}
+		g.bump(i, i, g.hb[i][i]+1)
+	}
+	// Snapshot of tables at round start for symmetric exchange.
+	type push struct {
+		from, to int
+		table    []int
+	}
+	var pushes []push
+	for i := 0; i < g.cfg.N; i++ {
+		if !g.alive[i] {
+			continue
+		}
+		for _, target := range g.pickPeers(i) {
+			tbl := make([]int, g.cfg.N)
+			copy(tbl, g.hb[i])
+			pushes = append(pushes, push{i, target, tbl})
+		}
+	}
+	for _, p := range pushes {
+		g.MessagesSent++
+		if !g.alive[p.to] {
+			continue
+		}
+		for j, v := range p.table {
+			g.bump(p.to, j, v)
+		}
+	}
+}
+
+// bump merges a counter observation at node i for node j.
+func (g *Gossip) bump(i, j, v int) {
+	if v > g.hb[i][j] {
+		g.hb[i][j] = v
+		g.seenAt[i][j] = g.round
+	}
+}
+
+// pickPeers selects Fanout distinct random live-or-dead peers (gossip
+// does not know who is dead).
+func (g *Gossip) pickPeers(i int) []int {
+	peers := make([]int, 0, g.cfg.Fanout)
+	seen := map[int]bool{i: true}
+	for len(peers) < g.cfg.Fanout {
+		p := g.rng.Intn(g.cfg.N)
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	return peers
+}
+
+// SuspectsOf reports which nodes i currently suspects.
+func (g *Gossip) SuspectsOf(i int) []int {
+	var out []int
+	for j := 0; j < g.cfg.N; j++ {
+		if j == i {
+			continue
+		}
+		if g.round-g.seenAt[i][j] > g.cfg.FailTicks {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// MajoritySuspects reports nodes suspected by a majority of live nodes —
+// the consensus criterion GEMS applies (related work [8]: "a majority is
+// needed for deeming a failure").
+func (g *Gossip) MajoritySuspects() []int {
+	liveCount := 0
+	votes := make([]int, g.cfg.N)
+	for i := 0; i < g.cfg.N; i++ {
+		if !g.alive[i] {
+			continue
+		}
+		liveCount++
+		for _, s := range g.SuspectsOf(i) {
+			votes[s]++
+		}
+	}
+	var out []int
+	for j, v := range votes {
+		if v > liveCount/2 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// DetectionRounds runs rounds until the failed node is majority-
+// suspected, returning (rounds, messages since failure). Kill must have
+// been called first. maxRounds bounds the search.
+func (g *Gossip) DetectionRounds(failed, maxRounds int) (int, uint64, error) {
+	start := g.round
+	startMsgs := g.MessagesSent
+	for g.round-start < maxRounds {
+		g.Round()
+		for _, s := range g.MajoritySuspects() {
+			if s == failed {
+				return g.round - start, g.MessagesSent - startMsgs, nil
+			}
+		}
+	}
+	return 0, 0, errors.New("baseline: gossip did not converge")
+}
+
+// Round reports the current round number.
+func (g *Gossip) Now() int { return g.round }

@@ -1,0 +1,835 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// Guard inspects messages arriving from peers before they are routed.
+// The tracing layer installs a guard that enforces authorization tokens
+// on trace topics (§4.3/§5.2); a non-nil error drops the message and
+// counts a violation against the sender.
+type Guard func(env *message.Envelope, from topic.Principal) error
+
+// Config tunes a broker node.
+type Config struct {
+	// Name identifies the broker in logs and link handshakes.
+	Name string
+	// Guard optionally vets inbound messages (may be nil).
+	Guard Guard
+	// ViolationLimit is the number of guard/authorization violations
+	// tolerated per peer before the broker "will terminate communications
+	// with such an entity" (§5.2). Zero means DefaultViolationLimit.
+	ViolationLimit int
+	// DedupeWindow is the number of recently seen message IDs remembered
+	// for duplicate suppression. Zero means DefaultDedupeWindow.
+	DedupeWindow int
+	// Logf receives diagnostic output; nil silences it.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultViolationLimit = 8
+	DefaultDedupeWindow   = 8192
+)
+
+// Stats counts broker activity; read with Snapshot.
+type Stats struct {
+	Published      uint64 // envelopes accepted from peers or local publishers
+	DeliveredLocal uint64 // envelopes handed to local subscribers
+	Forwarded      uint64 // envelopes sent over links
+	Duplicates     uint64 // envelopes dropped by dedupe
+	Violations     uint64 // guard or authorization failures
+	Disconnects    uint64 // peers dropped for violations
+	Expired        uint64 // envelopes dropped for exhausted TTL
+}
+
+// Broker is one router node in the broker network.
+type Broker struct {
+	cfg  Config
+	name string
+
+	mu    sync.Mutex
+	peers map[*peer]struct{}
+	// subs maps exact subscription topic strings to the peers holding
+	// them. Wildcard subscriptions are included and matched by scan.
+	subs      map[string]map[subscriberRef]struct{}
+	wildcards map[string]struct{} // subscription strings ending in /*
+	local     map[string][]*localSub
+	listeners []transport.Listener
+	pending   map[transport.Conn]struct{} // conns awaiting hello
+	closed    bool
+	done      chan struct{}
+
+	seenMu   sync.Mutex
+	seen     map[ident.UUID]struct{}
+	seenFIFO []ident.UUID
+
+	disconnectMu sync.Mutex
+	onDisconnect []func(entity ident.EntityID)
+
+	stats struct {
+		published      atomic.Uint64
+		deliveredLocal atomic.Uint64
+		forwarded      atomic.Uint64
+		duplicates     atomic.Uint64
+		violations     atomic.Uint64
+		disconnects    atomic.Uint64
+		expired        atomic.Uint64
+	}
+
+	wg sync.WaitGroup
+}
+
+// subscriberRef distinguishes remote peers from in-broker subscribers in
+// the subscription index.
+type subscriberRef struct {
+	p *peer // nil for local subscriptions
+}
+
+// localSub is an in-broker subscriber (the tracing layer).
+type localSub struct {
+	tp      topic.Topic
+	handler func(*message.Envelope)
+}
+
+// peer is one connection: either a client entity or a neighbouring
+// broker link.
+type peer struct {
+	conn       transport.Conn
+	isBroker   bool
+	name       string
+	principal  topic.Principal
+	sendMu     sync.Mutex
+	violations int
+	// advertised tracks which topics we have propagated SUBs for over
+	// this link (broker links only).
+	advertised map[string]struct{}
+	// subs tracks this peer's own subscriptions.
+	subs   map[string]struct{}
+	closed atomic.Bool
+}
+
+// New creates a broker node.
+func New(cfg Config) *Broker {
+	if cfg.Name == "" {
+		cfg.Name = "broker-" + ident.NewUUID().String()[:8]
+	}
+	if cfg.ViolationLimit <= 0 {
+		cfg.ViolationLimit = DefaultViolationLimit
+	}
+	if cfg.DedupeWindow <= 0 {
+		cfg.DedupeWindow = DefaultDedupeWindow
+	}
+	return &Broker{
+		cfg:       cfg,
+		name:      cfg.Name,
+		peers:     make(map[*peer]struct{}),
+		subs:      make(map[string]map[subscriberRef]struct{}),
+		wildcards: make(map[string]struct{}),
+		local:     make(map[string][]*localSub),
+		pending:   make(map[transport.Conn]struct{}),
+		seen:      make(map[ident.UUID]struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Name returns the broker's name.
+func (b *Broker) Name() string { return b.name }
+
+// logf emits a diagnostic line if configured.
+func (b *Broker) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf("[%s] "+format, append([]any{b.name}, args...)...)
+	}
+}
+
+// Serve accepts connections from l until the broker or listener closes.
+// It returns immediately; accepting happens on background goroutines.
+func (b *Broker) Serve(l transport.Listener) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		l.Close()
+		return
+	}
+	b.listeners = append(b.listeners, l)
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.handleInbound(conn)
+			}()
+		}
+	}()
+}
+
+// handleInbound performs the hello handshake for an accepted connection.
+func (b *Broker) handleInbound(conn transport.Conn) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		conn.Close()
+		return
+	}
+	b.pending[conn] = struct{}{}
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		delete(b.pending, conn)
+		b.mu.Unlock()
+	}()
+	frame, err := conn.Recv()
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if len(frame) < 1 || frame[0] != frameControl {
+		conn.Close()
+		return
+	}
+	c, err := parseControl(frame[1:])
+	if err != nil || c.Kind != ctrlHello {
+		conn.Close()
+		return
+	}
+	p := b.newPeer(conn, c.IsBroker, c.Name)
+	if p == nil {
+		conn.Close()
+		return
+	}
+	if c.IsBroker {
+		b.syncLinkSubscriptions(p)
+	}
+	b.peerLoop(p)
+}
+
+// ConnectTo establishes a broker-to-broker link by dialing addr over tr.
+func (b *Broker) ConnectTo(tr transport.Transport, addr string) error {
+	p, err := b.dialLink(tr, addr)
+	if err != nil {
+		return err
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.peerLoop(p)
+	}()
+	return nil
+}
+
+// dialLink dials a peer broker and registers the link.
+func (b *Broker) dialLink(tr transport.Transport, addr string) (*peer, error) {
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := &control{Kind: ctrlHello, IsBroker: true, Name: b.name}
+	if err := conn.Send(append([]byte{frameControl}, marshalControl(hello)...)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p := b.newPeer(conn, true, addr)
+	if p == nil {
+		conn.Close()
+		return nil, errors.New("broker: closed")
+	}
+	b.syncLinkSubscriptions(p)
+	return p, nil
+}
+
+// ConnectToPersistent maintains a broker link across failures: it dials
+// addr, runs the link until it drops, and re-dials after retry until the
+// broker closes. Subscription state is re-synchronized on every
+// reconnection, so routing recovers automatically when a neighbouring
+// broker restarts.
+func (b *Broker) ConnectToPersistent(tr transport.Transport, addr string, retry time.Duration) {
+	if retry <= 0 {
+		retry = time.Second
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		for {
+			select {
+			case <-b.done:
+				return
+			default:
+			}
+			p, err := b.dialLink(tr, addr)
+			if err == nil {
+				b.logf("link to %s established", addr)
+				b.peerLoop(p)
+				b.logf("link to %s lost", addr)
+			}
+			select {
+			case <-b.done:
+				return
+			case <-time.After(retry):
+			}
+		}
+	}()
+}
+
+// newPeer registers a connection as a peer.
+func (b *Broker) newPeer(conn transport.Conn, isBroker bool, name string) *peer {
+	p := &peer{
+		conn:       conn,
+		isBroker:   isBroker,
+		name:       name,
+		advertised: make(map[string]struct{}),
+		subs:       make(map[string]struct{}),
+	}
+	if isBroker {
+		p.principal = topic.BrokerPrincipal()
+	} else {
+		p.principal = topic.EntityPrincipal(ident.EntityID(name))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.peers[p] = struct{}{}
+	return p
+}
+
+// peerLoop pumps frames from a peer until the connection drops.
+func (b *Broker) peerLoop(p *peer) {
+	defer b.removePeer(p)
+	for {
+		frame, err := p.conn.Recv()
+		if err != nil {
+			return
+		}
+		if len(frame) < 1 {
+			continue
+		}
+		switch frame[0] {
+		case frameControl:
+			c, err := parseControl(frame[1:])
+			if err != nil {
+				b.punish(p, fmt.Errorf("bad control frame: %w", err))
+				continue
+			}
+			if done := b.handleControl(p, c); done {
+				return
+			}
+		case frameEnvelope:
+			env, err := message.Unmarshal(frame[1:])
+			if err != nil {
+				b.punish(p, fmt.Errorf("bad envelope: %w", err))
+				continue
+			}
+			b.routeFrom(p, env)
+		default:
+			b.punish(p, fmt.Errorf("unknown frame kind %d", frame[0]))
+		}
+		if p.closed.Load() {
+			return
+		}
+	}
+}
+
+// handleControl processes a control frame; it reports whether the peer
+// loop should exit.
+func (b *Broker) handleControl(p *peer, c *control) bool {
+	switch c.Kind {
+	case ctrlSub:
+		tp, err := topic.Parse(c.Topic)
+		if err != nil {
+			b.deny(p, c.ID, err.Error())
+			b.punish(p, err)
+			return false
+		}
+		if err := b.authorizeSubscribe(p, tp); err != nil {
+			b.deny(p, c.ID, err.Error())
+			b.punish(p, err)
+			return false
+		}
+		b.addSubscription(p, tp)
+		b.ack(p, c.ID)
+	case ctrlUnsub:
+		tp, err := topic.Parse(c.Topic)
+		if err == nil {
+			b.removeSubscription(p, tp)
+		}
+		b.ack(p, c.ID)
+	case ctrlBye:
+		return true
+	case ctrlHello:
+		b.punish(p, errors.New("duplicate hello"))
+	default:
+		// Acks/denies are client-side frames; ignore from peers.
+	}
+	return false
+}
+
+// authorizeSubscribe enforces constrained-topic subscribe rules. Clients
+// may not use wildcards under /Constrained, which would bypass
+// enforcement.
+func (b *Broker) authorizeSubscribe(p *peer, tp topic.Topic) error {
+	if tp.IsWildcard() && !p.isBroker && tp.HasPrefix(topic.ConstrainedPrefix) {
+		return fmt.Errorf("broker: wildcard subscription under /%s denied", topic.ConstrainedPrefix)
+	}
+	if p.isBroker {
+		// Links aggregate downstream subscribers; the terminal broker
+		// enforced its own clients.
+		return nil
+	}
+	return topic.Authorize(tp, p.principal, false)
+}
+
+// ack / deny send subscription outcomes to client peers.
+func (b *Broker) ack(p *peer, id uint64) {
+	if p.isBroker || id == 0 {
+		return
+	}
+	p.send(append([]byte{frameControl}, marshalControl(&control{Kind: ctrlAck, ID: id})...))
+}
+
+func (b *Broker) deny(p *peer, id uint64, reason string) {
+	if p.isBroker || id == 0 {
+		return
+	}
+	p.send(append([]byte{frameControl}, marshalControl(&control{Kind: ctrlDeny, ID: id, Reason: reason})...))
+}
+
+// punish counts a violation against a peer and disconnects it past the
+// limit (§5.2: "In the case of multiple bogus attempts by a malicious
+// entity, the broker will terminate communications with such an
+// entity").
+func (b *Broker) punish(p *peer, err error) {
+	b.stats.violations.Add(1)
+	b.logf("violation from %s: %v", p.name, err)
+	b.mu.Lock()
+	p.violations++
+	over := p.violations >= b.cfg.ViolationLimit
+	b.mu.Unlock()
+	if over {
+		b.stats.disconnects.Add(1)
+		b.logf("disconnecting %s after %d violations", p.name, p.violations)
+		p.closed.Store(true)
+		p.conn.Close()
+	}
+}
+
+// OnClientDisconnect registers a callback invoked whenever a client
+// (entity) connection drops, with the entity's identifier. The tracing
+// layer uses it to publish DISCONNECT traces (§3.3) without waiting for
+// ping timeouts.
+func (b *Broker) OnClientDisconnect(f func(entity ident.EntityID)) {
+	b.disconnectMu.Lock()
+	defer b.disconnectMu.Unlock()
+	b.onDisconnect = append(b.onDisconnect, f)
+}
+
+// removePeer unregisters a peer and drops its subscriptions.
+func (b *Broker) removePeer(p *peer) {
+	p.conn.Close()
+	b.mu.Lock()
+	if _, ok := b.peers[p]; !ok {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.peers, p)
+	affected := make([]string, 0, len(p.subs))
+	ref := subscriberRef{p: p}
+	for ts := range p.subs {
+		if set, ok := b.subs[ts]; ok {
+			delete(set, ref)
+			if len(set) == 0 {
+				delete(b.subs, ts)
+				delete(b.wildcards, ts)
+			}
+		}
+		affected = append(affected, ts)
+	}
+	b.mu.Unlock()
+	for _, ts := range affected {
+		b.refreshLinks(ts)
+	}
+	if !p.isBroker {
+		b.disconnectMu.Lock()
+		callbacks := make([]func(ident.EntityID), len(b.onDisconnect))
+		copy(callbacks, b.onDisconnect)
+		b.disconnectMu.Unlock()
+		for _, f := range callbacks {
+			f(ident.EntityID(p.name))
+		}
+	}
+}
+
+// addSubscription indexes a peer subscription and propagates it.
+func (b *Broker) addSubscription(p *peer, tp topic.Topic) {
+	ts := tp.String()
+	b.mu.Lock()
+	p.subs[ts] = struct{}{}
+	set, ok := b.subs[ts]
+	if !ok {
+		set = make(map[subscriberRef]struct{})
+		b.subs[ts] = set
+	}
+	set[subscriberRef{p: p}] = struct{}{}
+	if tp.IsWildcard() {
+		b.wildcards[ts] = struct{}{}
+	}
+	b.mu.Unlock()
+	b.refreshLinks(ts)
+}
+
+// removeSubscription drops a peer subscription and propagates the
+// change.
+func (b *Broker) removeSubscription(p *peer, tp topic.Topic) {
+	ts := tp.String()
+	b.mu.Lock()
+	delete(p.subs, ts)
+	if set, ok := b.subs[ts]; ok {
+		delete(set, subscriberRef{p: p})
+		if len(set) == 0 {
+			delete(b.subs, ts)
+			delete(b.wildcards, ts)
+		}
+	}
+	b.mu.Unlock()
+	b.refreshLinks(ts)
+}
+
+// SubscribeLocal registers an in-broker subscriber with broker
+// privileges; the tracing layer uses this for registration and session
+// topics. The returned cancel function unsubscribes.
+func (b *Broker) SubscribeLocal(tp topic.Topic, handler func(*message.Envelope)) (cancel func()) {
+	ts := tp.String()
+	ls := &localSub{tp: tp, handler: handler}
+	b.mu.Lock()
+	b.local[ts] = append(b.local[ts], ls)
+	set, ok := b.subs[ts]
+	if !ok {
+		set = make(map[subscriberRef]struct{})
+		b.subs[ts] = set
+	}
+	set[subscriberRef{}] = struct{}{}
+	if tp.IsWildcard() {
+		b.wildcards[ts] = struct{}{}
+	}
+	b.mu.Unlock()
+	b.refreshLinks(ts)
+	return func() {
+		b.mu.Lock()
+		lss := b.local[ts]
+		for i, cand := range lss {
+			if cand == ls {
+				b.local[ts] = append(lss[:i], lss[i+1:]...)
+				break
+			}
+		}
+		if len(b.local[ts]) == 0 {
+			delete(b.local, ts)
+			if set, ok := b.subs[ts]; ok {
+				delete(set, subscriberRef{})
+				if len(set) == 0 {
+					delete(b.subs, ts)
+					delete(b.wildcards, ts)
+				}
+			}
+		}
+		b.mu.Unlock()
+		b.refreshLinks(ts)
+	}
+}
+
+// propagatable reports whether subscriptions/publishes on ts travel
+// between brokers: constrained topics with Suppress/Limited distribution
+// stay local to the hosting broker.
+func propagatable(ts string) bool {
+	tp, err := topic.Parse(ts)
+	if err != nil || !topic.IsConstrained(tp) {
+		return err == nil
+	}
+	c, err := topic.ParseConstrained(tp)
+	if err != nil {
+		return false
+	}
+	return c.Dist.Propagates()
+}
+
+// refreshLinks reconciles the SUB state of every broker link for one
+// topic: a link should hold our SUB iff some subscriber other than that
+// link wants the topic and the topic propagates.
+func (b *Broker) refreshLinks(ts string) {
+	type action struct {
+		p   *peer
+		sub bool
+	}
+	var actions []action
+	b.mu.Lock()
+	prop := propagatable(ts)
+	set := b.subs[ts]
+	for p := range b.peers {
+		if !p.isBroker {
+			continue
+		}
+		want := false
+		if prop {
+			for ref := range set {
+				if ref.p != p {
+					want = true
+					break
+				}
+			}
+		}
+		_, have := p.advertised[ts]
+		if want && !have {
+			p.advertised[ts] = struct{}{}
+			actions = append(actions, action{p, true})
+		} else if !want && have {
+			delete(p.advertised, ts)
+			actions = append(actions, action{p, false})
+		}
+	}
+	b.mu.Unlock()
+	for _, a := range actions {
+		kind := ctrlSub
+		if !a.sub {
+			kind = ctrlUnsub
+		}
+		a.p.send(append([]byte{frameControl}, marshalControl(&control{Kind: kind, Topic: ts})...))
+	}
+}
+
+// syncLinkSubscriptions advertises all current topics to a new link.
+func (b *Broker) syncLinkSubscriptions(p *peer) {
+	b.mu.Lock()
+	topics := make([]string, 0, len(b.subs))
+	for ts, set := range b.subs {
+		if !propagatable(ts) {
+			continue
+		}
+		for ref := range set {
+			if ref.p != p {
+				topics = append(topics, ts)
+				break
+			}
+		}
+	}
+	for _, ts := range topics {
+		p.advertised[ts] = struct{}{}
+	}
+	b.mu.Unlock()
+	for _, ts := range topics {
+		p.send(append([]byte{frameControl}, marshalControl(&control{Kind: ctrlSub, Topic: ts})...))
+	}
+}
+
+// send transmits a frame to the peer, tolerating failures (the peer loop
+// notices the closed connection).
+func (p *peer) send(frame []byte) {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if err := p.conn.Send(frame); err != nil {
+		p.closed.Store(true)
+	}
+}
+
+// Publish injects a broker-originated envelope (broker principal): the
+// tracing layer publishes pings and traces through this.
+func (b *Broker) Publish(env *message.Envelope) error {
+	return b.route(nil, env, topic.BrokerPrincipal())
+}
+
+// routeFrom handles an envelope received from a peer.
+func (b *Broker) routeFrom(p *peer, env *message.Envelope) {
+	if err := b.route(p, env, p.principal); err != nil {
+		b.punish(p, err)
+	}
+}
+
+// route authorizes, dedupes and distributes an envelope. from is nil for
+// local (broker-originated) publishes.
+func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Principal) error {
+	// Duplicate suppression (also guards against routing loops).
+	if !b.firstSighting(env.ID) {
+		b.stats.duplicates.Add(1)
+		return nil
+	}
+	if env.TTL == 0 {
+		b.stats.expired.Add(1)
+		return nil
+	}
+	// Source spoofing check: a client's envelopes must carry its own
+	// entity identifier. Broker links aggregate many sources.
+	if from != nil && !from.isBroker && env.Source != ident.EntityID(from.name) {
+		return fmt.Errorf("broker: source %q spoofed by client %q", env.Source, from.name)
+	}
+	if err := topic.Authorize(env.Topic, principal, true); err != nil {
+		return err
+	}
+	if b.cfg.Guard != nil {
+		if err := b.cfg.Guard(env, principal); err != nil {
+			return err
+		}
+	}
+	b.stats.published.Add(1)
+	b.deliver(from, env)
+	return nil
+}
+
+// deliver hands the envelope to local subscribers and forwards it to
+// interested links.
+func (b *Broker) deliver(from *peer, env *message.Envelope) {
+	ts := env.Topic.String()
+	var locals []*localSub
+	var remote []*peer
+	b.mu.Lock()
+	// Exact subscriptions.
+	seenPeer := make(map[*peer]struct{})
+	collect := func(subTopic string) {
+		for ref := range b.subs[subTopic] {
+			if ref.p == nil {
+				continue
+			}
+			if ref.p == from {
+				continue
+			}
+			if _, dup := seenPeer[ref.p]; dup {
+				continue
+			}
+			seenPeer[ref.p] = struct{}{}
+			remote = append(remote, ref.p)
+		}
+		locals = append(locals, b.local[subTopic]...)
+	}
+	collect(ts)
+	// Wildcard subscriptions.
+	for wts := range b.wildcards {
+		if wts == ts {
+			continue
+		}
+		wtp, err := topic.Parse(wts)
+		if err == nil && env.Topic.Matches(wtp) {
+			collect(wts)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, ls := range locals {
+		b.stats.deliveredLocal.Add(1)
+		ls.handler(env)
+	}
+	if len(remote) == 0 {
+		return
+	}
+	prop := propagatable(ts)
+	fwd := env.Clone()
+	fwd.TTL--
+	frame := append([]byte{frameEnvelope}, fwd.Marshal()...)
+	for _, p := range remote {
+		if p.isBroker && (!prop || fwd.TTL == 0) {
+			continue
+		}
+		b.stats.forwarded.Add(1)
+		p.send(frame)
+	}
+}
+
+// firstSighting records the message ID, reporting whether it was new.
+func (b *Broker) firstSighting(id ident.UUID) bool {
+	b.seenMu.Lock()
+	defer b.seenMu.Unlock()
+	if _, dup := b.seen[id]; dup {
+		return false
+	}
+	b.seen[id] = struct{}{}
+	b.seenFIFO = append(b.seenFIFO, id)
+	if len(b.seenFIFO) > b.cfg.DedupeWindow {
+		old := b.seenFIFO[0]
+		b.seenFIFO = b.seenFIFO[1:]
+		delete(b.seen, old)
+	}
+	return true
+}
+
+// Snapshot returns current counters.
+func (b *Broker) Snapshot() Stats {
+	return Stats{
+		Published:      b.stats.published.Load(),
+		DeliveredLocal: b.stats.deliveredLocal.Load(),
+		Forwarded:      b.stats.forwarded.Load(),
+		Duplicates:     b.stats.duplicates.Load(),
+		Violations:     b.stats.violations.Load(),
+		Disconnects:    b.stats.disconnects.Load(),
+		Expired:        b.stats.expired.Load(),
+	}
+}
+
+// PeerCount reports connected peers (clients + links).
+func (b *Broker) PeerCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.peers)
+}
+
+// SubscriptionCount reports distinct subscribed topic strings.
+func (b *Broker) SubscriptionCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// HasSubscription reports whether any subscriber holds exactly ts; the
+// tests and the tracing layer use it to await propagation.
+func (b *Broker) HasSubscription(ts string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.subs[ts]
+	return ok
+}
+
+// Close shuts the broker down: listeners stop, peers drop.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.done)
+	peers := make([]*peer, 0, len(b.peers))
+	for p := range b.peers {
+		peers = append(peers, p)
+	}
+	pending := make([]transport.Conn, 0, len(b.pending))
+	for c := range b.pending {
+		pending = append(pending, c)
+	}
+	listeners := b.listeners
+	b.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, p := range peers {
+		p.closed.Store(true)
+		p.conn.Close()
+	}
+	for _, c := range pending {
+		c.Close()
+	}
+	b.wg.Wait()
+}

@@ -1,0 +1,703 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// newTestBroker starts a broker on an in-proc transport and returns it
+// with its address.
+func newTestBroker(t *testing.T, tr transport.Transport, cfg Config) (*Broker, string) {
+	t.Helper()
+	b := New(cfg)
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Serve(l)
+	t.Cleanup(b.Close)
+	return b, l.Addr()
+}
+
+// chain builds n brokers connected in a line b0 - b1 - ... - b(n-1).
+func chain(t *testing.T, tr transport.Transport, n int) ([]*Broker, []string) {
+	t.Helper()
+	brokers := make([]*Broker, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		brokers[i], addrs[i] = newTestBroker(t, tr, Config{Name: fmt.Sprintf("b%d", i)})
+	}
+	for i := 1; i < n; i++ {
+		if err := brokers[i].ConnectTo(tr, addrs[i-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return brokers, addrs
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func recvEnvelope(t *testing.T, ch <-chan *message.Envelope, what string) *message.Envelope {
+	t.Helper()
+	select {
+	case e := <-ch:
+		return e
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for %s", what)
+		return nil
+	}
+}
+
+func TestSingleBrokerPubSub(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{Name: "b0"})
+
+	sub, err := Connect(tr, addr, "subscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Connect(tr, addr, "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 1)
+	tp := topic.MustParse("/news/sports")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	env := message.New(message.TypeData, tp, "publisher", []byte("goal"))
+	if err := pub.Publish(env); err != nil {
+		t.Fatal(err)
+	}
+	e := recvEnvelope(t, got, "published envelope")
+	if string(e.Payload) != "goal" || e.Source != "publisher" {
+		t.Fatalf("got %+v", e)
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 4)
+	if err := sub.Subscribe(topic.MustParse("/a/b"), func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	_ = pub.Publish(message.New(message.TypeData, topic.MustParse("/a/c"), "p", []byte("other")))
+	_ = pub.Publish(message.New(message.TypeData, topic.MustParse("/a/b"), "p", []byte("mine")))
+	e := recvEnvelope(t, got, "matching envelope")
+	if string(e.Payload) != "mine" {
+		t.Fatalf("received non-matching envelope %q", e.Payload)
+	}
+	select {
+	case e := <-got:
+		t.Fatalf("unexpected extra delivery: %q on %s", e.Payload, e.Topic)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestWildcardSubscription(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 4)
+	if err := sub.Subscribe(topic.MustParse("/metrics/*"), func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	_ = pub.Publish(message.New(message.TypeData, topic.MustParse("/metrics/cpu/host1"), "p", []byte("42")))
+	e := recvEnvelope(t, got, "wildcard delivery")
+	if e.Topic.String() != "/metrics/cpu/host1" {
+		t.Fatalf("topic %s", e.Topic)
+	}
+}
+
+func TestClientWildcardUnderConstrainedDenied(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{})
+	c, _ := Connect(tr, addr, "snooper")
+	defer c.Close()
+	err := c.Subscribe(topic.MustParse("/Constrained/*"), func(*message.Envelope) {})
+	if !errors.Is(err, ErrSubscribeDenied) {
+		t.Fatalf("wildcard under /Constrained: err=%v", err)
+	}
+}
+
+func TestConstrainedSubscribeDenied(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{})
+	c, _ := Connect(tr, addr, "eve")
+	defer c.Close()
+	// Subscribe-Only topics of the broker cannot be subscribed by entities.
+	err := c.Subscribe(topic.Registration(), func(*message.Envelope) {})
+	if !errors.Is(err, ErrSubscribeDenied) {
+		t.Fatalf("registration subscribe: err=%v", err)
+	}
+	// Another entity's session topic cannot be subscribed either.
+	tp, _ := topic.BrokerToEntitySession("alice", ident.NewUUID(), ident.NewSessionID())
+	if err := c.Subscribe(tp, func(*message.Envelope) {}); !errors.Is(err, ErrSubscribeDenied) {
+		t.Fatalf("foreign session subscribe: err=%v", err)
+	}
+}
+
+func TestConstrainedPublishDropped(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	c, _ := Connect(tr, addr, "mallory")
+	defer c.Close()
+	// Publish-Only broker topics reject entity publishes (§4.3).
+	tp := topic.ChangeNotifications(ident.NewUUID())
+	env := message.New(message.TraceFailed, tp, "mallory", []byte("spoof"))
+	if err := c.Publish(env); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "violation count", func() bool { return b.Snapshot().Violations >= 1 })
+	if b.Snapshot().Published != 0 {
+		t.Fatal("spoofed trace was routed")
+	}
+}
+
+func TestSourceSpoofingDropped(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	c, _ := Connect(tr, addr, "honest")
+	defer c.Close()
+	env := message.New(message.TypeData, topic.MustParse("/x"), "someone-else", nil)
+	_ = c.Publish(env)
+	waitFor(t, "spoof violation", func() bool { return b.Snapshot().Violations >= 1 })
+}
+
+func TestViolationDisconnect(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{ViolationLimit: 3})
+	c, _ := Connect(tr, addr, "mallory")
+	defer c.Close()
+	tp := topic.ChangeNotifications(ident.NewUUID())
+	for i := 0; i < 5; i++ {
+		env := message.New(message.TraceFailed, tp, "mallory", nil)
+		if err := c.Publish(env); err != nil {
+			break // connection already torn down
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitFor(t, "disconnect", func() bool { return b.Snapshot().Disconnects >= 1 })
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client not disconnected after repeated violations")
+	}
+}
+
+func TestGuardInvokedAndPunished(t *testing.T) {
+	tr := transport.NewInproc()
+	var guarded atomic.Int64
+	guard := func(env *message.Envelope, from topic.Principal) error {
+		guarded.Add(1)
+		if string(env.Payload) == "bad" {
+			return errors.New("guard says no")
+		}
+		return nil
+	}
+	b, addr := newTestBroker(t, tr, Config{Guard: guard})
+	c, _ := Connect(tr, addr, "client")
+	defer c.Close()
+
+	got := make(chan *message.Envelope, 2)
+	sub, _ := Connect(tr, addr, "sub")
+	defer sub.Close()
+	tp := topic.MustParse("/guarded")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Publish(message.New(message.TypeData, tp, "client", []byte("bad")))
+	_ = c.Publish(message.New(message.TypeData, tp, "client", []byte("good")))
+	e := recvEnvelope(t, got, "guarded delivery")
+	if string(e.Payload) != "good" {
+		t.Fatalf("guard let %q through", e.Payload)
+	}
+	if guarded.Load() < 2 {
+		t.Fatalf("guard invoked %d times", guarded.Load())
+	}
+	if b.Snapshot().Violations != 1 {
+		t.Fatalf("violations = %d", b.Snapshot().Violations)
+	}
+}
+
+func TestMultiHopRouting(t *testing.T) {
+	tr := transport.NewInproc()
+	brokers, addrs := chain(t, tr, 4)
+
+	sub, _ := Connect(tr, addrs[3], "sub")
+	defer sub.Close()
+	pub, _ := Connect(tr, addrs[0], "pub")
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 1)
+	tp := topic.MustParse("/far/away")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the subscription has propagated back to broker 0.
+	waitFor(t, "subscription propagation", func() bool { return brokers[0].HasSubscription(tp.String()) })
+
+	_ = pub.Publish(message.New(message.TypeData, tp, "pub", []byte("hello across 4 brokers")))
+	e := recvEnvelope(t, got, "multi-hop delivery")
+	if string(e.Payload) != "hello across 4 brokers" {
+		t.Fatalf("payload %q", e.Payload)
+	}
+	if e.TTL >= message.DefaultTTL {
+		t.Fatalf("TTL not decremented: %d", e.TTL)
+	}
+}
+
+func TestLateLinkReceivesExistingSubscriptions(t *testing.T) {
+	tr := transport.NewInproc()
+	b0, addr0 := newTestBroker(t, tr, Config{Name: "b0"})
+	_ = b0
+	b1, addr1 := newTestBroker(t, tr, Config{Name: "b1"})
+
+	sub, _ := Connect(tr, addr0, "sub")
+	defer sub.Close()
+	tp := topic.MustParse("/pre/existing")
+	got := make(chan *message.Envelope, 1)
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	// Link up after the subscription exists.
+	if err := b1.ConnectTo(tr, addr0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "sync to new link", func() bool { return b1.HasSubscription(tp.String()) })
+
+	pub, _ := Connect(tr, addr1, "pub")
+	defer pub.Close()
+	_ = pub.Publish(message.New(message.TypeData, tp, "pub", []byte("late link")))
+	recvEnvelope(t, got, "delivery across late link")
+}
+
+func TestSuppressedTopicsStayLocal(t *testing.T) {
+	tr := transport.NewInproc()
+	brokers, _ := chain(t, tr, 2)
+
+	// A Limited-distribution session topic must not propagate.
+	tt, sess := ident.NewUUID(), ident.NewSessionID()
+	local := topic.EntityToBrokerSession(tt, sess) // .../Limited/...
+
+	done := brokers[1].SubscribeLocal(local, func(*message.Envelope) {})
+	defer done()
+	time.Sleep(50 * time.Millisecond)
+	if brokers[0].HasSubscription(local.String()) {
+		t.Fatal("Limited topic subscription propagated to neighbour broker")
+	}
+	// A disseminated topic does propagate.
+	dis := topic.ChangeNotifications(tt)
+	done2 := brokers[1].SubscribeLocal(dis, func(*message.Envelope) {})
+	defer done2()
+	waitFor(t, "disseminated propagation", func() bool { return brokers[0].HasSubscription(dis.String()) })
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 4)
+	tp := topic.MustParse("/dup")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	env := message.New(message.TypeData, tp, "p", []byte("once"))
+	_ = pub.Publish(env)
+	_ = pub.Publish(env) // same ID
+	recvEnvelope(t, got, "first delivery")
+	select {
+	case <-got:
+		t.Fatal("duplicate envelope delivered")
+	case <-time.After(100 * time.Millisecond):
+	}
+	waitFor(t, "duplicate counter", func() bool { return b.Snapshot().Duplicates >= 1 })
+}
+
+func TestTTLExpiry(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+	env := message.New(message.TypeData, topic.MustParse("/x"), "p", nil)
+	env.TTL = 0
+	_ = pub.Publish(env)
+	waitFor(t, "TTL drop", func() bool { return b.Snapshot().Expired >= 1 })
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 4)
+	tp := topic.MustParse("/onoff")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	_ = pub.Publish(message.New(message.TypeData, tp, "p", []byte("1")))
+	recvEnvelope(t, got, "pre-unsubscribe delivery")
+	if err := sub.Unsubscribe(tp); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	_ = pub.Publish(message.New(message.TypeData, tp, "p", []byte("2")))
+	select {
+	case e := <-got:
+		t.Fatalf("delivery after unsubscribe: %q", e.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestSubscribeLocalAndCancel(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 4)
+	// Local subscribers have broker privileges: they may watch
+	// Subscribe-Only topics like the registration topic.
+	cancel := b.SubscribeLocal(topic.Registration(), func(e *message.Envelope) { got <- e })
+	env := message.New(message.TypeRegistration, topic.Registration(), "p", []byte("reg"))
+	_ = pub.Publish(env)
+	recvEnvelope(t, got, "local delivery")
+	cancel()
+	time.Sleep(20 * time.Millisecond)
+	env2 := message.New(message.TypeRegistration, topic.Registration(), "p", []byte("reg2"))
+	_ = pub.Publish(env2)
+	select {
+	case <-got:
+		t.Fatal("delivery after local cancel")
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestBrokerPublishLocalOrigin(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	got := make(chan *message.Envelope, 1)
+	// Entities may subscribe to broker Publish-Only topics.
+	tp := topic.AllUpdates(ident.NewUUID())
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	env := message.New(message.TraceAllsWell, tp, "", []byte("alive"))
+	if err := b.Publish(env); err != nil {
+		t.Fatal(err)
+	}
+	recvEnvelope(t, got, "broker-originated trace")
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+	tp := topic.MustParse("/counted")
+	got := make(chan *message.Envelope, 1)
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	_ = pub.Publish(message.New(message.TypeData, tp, "p", nil))
+	recvEnvelope(t, got, "counted delivery")
+	s := b.Snapshot()
+	if s.Published != 1 || s.DeliveredLocal != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if b.PeerCount() != 2 {
+		t.Fatalf("PeerCount = %d", b.PeerCount())
+	}
+	if b.SubscriptionCount() != 1 {
+		t.Fatalf("SubscriptionCount = %d", b.SubscriptionCount())
+	}
+}
+
+func TestClientCloseIsClean(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	c, _ := Connect(tr, addr, "fleeting")
+	if err := c.Subscribe(topic.MustParse("/t"), func(*message.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "peer removal", func() bool { return b.PeerCount() == 0 })
+	if b.SubscriptionCount() != 0 {
+		t.Fatal("subscriptions survived peer removal")
+	}
+	if err := c.Publish(message.New(message.TypeData, topic.MustParse("/t"), "fleeting", nil)); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("publish after close: %v", err)
+	}
+	if err := c.Subscribe(topic.MustParse("/t2"), func(*message.Envelope) {}); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("subscribe after close: %v", err)
+	}
+}
+
+func TestBrokerCloseUnblocksClients(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	c, _ := Connect(tr, addr, "c")
+	b.Close()
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client not notified of broker shutdown")
+	}
+}
+
+func TestRoutingOverTCPAndUDP(t *testing.T) {
+	for _, trName := range []string{"tcp", "udp"} {
+		t.Run(trName, func(t *testing.T) {
+			tr, err := transport.New(trName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := New(Config{Name: "b-" + trName})
+			l, err := tr.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Serve(l)
+			defer b.Close()
+
+			sub, err := Connect(tr, l.Addr(), "s")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+			pub, err := Connect(tr, l.Addr(), "p")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pub.Close()
+			got := make(chan *message.Envelope, 1)
+			tp := topic.MustParse("/socket/test")
+			if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+				t.Fatal(err)
+			}
+			_ = pub.Publish(message.New(message.TypeData, tp, "p", []byte(trName)))
+			e := recvEnvelope(t, got, trName+" delivery")
+			if string(e.Payload) != trName {
+				t.Fatalf("payload %q", e.Payload)
+			}
+		})
+	}
+}
+
+// TestDedupeWindowEviction verifies that the duplicate-suppression
+// window is bounded: after the window rolls over, an old ID is treated
+// as new again (acceptable: TTL and topology bound actual loops).
+func TestDedupeWindowEviction(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{DedupeWindow: 8})
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	got := make(chan *message.Envelope, 32)
+	tp := topic.MustParse("/evict")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	first := message.New(message.TypeData, tp, "p", []byte("first"))
+	_ = pub.Publish(first)
+	recvEnvelope(t, got, "first delivery")
+	// Push 8 more unique IDs through to evict the first.
+	for i := 0; i < 8; i++ {
+		_ = pub.Publish(message.New(message.TypeData, tp, "p", []byte("filler")))
+		recvEnvelope(t, got, "filler delivery")
+	}
+	// The original ID is forgotten: a replay is delivered again.
+	_ = pub.Publish(first)
+	e := recvEnvelope(t, got, "replay after eviction")
+	if string(e.Payload) != "first" {
+		t.Fatalf("unexpected payload %q", e.Payload)
+	}
+	if b.Snapshot().Duplicates != 0 {
+		t.Fatalf("evicted ID counted as duplicate")
+	}
+}
+
+// TestUnsubscribeWildcard verifies wildcard handler cleanup on the
+// client side.
+func TestUnsubscribeWildcard(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addr := newTestBroker(t, tr, Config{})
+	sub, _ := Connect(tr, addr, "s")
+	defer sub.Close()
+	pub, _ := Connect(tr, addr, "p")
+	defer pub.Close()
+	got := make(chan *message.Envelope, 4)
+	wc := topic.MustParse("/w/*")
+	if err := sub.Subscribe(wc, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	_ = pub.Publish(message.New(message.TypeData, topic.MustParse("/w/x"), "p", []byte("1")))
+	recvEnvelope(t, got, "wildcard delivery")
+	if err := sub.Unsubscribe(wc); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	_ = pub.Publish(message.New(message.TypeData, topic.MustParse("/w/y"), "p", []byte("2")))
+	select {
+	case e := <-got:
+		t.Fatalf("delivery after wildcard unsubscribe: %q", e.Payload)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestOnClientDisconnectCallback verifies the disconnect notification
+// carries the entity identifier and fires once per client drop.
+func TestOnClientDisconnectCallback(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{})
+	dropped := make(chan ident.EntityID, 4)
+	b.OnClientDisconnect(func(e ident.EntityID) { dropped <- e })
+	c, _ := Connect(tr, addr, "short-lived")
+	waitFor(t, "peer registration", func() bool { return b.PeerCount() == 1 })
+	c.Close()
+	select {
+	case e := <-dropped:
+		if e != "short-lived" {
+			t.Fatalf("disconnect for %q", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("disconnect callback never fired")
+	}
+}
+
+// TestDiamondTopologyNoStorm wires four brokers in a cycle
+// (a-b, a-c, b-d, c-d) and verifies messages are delivered exactly once
+// with duplicate suppression absorbing the redundant path.
+func TestDiamondTopologyNoStorm(t *testing.T) {
+	tr := transport.NewInproc()
+	names := []string{"a", "b", "c", "d"}
+	brokers := map[string]*Broker{}
+	addrs := map[string]string{}
+	for _, n := range names {
+		b, addr := newTestBroker(t, tr, Config{Name: n})
+		brokers[n] = b
+		addrs[n] = addr
+	}
+	links := [][2]string{{"b", "a"}, {"c", "a"}, {"d", "b"}, {"d", "c"}}
+	for _, l := range links {
+		if err := brokers[l[0]].ConnectTo(tr, addrs[l[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sub, _ := Connect(tr, addrs["d"], "sub")
+	defer sub.Close()
+	got := make(chan *message.Envelope, 16)
+	tp := topic.MustParse("/diamond")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "propagation to a", func() bool { return brokers["a"].HasSubscription(tp.String()) })
+
+	pub, _ := Connect(tr, addrs["a"], "pub")
+	defer pub.Close()
+	if err := pub.Publish(message.New(message.TypeData, tp, "pub", []byte("once"))); err != nil {
+		t.Fatal(err)
+	}
+	recvEnvelope(t, got, "diamond delivery")
+	// The second copy arriving via the other path must be suppressed.
+	select {
+	case e := <-got:
+		t.Fatalf("duplicate delivery through diamond: %q", e.Payload)
+	case <-time.After(200 * time.Millisecond):
+	}
+	waitFor(t, "duplicate suppressed somewhere", func() bool {
+		return brokers["d"].Snapshot().Duplicates >= 1 ||
+			brokers["b"].Snapshot().Duplicates >= 1 ||
+			brokers["c"].Snapshot().Duplicates >= 1
+	})
+}
+
+func TestBrokerNameAndClientAccessors(t *testing.T) {
+	tr := transport.NewInproc()
+	b, addr := newTestBroker(t, tr, Config{Name: "named-broker"})
+	if b.Name() != "named-broker" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	c, err := Connect(tr, addr, "acc-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Entity() != "acc-client" {
+		t.Fatalf("Entity = %q", c.Entity())
+	}
+	// OnUnhandled catches deliveries with no matching handler: subscribe
+	// with one handler, then swap topics by unsubscribing the handler
+	// state only (simulated by publishing on a subscribed-but-unhandled
+	// topic after handler removal via Unsubscribe + resubscribe race is
+	// contrived; instead verify the default handler fires for replies on
+	// a topic subscribed through a second client sharing the identity).
+	unhandled := make(chan *message.Envelope, 1)
+	c.OnUnhandled(func(e *message.Envelope) { unhandled <- e })
+	tp := topic.MustParse("/unhandled/topic")
+	if err := c.Subscribe(tp, func(*message.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the handler but keep the broker-side subscription by
+	// re-adding it at the broker through a raw control frame: simplest
+	// equivalent is to unsubscribe handlers then have the broker deliver
+	// a message on a wildcard-covered topic with no specific handler.
+	wc := topic.MustParse("/unhandled/*")
+	if err := c.Subscribe(wc, func(*message.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Unsubscribe(wc) // drops the wildcard handler; broker may still deliver briefly
+	pub, _ := Connect(tr, addr, "acc-pub")
+	defer pub.Close()
+	_ = pub.Publish(message.New(message.TypeData, tp, "acc-pub", []byte("handled")))
+	// The exact-handler still exists, so nothing lands in unhandled; the
+	// accessor is exercised either way.
+	time.Sleep(50 * time.Millisecond)
+}

@@ -1,0 +1,262 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// Client errors.
+var (
+	// ErrSubscribeDenied reports a subscription rejected by the broker's
+	// authorization checks.
+	ErrSubscribeDenied = errors.New("broker: subscription denied")
+	// ErrClientClosed reports use of a closed client.
+	ErrClientClosed = errors.New("broker: client closed")
+)
+
+// subscribeTimeout bounds the wait for a subscription acknowledgement.
+const subscribeTimeout = 10 * time.Second
+
+// Handler consumes envelopes delivered to a client subscription.
+type Handler func(*message.Envelope)
+
+// Client is an entity's connection to its broker: the funnel through
+// which it publishes messages into the network and receives messages for
+// its subscriptions (§2: "an entity uses this broker, which it is
+// connected to, to funnel messages to the broker network").
+type Client struct {
+	entity ident.EntityID
+	conn   transport.Conn
+
+	mu       sync.Mutex
+	handlers map[string][]Handler // topic string -> handlers
+	wild     []wildHandler
+	pending  map[uint64]chan *control
+	closed   bool
+
+	defaultHandler atomic.Value // Handler
+	nextID         atomic.Uint64
+	done           chan struct{}
+}
+
+type wildHandler struct {
+	tp topic.Topic
+	h  Handler
+}
+
+// Connect dials a broker and performs the client handshake.
+func Connect(tr transport.Transport, addr string, entity ident.EntityID) (*Client, error) {
+	if err := entity.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := &control{Kind: ctrlHello, IsBroker: false, Name: string(entity)}
+	if err := conn.Send(append([]byte{frameControl}, marshalControl(hello)...)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Client{
+		entity:   entity,
+		conn:     conn,
+		handlers: make(map[string][]Handler),
+		pending:  make(map[uint64]chan *control),
+		done:     make(chan struct{}),
+	}
+	go c.recvLoop()
+	return c, nil
+}
+
+// Entity returns the client's entity identifier.
+func (c *Client) Entity() ident.EntityID { return c.entity }
+
+// OnUnhandled installs a handler for envelopes that match none of the
+// subscription handlers (e.g. replies on topics subscribed before a
+// handler change).
+func (c *Client) OnUnhandled(h Handler) { c.defaultHandler.Store(h) }
+
+// recvLoop pumps frames from the broker.
+func (c *Client) recvLoop() {
+	defer c.shutdown()
+	for {
+		frame, err := c.conn.Recv()
+		if err != nil {
+			return
+		}
+		if len(frame) < 1 {
+			continue
+		}
+		switch frame[0] {
+		case frameControl:
+			ctl, err := parseControl(frame[1:])
+			if err != nil {
+				continue
+			}
+			if ctl.Kind == ctrlAck || ctl.Kind == ctrlDeny {
+				c.mu.Lock()
+				ch := c.pending[ctl.ID]
+				delete(c.pending, ctl.ID)
+				c.mu.Unlock()
+				if ch != nil {
+					ch <- ctl
+				}
+			}
+		case frameEnvelope:
+			env, err := message.Unmarshal(frame[1:])
+			if err != nil {
+				continue
+			}
+			c.dispatch(env)
+		}
+	}
+}
+
+// dispatch routes an incoming envelope to matching handlers.
+func (c *Client) dispatch(env *message.Envelope) {
+	ts := env.Topic.String()
+	c.mu.Lock()
+	hs := append([]Handler(nil), c.handlers[ts]...)
+	for _, wh := range c.wild {
+		if env.Topic.Matches(wh.tp) {
+			hs = append(hs, wh.h)
+		}
+	}
+	c.mu.Unlock()
+	if len(hs) == 0 {
+		if dh, ok := c.defaultHandler.Load().(Handler); ok && dh != nil {
+			dh(env)
+		}
+		return
+	}
+	for _, h := range hs {
+		h(env)
+	}
+}
+
+// Subscribe registers interest in a topic and waits for the broker's
+// acknowledgement, so a successful return means subsequent publishes on
+// the topic (at this broker) will be delivered.
+func (c *Client) Subscribe(tp topic.Topic, h Handler) error {
+	if tp.IsZero() {
+		return fmt.Errorf("broker: subscribe to zero topic")
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan *control, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	sub := &control{Kind: ctrlSub, ID: id, Topic: tp.String()}
+	if err := c.conn.Send(append([]byte{frameControl}, marshalControl(sub)...)); err != nil {
+		return err
+	}
+	select {
+	case ctl := <-ch:
+		if ctl == nil {
+			return ErrClientClosed
+		}
+		if ctl.Kind == ctrlDeny {
+			return fmt.Errorf("%w: %s", ErrSubscribeDenied, ctl.Reason)
+		}
+	case <-c.done:
+		return ErrClientClosed
+	case <-time.After(subscribeTimeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return fmt.Errorf("broker: subscribe to %s timed out", tp)
+	}
+	c.mu.Lock()
+	ts := tp.String()
+	c.handlers[ts] = append(c.handlers[ts], h)
+	if tp.IsWildcard() {
+		c.wild = append(c.wild, wildHandler{tp: tp, h: h})
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Unsubscribe withdraws interest in a topic and removes its handlers.
+func (c *Client) Unsubscribe(tp topic.Topic) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	ts := tp.String()
+	delete(c.handlers, ts)
+	if tp.IsWildcard() {
+		kept := c.wild[:0]
+		for _, wh := range c.wild {
+			if !wh.tp.Equal(tp) {
+				kept = append(kept, wh)
+			}
+		}
+		c.wild = kept
+	}
+	c.mu.Unlock()
+	unsub := &control{Kind: ctrlUnsub, ID: c.nextID.Add(1), Topic: ts}
+	return c.conn.Send(append([]byte{frameControl}, marshalControl(unsub)...))
+}
+
+// Publish sends an envelope into the broker network. The envelope's
+// Source must be the client's entity (brokers drop spoofed sources).
+func (c *Client) Publish(env *message.Envelope) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClientClosed
+	}
+	return c.conn.Send(append([]byte{frameEnvelope}, env.Marshal()...))
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	bye := &control{Kind: ctrlBye}
+	_ = c.conn.Send(append([]byte{frameControl}, marshalControl(bye)...))
+	err := c.conn.Close()
+	c.shutdown()
+	return err
+}
+
+// shutdown marks the client closed and releases waiters.
+func (c *Client) shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	close(c.done)
+	c.conn.Close()
+}
+
+// Done is closed when the connection drops; entities use it to detect
+// broker failure.
+func (c *Client) Done() <-chan struct{} { return c.done }

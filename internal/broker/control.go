@@ -1,0 +1,119 @@
+// Package broker implements the NaradaBrokering-style publish/subscribe
+// substrate of §2: cooperating broker nodes that route topic-addressed
+// messages between producers and consumers. Entities connect to one
+// broker and funnel messages through it; brokers propagate subscriptions
+// to each other and forward messages along links with interested
+// subscribers. Constrained topics (§3.1) are enforced at every broker,
+// and an optional message guard lets the tracing layer impose
+// authorization-token checks (§4.3) with denial-of-service accounting
+// (§5.2).
+package broker
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame kinds on the wire: a one-byte discriminator precedes either a
+// control body or a marshaled message envelope.
+const (
+	frameControl  byte = 1
+	frameEnvelope byte = 2
+)
+
+// Control message kinds.
+type ctrlKind uint8
+
+const (
+	// ctrlHello opens a connection, identifying the peer.
+	ctrlHello ctrlKind = iota + 1
+	// ctrlSub registers interest in a topic.
+	ctrlSub
+	// ctrlUnsub withdraws interest.
+	ctrlUnsub
+	// ctrlAck acknowledges a Sub/Unsub by ID (client connections only).
+	ctrlAck
+	// ctrlDeny rejects a Sub by ID with a reason.
+	ctrlDeny
+	// ctrlBye announces orderly shutdown.
+	ctrlBye
+)
+
+// control is the parsed form of a control frame.
+type control struct {
+	Kind ctrlKind
+	// Hello fields.
+	IsBroker bool
+	Name     string
+	// Sub/Unsub/Ack/Deny fields.
+	ID     uint64
+	Topic  string
+	Reason string
+}
+
+// marshalControl encodes a control frame body (without the frame kind
+// byte).
+func marshalControl(c *control) []byte {
+	var buf []byte
+	buf = append(buf, byte(c.Kind))
+	if c.IsBroker {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendString(buf, c.Name)
+	buf = binary.BigEndian.AppendUint64(buf, c.ID)
+	buf = appendString(buf, c.Topic)
+	buf = appendString(buf, c.Reason)
+	return buf
+}
+
+// parseControl decodes a control frame body.
+func parseControl(b []byte) (*control, error) {
+	c := &control{}
+	if len(b) < 2 {
+		return nil, errors.New("broker: short control frame")
+	}
+	c.Kind = ctrlKind(b[0])
+	c.IsBroker = b[1] == 1
+	rest := b[2:]
+	var err error
+	if c.Name, rest, err = readString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) < 8 {
+		return nil, errors.New("broker: truncated control frame")
+	}
+	c.ID = binary.BigEndian.Uint64(rest[:8])
+	rest = rest[8:]
+	if c.Topic, rest, err = readString(rest); err != nil {
+		return nil, err
+	}
+	if c.Reason, rest, err = readString(rest); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("broker: trailing control bytes")
+	}
+	if c.Kind < ctrlHello || c.Kind > ctrlBye {
+		return nil, fmt.Errorf("broker: unknown control kind %d", c.Kind)
+	}
+	return c, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, errors.New("broker: truncated string")
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	if n > 1<<20 || int(n) > len(b)-4 {
+		return "", nil, errors.New("broker: bad string length")
+	}
+	return string(b[4 : 4+n]), b[4+n:], nil
+}

@@ -1,0 +1,105 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// TestPersistentLinkSurvivesBrokerRestart kills a neighbouring broker
+// and restarts it at the same address; the persistent link re-dials,
+// re-synchronizes subscriptions, and routing recovers.
+func TestPersistentLinkSurvivesBrokerRestart(t *testing.T) {
+	tr := transport.NewInproc()
+
+	// b1 holds the subscriber and maintains a persistent link to the
+	// address "hub".
+	b1 := New(Config{Name: "b1"})
+	defer b1.Close()
+	l1, err := tr.Listen("edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Serve(l1)
+
+	startHub := func() *Broker {
+		hub := New(Config{Name: "hub"})
+		lh, err := tr.Listen("hub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hub.Serve(lh)
+		return hub
+	}
+	hub := startHub()
+
+	b1.ConnectToPersistent(tr, "hub", 20*time.Millisecond)
+
+	sub, err := Connect(tr, "edge", "subscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	got := make(chan *message.Envelope, 16)
+	tp := topic.MustParse("/durable/topic")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "initial propagation", func() bool { return hub.HasSubscription(tp.String()) })
+
+	pub, err := Connect(tr, "hub", "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(message.New(message.TypeData, tp, "publisher", []byte("before"))); err != nil {
+		t.Fatal(err)
+	}
+	recvEnvelope(t, got, "pre-restart delivery")
+
+	// Kill the hub; the persistent link starts re-dialing.
+	pub.Close()
+	hub.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	// Restart at the same address; the link must come back and re-sync
+	// the /durable/topic subscription.
+	hub2 := startHub()
+	defer hub2.Close()
+	waitFor(t, "post-restart propagation", func() bool { return hub2.HasSubscription(tp.String()) })
+
+	pub2, err := Connect(tr, "hub", "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub2.Close()
+	if err := pub2.Publish(message.New(message.TypeData, tp, "publisher", []byte("after"))); err != nil {
+		t.Fatal(err)
+	}
+	e := recvEnvelope(t, got, "post-restart delivery")
+	if string(e.Payload) != "after" {
+		t.Fatalf("payload %q", e.Payload)
+	}
+}
+
+// TestPersistentLinkStopsOnClose verifies the redial loop terminates
+// when the owning broker closes (no goroutine leak / busy loop).
+func TestPersistentLinkStopsOnClose(t *testing.T) {
+	tr := transport.NewInproc()
+	b := New(Config{Name: "lonely"})
+	// No listener at "void": the loop only ever fails to dial.
+	b.ConnectToPersistent(tr, "void", 5*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		b.Close() // must not hang on the redial goroutine
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with a persistent link pending")
+	}
+}

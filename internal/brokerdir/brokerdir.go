@@ -1,0 +1,414 @@
+// Package brokerdir is the broker discovery scheme of §3.2 (the paper
+// defers to Ref [3], "On the Discovery of Brokers in Distributed
+// Messaging Infrastructures"): brokers register themselves with a
+// directory, periodically refresh their registration with a load figure,
+// and entities ask the directory for a valid broker — by default the
+// least-loaded live one.
+package brokerdir
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"entitytrace/internal/transport"
+)
+
+// ErrNoBrokers reports an empty or fully expired directory.
+var ErrNoBrokers = errors.New("brokerdir: no live brokers")
+
+// DefaultTTL is how long a registration stays valid without refresh.
+const DefaultTTL = 30 * time.Second
+
+// Entry describes one registered broker.
+type Entry struct {
+	// Name is the broker's name.
+	Name string
+	// Transport and Addr tell entities how to connect.
+	Transport string
+	Addr      string
+	// Load is the broker's self-reported load (e.g. peer count).
+	Load float64
+	// RenewedAt is the last refresh time.
+	RenewedAt time.Time
+}
+
+// Directory is the in-memory registry. Safe for concurrent use.
+type Directory struct {
+	mu      sync.Mutex
+	entries map[string]*Entry
+	ttl     time.Duration
+	now     func() time.Time
+}
+
+// NewDirectory creates a directory with the given registration TTL
+// (<= 0 selects DefaultTTL).
+func NewDirectory(ttl time.Duration) *Directory {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Directory{
+		entries: make(map[string]*Entry),
+		ttl:     ttl,
+		now:     time.Now,
+	}
+}
+
+// SetTimeFunc overrides the clock, for tests.
+func (d *Directory) SetTimeFunc(f func() time.Time) { d.now = f }
+
+// Register adds or refreshes a broker registration.
+func (d *Directory) Register(name, transportName, addr string, load float64) error {
+	if name == "" || transportName == "" || addr == "" {
+		return errors.New("brokerdir: name, transport and addr are required")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[name] = &Entry{
+		Name:      name,
+		Transport: transportName,
+		Addr:      addr,
+		Load:      load,
+		RenewedAt: d.now(),
+	}
+	return nil
+}
+
+// Deregister removes a broker.
+func (d *Directory) Deregister(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, name)
+}
+
+// live returns unexpired entries, pruning dead ones.
+func (d *Directory) live() []*Entry {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []*Entry
+	for name, e := range d.entries {
+		if now.Sub(e.RenewedAt) > d.ttl {
+			delete(d.entries, name)
+			continue
+		}
+		cp := *e
+		out = append(out, &cp)
+	}
+	return out
+}
+
+// Pick returns the least-loaded live broker.
+func (d *Directory) Pick() (*Entry, error) {
+	live := d.live()
+	if len(live) == 0 {
+		return nil, ErrNoBrokers
+	}
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].Load != live[j].Load {
+			return live[i].Load < live[j].Load
+		}
+		return live[i].Name < live[j].Name
+	})
+	return live[0], nil
+}
+
+// List returns all live brokers sorted by name.
+func (d *Directory) List() []*Entry {
+	live := d.live()
+	sort.Slice(live, func(i, j int) bool { return live[i].Name < live[j].Name })
+	return live
+}
+
+// --- RPC exposure --------------------------------------------------------
+
+// Op codes and statuses for the directory's wire protocol.
+const (
+	opRegister uint8 = iota + 1
+	opDeregister
+	opPick
+	opList
+)
+
+const (
+	statusOK uint8 = iota
+	statusEmpty
+	statusBad
+)
+
+// Server exposes a Directory over a transport.
+type Server struct {
+	dir *Directory
+	mu  sync.Mutex
+	ls  []transport.Listener
+	wg  sync.WaitGroup
+}
+
+// NewServer wraps a directory.
+func NewServer(dir *Directory) *Server { return &Server{dir: dir} }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l transport.Listener) {
+	s.mu.Lock()
+	s.ls = append(s.ls, l)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				for {
+					frame, err := conn.Recv()
+					if err != nil {
+						return
+					}
+					if err := conn.Send(s.dispatch(frame)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	ls := s.ls
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) dispatch(frame []byte) []byte {
+	if len(frame) < 1 {
+		return []byte{statusBad}
+	}
+	switch frame[0] {
+	case opRegister:
+		e, err := decodeEntry(frame[1:])
+		if err != nil {
+			return []byte{statusBad}
+		}
+		if err := s.dir.Register(e.Name, e.Transport, e.Addr, e.Load); err != nil {
+			return []byte{statusBad}
+		}
+		return []byte{statusOK}
+	case opDeregister:
+		s.dir.Deregister(string(frame[1:]))
+		return []byte{statusOK}
+	case opPick:
+		e, err := s.dir.Pick()
+		if err != nil {
+			return []byte{statusEmpty}
+		}
+		return append([]byte{statusOK}, encodeEntry(e)...)
+	case opList:
+		entries := s.dir.List()
+		out := []byte{statusOK}
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(entries)))
+		out = append(out, n[:]...)
+		for _, e := range entries {
+			enc := encodeEntry(e)
+			var l [4]byte
+			binary.BigEndian.PutUint32(l[:], uint32(len(enc)))
+			out = append(out, l[:]...)
+			out = append(out, enc...)
+		}
+		return out
+	default:
+		return []byte{statusBad}
+	}
+}
+
+func encodeEntry(e *Entry) []byte {
+	var buf []byte
+	put := func(s string) {
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, s...)
+	}
+	put(e.Name)
+	put(e.Transport)
+	put(e.Addr)
+	var load [8]byte
+	binary.BigEndian.PutUint64(load[:], uint64(e.Load*1e6))
+	buf = append(buf, load[:]...)
+	return buf
+}
+
+func decodeEntry(b []byte) (*Entry, error) {
+	off := 0
+	get := func() (string, error) {
+		if off+4 > len(b) {
+			return "", errors.New("truncated")
+		}
+		n := int(binary.BigEndian.Uint32(b[off : off+4]))
+		off += 4
+		if off+n > len(b) {
+			return "", errors.New("truncated")
+		}
+		s := string(b[off : off+n])
+		off += n
+		return s, nil
+	}
+	e := &Entry{}
+	var err error
+	if e.Name, err = get(); err != nil {
+		return nil, err
+	}
+	if e.Transport, err = get(); err != nil {
+		return nil, err
+	}
+	if e.Addr, err = get(); err != nil {
+		return nil, err
+	}
+	if off+8 > len(b) {
+		return nil, errors.New("truncated")
+	}
+	e.Load = float64(binary.BigEndian.Uint64(b[off:off+8])) / 1e6
+	return e, nil
+}
+
+// ConnectBest picks the least-loaded live broker from the directory and
+// returns a transport plus address for connecting to it — the "securely
+// discover a valid broker" step of §3.2. It fails if the registered
+// transport is unknown.
+func (d *Directory) ConnectBest() (transport.Transport, string, error) {
+	e, err := d.Pick()
+	if err != nil {
+		return nil, "", err
+	}
+	tr, err := transport.New(e.Transport)
+	if err != nil {
+		return nil, "", err
+	}
+	return tr, e.Addr, nil
+}
+
+// Client talks to a directory server.
+type Client struct {
+	tr   transport.Transport
+	addr string
+}
+
+// NewClient targets the directory at addr.
+func NewClient(tr transport.Transport, addr string) *Client {
+	return &Client{tr: tr, addr: addr}
+}
+
+func (c *Client) call(frame []byte) ([]byte, error) {
+	conn, err := c.tr.Dial(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.Send(frame); err != nil {
+		return nil, err
+	}
+	return conn.Recv()
+}
+
+// Register announces a broker.
+func (c *Client) Register(name, transportName, addr string, load float64) error {
+	e := &Entry{Name: name, Transport: transportName, Addr: addr, Load: load}
+	resp, err := c.call(append([]byte{opRegister}, encodeEntry(e)...))
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != statusOK {
+		return errors.New("brokerdir: register rejected")
+	}
+	return nil
+}
+
+// Deregister removes a broker.
+func (c *Client) Deregister(name string) error {
+	resp, err := c.call(append([]byte{opDeregister}, name...))
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != statusOK {
+		return errors.New("brokerdir: deregister rejected")
+	}
+	return nil
+}
+
+// Pick returns the least-loaded live broker.
+func (c *Client) Pick() (*Entry, error) {
+	resp, err := c.call([]byte{opPick})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 1 {
+		return nil, errors.New("brokerdir: empty response")
+	}
+	if resp[0] == statusEmpty {
+		return nil, ErrNoBrokers
+	}
+	if resp[0] != statusOK {
+		return nil, errors.New("brokerdir: pick rejected")
+	}
+	return decodeEntry(resp[1:])
+}
+
+// ConnectBest is the client-side counterpart of Directory.ConnectBest:
+// pick the least-loaded live broker over RPC and return how to reach it.
+func (c *Client) ConnectBest() (transport.Transport, string, error) {
+	e, err := c.Pick()
+	if err != nil {
+		return nil, "", err
+	}
+	tr, err := transport.New(e.Transport)
+	if err != nil {
+		return nil, "", err
+	}
+	return tr, e.Addr, nil
+}
+
+// List fetches all live brokers.
+func (c *Client) List() ([]*Entry, error) {
+	resp, err := c.call([]byte{opList})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) < 5 || resp[0] != statusOK {
+		return nil, errors.New("brokerdir: list rejected")
+	}
+	n := binary.BigEndian.Uint32(resp[1:5])
+	if n > 1<<16 {
+		return nil, errors.New("brokerdir: absurd list length")
+	}
+	out := make([]*Entry, 0, n)
+	b := resp[5:]
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 4 {
+			return nil, errors.New("brokerdir: truncated list")
+		}
+		l := int(binary.BigEndian.Uint32(b[:4]))
+		b = b[4:]
+		if len(b) < l {
+			return nil, errors.New("brokerdir: truncated entry")
+		}
+		e, err := decodeEntry(b[:l])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		b = b[l:]
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+// Package clock provides an abstraction over wall-clock time so that
+// components which schedule pings, expire tokens or detect failures can be
+// tested deterministically. Production code uses Real; tests use Fake,
+// which only advances when told to.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the subset of time functionality used throughout the tracker.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that receives the current time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// NewTimer returns a timer that fires after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer mirrors time.Timer for both real and fake clocks.
+type Timer interface {
+	// C returns the channel on which the expiry is delivered.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing. It reports whether the timer
+	// was still pending.
+	Stop() bool
+	// Reset re-arms the timer with duration d.
+	Reset(d time.Duration) bool
+}
+
+// Real is a Clock backed by the time package.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time        { return r.t.C }
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+// Fake is a manually advanced Clock. The zero value is not usable; create
+// one with NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	stopped  bool
+}
+
+// NewFake returns a Fake clock set to start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.newWaiter(d).ch
+}
+
+// Sleep implements Clock. It blocks until the fake time has been advanced
+// past the deadline by another goroutine.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+// NewTimer implements Clock.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return &fakeTimer{f: f, w: f.newWaiter(d)}
+}
+
+func (f *Fake) newWaiter(d time.Duration) *fakeWaiter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{deadline: f.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		w.ch <- f.now
+		return w
+	}
+	f.waiters = append(f.waiters, w)
+	return w
+}
+
+// Advance moves the fake time forward by d, firing any timers whose
+// deadlines are reached.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	now := f.now
+	var remaining []*fakeWaiter
+	var fired []*fakeWaiter
+	for _, w := range f.waiters {
+		if w.stopped {
+			continue
+		}
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	f.waiters = remaining
+	f.mu.Unlock()
+	for _, w := range fired {
+		select {
+		case w.ch <- now:
+		default:
+		}
+	}
+}
+
+// Set jumps the fake clock to t (which must not be earlier than the
+// current fake time) and fires due timers.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	d := t.Sub(f.now)
+	f.mu.Unlock()
+	if d > 0 {
+		f.Advance(d)
+	}
+}
+
+// PendingTimers reports how many unfired, unstopped timers exist. Useful
+// in tests to assert scheduling behaviour.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+type fakeTimer struct {
+	f *Fake
+	w *fakeWaiter
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	was := !t.w.stopped
+	t.w.stopped = true
+	return was
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.f.mu.Lock()
+	was := !t.w.stopped
+	t.w.stopped = true
+	t.f.mu.Unlock()
+	t.w = t.f.newWaiter(d)
+	return was
+}

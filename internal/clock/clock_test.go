@@ -1,0 +1,193 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := Real{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	c := Real{}
+	timer := c.NewTimer(time.Millisecond)
+	select {
+	case <-timer.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestFakeNowAndAdvance(t *testing.T) {
+	start := time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC)
+	f := NewFake(start)
+	if got := f.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after Advance, Now() = %v", got)
+	}
+}
+
+func TestFakeAfterFiresAtDeadline(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any advance")
+	default:
+	}
+	f.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case got := <-ch:
+		want := time.Unix(10, 0)
+		if !got.Equal(want) {
+			t.Fatalf("After delivered %v, want %v", got, want)
+		}
+	default:
+		t.Fatal("After did not fire at deadline")
+	}
+}
+
+func TestFakeAfterNonPositiveFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	select {
+	case <-f.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	timer := f.NewTimer(5 * time.Second)
+	if !timer.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	f.Advance(10 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeTimerReset(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	timer := f.NewTimer(5 * time.Second)
+	timer.Reset(20 * time.Second)
+	f.Advance(10 * time.Second)
+	select {
+	case <-timer.C():
+		t.Fatal("reset timer fired at original deadline")
+	default:
+	}
+	f.Advance(10 * time.Second)
+	select {
+	case <-timer.C():
+	default:
+		t.Fatal("reset timer did not fire at new deadline")
+	}
+}
+
+func TestFakePendingTimers(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	t1 := f.NewTimer(time.Second)
+	f.NewTimer(2 * time.Second)
+	if got := f.PendingTimers(); got != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", got)
+	}
+	t1.Stop()
+	if got := f.PendingTimers(); got != 1 {
+		t.Fatalf("PendingTimers after stop = %d, want 1", got)
+	}
+	f.Advance(5 * time.Second)
+	if got := f.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers after advance = %d, want 0", got)
+	}
+}
+
+func TestFakeSet(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	ch := f.After(30 * time.Second)
+	f.Set(time.Unix(60, 0))
+	if got := f.Now(); !got.Equal(time.Unix(60, 0)) {
+		t.Fatalf("Now after Set = %v", got)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set did not fire due timer")
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register its waiter.
+	deadline := time.After(2 * time.Second)
+	for f.PendingTimers() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sleeper never registered")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestRealAfterSleepAndTimerOps(t *testing.T) {
+	c := Real{}
+	start := time.Now()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+	c.Sleep(time.Millisecond)
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("Real timers returned too quickly")
+	}
+	timer := c.NewTimer(time.Hour)
+	if !timer.Stop() {
+		t.Fatal("Stop on pending real timer reported false")
+	}
+	timer.Reset(time.Millisecond)
+	select {
+	case <-timer.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("reset real timer never fired")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/topic"
+)
+
+// traceSigHash is the digest used throughout the trace path; the paper
+// uses 1024-bit RSA with 160-bit SHA-1 (§6).
+const traceSigHash = secure.SHA1
+
+// Trace key parameters announced during key distribution (§5.1): the
+// paper uses 192-bit AES.
+const (
+	TraceKeyAlgorithm = "AES-192-CBC"
+	TraceKeyPadding   = "PKCS7"
+)
+
+// registrationResponseTopic is where the broker answers a registration:
+// the requesting entity is the constrainer, so only it can subscribe,
+// and the request ID scopes the conversation.
+func registrationResponseTopic(entity ident.EntityID, reqID ident.RequestID) (topic.Topic, error) {
+	if err := entity.Validate(); err != nil {
+		return topic.Topic{}, err
+	}
+	return topic.Parse("/Constrained/Traces/" + string(entity) + "/Subscribe-Only/" +
+		topic.SuffixRegistration + "/" + reqID.String())
+}
+
+// keyDeliveryTopic is where a tracker receives its sealed trace key
+// (§5.1); the tracker is the constrainer, so only it can subscribe.
+func keyDeliveryTopic(tracker ident.EntityID, traceTopic ident.UUID) (topic.Topic, error) {
+	if err := tracker.Validate(); err != nil {
+		return topic.Topic{}, err
+	}
+	return topic.Parse("/Constrained/Traces/" + string(tracker) + "/Subscribe-Only/Keys/" +
+		traceTopic.String())
+}
+
+// Event is a decoded, verified trace delivered to tracker callbacks.
+type Event struct {
+	// Type is the Table 1 trace type.
+	Type message.Type
+	// Class is the derivative-topic class the trace arrived on.
+	Class topic.TraceClass
+	// Entity is the traced entity the event concerns.
+	Entity ident.EntityID
+	// TraceTopic is the topic UUID.
+	TraceTopic ident.UUID
+	// Detail is the broker's free-form annotation.
+	Detail string
+	// State, Load and Net carry the typed body when the trace type has
+	// one.
+	State *message.StateReport
+	Load  *message.LoadReport
+	Net   *message.NetworkReport
+	// Encrypted reports whether the trace arrived confidentiality-
+	// protected (§5.1).
+	Encrypted bool
+	// ReceivedAt is the local arrival time; SentAt is the broker's
+	// publication timestamp.
+	ReceivedAt time.Time
+	SentAt     time.Time
+}
+
+// String renders the event compactly for logs and examples.
+func (e Event) String() string {
+	return fmt.Sprintf("%s entity=%s detail=%q", e.Type, e.Entity, e.Detail)
+}
+
+// StateForRound alternates READY and RECOVERING; measurement loops use
+// it so every SetState is a genuine transition.
+func StateForRound(i int) message.EntityState {
+	if i%2 == 0 {
+		return message.StateReady
+	}
+	return message.StateRecovering
+}
+
+// decodeTraceEvent builds an Event from a verified (and, if necessary,
+// decrypted) trace payload.
+func decodeTraceEvent(env *message.Envelope, class topic.TraceClass, payload []byte, encrypted bool, now time.Time) (Event, error) {
+	te, err := message.UnmarshalTraceEvent(payload)
+	if err != nil {
+		return Event{}, fmt.Errorf("core: trace event payload: %w", err)
+	}
+	ev := Event{
+		Type:       env.Type,
+		Class:      class,
+		Entity:     te.Entity,
+		TraceTopic: te.TraceTopic,
+		Detail:     te.Detail,
+		Encrypted:  encrypted,
+		ReceivedAt: now,
+		SentAt:     env.Time(),
+	}
+	switch env.Type {
+	case message.TraceInitializing, message.TraceRecovering, message.TraceReady, message.TraceShutdown:
+		if len(te.Body) > 0 {
+			if sr, err := message.UnmarshalStateReport(te.Body); err == nil {
+				ev.State = sr
+			}
+		}
+	case message.TraceLoadInformation:
+		if len(te.Body) > 0 {
+			if lr, err := message.UnmarshalLoadReport(te.Body); err == nil {
+				ev.Load = lr
+			}
+		}
+	case message.TraceNetworkMetrics:
+		if len(te.Body) > 0 {
+			if nr, err := message.UnmarshalNetworkReport(te.Body); err == nil {
+				ev.Net = nr
+			}
+		}
+	}
+	return ev, nil
+}

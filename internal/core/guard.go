@@ -1,0 +1,183 @@
+// Package core implements the paper's tracing scheme on top of the
+// substrates: the traced entity runtime (§3.1–§3.2), the broker-side
+// trace manager with failure detection and trace publication (§3.3,
+// §3.5), the tracker runtime (§3.4), authorization-token enforcement
+// (§4), and the confidentiality and signing-cost machinery (§5.1, §6.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+)
+
+// TraceSigHash is the digest used on the trace path (the paper signs
+// with 160-bit SHA-1, §6).
+const TraceSigHash = traceSigHash
+
+// AdResolver resolves a trace-topic UUID to its advertisement so
+// verifiers can learn the topic owner's public key.
+type AdResolver interface {
+	ResolveAd(id ident.UUID) (*tdn.Advertisement, error)
+}
+
+// ResolverFunc adapts a function to AdResolver.
+type ResolverFunc func(id ident.UUID) (*tdn.Advertisement, error)
+
+// ResolveAd implements AdResolver.
+func (f ResolverFunc) ResolveAd(id ident.UUID) (*tdn.Advertisement, error) { return f(id) }
+
+// ErrUnknownTopic reports an unresolvable trace topic.
+var ErrUnknownTopic = errors.New("core: unknown trace topic")
+
+// TDNResolver resolves advertisements through a TDN client.
+func TDNResolver(c *tdn.Client) AdResolver {
+	return ResolverFunc(func(id ident.UUID) (*tdn.Advertisement, error) {
+		ad, err := c.Lookup(id)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrUnknownTopic, err)
+		}
+		return ad, nil
+	})
+}
+
+// NodeResolver resolves advertisements from an in-process TDN node.
+func NodeResolver(n *tdn.Node) AdResolver {
+	return ResolverFunc(func(id ident.UUID) (*tdn.Advertisement, error) {
+		ad, ok := n.Lookup(id)
+		if !ok {
+			return nil, ErrUnknownTopic
+		}
+		return ad, nil
+	})
+}
+
+// CachingResolver memoizes another resolver; brokers route many traces
+// per topic, so the TDN lookup should happen once.
+type CachingResolver struct {
+	inner AdResolver
+	mu    sync.RWMutex
+	cache map[ident.UUID]*tdn.Advertisement
+}
+
+// NewCachingResolver wraps inner with an unbounded memo (topics are
+// UUIDs created once per traced entity; the population is small).
+func NewCachingResolver(inner AdResolver) *CachingResolver {
+	return &CachingResolver{inner: inner, cache: make(map[ident.UUID]*tdn.Advertisement)}
+}
+
+// ResolveAd implements AdResolver.
+func (cr *CachingResolver) ResolveAd(id ident.UUID) (*tdn.Advertisement, error) {
+	cr.mu.RLock()
+	ad, ok := cr.cache[id]
+	cr.mu.RUnlock()
+	if ok {
+		return ad, nil
+	}
+	ad, err := cr.inner.ResolveAd(id)
+	if err != nil {
+		return nil, err
+	}
+	cr.mu.Lock()
+	cr.cache[id] = ad
+	cr.mu.Unlock()
+	return ad, nil
+}
+
+// Put primes the cache; the hosting broker inserts advertisements it
+// learned from registrations.
+func (cr *CachingResolver) Put(ad *tdn.Advertisement) {
+	cr.mu.Lock()
+	cr.cache[ad.TopicID] = ad
+	cr.mu.Unlock()
+}
+
+// traceTopicOf inspects a topic and, if it is a broker Publish-Only
+// trace derivative topic (Table 2), extracts the trace-topic UUID.
+func traceTopicOf(tp topic.Topic) (ident.UUID, bool) {
+	if !topic.IsConstrained(tp) {
+		return ident.Nil, false
+	}
+	c, err := topic.ParseConstrained(tp)
+	if err != nil {
+		return ident.Nil, false
+	}
+	if c.EventType != topic.EventTypeTraces || c.Constrainer != topic.ConstrainerBroker ||
+		c.Actions != topic.ActionPublish || len(c.Suffixes) < 2 {
+		return ident.Nil, false
+	}
+	id, err := ident.ParseUUID(c.Suffixes[0])
+	if err != nil {
+		return ident.Nil, false
+	}
+	return id, true
+}
+
+// VerifyTrace performs the full §4.3 validation of a broker-published
+// trace message: the attached authorization token must be signed by the
+// owner of the trace topic (resolved through the advertisement), must
+// not be expired (within the clock-skew tolerance), must delegate
+// publish rights, and the envelope must be signed with the token's
+// randomly generated delegate key.
+func VerifyTrace(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
+	verifier *credential.Verifier, now time.Time, skew time.Duration) error {
+	if len(env.Token) == 0 {
+		return errors.New("core: trace message lacks authorization token")
+	}
+	tok, err := token.Unmarshal(env.Token)
+	if err != nil {
+		return fmt.Errorf("core: trace token: %w", err)
+	}
+	if tok.TraceTopic != traceTopic {
+		return fmt.Errorf("core: token topic %v does not match message topic %v", tok.TraceTopic, traceTopic)
+	}
+	ad, err := resolver.ResolveAd(traceTopic)
+	if err != nil {
+		return err
+	}
+	ownerPub, err := ad.Verify(verifier, now)
+	if err != nil {
+		return fmt.Errorf("core: advertisement: %w", err)
+	}
+	if tok.Owner != ad.Owner {
+		return fmt.Errorf("core: token owner %q is not topic owner %q", tok.Owner, ad.Owner)
+	}
+	delegatePub, err := tok.Verify(ownerPub, now, skew, token.RightPublish)
+	if err != nil {
+		return fmt.Errorf("core: token: %w", err)
+	}
+	if err := env.VerifySignature(delegatePub, traceSigHash); err != nil {
+		return fmt.Errorf("core: delegate signature: %w", err)
+	}
+	return nil
+}
+
+// NewTokenGuard builds the broker.Guard of §4.3/§5.2: messages on trace
+// derivative topics must carry a valid authorization token or they are
+// "discarded and not routed within the network". Non-trace topics pass
+// through.
+func NewTokenGuard(resolver AdResolver, verifier *credential.Verifier,
+	now func() time.Time, skew time.Duration) broker.Guard {
+	if now == nil {
+		now = time.Now
+	}
+	if skew <= 0 {
+		skew = token.DefaultClockSkew
+	}
+	return func(env *message.Envelope, from topic.Principal) error {
+		tt, isTrace := traceTopicOf(env.Topic)
+		if !isTrace {
+			return nil
+		}
+		return VerifyTrace(env, tt, resolver, verifier, now(), skew)
+	}
+}

@@ -1,0 +1,876 @@
+package core
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/clock"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/failure"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+)
+
+// BrokerConfig configures a TraceBroker.
+type BrokerConfig struct {
+	// Broker is the pub/sub node this trace manager lives in.
+	Broker *broker.Broker
+	// Identity is the broker's credential (with private key); the
+	// registration response carries its certificate so entities can seal
+	// keys to it (§3.2, §6.3).
+	Identity *credential.Identity
+	// Verifier validates entity and tracker credentials.
+	Verifier *credential.Verifier
+	// Resolver resolves trace topics for token validation; registrations
+	// prime it automatically when it is a *CachingResolver.
+	Resolver AdResolver
+	// Clock drives ping scheduling (clock.Real in production).
+	Clock clock.Clock
+	// Detector tunes failure detection (zero value selects
+	// failure.DefaultConfig).
+	Detector failure.Config
+	// GaugeInterval is how often GUAGE_INTEREST probes are published
+	// (§3.5). Zero selects 10 s.
+	GaugeInterval time.Duration
+	// InterestTTL is how long a tracker's interest registration lasts
+	// without renewal. Zero selects 3 GaugeIntervals.
+	InterestTTL time.Duration
+	// NetMetricsEvery publishes NETWORK_METRICS after every n-th answered
+	// ping. Zero selects 10.
+	NetMetricsEvery int
+	// Skew is the token-validation clock-skew tolerance (§4.3).
+	Skew time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// TraceBroker performs the broker-side responsibilities of §3.3: it
+// accepts trace registrations, polls traced entities, detects failures,
+// gauges tracker interest and publishes traces on the Table 2 topics.
+type TraceBroker struct {
+	cfg      BrokerConfig
+	signer   *secure.Signer // broker credential signer (responses)
+	caching  *CachingResolver
+	cancelRg func()
+
+	mu       sync.Mutex
+	sessions map[ident.SessionID]*session
+	byEntity map[ident.EntityID]ident.SessionID
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// session is the broker-side state for one traced entity (§3.2-§3.3).
+type session struct {
+	tb *TraceBroker
+
+	entity     ident.EntityID
+	entityPub  *rsa.PublicKey
+	entityHash secure.Hash
+	traceTopic ident.UUID
+	sessionID  ident.SessionID
+	ad         *tdn.Advertisement
+
+	det *failure.Detector
+
+	secured   bool // §5.1 requested
+	symmetric bool // §6.3 requested
+
+	mu         sync.Mutex
+	chanKey    *secure.SymmetricKey // §6.3 entity channel key
+	traceKey   *secure.SymmetricKey // §5.1 trace key
+	tokenBytes []byte
+	delegate   *secure.Signer
+	active     bool
+	silent     bool
+	ended      bool
+	state      message.EntityState
+	answered   int
+	pingBytes  uint64 // wire bytes of the last ping/response exchange
+	// interest[class][tracker] = expiry
+	interest map[topic.TraceClass]map[ident.EntityID]time.Time
+	// keyDelivered tracks which trackers already hold the trace key.
+	keyDelivered map[ident.EntityID]bool
+
+	entityToBroker topic.Topic
+	brokerToEntity topic.Topic
+	cancelSubs     []func()
+	done           chan struct{}
+}
+
+// NewTraceBroker attaches a trace manager to a broker node. Call Start
+// to begin accepting registrations.
+func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
+	if cfg.Broker == nil || cfg.Identity == nil || cfg.Identity.Private == nil || cfg.Verifier == nil {
+		return nil, errors.New("core: TraceBroker needs Broker, Identity (with key) and Verifier")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Detector == (failure.Config{}) {
+		cfg.Detector = failure.DefaultConfig()
+	}
+	if err := cfg.Detector.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.GaugeInterval <= 0 {
+		cfg.GaugeInterval = 10 * time.Second
+	}
+	if cfg.InterestTTL <= 0 {
+		cfg.InterestTTL = 3 * cfg.GaugeInterval
+	}
+	if cfg.NetMetricsEvery <= 0 {
+		cfg.NetMetricsEvery = 10
+	}
+	if cfg.Skew <= 0 {
+		cfg.Skew = token.DefaultClockSkew
+	}
+	signer, err := secure.NewSigner(cfg.Identity.Private, secure.SHA256)
+	if err != nil {
+		return nil, err
+	}
+	tb := &TraceBroker{
+		cfg:      cfg,
+		signer:   signer,
+		sessions: make(map[ident.SessionID]*session),
+		byEntity: make(map[ident.EntityID]ident.SessionID),
+	}
+	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
+		tb.caching = cr
+	} else if cfg.Resolver == nil {
+		// Hosting-broker-local resolver fed purely by registrations.
+		tb.caching = NewCachingResolver(ResolverFunc(func(ident.UUID) (*tdn.Advertisement, error) {
+			return nil, ErrUnknownTopic
+		}))
+		tb.cfg.Resolver = tb.caching
+	}
+	return tb, nil
+}
+
+// Resolver returns the resolver the trace broker validates tokens with;
+// pass it to NewTokenGuard for the owning broker node.
+func (tb *TraceBroker) Resolver() AdResolver { return tb.cfg.Resolver }
+
+// Start subscribes to the registration topic (§3.2) and begins watching
+// for client disconnects (§3.3 DISCONNECT traces).
+func (tb *TraceBroker) Start() {
+	tb.cancelRg = tb.cfg.Broker.SubscribeLocal(topic.Registration(), tb.handleRegistration)
+	tb.cfg.Broker.OnClientDisconnect(tb.handleDisconnect)
+}
+
+// handleDisconnect publishes a DISCONNECT trace when a traced entity's
+// broker connection drops, so trackers learn immediately; the adaptive
+// ping machinery then confirms with FAILURE_SUSPICION/FAILED (or the
+// entity reconnects and re-registers). Sessions that already ended
+// (graceful SHUTDOWN closes the connection too) publish nothing.
+func (tb *TraceBroker) handleDisconnect(entity ident.EntityID) {
+	tb.mu.Lock()
+	sid, ok := tb.byEntity[entity]
+	var s *session
+	if ok {
+		s = tb.sessions[sid]
+	}
+	tb.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	ended, active := s.ended, s.active
+	s.mu.Unlock()
+	if ended || !active {
+		return
+	}
+	s.publishTraceAlways(message.TraceDisconnect, topic.ClassChangeNotifications,
+		"entity connection dropped", nil)
+}
+
+// Close ends every session and stops the manager.
+func (tb *TraceBroker) Close() {
+	tb.mu.Lock()
+	if tb.closed {
+		tb.mu.Unlock()
+		return
+	}
+	tb.closed = true
+	sessions := make([]*session, 0, len(tb.sessions))
+	for _, s := range tb.sessions {
+		sessions = append(sessions, s)
+	}
+	tb.mu.Unlock()
+	if tb.cancelRg != nil {
+		tb.cancelRg()
+	}
+	for _, s := range sessions {
+		s.end("", false)
+	}
+	tb.wg.Wait()
+}
+
+// SessionCount reports active sessions.
+func (tb *TraceBroker) SessionCount() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return len(tb.sessions)
+}
+
+func (tb *TraceBroker) logf(format string, args ...any) {
+	if tb.cfg.Logf != nil {
+		tb.cfg.Logf(format, args...)
+	}
+}
+
+// handleRegistration implements the §3.2 broker-side registration flow.
+func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
+	reg, err := message.UnmarshalRegistration(env.Payload)
+	if err != nil {
+		tb.logf("registration: bad payload: %v", err)
+		return
+	}
+	respond := func(code uint16, detail string) {
+		tp, terr := registrationResponseTopic(reg.Entity, env.RequestID)
+		if terr != nil {
+			return
+		}
+		er := &message.ErrorReport{Code: code, Detail: detail}
+		out := message.New(message.TypeError, tp, "", er.Marshal())
+		out.RequestID = env.RequestID
+		_ = tb.cfg.Broker.Publish(out)
+	}
+	// Verify the credential chains to the CA and names the entity.
+	cred := &credential.Credential{Entity: reg.Entity, Cert: reg.CertDER}
+	entityPub, err := tb.cfg.Verifier.Verify(cred)
+	if err != nil {
+		tb.logf("registration from %s: credential: %v", reg.Entity, err)
+		respond(message.ErrCodeBadCredential, err.Error())
+		return
+	}
+	// Verify proof of private-key possession: decrypt the signature with
+	// the entity's public key and compare digests (§3.2).
+	entityHash := secure.SHA1
+	if err := env.VerifySignature(entityPub, secure.SHA1); err != nil {
+		if err2 := env.VerifySignature(entityPub, secure.SHA256); err2 != nil {
+			tb.logf("registration from %s: signature: %v", reg.Entity, err)
+			respond(message.ErrCodeBadSignature, err.Error())
+			return
+		}
+		entityHash = secure.SHA256
+	}
+	// Verify the trace-topic advertisement establishes provenance.
+	ad, err := tdn.UnmarshalAdvertisement(reg.Advertisement)
+	if err != nil {
+		respond(message.ErrCodeBadAdvertisement, err.Error())
+		return
+	}
+	now := tb.cfg.Clock.Now()
+	if _, err := ad.Verify(tb.cfg.Verifier, now); err != nil {
+		tb.logf("registration from %s: advertisement: %v", reg.Entity, err)
+		respond(message.ErrCodeBadAdvertisement, err.Error())
+		return
+	}
+	if ad.Owner != reg.Entity {
+		respond(message.ErrCodeUnauthorized,
+			fmt.Sprintf("advertisement owned by %q, registration from %q", ad.Owner, reg.Entity))
+		return
+	}
+
+	det, err := failure.NewDetector(tb.cfg.Detector, now)
+	if err != nil {
+		respond(message.ErrCodeInternal, err.Error())
+		return
+	}
+	s := &session{
+		tb:           tb,
+		entity:       reg.Entity,
+		entityPub:    entityPub,
+		entityHash:   entityHash,
+		traceTopic:   ad.TopicID,
+		sessionID:    ident.NewSessionID(),
+		ad:           ad,
+		det:          det,
+		secured:      reg.SecureTraces,
+		symmetric:    reg.SymmetricChannel,
+		state:        message.StateInitializing,
+		interest:     make(map[topic.TraceClass]map[ident.EntityID]time.Time),
+		keyDelivered: make(map[ident.EntityID]bool),
+		done:         make(chan struct{}),
+	}
+	s.entityToBroker = topic.EntityToBrokerSession(s.traceTopic, s.sessionID)
+	var terr error
+	s.brokerToEntity, terr = topic.BrokerToEntitySession(s.entity, s.traceTopic, s.sessionID)
+	if terr != nil {
+		respond(message.ErrCodeInternal, terr.Error())
+		return
+	}
+
+	tb.mu.Lock()
+	if tb.closed {
+		tb.mu.Unlock()
+		return
+	}
+	// An entity that re-registers replaces its previous session.
+	if old, exists := tb.byEntity[s.entity]; exists {
+		if oldSess, ok := tb.sessions[old]; ok {
+			tb.mu.Unlock()
+			oldSess.end("re-registration", false)
+			tb.mu.Lock()
+		}
+	}
+	tb.sessions[s.sessionID] = s
+	tb.byEntity[s.entity] = s.sessionID
+	tb.mu.Unlock()
+
+	if tb.caching != nil {
+		tb.caching.Put(ad)
+	}
+
+	// The broker subscribes to the entity->broker session topic and to
+	// the gauge-interest response topic for this trace topic.
+	s.cancelSubs = append(s.cancelSubs,
+		tb.cfg.Broker.SubscribeLocal(s.entityToBroker, s.handleEntityMessage),
+		tb.cfg.Broker.SubscribeLocal(topic.GaugeInterestResponse(s.traceTopic), s.handleInterestResponse),
+	)
+
+	// Respond with the sealed session identifier and broker credential.
+	resp := &message.RegistrationResponse{
+		RequestID:  env.RequestID,
+		SessionID:  s.sessionID,
+		BrokerCert: tb.cfg.Identity.Credential.Cert,
+	}
+	sealed, err := secure.Seal(entityPub, resp.Marshal())
+	if err != nil {
+		respond(message.ErrCodeInternal, err.Error())
+		return
+	}
+	wire, err := sealed.Marshal()
+	if err != nil {
+		respond(message.ErrCodeInternal, err.Error())
+		return
+	}
+	respTopic, err := registrationResponseTopic(reg.Entity, env.RequestID)
+	if err != nil {
+		return
+	}
+	out := message.New(message.TypeRegistrationResponse, respTopic, "", wire)
+	out.RequestID = env.RequestID
+	if err := tb.cfg.Broker.Publish(out); err != nil {
+		tb.logf("registration response publish: %v", err)
+	}
+	tb.logf("registered %s session=%s topic=%s", s.entity, s.sessionID, s.traceTopic)
+}
+
+// removeSession drops bookkeeping for an ended session.
+func (tb *TraceBroker) removeSession(s *session) {
+	tb.mu.Lock()
+	if cur, ok := tb.sessions[s.sessionID]; ok && cur == s {
+		delete(tb.sessions, s.sessionID)
+		if tb.byEntity[s.entity] == s.sessionID {
+			delete(tb.byEntity, s.entity)
+		}
+	}
+	tb.mu.Unlock()
+}
+
+// --- session message handling -------------------------------------------
+
+// openPayload authenticates and (if needed) decrypts an entity message:
+// either the envelope is signed with the entity's credential key (§4.2)
+// or, under the §6.3 optimization, the payload is authenticated-encrypted
+// under the shared channel key.
+func (s *session) openPayload(env *message.Envelope) ([]byte, error) {
+	if env.Flags&message.FlagEncrypted != 0 {
+		s.mu.Lock()
+		key := s.chanKey
+		s.mu.Unlock()
+		if key == nil {
+			return nil, errors.New("core: encrypted entity message before channel key delivery")
+		}
+		return key.DecryptAuthenticated(env.Payload)
+	}
+	if err := env.VerifySignature(s.entityPub, s.entityHash); err != nil {
+		return nil, err
+	}
+	return env.Payload, nil
+}
+
+// handleEntityMessage processes messages the traced entity publishes on
+// its session topic.
+func (s *session) handleEntityMessage(env *message.Envelope) {
+	if env.Source != s.entity {
+		return
+	}
+	payload, err := s.openPayload(env)
+	if err != nil {
+		s.tb.logf("session %s: reject message from %s: %v", s.sessionID, env.Source, err)
+		return
+	}
+	now := s.tb.cfg.Clock.Now()
+	switch env.Type {
+	case message.TypePingResponse:
+		s.onPingResponse(payload, now)
+	case message.TypeStateReport:
+		s.onStateReport(payload, now)
+	case message.TypeLoadReport:
+		s.onLoadReport(payload, now)
+	case message.TypeDelegation:
+		s.onDelegation(payload)
+	case message.TypeKeyDelivery:
+		s.onKeyDelivery(payload)
+	case message.TypeSilentMode:
+		s.setSilent(true)
+	case message.TypeResume:
+		s.setSilent(false)
+	default:
+		s.tb.logf("session %s: unexpected message type %v", s.sessionID, env.Type)
+	}
+}
+
+// onDelegation installs the §4.3 authorization token and delegate key;
+// the first delegation activates the session (pings + JOIN trace).
+func (s *session) onDelegation(payload []byte) {
+	sealed, err := secure.UnmarshalSealedPayload(payload)
+	if err != nil {
+		s.tb.logf("session %s: delegation: %v", s.sessionID, err)
+		return
+	}
+	body, err := sealed.Open(s.tb.cfg.Identity.Private)
+	if err != nil {
+		s.tb.logf("session %s: delegation open: %v", s.sessionID, err)
+		return
+	}
+	del, err := message.UnmarshalDelegation(body)
+	if err != nil {
+		s.tb.logf("session %s: delegation decode: %v", s.sessionID, err)
+		return
+	}
+	tok, err := token.Unmarshal(del.TokenBytes)
+	if err != nil {
+		s.tb.logf("session %s: delegation token: %v", s.sessionID, err)
+		return
+	}
+	if tok.TraceTopic != s.traceTopic || tok.Owner != s.entity {
+		s.tb.logf("session %s: delegation for wrong topic/owner", s.sessionID)
+		return
+	}
+	if _, err := tok.Verify(s.entityPub, s.tb.cfg.Clock.Now(), s.tb.cfg.Skew, token.RightPublish); err != nil {
+		s.tb.logf("session %s: delegation verify: %v", s.sessionID, err)
+		return
+	}
+	priv, err := secure.ParsePrivateKey(del.DelegatePrivDER)
+	if err != nil {
+		s.tb.logf("session %s: delegate key: %v", s.sessionID, err)
+		return
+	}
+	delegate, err := secure.NewSigner(priv, traceSigHash)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.tokenBytes = del.TokenBytes
+	s.delegate = delegate
+	first := !s.active
+	s.active = true
+	s.mu.Unlock()
+	if first {
+		// "The first time a traced entity registers with a broker, the
+		// broker issues a JOIN trace" (§3.3).
+		s.publishTrace(message.TraceJoin, topic.ClassChangeNotifications, "entity requested tracing", nil)
+		s.tb.wg.Add(1)
+		go func() {
+			defer s.tb.wg.Done()
+			s.pingLoop()
+		}()
+		s.tb.wg.Add(1)
+		go func() {
+			defer s.tb.wg.Done()
+			s.gaugeLoop()
+		}()
+	}
+}
+
+// onKeyDelivery installs the §6.3 channel key or the §5.1 trace key.
+func (s *session) onKeyDelivery(payload []byte) {
+	sealed, err := secure.UnmarshalSealedPayload(payload)
+	if err != nil {
+		return
+	}
+	body, err := sealed.Open(s.tb.cfg.Identity.Private)
+	if err != nil {
+		s.tb.logf("session %s: key delivery open: %v", s.sessionID, err)
+		return
+	}
+	tk, err := message.UnmarshalTraceKey(body)
+	if err != nil {
+		s.tb.logf("session %s: key decode: %v", s.sessionID, err)
+		return
+	}
+	key, err := secure.SymmetricKeyFromBytes(tk.Key)
+	if err != nil {
+		s.tb.logf("session %s: key material: %v", s.sessionID, err)
+		return
+	}
+	s.mu.Lock()
+	switch tk.Purpose {
+	case message.PurposeChannel:
+		s.chanKey = key
+	case message.PurposeTrace:
+		s.traceKey = key
+	}
+	s.mu.Unlock()
+}
+
+// onPingResponse feeds the detector and publishes ALLS_WELL (§3.3).
+func (s *session) onPingResponse(payload []byte, now time.Time) {
+	pr, err := message.UnmarshalPingResponse(payload)
+	if err != nil {
+		return
+	}
+	rtt, ok := s.det.HandleResponse(pr.Number, now)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.state = pr.State
+	s.answered++
+	// Rough link accounting: a ping/response exchange carries roughly
+	// twice the response payload plus envelope framing.
+	s.pingBytes = uint64(2*len(payload)) + 256
+	pingBytes := s.pingBytes
+	publishNet := s.answered%s.tb.cfg.NetMetricsEvery == 0
+	s.mu.Unlock()
+	s.publishTrace(message.TraceAllsWell, topic.ClassAllUpdates,
+		fmt.Sprintf("ping %d rtt=%s", pr.Number, rtt), nil)
+	if publishNet {
+		m := s.det.NetworkMetrics()
+		nr := &message.NetworkReport{
+			LossRate:       m.LossRate,
+			MeanRTTMillis:  float64(m.MeanRTT) / float64(time.Millisecond),
+			OutOfOrderRate: m.OutOfOrderRate,
+			SampleCount:    uint32(m.Samples),
+			At:             now.UnixNano(),
+		}
+		// Bandwidth estimate (§3.3 lists bandwidth among the network
+		// metrics): bytes moved per round trip over the measured RTT.
+		// Pings are tiny, so this is a floor, not a throughput claim.
+		if m.MeanRTT > 0 {
+			nr.BandwidthBps = float64(pingBytes) / m.MeanRTT.Seconds()
+		}
+		s.publishTrace(message.TraceNetworkMetrics, topic.ClassNetworkMetrics,
+			"link metrics from ping history", nr.Marshal())
+	}
+}
+
+// onStateReport republises entity state transitions (§3.3).
+func (s *session) onStateReport(payload []byte, now time.Time) {
+	sr, err := message.UnmarshalStateReport(payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.state = sr.To
+	s.mu.Unlock()
+	s.publishTrace(sr.To.TraceType(), topic.ClassStateTransitions,
+		fmt.Sprintf("state %s -> %s", sr.From, sr.To), sr.Marshal())
+	if sr.To == message.StateShutdown {
+		s.end("entity shut down", true)
+	}
+	_ = now
+}
+
+// onLoadReport republishes load information (§3.3).
+func (s *session) onLoadReport(payload []byte, now time.Time) {
+	lr, err := message.UnmarshalLoadReport(payload)
+	if err != nil {
+		return
+	}
+	s.publishTrace(message.TraceLoadInformation, topic.ClassLoad,
+		fmt.Sprintf("cpu=%.1f%% workload=%.2f", lr.CPUPercent, lr.Workload), lr.Marshal())
+	_ = now
+}
+
+// setSilent toggles silent mode (§3.3 REVERTING_TO_SILENT_MODE).
+func (s *session) setSilent(silent bool) {
+	s.mu.Lock()
+	was := s.silent
+	s.silent = silent
+	s.mu.Unlock()
+	if silent && !was {
+		s.publishTraceAlways(message.TraceRevertingToSilentMode, topic.ClassChangeNotifications,
+			"entity disabled tracing", nil)
+	}
+	if !silent && was {
+		s.publishTrace(message.TraceJoin, topic.ClassChangeNotifications, "entity resumed tracing", nil)
+	}
+}
+
+// --- ping scheduling ------------------------------------------------------
+
+// pingLoop drives the adaptive ping schedule (§3.3).
+func (s *session) pingLoop() {
+	clk := s.tb.cfg.Clock
+	for {
+		timer := clk.NewTimer(s.det.Interval())
+		select {
+		case <-timer.C():
+		case <-s.done:
+			timer.Stop()
+			return
+		}
+		s.mu.Lock()
+		silent, ended := s.silent, s.ended
+		s.mu.Unlock()
+		if ended {
+			return
+		}
+		if silent {
+			continue
+		}
+		now := clk.Now()
+		before := s.det.Verdict()
+		verdict, _ := s.det.Expire(now)
+		if verdict != before {
+			switch verdict {
+			case failure.Suspected:
+				s.publishTrace(message.TraceFailureSuspicion, topic.ClassChangeNotifications,
+					fmt.Sprintf("%d consecutive pings unanswered", s.det.ConsecutiveMisses()), nil)
+			case failure.Failed:
+				s.publishTraceAlways(message.TraceFailed, topic.ClassChangeNotifications,
+					"entity deemed failed", nil)
+				s.end("failure detected", false)
+				return
+			}
+		}
+		num := s.det.NextPingNumber(now)
+		ping := &message.Ping{Number: num, BrokerTimestamp: now.UnixNano()}
+		env := message.New(message.TypePing, s.brokerToEntity, "", ping.Marshal())
+		env.SeqNum = num
+		if err := s.tb.cfg.Broker.Publish(env); err != nil {
+			s.tb.logf("session %s: ping publish: %v", s.sessionID, err)
+		}
+	}
+}
+
+// --- gauge interest (§3.5) ------------------------------------------------
+
+// gaugeLoop periodically probes for tracker interest and prunes expired
+// registrations.
+func (s *session) gaugeLoop() {
+	clk := s.tb.cfg.Clock
+	s.publishGaugeInterest()
+	for {
+		timer := clk.NewTimer(s.tb.cfg.GaugeInterval)
+		select {
+		case <-timer.C():
+		case <-s.done:
+			timer.Stop()
+			return
+		}
+		s.pruneInterest(clk.Now())
+		s.publishGaugeInterest()
+	}
+}
+
+// publishGaugeInterest issues the GUAGE_INTEREST probe; when traces are
+// secured it sets the §5.1 flag so trackers know to request the key.
+func (s *session) publishGaugeInterest() {
+	probe := &message.GaugeInterestProbe{
+		TraceTopic:    s.traceTopic,
+		Secured:       s.secured,
+		ResponseTopic: topic.GaugeInterestResponse(s.traceTopic).String(),
+	}
+	env := message.New(message.TraceGaugeInterest, topic.GaugeInterest(s.traceTopic), "", probe.Marshal())
+	if s.secured {
+		env.Flags |= message.FlagSecured
+	}
+	s.signAndPublish(env)
+}
+
+// handleInterestResponse records tracker interest and, for secured
+// traces, delivers the sealed trace key (§5.1).
+func (s *session) handleInterestResponse(env *message.Envelope) {
+	if env.Type != message.TypeInterestResponse {
+		return
+	}
+	ir, err := message.UnmarshalInterestResponse(env.Payload)
+	if err != nil {
+		return
+	}
+	if ir.TraceTopic != s.traceTopic || ir.Tracker != env.Source {
+		return
+	}
+	// Trackers must present valid credentials with their interest (§5.1).
+	cred := &credential.Credential{Entity: ir.Tracker, Cert: ir.CertDER}
+	trackerPub, err := s.tb.cfg.Verifier.Verify(cred)
+	if err != nil {
+		s.tb.logf("session %s: interest from %s: credential: %v", s.sessionID, ir.Tracker, err)
+		return
+	}
+	now := s.tb.cfg.Clock.Now()
+	expiry := now.Add(s.tb.cfg.InterestTTL)
+	s.mu.Lock()
+	for _, class := range ir.Classes.Classes() {
+		m, ok := s.interest[class]
+		if !ok {
+			m = make(map[ident.EntityID]time.Time)
+			s.interest[class] = m
+		}
+		m[ir.Tracker] = expiry
+	}
+	needKey := s.secured && s.traceKey != nil && !s.keyDelivered[ir.Tracker] && ir.KeyDeliveryTopic != ""
+	var traceKey *secure.SymmetricKey
+	if needKey {
+		traceKey = s.traceKey
+		s.keyDelivered[ir.Tracker] = true
+	}
+	s.mu.Unlock()
+
+	if needKey {
+		s.deliverTraceKey(ir, trackerPub, traceKey)
+	}
+}
+
+// deliverTraceKey seals the secret trace key to a tracker (§5.1): the
+// payload is secured with a combination of the tracker's credential and
+// a randomly generated secret key; only the holder of the credential's
+// private key can recover it.
+func (s *session) deliverTraceKey(ir *message.InterestResponse, trackerPub *rsa.PublicKey, key *secure.SymmetricKey) {
+	tk := &message.TraceKey{
+		Purpose:   message.PurposeTrace,
+		Key:       key.Bytes(),
+		Algorithm: TraceKeyAlgorithm,
+		Padding:   TraceKeyPadding,
+	}
+	sealed, err := secure.Seal(trackerPub, tk.Marshal())
+	if err != nil {
+		return
+	}
+	wire, err := sealed.Marshal()
+	if err != nil {
+		return
+	}
+	tp, err := topic.Parse(ir.KeyDeliveryTopic)
+	if err != nil {
+		return
+	}
+	env := message.New(message.TypeKeyDelivery, tp, "", wire)
+	s.signAndPublish(env)
+	s.tb.logf("session %s: delivered trace key to %s", s.sessionID, ir.Tracker)
+}
+
+// pruneInterest expires stale tracker registrations.
+func (s *session) pruneInterest(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for class, m := range s.interest {
+		for tracker, expiry := range m {
+			if now.After(expiry) {
+				delete(m, tracker)
+			}
+		}
+		if len(m) == 0 {
+			delete(s.interest, class)
+		}
+	}
+}
+
+// hasInterest reports whether any tracker currently wants the class.
+func (s *session) hasInterest(class topic.TraceClass) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.interest[class]) > 0
+}
+
+// --- trace publication -----------------------------------------------------
+
+// publishTrace publishes a trace if the class has interested trackers;
+// change notifications are always published (JOIN precedes any gauged
+// interest; failure notices are the scheme's raison d'être).
+func (s *session) publishTrace(tt message.Type, class topic.TraceClass, detail string, body []byte) {
+	s.mu.Lock()
+	silent := s.silent
+	s.mu.Unlock()
+	if silent {
+		return
+	}
+	if class != topic.ClassChangeNotifications && !s.hasInterest(class) {
+		return
+	}
+	s.publishTraceAlways(tt, class, detail, body)
+}
+
+// publishTraceAlways publishes regardless of interest and silence (used
+// for the silent-mode notice itself and terminal FAILED traces).
+func (s *session) publishTraceAlways(tt message.Type, class topic.TraceClass, detail string, body []byte) {
+	te := &message.TraceEvent{
+		Entity:     s.entity,
+		TraceTopic: s.traceTopic,
+		Detail:     detail,
+		Body:       body,
+	}
+	payload := te.Marshal()
+	s.mu.Lock()
+	traceKey := s.traceKey
+	secured := s.secured
+	s.mu.Unlock()
+	encrypted := false
+	if secured && traceKey != nil {
+		ct, err := traceKey.Encrypt(payload)
+		if err != nil {
+			return
+		}
+		payload = ct
+		encrypted = true
+	}
+	env := message.New(tt, topic.ForClass(s.traceTopic, class), "", payload)
+	if encrypted {
+		env.Flags |= message.FlagEncrypted
+	}
+	s.signAndPublish(env)
+}
+
+// signAndPublish attaches the authorization token, signs with the
+// delegate key (§4.3) and injects the envelope into the broker network.
+func (s *session) signAndPublish(env *message.Envelope) {
+	s.mu.Lock()
+	tokenBytes := s.tokenBytes
+	delegate := s.delegate
+	s.mu.Unlock()
+	if delegate == nil {
+		return
+	}
+	env.Token = tokenBytes
+	if err := env.Sign(delegate); err != nil {
+		return
+	}
+	if err := s.tb.cfg.Broker.Publish(env); err != nil {
+		s.tb.logf("session %s: publish %v: %v", s.sessionID, env.Type, err)
+	}
+}
+
+// end terminates a session, optionally publishing a DISCONNECT trace.
+func (s *session) end(reason string, graceful bool) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	active := s.active
+	s.mu.Unlock()
+	if active && !graceful && reason != "" && reason != "failure detected" {
+		s.publishTraceAlways(message.TraceDisconnect, topic.ClassChangeNotifications, reason, nil)
+	}
+	close(s.done)
+	for _, cancel := range s.cancelSubs {
+		cancel()
+	}
+	s.tb.removeSession(s)
+	s.tb.logf("session %s for %s ended: %s", s.sessionID, s.entity, reason)
+}

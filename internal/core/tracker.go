@@ -1,0 +1,413 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/clock"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+)
+
+// TopicDiscoverer finds trace topics; both *tdn.Client and *tdn.Node
+// satisfy it.
+type TopicDiscoverer interface {
+	Discover(query string, requester ident.EntityID, cert []byte) ([]*tdn.Advertisement, error)
+}
+
+// TrackerConfig configures a tracker.
+type TrackerConfig struct {
+	// Identity is the tracker's credential with private key (needed for
+	// credentialed discovery, interest responses and secured traces).
+	Identity *credential.Identity
+	// Verifier validates advertisements and tokens.
+	Verifier *credential.Verifier
+	// Discovery runs the credential-gated trace-topic discovery (§3.4).
+	Discovery TopicDiscoverer
+	// Resolver resolves trace topics during message verification; when
+	// nil, a resolver primed from discovered advertisements is used.
+	Resolver AdResolver
+	// Client is the tracker's broker connection. The tracker takes
+	// ownership and closes it on Close.
+	Client *broker.Client
+	// Clock stamps events and validates tokens.
+	Clock clock.Clock
+	// Skew is the token clock-skew tolerance (§4.3).
+	Skew time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Tracker consumes traces for entities it is authorized to track (§3.4):
+// it discovers trace topics with its credentials, subscribes to the
+// derivative topics it cares about, answers gauge-interest probes, and
+// verifies (and decrypts) every delivered trace.
+type Tracker struct {
+	cfg     TrackerConfig
+	caching *CachingResolver
+
+	mu      sync.Mutex
+	watches map[ident.UUID]*Watch
+	closed  bool
+}
+
+// Watch is a live trace subscription for one traced entity.
+type Watch struct {
+	tk         *Tracker
+	entity     ident.EntityID
+	traceTopic ident.UUID
+	classes    topic.ClassSet
+	handler    func(Event)
+
+	keyTopic topic.Topic
+
+	mu       sync.Mutex
+	traceKey *secure.SymmetricKey
+	stopped  bool
+	subs     []topic.Topic
+	// counters for observability and benchmarks
+	delivered uint64
+	rejected  uint64
+}
+
+// NewTracker connects a tracker runtime to its broker client.
+func NewTracker(cfg TrackerConfig) (*Tracker, error) {
+	if cfg.Identity == nil || cfg.Identity.Private == nil {
+		return nil, errors.New("core: tracker needs an identity with a private key")
+	}
+	if cfg.Client == nil || cfg.Verifier == nil {
+		return nil, errors.New("core: tracker needs Client and Verifier")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Skew <= 0 {
+		cfg.Skew = token.DefaultClockSkew
+	}
+	tk := &Tracker{cfg: cfg, watches: make(map[ident.UUID]*Watch)}
+	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
+		tk.caching = cr
+	} else if cfg.Resolver == nil {
+		tk.caching = NewCachingResolver(ResolverFunc(func(ident.UUID) (*tdn.Advertisement, error) {
+			return nil, ErrUnknownTopic
+		}))
+		tk.cfg.Resolver = tk.caching
+	}
+	return tk, nil
+}
+
+func (tk *Tracker) logf(format string, args ...any) {
+	if tk.cfg.Logf != nil {
+		tk.cfg.Logf(format, args...)
+	}
+}
+
+func (tk *Tracker) entity() ident.EntityID { return tk.cfg.Identity.Credential.Entity }
+
+// Entity returns the tracker's identifier.
+func (tk *Tracker) Entity() ident.EntityID { return tk.entity() }
+
+// Discover finds the trace topic for a traced entity via the
+// /Liveness/<Entity-ID> query, presenting the tracker's credentials
+// (§3.4). It fails for topics the tracker is not authorized to discover.
+func (tk *Tracker) Discover(entity ident.EntityID) (*tdn.Advertisement, error) {
+	if tk.cfg.Discovery == nil {
+		return nil, errors.New("core: tracker has no discovery service")
+	}
+	ads, err := tk.cfg.Discovery.Discover(topic.LivenessQuery(entity), tk.entity(), tk.cfg.Identity.Credential.Cert)
+	if err != nil {
+		return nil, fmt.Errorf("core: discovering trace topic for %s: %w", entity, err)
+	}
+	// Multiple TDNs may hold the advertisement; any verified copy works.
+	for _, ad := range ads {
+		if _, err := ad.Verify(tk.cfg.Verifier, tk.cfg.Clock.Now()); err == nil {
+			if tk.caching != nil {
+				tk.caching.Put(ad)
+			}
+			return ad, nil
+		}
+	}
+	return nil, errors.New("core: no verifiable advertisement")
+}
+
+// Track subscribes to the selected trace classes for the advertised
+// entity and begins answering gauge-interest probes. handler runs on the
+// client's receive goroutine; keep it fast or hand off to a channel.
+func (tk *Tracker) Track(ad *tdn.Advertisement, classes topic.ClassSet, handler func(Event)) (*Watch, error) {
+	if classes.Empty() {
+		return nil, errors.New("core: no trace classes selected")
+	}
+	if handler == nil {
+		return nil, errors.New("core: nil handler")
+	}
+	tk.mu.Lock()
+	if tk.closed {
+		tk.mu.Unlock()
+		return nil, errors.New("core: tracker closed")
+	}
+	if _, dup := tk.watches[ad.TopicID]; dup {
+		tk.mu.Unlock()
+		return nil, fmt.Errorf("core: already tracking topic %s", ad.TopicID)
+	}
+	tk.mu.Unlock()
+	if tk.caching != nil {
+		tk.caching.Put(ad)
+	}
+
+	keyTopic, err := keyDeliveryTopic(tk.entity(), ad.TopicID)
+	if err != nil {
+		return nil, err
+	}
+	w := &Watch{
+		tk:         tk,
+		entity:     ad.Owner,
+		traceTopic: ad.TopicID,
+		classes:    classes,
+		handler:    handler,
+		keyTopic:   keyTopic,
+	}
+
+	// Subscribe to each selected derivative topic (§3.4: "subscribe to
+	// the appropriate constrained topics over which different types of
+	// trace info is published").
+	for _, class := range classes.Classes() {
+		class := class
+		tp := topic.ForClass(ad.TopicID, class)
+		if err := tk.cfg.Client.Subscribe(tp, func(env *message.Envelope) {
+			w.handleTrace(class, env)
+		}); err != nil {
+			w.unsubscribeAll()
+			return nil, fmt.Errorf("core: subscribing to %s: %w", tp, err)
+		}
+		w.subs = append(w.subs, tp)
+	}
+	// Gauge-interest probes (§3.5).
+	probeTopic := topic.GaugeInterest(ad.TopicID)
+	if err := tk.cfg.Client.Subscribe(probeTopic, w.handleGaugeInterest); err != nil {
+		w.unsubscribeAll()
+		return nil, err
+	}
+	w.subs = append(w.subs, probeTopic)
+	// Key deliveries for secured traces (§5.1).
+	if err := tk.cfg.Client.Subscribe(keyTopic, w.handleKeyDelivery); err != nil {
+		w.unsubscribeAll()
+		return nil, err
+	}
+	w.subs = append(w.subs, keyTopic)
+
+	tk.mu.Lock()
+	tk.watches[ad.TopicID] = w
+	tk.mu.Unlock()
+
+	// Announce interest proactively so the broker can start publishing
+	// without waiting for its next gauge round.
+	w.sendInterest()
+	return w, nil
+}
+
+// TrackEntity is the common discover-then-track sequence in one call:
+// it resolves the entity's trace topic with the tracker's credentials
+// (§3.4) and subscribes to the selected classes.
+func (tk *Tracker) TrackEntity(entity ident.EntityID, classes topic.ClassSet, handler func(Event)) (*Watch, error) {
+	ad, err := tk.Discover(entity)
+	if err != nil {
+		return nil, err
+	}
+	return tk.Track(ad, classes, handler)
+}
+
+// Close stops all watches and the underlying client.
+func (tk *Tracker) Close() error {
+	tk.mu.Lock()
+	if tk.closed {
+		tk.mu.Unlock()
+		return nil
+	}
+	tk.closed = true
+	watches := make([]*Watch, 0, len(tk.watches))
+	for _, w := range tk.watches {
+		watches = append(watches, w)
+	}
+	tk.mu.Unlock()
+	for _, w := range watches {
+		w.Stop()
+	}
+	return tk.cfg.Client.Close()
+}
+
+// Entity returns the traced entity this watch follows.
+func (w *Watch) Entity() ident.EntityID { return w.entity }
+
+// TraceTopic returns the watched trace topic.
+func (w *Watch) TraceTopic() ident.UUID { return w.traceTopic }
+
+// Delivered and Rejected report verified deliveries and dropped
+// messages.
+func (w *Watch) Delivered() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.delivered
+}
+
+// Rejected reports messages dropped by verification.
+func (w *Watch) Rejected() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rejected
+}
+
+// HasTraceKey reports whether the §5.1 trace key has been delivered.
+func (w *Watch) HasTraceKey() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.traceKey != nil
+}
+
+// Stop unsubscribes the watch.
+func (w *Watch) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	w.unsubscribeAll()
+	w.tk.mu.Lock()
+	delete(w.tk.watches, w.traceTopic)
+	w.tk.mu.Unlock()
+}
+
+func (w *Watch) unsubscribeAll() {
+	for _, tp := range w.subs {
+		_ = w.tk.cfg.Client.Unsubscribe(tp)
+	}
+	w.subs = nil
+}
+
+// handleGaugeInterest answers GUAGE_INTEREST probes (§3.5). The probe
+// itself is a broker-published trace message and is verified like any
+// other.
+func (w *Watch) handleGaugeInterest(env *message.Envelope) {
+	if env.Type != message.TraceGaugeInterest {
+		return
+	}
+	now := w.tk.cfg.Clock.Now()
+	if err := VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew); err != nil {
+		w.reject("gauge probe: %v", err)
+		return
+	}
+	w.sendInterest()
+}
+
+// sendInterest publishes the tracker's interest set with its credential
+// and key-delivery topic (§3.5, §5.1).
+func (w *Watch) sendInterest() {
+	ir := &message.InterestResponse{
+		Tracker:          w.tk.entity(),
+		TraceTopic:       w.traceTopic,
+		Classes:          w.classes,
+		CertDER:          w.tk.cfg.Identity.Credential.Cert,
+		KeyDeliveryTopic: w.keyTopic.String(),
+	}
+	env := message.New(message.TypeInterestResponse, topic.GaugeInterestResponse(w.traceTopic), w.tk.entity(), ir.Marshal())
+	if err := w.tk.cfg.Client.Publish(env); err != nil {
+		w.tk.logf("interest response: %v", err)
+	}
+}
+
+// handleKeyDelivery opens a sealed trace key (§5.1).
+func (w *Watch) handleKeyDelivery(env *message.Envelope) {
+	if env.Type != message.TypeKeyDelivery {
+		return
+	}
+	now := w.tk.cfg.Clock.Now()
+	// Key deliveries are broker trace messages: token + delegate
+	// signature.
+	if err := VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew); err != nil {
+		w.reject("key delivery: %v", err)
+		return
+	}
+	sealed, err := secure.UnmarshalSealedPayload(env.Payload)
+	if err != nil {
+		w.reject("key delivery payload: %v", err)
+		return
+	}
+	body, err := sealed.Open(w.tk.cfg.Identity.Private)
+	if err != nil {
+		w.reject("key delivery open: %v", err)
+		return
+	}
+	tkd, err := message.UnmarshalTraceKey(body)
+	if err != nil || tkd.Purpose != message.PurposeTrace {
+		w.reject("key delivery decode")
+		return
+	}
+	key, err := secure.SymmetricKeyFromBytes(tkd.Key)
+	if err != nil {
+		w.reject("key material: %v", err)
+		return
+	}
+	w.mu.Lock()
+	w.traceKey = key
+	w.mu.Unlock()
+	w.tk.logf("trace key received for %s (%s, %s)", w.entity, tkd.Algorithm, tkd.Padding)
+}
+
+// handleTrace verifies, decrypts and dispatches one trace message.
+func (w *Watch) handleTrace(class topic.TraceClass, env *message.Envelope) {
+	now := w.tk.cfg.Clock.Now()
+	if err := VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew); err != nil {
+		w.reject("trace on %s: %v", class, err)
+		return
+	}
+	payload := env.Payload
+	encrypted := env.Flags&message.FlagEncrypted != 0
+	if encrypted {
+		w.mu.Lock()
+		key := w.traceKey
+		w.mu.Unlock()
+		if key == nil {
+			w.reject("encrypted trace before key delivery")
+			return
+		}
+		pt, err := key.Decrypt(payload)
+		if err != nil {
+			w.reject("trace decrypt: %v", err)
+			return
+		}
+		payload = pt
+	}
+	ev, err := decodeTraceEvent(env, class, payload, encrypted, now)
+	if err != nil {
+		w.reject("trace decode: %v", err)
+		return
+	}
+	if ev.TraceTopic != w.traceTopic {
+		w.reject("trace for foreign topic")
+		return
+	}
+	w.mu.Lock()
+	w.delivered++
+	handler := w.handler
+	stopped := w.stopped
+	w.mu.Unlock()
+	if !stopped {
+		handler(ev)
+	}
+}
+
+func (w *Watch) reject(format string, args ...any) {
+	w.mu.Lock()
+	w.rejected++
+	w.mu.Unlock()
+	w.tk.logf("watch %s: rejected: "+format, append([]any{w.entity}, args...)...)
+}

@@ -1,0 +1,298 @@
+// Package credential implements the certificate infrastructure the paper
+// assumes: every entity presents "credentials — a X.509 certificate"
+// (§3.1) when creating topics, registering for tracing and discovering
+// trace topics. An Authority plays the role of the certificate authority
+// trusted by brokers and Topic Discovery Nodes; it issues real X.509
+// certificates (crypto/x509) binding an entity identifier to an RSA
+// public key.
+package credential
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+)
+
+// Errors returned during credential verification.
+var (
+	// ErrUntrusted reports a certificate that does not chain to the
+	// authority.
+	ErrUntrusted = errors.New("credential: certificate not issued by trusted authority")
+	// ErrExpired reports a certificate outside its validity window.
+	ErrExpired = errors.New("credential: certificate expired or not yet valid")
+	// ErrRevoked reports a certificate the authority has revoked.
+	ErrRevoked = errors.New("credential: certificate revoked")
+)
+
+// Credential binds an entity identifier to its certificate and,
+// for the holder, the matching private key.
+type Credential struct {
+	Entity ident.EntityID
+	// Cert is the DER-encoded X.509 certificate.
+	Cert []byte
+	// parsed caches the parsed form.
+	parsed *x509.Certificate
+}
+
+// Certificate returns the parsed X.509 certificate.
+func (c *Credential) Certificate() (*x509.Certificate, error) {
+	if c.parsed != nil {
+		return c.parsed, nil
+	}
+	parsed, err := x509.ParseCertificate(c.Cert)
+	if err != nil {
+		return nil, fmt.Errorf("credential: parsing certificate: %w", err)
+	}
+	c.parsed = parsed
+	return parsed, nil
+}
+
+// PublicKey extracts the RSA public key bound by the certificate.
+func (c *Credential) PublicKey() (*rsa.PublicKey, error) {
+	cert, err := c.Certificate()
+	if err != nil {
+		return nil, err
+	}
+	pub, ok := cert.PublicKey.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("credential: certificate key is %T, want *rsa.PublicKey", cert.PublicKey)
+	}
+	return pub, nil
+}
+
+// Identity is a credential together with the private key — what an entity
+// holds locally. Possession of the private key is what registration
+// (§3.2) demonstrates by signing.
+type Identity struct {
+	Credential Credential
+	Private    *rsa.PrivateKey
+}
+
+// Signer returns a secure.Signer bound to the identity's private key.
+func (id *Identity) Signer(h secure.Hash) (*secure.Signer, error) {
+	return secure.NewSigner(id.Private, h)
+}
+
+// Authority is a certificate authority trusted by the system's brokers
+// and TDNs. It is safe for concurrent use.
+type Authority struct {
+	mu      sync.Mutex
+	name    string
+	key     *rsa.PrivateKey
+	cert    *x509.Certificate
+	certDER []byte
+	pool    *x509.CertPool
+	serial  int64
+	revoked map[string]bool // serial number (decimal) -> revoked
+	keyBits int
+	life    time.Duration
+}
+
+// AuthorityOption configures a new Authority.
+type AuthorityOption func(*Authority)
+
+// WithKeyBits sets the RSA modulus size for the authority and for issued
+// certificates (default secure.DefaultRSABits; the paper used 1024).
+func WithKeyBits(bits int) AuthorityOption {
+	return func(a *Authority) { a.keyBits = bits }
+}
+
+// WithLifetime sets the validity duration of issued certificates
+// (default 24h).
+func WithLifetime(d time.Duration) AuthorityOption {
+	return func(a *Authority) { a.life = d }
+}
+
+// NewAuthority creates a self-signed certificate authority.
+func NewAuthority(name string, opts ...AuthorityOption) (*Authority, error) {
+	a := &Authority{
+		name:    name,
+		serial:  1,
+		revoked: make(map[string]bool),
+		keyBits: secure.DefaultRSABits,
+		life:    24 * time.Hour,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	pair, err := secure.GenerateKeyPair(a.keyBits)
+	if err != nil {
+		return nil, err
+	}
+	a.key = pair.Private
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: name, Organization: []string{"entitytrace"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, pair.Public, pair.Private)
+	if err != nil {
+		return nil, fmt.Errorf("credential: creating CA certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("credential: parsing CA certificate: %w", err)
+	}
+	a.cert = cert
+	a.certDER = der
+	a.pool = x509.NewCertPool()
+	a.pool.AddCert(cert)
+	return a, nil
+}
+
+// Name returns the authority's common name.
+func (a *Authority) Name() string { return a.name }
+
+// CACertificate returns the DER-encoded CA certificate, which relying
+// parties (brokers, TDNs) embed as their trust anchor.
+func (a *Authority) CACertificate() []byte {
+	out := make([]byte, len(a.certDER))
+	copy(out, a.certDER)
+	return out
+}
+
+// Issue creates an identity for the given entity: a fresh RSA key pair
+// and a certificate signed by the authority.
+func (a *Authority) Issue(entity ident.EntityID) (*Identity, error) {
+	if err := entity.Validate(); err != nil {
+		return nil, err
+	}
+	pair, err := secure.GenerateKeyPair(a.keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return a.IssueForKey(entity, pair.Public, pair.Private)
+}
+
+// IssueForKey certifies an existing key pair for the given entity. The
+// private key is only embedded in the returned Identity; pass nil if the
+// caller does not hold it.
+func (a *Authority) IssueForKey(entity ident.EntityID, pub *rsa.PublicKey, priv *rsa.PrivateKey) (*Identity, error) {
+	if err := entity.Validate(); err != nil {
+		return nil, err
+	}
+	if pub == nil {
+		return nil, errors.New("credential: nil public key")
+	}
+	a.mu.Lock()
+	a.serial++
+	serial := big.NewInt(a.serial)
+	a.mu.Unlock()
+	now := time.Now()
+	tmpl := &x509.Certificate{
+		SerialNumber: serial,
+		Subject:      pkix.Name{CommonName: string(entity), Organization: []string{"entitytrace"}},
+		NotBefore:    now.Add(-5 * time.Minute),
+		NotAfter:     now.Add(a.life),
+		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, pub, a.key)
+	if err != nil {
+		return nil, fmt.Errorf("credential: issuing certificate: %w", err)
+	}
+	return &Identity{
+		Credential: Credential{Entity: entity, Cert: der},
+		Private:    priv,
+	}, nil
+}
+
+// Revoke marks a previously issued credential as revoked.
+func (a *Authority) Revoke(c *Credential) error {
+	cert, err := c.Certificate()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.revoked[cert.SerialNumber.String()] = true
+	return nil
+}
+
+// Verifier checks credentials against a trust anchor. Brokers and TDNs
+// hold a Verifier rather than the Authority itself.
+type Verifier struct {
+	pool      *x509.CertPool
+	mu        sync.RWMutex
+	revoked   map[string]bool
+	now       func() time.Time
+	checkName bool
+}
+
+// NewVerifier builds a Verifier trusting the given DER-encoded CA
+// certificate.
+func NewVerifier(caDER []byte) (*Verifier, error) {
+	cert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, fmt.Errorf("credential: parsing CA certificate: %w", err)
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(cert)
+	return &Verifier{
+		pool:      pool,
+		revoked:   make(map[string]bool),
+		now:       time.Now,
+		checkName: true,
+	}, nil
+}
+
+// SetTimeFunc overrides the verifier clock, for tests.
+func (v *Verifier) SetTimeFunc(f func() time.Time) { v.now = f }
+
+// MarkRevoked records a revoked serial number (distributed out of band in
+// this reproduction; the paper does not specify a revocation transport).
+func (v *Verifier) MarkRevoked(serial string) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.revoked[serial] = true
+}
+
+// Verify checks that the credential chains to the trust anchor, is within
+// its validity window, is not revoked, and names the claimed entity. It
+// returns the bound public key on success.
+func (v *Verifier) Verify(c *Credential) (*rsa.PublicKey, error) {
+	cert, err := c.Certificate()
+	if err != nil {
+		return nil, err
+	}
+	v.mu.RLock()
+	revoked := v.revoked[cert.SerialNumber.String()]
+	v.mu.RUnlock()
+	if revoked {
+		return nil, ErrRevoked
+	}
+	opts := x509.VerifyOptions{
+		Roots:       v.pool,
+		CurrentTime: v.now(),
+		KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}
+	if _, err := cert.Verify(opts); err != nil {
+		var invalid x509.CertificateInvalidError
+		if errors.As(err, &invalid) && invalid.Reason == x509.Expired {
+			return nil, fmt.Errorf("%w: %v", ErrExpired, err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrUntrusted, err)
+	}
+	if v.checkName && cert.Subject.CommonName != string(c.Entity) {
+		return nil, fmt.Errorf("%w: certificate names %q, credential claims %q",
+			ErrUntrusted, cert.Subject.CommonName, c.Entity)
+	}
+	pub, ok := cert.PublicKey.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("credential: certificate key is %T, want *rsa.PublicKey", cert.PublicKey)
+	}
+	return pub, nil
+}

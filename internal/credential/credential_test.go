@@ -1,0 +1,200 @@
+package credential
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"entitytrace/internal/secure"
+)
+
+// One shared authority: RSA keygen is expensive.
+var (
+	authOnce sync.Once
+	auth     *Authority
+	authErr  error
+)
+
+func testAuthority(t *testing.T) *Authority {
+	t.Helper()
+	authOnce.Do(func() {
+		auth, authErr = NewAuthority("test-ca", WithKeyBits(secure.PaperRSABits))
+	})
+	if authErr != nil {
+		t.Fatal(authErr)
+	}
+	return auth
+}
+
+func TestIssueAndVerify(t *testing.T) {
+	a := testAuthority(t)
+	id, err := a.Issue("service-alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Private == nil {
+		t.Fatal("issued identity lacks private key")
+	}
+	v, err := NewVerifier(a.CACertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := v.Verify(&id.Credential)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if pub.N.Cmp(id.Private.PublicKey.N) != 0 {
+		t.Fatal("verified key does not match issued key")
+	}
+}
+
+func TestVerifyRejectsForeignCA(t *testing.T) {
+	a := testAuthority(t)
+	foreign, err := NewAuthority("evil-ca", WithKeyBits(secure.PaperRSABits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := foreign.Issue("intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVerifier(a.CACertificate())
+	if _, err := v.Verify(&id.Credential); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("foreign credential accepted, err=%v", err)
+	}
+}
+
+func TestVerifyRejectsEntityMismatch(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("honest-entity")
+	v, _ := NewVerifier(a.CACertificate())
+	forged := id.Credential
+	forged.Entity = "someone-else"
+	if _, err := v.Verify(&forged); !errors.Is(err, ErrUntrusted) {
+		t.Fatalf("entity-mismatched credential accepted, err=%v", err)
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("short-lived")
+	v, _ := NewVerifier(a.CACertificate())
+	v.SetTimeFunc(func() time.Time { return time.Now().Add(48 * time.Hour) })
+	if _, err := v.Verify(&id.Credential); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired credential accepted, err=%v", err)
+	}
+}
+
+func TestVerifyRejectsRevoked(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("to-be-revoked")
+	if err := a.Revoke(&id.Credential); err != nil {
+		t.Fatal(err)
+	}
+	cert, _ := id.Credential.Certificate()
+	v, _ := NewVerifier(a.CACertificate())
+	v.MarkRevoked(cert.SerialNumber.String())
+	if _, err := v.Verify(&id.Credential); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked credential accepted, err=%v", err)
+	}
+}
+
+func TestIssueRejectsBadEntityID(t *testing.T) {
+	a := testAuthority(t)
+	if _, err := a.Issue(""); err == nil {
+		t.Fatal("issued credential for empty entity ID")
+	}
+	if _, err := a.Issue("has/slash"); err == nil {
+		t.Fatal("issued credential for slashed entity ID")
+	}
+}
+
+func TestIssueForKeyNilPublic(t *testing.T) {
+	a := testAuthority(t)
+	if _, err := a.IssueForKey("e", nil, nil); err == nil {
+		t.Fatal("IssueForKey(nil) succeeded")
+	}
+}
+
+func TestCredentialPublicKey(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("keyed")
+	pub, err := id.Credential.PublicKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.N.Cmp(id.Private.PublicKey.N) != 0 {
+		t.Fatal("PublicKey mismatch")
+	}
+}
+
+func TestCredentialGarbageCert(t *testing.T) {
+	c := &Credential{Entity: "x", Cert: []byte("garbage")}
+	if _, err := c.Certificate(); err == nil {
+		t.Fatal("parsed garbage certificate")
+	}
+	if _, err := c.PublicKey(); err == nil {
+		t.Fatal("extracted key from garbage certificate")
+	}
+}
+
+func TestIdentitySigner(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("signer-entity")
+	s, err := id.Signer(secure.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("registration message")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, _ := id.Credential.PublicKey()
+	if err := secure.Verify(pub, secure.SHA1, msg, sig); err != nil {
+		t.Fatalf("verify with credential key: %v", err)
+	}
+}
+
+func TestNewVerifierGarbage(t *testing.T) {
+	if _, err := NewVerifier([]byte("not a cert")); err == nil {
+		t.Fatal("NewVerifier accepted garbage")
+	}
+}
+
+func TestAuthorityName(t *testing.T) {
+	a := testAuthority(t)
+	if a.Name() != "test-ca" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestUniqueSerials(t *testing.T) {
+	a := testAuthority(t)
+	id1, _ := a.Issue("s1")
+	id2, _ := a.Issue("s2")
+	c1, _ := id1.Credential.Certificate()
+	c2, _ := id2.Credential.Certificate()
+	if c1.SerialNumber.Cmp(c2.SerialNumber) == 0 {
+		t.Fatal("issued certificates share a serial number")
+	}
+}
+
+func TestWithLifetime(t *testing.T) {
+	a, err := NewAuthority("short-ca", WithKeyBits(secure.PaperRSABits), WithLifetime(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := a.Issue("short-lived-entity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := id.Credential.Certificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cert.NotAfter.Sub(cert.NotBefore); got > time.Minute+10*time.Minute {
+		t.Fatalf("lifetime = %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package credential
+
+import (
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+)
+
+// PEM block types used by the on-disk PKI layout.
+const (
+	pemCertificate = "CERTIFICATE"
+	pemPrivateKey  = "PRIVATE KEY"
+)
+
+// MarshalIdentityPEM encodes an identity as a certificate block followed
+// by a PKCS#8 private-key block. Identities without private keys encode
+// the certificate only.
+func MarshalIdentityPEM(id *Identity) ([]byte, error) {
+	if id == nil {
+		return nil, errors.New("credential: nil identity")
+	}
+	out := pem.EncodeToMemory(&pem.Block{Type: pemCertificate, Bytes: id.Credential.Cert})
+	if id.Private != nil {
+		keyDER, err := secure.MarshalPrivateKey(id.Private)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pem.EncodeToMemory(&pem.Block{Type: pemPrivateKey, Bytes: keyDER})...)
+	}
+	return out, nil
+}
+
+// ParseIdentityPEM decodes the output of MarshalIdentityPEM. The entity
+// name is recovered from the certificate's common name.
+func ParseIdentityPEM(data []byte) (*Identity, error) {
+	var certDER []byte
+	var key *rsa.PrivateKey
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		switch block.Type {
+		case pemCertificate:
+			certDER = block.Bytes
+		case pemPrivateKey:
+			k, err := secure.ParsePrivateKey(block.Bytes)
+			if err != nil {
+				return nil, err
+			}
+			key = k
+		}
+	}
+	if certDER == nil {
+		return nil, errors.New("credential: no certificate block found")
+	}
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		return nil, fmt.Errorf("credential: parsing certificate: %w", err)
+	}
+	return &Identity{
+		Credential: Credential{
+			Entity: ident.EntityID(cert.Subject.CommonName),
+			Cert:   certDER,
+		},
+		Private: key,
+	}, nil
+}
+
+// MarshalAuthorityPEM encodes the CA certificate and key for storage.
+func (a *Authority) MarshalAuthorityPEM() ([]byte, error) {
+	out := pem.EncodeToMemory(&pem.Block{Type: pemCertificate, Bytes: a.certDER})
+	keyDER, err := secure.MarshalPrivateKey(a.key)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, pem.EncodeToMemory(&pem.Block{Type: pemPrivateKey, Bytes: keyDER})...), nil
+}
+
+// ParseAuthorityPEM restores an Authority from MarshalAuthorityPEM
+// output. The serial counter restarts; colliding serials across restarts
+// are tolerable for this reproduction (revocation keys on serial+issuer).
+func ParseAuthorityPEM(data []byte, opts ...AuthorityOption) (*Authority, error) {
+	id, err := ParseIdentityPEM(data)
+	if err != nil {
+		return nil, err
+	}
+	if id.Private == nil {
+		return nil, errors.New("credential: authority PEM lacks private key")
+	}
+	cert, err := x509.ParseCertificate(id.Credential.Cert)
+	if err != nil {
+		return nil, err
+	}
+	a := &Authority{
+		name:    cert.Subject.CommonName,
+		key:     id.Private,
+		cert:    cert,
+		certDER: id.Credential.Cert,
+		serial:  time.Now().UnixNano(), // avoid serial collisions across restarts
+		revoked: make(map[string]bool),
+		keyBits: secure.DefaultRSABits,
+		life:    24 * time.Hour,
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	a.pool = x509.NewCertPool()
+	a.pool.AddCert(cert)
+	return a, nil
+}
+
+// SaveIdentity writes an identity to dir/<name>.pem with 0600 perms.
+func SaveIdentity(dir string, id *Identity) (string, error) {
+	data, err := MarshalIdentityPEM(id)
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, string(id.Credential.Entity)+".pem")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadIdentity reads an identity PEM file.
+func LoadIdentity(path string) (*Identity, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseIdentityPEM(data)
+}
+
+// SaveCA writes the CA material (ca.pem, private) and the public trust
+// anchor (ca.cert.pem) into dir.
+func SaveCA(dir string, a *Authority) error {
+	full, err := a.MarshalAuthorityPEM()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca.pem"), full, 0o600); err != nil {
+		return err
+	}
+	anchor := pem.EncodeToMemory(&pem.Block{Type: pemCertificate, Bytes: a.CACertificate()})
+	return os.WriteFile(filepath.Join(dir, "ca.cert.pem"), anchor, 0o644)
+}
+
+// LoadCA restores an Authority from dir/ca.pem.
+func LoadCA(dir string, opts ...AuthorityOption) (*Authority, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "ca.pem"))
+	if err != nil {
+		return nil, err
+	}
+	return ParseAuthorityPEM(data, opts...)
+}
+
+// LoadVerifier builds a Verifier from dir/ca.cert.pem.
+func LoadVerifier(dir string) (*Verifier, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "ca.cert.pem"))
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(data)
+	if block == nil || block.Type != pemCertificate {
+		return nil, errors.New("credential: ca.cert.pem has no certificate block")
+	}
+	return NewVerifier(block.Bytes)
+}

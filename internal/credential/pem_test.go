@@ -1,0 +1,134 @@
+package credential
+
+import (
+	"testing"
+
+	"entitytrace/internal/secure"
+)
+
+func TestIdentityPEMRoundTrip(t *testing.T) {
+	a := testAuthority(t)
+	id, err := a.Issue("pem-entity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalIdentityPEM(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseIdentityPEM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Credential.Entity != "pem-entity" {
+		t.Fatalf("entity = %q", back.Credential.Entity)
+	}
+	if back.Private == nil || back.Private.D.Cmp(id.Private.D) != 0 {
+		t.Fatal("private key lost in round trip")
+	}
+	v, _ := NewVerifier(a.CACertificate())
+	if _, err := v.Verify(&back.Credential); err != nil {
+		t.Fatalf("round-tripped credential failed verification: %v", err)
+	}
+}
+
+func TestIdentityPEMWithoutKey(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("certonly")
+	id.Private = nil
+	data, err := MarshalIdentityPEM(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseIdentityPEM(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Private != nil {
+		t.Fatal("phantom private key appeared")
+	}
+}
+
+func TestParseIdentityPEMGarbage(t *testing.T) {
+	if _, err := ParseIdentityPEM([]byte("not pem at all")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := MarshalIdentityPEM(nil); err == nil {
+		t.Fatal("marshaled nil identity")
+	}
+}
+
+func TestAuthorityPEMRoundTrip(t *testing.T) {
+	a := testAuthority(t)
+	data, err := a.MarshalAuthorityPEM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAuthorityPEM(data, WithKeyBits(secure.PaperRSABits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The restored authority can issue credentials trusted under the
+	// original anchor.
+	id, err := back.Issue("issued-after-restore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := NewVerifier(a.CACertificate())
+	if _, err := v.Verify(&id.Credential); err != nil {
+		t.Fatalf("restored CA's credential rejected: %v", err)
+	}
+}
+
+func TestParseAuthorityPEMRequiresKey(t *testing.T) {
+	a := testAuthority(t)
+	id, _ := a.Issue("nokey-ca")
+	id.Private = nil
+	data, _ := MarshalIdentityPEM(id)
+	if _, err := ParseAuthorityPEM(data); err == nil {
+		t.Fatal("authority restored without private key")
+	}
+}
+
+func TestSaveLoadCAAndIdentity(t *testing.T) {
+	a := testAuthority(t)
+	dir := t.TempDir()
+	if err := SaveCA(dir, a); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadCA(dir, WithKeyBits(secure.PaperRSABits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Name() != a.Name() {
+		t.Fatalf("restored CA name %q", restored.Name())
+	}
+	v, err := LoadVerifier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := restored.Issue("disk-entity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := SaveIdentity(dir, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIdentity(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(&loaded.Credential); err != nil {
+		t.Fatalf("loaded identity rejected: %v", err)
+	}
+}
+
+func TestLoadVerifierMissing(t *testing.T) {
+	if _, err := LoadVerifier(t.TempDir()); err == nil {
+		t.Fatal("verifier loaded from empty dir")
+	}
+	if _, err := LoadCA(t.TempDir()); err == nil {
+		t.Fatal("CA loaded from empty dir")
+	}
+}

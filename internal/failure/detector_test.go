@@ -1,0 +1,380 @@
+package failure
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		BaseInterval:       time.Second,
+		MinInterval:        125 * time.Millisecond,
+		MaxInterval:        8 * time.Second,
+		ResponseTimeout:    500 * time.Millisecond,
+		SuspicionThreshold: 3,
+		FailureThreshold:   2,
+		SuccessesPerRelax:  10,
+	}
+}
+
+func newDetector(t *testing.T, start time.Time) *Detector {
+	t.Helper()
+	d, err := NewDetector(testConfig(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{BaseInterval: time.Second, MinInterval: 2 * time.Second, MaxInterval: 3 * time.Second,
+			ResponseTimeout: time.Second, SuspicionThreshold: 1, FailureThreshold: 1, SuccessesPerRelax: 1},
+		func() Config { c := testConfig(); c.SuspicionThreshold = 0; return c }(),
+		func() Config { c := testConfig(); c.FailureThreshold = 0; return c }(),
+		func() Config { c := testConfig(); c.SuccessesPerRelax = 0; return c }(),
+		func() Config { c := testConfig(); c.ResponseTimeout = 0; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+		if _, err := NewDetector(c, time.Now()); err == nil {
+			t.Errorf("NewDetector accepted bad config %d", i)
+		}
+	}
+}
+
+func TestPingNumbersMonotonic(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	var prev uint64
+	for i := 0; i < 100; i++ {
+		n := d.NextPingNumber(now)
+		if n <= prev {
+			t.Fatalf("ping number %d not greater than %d", n, prev)
+		}
+		prev = n
+	}
+	if d.Outstanding() != 100 {
+		t.Fatalf("Outstanding = %d", d.Outstanding())
+	}
+}
+
+func TestHealthyResponseFlow(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	n := d.NextPingNumber(now)
+	rtt, ok := d.HandleResponse(n, now.Add(3*time.Millisecond))
+	if !ok || rtt != 3*time.Millisecond {
+		t.Fatalf("HandleResponse = %v, %v", rtt, ok)
+	}
+	if d.Verdict() != Healthy {
+		t.Fatalf("Verdict = %v", d.Verdict())
+	}
+	if d.Outstanding() != 0 {
+		t.Fatal("response did not clear outstanding ping")
+	}
+}
+
+func TestDuplicateAndUnknownResponses(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	n := d.NextPingNumber(now)
+	if _, ok := d.HandleResponse(n+100, now); ok {
+		t.Fatal("unknown response accepted")
+	}
+	if _, ok := d.HandleResponse(n, now); !ok {
+		t.Fatal("valid response rejected")
+	}
+	if _, ok := d.HandleResponse(n, now); ok {
+		t.Fatal("duplicate response accepted")
+	}
+}
+
+func TestSuspicionThenFailure(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	cfg := testConfig()
+
+	// Miss pings one at a time up to the suspicion threshold.
+	for i := 0; i < cfg.SuspicionThreshold; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		verdict, expired := d.Expire(now)
+		if expired != 1 {
+			t.Fatalf("miss %d: expired %d pings", i, expired)
+		}
+		if i < cfg.SuspicionThreshold-1 && verdict != Healthy {
+			t.Fatalf("miss %d: verdict %v before threshold", i, verdict)
+		}
+	}
+	if d.Verdict() != Suspected {
+		t.Fatalf("after %d misses verdict = %v, want Suspected", cfg.SuspicionThreshold, d.Verdict())
+	}
+	// Additional misses push to Failed.
+	for i := 0; i < cfg.FailureThreshold; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		d.Expire(now)
+	}
+	if d.Verdict() != Failed {
+		t.Fatalf("verdict = %v, want Failed", d.Verdict())
+	}
+}
+
+func TestResponseClearsSuspicion(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	cfg := testConfig()
+	for i := 0; i < cfg.SuspicionThreshold; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		d.Expire(now)
+	}
+	if d.Verdict() != Suspected {
+		t.Fatalf("setup: verdict = %v", d.Verdict())
+	}
+	n := d.NextPingNumber(now)
+	d.HandleResponse(n, now.Add(time.Millisecond))
+	if d.Verdict() != Healthy {
+		t.Fatalf("response did not clear suspicion: %v", d.Verdict())
+	}
+	if d.ConsecutiveMisses() != 0 {
+		t.Fatal("consecutive misses not reset")
+	}
+}
+
+func TestFailedIsTerminal(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	cfg := testConfig()
+	for i := 0; i < cfg.SuspicionThreshold+cfg.FailureThreshold; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		d.Expire(now)
+	}
+	if d.Verdict() != Failed {
+		t.Fatalf("setup: %v", d.Verdict())
+	}
+	n := d.NextPingNumber(now)
+	d.HandleResponse(n, now.Add(time.Millisecond))
+	if d.Verdict() != Failed {
+		t.Fatalf("late response resurrected failed entity: %v", d.Verdict())
+	}
+	// Reset (re-registration) clears it.
+	d.Reset(now)
+	if d.Verdict() != Healthy || d.Outstanding() != 0 || len(d.History()) != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestIntervalHastensOnMisses(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	cfg := testConfig()
+	if d.Interval() != cfg.BaseInterval {
+		t.Fatalf("initial interval = %v", d.Interval())
+	}
+	d.NextPingNumber(now)
+	now = now.Add(cfg.ResponseTimeout)
+	d.Expire(now)
+	if got := d.Interval(); got != cfg.BaseInterval/2 {
+		t.Fatalf("after 1 miss interval = %v, want %v", got, cfg.BaseInterval/2)
+	}
+	d.NextPingNumber(now)
+	now = now.Add(cfg.ResponseTimeout)
+	d.Expire(now)
+	if got := d.Interval(); got != cfg.BaseInterval/4 {
+		t.Fatalf("after 2 misses interval = %v", got)
+	}
+	// Interval floors at MinInterval.
+	for i := 0; i < 10; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		d.Expire(now)
+	}
+	if got := d.Interval(); got != cfg.MinInterval {
+		t.Fatalf("hastened interval = %v, want floor %v", got, cfg.MinInterval)
+	}
+}
+
+func TestIntervalRelaxesWhenHealthy(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	cfg := testConfig()
+	for i := 0; i < cfg.SuccessesPerRelax; i++ {
+		n := d.NextPingNumber(now)
+		d.HandleResponse(n, now.Add(time.Millisecond))
+		now = now.Add(time.Second)
+	}
+	if got := d.Interval(); got != 2*cfg.BaseInterval {
+		t.Fatalf("after %d successes interval = %v, want %v", cfg.SuccessesPerRelax, got, 2*cfg.BaseInterval)
+	}
+	// Relaxation caps at MaxInterval.
+	for i := 0; i < 100*cfg.SuccessesPerRelax; i++ {
+		n := d.NextPingNumber(now)
+		d.HandleResponse(n, now.Add(time.Millisecond))
+	}
+	if got := d.Interval(); got != cfg.MaxInterval {
+		t.Fatalf("relaxed interval = %v, want cap %v", got, cfg.MaxInterval)
+	}
+}
+
+func TestHistoryWindowBounded(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	for i := 0; i < 3*HistorySize; i++ {
+		n := d.NextPingNumber(now)
+		d.HandleResponse(n, now.Add(time.Millisecond))
+	}
+	h := d.History()
+	if len(h) != HistorySize {
+		t.Fatalf("history length = %d, want %d", len(h), HistorySize)
+	}
+	// Newest last.
+	if h[len(h)-1].Number <= h[0].Number {
+		t.Fatal("history not ordered oldest to newest")
+	}
+}
+
+func TestNetworkMetrics(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	// 8 answered at 4ms, 2 missed.
+	for i := 0; i < 8; i++ {
+		n := d.NextPingNumber(now)
+		d.HandleResponse(n, now.Add(4*time.Millisecond))
+	}
+	for i := 0; i < 2; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(time.Second)
+		d.Expire(now)
+	}
+	m := d.NetworkMetrics()
+	if m.Samples != 10 {
+		t.Fatalf("Samples = %d", m.Samples)
+	}
+	if m.LossRate != 0.2 {
+		t.Fatalf("LossRate = %v", m.LossRate)
+	}
+	if m.MeanRTT != 4*time.Millisecond {
+		t.Fatalf("MeanRTT = %v", m.MeanRTT)
+	}
+	if m.OutOfOrderRate != 0 {
+		t.Fatalf("OutOfOrderRate = %v", m.OutOfOrderRate)
+	}
+}
+
+func TestNetworkMetricsEmpty(t *testing.T) {
+	d := newDetector(t, time.Unix(0, 0))
+	m := d.NetworkMetrics()
+	if m.Samples != 0 || m.LossRate != 0 || m.MeanRTT != 0 {
+		t.Fatalf("empty metrics = %+v", m)
+	}
+}
+
+func TestOutOfOrderDetection(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	n1 := d.NextPingNumber(now)
+	n2 := d.NextPingNumber(now)
+	// n2's response arrives before n1's.
+	d.HandleResponse(n2, now.Add(time.Millisecond))
+	d.HandleResponse(n1, now.Add(2*time.Millisecond))
+	m := d.NetworkMetrics()
+	if m.OutOfOrderRate != 0.5 {
+		t.Fatalf("OutOfOrderRate = %v, want 0.5", m.OutOfOrderRate)
+	}
+}
+
+func TestExpireOnlyAfterTimeout(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := newDetector(t, now)
+	cfg := testConfig()
+	d.NextPingNumber(now)
+	if _, expired := d.Expire(now.Add(cfg.ResponseTimeout / 2)); expired != 0 {
+		t.Fatal("ping expired before timeout")
+	}
+	if _, expired := d.Expire(now.Add(cfg.ResponseTimeout)); expired != 1 {
+		t.Fatal("ping did not expire at timeout")
+	}
+}
+
+func TestUptimeAndLastPing(t *testing.T) {
+	start := time.Unix(100, 0)
+	d := newDetector(t, start)
+	if got := d.Uptime(start.Add(5 * time.Second)); got != 5*time.Second {
+		t.Fatalf("Uptime = %v", got)
+	}
+	pingAt := start.Add(time.Second)
+	d.NextPingNumber(pingAt)
+	if !d.LastPingAt().Equal(pingAt) {
+		t.Fatalf("LastPingAt = %v", d.LastPingAt())
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if Healthy.String() != "HEALTHY" || Suspected.String() != "FAILURE_SUSPICION" || Failed.String() != "FAILED" {
+		t.Fatal("verdict strings wrong")
+	}
+	if Verdict(42).String() == "" {
+		t.Fatal("unknown verdict empty")
+	}
+}
+
+// TestVerdictMonotonicUnderMisses property: with only misses (no
+// responses), the verdict never moves backwards.
+func TestVerdictMonotonicUnderMisses(t *testing.T) {
+	prop := func(steps uint8) bool {
+		now := time.Unix(0, 0)
+		d, err := NewDetector(testConfig(), now)
+		if err != nil {
+			return false
+		}
+		prev := Healthy
+		for i := 0; i < int(steps%40); i++ {
+			d.NextPingNumber(now)
+			now = now.Add(time.Second)
+			v, _ := d.Expire(now)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLossRateBounds property: loss rate is always within [0, 1].
+func TestLossRateBounds(t *testing.T) {
+	prop := func(ops []bool) bool {
+		now := time.Unix(0, 0)
+		d, err := NewDetector(testConfig(), now)
+		if err != nil {
+			return false
+		}
+		for _, answer := range ops {
+			n := d.NextPingNumber(now)
+			if answer {
+				d.HandleResponse(n, now.Add(time.Millisecond))
+			} else {
+				now = now.Add(time.Second)
+				d.Expire(now)
+			}
+		}
+		m := d.NetworkMetrics()
+		return m.LossRate >= 0 && m.LossRate <= 1 && m.OutOfOrderRate >= 0 && m.OutOfOrderRate <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package failure_test
+
+import (
+	"fmt"
+	"time"
+
+	"entitytrace/internal/failure"
+)
+
+// The detector walks HEALTHY → FAILURE_SUSPICION → FAILED as pings go
+// unanswered (§3.3), while the adaptive interval shrinks to hasten
+// detection.
+func ExampleDetector() {
+	cfg := failure.Config{
+		BaseInterval:       time.Second,
+		MinInterval:        250 * time.Millisecond,
+		MaxInterval:        10 * time.Second,
+		ResponseTimeout:    time.Second,
+		SuspicionThreshold: 3,
+		FailureThreshold:   2,
+		SuccessesPerRelax:  30,
+	}
+	now := time.Unix(0, 0)
+	d, _ := failure.NewDetector(cfg, now)
+
+	// One answered ping: healthy.
+	n := d.NextPingNumber(now)
+	d.HandleResponse(n, now.Add(2*time.Millisecond))
+	fmt.Println(d.Verdict(), "interval:", d.Interval())
+
+	// Five unanswered pings: suspicion, then failure, with the interval
+	// hastened along the way.
+	for i := 0; i < 5; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		d.Expire(now)
+	}
+	fmt.Println(d.Verdict(), "interval:", d.Interval())
+	// Output:
+	// HEALTHY interval: 1s
+	// FAILED interval: 250ms
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"entitytrace/internal/baseline"
+	"entitytrace/internal/failure"
+	"entitytrace/internal/message"
+	"entitytrace/internal/stats"
+	"entitytrace/internal/topic"
+)
+
+// DetectionComparison contrasts failure-detection behaviour across the
+// paper's scheme and the comparison schemes of §1 and the related work:
+// end-to-end detection latency (entity dies → observer knows) and the
+// message cost per heartbeat period for a population of n entities.
+type DetectionComparison struct {
+	// Scheme names the detector.
+	Scheme string
+	// Detection summarizes measured (or simulated) detection latency in
+	// milliseconds.
+	Detection stats.Summary
+	// MessagesPerPeriod is the steady-state message cost per heartbeat
+	// period for the population.
+	MessagesPerPeriod uint64
+}
+
+// RunDetectionComparison measures the brokered scheme's real detection
+// latency (kill the entity, wait for the tracker's FAILED trace) and
+// simulates the naive all-to-all and gossip detectors with matched
+// parameters: heartbeat period = ping interval, failure threshold =
+// suspicion+failure misses. n sizes the message-cost columns and the
+// simulated populations.
+func RunDetectionComparison(n, rounds int, interestedTrackers int) ([]DetectionComparison, error) {
+	const period = 100 * time.Millisecond
+	const misses = 5 // suspicion 3 + failure 2
+
+	det := failure.Config{
+		BaseInterval:       period,
+		MinInterval:        25 * time.Millisecond,
+		MaxInterval:        time.Second,
+		ResponseTimeout:    250 * time.Millisecond,
+		SuspicionThreshold: 3,
+		FailureThreshold:   2,
+		SuccessesPerRelax:  1 << 30,
+	}
+
+	// --- brokered scheme: measured ------------------------------------
+	brokered := stats.NewSample(true)
+	for i := 0; i < rounds; i++ {
+		tb, err := New(Options{Brokers: 1, Detector: det})
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("det-entity-%d", i)
+		ent, err := tb.StartEntity(name, 0)
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		h, err := tb.StartTracker(fmt.Sprintf("det-tracker-%d", i), 0, name,
+			topic.NewClassSet(topic.ClassChangeNotifications))
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		// Let a few pings succeed so the detector is in steady state.
+		time.Sleep(3 * period)
+		DrainEvents(h.Events)
+		t0 := time.Now()
+		ent.Kill()
+		deadline := time.After(measurementTimeout)
+	wait:
+		for {
+			select {
+			case ev := <-h.Events:
+				if ev.Type == message.TraceFailed {
+					brokered.AddDuration(time.Since(t0))
+					break wait
+				}
+			case <-deadline:
+				tb.Close()
+				return nil, fmt.Errorf("round %d: FAILED trace never arrived", i)
+			}
+		}
+		tb.Close()
+	}
+
+	// --- naive all-to-all: simulated, one tick = one period ------------
+	naive := stats.NewSample(true)
+	for i := 0; i < rounds; i++ {
+		sim, err := baseline.NewAllToAll(baseline.AllToAllConfig{
+			N: n, HeartbeatEvery: 1, FailAfter: misses,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for w := 0; w < 3; w++ {
+			sim.Tick()
+		}
+		if err := sim.Kill(0); err != nil {
+			return nil, err
+		}
+		ticks, _ := sim.DetectionTicks(0)
+		naive.AddDuration(time.Duration(ticks) * period)
+	}
+
+	// --- gossip: simulated, one round = one period ----------------------
+	gossip := stats.NewSample(true)
+	for i := 0; i < rounds; i++ {
+		g, err := baseline.NewGossip(baseline.GossipConfig{
+			N: n, Fanout: 3, FailTicks: misses, Seed: int64(i + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for w := 0; w < 5; w++ {
+			g.Round()
+		}
+		if err := g.Kill(0); err != nil {
+			return nil, err
+		}
+		r, _, err := g.DetectionRounds(0, 10*misses+100)
+		if err != nil {
+			return nil, err
+		}
+		gossip.AddDuration(time.Duration(r) * period)
+	}
+
+	return []DetectionComparison{
+		{
+			Scheme:            "brokered tracing (this paper, measured)",
+			Detection:         brokered.Summarize("brokered"),
+			MessagesPerPeriod: baseline.BrokeredMessagesPerPeriod(n, interestedTrackers),
+		},
+		{
+			Scheme:            "naive all-to-all (§1, simulated)",
+			Detection:         naive.Summarize("all-to-all"),
+			MessagesPerPeriod: baseline.MessagesPerPeriod(n),
+		},
+		{
+			Scheme:            "gossip fanout=3 majority (related work [7,8], simulated)",
+			Detection:         gossip.Summarize("gossip"),
+			MessagesPerPeriod: uint64(n) * 3,
+		},
+	}, nil
+}

@@ -1,0 +1,418 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"entitytrace/internal/baseline"
+	"entitytrace/internal/core"
+	"entitytrace/internal/failure"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/stats"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+)
+
+// measurementTimeout bounds each measured round.
+const measurementTimeout = 15 * time.Second
+
+// RunTraceRouting reproduces one row of Table 3 ("Trace Routing Overhead
+// for different hops"): a chain of `hops` brokers, the traced entity on
+// the first, the measuring tracker on the last, and `rounds` state
+// transitions timed end to end. security toggles the "Authorization
+// Only" vs "Authorization & Security" variants.
+func RunTraceRouting(hops int, transportName string, security bool, perHop time.Duration, rounds int) (stats.Summary, error) {
+	tb, err := New(Options{
+		Brokers:       hops,
+		Transport:     transportName,
+		Security:      security,
+		PerHopLatency: perHop,
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	defer tb.Close()
+
+	ent, err := tb.StartEntity("t3-entity", 0)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	h, err := tb.StartTracker("t3-tracker", hops-1, "t3-entity",
+		topic.NewClassSet(topic.ClassStateTransitions))
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	if security {
+		if err := h.AwaitTraceKey(measurementTimeout); err != nil {
+			return stats.Summary{}, err
+		}
+	}
+	// Warm-up round to absorb subscription propagation.
+	if _, err := MeasureStateTraces(ent, h, 2, measurementTimeout); err != nil {
+		return stats.Summary{}, err
+	}
+	DrainEvents(h.Events)
+	sample, err := MeasureStateTraces(ent, h, rounds, measurementTimeout)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	label := fmt.Sprintf("%d hops", hops)
+	return sample.Summarize(label), nil
+}
+
+// CryptoCosts reproduces the "Security and Authorization related costs"
+// block of Table 3: per-operation costs of token generation+signing,
+// token verification, trace encryption/decryption, and signing/
+// verification of plain and encrypted trace messages.
+func CryptoCosts(iters int) ([]stats.Summary, error) {
+	pair, err := secure.GenerateKeyPair(secure.PaperRSABits)
+	if err != nil {
+		return nil, err
+	}
+	signer, err := secure.NewSigner(pair.Private, secure.SHA1)
+	if err != nil {
+		return nil, err
+	}
+	traceKey, err := secure.NewSymmetricKey(secure.PaperAESKeyBytes)
+	if err != nil {
+		return nil, err
+	}
+	// A representative trace message payload.
+	payload, err := secure.RandomBytes(256)
+	if err != nil {
+		return nil, err
+	}
+	topicID := ident.NewUUID()
+	now := time.Now()
+
+	timed := func(name string, op func() error) (stats.Summary, error) {
+		s := stats.NewSample(false)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			if err := op(); err != nil {
+				return stats.Summary{}, fmt.Errorf("%s: %w", name, err)
+			}
+			s.AddDuration(time.Since(t0))
+		}
+		return s.Summarize(name), nil
+	}
+
+	var out []stats.Summary
+
+	// Token Generation and Signing (includes the random key pair, as in
+	// §4.3 — this is why the paper's figure is ~27 ms).
+	var lastTok *token.Token
+	sm, err := timed("Token Generation and Signing", func() error {
+		d, err := token.Grant("crypto-bench", topicID, token.RightPublish, time.Hour, now, signer, secure.PaperRSABits)
+		if err != nil {
+			return err
+		}
+		lastTok = d.Token
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	sm, err = timed("Verifying Authorization Token", func() error {
+		_, err := lastTok.Verify(pair.Public, now, token.DefaultClockSkew, token.RightPublish)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	var ciphertext []byte
+	sm, err = timed("Encrypting Trace Message", func() error {
+		ct, err := traceKey.Encrypt(payload)
+		ciphertext = ct
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	sm, err = timed("Decrypting Trace Message", func() error {
+		_, err := traceKey.Decrypt(ciphertext)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	var sig []byte
+	sm, err = timed("Sign Trace Message", func() error {
+		s, err := signer.Sign(payload)
+		sig = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	sm, err = timed("Verify Signature in Trace Message", func() error {
+		return secure.Verify(pair.Public, secure.SHA1, payload, sig)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	var encSig []byte
+	sm, err = timed("Sign Encrypted Trace Message", func() error {
+		s, err := signer.Sign(ciphertext)
+		encSig = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	sm, err = timed("Verify Signature in Encrypted Trace Message", func() error {
+		return secure.Verify(pair.Public, secure.SHA1, ciphertext, encSig)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sm)
+
+	return out, nil
+}
+
+// RunKeyDistribution reproduces the "Key Distribution Overhead" block of
+// Table 3: the time from a tracker joining (announcing interest with its
+// credential) to holding the sealed secret trace key (§5.1), across a
+// chain of `hops` brokers. Each round uses a fresh tracker.
+func RunKeyDistribution(hops int, transportName string, perHop time.Duration, rounds int) (stats.Summary, error) {
+	tb, err := New(Options{
+		Brokers:       hops,
+		Transport:     transportName,
+		Security:      true,
+		PerHopLatency: perHop,
+	})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	defer tb.Close()
+	if _, err := tb.StartEntity("kd-entity", 0); err != nil {
+		return stats.Summary{}, err
+	}
+	sample := stats.NewSample(true)
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		h, err := tb.StartTracker(fmt.Sprintf("kd-tracker-%d", i), hops-1, "kd-entity",
+			topic.NewClassSet(topic.ClassChangeNotifications))
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		if err := h.AwaitTraceKey(measurementTimeout); err != nil {
+			return stats.Summary{}, err
+		}
+		sample.AddDuration(time.Since(t0))
+		h.Watch.Stop()
+	}
+	return sample.Summarize(fmt.Sprintf("%d-hops", hops)), nil
+}
+
+// ScalingPoint is one x/summary pair of a scaling curve.
+type ScalingPoint struct {
+	X       int
+	Summary stats.Summary
+}
+
+// RunTrackerScaling reproduces Figure 4: trace time as the number of
+// trackers grows (added in groups, as in Figure 3's topology). The
+// measuring tracker sits on the last broker of a 2-broker chain; load
+// trackers subscribe to the same trace topics.
+func RunTrackerScaling(trackerCounts []int, transportName string, rounds int) ([]ScalingPoint, error) {
+	tb, err := New(Options{Brokers: 2, Transport: transportName})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	ent, err := tb.StartEntity("fig4-entity", 0)
+	if err != nil {
+		return nil, err
+	}
+	measuring, err := tb.StartTracker("fig4-measuring", 1, "fig4-entity",
+		topic.NewClassSet(topic.ClassStateTransitions))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := MeasureStateTraces(ent, measuring, 2, measurementTimeout); err != nil {
+		return nil, err
+	}
+
+	var out []ScalingPoint
+	started := 1 // the measuring tracker
+	for _, want := range trackerCounts {
+		for started < want {
+			// Trackers join in groups spread across both brokers, per
+			// Figure 3.
+			bi := started % 2
+			_, err := tb.StartTracker(fmt.Sprintf("fig4-load-%d", started), bi, "fig4-entity",
+				topic.NewClassSet(topic.ClassStateTransitions, topic.ClassAllUpdates))
+			if err != nil {
+				return nil, err
+			}
+			started++
+		}
+		DrainEvents(measuring.Events)
+		sample, err := measureStateTraces(ent, measuring.Events, rounds, measurementTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("with %d trackers: %w", want, err)
+		}
+		out = append(out, ScalingPoint{X: want, Summary: sample.Summarize(fmt.Sprintf("%d trackers", want))})
+	}
+	return out, nil
+}
+
+// RunSigningOptimization reproduces Figure 5 (§6.3): end-to-end trace
+// cost with per-message entity signatures versus the symmetric-key
+// optimization.
+func RunSigningOptimization(transportName string, rounds int) (plain, optimized stats.Summary, err error) {
+	run := func(symmetric bool, label string) (stats.Summary, error) {
+		tb, err := New(Options{Brokers: 2, Transport: transportName, Symmetric: symmetric})
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		defer tb.Close()
+		ent, err := tb.StartEntity("fig5-entity", 0)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		h, err := tb.StartTracker("fig5-tracker", 1, "fig5-entity",
+			topic.NewClassSet(topic.ClassStateTransitions))
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		if _, err := MeasureStateTraces(ent, h, 2, measurementTimeout); err != nil {
+			return stats.Summary{}, err
+		}
+		DrainEvents(h.Events)
+		sample, err := MeasureStateTraces(ent, h, rounds, measurementTimeout)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		return sample.Summarize(label), nil
+	}
+	plain, err = run(false, "per-message signing")
+	if err != nil {
+		return
+	}
+	optimized, err = run(true, "symmetric-key optimization")
+	return
+}
+
+// RunEntityScaling reproduces Table 4: 1 broker, a fixed population of
+// trackers, and a growing number of actively traced entities. Every
+// tracker follows every entity's state transitions (so the per-trace
+// security work at entities and broker scales with the population, as
+// in §6.4); the measurement cycles state reports across all entities.
+// entityCounts must be non-decreasing.
+func RunEntityScaling(entityCounts []int, trackers int, transportName string, rounds int) ([]ScalingPoint, error) {
+	// The paper ran every traced entity and tracker on one machine, so
+	// "the security operations related to the generation of trace
+	// messages ... impacted the overall performance" (§6.4). Aggressive
+	// pings recreate that per-entity signing load: each entity signs a
+	// ping response every 20 ms and the broker token-signs the resulting
+	// heartbeat, so CPU contention grows with the population.
+	tb, err := New(Options{
+		Brokers:   1,
+		Transport: transportName,
+		Detector: failure.Config{
+			BaseInterval:       20 * time.Millisecond,
+			MinInterval:        10 * time.Millisecond,
+			MaxInterval:        time.Second,
+			ResponseTimeout:    500 * time.Millisecond,
+			SuspicionThreshold: 8,
+			FailureThreshold:   4,
+			SuccessesPerRelax:  1 << 30,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	type tracked struct {
+		ent *core.TracedEntity
+		h   *TrackerHandle // the measuring tracker's watch events
+	}
+	var ents []tracked
+	var loadTrackers []*core.Tracker
+
+	// One measuring tracker observes all entities; the remaining
+	// trackers provide fan-out load.
+	var out []ScalingPoint
+	for _, want := range entityCounts {
+		for len(ents) < want {
+			i := len(ents)
+			name := fmt.Sprintf("t4-entity-%d", i)
+			ent, err := tb.StartEntity(name, 0)
+			if err != nil {
+				return nil, err
+			}
+			h, err := tb.StartTracker(fmt.Sprintf("t4-measure-%d", i), 0, name,
+				topic.NewClassSet(topic.ClassStateTransitions, topic.ClassAllUpdates))
+			if err != nil {
+				return nil, err
+			}
+			ents = append(ents, tracked{ent: ent, h: h})
+		}
+		// Bring the load-tracker population up to `trackers`; each load
+		// tracker follows entity i%N.
+		for len(loadTrackers) < trackers {
+			i := len(loadTrackers)
+			target := fmt.Sprintf("t4-entity-%d", i%len(ents))
+			h, err := tb.StartTracker(fmt.Sprintf("t4-load-%d", i), 0, target,
+				topic.NewClassSet(topic.ClassStateTransitions, topic.ClassAllUpdates))
+			if err != nil {
+				return nil, err
+			}
+			loadTrackers = append(loadTrackers, h.Tracker)
+		}
+
+		sample := stats.NewSample(true)
+		for round := 0; round < rounds; round++ {
+			tr := ents[round%len(ents)]
+			DrainEvents(tr.h.Events)
+			one, err := measureStateTraces(tr.ent, tr.h.Events, 1, measurementTimeout)
+			if err != nil {
+				return nil, fmt.Errorf("with %d entities: %w", want, err)
+			}
+			sample.Add(one.Mean())
+		}
+		out = append(out, ScalingPoint{X: want, Summary: sample.Summarize(fmt.Sprintf("%d entities", want))})
+	}
+	return out, nil
+}
+
+// ComplexityRow is one row of the §1 message-complexity comparison.
+type ComplexityRow struct {
+	N        int
+	AllToAll uint64
+	Brokered uint64
+}
+
+// MessageComplexity contrasts the naive N×(N−1) scheme of §1 with the
+// brokered, interest-gated scheme for the given entity counts and
+// tracker population.
+func MessageComplexity(ns []int, interestedTrackers int) []ComplexityRow {
+	out := make([]ComplexityRow, 0, len(ns))
+	for _, n := range ns {
+		out = append(out, ComplexityRow{
+			N:        n,
+			AllToAll: baseline.MessagesPerPeriod(n),
+			Brokered: baseline.BrokeredMessagesPerPeriod(n, interestedTrackers),
+		})
+	}
+	return out
+}

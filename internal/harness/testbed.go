@@ -1,0 +1,360 @@
+// Package harness builds reproducible experiment environments for the
+// paper's evaluation (§6): chains of brokers (Figure 1), the star of
+// tracker groups (Figure 3), and measurement routines producing the
+// mean/standard-deviation/standard-error summaries of Tables 3 and 4.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/clock"
+	"entitytrace/internal/core"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/failure"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/stats"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// Options configures a testbed.
+type Options struct {
+	// Brokers is the chain length. The paper's "N hops" topology is a
+	// chain of N brokers with the traced entity attached to the first
+	// and the measuring tracker to the last.
+	Brokers int
+	// Transport selects "inproc", "tcp" or "udp".
+	Transport string
+	// PerHopLatency injects artificial one-way latency on every link,
+	// standing in for the paper's LAN (§6.1 reports 1-2 ms per hop).
+	PerHopLatency time.Duration
+	// Security enables §5.1 trace encryption ("authorization & security"
+	// rows of Table 3); with it off only authorization applies.
+	Security bool
+	// Symmetric enables the §6.3 signing-cost optimization.
+	Symmetric bool
+	// Detector overrides failure detection tuning (zero selects a
+	// 100 ms ping interval suitable for experiments).
+	Detector failure.Config
+	// GaugeInterval overrides the §3.5 interest-gauging period.
+	GaugeInterval time.Duration
+	// InterestTTL overrides how long tracker interest lasts without
+	// renewal (default: effectively forever, for stable measurements).
+	InterestTTL time.Duration
+	// KeyBits sizes all RSA keys (default secure.PaperRSABits).
+	KeyBits int
+}
+
+func (o *Options) setDefaults() {
+	if o.Brokers <= 0 {
+		o.Brokers = 1
+	}
+	if o.Transport == "" {
+		o.Transport = "inproc"
+	}
+	if o.Detector == (failure.Config{}) {
+		o.Detector = failure.Config{
+			BaseInterval:       100 * time.Millisecond,
+			MinInterval:        25 * time.Millisecond,
+			MaxInterval:        time.Second,
+			ResponseTimeout:    250 * time.Millisecond,
+			SuspicionThreshold: 3,
+			FailureThreshold:   2,
+			SuccessesPerRelax:  1 << 30, // keep the interval fixed during measurements
+		}
+	}
+	if o.GaugeInterval <= 0 {
+		o.GaugeInterval = 250 * time.Millisecond
+	}
+	if o.InterestTTL <= 0 {
+		o.InterestTTL = time.Hour // interest never expires mid-experiment
+	}
+	if o.KeyBits <= 0 {
+		o.KeyBits = secure.PaperRSABits
+	}
+}
+
+// Testbed is a running system: CA, TDN, broker chain with trace
+// managers.
+type Testbed struct {
+	Opts     Options
+	CA       *credential.Authority
+	Verifier *credential.Verifier
+	Node     *tdn.Node
+	Brokers  []*broker.Broker
+	Managers []*core.TraceBroker
+	Addrs    []string
+
+	tr       transport.Transport
+	entities []*core.TracedEntity
+	trackers []*core.Tracker
+}
+
+// New builds a testbed with opts.
+func New(opts Options) (*Testbed, error) {
+	opts.setDefaults()
+	tb := &Testbed{Opts: opts}
+
+	var tr transport.Transport
+	var err error
+	if opts.Transport == "inproc" {
+		tr = transport.NewInproc()
+	} else {
+		tr, err = transport.New(opts.Transport)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.PerHopLatency > 0 {
+		tr = transport.NewShaped(tr, transport.ShapeConfig{Latency: opts.PerHopLatency, Seed: 1})
+	}
+	tb.tr = tr
+
+	tb.CA, err = credential.NewAuthority("harness-ca", credential.WithKeyBits(opts.KeyBits))
+	if err != nil {
+		return nil, err
+	}
+	tb.Verifier, err = credential.NewVerifier(tb.CA.CACertificate())
+	if err != nil {
+		return nil, err
+	}
+	tdnID, err := tb.CA.Issue("harness-tdn")
+	if err != nil {
+		return nil, err
+	}
+	tb.Node, err = tdn.NewNode(tdnID, tb.Verifier)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < opts.Brokers; i++ {
+		resolver := core.NewCachingResolver(core.NodeResolver(tb.Node))
+		guard := core.NewTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew)
+		b := broker.New(broker.Config{Name: fmt.Sprintf("hb%d", i), Guard: guard})
+		l, err := tb.listen()
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		b.Serve(l)
+		brokerID, err := tb.CA.Issue(ident.EntityID(fmt.Sprintf("harness-broker-%d", i)))
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		mgr, err := core.NewTraceBroker(core.BrokerConfig{
+			Broker:        b,
+			Identity:      brokerID,
+			Verifier:      tb.Verifier,
+			Resolver:      resolver,
+			Clock:         clock.Real{},
+			Detector:      opts.Detector,
+			GaugeInterval: opts.GaugeInterval,
+			InterestTTL:   opts.InterestTTL,
+		})
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		mgr.Start()
+		tb.Brokers = append(tb.Brokers, b)
+		tb.Managers = append(tb.Managers, mgr)
+		tb.Addrs = append(tb.Addrs, l.Addr())
+		if i > 0 {
+			if err := b.ConnectTo(tb.tr, tb.Addrs[i-1]); err != nil {
+				tb.Close()
+				return nil, err
+			}
+		}
+	}
+	return tb, nil
+}
+
+// Transport exposes the testbed's transport so callers can attach extra
+// raw clients (observers, adversaries) to its brokers.
+func (tb *Testbed) Transport() transport.Transport { return tb.tr }
+
+func (tb *Testbed) listen() (transport.Listener, error) {
+	if tb.Opts.Transport == "inproc" {
+		return tb.tr.Listen("")
+	}
+	return tb.tr.Listen("127.0.0.1:0")
+}
+
+// Close tears the system down.
+func (tb *Testbed) Close() {
+	for _, tk := range tb.trackers {
+		tk.Close()
+	}
+	for _, e := range tb.entities {
+		_ = e.Stop()
+	}
+	for _, m := range tb.Managers {
+		m.Close()
+	}
+	for _, b := range tb.Brokers {
+		b.Close()
+	}
+}
+
+// StartEntity brings up a traced entity attached to broker brokerIdx.
+func (tb *Testbed) StartEntity(name string, brokerIdx int) (*core.TracedEntity, error) {
+	if brokerIdx < 0 || brokerIdx >= len(tb.Addrs) {
+		return nil, errors.New("harness: broker index out of range")
+	}
+	id, err := tb.CA.Issue(ident.EntityID(name))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := broker.Connect(tb.tr, tb.Addrs[brokerIdx], ident.EntityID(name))
+	if err != nil {
+		return nil, err
+	}
+	ent, err := core.StartTracing(core.EntityConfig{
+		Identity:         id,
+		Verifier:         tb.Verifier,
+		Registry:         tb.Node,
+		Client:           cl,
+		SecureTraces:     tb.Opts.Security,
+		SymmetricChannel: tb.Opts.Symmetric,
+		AllowAnyTracker:  true,
+		TokenKeyBits:     tb.Opts.KeyBits,
+		TokenValidity:    time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.entities = append(tb.entities, ent)
+	return ent, nil
+}
+
+// TrackerHandle couples a tracker with its event stream for one watch.
+type TrackerHandle struct {
+	Tracker *core.Tracker
+	Watch   *core.Watch
+	Events  chan core.Event
+}
+
+// StartTracker brings up a tracker on broker brokerIdx following the
+// named entity with the given classes. Its events arrive on the
+// returned channel (buffered; overflow drops).
+func (tb *Testbed) StartTracker(name string, brokerIdx int, entity string, classes topic.ClassSet) (*TrackerHandle, error) {
+	if brokerIdx < 0 || brokerIdx >= len(tb.Addrs) {
+		return nil, errors.New("harness: broker index out of range")
+	}
+	id, err := tb.CA.Issue(ident.EntityID(name))
+	if err != nil {
+		return nil, err
+	}
+	cl, err := broker.Connect(tb.tr, tb.Addrs[brokerIdx], ident.EntityID(name))
+	if err != nil {
+		return nil, err
+	}
+	tk, err := core.NewTracker(core.TrackerConfig{
+		Identity:  id,
+		Verifier:  tb.Verifier,
+		Discovery: tb.Node,
+		Resolver:  core.NewCachingResolver(core.NodeResolver(tb.Node)),
+		Client:    cl,
+	})
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	ad, err := tk.Discover(ident.EntityID(entity))
+	if err != nil {
+		tk.Close()
+		return nil, err
+	}
+	events := make(chan core.Event, 1024)
+	w, err := tk.Track(ad, classes, func(ev core.Event) {
+		select {
+		case events <- ev:
+		default:
+		}
+	})
+	if err != nil {
+		tk.Close()
+		return nil, err
+	}
+	tb.trackers = append(tb.trackers, tk)
+	return &TrackerHandle{Tracker: tk, Watch: w, Events: events}, nil
+}
+
+// AwaitTraceKey blocks until the §5.1 trace key reaches the watch.
+func (h *TrackerHandle) AwaitTraceKey(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h.Watch.HasTraceKey() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("harness: trace key not delivered in time")
+}
+
+// MeasureStateTraces measures end-to-end trace routing overhead: the
+// traced entity reports a state transition and the measuring tracker
+// timestamps the verified delivery. Both run in this process (as in the
+// paper, "to obviate the need for clock synchronizations, the traced
+// entity and the measuring tracker were hosted on the same machine"),
+// so latency = receive time − report time. It returns a Sample in
+// milliseconds.
+func MeasureStateTraces(ent *core.TracedEntity, h *TrackerHandle, rounds int, timeout time.Duration) (*stats.Sample, error) {
+	return measureStateTraces(ent, h.Events, rounds, timeout)
+}
+
+func measureStateTraces(ent *core.TracedEntity, events <-chan core.Event, rounds int, timeout time.Duration) (*stats.Sample, error) {
+	sample := stats.NewSample(true)
+	// Alternate between READY and RECOVERING so each report is a real
+	// transition.
+	for i := 0; i < rounds; i++ {
+		want := core.StateForRound(i)
+		if err := ent.SetState(want); err != nil {
+			return nil, err
+		}
+		deadline := time.After(timeout)
+	waiting:
+		for {
+			// Interest registration is asynchronous (§3.5): a transition
+			// reported before the broker learns of the tracker's interest
+			// is legitimately not published. Re-issue the transition on a
+			// sub-timeout; each delivered event carries its own report
+			// timestamp, so retries do not distort the measured latency.
+			retry := time.After(time.Second)
+			select {
+			case ev := <-events:
+				if ev.State == nil || ev.State.To != want {
+					continue waiting
+				}
+				lat := ev.ReceivedAt.Sub(time.Unix(0, ev.State.At))
+				sample.AddDuration(lat)
+				break waiting
+			case <-retry:
+				if err := ent.SetState(want); err != nil {
+					return nil, err
+				}
+			case <-deadline:
+				return nil, fmt.Errorf("harness: round %d: no state trace within %v", i, timeout)
+			}
+		}
+	}
+	return sample, nil
+}
+
+// DrainEvents empties an event channel (between measurement phases).
+func DrainEvents(events <-chan core.Event) {
+	for {
+		select {
+		case <-events:
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package message
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/topic"
+)
+
+// Type identifies the content of a message. Values below firstTraceType
+// are protocol messages; the remainder are the trace types of Table 1.
+type Type uint16
+
+// Protocol message types.
+const (
+	// TypeData is an application payload with no protocol meaning.
+	TypeData Type = iota
+	// TypeRegistration is a trace registration (§3.2).
+	TypeRegistration
+	// TypeRegistrationResponse acknowledges a registration with a session
+	// identifier (§3.2).
+	TypeRegistrationResponse
+	// TypePing is a broker-initiated ping (§3.3).
+	TypePing
+	// TypePingResponse answers a ping, echoing number and timestamp.
+	TypePingResponse
+	// TypeInterestResponse answers a GUAGE_INTEREST probe (§3.5).
+	TypeInterestResponse
+	// TypeKeyDelivery carries a sealed secret trace key (§5.1).
+	TypeKeyDelivery
+	// TypeStateReport carries a state transition from the traced entity
+	// to its broker.
+	TypeStateReport
+	// TypeLoadReport carries load information from the traced entity.
+	TypeLoadReport
+	// TypeError reports a protocol failure back to a requester.
+	TypeError
+	// TypeDelegation carries a sealed authorization-token delegation
+	// (§4.3) from the traced entity to its hosting broker.
+	TypeDelegation
+	// TypeSilentMode asks the broker to disable tracing for the session
+	// (the broker publishes REVERTING_TO_SILENT_MODE, §3.3).
+	TypeSilentMode
+	// TypeResume re-enables tracing after silent mode.
+	TypeResume
+
+	firstTraceType
+)
+
+// Trace types (Table 1).
+const (
+	// State information reported by a traced entity.
+	TraceInitializing Type = firstTraceType + iota
+	TraceRecovering
+	TraceReady
+	TraceShutdown
+	// Broker-generated failure-detection traces.
+	TraceFailureSuspicion
+	TraceFailed
+	TraceDisconnect
+	// Interest gauging.
+	TraceGaugeInterest
+	// Tracing lifecycle.
+	TraceJoin
+	TraceRevertingToSilentMode
+	// Heartbeats.
+	TraceAllsWell
+	// Load and network information.
+	TraceLoadInformation
+	TraceNetworkMetrics
+
+	lastType
+)
+
+// IsTrace reports whether the type is one of Table 1's trace types.
+// (TraceInitializing aliases firstTraceType, so every value from there to
+// lastType is a trace.)
+func (t Type) IsTrace() bool { return t >= firstTraceType && t < lastType }
+
+// Valid reports whether t is a known message type.
+func (t Type) Valid() bool { return t < lastType }
+
+// String returns the paper's spelling of the type where one exists.
+func (t Type) String() string {
+	switch t {
+	case TypeData:
+		return "DATA"
+	case TypeRegistration:
+		return "REGISTRATION"
+	case TypeRegistrationResponse:
+		return "REGISTRATION_RESPONSE"
+	case TypePing:
+		return "PING"
+	case TypePingResponse:
+		return "PING_RESPONSE"
+	case TypeInterestResponse:
+		return "INTEREST_RESPONSE"
+	case TypeKeyDelivery:
+		return "KEY_DELIVERY"
+	case TypeStateReport:
+		return "STATE_REPORT"
+	case TypeLoadReport:
+		return "LOAD_REPORT"
+	case TypeError:
+		return "ERROR"
+	case TypeDelegation:
+		return "DELEGATION"
+	case TypeSilentMode:
+		return "SILENT_MODE"
+	case TypeResume:
+		return "RESUME"
+	case TraceInitializing:
+		return "INITIALIZING"
+	case TraceRecovering:
+		return "RECOVERING"
+	case TraceReady:
+		return "READY"
+	case TraceShutdown:
+		return "SHUTDOWN"
+	case TraceFailureSuspicion:
+		return "FAILURE_SUSPICION"
+	case TraceFailed:
+		return "FAILED"
+	case TraceDisconnect:
+		return "DISCONNECT"
+	case TraceGaugeInterest:
+		return "GUAGE_INTEREST" // the paper's own spelling
+	case TraceJoin:
+		return "JOIN"
+	case TraceRevertingToSilentMode:
+		return "REVERTING_TO_SILENT_MODE"
+	case TraceAllsWell:
+		return "ALLS_WELL"
+	case TraceLoadInformation:
+		return "LOAD_INFORMATION"
+	case TraceNetworkMetrics:
+		return "NETWORK_METRICS"
+	default:
+		return fmt.Sprintf("Type(%d)", uint16(t))
+	}
+}
+
+// Envelope flags.
+const (
+	// FlagEncrypted marks a payload encrypted under the secret trace key
+	// (§5.1) or the entity↔broker symmetric key (§6.3).
+	FlagEncrypted uint16 = 1 << iota
+	// FlagSecured in a GUAGE_INTEREST probe announces that traces will be
+	// secured (§5.1: "it also sets a flag indicating that the traces will
+	// be secured").
+	FlagSecured
+)
+
+// envelopeVersion is the wire format version byte.
+const envelopeVersion = 1
+
+// DefaultTTL bounds broker-network forwarding of a message.
+const DefaultTTL = 32
+
+// Envelope is the unit of exchange in the broker network. Topic routing
+// uses Topic; authorization uses Source, Signature and Token; Payload is
+// type-specific.
+type Envelope struct {
+	// ID uniquely identifies the message, for duplicate suppression
+	// during routing.
+	ID ident.UUID
+	// Type identifies the payload's meaning.
+	Type Type
+	// Topic is the topic the message is published on.
+	Topic topic.Topic
+	// Source names the publishing entity ("" for broker-originated
+	// messages).
+	Source ident.EntityID
+	// Timestamp is the publish time in Unix nanoseconds.
+	Timestamp int64
+	// SeqNum is a per-publisher monotonically increasing number; pings
+	// use it for loss and reordering detection (§3.3).
+	SeqNum uint64
+	// RequestID correlates responses with requests (§3.2).
+	RequestID ident.UUID
+	// TTL bounds forwarding hops.
+	TTL uint8
+	// Flags carries FlagEncrypted / FlagSecured.
+	Flags uint16
+	// Payload is the serialized type-specific body.
+	Payload []byte
+	// Token is a serialized authorization token (§4.3), required on
+	// broker-published trace messages.
+	Token []byte
+	// Signature covers SigningBytes (§4.2: every trace message initiated
+	// at a traced entity is cryptographically signed).
+	Signature []byte
+}
+
+// New builds an envelope with a fresh ID, the given type/topic/payload,
+// the current time and the default TTL.
+func New(t Type, tp topic.Topic, source ident.EntityID, payload []byte) *Envelope {
+	return &Envelope{
+		ID:        ident.NewUUID(),
+		Type:      t,
+		Topic:     tp,
+		Source:    source,
+		Timestamp: time.Now().UnixNano(),
+		TTL:       DefaultTTL,
+		Payload:   payload,
+	}
+}
+
+// Time returns the timestamp as a time.Time.
+func (e *Envelope) Time() time.Time { return time.Unix(0, e.Timestamp) }
+
+// marshalBody serializes everything except the signature. includeTTL
+// distinguishes the wire form (TTL present) from the signed form: TTL is
+// mutable routing state, decremented at every forwarding broker, so it
+// must be excluded from signatures (like the mutable header fields of
+// IPsec AH).
+func (e *Envelope) marshalBody(w *writer, includeTTL bool) {
+	w.u8(envelopeVersion)
+	w.uuid(e.ID)
+	w.u16(uint16(e.Type))
+	w.str(e.Topic.String())
+	w.str(string(e.Source))
+	w.i64(e.Timestamp)
+	w.u64(e.SeqNum)
+	w.uuid(e.RequestID)
+	if includeTTL {
+		w.u8(e.TTL)
+	}
+	w.u16(e.Flags)
+	w.bytes(e.Payload)
+	w.bytes(e.Token)
+}
+
+// SigningBytes returns the canonical byte string a signature covers: the
+// full body excluding the signature itself and the mutable TTL.
+func (e *Envelope) SigningBytes() []byte {
+	var w writer
+	e.marshalBody(&w, false)
+	return w.buf
+}
+
+// Sign computes and attaches a signature over SigningBytes (§3.2: the
+// signing is done by computing the checksum for the message and
+// encrypting this message digest with its private key).
+func (e *Envelope) Sign(s *secure.Signer) error {
+	sig, err := s.Sign(e.SigningBytes())
+	if err != nil {
+		return err
+	}
+	e.Signature = sig
+	return nil
+}
+
+// VerifySignature checks the attached signature against pub.
+func (e *Envelope) VerifySignature(pub *rsa.PublicKey, h secure.Hash) error {
+	if len(e.Signature) == 0 {
+		return errors.New("message: envelope is unsigned")
+	}
+	return secure.Verify(pub, h, e.SigningBytes(), e.Signature)
+}
+
+// Marshal serializes the envelope including any signature.
+func (e *Envelope) Marshal() []byte {
+	var w writer
+	e.marshalBody(&w, true)
+	w.bytes(e.Signature)
+	return w.buf
+}
+
+// Unmarshal parses a wire-format envelope.
+func Unmarshal(b []byte) (*Envelope, error) {
+	r := newReader(b)
+	if v := r.u8(); r.err == nil && v != envelopeVersion {
+		return nil, fmt.Errorf("message: unsupported envelope version %d", v)
+	}
+	e := &Envelope{}
+	e.ID = r.uuid()
+	e.Type = Type(r.u16())
+	topicStr := r.str()
+	e.Source = ident.EntityID(r.str())
+	e.Timestamp = r.i64()
+	e.SeqNum = r.u64()
+	e.RequestID = r.uuid()
+	e.TTL = r.u8()
+	e.Flags = r.u16()
+	e.Payload = r.bytes()
+	e.Token = r.bytes()
+	e.Signature = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	tp, err := topic.Parse(topicStr)
+	if err != nil {
+		return nil, fmt.Errorf("message: envelope topic: %w", err)
+	}
+	e.Topic = tp
+	if !e.Type.Valid() {
+		return nil, fmt.Errorf("message: unknown message type %d", uint16(e.Type))
+	}
+	return e, nil
+}
+
+// Clone returns a deep copy; brokers clone before mutating TTL so shared
+// references stay immutable.
+func (e *Envelope) Clone() *Envelope {
+	cp := *e
+	cp.Payload = append([]byte(nil), e.Payload...)
+	cp.Token = append([]byte(nil), e.Token...)
+	cp.Signature = append([]byte(nil), e.Signature...)
+	return &cp
+}

@@ -1,0 +1,65 @@
+package message
+
+import (
+	"testing"
+
+	"entitytrace/internal/topic"
+)
+
+// FuzzUnmarshalEnvelope hammers the envelope parser with mutated wire
+// bytes: it must never panic, and anything it accepts must re-marshal
+// and re-parse to the same bytes-level structure.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	e := New(TraceAllsWell, topic.MustParse("/Constrained/Traces/Broker/Publish-Only/tt/AllUpdates"),
+		"entity", []byte("payload"))
+	e.Token = []byte("token")
+	e.Signature = []byte("signature")
+	f.Add(e.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		back, err := Unmarshal(env.Marshal())
+		if err != nil {
+			t.Fatalf("accepted envelope does not round trip: %v", err)
+		}
+		if back.ID != env.ID || back.Type != env.Type || !back.Topic.Equal(env.Topic) {
+			t.Fatal("round trip changed envelope identity")
+		}
+	})
+}
+
+// FuzzPayloadParsers covers every typed payload decoder.
+func FuzzPayloadParsers(f *testing.F) {
+	f.Add((&Registration{Entity: "e", CertDER: []byte{1}}).Marshal())
+	f.Add((&Ping{Number: 1}).Marshal())
+	f.Add((&PingResponse{State: StateReady}).Marshal())
+	f.Add((&StateReport{From: StateReady, To: StateShutdown}).Marshal())
+	f.Add((&LoadReport{CPUPercent: 1}).Marshal())
+	f.Add((&NetworkReport{LossRate: 0.5}).Marshal())
+	f.Add((&GaugeInterestProbe{Secured: true}).Marshal())
+	f.Add((&InterestResponse{Tracker: "t"}).Marshal())
+	f.Add((&TraceKey{Purpose: PurposeTrace, Key: []byte{1}}).Marshal())
+	f.Add((&Delegation{TokenBytes: []byte{1}}).Marshal())
+	f.Add((&TraceEvent{Entity: "e"}).Marshal())
+	f.Add((&ErrorReport{Code: 1}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// None of these may panic on arbitrary input.
+		_, _ = UnmarshalRegistration(data)
+		_, _ = UnmarshalRegistrationResponse(data)
+		_, _ = UnmarshalPing(data)
+		_, _ = UnmarshalPingResponse(data)
+		_, _ = UnmarshalStateReport(data)
+		_, _ = UnmarshalLoadReport(data)
+		_, _ = UnmarshalNetworkReport(data)
+		_, _ = UnmarshalGaugeInterestProbe(data)
+		_, _ = UnmarshalInterestResponse(data)
+		_, _ = UnmarshalTraceKey(data)
+		_, _ = UnmarshalDelegation(data)
+		_, _ = UnmarshalTraceEvent(data)
+		_, _ = UnmarshalErrorReport(data)
+	})
+}

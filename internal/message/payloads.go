@@ -1,0 +1,533 @@
+package message
+
+import (
+	"fmt"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/topic"
+)
+
+// EntityState is a traced entity's lifecycle state (§3.3: INITIALIZING,
+// RECOVERING, READY or SHUTDOWN).
+type EntityState uint8
+
+const (
+	StateInitializing EntityState = iota
+	StateRecovering
+	StateReady
+	StateShutdown
+)
+
+// String returns the paper's spelling of the state.
+func (s EntityState) String() string {
+	switch s {
+	case StateInitializing:
+		return "INITIALIZING"
+	case StateRecovering:
+		return "RECOVERING"
+	case StateReady:
+		return "READY"
+	case StateShutdown:
+		return "SHUTDOWN"
+	default:
+		return fmt.Sprintf("EntityState(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is a defined state.
+func (s EntityState) Valid() bool { return s <= StateShutdown }
+
+// TraceType returns the Table 1 trace type announcing this state.
+func (s EntityState) TraceType() Type {
+	switch s {
+	case StateInitializing:
+		return TraceInitializing
+	case StateRecovering:
+		return TraceRecovering
+	case StateReady:
+		return TraceReady
+	default:
+		return TraceShutdown
+	}
+}
+
+// Registration is the payload of a TypeRegistration message (§3.2): the
+// entity's identifier and credentials and the trace-topic advertisement
+// establishing provenance, plus the entity's security elections. The
+// request identifier and the signature live on the envelope. Keys (the
+// §6.3 symmetric channel key, the §5.1 secret trace key and the §4.3
+// delegation) follow after the response, sealed to the broker credential
+// it carries.
+type Registration struct {
+	Entity        ident.EntityID
+	CertDER       []byte
+	Advertisement []byte
+	// SecureTraces requests §5.1 confidentiality: the entity will send a
+	// secret trace key and the broker will encrypt published traces.
+	SecureTraces bool
+	// SymmetricChannel requests the §6.3 signing-cost optimization: the
+	// entity will send a shared symmetric key and authenticate its
+	// messages by authenticated encryption instead of signatures.
+	SymmetricChannel bool
+}
+
+// Marshal serializes the registration payload.
+func (rg *Registration) Marshal() []byte {
+	var w writer
+	w.str(string(rg.Entity))
+	w.bytes(rg.CertDER)
+	w.bytes(rg.Advertisement)
+	if rg.SecureTraces {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	if rg.SymmetricChannel {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.buf
+}
+
+// UnmarshalRegistration parses a Registration payload.
+func UnmarshalRegistration(b []byte) (*Registration, error) {
+	r := newReader(b)
+	rg := &Registration{}
+	rg.Entity = ident.EntityID(r.str())
+	rg.CertDER = r.bytes()
+	rg.Advertisement = r.bytes()
+	rg.SecureTraces = r.u8() == 1
+	rg.SymmetricChannel = r.u8() == 1
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rg, nil
+}
+
+// RegistrationResponse is the *sealed* body of a
+// TypeRegistrationResponse: the request identifier from the original
+// message and the newly generated session identifier (§3.2). The entire
+// struct is encrypted with a random secret key wrapped under the
+// entity's public key; the envelope's Payload carries the sealed bytes.
+type RegistrationResponse struct {
+	RequestID ident.RequestID
+	SessionID ident.SessionID
+	// BrokerCert is the hosting broker's DER credential; the entity
+	// seals its keys and delegation to this certificate's public key.
+	BrokerCert []byte
+}
+
+// Marshal serializes the response body (pre-sealing).
+func (rr *RegistrationResponse) Marshal() []byte {
+	var w writer
+	w.uuid(rr.RequestID)
+	w.uuid(rr.SessionID)
+	w.bytes(rr.BrokerCert)
+	return w.buf
+}
+
+// UnmarshalRegistrationResponse parses a response body (post-opening).
+func UnmarshalRegistrationResponse(b []byte) (*RegistrationResponse, error) {
+	r := newReader(b)
+	rr := &RegistrationResponse{}
+	rr.RequestID = r.uuid()
+	rr.SessionID = r.uuid()
+	rr.BrokerCert = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return rr, nil
+}
+
+// Ping is the payload of a broker-initiated ping (§3.3): a monotonically
+// increasing message number and the broker timestamp at issue time.
+type Ping struct {
+	Number          uint64
+	BrokerTimestamp int64
+}
+
+// Marshal serializes the ping.
+func (p *Ping) Marshal() []byte {
+	var w writer
+	w.u64(p.Number)
+	w.i64(p.BrokerTimestamp)
+	return w.buf
+}
+
+// UnmarshalPing parses a Ping payload.
+func UnmarshalPing(b []byte) (*Ping, error) {
+	r := newReader(b)
+	p := &Ping{}
+	p.Number = r.u64()
+	p.BrokerTimestamp = r.i64()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PingResponse answers a ping; it must include both the message number
+// and the timestamp contained in the original ping (§3.3).
+type PingResponse struct {
+	Number          uint64
+	BrokerTimestamp int64
+	EntityTimestamp int64
+	State           EntityState
+}
+
+// Marshal serializes the ping response.
+func (p *PingResponse) Marshal() []byte {
+	var w writer
+	w.u64(p.Number)
+	w.i64(p.BrokerTimestamp)
+	w.i64(p.EntityTimestamp)
+	w.u8(uint8(p.State))
+	return w.buf
+}
+
+// UnmarshalPingResponse parses a PingResponse payload.
+func UnmarshalPingResponse(b []byte) (*PingResponse, error) {
+	r := newReader(b)
+	p := &PingResponse{}
+	p.Number = r.u64()
+	p.BrokerTimestamp = r.i64()
+	p.EntityTimestamp = r.i64()
+	p.State = EntityState(r.u8())
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if !p.State.Valid() {
+		return nil, fmt.Errorf("message: invalid entity state %d", uint8(p.State))
+	}
+	return p, nil
+}
+
+// StateReport is sent by a traced entity whenever a state transition
+// occurs (§3.3).
+type StateReport struct {
+	From EntityState
+	To   EntityState
+	At   int64
+}
+
+// Marshal serializes the state report.
+func (s *StateReport) Marshal() []byte {
+	var w writer
+	w.u8(uint8(s.From))
+	w.u8(uint8(s.To))
+	w.i64(s.At)
+	return w.buf
+}
+
+// UnmarshalStateReport parses a StateReport payload.
+func UnmarshalStateReport(b []byte) (*StateReport, error) {
+	r := newReader(b)
+	s := &StateReport{}
+	s.From = EntityState(r.u8())
+	s.To = EntityState(r.u8())
+	s.At = r.i64()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if !s.From.Valid() || !s.To.Valid() {
+		return nil, fmt.Errorf("message: invalid state transition %d->%d", s.From, s.To)
+	}
+	return s, nil
+}
+
+// LoadReport carries the load information of §3.3: CPU info, memory
+// usage and workload.
+type LoadReport struct {
+	CPUPercent       float64
+	MemoryUsedBytes  uint64
+	MemoryTotalBytes uint64
+	Workload         float64
+	At               int64
+}
+
+// Marshal serializes the load report.
+func (l *LoadReport) Marshal() []byte {
+	var w writer
+	w.f64(l.CPUPercent)
+	w.u64(l.MemoryUsedBytes)
+	w.u64(l.MemoryTotalBytes)
+	w.f64(l.Workload)
+	w.i64(l.At)
+	return w.buf
+}
+
+// UnmarshalLoadReport parses a LoadReport payload.
+func UnmarshalLoadReport(b []byte) (*LoadReport, error) {
+	r := newReader(b)
+	l := &LoadReport{}
+	l.CPUPercent = r.f64()
+	l.MemoryUsedBytes = r.u64()
+	l.MemoryTotalBytes = r.u64()
+	l.Workload = r.f64()
+	l.At = r.i64()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// NetworkReport carries the network-realm metrics of §3.3, computed by
+// the broker from ping/response behaviour: loss rates, transit delay and
+// bandwidth, plus out-of-order delivery rates.
+type NetworkReport struct {
+	LossRate       float64
+	MeanRTTMillis  float64
+	OutOfOrderRate float64
+	BandwidthBps   float64
+	SampleCount    uint32
+	At             int64
+}
+
+// Marshal serializes the network report.
+func (n *NetworkReport) Marshal() []byte {
+	var w writer
+	w.f64(n.LossRate)
+	w.f64(n.MeanRTTMillis)
+	w.f64(n.OutOfOrderRate)
+	w.f64(n.BandwidthBps)
+	w.u32(n.SampleCount)
+	w.i64(n.At)
+	return w.buf
+}
+
+// UnmarshalNetworkReport parses a NetworkReport payload.
+func UnmarshalNetworkReport(b []byte) (*NetworkReport, error) {
+	r := newReader(b)
+	n := &NetworkReport{}
+	n.LossRate = r.f64()
+	n.MeanRTTMillis = r.f64()
+	n.OutOfOrderRate = r.f64()
+	n.BandwidthBps = r.f64()
+	n.SampleCount = r.u32()
+	n.At = r.i64()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// GaugeInterestProbe is the payload of a TraceGaugeInterest message
+// (§3.5). Secured mirrors the envelope FlagSecured bit for convenience;
+// ResponseTopic names the Subscribe-Only topic trackers answer on.
+type GaugeInterestProbe struct {
+	TraceTopic    ident.UUID
+	Secured       bool
+	ResponseTopic string
+}
+
+// Marshal serializes the probe.
+func (g *GaugeInterestProbe) Marshal() []byte {
+	var w writer
+	w.uuid(g.TraceTopic)
+	if g.Secured {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.str(g.ResponseTopic)
+	return w.buf
+}
+
+// UnmarshalGaugeInterestProbe parses a probe payload.
+func UnmarshalGaugeInterestProbe(b []byte) (*GaugeInterestProbe, error) {
+	r := newReader(b)
+	g := &GaugeInterestProbe{}
+	g.TraceTopic = r.uuid()
+	g.Secured = r.u8() == 1
+	g.ResponseTopic = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// InterestResponse is a tracker's answer to a gauge-interest probe
+// (§3.5, §5.1): the classes of trace information it wants, its
+// credentials, and — when traces are secured — the topic over which it
+// expects the sealed trace key.
+type InterestResponse struct {
+	Tracker          ident.EntityID
+	TraceTopic       ident.UUID
+	Classes          topic.ClassSet
+	CertDER          []byte
+	KeyDeliveryTopic string
+}
+
+// Marshal serializes the interest response.
+func (ir *InterestResponse) Marshal() []byte {
+	var w writer
+	w.str(string(ir.Tracker))
+	w.uuid(ir.TraceTopic)
+	w.u8(uint8(ir.Classes))
+	w.bytes(ir.CertDER)
+	w.str(ir.KeyDeliveryTopic)
+	return w.buf
+}
+
+// UnmarshalInterestResponse parses an interest response payload.
+func UnmarshalInterestResponse(b []byte) (*InterestResponse, error) {
+	r := newReader(b)
+	ir := &InterestResponse{}
+	ir.Tracker = ident.EntityID(r.str())
+	ir.TraceTopic = r.uuid()
+	ir.Classes = topic.ClassSet(r.u8())
+	ir.CertDER = r.bytes()
+	ir.KeyDeliveryTopic = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ir, nil
+}
+
+// Key purposes for TypeKeyDelivery messages.
+const (
+	// PurposeChannel is the §6.3 entity-to-broker symmetric channel key.
+	PurposeChannel uint8 = 1
+	// PurposeTrace is the §5.1 secret trace key encrypting published
+	// traces.
+	PurposeTrace uint8 = 2
+)
+
+// TraceKey is the *sealed* body of a TypeKeyDelivery message (§5.1,
+// §6.3): a secret key together with the encryption algorithm and padding
+// scheme that will be used, and the purpose it serves.
+type TraceKey struct {
+	Purpose   uint8
+	Key       []byte
+	Algorithm string
+	Padding   string
+}
+
+// Marshal serializes the trace key body (pre-sealing).
+func (tk *TraceKey) Marshal() []byte {
+	var w writer
+	w.u8(tk.Purpose)
+	w.bytes(tk.Key)
+	w.str(tk.Algorithm)
+	w.str(tk.Padding)
+	return w.buf
+}
+
+// UnmarshalTraceKey parses a trace key body (post-opening).
+func UnmarshalTraceKey(b []byte) (*TraceKey, error) {
+	r := newReader(b)
+	tk := &TraceKey{}
+	tk.Purpose = r.u8()
+	tk.Key = r.bytes()
+	tk.Algorithm = r.str()
+	tk.Padding = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	if tk.Purpose != PurposeChannel && tk.Purpose != PurposeTrace {
+		return nil, fmt.Errorf("message: unknown key purpose %d", tk.Purpose)
+	}
+	return tk, nil
+}
+
+// Delegation is the *sealed* body of a TypeDelegation message (§4.3):
+// the signed authorization token and the randomly generated private key
+// whose public half the token carries, with which the broker signs the
+// trace messages it publishes.
+type Delegation struct {
+	TokenBytes      []byte
+	DelegatePrivDER []byte
+}
+
+// Marshal serializes the delegation body (pre-sealing).
+func (d *Delegation) Marshal() []byte {
+	var w writer
+	w.bytes(d.TokenBytes)
+	w.bytes(d.DelegatePrivDER)
+	return w.buf
+}
+
+// UnmarshalDelegation parses a delegation body (post-opening).
+func UnmarshalDelegation(b []byte) (*Delegation, error) {
+	r := newReader(b)
+	d := &Delegation{}
+	d.TokenBytes = r.bytes()
+	d.DelegatePrivDER = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// TraceEvent is the generic trace body a broker publishes to trackers:
+// which entity the trace concerns, the session, free-form detail, and an
+// optional nested report (StateReport / LoadReport / NetworkReport)
+// selected by the envelope's Type.
+type TraceEvent struct {
+	Entity     ident.EntityID
+	TraceTopic ident.UUID
+	Detail     string
+	Body       []byte
+}
+
+// Marshal serializes the trace event.
+func (te *TraceEvent) Marshal() []byte {
+	var w writer
+	w.str(string(te.Entity))
+	w.uuid(te.TraceTopic)
+	w.str(te.Detail)
+	w.bytes(te.Body)
+	return w.buf
+}
+
+// UnmarshalTraceEvent parses a trace event payload.
+func UnmarshalTraceEvent(b []byte) (*TraceEvent, error) {
+	r := newReader(b)
+	te := &TraceEvent{}
+	te.Entity = ident.EntityID(r.str())
+	te.TraceTopic = r.uuid()
+	te.Detail = r.str()
+	te.Body = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return te, nil
+}
+
+// ErrorReport is the payload of a TypeError message (§3.2: "If there is
+// any error in the verification process, an error message is returned
+// back to the entity").
+type ErrorReport struct {
+	Code   uint16
+	Detail string
+}
+
+// Error codes.
+const (
+	ErrCodeBadSignature uint16 = iota + 1
+	ErrCodeBadCredential
+	ErrCodeBadAdvertisement
+	ErrCodeUnauthorized
+	ErrCodeInternal
+)
+
+// Marshal serializes the error report.
+func (er *ErrorReport) Marshal() []byte {
+	var w writer
+	w.u16(er.Code)
+	w.str(er.Detail)
+	return w.buf
+}
+
+// UnmarshalErrorReport parses an error report payload.
+func UnmarshalErrorReport(b []byte) (*ErrorReport, error) {
+	r := newReader(b)
+	er := &ErrorReport{}
+	er.Code = r.u16()
+	er.Detail = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return er, nil
+}

@@ -1,0 +1,152 @@
+// Package message defines the message envelope exchanged through the
+// broker network and the payloads of the tracing protocol (registrations,
+// pings, traces, gauge-interest exchanges, key deliveries). Messages are
+// serialized with a small hand-rolled binary codec: length-prefixed
+// fields, big-endian fixed-width integers, no reflection.
+package message
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"entitytrace/internal/ident"
+)
+
+// ErrTruncated reports a wire buffer that ended before a complete value.
+var ErrTruncated = errors.New("message: truncated wire data")
+
+// ErrTooLarge reports a field exceeding wire limits.
+var ErrTooLarge = errors.New("message: field too large")
+
+// maxFieldLen bounds any single length-prefixed field (16 MiB), guarding
+// against hostile length prefixes.
+const maxFieldLen = 16 << 20
+
+// writer accumulates wire bytes.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+func (w *writer) uuid(u ident.UUID) { w.buf = append(w.buf, u[:]...) }
+
+// bytes writes a u32 length prefix followed by the data.
+func (w *writer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+// reader consumes wire bytes, latching the first error.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func newReader(b []byte) *reader { return &reader{b: b} }
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) uuid() ident.UUID {
+	var u ident.UUID
+	b := r.take(16)
+	if b != nil {
+		copy(u[:], b)
+	}
+	return u
+}
+
+// bytes reads a u32 length prefix and returns a copy of the data.
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxFieldLen {
+		r.fail(fmt.Errorf("%w: %d bytes", ErrTooLarge, n))
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+// done verifies the buffer was fully consumed and returns the latched
+// error, if any.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("message: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}

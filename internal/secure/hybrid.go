@@ -1,0 +1,86 @@
+package secure
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SealedPayload is a hybrid public-key envelope: the payload is encrypted
+// with a randomly generated secret key, and that secret key is encrypted
+// using the recipient's public key — exactly the construction of the
+// registration response (§3.2: "The response message is encrypted with a
+// randomly generated secret key, and this secret key is encrypted using
+// the entity's public key") and of trace-key distribution (§5.1).
+//
+// Wire layout: uint16 wrappedKeyLen || wrappedKey || ciphertext.
+type SealedPayload struct {
+	WrappedKey []byte // RSA-PKCS1v15 encryption of the fresh AES key
+	Ciphertext []byte // AES-CBC + HMAC ciphertext of the payload
+}
+
+// Seal encrypts payload for the holder of pub.
+func Seal(pub *rsa.PublicKey, payload []byte) (*SealedPayload, error) {
+	if pub == nil {
+		return nil, errors.New("secure: nil recipient key")
+	}
+	key, err := NewSymmetricKey(PaperAESKeyBytes)
+	if err != nil {
+		return nil, err
+	}
+	ct, err := key.EncryptAuthenticated(payload)
+	if err != nil {
+		return nil, err
+	}
+	wrapped, err := rsa.EncryptPKCS1v15(rand.Reader, pub, key.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("secure: wrapping session key: %w", err)
+	}
+	return &SealedPayload{WrappedKey: wrapped, Ciphertext: ct}, nil
+}
+
+// Open decrypts a SealedPayload with the recipient's private key.
+func (sp *SealedPayload) Open(priv *rsa.PrivateKey) ([]byte, error) {
+	if priv == nil {
+		return nil, errors.New("secure: nil private key")
+	}
+	raw, err := rsa.DecryptPKCS1v15(rand.Reader, priv, sp.WrappedKey)
+	if err != nil {
+		return nil, fmt.Errorf("%w: unwrapping session key: %v", ErrBadCiphertext, err)
+	}
+	key, err := SymmetricKeyFromBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad session key length", ErrBadCiphertext)
+	}
+	return key.DecryptAuthenticated(sp.Ciphertext)
+}
+
+// Marshal encodes the envelope for transmission.
+func (sp *SealedPayload) Marshal() ([]byte, error) {
+	if len(sp.WrappedKey) > 0xffff {
+		return nil, errors.New("secure: wrapped key too large")
+	}
+	out := make([]byte, 2+len(sp.WrappedKey)+len(sp.Ciphertext))
+	binary.BigEndian.PutUint16(out[:2], uint16(len(sp.WrappedKey)))
+	copy(out[2:], sp.WrappedKey)
+	copy(out[2+len(sp.WrappedKey):], sp.Ciphertext)
+	return out, nil
+}
+
+// UnmarshalSealedPayload decodes the wire form produced by Marshal.
+func UnmarshalSealedPayload(b []byte) (*SealedPayload, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("%w: short sealed payload", ErrBadCiphertext)
+	}
+	klen := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) < 2+klen {
+		return nil, fmt.Errorf("%w: truncated sealed payload", ErrBadCiphertext)
+	}
+	sp := &SealedPayload{
+		WrappedKey: append([]byte(nil), b[2:2+klen]...),
+		Ciphertext: append([]byte(nil), b[2+klen:]...),
+	}
+	return sp, nil
+}

@@ -1,0 +1,70 @@
+package secure
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+)
+
+// ErrBadSignature reports a signature that failed verification, which per
+// §3.2 covers both "wrong signer" and "tampered content".
+var ErrBadSignature = errors.New("secure: signature verification failed")
+
+// Signer signs byte slices with a fixed private key and digest. The paper
+// signs by "computing the checksum for the message and encrypting this
+// message digest with its private key" (§3.2) — exactly RSASSA-PKCS1-v1.5.
+type Signer struct {
+	priv *rsa.PrivateKey
+	hash Hash
+}
+
+// NewSigner returns a Signer using priv and digest h.
+func NewSigner(priv *rsa.PrivateKey, h Hash) (*Signer, error) {
+	if priv == nil {
+		return nil, errors.New("secure: nil private key for signer")
+	}
+	if _, err := h.cryptoHash(); err != nil {
+		return nil, err
+	}
+	return &Signer{priv: priv, hash: h}, nil
+}
+
+// Hash returns the digest the signer uses.
+func (s *Signer) Hash() Hash { return s.hash }
+
+// Public returns the verification key matching the signer.
+func (s *Signer) Public() *rsa.PublicKey { return &s.priv.PublicKey }
+
+// Sign produces an RSASSA-PKCS1-v1.5 signature over data.
+func (s *Signer) Sign(data []byte) ([]byte, error) {
+	digest, err := s.hash.Digest(data)
+	if err != nil {
+		return nil, err
+	}
+	ch, _ := s.hash.cryptoHash()
+	sig, err := rsa.SignPKCS1v15(rand.Reader, s.priv, ch, digest)
+	if err != nil {
+		return nil, fmt.Errorf("secure: signing: %w", err)
+	}
+	return sig, nil
+}
+
+// Verify checks an RSASSA-PKCS1-v1.5 signature over data made with h.
+func Verify(pub *rsa.PublicKey, h Hash, data, sig []byte) error {
+	if pub == nil {
+		return errors.New("secure: nil public key for verify")
+	}
+	digest, err := h.Digest(data)
+	if err != nil {
+		return err
+	}
+	ch, err := h.cryptoHash()
+	if err != nil {
+		return err
+	}
+	if err := rsa.VerifyPKCS1v15(pub, ch, digest, sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	return nil
+}

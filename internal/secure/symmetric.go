@@ -1,0 +1,169 @@
+package secure
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Symmetric key sizes.
+const (
+	// PaperAESKeyBytes is the paper's 192-bit AES key size.
+	PaperAESKeyBytes = 24
+	// AES128KeyBytes and AES256KeyBytes are also supported.
+	AES128KeyBytes = 16
+	AES256KeyBytes = 32
+)
+
+// ErrBadCiphertext reports undecryptable or tampered ciphertext.
+var ErrBadCiphertext = errors.New("secure: bad ciphertext")
+
+// SymmetricKey is an AES key used for trace encryption (§5.1) and for the
+// signing-cost optimization (§6.3).
+type SymmetricKey struct {
+	key []byte
+}
+
+// NewSymmetricKey generates a fresh random AES key of size bytes (16, 24
+// or 32).
+func NewSymmetricKey(size int) (*SymmetricKey, error) {
+	switch size {
+	case AES128KeyBytes, PaperAESKeyBytes, AES256KeyBytes:
+	default:
+		return nil, fmt.Errorf("secure: invalid AES key size %d", size)
+	}
+	k, err := RandomBytes(size)
+	if err != nil {
+		return nil, err
+	}
+	return &SymmetricKey{key: k}, nil
+}
+
+// SymmetricKeyFromBytes wraps existing key material (e.g. received during
+// key distribution).
+func SymmetricKeyFromBytes(k []byte) (*SymmetricKey, error) {
+	switch len(k) {
+	case AES128KeyBytes, PaperAESKeyBytes, AES256KeyBytes:
+	default:
+		return nil, fmt.Errorf("secure: invalid AES key size %d", len(k))
+	}
+	cp := make([]byte, len(k))
+	copy(cp, k)
+	return &SymmetricKey{key: cp}, nil
+}
+
+// Bytes returns a copy of the raw key material.
+func (k *SymmetricKey) Bytes() []byte {
+	cp := make([]byte, len(k.key))
+	copy(cp, k.key)
+	return cp
+}
+
+// Size returns the key size in bytes.
+func (k *SymmetricKey) Size() int { return len(k.key) }
+
+// pkcs7Pad appends PKCS#7 padding to reach a multiple of blockSize.
+func pkcs7Pad(data []byte, blockSize int) []byte {
+	pad := blockSize - len(data)%blockSize
+	out := make([]byte, len(data)+pad)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(pad)
+	}
+	return out
+}
+
+// pkcs7Unpad validates and strips PKCS#7 padding.
+func pkcs7Unpad(data []byte, blockSize int) ([]byte, error) {
+	if len(data) == 0 || len(data)%blockSize != 0 {
+		return nil, ErrBadCiphertext
+	}
+	pad := int(data[len(data)-1])
+	if pad == 0 || pad > blockSize || pad > len(data) {
+		return nil, ErrBadCiphertext
+	}
+	for _, b := range data[len(data)-pad:] {
+		if int(b) != pad {
+			return nil, ErrBadCiphertext
+		}
+	}
+	return data[:len(data)-pad], nil
+}
+
+// Encrypt encrypts plaintext with AES-CBC and PKCS#7 padding (the paper's
+// "encryption algorithm and padding scheme"), prepending a random IV.
+// The output layout is IV || ciphertext.
+func (k *SymmetricKey) Encrypt(plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.key)
+	if err != nil {
+		return nil, fmt.Errorf("secure: creating AES cipher: %w", err)
+	}
+	padded := pkcs7Pad(plaintext, block.BlockSize())
+	out := make([]byte, block.BlockSize()+len(padded))
+	iv := out[:block.BlockSize()]
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, fmt.Errorf("secure: generating IV: %w", err)
+	}
+	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out[block.BlockSize():], padded)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func (k *SymmetricKey) Decrypt(ciphertext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(k.key)
+	if err != nil {
+		return nil, fmt.Errorf("secure: creating AES cipher: %w", err)
+	}
+	bs := block.BlockSize()
+	if len(ciphertext) < 2*bs || (len(ciphertext)-bs)%bs != 0 {
+		return nil, ErrBadCiphertext
+	}
+	iv := ciphertext[:bs]
+	body := make([]byte, len(ciphertext)-bs)
+	cipher.NewCBCDecrypter(block, iv).CryptBlocks(body, ciphertext[bs:])
+	return pkcs7Unpad(body, bs)
+}
+
+// EncryptAuthenticated encrypts plaintext and appends an HMAC-SHA256 tag
+// (encrypt-then-MAC). This is what the §6.3 optimization relies on: the
+// broker accepts messages decryptable (and authentic) under the shared
+// secret key as originating from the traced entity, so integrity matters.
+func (k *SymmetricKey) EncryptAuthenticated(plaintext []byte) ([]byte, error) {
+	ct, err := k.Encrypt(plaintext)
+	if err != nil {
+		return nil, err
+	}
+	mac := hmac.New(sha256.New, k.key)
+	mac.Write(ct)
+	return mac.Sum(ct), nil
+}
+
+// DecryptAuthenticated verifies the HMAC tag and decrypts.
+func (k *SymmetricKey) DecryptAuthenticated(ciphertext []byte) ([]byte, error) {
+	tagLen := sha256.Size
+	if len(ciphertext) < tagLen {
+		return nil, ErrBadCiphertext
+	}
+	body, tag := ciphertext[:len(ciphertext)-tagLen], ciphertext[len(ciphertext)-tagLen:]
+	mac := hmac.New(sha256.New, k.key)
+	mac.Write(body)
+	if !hmac.Equal(mac.Sum(nil), tag) {
+		return nil, fmt.Errorf("%w: MAC mismatch", ErrBadCiphertext)
+	}
+	return k.Decrypt(body)
+}
+
+// Equal reports whether two keys hold identical material, in constant
+// time.
+func (k *SymmetricKey) Equal(other *SymmetricKey) bool {
+	if other == nil || len(k.key) != len(other.key) {
+		return false
+	}
+	return bytes.Equal(k.key, other.key) // lengths equal; not secret-dependent branching on content needed here
+}

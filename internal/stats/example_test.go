@@ -1,0 +1,23 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"entitytrace/internal/stats"
+)
+
+// Sample produces the mean / standard deviation / standard error triples
+// the paper's tables report.
+func ExampleSample() {
+	s := stats.NewSample(true)
+	for _, ms := range []float64{72.1, 73.4, 72.8, 71.9, 73.0} {
+		s.Add(ms)
+	}
+	sm := s.Summarize("2 hops")
+	fmt.Printf("%s: mean=%.2f n=%d\n", sm.Name, sm.Mean, sm.N)
+	p50, _ := s.Percentile(50)
+	fmt.Printf("median=%.1f\n", p50)
+	// Output:
+	// 2 hops: mean=72.64 n=5
+	// median=72.8
+}

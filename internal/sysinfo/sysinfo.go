@@ -1,0 +1,153 @@
+// Package sysinfo provides the load information a traced entity reports
+// in LOAD_INFORMATION traces (§3.3: "CPU Info, Memory Usage and
+// Workload"). Two providers exist: Runtime samples the hosting process
+// and machine, and Simulated produces a seeded synthetic load pattern for
+// experiments and examples (the paper's workloads ran on dedicated lab
+// machines we substitute with synthetic load, per DESIGN.md).
+package sysinfo
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Load is one load observation.
+type Load struct {
+	// CPUPercent is CPU utilization in [0, 100].
+	CPUPercent float64
+	// MemoryUsedBytes and MemoryTotalBytes describe memory pressure.
+	MemoryUsedBytes  uint64
+	MemoryTotalBytes uint64
+	// Workload is an application-defined utilization figure in [0, 1]
+	// (e.g. request queue occupancy).
+	Workload float64
+	// At is the sample time.
+	At time.Time
+}
+
+// Provider produces load observations.
+type Provider interface {
+	Sample() Load
+}
+
+// Simulated is a deterministic synthetic load source: CPU follows a
+// sinusoid with seeded noise, memory follows a slow random walk and
+// workload tracks CPU. Safe for concurrent use.
+type Simulated struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	tick   int
+	center float64 // mean CPU percent
+	swing  float64 // sinusoid amplitude
+	mem    float64 // walked memory fraction
+	total  uint64
+	now    func() time.Time
+}
+
+// NewSimulated creates a synthetic provider around the given mean CPU
+// percentage (e.g. 40) with the given swing (e.g. 25).
+func NewSimulated(seed int64, centerCPU, swing float64) *Simulated {
+	return &Simulated{
+		rng:    rand.New(rand.NewSource(seed)),
+		center: centerCPU,
+		swing:  swing,
+		mem:    0.5,
+		total:  8 << 30,
+		now:    time.Now,
+	}
+}
+
+// SetTimeFunc overrides the sample clock, for tests.
+func (s *Simulated) SetTimeFunc(f func() time.Time) { s.now = f }
+
+// Sample implements Provider.
+func (s *Simulated) Sample() Load {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tick++
+	phase := float64(s.tick) / 20 * 2 * math.Pi
+	cpu := s.center + s.swing*math.Sin(phase) + s.rng.NormFloat64()*3
+	cpu = clamp(cpu, 0, 100)
+	s.mem += (s.rng.Float64() - 0.5) * 0.02
+	s.mem = clamp(s.mem, 0.05, 0.95)
+	return Load{
+		CPUPercent:       cpu,
+		MemoryUsedBytes:  uint64(s.mem * float64(s.total)),
+		MemoryTotalBytes: s.total,
+		Workload:         clamp(cpu/100+s.rng.NormFloat64()*0.02, 0, 1),
+		At:               s.now(),
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Runtime samples the hosting process: Go heap usage for memory and the
+// 1-minute load average (scaled by CPU count) for CPU when /proc is
+// available, else 0.
+type Runtime struct{}
+
+// NewRuntime returns the process-backed provider.
+func NewRuntime() *Runtime { return &Runtime{} }
+
+// Sample implements Provider.
+func (r *Runtime) Sample() Load {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	l := Load{
+		MemoryUsedBytes:  ms.HeapInuse + ms.StackInuse,
+		MemoryTotalBytes: ms.Sys,
+		At:               time.Now(),
+	}
+	if la, ok := loadAvg(); ok {
+		pct := la / float64(runtime.NumCPU()) * 100
+		l.CPUPercent = clamp(pct, 0, 100)
+		l.Workload = clamp(la/float64(runtime.NumCPU()), 0, 1)
+	}
+	return l
+}
+
+// loadAvg reads the 1-minute load average from /proc/loadavg.
+func loadAvg() (float64, bool) {
+	b, err := os.ReadFile("/proc/loadavg")
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Fixed always reports the same load; useful in tests and as a stub for
+// entities that do not measure load.
+type Fixed struct {
+	L Load
+}
+
+// Sample implements Provider.
+func (f Fixed) Sample() Load {
+	l := f.L
+	if l.At.IsZero() {
+		l.At = time.Now()
+	}
+	return l
+}

@@ -1,0 +1,89 @@
+package sysinfo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimulatedBounds(t *testing.T) {
+	s := NewSimulated(7, 40, 25)
+	for i := 0; i < 1000; i++ {
+		l := s.Sample()
+		if l.CPUPercent < 0 || l.CPUPercent > 100 {
+			t.Fatalf("CPU out of range: %v", l.CPUPercent)
+		}
+		if l.Workload < 0 || l.Workload > 1 {
+			t.Fatalf("Workload out of range: %v", l.Workload)
+		}
+		if l.MemoryUsedBytes > l.MemoryTotalBytes {
+			t.Fatalf("memory used %d exceeds total %d", l.MemoryUsedBytes, l.MemoryTotalBytes)
+		}
+	}
+}
+
+func TestSimulatedDeterministicPerSeed(t *testing.T) {
+	a := NewSimulated(42, 40, 25)
+	b := NewSimulated(42, 40, 25)
+	fixed := time.Unix(0, 0)
+	a.SetTimeFunc(func() time.Time { return fixed })
+	b.SetTimeFunc(func() time.Time { return fixed })
+	for i := 0; i < 50; i++ {
+		la, lb := a.Sample(), b.Sample()
+		if la != lb {
+			t.Fatalf("same seed diverged at sample %d: %+v vs %+v", i, la, lb)
+		}
+	}
+	c := NewSimulated(43, 40, 25)
+	c.SetTimeFunc(func() time.Time { return fixed })
+	if c.Sample() == func() Load {
+		d := NewSimulated(42, 40, 25)
+		d.SetTimeFunc(func() time.Time { return fixed })
+		return d.Sample()
+	}() {
+		t.Fatal("different seeds produced identical first sample")
+	}
+}
+
+func TestSimulatedVaries(t *testing.T) {
+	s := NewSimulated(1, 50, 30)
+	first := s.Sample().CPUPercent
+	varied := false
+	for i := 0; i < 40; i++ {
+		if s.Sample().CPUPercent != first {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("simulated CPU never varied")
+	}
+}
+
+func TestRuntimeSample(t *testing.T) {
+	l := NewRuntime().Sample()
+	if l.MemoryUsedBytes == 0 || l.MemoryTotalBytes == 0 {
+		t.Fatalf("runtime memory sample empty: %+v", l)
+	}
+	if l.CPUPercent < 0 || l.CPUPercent > 100 {
+		t.Fatalf("runtime CPU out of range: %v", l.CPUPercent)
+	}
+	if l.At.IsZero() {
+		t.Fatal("sample time zero")
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed{L: Load{CPUPercent: 12.5, Workload: 0.25}}
+	l := f.Sample()
+	if l.CPUPercent != 12.5 || l.Workload != 0.25 {
+		t.Fatalf("fixed sample mutated: %+v", l)
+	}
+	if l.At.IsZero() {
+		t.Fatal("Fixed did not stamp time")
+	}
+	at := time.Unix(5, 0)
+	f2 := Fixed{L: Load{At: at}}
+	if !f2.Sample().At.Equal(at) {
+		t.Fatal("Fixed overrode explicit time")
+	}
+}

@@ -1,0 +1,231 @@
+// Package tdn implements the Topic Discovery Nodes of §2.2 and §3.1:
+// specialized nodes that create trace topics, store cryptographically
+// signed topic advertisements, enforce discovery restrictions, honour
+// topic lifetimes, and replicate advertisements across TDNs so the loss
+// of individual nodes does not disrupt discovery.
+package tdn
+
+import (
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+)
+
+// Errors surfaced by advertisement handling.
+var (
+	// ErrAdMalformed reports an undecodable advertisement.
+	ErrAdMalformed = errors.New("tdn: malformed advertisement")
+	// ErrAdExpired reports an advertisement past its lifetime.
+	ErrAdExpired = errors.New("tdn: advertisement expired")
+	// ErrAdSignature reports a bad TDN signature.
+	ErrAdSignature = errors.New("tdn: advertisement signature invalid")
+)
+
+const adVersion = 1
+
+// Advertisement is the cryptographically signed record a TDN creates for
+// a topic (§3.1): "a cryptographically signed topic advertisement that
+// includes the newly created topic, along with the credentials,
+// descriptors, discovery restrictions and lifetime. This advertisement
+// establishes the ownership of the topic."
+type Advertisement struct {
+	// TopicID is the 128-bit UUID generated at the TDN ("so that no
+	// entity is able to claim some other entity's topic as its own").
+	TopicID ident.UUID
+	// Owner is the entity the topic belongs to.
+	Owner ident.EntityID
+	// OwnerCert is the owner's DER-encoded X.509 credential.
+	OwnerCert []byte
+	// Descriptor is the discovery descriptor, e.g.
+	// "Availability/Traces/<Entity-ID>".
+	Descriptor string
+	// AllowAny permits discovery by any credentialed entity.
+	AllowAny bool
+	// Allowed lists entity IDs authorized to discover the topic when
+	// AllowAny is false (the owner is always allowed).
+	Allowed []string
+	// CreatedAt and ExpiresAt bound the topic lifetime (Unix nanos).
+	CreatedAt int64
+	ExpiresAt int64
+	// TDNName names the creating TDN; TDNCert is its credential so any
+	// node can verify the signature chain.
+	TDNName string
+	TDNCert []byte
+	// Signature is the TDN's signature over all fields above.
+	Signature []byte
+}
+
+// signingBytes serializes the signed portion.
+func (a *Advertisement) signingBytes() []byte {
+	var buf []byte
+	buf = append(buf, adVersion)
+	buf = append(buf, a.TopicID[:]...)
+	buf = appendBytes(buf, []byte(a.Owner))
+	buf = appendBytes(buf, a.OwnerCert)
+	buf = appendBytes(buf, []byte(a.Descriptor))
+	if a.AllowAny {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(a.Allowed)))
+	for _, e := range a.Allowed {
+		buf = appendBytes(buf, []byte(e))
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.CreatedAt))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.ExpiresAt))
+	buf = appendBytes(buf, []byte(a.TDNName))
+	buf = appendBytes(buf, a.TDNCert)
+	return buf
+}
+
+// Marshal serializes the advertisement including the signature.
+func (a *Advertisement) Marshal() []byte {
+	return appendBytes(a.signingBytes(), a.Signature)
+}
+
+// UnmarshalAdvertisement parses a wire-format advertisement.
+func UnmarshalAdvertisement(b []byte) (*Advertisement, error) {
+	r := &cursor{b: b}
+	if v := r.u8(); r.err == nil && v != adVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrAdMalformed, v)
+	}
+	a := &Advertisement{}
+	copy(a.TopicID[:], r.take(16))
+	a.Owner = ident.EntityID(r.bytes())
+	a.OwnerCert = []byte(r.bytes())
+	a.Descriptor = string(r.bytes())
+	a.AllowAny = r.u8() == 1
+	n := r.u32()
+	if r.err == nil && n > 1<<16 {
+		return nil, fmt.Errorf("%w: %d allowed entries", ErrAdMalformed, n)
+	}
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		a.Allowed = append(a.Allowed, string(r.bytes()))
+	}
+	a.CreatedAt = int64(r.u64())
+	a.ExpiresAt = int64(r.u64())
+	a.TDNName = string(r.bytes())
+	a.TDNCert = []byte(r.bytes())
+	a.Signature = []byte(r.bytes())
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAdMalformed, r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrAdMalformed)
+	}
+	return a, nil
+}
+
+// Verify checks the advertisement's TDN signature chain against the
+// trusted CA and its lifetime against now. On success it returns the
+// owner's public key (extracted from the embedded owner credential), so
+// relying parties — brokers verifying authorization tokens (§4.3) — can
+// resolve the topic owner's key from the advertisement alone.
+func (a *Advertisement) Verify(v *credential.Verifier, now time.Time) (*rsa.PublicKey, error) {
+	if now.UnixNano() > a.ExpiresAt {
+		return nil, fmt.Errorf("%w: expired %v", ErrAdExpired, time.Unix(0, a.ExpiresAt))
+	}
+	tdnCred := &credential.Credential{Entity: ident.EntityID(a.TDNName), Cert: a.TDNCert}
+	tdnPub, err := v.Verify(tdnCred)
+	if err != nil {
+		return nil, fmt.Errorf("%w: TDN credential: %v", ErrAdSignature, err)
+	}
+	if err := secure.Verify(tdnPub, secure.SHA256, a.signingBytes(), a.Signature); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAdSignature, err)
+	}
+	ownerCred := &credential.Credential{Entity: a.Owner, Cert: a.OwnerCert}
+	ownerPub, err := v.Verify(ownerCred)
+	if err != nil {
+		return nil, fmt.Errorf("%w: owner credential: %v", ErrAdSignature, err)
+	}
+	return ownerPub, nil
+}
+
+// MayDiscover reports whether the given entity is authorized by the
+// advertisement's discovery restrictions.
+func (a *Advertisement) MayDiscover(e ident.EntityID) bool {
+	if e == a.Owner {
+		return true
+	}
+	if a.AllowAny {
+		return true
+	}
+	for _, allowed := range a.Allowed {
+		if allowed == string(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// cursor is a minimal wire reader shared by the tdn codecs.
+type cursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if n < 0 || c.off+n > len(c.b) {
+		c.err = errors.New("truncated")
+		return nil
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out
+}
+
+func (c *cursor) u8() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *cursor) bytes() []byte {
+	n := c.u32()
+	if c.err != nil {
+		return nil
+	}
+	if n > 16<<20 {
+		c.err = errors.New("field too large")
+		return nil
+	}
+	b := c.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}

@@ -1,0 +1,408 @@
+package tdn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/transport"
+)
+
+// RPC op codes.
+const (
+	opCreate uint8 = iota + 1
+	opDiscover
+	opReplicate
+	opLookup
+)
+
+// RPC status codes.
+const (
+	statusOK uint8 = iota
+	statusNotFound
+	statusBadRequest
+	statusError
+)
+
+// Server exposes a Node over a transport.
+type Server struct {
+	node *Node
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	ls   []transport.Listener
+	done bool
+}
+
+// NewServer wraps a node.
+func NewServer(node *Node) *Server { return &Server{node: node} }
+
+// Serve accepts RPC connections on l until the listener closes.
+func (s *Server) Serve(l transport.Listener) {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		l.Close()
+		return
+	}
+	s.ls = append(s.ls, l)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.done = true
+	ls := s.ls
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	s.wg.Wait()
+}
+
+// handle serves requests on one connection until it closes.
+func (s *Server) handle(conn transport.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		resp := s.dispatch(frame)
+		if err := conn.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch decodes one request frame and produces the response frame.
+func (s *Server) dispatch(frame []byte) []byte {
+	if len(frame) < 1 {
+		return marshalResponse(statusBadRequest, "empty frame", nil)
+	}
+	op, body := frame[0], frame[1:]
+	switch op {
+	case opCreate:
+		req, err := unmarshalCreateRequest(body)
+		if err != nil {
+			return marshalResponse(statusBadRequest, err.Error(), nil)
+		}
+		ad, err := s.node.CreateTopic(req)
+		if err != nil {
+			return marshalResponse(statusFor(err), err.Error(), nil)
+		}
+		return marshalResponse(statusOK, "", [][]byte{ad.Marshal()})
+	case opDiscover:
+		query, requester, cert, err := unmarshalDiscoverRequest(body)
+		if err != nil {
+			return marshalResponse(statusBadRequest, err.Error(), nil)
+		}
+		ads, err := s.node.Discover(query, requester, cert)
+		if err != nil {
+			return marshalResponse(statusFor(err), err.Error(), nil)
+		}
+		wire := make([][]byte, len(ads))
+		for i, ad := range ads {
+			wire[i] = ad.Marshal()
+		}
+		return marshalResponse(statusOK, "", wire)
+	case opReplicate:
+		ad, err := UnmarshalAdvertisement(body)
+		if err != nil {
+			return marshalResponse(statusBadRequest, err.Error(), nil)
+		}
+		if err := s.node.Replicate(ad); err != nil {
+			return marshalResponse(statusError, err.Error(), nil)
+		}
+		return marshalResponse(statusOK, "", nil)
+	case opLookup:
+		if len(body) != 16 {
+			return marshalResponse(statusBadRequest, "lookup wants 16 bytes", nil)
+		}
+		var id ident.UUID
+		copy(id[:], body)
+		ad, ok := s.node.Lookup(id)
+		if !ok {
+			return marshalResponse(statusNotFound, "unknown topic", nil)
+		}
+		return marshalResponse(statusOK, "", [][]byte{ad.Marshal()})
+	default:
+		return marshalResponse(statusBadRequest, fmt.Sprintf("unknown op %d", op), nil)
+	}
+}
+
+func statusFor(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrUnauthorizedDiscovery):
+		// Unauthorized discovery is reported as not-found (§3.1: ignored).
+		return statusNotFound
+	case errors.Is(err, ErrBadRequest):
+		return statusBadRequest
+	default:
+		return statusError
+	}
+}
+
+// --- wire helpers -------------------------------------------------------
+
+func marshalCreateRequest(req *CreateRequest) []byte {
+	var buf []byte
+	buf = append(buf, opCreate)
+	buf = appendBytes(buf, []byte(req.Owner))
+	buf = appendBytes(buf, req.OwnerCert)
+	buf = appendBytes(buf, []byte(req.Descriptor))
+	if req.AllowAny {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendU32(buf, uint32(len(req.Allowed)))
+	for _, a := range req.Allowed {
+		buf = appendBytes(buf, []byte(a))
+	}
+	buf = appendU64(buf, uint64(req.Lifetime))
+	buf = append(buf, req.RequestID[:]...)
+	buf = appendBytes(buf, req.Signature)
+	return buf
+}
+
+func unmarshalCreateRequest(b []byte) (*CreateRequest, error) {
+	c := &cursor{b: b}
+	req := &CreateRequest{}
+	req.Owner = ident.EntityID(c.bytes())
+	req.OwnerCert = c.bytes()
+	req.Descriptor = string(c.bytes())
+	req.AllowAny = c.u8() == 1
+	n := c.u32()
+	if c.err == nil && n > 1<<16 {
+		return nil, fmt.Errorf("%w: too many allowed entries", ErrBadRequest)
+	}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		req.Allowed = append(req.Allowed, string(c.bytes()))
+	}
+	req.Lifetime = time.Duration(c.u64())
+	copy(req.RequestID[:], c.take(16))
+	req.Signature = c.bytes()
+	if c.err != nil || c.off != len(b) {
+		return nil, fmt.Errorf("%w: malformed create request", ErrBadRequest)
+	}
+	return req, nil
+}
+
+func marshalDiscoverRequest(query string, requester ident.EntityID, cert []byte) []byte {
+	var buf []byte
+	buf = append(buf, opDiscover)
+	buf = appendBytes(buf, []byte(query))
+	buf = appendBytes(buf, []byte(requester))
+	buf = appendBytes(buf, cert)
+	return buf
+}
+
+func unmarshalDiscoverRequest(b []byte) (query string, requester ident.EntityID, cert []byte, err error) {
+	c := &cursor{b: b}
+	query = string(c.bytes())
+	requester = ident.EntityID(c.bytes())
+	cert = c.bytes()
+	if c.err != nil || c.off != len(b) {
+		return "", "", nil, fmt.Errorf("%w: malformed discover request", ErrBadRequest)
+	}
+	return query, requester, cert, nil
+}
+
+func marshalResponse(status uint8, detail string, ads [][]byte) []byte {
+	var buf []byte
+	buf = append(buf, status)
+	buf = appendBytes(buf, []byte(detail))
+	buf = appendU32(buf, uint32(len(ads)))
+	for _, ad := range ads {
+		buf = appendBytes(buf, ad)
+	}
+	return buf
+}
+
+func unmarshalResponse(b []byte) (status uint8, detail string, ads []*Advertisement, err error) {
+	c := &cursor{b: b}
+	status = c.u8()
+	detail = string(c.bytes())
+	n := c.u32()
+	if c.err == nil && n > 1<<16 {
+		return 0, "", nil, errors.New("tdn: too many advertisements in response")
+	}
+	for i := uint32(0); i < n && c.err == nil; i++ {
+		raw := c.bytes()
+		if c.err != nil {
+			break
+		}
+		ad, aerr := UnmarshalAdvertisement(raw)
+		if aerr != nil {
+			return 0, "", nil, aerr
+		}
+		ads = append(ads, ad)
+	}
+	if c.err != nil || c.off != len(b) {
+		return 0, "", nil, errors.New("tdn: malformed response")
+	}
+	return status, detail, ads, nil
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// --- client -------------------------------------------------------------
+
+// Client talks to one or more TDN servers, failing over between them:
+// "since a given topic advertisement will be stored at multiple TDN
+// nodes, this scheme sustains the loss of TDN nodes" (§2.2).
+type Client struct {
+	tr    transport.Transport
+	addrs []string
+}
+
+// NewClient creates a client with an ordered list of TDN addresses.
+func NewClient(tr transport.Transport, addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("tdn: client needs at least one address")
+	}
+	return &Client{tr: tr, addrs: addrs}, nil
+}
+
+// call tries each TDN in turn until one answers.
+func (c *Client) call(frame []byte) ([]byte, error) {
+	var lastErr error
+	for _, addr := range c.addrs {
+		conn, err := c.tr.Dial(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		err = conn.Send(frame)
+		if err == nil {
+			var resp []byte
+			resp, err = conn.Recv()
+			if err == nil {
+				conn.Close()
+				return resp, nil
+			}
+		}
+		conn.Close()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("tdn: all TDNs unreachable: %w", lastErr)
+}
+
+// CreateTopic sends a creation request, returning the signed
+// advertisement.
+func (c *Client) CreateTopic(req *CreateRequest) (*Advertisement, error) {
+	resp, err := c.call(marshalCreateRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	status, detail, ads, err := unmarshalResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK || len(ads) != 1 {
+		return nil, fmt.Errorf("tdn: create failed: %s", detail)
+	}
+	return ads[0], nil
+}
+
+// Discover runs a discovery query with the requester's credential.
+func (c *Client) Discover(query string, requester ident.EntityID, cert []byte) ([]*Advertisement, error) {
+	resp, err := c.call(marshalDiscoverRequest(query, requester, cert))
+	if err != nil {
+		return nil, err
+	}
+	status, detail, ads, err := unmarshalResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	switch status {
+	case statusOK:
+		return ads, nil
+	case statusNotFound:
+		return nil, ErrNotFound
+	default:
+		return nil, fmt.Errorf("tdn: discover failed: %s", detail)
+	}
+}
+
+// Lookup resolves a topic UUID to its advertisement.
+func (c *Client) Lookup(id ident.UUID) (*Advertisement, error) {
+	frame := append([]byte{opLookup}, id[:]...)
+	resp, err := c.call(frame)
+	if err != nil {
+		return nil, err
+	}
+	status, detail, ads, err := unmarshalResponse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if status == statusNotFound {
+		return nil, ErrNotFound
+	}
+	if status != statusOK || len(ads) != 1 {
+		return nil, fmt.Errorf("tdn: lookup failed: %s", detail)
+	}
+	return ads[0], nil
+}
+
+// RemoteReplicator replicates advertisements to a TDN over the network;
+// wire two server-backed nodes together with node.AddPeer.
+type RemoteReplicator struct {
+	tr   transport.Transport
+	addr string
+}
+
+// NewRemoteReplicator targets the TDN server at addr.
+func NewRemoteReplicator(tr transport.Transport, addr string) *RemoteReplicator {
+	return &RemoteReplicator{tr: tr, addr: addr}
+}
+
+// Replicate implements Replicator.
+func (r *RemoteReplicator) Replicate(ad *Advertisement) error {
+	conn, err := r.tr.Dial(r.addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(append([]byte{opReplicate}, ad.Marshal()...)); err != nil {
+		return err
+	}
+	resp, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	status, detail, _, err := unmarshalResponse(resp)
+	if err != nil {
+		return err
+	}
+	if status != statusOK {
+		return fmt.Errorf("tdn: replicate failed: %s", detail)
+	}
+	return nil
+}

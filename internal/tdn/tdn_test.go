@@ -1,0 +1,530 @@
+package tdn
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// Shared fixture: one CA, one TDN identity, a few entity identities.
+var (
+	fixtureOnce sync.Once
+	fxCA        *credential.Authority
+	fxVerifier  *credential.Verifier
+	fxTDNIdent  *credential.Identity
+	fxTDNIdent2 *credential.Identity
+	fxOwner     *credential.Identity
+	fxTracker   *credential.Identity
+	fxOutsider  *credential.Identity
+	fxErr       error
+)
+
+func fixture(t *testing.T) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fxCA, fxErr = credential.NewAuthority("tdn-test-ca", credential.WithKeyBits(secure.PaperRSABits))
+		if fxErr != nil {
+			return
+		}
+		if fxVerifier, fxErr = credential.NewVerifier(fxCA.CACertificate()); fxErr != nil {
+			return
+		}
+		issue := func(name ident.EntityID) *credential.Identity {
+			if fxErr != nil {
+				return nil
+			}
+			id, err := fxCA.Issue(name)
+			if err != nil {
+				fxErr = err
+			}
+			return id
+		}
+		fxTDNIdent = issue("tdn-1")
+		fxTDNIdent2 = issue("tdn-2")
+		fxOwner = issue("traced-svc")
+		fxTracker = issue("tracker-1")
+		fxOutsider = issue("outsider")
+	})
+	if fxErr != nil {
+		t.Fatal(fxErr)
+	}
+}
+
+func newNode(t *testing.T, id *credential.Identity) *Node {
+	t.Helper()
+	n, err := NewNode(id, fxVerifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func signedCreateRequest(t *testing.T, owner *credential.Identity, allowAny bool, allowed []string, lifetime time.Duration) *CreateRequest {
+	t.Helper()
+	req := &CreateRequest{
+		Owner:      owner.Credential.Entity,
+		OwnerCert:  owner.Credential.Cert,
+		Descriptor: string(topic.AvailabilityDescriptor(owner.Credential.Entity)),
+		AllowAny:   allowAny,
+		Allowed:    allowed,
+		Lifetime:   lifetime,
+		RequestID:  ident.NewRequestID(),
+	}
+	signer, err := owner.Signer(secure.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Sign(signer); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestCreateTopicAndVerifyAdvertisement(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, false, []string{"tracker-1"}, time.Hour)
+	ad, err := node.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.TopicID.IsNil() {
+		t.Fatal("advertisement lacks topic UUID")
+	}
+	if ad.Owner != "traced-svc" || ad.TDNName != "tdn-1" {
+		t.Fatalf("ad fields: %+v", ad)
+	}
+	ownerPub, err := ad.Verify(fxVerifier, time.Now())
+	if err != nil {
+		t.Fatalf("advertisement verify: %v", err)
+	}
+	if ownerPub.N.Cmp(fxOwner.Private.PublicKey.N) != 0 {
+		t.Fatal("advertisement returned wrong owner key")
+	}
+}
+
+func TestCreateTopicRejectsBadSignature(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, true, nil, time.Hour)
+	req.Descriptor = "Availability/Traces/hijacked" // invalidates signature
+	if _, err := node.CreateTopic(req); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("tampered create accepted: %v", err)
+	}
+}
+
+func TestCreateTopicRejectsForeignCredential(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	foreignCA, err := credential.NewAuthority("foreign", credential.WithKeyBits(secure.PaperRSABits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := foreignCA.Issue("impostor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := signedCreateRequest(t, foreign, true, nil, time.Hour)
+	if _, err := node.CreateTopic(req); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("foreign credential accepted: %v", err)
+	}
+}
+
+func TestDiscoverAuthorized(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, false, []string{"tracker-1"}, time.Hour)
+	ad, err := node.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The authorized tracker discovers via /Liveness/<Entity-ID>.
+	got, err := node.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", fxTracker.Credential.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].TopicID != ad.TopicID {
+		t.Fatalf("discover returned %v", got)
+	}
+	// The owner can always discover its own topic.
+	if _, err := node.Discover(topic.LivenessQuery("traced-svc"), "traced-svc", fxOwner.Credential.Cert); err != nil {
+		t.Fatalf("owner discovery failed: %v", err)
+	}
+}
+
+func TestDiscoverUnauthorizedIndistinguishable(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, false, []string{"tracker-1"}, time.Hour)
+	if _, err := node.CreateTopic(req); err != nil {
+		t.Fatal(err)
+	}
+	// The outsider holds a valid credential but is not in the
+	// restrictions: the response must equal the nonexistent-topic case.
+	_, errRestricted := node.Discover(topic.LivenessQuery("traced-svc"), "outsider", fxOutsider.Credential.Cert)
+	_, errMissing := node.Discover(topic.LivenessQuery("no-such-entity"), "outsider", fxOutsider.Credential.Cert)
+	if !errors.Is(errRestricted, ErrNotFound) || !errors.Is(errMissing, ErrNotFound) {
+		t.Fatalf("restricted=%v missing=%v; want both ErrNotFound", errRestricted, errMissing)
+	}
+}
+
+func TestDiscoverRequiresValidCredential(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, true, nil, time.Hour)
+	if _, err := node.CreateTopic(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", []byte("junk")); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("junk credential: %v", err)
+	}
+	// Credential naming a different entity must fail too.
+	if _, err := node.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", fxOutsider.Credential.Cert); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("mismatched credential: %v", err)
+	}
+}
+
+func TestLifetimeExpiry(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	now := time.Now()
+	node.SetTimeFunc(func() time.Time { return now })
+	req := signedCreateRequest(t, fxOwner, true, nil, time.Minute)
+	ad, err := node.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := node.Lookup(ad.TopicID); !ok {
+		t.Fatal("fresh topic not found")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := node.Lookup(ad.TopicID); ok {
+		t.Fatal("expired topic still served by Lookup")
+	}
+	if _, err := node.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", fxTracker.Credential.Cert); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired topic discovered: %v", err)
+	}
+	if pruned := node.Sweep(); pruned != 1 {
+		t.Fatalf("Sweep pruned %d", pruned)
+	}
+	if node.Size() != 0 {
+		t.Fatalf("Size = %d after sweep", node.Size())
+	}
+}
+
+func TestDefaultLifetimeApplied(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, true, nil, 0)
+	ad, err := node.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life := time.Duration(ad.ExpiresAt - ad.CreatedAt)
+	if life != DefaultLifetime {
+		t.Fatalf("default lifetime = %v", life)
+	}
+}
+
+func TestReplicationAcrossNodes(t *testing.T) {
+	fixture(t)
+	n1 := newNode(t, fxTDNIdent)
+	n2 := newNode(t, fxTDNIdent2)
+	n1.AddPeer(n2)
+	req := signedCreateRequest(t, fxOwner, false, []string{"tracker-1"}, time.Hour)
+	ad, err := n1.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The advertisement survives the loss of n1: discovery at n2 works.
+	got, err := n2.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", fxTracker.Credential.Cert)
+	if err != nil {
+		t.Fatalf("discovery at replica: %v", err)
+	}
+	if got[0].TopicID != ad.TopicID {
+		t.Fatal("replica returned different advertisement")
+	}
+	// Replicating a tampered advertisement is rejected.
+	bad := *ad
+	bad.Owner = "hijacker"
+	if err := n2.Replicate(&bad); err == nil {
+		t.Fatal("tampered advertisement replicated")
+	}
+}
+
+func TestAdvertisementMarshalRoundTrip(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	req := signedCreateRequest(t, fxOwner, false, []string{"a", "b"}, time.Hour)
+	ad, err := node.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalAdvertisement(ad.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TopicID != ad.TopicID || back.Owner != ad.Owner ||
+		back.Descriptor != ad.Descriptor || len(back.Allowed) != 2 ||
+		back.ExpiresAt != ad.ExpiresAt {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, ad)
+	}
+	if _, err := back.Verify(fxVerifier, time.Now()); err != nil {
+		t.Fatalf("round-tripped ad failed verification: %v", err)
+	}
+}
+
+func TestUnmarshalAdvertisementMalformed(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, []byte("garbage advertisement bytes")} {
+		if _, err := UnmarshalAdvertisement(b); err == nil {
+			t.Errorf("accepted %d-byte garbage", len(b))
+		}
+	}
+}
+
+func TestMayDiscover(t *testing.T) {
+	ad := &Advertisement{Owner: "own", Allowed: []string{"friend"}}
+	if !ad.MayDiscover("own") || !ad.MayDiscover("friend") || ad.MayDiscover("stranger") {
+		t.Fatal("MayDiscover matrix wrong")
+	}
+	open := &Advertisement{Owner: "own", AllowAny: true}
+	if !open.MayDiscover("stranger") {
+		t.Fatal("AllowAny ignored")
+	}
+}
+
+func TestRPCEndToEnd(t *testing.T) {
+	fixture(t)
+	tr := transport.NewInproc()
+	n1 := newNode(t, fxTDNIdent)
+	n2 := newNode(t, fxTDNIdent2)
+	s1 := NewServer(n1)
+	s2 := NewServer(n2)
+	l1, _ := tr.Listen("tdn1")
+	l2, _ := tr.Listen("tdn2")
+	s1.Serve(l1)
+	s2.Serve(l2)
+	defer s1.Close()
+	defer s2.Close()
+	n1.AddPeer(NewRemoteReplicator(tr, "tdn2"))
+
+	client, err := NewClient(tr, "tdn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := signedCreateRequest(t, fxOwner, false, []string{"tracker-1"}, time.Hour)
+	ad, err := client.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ad.Verify(fxVerifier, time.Now()); err != nil {
+		t.Fatalf("RPC-returned ad invalid: %v", err)
+	}
+
+	// Discovery through the failover client: first address dead.
+	failover, err := NewClient(tr, "dead-tdn", "tdn2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads, err := failover.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", fxTracker.Credential.Cert)
+	if err != nil {
+		t.Fatalf("failover discovery: %v", err)
+	}
+	if ads[0].TopicID != ad.TopicID {
+		t.Fatal("failover returned wrong ad")
+	}
+
+	// Lookup by UUID.
+	got, err := failover.Lookup(ad.TopicID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TopicID != ad.TopicID {
+		t.Fatal("lookup mismatch")
+	}
+	if _, err := failover.Lookup(ident.NewUUID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup of unknown UUID: %v", err)
+	}
+
+	// Unauthorized discovery over RPC reads as not-found.
+	if _, err := failover.Discover(topic.LivenessQuery("traced-svc"), "outsider", fxOutsider.Credential.Cert); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unauthorized RPC discovery: %v", err)
+	}
+}
+
+func TestRPCSurvivesTDNLoss(t *testing.T) {
+	fixture(t)
+	tr := transport.NewInproc()
+	n1 := newNode(t, fxTDNIdent)
+	n2 := newNode(t, fxTDNIdent2)
+	s1 := NewServer(n1)
+	s2 := NewServer(n2)
+	l1, _ := tr.Listen("t1")
+	l2, _ := tr.Listen("t2")
+	s1.Serve(l1)
+	s2.Serve(l2)
+	defer s2.Close()
+	n1.AddPeer(NewRemoteReplicator(tr, "t2"))
+
+	client, _ := NewClient(tr, "t1", "t2")
+	req := signedCreateRequest(t, fxOwner, true, nil, time.Hour)
+	ad, err := client.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the TDN that created the topic.
+	s1.Close()
+	ads, err := client.Discover(topic.LivenessQuery("traced-svc"), "tracker-1", fxTracker.Credential.Cert)
+	if err != nil {
+		t.Fatalf("discovery after TDN loss: %v", err)
+	}
+	if ads[0].TopicID != ad.TopicID {
+		t.Fatal("replica served wrong advertisement")
+	}
+}
+
+func TestClientNeedsAddresses(t *testing.T) {
+	if _, err := NewClient(transport.NewInproc()); err == nil {
+		t.Fatal("NewClient with no addresses succeeded")
+	}
+}
+
+func TestServerRejectsGarbageFrames(t *testing.T) {
+	fixture(t)
+	tr := transport.NewInproc()
+	node := newNode(t, fxTDNIdent)
+	s := NewServer(node)
+	l, _ := tr.Listen("garbage-tdn")
+	s.Serve(l)
+	defer s.Close()
+	conn, err := tr.Dial("garbage-tdn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, frame := range [][]byte{{}, {99}, {opCreate, 1, 2, 3}} {
+		if err := conn.Send(frame); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, _, _, err := unmarshalResponse(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if status == statusOK {
+			t.Fatalf("garbage frame %v got OK", frame)
+		}
+	}
+}
+
+func TestDurableStorage(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	n1 := newNode(t, fxTDNIdent)
+	if _, err := n1.EnableStorage(dir); err != nil {
+		t.Fatal(err)
+	}
+	if n1.StorageDir() != dir {
+		t.Fatal("storage dir not recorded")
+	}
+	req := signedCreateRequest(t, fxOwner, false, []string{"tracker-1"}, time.Hour)
+	ad, err := n1.CreateTopic(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh node over the same directory restores the advertisement.
+	n2 := newNode(t, fxTDNIdent2)
+	restored, err := n2.EnableStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d advertisements", restored)
+	}
+	got, ok := n2.Lookup(ad.TopicID)
+	if !ok || got.TopicID != ad.TopicID {
+		t.Fatal("restored advertisement not served")
+	}
+	// Discovery restrictions survive the round trip.
+	if _, err := n2.Discover(topic.LivenessQuery("traced-svc"), "outsider", fxOutsider.Credential.Cert); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restrictions lost on restore: %v", err)
+	}
+	// Sweep removes the file; the next restore finds nothing.
+	now := time.Now()
+	n2.SetTimeFunc(func() time.Time { return now.Add(2 * time.Hour) })
+	if pruned := n2.Sweep(); pruned != 1 {
+		t.Fatalf("Sweep pruned %d", pruned)
+	}
+	n3 := newNode(t, fxTDNIdent)
+	if restored, _ := n3.EnableStorage(dir); restored != 0 {
+		t.Fatalf("expired advertisement restored: %d", restored)
+	}
+}
+
+func TestStorageSkipsCorruptFiles(t *testing.T) {
+	fixture(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "junk.ad"), []byte("not an advertisement"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := newNode(t, fxTDNIdent)
+	restored, err := n.EnableStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 0 {
+		t.Fatalf("restored %d from corrupt store", restored)
+	}
+	// The corrupt file was quarantined.
+	if _, err := os.Stat(filepath.Join(dir, "junk.ad")); !os.IsNotExist(err) {
+		t.Fatal("corrupt file not removed")
+	}
+}
+
+func TestPrefixDiscovery(t *testing.T) {
+	fixture(t)
+	node := newNode(t, fxTDNIdent)
+	for _, owner := range []*credential.Identity{fxOwner, fxTracker} {
+		req := signedCreateRequest(t, owner, true, nil, time.Hour)
+		if _, err := node.CreateTopic(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prefix query finds both availability topics.
+	ads, err := node.Discover("Availability/Traces/*", "outsider", fxOutsider.Credential.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 2 {
+		t.Fatalf("prefix discovery found %d", len(ads))
+	}
+	// Restrictions still apply per advertisement.
+	restricted := signedCreateRequest(t, fxTDNIdent2, false, []string{"friend-only"}, time.Hour)
+	// fxTDNIdent2 is an identity usable as an owner here.
+	if _, err := node.CreateTopic(restricted); err != nil {
+		t.Fatal(err)
+	}
+	ads, err = node.Discover("Availability/Traces/*", "outsider", fxOutsider.Credential.Cert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 2 {
+		t.Fatalf("restricted topic leaked via prefix discovery: %d", len(ads))
+	}
+	// Non-matching prefix reads as not-found.
+	if _, err := node.Discover("Nothing/Here/*", "outsider", fxOutsider.Credential.Cert); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty prefix discovery: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+package token
+
+import (
+	"testing"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+)
+
+// FuzzUnmarshalToken checks the token parser never panics and that
+// accepted tokens round trip.
+func FuzzUnmarshalToken(f *testing.F) {
+	signer, err := secure.NewSigner(ownerPair.Private, secure.SHA1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	del, err := Grant("fuzz-owner", ident.NewUUID(), RightPublish, time.Hour, time.Now(), signer, secure.PaperRSABits)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(del.Token.Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{tokenVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tok, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		back, err := Unmarshal(tok.Marshal())
+		if err != nil {
+			t.Fatalf("accepted token does not round trip: %v", err)
+		}
+		if back.TraceTopic != tok.TraceTopic || back.Owner != tok.Owner || back.Rights != tok.Rights {
+			t.Fatal("round trip changed token identity")
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package token
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/secure"
+)
+
+var (
+	ownerPair    *secure.KeyPair
+	intruderPair *secure.KeyPair
+)
+
+func init() {
+	var err error
+	if ownerPair, err = secure.GenerateKeyPair(secure.PaperRSABits); err != nil {
+		panic(err)
+	}
+	if intruderPair, err = secure.GenerateKeyPair(secure.PaperRSABits); err != nil {
+		panic(err)
+	}
+}
+
+func ownerSigner(t *testing.T) *secure.Signer {
+	t.Helper()
+	s, err := secure.NewSigner(ownerPair.Private, secure.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func grant(t *testing.T, rights Rights, validFor time.Duration, now time.Time) *Delegation {
+	t.Helper()
+	d, err := Grant("traced-entity", ident.NewUUID(), rights, validFor, now, ownerSigner(t), secure.PaperRSABits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGrantAndVerify(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Hour, now)
+	pub, err := d.Token.Verify(ownerPair.Public, now.Add(time.Minute), DefaultClockSkew, RightPublish)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if pub.N.Cmp(d.PrivateKey.PublicKey.N) != 0 {
+		t.Fatal("delegated public key does not match delegated private key")
+	}
+}
+
+func TestVerifyRejectsWrongOwner(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Hour, now)
+	if _, err := d.Token.Verify(intruderPair.Public, now, DefaultClockSkew, RightPublish); !errors.Is(err, ErrBadTokenSignature) {
+		t.Fatalf("token verified under wrong owner key, err=%v", err)
+	}
+}
+
+func TestVerifyRejectsExpired(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Second, now)
+	late := now.Add(time.Second + MaxClockSkew + time.Millisecond)
+	if _, err := d.Token.Verify(ownerPair.Public, late, MaxClockSkew, RightPublish); !errors.Is(err, ErrExpired) {
+		t.Fatalf("expired token verified, err=%v", err)
+	}
+}
+
+func TestVerifyRejectsNotYetValid(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Hour, now)
+	early := now.Add(-time.Second)
+	if _, err := d.Token.Verify(ownerPair.Public, early, MinClockSkew, RightPublish); !errors.Is(err, ErrExpired) {
+		t.Fatalf("premature token verified, err=%v", err)
+	}
+}
+
+func TestClockSkewTolerance(t *testing.T) {
+	// §4.3: clocks are within 30-100ms; a token missed by less than the
+	// skew must still verify.
+	now := time.Now()
+	d := grant(t, RightPublish, time.Second, now)
+	justLate := now.Add(time.Second + 50*time.Millisecond)
+	if _, err := d.Token.Verify(ownerPair.Public, justLate, MaxClockSkew, RightPublish); err != nil {
+		t.Fatalf("token within skew rejected: %v", err)
+	}
+	if _, err := d.Token.Verify(ownerPair.Public, justLate, MinClockSkew, RightPublish); !errors.Is(err, ErrExpired) {
+		t.Fatalf("token beyond 30ms skew verified, err=%v", err)
+	}
+}
+
+func TestVerifyRejectsInsufficientRights(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightSubscribe, time.Hour, now)
+	if _, err := d.Token.Verify(ownerPair.Public, now, DefaultClockSkew, RightPublish); !errors.Is(err, ErrRightsMismatch) {
+		t.Fatalf("subscribe-only token verified for publish, err=%v", err)
+	}
+}
+
+func TestVerifyDetectsFieldTampering(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Second, now)
+	// Extend the validity window without re-signing.
+	d.Token.NotAfter = now.Add(24 * time.Hour).UnixNano()
+	if _, err := d.Token.Verify(ownerPair.Public, now.Add(time.Hour), DefaultClockSkew, RightPublish); !errors.Is(err, ErrBadTokenSignature) {
+		t.Fatalf("tampered token verified, err=%v", err)
+	}
+}
+
+func TestVerifyDetectsRightsEscalation(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightSubscribe, time.Hour, now)
+	d.Token.Rights = RightPublish | RightSubscribe
+	if _, err := d.Token.Verify(ownerPair.Public, now, DefaultClockSkew, RightPublish); !errors.Is(err, ErrBadTokenSignature) {
+		t.Fatalf("rights-escalated token verified, err=%v", err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish|RightSubscribe, time.Hour, now)
+	back, err := Unmarshal(d.Token.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceTopic != d.Token.TraceTopic || back.Owner != d.Token.Owner ||
+		back.Rights != d.Token.Rights || back.NotBefore != d.Token.NotBefore ||
+		back.NotAfter != d.Token.NotAfter || back.Hash != d.Token.Hash {
+		t.Fatal("round trip field mismatch")
+	}
+	if _, err := back.Verify(ownerPair.Public, now, DefaultClockSkew, RightPublish); err != nil {
+		t.Fatalf("round-tripped token failed verification: %v", err)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := [][]byte{nil, {1}, {tokenVersion, 1, 2, 3}, []byte("garbage token")}
+	for _, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Errorf("Unmarshal(%d bytes) succeeded", len(c))
+		}
+	}
+	// Wrong version.
+	now := time.Now()
+	d := grant(t, RightPublish, time.Hour, now)
+	wire := d.Token.Marshal()
+	wire[0] = 99
+	if _, err := Unmarshal(wire); err == nil {
+		t.Fatal("accepted wrong version")
+	}
+	// Trailing bytes.
+	wire = append(d.Token.Marshal(), 0)
+	if _, err := Unmarshal(wire); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+func TestGrantValidation(t *testing.T) {
+	s := ownerSigner(t)
+	if _, err := Grant("", ident.NewUUID(), RightPublish, time.Hour, time.Now(), s, secure.PaperRSABits); err == nil {
+		t.Fatal("granted token for empty owner")
+	}
+	if _, err := Grant("e", ident.NewUUID(), RightPublish, 0, time.Now(), s, secure.PaperRSABits); err == nil {
+		t.Fatal("granted token with zero validity")
+	}
+}
+
+func TestExpiresSoon(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Minute, now)
+	if d.Token.ExpiresSoon(now, time.Second) {
+		t.Fatal("fresh token reported expiring")
+	}
+	if !d.Token.ExpiresSoon(now.Add(59*time.Second+500*time.Millisecond), time.Second) {
+		t.Fatal("nearly expired token not reported expiring")
+	}
+}
+
+func TestRightsStrings(t *testing.T) {
+	cases := map[Rights]string{
+		RightPublish:                  "publish",
+		RightSubscribe:                "subscribe",
+		RightPublish | RightSubscribe: "publish+subscribe",
+		0:                             "none",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Rights(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestNegativeSkewUsesDefault(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Hour, now)
+	if _, err := d.Token.Verify(ownerPair.Public, now, -1, RightPublish); err != nil {
+		t.Fatalf("negative skew should default, got %v", err)
+	}
+}
+
+// TestDelegatedKeyHidesBroker checks the design property of §4.3: the
+// token contains only the random delegated key, never any broker
+// identity material.
+func TestDelegatedKeyHidesBroker(t *testing.T) {
+	now := time.Now()
+	d := grant(t, RightPublish, time.Hour, now)
+	// A second delegation for the same owner/topic produces a different
+	// delegated key — there is nothing broker-identifying or stable.
+	d2, err := Grant(d.Token.Owner, d.Token.TraceTopic, RightPublish, time.Hour, now, ownerSigner(t), secure.PaperRSABits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d.Token.DelegatePub) == string(d2.Token.DelegatePub) {
+		t.Fatal("delegated keys are not random per grant")
+	}
+}

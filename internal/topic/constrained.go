@@ -1,0 +1,279 @@
+package topic
+
+import (
+	"fmt"
+
+	"entitytrace/internal/ident"
+)
+
+// ConstrainedPrefix is the first segment identifying a constrained topic
+// (§3.1: "This keyword at the very beginning of a topic structure
+// identifies that topic as a constrained topic").
+const ConstrainedPrefix = "Constrained"
+
+// Action is the {Allowed Actions} element of a constrained topic: the
+// actions that can ONLY be performed by the constrainer.
+type Action int
+
+const (
+	// ActionPublishSubscribe (the paper's default) reserves both actions
+	// for the constrainer: "no entities are authorized to perform any
+	// actions over the corresponding constrained topic".
+	ActionPublishSubscribe Action = iota
+	// ActionPublish reserves publishing for the constrainer; other
+	// entities are allowed to subscribe.
+	ActionPublish
+	// ActionSubscribe reserves subscribing for the constrainer; no other
+	// entity may subscribe, but others may publish (this is how entities
+	// send registrations to a broker's Subscribe-Only topic).
+	ActionSubscribe
+)
+
+// String returns the canonical segment spelling of the action.
+func (a Action) String() string {
+	switch a {
+	case ActionPublish:
+		return "Publish-Only"
+	case ActionSubscribe:
+		return "Subscribe-Only"
+	case ActionPublishSubscribe:
+		return "PublishSubscribe"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// parseAction recognises the paper's several spellings of each action.
+func parseAction(seg string) (Action, bool) {
+	switch seg {
+	case "Publish", "Publish-Only", "Publish_Only", "PublishOnly":
+		return ActionPublish, true
+	case "Subscribe", "Subscribe-Only", "Subscribe_Only", "SubscribeOnly":
+		return ActionSubscribe, true
+	case "PublishSubscribe":
+		return ActionPublishSubscribe, true
+	default:
+		return 0, false
+	}
+}
+
+// Distribution is the {Distribution} element: restrictions on how the
+// constrainer's actions propagate through the broker network.
+type Distribution int
+
+const (
+	// DistDisseminate (default) propagates normally.
+	DistDisseminate Distribution = iota
+	// DistSuppress keeps the constrainer's publishes/subscriptions local
+	// to its broker.
+	DistSuppress
+	// DistLimited appears in the paper's examples (e.g.
+	// /Constrained/Traces/Broker/Subscribe-Only/Limited/Trace-Topic) but
+	// not in its enumerated values; we model it as suppress-like
+	// propagation confined to the hosting broker.
+	DistLimited
+)
+
+// String returns the canonical segment spelling.
+func (d Distribution) String() string {
+	switch d {
+	case DistDisseminate:
+		return "Disseminate"
+	case DistSuppress:
+		return "Suppress"
+	case DistLimited:
+		return "Limited"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Propagates reports whether actions on the topic are disseminated to
+// other brokers in the network.
+func (d Distribution) Propagates() bool { return d == DistDisseminate }
+
+func parseDistribution(seg string) (Distribution, bool) {
+	switch seg {
+	case "Disseminate":
+		return DistDisseminate, true
+	case "Suppress":
+		return DistSuppress, true
+	case "Limited":
+		return DistLimited, true
+	default:
+		return 0, false
+	}
+}
+
+// ConstrainerBroker is the {Constrainer} value naming the broker
+// infrastructure (the default) rather than a specific entity.
+const ConstrainerBroker = "Broker"
+
+// DefaultEventType is the default {Event Type} element value.
+const DefaultEventType = "RealTime"
+
+// EventTypeTraces is the {Event Type} used by the tracing scheme.
+const EventTypeTraces = "Traces"
+
+// Constrained is the parsed form of a constrained topic:
+//
+//	/Constrained/{EventType}/{Constrainer}/{AllowedActions}/{Distribution}/{suffixes...}
+//
+// Elements may be omitted in the textual form, in which case defaults
+// apply ({Constrainer}=Broker, {AllowedActions}=PublishSubscribe,
+// {Distribution}=Disseminate); the paper's equivalence example
+// (/Constrained/Traces/Broker/PublishSubscribe/Limited ==
+// /Constrained/Traces/Limited) is honoured by ParseConstrained.
+type Constrained struct {
+	EventType   string
+	Constrainer string // ConstrainerBroker or an Entity-ID
+	Actions     Action
+	Dist        Distribution
+	Suffixes    []string
+}
+
+// IsConstrained reports whether t begins with the Constrained keyword.
+func IsConstrained(t Topic) bool {
+	return t.Len() > 0 && t.segments[0] == ConstrainedPrefix
+}
+
+// ParseConstrained interprets a topic under the §3.1 grammar. The
+// EventType element is required (every example in the paper carries it);
+// Constrainer, AllowedActions and Distribution may be omitted and default
+// as specified. Remaining segments become suffixes.
+func ParseConstrained(t Topic) (*Constrained, error) {
+	if !IsConstrained(t) {
+		return nil, fmt.Errorf("%w: %q is not a constrained topic", ErrBadTopic, t)
+	}
+	segs := t.segments[1:]
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("%w: constrained topic lacks event type", ErrBadTopic)
+	}
+	c := &Constrained{
+		EventType:   segs[0],
+		Constrainer: ConstrainerBroker,
+		Actions:     ActionPublishSubscribe,
+		Dist:        DistDisseminate,
+	}
+	rest := segs[1:]
+
+	// {Constrainer}: present unless the next segment is recognisably an
+	// action or distribution keyword.
+	if len(rest) > 0 {
+		if _, isAct := parseAction(rest[0]); !isAct {
+			if _, isDist := parseDistribution(rest[0]); !isDist {
+				c.Constrainer = rest[0]
+				rest = rest[1:]
+			}
+		}
+	}
+	// {Allowed Actions}.
+	if len(rest) > 0 {
+		if a, ok := parseAction(rest[0]); ok {
+			c.Actions = a
+			rest = rest[1:]
+		}
+	}
+	// {Distribution}.
+	if len(rest) > 0 {
+		if d, ok := parseDistribution(rest[0]); ok {
+			c.Dist = d
+			rest = rest[1:]
+		}
+	}
+	c.Suffixes = append([]string(nil), rest...)
+	return c, nil
+}
+
+// Topic renders the constrained topic in fully explicit canonical form.
+func (c *Constrained) Topic() (Topic, error) {
+	if c.EventType == "" || c.Constrainer == "" {
+		return Topic{}, fmt.Errorf("%w: constrained topic needs event type and constrainer", ErrBadTopic)
+	}
+	segs := []string{ConstrainedPrefix, c.EventType, c.Constrainer, c.Actions.String(), c.Dist.String()}
+	segs = append(segs, c.Suffixes...)
+	return Build(segs...)
+}
+
+// Equivalent reports whether two constrained topics denote the same
+// canonical structure (the paper's topic-equivalence relation).
+func (c *Constrained) Equivalent(other *Constrained) bool {
+	if c.EventType != other.EventType || c.Constrainer != other.Constrainer ||
+		c.Actions != other.Actions || c.Dist != other.Dist ||
+		len(c.Suffixes) != len(other.Suffixes) {
+		return false
+	}
+	for i := range c.Suffixes {
+		if c.Suffixes[i] != other.Suffixes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Principal identifies an actor attempting an action on a topic: either a
+// broker (trusted infrastructure node) or a client entity.
+type Principal struct {
+	IsBroker bool
+	Entity   ident.EntityID
+}
+
+// BrokerPrincipal is the principal for broker infrastructure nodes.
+func BrokerPrincipal() Principal { return Principal{IsBroker: true} }
+
+// EntityPrincipal is the principal for a client entity.
+func EntityPrincipal(id ident.EntityID) Principal { return Principal{Entity: id} }
+
+func (c *Constrained) isConstrainer(p Principal) bool {
+	if c.Constrainer == ConstrainerBroker {
+		return p.IsBroker
+	}
+	return !p.IsBroker && string(p.Entity) == c.Constrainer
+}
+
+// CanPublish reports whether p may publish on the constrained topic.
+// Publishing is reserved for the constrainer when the allowed actions
+// include Publish.
+func (c *Constrained) CanPublish(p Principal) bool {
+	switch c.Actions {
+	case ActionPublish, ActionPublishSubscribe:
+		return c.isConstrainer(p)
+	default:
+		return true
+	}
+}
+
+// CanSubscribe reports whether p may subscribe to the constrained topic.
+// Subscribing is reserved for the constrainer when the allowed actions
+// include Subscribe.
+func (c *Constrained) CanSubscribe(p Principal) bool {
+	switch c.Actions {
+	case ActionSubscribe, ActionPublishSubscribe:
+		return c.isConstrainer(p)
+	default:
+		return true
+	}
+}
+
+// Authorize checks an action on any topic: constrained topics are parsed
+// and enforced, unconstrained topics permit everything. publish selects
+// between the publish and subscribe checks.
+func Authorize(t Topic, p Principal, publish bool) error {
+	if !IsConstrained(t) {
+		return nil
+	}
+	c, err := ParseConstrained(t)
+	if err != nil {
+		return err
+	}
+	allowed := c.CanSubscribe(p)
+	verb := "subscribe to"
+	if publish {
+		allowed = c.CanPublish(p)
+		verb = "publish on"
+	}
+	if !allowed {
+		return fmt.Errorf("topic: principal %+v may not %s constrained topic %q", p, verb, t)
+	}
+	return nil
+}

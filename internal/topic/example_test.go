@@ -1,0 +1,49 @@
+package topic_test
+
+import (
+	"fmt"
+
+	"entitytrace/internal/topic"
+)
+
+// Constrained topics (§3.1) expand omitted elements to their defaults;
+// the paper's own equivalence example holds.
+func ExampleParseConstrained() {
+	long, _ := topic.ParseConstrained(topic.MustParse("/Constrained/Traces/Broker/PublishSubscribe/Limited"))
+	short, _ := topic.ParseConstrained(topic.MustParse("/Constrained/Traces/Limited"))
+	fmt.Println("equivalent:", long.Equivalent(short))
+	canonical, _ := short.Topic()
+	fmt.Println("canonical:", canonical)
+	// Output:
+	// equivalent: true
+	// canonical: /Constrained/Traces/Broker/PublishSubscribe/Limited
+}
+
+// Constrained topics carry their own authorization: Publish-Only broker
+// topics let entities subscribe but never publish.
+func ExampleConstrained_CanPublish() {
+	c, _ := topic.ParseConstrained(topic.MustParse("/Constrained/Traces/Broker/Publish-Only/tt/AllUpdates"))
+	entity := topic.EntityPrincipal("some-service")
+	fmt.Println("entity can publish:", c.CanPublish(entity))
+	fmt.Println("entity can subscribe:", c.CanSubscribe(entity))
+	fmt.Println("broker can publish:", c.CanPublish(topic.BrokerPrincipal()))
+	// Output:
+	// entity can publish: false
+	// entity can subscribe: true
+	// broker can publish: true
+}
+
+// Trackers select trace classes (§3.5) with a ClassSet.
+func ExampleClassSet() {
+	classes := topic.NewClassSet(topic.ClassChangeNotifications, topic.ClassLoad)
+	fmt.Println("wants load:", classes.Has(topic.ClassLoad))
+	fmt.Println("wants heartbeats:", classes.Has(topic.ClassAllUpdates))
+	for _, c := range classes.Classes() {
+		fmt.Println("class:", c)
+	}
+	// Output:
+	// wants load: true
+	// wants heartbeats: false
+	// class: ChangeNotifications
+	// class: Load
+}

@@ -1,0 +1,176 @@
+// Package topic implements the topic machinery of the publish/subscribe
+// substrate: plain "/"-separated topics (§2.1), the constrained-topic
+// grammar of §3.1 with its default elements and equivalence rules, and
+// builders for the trace and derivative topics of Tables 1 and 2.
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"entitytrace/internal/ident"
+)
+
+// Wildcard is the subscription suffix matching any topic subtree, e.g.
+// "/Constrained/Traces/*" receives every constrained trace message.
+const Wildcard = "*"
+
+// ErrBadTopic reports a malformed topic string.
+var ErrBadTopic = errors.New("topic: malformed topic")
+
+// Topic is a parsed "/"-separated topic. The zero value is invalid;
+// construct topics with Parse or Build.
+type Topic struct {
+	segments []string
+}
+
+// Parse validates and parses a topic string. Topics must start with '/'
+// (leading-slash-less strings such as descriptors are handled by the TDN
+// query machinery, not here), must not contain empty segments, and may
+// only use the wildcard as the final segment.
+func Parse(s string) (Topic, error) {
+	if s == "" || s[0] != '/' {
+		return Topic{}, fmt.Errorf("%w: %q (must start with '/')", ErrBadTopic, s)
+	}
+	raw := strings.Split(s[1:], "/")
+	for i, seg := range raw {
+		if seg == "" {
+			return Topic{}, fmt.Errorf("%w: %q (empty segment)", ErrBadTopic, s)
+		}
+		if seg == Wildcard && i != len(raw)-1 {
+			return Topic{}, fmt.Errorf("%w: %q (wildcard only allowed as final segment)", ErrBadTopic, s)
+		}
+	}
+	return Topic{segments: raw}, nil
+}
+
+// MustParse is Parse for statically known strings; it panics on error.
+func MustParse(s string) Topic {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Build constructs a topic from individual segments.
+func Build(segments ...string) (Topic, error) {
+	if len(segments) == 0 {
+		return Topic{}, fmt.Errorf("%w: no segments", ErrBadTopic)
+	}
+	return Parse("/" + strings.Join(segments, "/"))
+}
+
+// String returns the canonical "/a/b/c" form.
+func (t Topic) String() string {
+	if len(t.segments) == 0 {
+		return ""
+	}
+	return "/" + strings.Join(t.segments, "/")
+}
+
+// Segments returns a copy of the topic's path elements.
+func (t Topic) Segments() []string {
+	return append([]string(nil), t.segments...)
+}
+
+// Len returns the number of segments.
+func (t Topic) Len() int { return len(t.segments) }
+
+// IsZero reports whether the topic is the (invalid) zero value.
+func (t Topic) IsZero() bool { return len(t.segments) == 0 }
+
+// IsWildcard reports whether the topic ends in the wildcard segment.
+func (t Topic) IsWildcard() bool {
+	return len(t.segments) > 0 && t.segments[len(t.segments)-1] == Wildcard
+}
+
+// Child returns the topic extended with extra segments.
+func (t Topic) Child(segments ...string) (Topic, error) {
+	if t.IsZero() {
+		return Topic{}, fmt.Errorf("%w: child of zero topic", ErrBadTopic)
+	}
+	if t.IsWildcard() {
+		return Topic{}, fmt.Errorf("%w: child of wildcard topic", ErrBadTopic)
+	}
+	all := append(t.Segments(), segments...)
+	return Build(all...)
+}
+
+// Equal reports exact segment equality.
+func (t Topic) Equal(other Topic) bool {
+	if len(t.segments) != len(other.segments) {
+		return false
+	}
+	for i := range t.segments {
+		if t.segments[i] != other.segments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Matches reports whether a concrete published topic t is delivered to a
+// subscription sub. A subscription matches if it is segment-for-segment
+// equal, or if it ends in the wildcard and the prefix before the wildcard
+// is a prefix of t.
+func (t Topic) Matches(sub Topic) bool {
+	if sub.IsWildcard() {
+		prefix := sub.segments[:len(sub.segments)-1]
+		if len(t.segments) < len(prefix) {
+			return false
+		}
+		for i := range prefix {
+			if t.segments[i] != prefix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return t.Equal(sub)
+}
+
+// HasPrefix reports whether t starts with the given segments.
+func (t Topic) HasPrefix(segments ...string) bool {
+	if len(t.segments) < len(segments) {
+		return false
+	}
+	for i := range segments {
+		if t.segments[i] != segments[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Descriptor is a topic descriptor registered at a TDN during topic
+// creation (§3.1), e.g. "Availability/Traces/<Entity-ID>". Descriptors do
+// not carry a leading slash in the paper's examples.
+type Descriptor string
+
+// AvailabilityDescriptor builds the descriptor a traced entity registers
+// for its trace topic: Availability/Traces/Entity-ID (§3.1).
+func AvailabilityDescriptor(entity ident.EntityID) Descriptor {
+	return Descriptor("Availability/Traces/" + string(entity))
+}
+
+// LivenessQuery builds the discovery query a tracker uses to find an
+// entity's trace topic: /Liveness/Entity-ID (§3.4).
+func LivenessQuery(entity ident.EntityID) string {
+	return "/Liveness/" + string(entity)
+}
+
+// EntityFromLivenessQuery extracts the entity ID from a /Liveness/<ID>
+// query, reporting ok=false for anything else.
+func EntityFromLivenessQuery(q string) (ident.EntityID, bool) {
+	const prefix = "/Liveness/"
+	if !strings.HasPrefix(q, prefix) {
+		return "", false
+	}
+	id := ident.EntityID(q[len(prefix):])
+	if id.Validate() != nil {
+		return "", false
+	}
+	return id, true
+}

@@ -1,0 +1,209 @@
+package topic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"entitytrace/internal/ident"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []string{
+		"/a",
+		"/StockQuotes/Companies/Adobe",
+		"/Constrained/Traces/Broker/Subscribe-Only/Registration",
+		"/a/b/*",
+	}
+	for _, s := range cases {
+		tp, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", s, err)
+			continue
+		}
+		if tp.String() != s {
+			t.Errorf("Parse(%q).String() = %q", s, tp.String())
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []string{
+		"",
+		"nolead/slash",
+		"/",
+		"/a//b",
+		"/a/",
+		"/a/*/b", // wildcard not final
+	}
+	for _, s := range cases {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted malformed topic", s)
+		}
+	}
+}
+
+func TestBuildAndSegments(t *testing.T) {
+	tp, err := Build("x", "y", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.String() != "/x/y/z" {
+		t.Fatalf("Build = %q", tp.String())
+	}
+	segs := tp.Segments()
+	segs[0] = "mutated"
+	if tp.Segments()[0] != "x" {
+		t.Fatal("Segments() exposed internal slice")
+	}
+	if tp.Len() != 3 {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	if _, err := Build(); err == nil {
+		t.Fatal("Build() with no segments succeeded")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad topic")
+		}
+	}()
+	MustParse("bad")
+}
+
+func TestChild(t *testing.T) {
+	base := MustParse("/Traces")
+	child, err := base.Child("abc", "def")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.String() != "/Traces/abc/def" {
+		t.Fatalf("Child = %q", child)
+	}
+	if _, err := (Topic{}).Child("x"); err == nil {
+		t.Fatal("Child of zero topic succeeded")
+	}
+	wc := MustParse("/a/*")
+	if _, err := wc.Child("x"); err == nil {
+		t.Fatal("Child of wildcard topic succeeded")
+	}
+}
+
+func TestEqualAndMatches(t *testing.T) {
+	a := MustParse("/x/y/z")
+	b := MustParse("/x/y/z")
+	c := MustParse("/x/y")
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal misbehaved")
+	}
+	if !a.Matches(b) {
+		t.Fatal("exact subscription did not match")
+	}
+	if a.Matches(c) {
+		t.Fatal("shorter non-wildcard subscription matched")
+	}
+	wc := MustParse("/x/y/*")
+	if !a.Matches(wc) {
+		t.Fatal("wildcard subscription did not match deeper topic")
+	}
+	if !c.Matches(MustParse("/x/*")) {
+		t.Fatal("wildcard did not match")
+	}
+	if MustParse("/q/y/z").Matches(wc) {
+		t.Fatal("wildcard matched different prefix")
+	}
+	// Wildcard matches the exact prefix itself too.
+	if !MustParse("/x/y").Matches(wc) {
+		t.Fatal("wildcard should match its own prefix")
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	tp := MustParse("/Constrained/Traces/Broker")
+	if !tp.HasPrefix("Constrained") || !tp.HasPrefix("Constrained", "Traces") {
+		t.Fatal("HasPrefix false negative")
+	}
+	if tp.HasPrefix("Traces") || tp.HasPrefix("Constrained", "Traces", "Broker", "More") {
+		t.Fatal("HasPrefix false positive")
+	}
+}
+
+func TestIsZeroAndWildcard(t *testing.T) {
+	if !(Topic{}).IsZero() {
+		t.Fatal("zero topic not IsZero")
+	}
+	if MustParse("/a").IsZero() {
+		t.Fatal("parsed topic IsZero")
+	}
+	if !MustParse("/a/*").IsWildcard() || MustParse("/a").IsWildcard() {
+		t.Fatal("IsWildcard misbehaved")
+	}
+}
+
+func TestParseStringRoundTripProperty(t *testing.T) {
+	// Any topic built from non-empty slash-free segments round trips.
+	prop := func(raw []string) bool {
+		segs := make([]string, 0, len(raw))
+		for _, s := range raw {
+			s = strings.Map(func(r rune) rune {
+				if r == '/' || r == 0 {
+					return 'x'
+				}
+				return r
+			}, s)
+			if s == "" || s == Wildcard {
+				s = "seg"
+			}
+			segs = append(segs, s)
+		}
+		if len(segs) == 0 {
+			return true
+		}
+		tp, err := Build(segs...)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(tp.String())
+		return err == nil && back.Equal(tp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescriptorsAndLiveness(t *testing.T) {
+	d := AvailabilityDescriptor("entity-9")
+	if string(d) != "Availability/Traces/entity-9" {
+		t.Fatalf("descriptor = %q", d)
+	}
+	q := LivenessQuery("entity-9")
+	if q != "/Liveness/entity-9" {
+		t.Fatalf("query = %q", q)
+	}
+	id, ok := EntityFromLivenessQuery(q)
+	if !ok || id != "entity-9" {
+		t.Fatalf("EntityFromLivenessQuery = %q, %v", id, ok)
+	}
+	if _, ok := EntityFromLivenessQuery("/Other/entity-9"); ok {
+		t.Fatal("accepted non-liveness query")
+	}
+	if _, ok := EntityFromLivenessQuery("/Liveness/"); ok {
+		t.Fatal("accepted empty entity")
+	}
+	if _, ok := EntityFromLivenessQuery("/Liveness/a/b"); ok {
+		t.Fatal("accepted slashed entity")
+	}
+}
+
+func TestUUIDTopicSegments(t *testing.T) {
+	u := ident.NewUUID()
+	tp := EntityToBrokerSession(u, ident.NewSessionID())
+	if !tp.HasPrefix("Constrained", "Traces", "Broker", "Subscribe-Only", "Limited") {
+		t.Fatalf("session topic = %q", tp)
+	}
+	if tp.Len() != 7 {
+		t.Fatalf("session topic has %d segments", tp.Len())
+	}
+}

@@ -1,0 +1,193 @@
+package topic
+
+import (
+	"entitytrace/internal/ident"
+)
+
+// This file builds the concrete topics the tracing scheme uses: the
+// registration topic (§3.2), the per-session topics, and the derivative
+// topics of Table 2 on which brokers publish the different trace types.
+
+// Suffix segments used by the derivative topics (Table 2) and protocol
+// topics (§3.2, §3.5).
+const (
+	SuffixRegistration        = "Registration"
+	SuffixChangeNotifications = "ChangeNotifications"
+	SuffixAllUpdates          = "AllUpdates"
+	SuffixStateTransitions    = "StateTransitions"
+	SuffixLoad                = "Load"
+	SuffixNetworkMetrics      = "NetworkMetrics"
+	SuffixInterest            = "Interest"
+)
+
+// Registration returns the constrained topic on which trace registration
+// messages are issued (§3.2). The broker is the only subscriber;
+// entities publish to it. The Suppress distribution (§3.1: "in the case
+// of a Subscribe_Only action combined with Suppress distribution, the
+// constrainer's subscriptions are not propagated within the broker
+// network") is essential here: every broker subscribes locally, and
+// without suppression a registration would reach every trace manager in
+// the network and create phantom sessions at brokers the entity never
+// connected to.
+func Registration() Topic {
+	return MustParse("/Constrained/Traces/Broker/Subscribe-Only/Suppress/Registration")
+}
+
+// EntityToBrokerSession returns the topic the traced entity publishes its
+// messages over and the broker subscribes to:
+// /Constrained/Traces/Broker/Subscribe-Only/Limited/<TraceTopic>/<SessionID>
+// (§3.2, §3.3).
+func EntityToBrokerSession(traceTopic ident.UUID, session ident.SessionID) Topic {
+	return MustParse("/Constrained/Traces/Broker/Subscribe-Only/Limited/" +
+		traceTopic.String() + "/" + session.String())
+}
+
+// BrokerToEntitySession returns the topic the broker uses to reach the
+// traced entity (pings, control):
+// /Constrained/Traces/<Entity-ID>/Subscribe-Only/<TraceTopic>/<SessionID>
+// (§3.2, §3.3). The entity is the constrainer, so only it may subscribe.
+func BrokerToEntitySession(entity ident.EntityID, traceTopic ident.UUID, session ident.SessionID) (Topic, error) {
+	if err := entity.Validate(); err != nil {
+		return Topic{}, err
+	}
+	return Parse("/Constrained/Traces/" + string(entity) + "/Subscribe-Only/" +
+		traceTopic.String() + "/" + session.String())
+}
+
+// derivative builds a broker Publish-Only derivative topic with the given
+// final suffix: /Constrained/Traces/Broker/Publish-Only/<TraceTopic>/<sfx>
+// (Table 2).
+func derivative(traceTopic ident.UUID, sfx string) Topic {
+	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + traceTopic.String() + "/" + sfx)
+}
+
+// ChangeNotifications carries JOIN, FAILURE_SUSPICION, FAILED, DISCONNECT
+// and REVERTING_TO_SILENT_MODE traces.
+func ChangeNotifications(traceTopic ident.UUID) Topic {
+	return derivative(traceTopic, SuffixChangeNotifications)
+}
+
+// AllUpdates carries ALLS_WELL heartbeats issued on every ping response.
+func AllUpdates(traceTopic ident.UUID) Topic {
+	return derivative(traceTopic, SuffixAllUpdates)
+}
+
+// StateTransitions carries INITIALIZING, RECOVERING, READY and SHUTDOWN
+// state information reported by the traced entity.
+func StateTransitions(traceTopic ident.UUID) Topic {
+	return derivative(traceTopic, SuffixStateTransitions)
+}
+
+// Load carries LOAD_INFORMATION traces (CPU, memory, workload).
+func Load(traceTopic ident.UUID) Topic {
+	return derivative(traceTopic, SuffixLoad)
+}
+
+// NetworkMetrics carries NETWORK_METRICS traces (loss rates, transit
+// delay, bandwidth).
+func NetworkMetrics(traceTopic ident.UUID) Topic {
+	return derivative(traceTopic, SuffixNetworkMetrics)
+}
+
+// GaugeInterest returns the topic on which the broker publishes
+// GUAGE_INTEREST probes: /Constrained/Traces/Broker/Publish-Only/
+// <TraceTopic>/Interest (§3.5). (The paper's Table 2 also lists a
+// /Traces/<topic>/Request-Response form; the §3.5 prose topic is used.)
+func GaugeInterest(traceTopic ident.UUID) Topic {
+	return derivative(traceTopic, SuffixInterest)
+}
+
+// GaugeInterestResponse returns the topic trackers answer on:
+// /Constrained/Traces/Broker/Subscribe-Only/<TraceTopic>/Interest (§3.5).
+func GaugeInterestResponse(traceTopic ident.UUID) Topic {
+	return MustParse("/Constrained/Traces/Broker/Subscribe-Only/" + traceTopic.String() + "/" + SuffixInterest)
+}
+
+// TraceClass names a selectable category of trace information a tracker
+// may register interest in (§3.5: "any combination of change
+// notifications, all-updates, state transitions, load information or
+// network metrics").
+type TraceClass int
+
+const (
+	ClassChangeNotifications TraceClass = iota
+	ClassAllUpdates
+	ClassStateTransitions
+	ClassLoad
+	ClassNetworkMetrics
+	numTraceClasses
+)
+
+// NumTraceClasses is the number of selectable trace classes.
+const NumTraceClasses = int(numTraceClasses)
+
+// String returns the class's topic suffix.
+func (tc TraceClass) String() string {
+	switch tc {
+	case ClassChangeNotifications:
+		return SuffixChangeNotifications
+	case ClassAllUpdates:
+		return SuffixAllUpdates
+	case ClassStateTransitions:
+		return SuffixStateTransitions
+	case ClassLoad:
+		return SuffixLoad
+	case ClassNetworkMetrics:
+		return SuffixNetworkMetrics
+	default:
+		return "UnknownClass"
+	}
+}
+
+// AllTraceClasses lists every selectable class.
+func AllTraceClasses() []TraceClass {
+	return []TraceClass{
+		ClassChangeNotifications, ClassAllUpdates, ClassStateTransitions,
+		ClassLoad, ClassNetworkMetrics,
+	}
+}
+
+// ForClass returns the derivative topic carrying the given class of
+// traces for traceTopic.
+func ForClass(traceTopic ident.UUID, tc TraceClass) Topic {
+	return derivative(traceTopic, tc.String())
+}
+
+// ClassSet is a bitmask of trace classes, used in gauge-interest
+// responses.
+type ClassSet uint8
+
+// NewClassSet builds a set from individual classes.
+func NewClassSet(classes ...TraceClass) ClassSet {
+	var s ClassSet
+	for _, c := range classes {
+		s |= 1 << uint(c)
+	}
+	return s
+}
+
+// AllClasses is the set of every trace class.
+func AllClasses() ClassSet { return NewClassSet(AllTraceClasses()...) }
+
+// Has reports membership.
+func (s ClassSet) Has(c TraceClass) bool { return s&(1<<uint(c)) != 0 }
+
+// Add returns the set with c included.
+func (s ClassSet) Add(c TraceClass) ClassSet { return s | 1<<uint(c) }
+
+// Union merges two sets.
+func (s ClassSet) Union(other ClassSet) ClassSet { return s | other }
+
+// Empty reports whether no class is selected.
+func (s ClassSet) Empty() bool { return s == 0 }
+
+// Classes expands the set into a slice.
+func (s ClassSet) Classes() []TraceClass {
+	var out []TraceClass
+	for _, c := range AllTraceClasses() {
+		if s.Has(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

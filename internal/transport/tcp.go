@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is the stream transport: frames are sent as a 4-byte big-endian
+// length prefix followed by the frame body.
+type TCP struct{}
+
+// NewTCP returns the TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// Name implements Transport.
+func (*TCP) Name() string { return "tcp" }
+
+// Listen implements Transport.
+func (*TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Dial implements Transport.
+func (*TCP) Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: tcp dial %s: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Trace messages are small and latency-sensitive; never batch.
+		_ = tc.SetNoDelay(true)
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct {
+	l net.Listener
+}
+
+func (tl *tcpListener) Accept() (Conn, error) {
+	c, err := tl.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return newTCPConn(c), nil
+}
+
+func (tl *tcpListener) Close() error { return tl.l.Close() }
+func (tl *tcpListener) Addr() string { return tl.l.Addr().String() }
+
+type tcpConn struct {
+	c       net.Conn
+	sendMu  sync.Mutex
+	recvBuf [4]byte
+}
+
+func newTCPConn(c net.Conn) *tcpConn { return &tcpConn{c: c} }
+
+func (tc *tcpConn) Send(frame []byte) error {
+	if len(frame) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(frame))
+	}
+	tc.sendMu.Lock()
+	defer tc.sendMu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := tc.c.Write(hdr[:]); err != nil {
+		return mapNetErr(err)
+	}
+	if _, err := tc.c.Write(frame); err != nil {
+		return mapNetErr(err)
+	}
+	return nil
+}
+
+func (tc *tcpConn) Recv() ([]byte, error) {
+	if _, err := io.ReadFull(tc.c, tc.recvBuf[:]); err != nil {
+		return nil, mapNetErr(err)
+	}
+	n := binary.BigEndian.Uint32(tc.recvBuf[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(tc.c, frame); err != nil {
+		return nil, mapNetErr(err)
+	}
+	return frame, nil
+}
+
+func (tc *tcpConn) Close() error       { return tc.c.Close() }
+func (tc *tcpConn) LocalAddr() string  { return tc.c.LocalAddr().String() }
+func (tc *tcpConn) RemoteAddr() string { return tc.c.RemoteAddr().String() }
+
+// mapNetErr folds the several shutdown errors into ErrClosed so callers
+// have a single sentinel to test.
+func mapNetErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrClosed
+	}
+	return err
+}

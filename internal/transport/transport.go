@@ -1,0 +1,105 @@
+// Package transport provides the pluggable transport layer beneath the
+// broker network. The paper's scheme is transport independent (§1 item
+// 2): entities and brokers exchange framed messages through the Transport
+// interface, with TCP, UDP and in-process implementations, plus a
+// traffic-shaping wrapper that injects latency and loss for experiments.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MaxFrameSize bounds a single framed message (shared by all transports;
+// UDP additionally requires frames to fit a datagram).
+const MaxFrameSize = 8 << 20
+
+// Errors common to all transports.
+var (
+	// ErrClosed reports use of a closed connection or listener.
+	ErrClosed = errors.New("transport: closed")
+	// ErrFrameTooLarge reports a frame exceeding MaxFrameSize (or the
+	// datagram limit for UDP).
+	ErrFrameTooLarge = errors.New("transport: frame too large")
+)
+
+// Conn is a bidirectional, message-framed connection. Send is safe for
+// concurrent use; Recv must be called from a single goroutine.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks until a frame arrives or the connection closes.
+	Recv() ([]byte, error)
+	// Close tears the connection down; pending Recv calls return
+	// ErrClosed (or io.EOF mapped to ErrClosed).
+	Close() error
+	// LocalAddr and RemoteAddr describe the endpoints.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks until a connection arrives or the listener closes.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accepts return ErrClosed.
+	Close() error
+	// Addr is the bound address, suitable for Dial.
+	Addr() string
+}
+
+// Transport creates listeners and connections.
+type Transport interface {
+	// Name identifies the transport ("tcp", "udp", "inproc").
+	Name() string
+	// Listen binds addr and returns a listener.
+	Listen(addr string) (Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+}
+
+// registry maps transport names to constructors, so executables can
+// select transports by flag.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]func() Transport)
+)
+
+// Register installs a transport constructor under name, replacing any
+// existing registration.
+func Register(name string, f func() Transport) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = f
+}
+
+// New returns a fresh transport by registered name.
+func New(name string) (Transport, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown transport %q (have %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists registered transport names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("tcp", func() Transport { return NewTCP() })
+	Register("udp", func() Transport { return NewUDP() })
+	Register("inproc", func() Transport { return NewInproc() })
+}
