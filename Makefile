@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz repro examples clean
+.PHONY: all build test race verify cover bench fuzz repro examples clean
 
 all: build test
 
@@ -14,6 +14,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Tier-1 gate: everything CI runs before a merge.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 cover:
 	$(GO) test -cover ./internal/...

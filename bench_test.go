@@ -13,7 +13,9 @@
 package entitytrace
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"entitytrace/internal/harness"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
@@ -615,6 +618,117 @@ func echo(l transport.Listener) {
 			}
 		}(c)
 	}
+}
+
+// --- BENCH_obs.json export ------------------------------------------------------
+
+// TestExportObsBench records sign/verify/publish latency distributions
+// through the internal/obs histograms and writes them to BENCH_obs.json,
+// so the observability layer's view of the paper's crypto costs (§6,
+// Table 3) is archived alongside the testing.B numbers.
+func TestExportObsBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping BENCH_obs.json export in -short mode")
+	}
+	reg := obs.NewRegistry()
+	hSign := reg.Histogram("bench_sign_ms", nil)
+	hVerify := reg.Histogram("bench_verify_ms", nil)
+	hPublish := reg.Histogram("bench_publish_roundtrip_ms", nil)
+
+	pair, err := secure.GenerateKeyPair(secure.PaperRSABits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := secure.NewSigner(pair.Private, secure.SHA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 256)
+
+	const cryptoRounds = 50
+	sigs := make([][]byte, 0, cryptoRounds)
+	for i := 0; i < cryptoRounds; i++ {
+		start := time.Now()
+		sig, err := signer.Sign(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hSign.ObserveDuration(time.Since(start))
+		sigs = append(sigs, sig)
+	}
+	for _, sig := range sigs {
+		start := time.Now()
+		if err := secure.Verify(pair.Public, secure.SHA1, payload, sig); err != nil {
+			t.Fatal(err)
+		}
+		hVerify.ObserveDuration(time.Since(start))
+	}
+
+	// Publish round trips through a single inproc broker (no crypto on
+	// the path), isolating the substrate's routing latency.
+	tr := transport.NewInproc()
+	bk := broker.New(broker.Config{Name: "obs-bench"})
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Serve(l)
+	defer bk.Close()
+	sub, err := broker.Connect(tr, l.Addr(), "sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := broker.Connect(tr, l.Addr(), "pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	got := make(chan struct{}, 64)
+	tp := topic.MustParse("/bench/obs")
+	if err := sub.Subscribe(tp, func(*message.Envelope) { got <- struct{}{} }); err != nil {
+		t.Fatal(err)
+	}
+	const publishRounds = 200
+	for i := 0; i < publishRounds; i++ {
+		start := time.Now()
+		if err := pub.Publish(message.New(message.TypeData, tp, "pub", payload)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-got:
+		case <-time.After(benchTimeout):
+			t.Fatal("publish round trip timed out")
+		}
+		hPublish.ObserveDuration(time.Since(start))
+	}
+
+	out := struct {
+		Description string                `json:"description"`
+		RSABits     int                   `json:"rsa_bits"`
+		PayloadSize int                   `json:"payload_bytes"`
+		SignMs      obs.HistogramSnapshot `json:"sign_ms"`
+		VerifyMs    obs.HistogramSnapshot `json:"verify_ms"`
+		PublishMs   obs.HistogramSnapshot `json:"publish_roundtrip_ms"`
+		Registry    obs.Snapshot          `json:"registry"`
+	}{
+		Description: "sign/verify (RSA-SHA1, paper key size) and inproc publish round-trip latency distributions, recorded through internal/obs histograms",
+		RSABits:     secure.PaperRSABits,
+		PayloadSize: len(payload),
+		SignMs:      hSign.Snapshot(),
+		VerifyMs:    hVerify.Snapshot(),
+		PublishMs:   hPublish.Snapshot(),
+		Registry:    reg.Snapshot(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_obs.json (sign p50=%.3fms verify p50=%.3fms publish p50=%.3fms)",
+		out.SignMs.P50, out.VerifyMs.P50, out.PublishMs.P50)
 }
 
 // BenchmarkSealOpen measures the hybrid envelope used for registration

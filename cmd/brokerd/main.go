@@ -22,6 +22,7 @@ import (
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
 	"entitytrace/internal/transport"
@@ -37,8 +38,9 @@ func main() {
 		tdnAddrs      = flag.String("tdn", "", "comma-separated TDN addresses for token validation")
 		connect       = flag.String("connect", "", "peer broker address to link with")
 		dirAddr       = flag.String("dir", "", "broker directory to register with (optional)")
-		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7190) serving /stats and /healthz")
-		verbose       = flag.Bool("v", false, "log routing violations and session events")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7190) serving /stats, /metrics, /healthz and /debug/pprof")
+		verbose       = flag.Bool("v", false, "log at debug level instead of info")
+		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
 	)
 	flag.Parse()
 	if *identityPath == "" {
@@ -71,10 +73,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "brokerd: warning: no -tdn given; only locally registered topics validate")
 	}
 
-	var logf func(string, ...any)
+	level := obs.LevelInfo
 	if *verbose {
-		logf = func(format string, args ...any) { fmt.Printf("brokerd: "+format+"\n", args...) }
+		level = obs.LevelDebug
 	}
+	log := obs.NewLogger(os.Stderr, level, *logJSON)
 	brokerName := *name
 	if brokerName == "" {
 		brokerName = string(id.Credential.Entity)
@@ -87,7 +90,7 @@ func main() {
 	b := broker.New(broker.Config{
 		Name:  brokerName,
 		Guard: core.NewTokenGuard(resolver, verifier, nil, token.DefaultClockSkew),
-		Logf:  logf,
+		Log:   log,
 	})
 	l, err := tr.Listen(*listen)
 	if err != nil {
@@ -99,7 +102,7 @@ func main() {
 		Identity: id,
 		Verifier: verifier,
 		Resolver: resolver,
-		Logf:     logf,
+		Log:      log,
 	})
 	if err != nil {
 		fail("trace manager: %v", err)
@@ -147,14 +150,18 @@ func main() {
 	}
 }
 
-// serveAdmin exposes operational state over HTTP: GET /stats returns a
-// JSON snapshot of routing counters and session counts; GET /healthz
-// returns 200 while the broker runs.
+// serveAdmin exposes operational state over HTTP: /metrics (process-wide
+// registry, text or JSON), /debug/pprof, an enriched /healthz, and
+// /stats — a JSON snapshot of this broker's routing counters and session
+// counts, kept for existing tooling.
 func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write([]byte("ok\n"))
+	mux := obs.NewAdminMux(obs.Default, func() map[string]any {
+		return map[string]any{
+			"broker":        name,
+			"peers":         b.PeerCount(),
+			"subscriptions": b.SubscriptionCount(),
+			"sessions":      mgr.SessionCount(),
+		}
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		snap := b.Snapshot()
@@ -174,9 +181,8 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
 	})
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	fmt.Printf("brokerd: admin endpoint on http://%s/stats\n", addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	fmt.Printf("brokerd: admin endpoint on http://%s/metrics\n", addr)
+	if err := obs.ServeAdmin(addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "brokerd: admin endpoint: %v\n", err)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"entitytrace/internal/credential"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/transport"
 )
@@ -28,6 +29,9 @@ func main() {
 		peers         = flag.String("peers", "", "comma-separated peer TDN addresses for replication")
 		dataDir       = flag.String("data", "", "directory for durable advertisement storage (empty = memory only)")
 		sweepEvery    = flag.Duration("sweep", time.Minute, "expired-advertisement sweep interval")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7090) serving /metrics, /healthz and /debug/pprof")
+		verbose       = flag.Bool("v", false, "log at debug level instead of info")
+		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
 	)
 	flag.Parse()
 	if *identityPath == "" {
@@ -45,6 +49,11 @@ func main() {
 	if err != nil {
 		fail("creating node: %v", err)
 	}
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	node.SetLogger(obs.NewLogger(os.Stderr, level, *logJSON))
 	if *dataDir != "" {
 		restored, err := node.EnableStorage(*dataDir)
 		if err != nil {
@@ -66,6 +75,20 @@ func main() {
 	srv := tdn.NewServer(node)
 	srv.Serve(l)
 	fmt.Printf("tdnd: %s serving on %s (%s), %d peers\n", node.Name(), l.Addr(), *transportName, len(splitCSV(*peers)))
+	if *adminAddr != "" {
+		mux := obs.NewAdminMux(obs.Default, func() map[string]any {
+			return map[string]any{
+				"tdn":            node.Name(),
+				"advertisements": node.Size(),
+			}
+		})
+		go func() {
+			fmt.Printf("tdnd: admin endpoint on http://%s/metrics\n", *adminAddr)
+			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "tdnd: admin endpoint: %v\n", err)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

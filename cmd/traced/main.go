@@ -21,6 +21,7 @@ import (
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/sysinfo"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/transport"
@@ -40,6 +41,7 @@ func main() {
 		loadEvery     = flag.Duration("load-interval", 5*time.Second, "load-report interval (0 disables)")
 		simulateLoad  = flag.Bool("simulate-load", false, "report seeded synthetic load instead of process load")
 		topicLifetime = flag.Duration("topic-lifetime", 24*time.Hour, "trace-topic lifetime (§3.1)")
+		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 	)
 	flag.Parse()
 	if *identityPath == "" {
@@ -116,6 +118,9 @@ func main() {
 	fmt.Println("traced: shutting down gracefully (SHUTDOWN trace)")
 	if err := ent.Stop(); err != nil {
 		fail("stop: %v", err)
+	}
+	if *metricsDump {
+		obs.Default.WriteText(os.Stdout)
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/topic"
 	"entitytrace/internal/transport"
@@ -36,6 +37,7 @@ func main() {
 		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
 		entity        = flag.String("entity", "", "traced entity to follow")
 		classesFlag   = flag.String("classes", "changes,state", "trace classes: changes,all,state,load,net (or 'everything')")
+		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 	)
 	flag.Parse()
 	if *identityPath == "" || *entity == "" {
@@ -121,6 +123,9 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Printf("tracker: done (delivered %d, rejected %d)\n", w.Delivered(), w.Rejected())
+	if *metricsDump {
+		obs.Default.WriteText(os.Stdout)
+	}
 }
 
 func parseClasses(s string) (topic.ClassSet, error) {

@@ -127,6 +127,54 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		t.Fatalf("admin stats: %+v", statsBody)
 	}
 
+	// The /metrics registry reflects the same live traffic: a running
+	// brokerd must show non-zero traces-published, ping RTT observations
+	// and an enriched health report.
+	resp, err = http.Get("http://" + adminAddr + "/metrics?format=json")
+	if err != nil {
+		t.Fatalf("metrics endpoint: %v", err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics?format=json Content-Type = %q", ct)
+	}
+	var metrics struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Gauges     map[string]int64  `json:"gauges"`
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	resp.Body.Close()
+	if metrics.Counters["traces_published_total"] == 0 {
+		t.Fatalf("traces_published_total is zero: %v", metrics.Counters)
+	}
+	if metrics.Counters["core_registrations_total"] == 0 || metrics.Gauges["core_sessions_active"] != 1 {
+		t.Fatalf("registration metrics wrong: %v / %v", metrics.Counters, metrics.Gauges)
+	}
+	if metrics.Histograms["ping_rtt_ms"].Count == 0 {
+		t.Fatal("ping_rtt_ms histogram is empty")
+	}
+	// Drop-reason counters are pre-registered, so they are visible (at
+	// zero) even before any violation occurs.
+	if _, ok := metrics.Counters[`traces_dropped_total{reason="bad_signature"}`]; !ok {
+		t.Fatalf("drop-reason counters not exposed: %v", metrics.Counters)
+	}
+	resp, err = http.Get("http://" + adminAddr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz endpoint: %v", err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatalf("decoding /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["sessions"] != float64(1) {
+		t.Fatalf("healthz: %v", health)
+	}
+
 	// Sanity: nothing was rejected (the tracker only prints rejections
 	// at shutdown; absence of "bad" lines suffices here).
 	b, _ := os.ReadFile(filepath.Join(dir, "tracker.log"))

@@ -9,8 +9,22 @@ import (
 
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/topic"
 	"entitytrace/internal/transport"
+)
+
+// Process-wide routing counters, aggregated across all broker instances
+// (tests and benchmarks create many short-lived brokers; per-instance
+// numbers stay available via Snapshot).
+var (
+	mPublished      = obs.Default.Counter("broker_published_total")
+	mDeliveredLocal = obs.Default.Counter("broker_delivered_local_total")
+	mForwarded      = obs.Default.Counter("broker_forwarded_total")
+	mDuplicates     = obs.Default.Counter("broker_duplicates_total")
+	mViolations     = obs.Default.Counter("broker_violations_total")
+	mDisconnectsDoS = obs.Default.Counter(obs.WithLabel("broker_disconnects_total", "reason", "dos"))
+	mExpired        = obs.Default.Counter("broker_expired_total")
 )
 
 // Guard inspects messages arriving from peers before they are routed.
@@ -32,8 +46,13 @@ type Config struct {
 	// DedupeWindow is the number of recently seen message IDs remembered
 	// for duplicate suppression. Zero means DefaultDedupeWindow.
 	DedupeWindow int
-	// Logf receives diagnostic output; nil silences it.
+	// Logf receives diagnostic output; nil silences it. Superseded by
+	// Log but still honoured (wrapped in a structured logger) so older
+	// callers keep working.
 	Logf func(format string, args ...any)
+	// Log is the structured logger; when set it takes precedence over
+	// Logf. Nil with a nil Logf silences diagnostics.
+	Log *obs.Logger
 }
 
 // Defaults for Config zero values.
@@ -57,6 +76,7 @@ type Stats struct {
 type Broker struct {
 	cfg  Config
 	name string
+	log  *obs.Logger
 
 	mu    sync.Mutex
 	peers map[*peer]struct{}
@@ -130,9 +150,14 @@ func New(cfg Config) *Broker {
 	if cfg.DedupeWindow <= 0 {
 		cfg.DedupeWindow = DefaultDedupeWindow
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
+	}
 	return &Broker{
 		cfg:       cfg,
 		name:      cfg.Name,
+		log:       log.With("broker", cfg.Name),
 		peers:     make(map[*peer]struct{}),
 		subs:      make(map[string]map[subscriberRef]struct{}),
 		wildcards: make(map[string]struct{}),
@@ -146,12 +171,6 @@ func New(cfg Config) *Broker {
 // Name returns the broker's name.
 func (b *Broker) Name() string { return b.name }
 
-// logf emits a diagnostic line if configured.
-func (b *Broker) logf(format string, args ...any) {
-	if b.cfg.Logf != nil {
-		b.cfg.Logf("[%s] "+format, append([]any{b.name}, args...)...)
-	}
-}
 
 // Serve accepts connections from l until the broker or listener closes.
 // It returns immediately; accepting happens on background goroutines.
@@ -275,9 +294,9 @@ func (b *Broker) ConnectToPersistent(tr transport.Transport, addr string, retry 
 			}
 			p, err := b.dialLink(tr, addr)
 			if err == nil {
-				b.logf("link to %s established", addr)
+				b.log.Info("link established", "peer", addr)
 				b.peerLoop(p)
-				b.logf("link to %s lost", addr)
+				b.log.Warn("link lost", "peer", addr)
 			}
 			select {
 			case <-b.done:
@@ -418,14 +437,16 @@ func (b *Broker) deny(p *peer, id uint64, reason string) {
 // entity").
 func (b *Broker) punish(p *peer, err error) {
 	b.stats.violations.Add(1)
-	b.logf("violation from %s: %v", p.name, err)
+	mViolations.Inc()
+	b.log.Warn("violation", "peer", p.name, "err", err)
 	b.mu.Lock()
 	p.violations++
 	over := p.violations >= b.cfg.ViolationLimit
 	b.mu.Unlock()
 	if over {
 		b.stats.disconnects.Add(1)
-		b.logf("disconnecting %s after %d violations", p.name, p.violations)
+		mDisconnectsDoS.Inc()
+		b.log.Warn("disconnecting peer", "peer", p.name, "violations", p.violations, "reason", "dos")
 		p.closed.Store(true)
 		p.conn.Close()
 	}
@@ -667,10 +688,12 @@ func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Princi
 	// Duplicate suppression (also guards against routing loops).
 	if !b.firstSighting(env.ID) {
 		b.stats.duplicates.Add(1)
+		mDuplicates.Inc()
 		return nil
 	}
 	if env.TTL == 0 {
 		b.stats.expired.Add(1)
+		mExpired.Inc()
 		return nil
 	}
 	// Source spoofing check: a client's envelopes must carry its own
@@ -687,6 +710,7 @@ func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Princi
 		}
 	}
 	b.stats.published.Add(1)
+	mPublished.Inc()
 	b.deliver(from, env)
 	return nil
 }
@@ -731,6 +755,7 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 
 	for _, ls := range locals {
 		b.stats.deliveredLocal.Add(1)
+		mDeliveredLocal.Inc()
 		ls.handler(env)
 	}
 	if len(remote) == 0 {
@@ -739,12 +764,18 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 	prop := propagatable(ts)
 	fwd := env.Clone()
 	fwd.TTL--
+	// Stamp the hop only on envelopes whose originator opted into span
+	// tracing; plain envelopes forward byte-identically to the seed.
+	if fwd.Span != nil {
+		fwd.AddHop(b.name, time.Now())
+	}
 	frame := append([]byte{frameEnvelope}, fwd.Marshal()...)
 	for _, p := range remote {
 		if p.isBroker && (!prop || fwd.TTL == 0) {
 			continue
 		}
 		b.stats.forwarded.Add(1)
+		mForwarded.Inc()
 		p.send(frame)
 	}
 }

@@ -1,0 +1,121 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// TestSpanAccumulatesAcrossLinks publishes a span'd envelope through a
+// three-broker chain and checks that each forwarding broker stamped a
+// hop, so the full path publisher→b2→b1→subscriber reconstructs at the
+// receiving end.
+func TestSpanAccumulatesAcrossLinks(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addrs := chain(t, tr, 3)
+
+	sub, err := Connect(tr, addrs[0], "subscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Connect(tr, addrs[2], "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 1)
+	tp := topic.MustParse("/span/path")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	// Subscription propagation across both links.
+	waitFor(t, "subscription propagation", func() bool {
+		env := message.New(message.TypeData, tp, "publisher", []byte("probe"))
+		env.StartSpan()
+		env.AddHop("publisher", time.Now())
+		if err := pub.Publish(env); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case e := <-got:
+			got <- e
+			return true
+		case <-time.After(50 * time.Millisecond):
+			return false
+		}
+	})
+
+	e := recvEnvelope(t, got, "span'd envelope")
+	if e.Span == nil {
+		t.Fatal("span lost crossing broker links")
+	}
+	hops := make([]string, 0, len(e.Span.Hops))
+	for _, h := range e.Span.Hops {
+		hops = append(hops, h.Node)
+	}
+	// Originator hop plus one stamp per broker on the path: b2 and b1
+	// stamp when forwarding across links, and b0 stamps when forwarding
+	// to the subscribing client connection.
+	want := []string{"publisher", "b2", "b1", "b0"}
+	if len(hops) != len(want) {
+		t.Fatalf("hops = %v, want %v", hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("hops = %v, want %v", hops, want)
+		}
+	}
+	for i := 1; i < len(e.Span.Hops); i++ {
+		if e.Span.Hops[i].AtNanos < e.Span.Hops[i-1].AtNanos {
+			t.Fatalf("hop timestamps not monotonic under one clock: %v", e.Span.Hops)
+		}
+	}
+	if lat := e.Span.HopLatencies(); len(lat) != 3 {
+		t.Fatalf("latencies = %v, want 3 deltas", lat)
+	}
+}
+
+// TestPlainEnvelopeForwardsWithoutSpan checks the pay-as-you-go contract:
+// envelopes that never opted in cross links without growing a span.
+func TestPlainEnvelopeForwardsWithoutSpan(t *testing.T) {
+	tr := transport.NewInproc()
+	_, addrs := chain(t, tr, 2)
+
+	sub, err := Connect(tr, addrs[0], "subscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pub, err := Connect(tr, addrs[1], "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	got := make(chan *message.Envelope, 1)
+	tp := topic.MustParse("/span/plain")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "subscription propagation", func() bool {
+		if err := pub.Publish(message.New(message.TypeData, tp, "publisher", []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case e := <-got:
+			got <- e
+			return true
+		case <-time.After(50 * time.Millisecond):
+			return false
+		}
+	})
+	e := recvEnvelope(t, got, "plain envelope")
+	if e.Span != nil {
+		t.Fatalf("plain envelope grew a span in transit: %+v", e.Span)
+	}
+}

@@ -462,7 +462,16 @@ func (te *TracedEntity) sendSigned(t message.Type, payload []byte) error {
 	if err := env.Sign(te.signer); err != nil {
 		return err
 	}
+	te.originateSpan(env)
 	return te.cfg.Client.Publish(env)
+}
+
+// originateSpan opts the envelope into per-hop tracing, stamped with the
+// entity as hop zero. Called after signing: the annotation is outside
+// the signed byte range.
+func (te *TracedEntity) originateSpan(env *message.Envelope) {
+	env.StartSpan()
+	env.AddHop(string(te.entity()), time.Now())
 }
 
 // send transmits a session message, using the §6.3 symmetric channel
@@ -488,11 +497,13 @@ func (te *TracedEntity) send(t message.Type, payload []byte) error {
 		}
 		env.Payload = ct
 		env.Flags |= message.FlagEncrypted
+		te.originateSpan(env)
 		return te.cfg.Client.Publish(env)
 	}
 	if err := env.Sign(te.signer); err != nil {
 		return err
 	}
+	te.originateSpan(env)
 	return te.cfg.Client.Publish(env)
 }
 

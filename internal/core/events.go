@@ -66,6 +66,10 @@ type Event struct {
 	// publication timestamp.
 	ReceivedAt time.Time
 	SentAt     time.Time
+	// Hops is the envelope's per-hop span annotation (nil when the
+	// originator did not opt in), so entity→broker→…→tracker paths can
+	// be reconstructed at the delivery end.
+	Hops []message.Hop
 }
 
 // String renders the event compactly for logs and examples.
@@ -98,6 +102,9 @@ func decodeTraceEvent(env *message.Envelope, class topic.TraceClass, payload []b
 		Encrypted:  encrypted,
 		ReceivedAt: now,
 		SentAt:     env.Time(),
+	}
+	if env.Span != nil {
+		ev.Hops = append([]message.Hop(nil), env.Span.Hops...)
 	}
 	switch env.Type {
 	case message.TraceInitializing, message.TraceRecovering, message.TraceReady, message.TraceShutdown:

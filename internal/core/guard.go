@@ -15,9 +15,22 @@ import (
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
 	"entitytrace/internal/topic"
+)
+
+// Trace drop accounting by rejection reason (§4.3: invalid messages are
+// "discarded and not routed within the network"). Pre-registered so
+// /metrics shows every reason at zero before the first drop.
+var (
+	mDropNoToken      = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "no_token"))
+	mDropBadToken     = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "bad_token"))
+	mDropUnknownTopic = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "unknown_topic"))
+	mDropBadAd        = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "bad_advertisement"))
+	mDropUnauthorized = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "unauthorized_token"))
+	mDropBadSignature = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "bad_signature"))
 )
 
 // TraceSigHash is the digest used on the trace path (the paper signs
@@ -131,31 +144,39 @@ func traceTopicOf(tp topic.Topic) (ident.UUID, bool) {
 func VerifyTrace(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
 	verifier *credential.Verifier, now time.Time, skew time.Duration) error {
 	if len(env.Token) == 0 {
+		mDropNoToken.Inc()
 		return errors.New("core: trace message lacks authorization token")
 	}
 	tok, err := token.Unmarshal(env.Token)
 	if err != nil {
+		mDropBadToken.Inc()
 		return fmt.Errorf("core: trace token: %w", err)
 	}
 	if tok.TraceTopic != traceTopic {
+		mDropBadToken.Inc()
 		return fmt.Errorf("core: token topic %v does not match message topic %v", tok.TraceTopic, traceTopic)
 	}
 	ad, err := resolver.ResolveAd(traceTopic)
 	if err != nil {
+		mDropUnknownTopic.Inc()
 		return err
 	}
 	ownerPub, err := ad.Verify(verifier, now)
 	if err != nil {
+		mDropBadAd.Inc()
 		return fmt.Errorf("core: advertisement: %w", err)
 	}
 	if tok.Owner != ad.Owner {
+		mDropUnauthorized.Inc()
 		return fmt.Errorf("core: token owner %q is not topic owner %q", tok.Owner, ad.Owner)
 	}
 	delegatePub, err := tok.Verify(ownerPub, now, skew, token.RightPublish)
 	if err != nil {
+		mDropUnauthorized.Inc()
 		return fmt.Errorf("core: token: %w", err)
 	}
 	if err := env.VerifySignature(delegatePub, traceSigHash); err != nil {
+		mDropBadSignature.Inc()
 		return fmt.Errorf("core: delegate signature: %w", err)
 	}
 	return nil

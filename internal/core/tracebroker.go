@@ -13,10 +13,29 @@ import (
 	"entitytrace/internal/failure"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
 	"entitytrace/internal/topic"
+)
+
+// Trace-manager metrics (process-wide; the paper's §3 broker duties).
+// Rejection reasons are pre-registered so /metrics shows them at zero.
+var (
+	mRegistrations    = obs.Default.Counter("core_registrations_total")
+	mRegRejBadPayload = obs.Default.Counter(obs.WithLabel("core_registrations_rejected_total", "reason", "bad_payload"))
+	mRegRejBadCred    = obs.Default.Counter(obs.WithLabel("core_registrations_rejected_total", "reason", "bad_credential"))
+	mRegRejBadSig     = obs.Default.Counter(obs.WithLabel("core_registrations_rejected_total", "reason", "bad_signature"))
+	mRegRejBadAd      = obs.Default.Counter(obs.WithLabel("core_registrations_rejected_total", "reason", "bad_advertisement"))
+	mRegRejUnauth     = obs.Default.Counter(obs.WithLabel("core_registrations_rejected_total", "reason", "unauthorized"))
+	mRegRejInternal   = obs.Default.Counter(obs.WithLabel("core_registrations_rejected_total", "reason", "internal"))
+	mSessionsActive   = obs.Default.Gauge("core_sessions_active")
+	mTracesPublished  = obs.Default.Counter("traces_published_total")
+	mTracesSuppressed = obs.Default.Counter(obs.WithLabel("traces_suppressed_total", "reason", "no_interest"))
+	mGaugeRounds      = obs.Default.Counter("gauge_interest_rounds_total")
+	mKeyDeliveries    = obs.Default.Counter("key_deliveries_total")
+	mPingRTT          = obs.Default.Histogram("ping_rtt_ms", nil)
 )
 
 // BrokerConfig configures a TraceBroker.
@@ -48,8 +67,13 @@ type BrokerConfig struct {
 	NetMetricsEvery int
 	// Skew is the token-validation clock-skew tolerance (§4.3).
 	Skew time.Duration
-	// Logf receives diagnostics; nil silences them.
+	// Logf receives diagnostics; nil silences them. Superseded by Log
+	// but still honoured for older callers.
 	Logf func(format string, args ...any)
+	// Log is the structured logger; when set it takes precedence over
+	// Logf and is also propagated into the failure detector unless
+	// Detector.Log is set explicitly.
+	Log *obs.Logger
 }
 
 // TraceBroker performs the broker-side responsibilities of §3.3: it
@@ -57,6 +81,7 @@ type BrokerConfig struct {
 // gauges tracker interest and publishes traces on the Table 2 topics.
 type TraceBroker struct {
 	cfg      BrokerConfig
+	log      *obs.Logger
 	signer   *secure.Signer // broker credential signer (responses)
 	caching  *CachingResolver
 	cancelRg func()
@@ -118,6 +143,13 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 	if cfg.Detector == (failure.Config{}) {
 		cfg.Detector = failure.DefaultConfig()
 	}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
+	}
+	if cfg.Detector.Log == nil {
+		cfg.Detector.Log = log
+	}
 	if err := cfg.Detector.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,6 +171,7 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 	}
 	tb := &TraceBroker{
 		cfg:      cfg,
+		log:      log,
 		signer:   signer,
 		sessions: make(map[ident.SessionID]*session),
 		byEntity: make(map[ident.EntityID]ident.SessionID),
@@ -221,17 +254,12 @@ func (tb *TraceBroker) SessionCount() int {
 	return len(tb.sessions)
 }
 
-func (tb *TraceBroker) logf(format string, args ...any) {
-	if tb.cfg.Logf != nil {
-		tb.cfg.Logf(format, args...)
-	}
-}
-
 // handleRegistration implements the §3.2 broker-side registration flow.
 func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 	reg, err := message.UnmarshalRegistration(env.Payload)
 	if err != nil {
-		tb.logf("registration: bad payload: %v", err)
+		mRegRejBadPayload.Inc()
+		tb.log.Warn("registration rejected", "reason", "bad_payload", "err", err)
 		return
 	}
 	respond := func(code uint16, detail string) {
@@ -248,7 +276,8 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 	cred := &credential.Credential{Entity: reg.Entity, Cert: reg.CertDER}
 	entityPub, err := tb.cfg.Verifier.Verify(cred)
 	if err != nil {
-		tb.logf("registration from %s: credential: %v", reg.Entity, err)
+		mRegRejBadCred.Inc()
+		tb.log.Warn("registration rejected", "entity", reg.Entity, "reason", "bad_credential", "err", err)
 		respond(message.ErrCodeBadCredential, err.Error())
 		return
 	}
@@ -257,7 +286,8 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 	entityHash := secure.SHA1
 	if err := env.VerifySignature(entityPub, secure.SHA1); err != nil {
 		if err2 := env.VerifySignature(entityPub, secure.SHA256); err2 != nil {
-			tb.logf("registration from %s: signature: %v", reg.Entity, err)
+			mRegRejBadSig.Inc()
+			tb.log.Warn("registration rejected", "entity", reg.Entity, "reason", "bad_signature", "err", err)
 			respond(message.ErrCodeBadSignature, err.Error())
 			return
 		}
@@ -266,16 +296,19 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 	// Verify the trace-topic advertisement establishes provenance.
 	ad, err := tdn.UnmarshalAdvertisement(reg.Advertisement)
 	if err != nil {
+		mRegRejBadAd.Inc()
 		respond(message.ErrCodeBadAdvertisement, err.Error())
 		return
 	}
 	now := tb.cfg.Clock.Now()
 	if _, err := ad.Verify(tb.cfg.Verifier, now); err != nil {
-		tb.logf("registration from %s: advertisement: %v", reg.Entity, err)
+		mRegRejBadAd.Inc()
+		tb.log.Warn("registration rejected", "entity", reg.Entity, "reason", "bad_advertisement", "err", err)
 		respond(message.ErrCodeBadAdvertisement, err.Error())
 		return
 	}
 	if ad.Owner != reg.Entity {
+		mRegRejUnauth.Inc()
 		respond(message.ErrCodeUnauthorized,
 			fmt.Sprintf("advertisement owned by %q, registration from %q", ad.Owner, reg.Entity))
 		return
@@ -283,6 +316,7 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 
 	det, err := failure.NewDetector(tb.cfg.Detector, now)
 	if err != nil {
+		mRegRejInternal.Inc()
 		respond(message.ErrCodeInternal, err.Error())
 		return
 	}
@@ -361,9 +395,12 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 	out := message.New(message.TypeRegistrationResponse, respTopic, "", wire)
 	out.RequestID = env.RequestID
 	if err := tb.cfg.Broker.Publish(out); err != nil {
-		tb.logf("registration response publish: %v", err)
+		tb.log.Error("registration response publish failed", "entity", s.entity, "err", err)
 	}
-	tb.logf("registered %s session=%s topic=%s", s.entity, s.sessionID, s.traceTopic)
+	mRegistrations.Inc()
+	mSessionsActive.Add(1)
+	tb.log.Info("registered", "entity", s.entity, "session", s.sessionID,
+		"topic", s.traceTopic, "secured", s.secured, "symmetric", s.symmetric)
 }
 
 // removeSession drops bookkeeping for an ended session.
@@ -374,6 +411,7 @@ func (tb *TraceBroker) removeSession(s *session) {
 		if tb.byEntity[s.entity] == s.sessionID {
 			delete(tb.byEntity, s.entity)
 		}
+		mSessionsActive.Add(-1)
 	}
 	tb.mu.Unlock()
 }
@@ -408,7 +446,7 @@ func (s *session) handleEntityMessage(env *message.Envelope) {
 	}
 	payload, err := s.openPayload(env)
 	if err != nil {
-		s.tb.logf("session %s: reject message from %s: %v", s.sessionID, env.Source, err)
+		s.tb.log.Warn("entity message rejected", "session", s.sessionID, "entity", env.Source, "err", err)
 		return
 	}
 	now := s.tb.cfg.Clock.Now()
@@ -428,7 +466,7 @@ func (s *session) handleEntityMessage(env *message.Envelope) {
 	case message.TypeResume:
 		s.setSilent(false)
 	default:
-		s.tb.logf("session %s: unexpected message type %v", s.sessionID, env.Type)
+		s.tb.log.Warn("unexpected entity message type", "session", s.sessionID, "type", env.Type)
 	}
 }
 
@@ -437,35 +475,36 @@ func (s *session) handleEntityMessage(env *message.Envelope) {
 func (s *session) onDelegation(payload []byte) {
 	sealed, err := secure.UnmarshalSealedPayload(payload)
 	if err != nil {
-		s.tb.logf("session %s: delegation: %v", s.sessionID, err)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "unmarshal", "err", err)
 		return
 	}
 	body, err := sealed.Open(s.tb.cfg.Identity.Private)
 	if err != nil {
-		s.tb.logf("session %s: delegation open: %v", s.sessionID, err)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "open", "err", err)
 		return
 	}
 	del, err := message.UnmarshalDelegation(body)
 	if err != nil {
-		s.tb.logf("session %s: delegation decode: %v", s.sessionID, err)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "decode", "err", err)
 		return
 	}
 	tok, err := token.Unmarshal(del.TokenBytes)
 	if err != nil {
-		s.tb.logf("session %s: delegation token: %v", s.sessionID, err)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "token", "err", err)
 		return
 	}
 	if tok.TraceTopic != s.traceTopic || tok.Owner != s.entity {
-		s.tb.logf("session %s: delegation for wrong topic/owner", s.sessionID)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "scope",
+			"err", "delegation for wrong topic/owner")
 		return
 	}
 	if _, err := tok.Verify(s.entityPub, s.tb.cfg.Clock.Now(), s.tb.cfg.Skew, token.RightPublish); err != nil {
-		s.tb.logf("session %s: delegation verify: %v", s.sessionID, err)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "verify", "err", err)
 		return
 	}
 	priv, err := secure.ParsePrivateKey(del.DelegatePrivDER)
 	if err != nil {
-		s.tb.logf("session %s: delegate key: %v", s.sessionID, err)
+		s.tb.log.Warn("delegation rejected", "session", s.sessionID, "stage", "delegate_key", "err", err)
 		return
 	}
 	delegate, err := secure.NewSigner(priv, traceSigHash)
@@ -503,17 +542,17 @@ func (s *session) onKeyDelivery(payload []byte) {
 	}
 	body, err := sealed.Open(s.tb.cfg.Identity.Private)
 	if err != nil {
-		s.tb.logf("session %s: key delivery open: %v", s.sessionID, err)
+		s.tb.log.Warn("key delivery rejected", "session", s.sessionID, "stage", "open", "err", err)
 		return
 	}
 	tk, err := message.UnmarshalTraceKey(body)
 	if err != nil {
-		s.tb.logf("session %s: key decode: %v", s.sessionID, err)
+		s.tb.log.Warn("key delivery rejected", "session", s.sessionID, "stage", "decode", "err", err)
 		return
 	}
 	key, err := secure.SymmetricKeyFromBytes(tk.Key)
 	if err != nil {
-		s.tb.logf("session %s: key material: %v", s.sessionID, err)
+		s.tb.log.Warn("key delivery rejected", "session", s.sessionID, "stage", "material", "err", err)
 		return
 	}
 	s.mu.Lock()
@@ -536,6 +575,7 @@ func (s *session) onPingResponse(payload []byte, now time.Time) {
 	if !ok {
 		return
 	}
+	mPingRTT.ObserveDuration(rtt)
 	s.mu.Lock()
 	s.state = pr.State
 	s.answered++
@@ -652,7 +692,7 @@ func (s *session) pingLoop() {
 		env := message.New(message.TypePing, s.brokerToEntity, "", ping.Marshal())
 		env.SeqNum = num
 		if err := s.tb.cfg.Broker.Publish(env); err != nil {
-			s.tb.logf("session %s: ping publish: %v", s.sessionID, err)
+			s.tb.log.Error("ping publish failed", "session", s.sessionID, "err", err)
 		}
 	}
 }
@@ -689,6 +729,7 @@ func (s *session) publishGaugeInterest() {
 	if s.secured {
 		env.Flags |= message.FlagSecured
 	}
+	mGaugeRounds.Inc()
 	s.signAndPublish(env)
 }
 
@@ -709,7 +750,8 @@ func (s *session) handleInterestResponse(env *message.Envelope) {
 	cred := &credential.Credential{Entity: ir.Tracker, Cert: ir.CertDER}
 	trackerPub, err := s.tb.cfg.Verifier.Verify(cred)
 	if err != nil {
-		s.tb.logf("session %s: interest from %s: credential: %v", s.sessionID, ir.Tracker, err)
+		s.tb.log.Warn("interest rejected", "session", s.sessionID, "tracker", ir.Tracker,
+			"reason", "bad_credential", "err", err)
 		return
 	}
 	now := s.tb.cfg.Clock.Now()
@@ -761,7 +803,8 @@ func (s *session) deliverTraceKey(ir *message.InterestResponse, trackerPub *rsa.
 	}
 	env := message.New(message.TypeKeyDelivery, tp, "", wire)
 	s.signAndPublish(env)
-	s.tb.logf("session %s: delivered trace key to %s", s.sessionID, ir.Tracker)
+	mKeyDeliveries.Inc()
+	s.tb.log.Info("trace key delivered", "session", s.sessionID, "tracker", ir.Tracker)
 }
 
 // pruneInterest expires stale tracker registrations.
@@ -800,6 +843,7 @@ func (s *session) publishTrace(tt message.Type, class topic.TraceClass, detail s
 		return
 	}
 	if class != topic.ClassChangeNotifications && !s.hasInterest(class) {
+		mTracesSuppressed.Inc()
 		return
 	}
 	s.publishTraceAlways(tt, class, detail, body)
@@ -832,6 +876,7 @@ func (s *session) publishTraceAlways(tt message.Type, class topic.TraceClass, de
 	if encrypted {
 		env.Flags |= message.FlagEncrypted
 	}
+	mTracesPublished.Inc()
 	s.signAndPublish(env)
 }
 
@@ -849,8 +894,12 @@ func (s *session) signAndPublish(env *message.Envelope) {
 	if err := env.Sign(delegate); err != nil {
 		return
 	}
+	// Originate the per-hop span AFTER signing: the annotation sits
+	// outside the signed byte range and starts with this broker's stamp.
+	env.StartSpan()
+	env.AddHop(s.tb.cfg.Broker.Name(), s.tb.cfg.Clock.Now())
 	if err := s.tb.cfg.Broker.Publish(env); err != nil {
-		s.tb.logf("session %s: publish %v: %v", s.sessionID, env.Type, err)
+		s.tb.log.Error("publish failed", "session", s.sessionID, "type", env.Type, "err", err)
 	}
 }
 
@@ -872,5 +921,5 @@ func (s *session) end(reason string, graceful bool) {
 		cancel()
 	}
 	s.tb.removeSession(s)
-	s.tb.logf("session %s for %s ended: %s", s.sessionID, s.entity, reason)
+	s.tb.log.Info("session ended", "session", s.sessionID, "entity", s.entity, "reason", reason)
 }

@@ -11,6 +11,7 @@ import (
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
@@ -42,9 +43,24 @@ type TrackerConfig struct {
 	Clock clock.Clock
 	// Skew is the token clock-skew tolerance (§4.3).
 	Skew time.Duration
-	// Logf receives diagnostics; nil silences them.
+	// Logf receives diagnostics; nil silences them. Superseded by Log
+	// but still honoured for older callers.
 	Logf func(format string, args ...any)
+	// Log is the structured logger; when set it takes precedence over
+	// Logf.
+	Log *obs.Logger
 }
+
+// Tracker-side delivery accounting and end-to-end path timing.
+var (
+	mTrackerDelivered = obs.Default.Counter("tracker_delivered_total")
+	mTrackerRejected  = obs.Default.Counter("tracker_rejected_total")
+	// trace_hop_ms observes each adjacent-hop delta of a delivered
+	// envelope's span; trace_end_to_end_ms observes first-to-last.
+	// Both are subject to inter-node clock skew.
+	mTraceHop      = obs.Default.Histogram("trace_hop_ms", nil)
+	mTraceEndToEnd = obs.Default.Histogram("trace_end_to_end_ms", nil)
+)
 
 // Tracker consumes traces for entities it is authorized to track (§3.4):
 // it discovers trace topics with its credentials, subscribes to the
@@ -52,6 +68,7 @@ type TrackerConfig struct {
 // verifies (and decrypts) every delivered trace.
 type Tracker struct {
 	cfg     TrackerConfig
+	log     *obs.Logger
 	caching *CachingResolver
 
 	mu      sync.Mutex
@@ -92,7 +109,11 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 	if cfg.Skew <= 0 {
 		cfg.Skew = token.DefaultClockSkew
 	}
-	tk := &Tracker{cfg: cfg, watches: make(map[ident.UUID]*Watch)}
+	log := cfg.Log
+	if log == nil {
+		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
+	}
+	tk := &Tracker{cfg: cfg, log: log, watches: make(map[ident.UUID]*Watch)}
 	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
 		tk.caching = cr
 	} else if cfg.Resolver == nil {
@@ -104,11 +125,6 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 	return tk, nil
 }
 
-func (tk *Tracker) logf(format string, args ...any) {
-	if tk.cfg.Logf != nil {
-		tk.cfg.Logf(format, args...)
-	}
-}
 
 func (tk *Tracker) entity() ident.EntityID { return tk.cfg.Identity.Credential.Entity }
 
@@ -320,7 +336,7 @@ func (w *Watch) sendInterest() {
 	}
 	env := message.New(message.TypeInterestResponse, topic.GaugeInterestResponse(w.traceTopic), w.tk.entity(), ir.Marshal())
 	if err := w.tk.cfg.Client.Publish(env); err != nil {
-		w.tk.logf("interest response: %v", err)
+		w.tk.log.Error("interest response publish failed", "entity", w.entity, "err", err)
 	}
 }
 
@@ -359,7 +375,8 @@ func (w *Watch) handleKeyDelivery(env *message.Envelope) {
 	w.mu.Lock()
 	w.traceKey = key
 	w.mu.Unlock()
-	w.tk.logf("trace key received for %s (%s, %s)", w.entity, tkd.Algorithm, tkd.Padding)
+	w.tk.log.Info("trace key received", "entity", w.entity,
+		"algorithm", tkd.Algorithm, "padding", tkd.Padding)
 }
 
 // handleTrace verifies, decrypts and dispatches one trace message.
@@ -400,8 +417,28 @@ func (w *Watch) handleTrace(class topic.TraceClass, env *message.Envelope) {
 	handler := w.handler
 	stopped := w.stopped
 	w.mu.Unlock()
+	mTrackerDelivered.Inc()
+	if env.Span != nil {
+		observeSpan(env.Span)
+	}
 	if !stopped {
 		handler(ev)
+	}
+}
+
+// observeSpan feeds a delivered envelope's hop record into the path
+// histograms. Clock skew between nodes can produce negative deltas;
+// those are skipped rather than recorded as zero.
+func observeSpan(sp *message.Span) {
+	for _, d := range sp.HopLatencies() {
+		if d >= 0 {
+			mTraceHop.ObserveDuration(d)
+		}
+	}
+	if n := len(sp.Hops); n >= 2 {
+		if total := time.Duration(sp.Hops[n-1].AtNanos - sp.Hops[0].AtNanos); total >= 0 {
+			mTraceEndToEnd.ObserveDuration(total)
+		}
 	}
 }
 
@@ -409,5 +446,6 @@ func (w *Watch) reject(format string, args ...any) {
 	w.mu.Lock()
 	w.rejected++
 	w.mu.Unlock()
-	w.tk.logf("watch %s: rejected: "+format, append([]any{w.entity}, args...)...)
+	mTrackerRejected.Inc()
+	w.tk.log.Warn("trace rejected", "entity", w.entity, "err", fmt.Sprintf(format, args...))
 }

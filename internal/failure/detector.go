@@ -13,6 +13,15 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"entitytrace/internal/obs"
+)
+
+// Verdict-transition counters across all detectors in the process.
+var (
+	mSuspicions = obs.Default.Counter("failure_suspicions_total")
+	mFailures   = obs.Default.Counter("failure_failures_total")
+	mRecoveries = obs.Default.Counter("failure_recoveries_total")
 )
 
 // HistorySize is the number of recent pings retained (§3.3: "the
@@ -71,6 +80,10 @@ type Config struct {
 	// SuccessesPerRelax is how many consecutive successes lengthen the
 	// interval by one BaseInterval step.
 	SuccessesPerRelax int
+	// Log, when set, receives verdict-transition diagnostics. The field
+	// is a pointer so Config stays comparable (NewTraceBroker compares
+	// against the zero Config to select defaults).
+	Log *obs.Logger
 }
 
 // DefaultConfig returns production-oriented defaults: 1 s pings, 250 ms
@@ -200,6 +213,8 @@ func (d *Detector) HandleResponse(number uint64, now time.Time) (rtt time.Durati
 	// verdict is terminal for the session (the entity must re-register).
 	if d.verdict == Suspected {
 		d.verdict = Healthy
+		mRecoveries.Inc()
+		d.cfg.Log.Info("suspicion cleared", "ping", number, "rtt", rtt)
 	}
 	return rtt, true
 }
@@ -221,10 +236,23 @@ func (d *Detector) Expire(now time.Time) (Verdict, int) {
 		}
 	}
 	if expired > 0 && d.verdict != Failed {
+		before := d.verdict
 		if d.consecMisses >= d.cfg.SuspicionThreshold+d.cfg.FailureThreshold {
 			d.verdict = Failed
 		} else if d.consecMisses >= d.cfg.SuspicionThreshold {
 			d.verdict = Suspected
+		}
+		if d.verdict != before {
+			switch d.verdict {
+			case Suspected:
+				mSuspicions.Inc()
+				d.cfg.Log.Warn("verdict transition", "from", before, "to", d.verdict,
+					"consecutive_misses", d.consecMisses)
+			case Failed:
+				mFailures.Inc()
+				d.cfg.Log.Error("verdict transition", "from", before, "to", d.verdict,
+					"consecutive_misses", d.consecMisses)
+			}
 		}
 	}
 	return d.verdict, expired

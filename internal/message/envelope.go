@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/topic"
 )
@@ -194,6 +195,11 @@ type Envelope struct {
 	// Signature covers SigningBytes (§4.2: every trace message initiated
 	// at a traced entity is cryptographically signed).
 	Signature []byte
+	// Span is the optional per-hop tracing annotation (observability
+	// layer). Like the TTL it is mutable routing state: excluded from
+	// SigningBytes, appended after the signature on the wire, absent in
+	// seed-format envelopes.
+	Span *Span
 }
 
 // New builds an envelope with a fresh ID, the given type/topic/payload,
@@ -243,15 +249,24 @@ func (e *Envelope) SigningBytes() []byte {
 	return w.buf
 }
 
+// Envelope crypto latencies, the per-hop costs of the paper's §5
+// evaluation, observed on every live sign/verify.
+var (
+	mSignLatency   = obs.Default.Histogram("envelope_sign_ms", nil)
+	mVerifyLatency = obs.Default.Histogram("envelope_verify_ms", nil)
+)
+
 // Sign computes and attaches a signature over SigningBytes (§3.2: the
 // signing is done by computing the checksum for the message and
 // encrypting this message digest with its private key).
 func (e *Envelope) Sign(s *secure.Signer) error {
+	start := time.Now()
 	sig, err := s.Sign(e.SigningBytes())
 	if err != nil {
 		return err
 	}
 	e.Signature = sig
+	mSignLatency.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -260,14 +275,23 @@ func (e *Envelope) VerifySignature(pub *rsa.PublicKey, h secure.Hash) error {
 	if len(e.Signature) == 0 {
 		return errors.New("message: envelope is unsigned")
 	}
-	return secure.Verify(pub, h, e.SigningBytes(), e.Signature)
+	start := time.Now()
+	err := secure.Verify(pub, h, e.SigningBytes(), e.Signature)
+	if err == nil {
+		mVerifyLatency.ObserveDuration(time.Since(start))
+	}
+	return err
 }
 
-// Marshal serializes the envelope including any signature.
+// Marshal serializes the envelope including any signature, followed by
+// the optional span annotation.
 func (e *Envelope) Marshal() []byte {
 	var w writer
 	e.marshalBody(&w, true)
 	w.bytes(e.Signature)
+	if e.Span != nil {
+		e.Span.marshal(&w)
+	}
 	return w.buf
 }
 
@@ -290,6 +314,14 @@ func Unmarshal(b []byte) (*Envelope, error) {
 	e.Payload = r.bytes()
 	e.Token = r.bytes()
 	e.Signature = r.bytes()
+	// Optional trailing span annotation; seed-format envelopes end here.
+	if r.err == nil && r.off < len(r.b) {
+		span, err := unmarshalSpan(r)
+		if err != nil {
+			return nil, err
+		}
+		e.Span = span
+	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
@@ -304,12 +336,13 @@ func Unmarshal(b []byte) (*Envelope, error) {
 	return e, nil
 }
 
-// Clone returns a deep copy; brokers clone before mutating TTL so shared
-// references stay immutable.
+// Clone returns a deep copy; brokers clone before mutating TTL (or
+// stamping hops) so shared references stay immutable.
 func (e *Envelope) Clone() *Envelope {
 	cp := *e
 	cp.Payload = append([]byte(nil), e.Payload...)
 	cp.Token = append([]byte(nil), e.Token...)
 	cp.Signature = append([]byte(nil), e.Signature...)
+	cp.Span = e.Span.Clone()
 	return &cp
 }

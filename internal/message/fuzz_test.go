@@ -2,19 +2,30 @@ package message
 
 import (
 	"testing"
+	"time"
 
 	"entitytrace/internal/topic"
 )
 
 // FuzzUnmarshalEnvelope hammers the envelope parser with mutated wire
 // bytes: it must never panic, and anything it accepts must re-marshal
-// and re-parse to the same bytes-level structure.
+// and re-parse to the same bytes-level structure. The corpus seeds both
+// the seed wire format (no span trailer) and span'd envelopes, so
+// mutations explore the optional trailer's parse paths.
 func FuzzUnmarshalEnvelope(f *testing.F) {
 	e := New(TraceAllsWell, topic.MustParse("/Constrained/Traces/Broker/Publish-Only/tt/AllUpdates"),
 		"entity", []byte("payload"))
 	e.Token = []byte("token")
 	e.Signature = []byte("signature")
-	f.Add(e.Marshal())
+	f.Add(e.Marshal()) // seed format: no span trailer
+	spanned := e.Clone()
+	spanned.StartSpan()
+	spanned.AddHop("entity", time.Unix(0, 1))
+	spanned.AddHop("broker-1", time.Unix(0, 2_000_000))
+	f.Add(spanned.Marshal()) // span trailer with two hops
+	empty := e.Clone()
+	empty.StartSpan()
+	f.Add(empty.Marshal()) // span trailer with zero hops
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -28,6 +39,12 @@ func FuzzUnmarshalEnvelope(f *testing.F) {
 		}
 		if back.ID != env.ID || back.Type != env.Type || !back.Topic.Equal(env.Topic) {
 			t.Fatal("round trip changed envelope identity")
+		}
+		if (back.Span == nil) != (env.Span == nil) {
+			t.Fatal("round trip changed span presence")
+		}
+		if env.Span != nil && len(back.Span.Hops) != len(env.Span.Hops) {
+			t.Fatal("round trip changed hop count")
 		}
 	})
 }

@@ -1,0 +1,132 @@
+package message
+
+import (
+	"fmt"
+	"time"
+
+	"entitytrace/internal/ident"
+)
+
+// Per-hop tracing (observability layer): an envelope may carry an
+// optional span annotation recording the nodes it passed through and
+// when. The annotation is appended to the wire form AFTER the signature
+// and is excluded from SigningBytes — like the TTL it is mutable routing
+// state, stamped by every forwarding broker, so it must not invalidate
+// the publisher's signature. Envelopes without the annotation (the seed
+// wire format) parse unchanged, and an absent annotation adds zero
+// bytes, so the feature is wire-compatible and pay-as-you-go.
+
+// MaxHops bounds the hop list against hostile or looping growth; AddHop
+// silently stops recording past the bound (the TTL bounds actual
+// forwarding far earlier).
+const MaxHops = 32
+
+// spanMarker introduces the optional trailing span section.
+const spanMarker = 0x01
+
+// Hop is one node traversal: the node's name and its local clock when
+// the envelope passed through.
+type Hop struct {
+	// Node names the traversing node (entity ID or broker name).
+	Node string
+	// AtNanos is the node's local Unix-nanosecond timestamp. Deltas
+	// between adjacent hops measure per-hop latency (subject to clock
+	// skew between nodes, §4.3's NTP bound).
+	AtNanos int64
+}
+
+// Time returns the hop timestamp as a time.Time.
+func (h Hop) Time() time.Time { return time.Unix(0, h.AtNanos) }
+
+// Span identifies one traced message flow and accumulates its hops, so
+// the path entity→broker→…→tracker can be reconstructed.
+type Span struct {
+	// TraceID correlates the flow (by default the originating
+	// envelope's ID).
+	TraceID ident.UUID
+	// Hops is the traversal record, oldest first.
+	Hops []Hop
+}
+
+// Clone deep-copies the span.
+func (s *Span) Clone() *Span {
+	if s == nil {
+		return nil
+	}
+	cp := &Span{TraceID: s.TraceID}
+	cp.Hops = append([]Hop(nil), s.Hops...)
+	return cp
+}
+
+// marshal appends the span wire section: marker, trace ID, hop count,
+// hops.
+func (s *Span) marshal(w *writer) {
+	w.u8(spanMarker)
+	w.uuid(s.TraceID)
+	n := len(s.Hops)
+	if n > MaxHops {
+		n = MaxHops
+	}
+	w.u8(uint8(n))
+	for _, h := range s.Hops[:n] {
+		w.str(h.Node)
+		w.i64(h.AtNanos)
+	}
+}
+
+// unmarshalSpan parses a span section; the reader is positioned at the
+// marker byte.
+func unmarshalSpan(r *reader) (*Span, error) {
+	if m := r.u8(); r.err == nil && m != spanMarker {
+		return nil, fmt.Errorf("message: unknown envelope trailer marker %d", m)
+	}
+	s := &Span{TraceID: r.uuid()}
+	n := int(r.u8())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > MaxHops {
+		return nil, fmt.Errorf("message: span hop count %d exceeds %d", n, MaxHops)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Hops = append(s.Hops, Hop{Node: r.str(), AtNanos: r.i64()})
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// StartSpan attaches a span to the envelope (correlated by the envelope
+// ID) if it does not already carry one, and returns it. Originators call
+// this; forwarding nodes only stamp hops on spans that already exist.
+func (e *Envelope) StartSpan() *Span {
+	if e.Span == nil {
+		e.Span = &Span{TraceID: e.ID}
+	}
+	return e.Span
+}
+
+// AddHop stamps a traversal on the envelope's span. Envelopes without a
+// span are left untouched, so hop accounting costs nothing unless the
+// originator opted in with StartSpan.
+func (e *Envelope) AddHop(node string, at time.Time) {
+	if e.Span == nil || len(e.Span.Hops) >= MaxHops {
+		return
+	}
+	e.Span.Hops = append(e.Span.Hops, Hop{Node: node, AtNanos: at.UnixNano()})
+}
+
+// HopLatencies returns the durations between adjacent hops (length
+// len(Hops)-1). Negative deltas are possible under inter-node clock
+// skew and are reported as measured.
+func (s *Span) HopLatencies() []time.Duration {
+	if s == nil || len(s.Hops) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, 0, len(s.Hops)-1)
+	for i := 1; i < len(s.Hops); i++ {
+		out = append(out, time.Duration(s.Hops[i].AtNanos-s.Hops[i-1].AtNanos))
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"entitytrace/internal/stats"
+)
+
+// DefaultLatencyBuckets are histogram upper bounds in milliseconds,
+// spanning sub-10µs crypto operations to multi-second stalls. An
+// implicit +Inf overflow bucket always exists.
+var DefaultLatencyBuckets = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket increments are
+// atomic; mean/stddev/min/max reuse the Welford accumulator from
+// internal/stats behind a short-critical-section mutex, so concurrent
+// Observe calls are cheap and race-free.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; counts has len(bounds)+1 (overflow)
+	counts []atomic.Uint64
+
+	mu     sync.Mutex
+	sample *stats.Sample
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds: bs,
+		counts: make([]atomic.Uint64, len(bs)+1),
+		sample: stats.NewSample(false),
+	}
+}
+
+// Observe records one value (milliseconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = overflow
+	h.counts[idx].Add(1)
+	h.mu.Lock()
+	h.sample.Add(v)
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration in milliseconds, the unit of the
+// paper's evaluation tables.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Time runs f and records its wall duration.
+func (h *Histogram) Time(f func()) {
+	start := time.Now()
+	f()
+	h.ObserveDuration(time.Since(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// BucketCount is one cumulative bucket of a snapshot. Le is the
+// formatted upper bound ("+Inf" for the overflow bucket) so the snapshot
+// marshals to JSON without infinities.
+type BucketCount struct {
+	Le    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time summary: Welford moments plus
+// cumulative buckets and bucket-interpolated percentiles.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Mean    float64       `json:"mean"`
+	StdDev  float64       `json:"stddev"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot summarizes the histogram. Bucket counts and the Welford
+// moments are read without a global pause, so under concurrent writers
+// the two views may differ by in-flight observations.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	raw := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		raw[i] = h.counts[i].Load()
+	}
+	h.mu.Lock()
+	snap := HistogramSnapshot{
+		Count:  uint64(h.sample.N()),
+		Mean:   h.sample.Mean(),
+		StdDev: h.sample.StdDev(),
+		Min:    h.sample.Min(),
+		Max:    h.sample.Max(),
+	}
+	h.mu.Unlock()
+
+	var cum uint64
+	snap.Buckets = make([]BucketCount, 0, len(raw))
+	for i, c := range raw {
+		cum += c
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatBound(h.bounds[i])
+		}
+		snap.Buckets = append(snap.Buckets, BucketCount{Le: le, Count: cum})
+	}
+	snap.P50 = h.quantile(raw, cum, 0.50, snap.Max)
+	snap.P90 = h.quantile(raw, cum, 0.90, snap.Max)
+	snap.P99 = h.quantile(raw, cum, 0.99, snap.Max)
+	return snap
+}
+
+// quantile estimates the q-th quantile by linear interpolation inside
+// the first bucket whose cumulative count reaches the target rank. The
+// overflow bucket reports the observed maximum.
+func (h *Histogram) quantile(raw []uint64, total uint64, q, max float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range raw {
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return max
+}
+
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

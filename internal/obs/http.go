@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteText renders the registry in a prometheus-style plain-text
+// exposition: counters and gauges as single samples, histograms as
+// cumulative buckets plus summary statistics. Metric names may carry a
+// single {key="value"} label suffix; families sharing a base name are
+// grouped under one TYPE header.
+func (r *Registry) WriteText(w io.Writer) {
+	snap := r.Snapshot()
+	writeTextSnapshot(w, snap)
+}
+
+func writeTextSnapshot(w io.Writer, snap Snapshot) {
+	lastType := ""
+	for _, name := range sortedKeys(snap.Counters) {
+		if base := baseName(name); base != lastType {
+			fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			lastType = base
+		}
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
+	}
+	lastType = ""
+	for _, name := range sortedKeys(snap.Gauges) {
+		if base := baseName(name); base != lastType {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			lastType = base
+		}
+		fmt.Fprintf(w, "%s %d\n", name, snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, b.Le, b.Count)
+		}
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(w, "%s_mean %s\n", name, fnum(h.Mean))
+			fmt.Fprintf(w, "%s_stddev %s\n", name, fnum(h.StdDev))
+			fmt.Fprintf(w, "%s_min %s\n", name, fnum(h.Min))
+			fmt.Fprintf(w, "%s_max %s\n", name, fnum(h.Max))
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, fnum(h.P50))
+			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, fnum(h.P90))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, fnum(h.P99))
+		}
+	}
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// Handler serves the registry: plain text by default, JSON when the
+// request asks for it (?format=json or an Accept header preferring
+// application/json).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}
+
+// Health is the detail callback for /healthz; the returned map is
+// merged into the response alongside status and uptime.
+type Health func() map[string]any
+
+// NewAdminMux builds the daemon admin surface: /metrics (text + JSON),
+// /healthz (enriched JSON from the health callback) and the standard
+// /debug/pprof handlers.
+func NewAdminMux(r *Registry, health Health) *http.ServeMux {
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		out := map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(started).Seconds(),
+		}
+		if health != nil {
+			detail := health()
+			keys := make([]string, 0, len(detail))
+			for k := range detail {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				out[k] = detail[k]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeAdmin binds addr and serves mux until the process exits; it is a
+// convenience for daemons that treat the admin endpoint as best-effort.
+// The error (including listen failures) is returned for logging.
+func ServeAdmin(addr string, mux *http.ServeMux) error {
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	err := srv.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}

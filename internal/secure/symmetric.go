@@ -10,6 +10,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
+
+	"entitytrace/internal/obs"
+)
+
+// Symmetric crypto latencies — the per-message cost of securing traces
+// (§5.1) and of the §6.3 signing-cost optimization.
+var (
+	mEncryptLatency = obs.Default.Histogram("secure_encrypt_ms", nil)
+	mDecryptLatency = obs.Default.Histogram("secure_decrypt_ms", nil)
 )
 
 // Symmetric key sizes.
@@ -100,6 +110,7 @@ func pkcs7Unpad(data []byte, blockSize int) ([]byte, error) {
 // "encryption algorithm and padding scheme"), prepending a random IV.
 // The output layout is IV || ciphertext.
 func (k *SymmetricKey) Encrypt(plaintext []byte) ([]byte, error) {
+	start := time.Now()
 	block, err := aes.NewCipher(k.key)
 	if err != nil {
 		return nil, fmt.Errorf("secure: creating AES cipher: %w", err)
@@ -111,11 +122,13 @@ func (k *SymmetricKey) Encrypt(plaintext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("secure: generating IV: %w", err)
 	}
 	cipher.NewCBCEncrypter(block, iv).CryptBlocks(out[block.BlockSize():], padded)
+	mEncryptLatency.ObserveDuration(time.Since(start))
 	return out, nil
 }
 
 // Decrypt reverses Encrypt.
 func (k *SymmetricKey) Decrypt(ciphertext []byte) ([]byte, error) {
+	start := time.Now()
 	block, err := aes.NewCipher(k.key)
 	if err != nil {
 		return nil, fmt.Errorf("secure: creating AES cipher: %w", err)
@@ -127,7 +140,11 @@ func (k *SymmetricKey) Decrypt(ciphertext []byte) ([]byte, error) {
 	iv := ciphertext[:bs]
 	body := make([]byte, len(ciphertext)-bs)
 	cipher.NewCBCDecrypter(block, iv).CryptBlocks(body, ciphertext[bs:])
-	return pkcs7Unpad(body, bs)
+	out, err := pkcs7Unpad(body, bs)
+	if err == nil {
+		mDecryptLatency.ObserveDuration(time.Since(start))
+	}
+	return out, err
 }
 
 // EncryptAuthenticated encrypts plaintext and appends an HMAC-SHA256 tag

@@ -9,8 +9,18 @@ import (
 
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/topic"
+)
+
+// TDN activity counters across all nodes in the process (§3.1).
+var (
+	mTopicsCreated = obs.Default.Counter("tdn_topics_created_total")
+	mReplications  = obs.Default.Counter("tdn_replications_total")
+	mDiscServed    = obs.Default.Counter(obs.WithLabel("tdn_discoveries_total", "outcome", "served"))
+	mDiscDenied    = obs.Default.Counter(obs.WithLabel("tdn_discoveries_total", "outcome", "not_found"))
+	mSwept         = obs.Default.Counter("tdn_advertisements_swept_total")
 )
 
 // Node errors.
@@ -85,6 +95,7 @@ type Node struct {
 	signer   *secure.Signer
 	verifier *credential.Verifier
 	now      func() time.Time
+	log      *obs.Logger
 
 	mu         sync.RWMutex
 	byID       map[ident.UUID]*Advertisement
@@ -120,6 +131,10 @@ func NewNode(id *credential.Identity, verifier *credential.Verifier) (*Node, err
 
 // SetTimeFunc overrides the node clock, for lifetime tests.
 func (n *Node) SetTimeFunc(f func() time.Time) { n.now = f }
+
+// SetLogger installs a structured logger for creation, replication and
+// discovery diagnostics; nil (the default) silences them.
+func (n *Node) SetLogger(l *obs.Logger) { n.log = l.With("tdn", n.name) }
 
 // Name returns the TDN's name.
 func (n *Node) Name() string { return n.name }
@@ -181,6 +196,9 @@ func (n *Node) CreateTopic(req *CreateRequest) (*Advertisement, error) {
 	peers := append([]Replicator(nil), n.peers...)
 	n.mu.Unlock()
 	n.persist(ad)
+	mTopicsCreated.Inc()
+	n.log.Info("topic created", "topic", ad.TopicID, "owner", ad.Owner,
+		"descriptor", ad.Descriptor, "peers", len(peers))
 	// Best-effort replication: the scheme "sustains the loss of TDN
 	// nodes" because each advertisement is stored at multiple TDNs.
 	for _, p := range peers {
@@ -193,6 +211,7 @@ func (n *Node) CreateTopic(req *CreateRequest) (*Advertisement, error) {
 // verifying its signature chain.
 func (n *Node) Replicate(ad *Advertisement) error {
 	if _, err := ad.Verify(n.verifier, n.now()); err != nil {
+		n.log.Warn("replication rejected", "topic", ad.TopicID, "err", err)
 		return err
 	}
 	n.mu.Lock()
@@ -203,6 +222,8 @@ func (n *Node) Replicate(ad *Advertisement) error {
 	n.byID[ad.TopicID] = ad
 	n.mu.Unlock()
 	n.persist(ad)
+	mReplications.Inc()
+	n.log.Debug("advertisement replicated", "topic", ad.TopicID, "from", ad.TDNName)
 	return nil
 }
 
@@ -247,8 +268,14 @@ func (n *Node) Discover(query string, requester ident.EntityID, requesterCert []
 	}
 	n.mu.RUnlock()
 	if len(out) == 0 {
+		// Unauthorized and unmatched queries are indistinguishable by
+		// design, so the counter cannot separate them either.
+		mDiscDenied.Inc()
+		n.log.Debug("discovery empty", "query", query, "requester", requester)
 		return nil, ErrNotFound
 	}
+	mDiscServed.Inc()
+	n.log.Debug("discovery served", "query", query, "requester", requester, "matches", len(out))
 	return out, nil
 }
 
@@ -279,6 +306,10 @@ func (n *Node) Sweep() int {
 	n.mu.Unlock()
 	for _, id := range expired {
 		n.unpersist(id.String())
+	}
+	if len(expired) > 0 {
+		mSwept.Add(uint64(len(expired)))
+		n.log.Info("swept expired advertisements", "count", len(expired))
 	}
 	return len(expired)
 }

@@ -151,6 +151,7 @@ func (c *inprocConn) Send(frame []byte) error {
 	case <-c.peer.done:
 		return ErrClosed
 	case c.send <- cp:
+		inprocMetrics.recordSend(len(cp))
 		return nil
 	}
 }
@@ -158,10 +159,12 @@ func (c *inprocConn) Send(frame []byte) error {
 func (c *inprocConn) Recv() ([]byte, error) {
 	select {
 	case f := <-c.recv:
+		inprocMetrics.recordRecv(len(f))
 		return f, nil
 	case <-c.done:
 		select {
 		case f := <-c.recv:
+			inprocMetrics.recordRecv(len(f))
 			return f, nil
 		default:
 			return nil, ErrClosed
@@ -170,6 +173,7 @@ func (c *inprocConn) Recv() ([]byte, error) {
 		// Peer closed: drain remaining frames first.
 		select {
 		case f := <-c.recv:
+			inprocMetrics.recordRecv(len(f))
 			return f, nil
 		default:
 			return nil, ErrClosed

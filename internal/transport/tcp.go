@@ -84,6 +84,7 @@ func (tc *tcpConn) Send(frame []byte) error {
 	if _, err := tc.c.Write(frame); err != nil {
 		return mapNetErr(err)
 	}
+	tcpMetrics.recordSend(len(frame) + len(hdr))
 	return nil
 }
 
@@ -99,6 +100,7 @@ func (tc *tcpConn) Recv() ([]byte, error) {
 	if _, err := io.ReadFull(tc.c, frame); err != nil {
 		return nil, mapNetErr(err)
 	}
+	tcpMetrics.recordRecv(len(frame) + len(tc.recvBuf))
 	return frame, nil
 }
 

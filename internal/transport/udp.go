@@ -159,17 +159,22 @@ func (c *udpServerConn) Send(frame []byte) error {
 		return ErrClosed
 	}
 	_, err := c.ul.pc.WriteTo(frame, c.peer)
+	if err == nil {
+		udpMetrics.recordSend(len(frame))
+	}
 	return mapNetErr(err)
 }
 
 func (c *udpServerConn) Recv() ([]byte, error) {
 	select {
 	case f := <-c.inbox:
+		udpMetrics.recordRecv(len(f))
 		return f, nil
 	case <-c.done:
 		// Drain anything buffered before reporting closure.
 		select {
 		case f := <-c.inbox:
+			udpMetrics.recordRecv(len(f))
 			return f, nil
 		default:
 			return nil, ErrClosed
@@ -214,6 +219,9 @@ func (c *udpClientConn) Send(frame []byte) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	_, err := c.c.Write(frame)
+	if err == nil {
+		udpMetrics.recordSend(len(frame))
+	}
 	return mapNetErr(err)
 }
 
@@ -227,6 +235,7 @@ func (c *udpClientConn) Recv() ([]byte, error) {
 		}
 		return nil, mapNetErr(err)
 	}
+	udpMetrics.recordRecv(n)
 	return buf[:n], nil
 }
 
