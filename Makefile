@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover bench fuzz repro examples clean
+.PHONY: all build test race verify cover bench fuzz chaos repro examples clean
 
 all: build test
 
@@ -20,6 +20,15 @@ verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
+	$(GO) test -race -run 'TestChaos' -count=1 .
+
+# Deterministic fault-injection suite: the root chaos scenarios plus the
+# injector, failure-detector and reconnect tests, all race-enabled. Every
+# injector seed is fixed in the tests, so failures replay exactly.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 -v .
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/failure/
+	$(GO) test -race -count=1 -run 'Reconnect|PersistentLink' ./internal/core/ ./internal/broker/
 
 cover:
 	$(GO) test -cover ./internal/...

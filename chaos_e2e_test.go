@@ -1,0 +1,349 @@
+// Chaos end-to-end suite: the full stack (entity → broker chain →
+// tracker, with credentials, tokens and trace verification) running
+// under the internal/chaos fault injector. Each scenario checks one
+// survival invariant from the paper's availability story:
+//
+//	duplication+reorder  exactly-once delivery (broker UUID dedupe)
+//	corruption           rejected, never fatal; delivery still converges
+//	link flaps           reconnect + session resume bring traces back
+//	asymmetric partition no delivery while dark, full recovery on heal
+//	bandwidth cap        delayed but delivered
+//
+// Every injector is seeded, so failures replay exactly. Run the suite
+// alone with `make chaos`.
+package entitytrace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"entitytrace/internal/chaos"
+	"entitytrace/internal/core"
+	"entitytrace/internal/failure"
+	"entitytrace/internal/harness"
+	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// chaosHarness builds a testbed whose transport is wrapped by a seeded
+// fault injector. The violation budget is effectively unlimited: the
+// injector's garbage must not exhaust a legitimate peer's allowance
+// (§5.2 punishes real attackers, and the injector is not one).
+func chaosHarness(t *testing.T, seed int64, opts harness.Options) (*harness.Testbed, *chaos.Injector) {
+	t.Helper()
+	var inj *chaos.Injector
+	opts.ViolationLimit = 1 << 30
+	opts.ShapeSeed = seed
+	opts.WrapTransport = func(tr transport.Transport) transport.Transport {
+		i, err := chaos.New(tr, chaos.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj = i
+		return i
+	}
+	tb, err := harness.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb, inj
+}
+
+// tolerantDetector keeps the broker's failure detector from declaring
+// entities dead while faults suppress ping responses: chaos scenarios
+// that are not about failure detection run with it.
+func tolerantDetector() failure.Config {
+	return failure.Config{
+		BaseInterval:       100 * time.Millisecond,
+		MinInterval:        25 * time.Millisecond,
+		MaxInterval:        time.Second,
+		ResponseTimeout:    250 * time.Millisecond,
+		SuspicionThreshold: 1 << 20,
+		FailureThreshold:   1,
+		SuccessesPerRelax:  1 << 30,
+	}
+}
+
+// stateLog records every delivered state-transition event keyed by its
+// report timestamp. Each SetState stamps a fresh nanosecond timestamp,
+// so two deliveries sharing one timestamp are the same trace delivered
+// twice — the exactly-once violation the suite hunts.
+type stateLog struct {
+	byAt map[int64]int
+}
+
+func newStateLog() *stateLog { return &stateLog{byAt: make(map[int64]int)} }
+
+func (l *stateLog) add(ev core.Event) {
+	if ev.State != nil {
+		l.byAt[ev.State.At]++
+	}
+}
+
+func (l *stateLog) duplicates() int {
+	dups := 0
+	for _, n := range l.byAt {
+		if n > 1 {
+			dups += n - 1
+		}
+	}
+	return dups
+}
+
+// driveState reports a transition to want and waits for its verified
+// delivery, re-issuing the report every 500ms (lost frames, interest
+// races and down connections all heal by retry). Every event seen on
+// the way is logged.
+func driveState(t *testing.T, ent *core.TracedEntity, h *harness.TrackerHandle, want message.EntityState, log *stateLog, timeout time.Duration) {
+	t.Helper()
+	_ = ent.SetState(want) // may fail while disconnected; retries cover it
+	deadline := time.After(timeout)
+	retry := time.NewTicker(500 * time.Millisecond)
+	defer retry.Stop()
+	for {
+		select {
+		case ev := <-h.Events:
+			log.add(ev)
+			if ev.State != nil && ev.State.To == want {
+				return
+			}
+		case <-retry.C:
+			_ = ent.SetState(want)
+		case <-deadline:
+			t.Fatalf("no %v state trace within %v", want, timeout)
+		}
+	}
+}
+
+// drainInto keeps logging events for d, letting reordered stragglers
+// arrive before the exactly-once audit.
+func drainInto(h *harness.TrackerHandle, log *stateLog, d time.Duration) {
+	deadline := time.After(d)
+	for {
+		select {
+		case ev := <-h.Events:
+			log.add(ev)
+		case <-deadline:
+			return
+		}
+	}
+}
+
+// journalHas reports whether any journaled decision of the named fault
+// carries an action with the given prefix — the proof a scenario's
+// faults actually fired (no vacuous passes).
+func journalHas(inj *chaos.Injector, fault, actionPrefix string) bool {
+	for _, d := range inj.Decisions() {
+		if d.Fault == fault && strings.HasPrefix(d.Action, actionPrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosExactlyOnceUnderDuplicationAndReorder duplicates every frame
+// flowing toward a listener (entity publishes and inter-broker traffic)
+// and reorders at random across the whole topology. The brokers' UUID
+// dedupe window must collapse the copies: across many distinct state
+// transitions the tracker may never see the same report twice.
+func TestChaosExactlyOnceUnderDuplicationAndReorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	tb, inj := chaosHarness(t, 11, harness.Options{Brokers: 2, Detector: tolerantDetector()})
+	ent, err := tb.StartEntity("dup-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("dup-tracker", 1, "dup-entity", topic.AllClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	// Triplicate everything flowing dialer→listener; hold back ~30% of
+	// frames everywhere for adjacent-frame reordering.
+	toListener := func(ev *chaos.Event) bool { return ev.ToListener }
+	inj.Set("dup", chaos.When(toListener, chaos.Duplicate(1.0, 2)))
+	inj.Set("reorder", chaos.Reorder(0.3))
+
+	for i := 1; i <= 8; i++ {
+		driveState(t, ent, h, core.StateForRound(i), log, 15*time.Second)
+	}
+	inj.ClearAll()
+	drainInto(h, log, 300*time.Millisecond)
+
+	if !journalHas(inj, "dup", "dup") {
+		t.Fatal("duplication fault never fired; scenario is vacuous")
+	}
+	if dups := log.duplicates(); dups != 0 {
+		t.Fatalf("%d duplicate state-trace deliveries got past broker dedupe", dups)
+	}
+}
+
+// TestChaosCorruptionRejectedNotFatal flips random bytes in a quarter
+// of all frames. Corrupted envelopes must be rejected by parsing or
+// signature verification — never panicking a broker or tracker — while
+// retried reports still converge to delivery; the pipeline must also
+// return to clean operation once corruption stops.
+func TestChaosCorruptionRejectedNotFatal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	tb, inj := chaosHarness(t, 13, harness.Options{Brokers: 1, Detector: tolerantDetector()})
+	ent, err := tb.StartEntity("garble-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("garble-tracker", 0, "garble-entity", topic.AllClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	inj.Set("corrupt", chaos.Corrupt(0.25, 8))
+	for i := 1; i <= 5; i++ {
+		driveState(t, ent, h, core.StateForRound(i), log, 20*time.Second)
+	}
+	inj.Clear("corrupt")
+	if !journalHas(inj, "corrupt", "corrupt") {
+		t.Fatal("corruption fault never fired; scenario is vacuous")
+	}
+	// Clean round after the fault clears.
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+	drainInto(h, log, 200*time.Millisecond)
+	if dups := log.duplicates(); dups != 0 {
+		t.Fatalf("%d duplicate deliveries under corruption", dups)
+	}
+}
+
+// TestChaosFlapReconnectsAndResumes force-closes every connection in
+// the system — entity, tracker and the inter-broker link. Persistent
+// links and the reconnect/resume machinery must bring the whole path
+// back without operator involvement, and the recovery must be visible
+// on the reconnect metrics.
+func TestChaosFlapReconnectsAndResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	entOK := obs.Default.Counter(obs.WithLabel("core_reconnects_total", "role", "entity"))
+	trkOK := obs.Default.Counter(obs.WithLabel("core_reconnects_total", "role", "tracker"))
+	flaps := obs.Default.Counter("chaos_flaps_total")
+	entOK0, trkOK0, flaps0 := entOK.Value(), trkOK.Value(), flaps.Value()
+
+	tb, inj := chaosHarness(t, 17, harness.Options{
+		Brokers:         2,
+		Detector:        tolerantDetector(),
+		Reconnect:       true,
+		PersistentLinks: true,
+	})
+	ent, err := tb.StartEntity("flap-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("flap-tracker", 1, "flap-entity", topic.AllClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	if n := inj.Flap(); n == 0 {
+		t.Fatal("flap closed no connections")
+	}
+	// Everything is down; retried reports must eventually traverse the
+	// re-dialed entity session, re-established broker link and
+	// re-subscribed tracker.
+	driveState(t, ent, h, message.StateRecovering, log, 30*time.Second)
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	if d := entOK.Value() - entOK0; d < 1 {
+		t.Fatalf("core_reconnects_total{role=entity} delta = %d", d)
+	}
+	if d := trkOK.Value() - trkOK0; d < 1 {
+		t.Fatalf("core_reconnects_total{role=tracker} delta = %d", d)
+	}
+	if d := flaps.Value() - flaps0; d < 1 {
+		t.Fatalf("chaos_flaps_total delta = %d", d)
+	}
+}
+
+// TestChaosAsymmetricPartitionHeals blacks out the entity→broker
+// direction only: reports die on the wire while the reverse path stays
+// up. Nothing may be delivered during the partition, and clearing it
+// must restore delivery with no other intervention.
+func TestChaosAsymmetricPartitionHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	tb, inj := chaosHarness(t, 19, harness.Options{Brokers: 1, Detector: tolerantDetector()})
+	ent, err := tb.StartEntity("part-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("part-tracker", 0, "part-entity", topic.NewClassSet(topic.ClassStateTransitions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	inj.Set("partition", chaos.When(chaos.Toward(tb.Addrs[0]), chaos.Drop()))
+	_ = ent.SetState(message.StateRecovering)
+	deadline := time.After(500 * time.Millisecond)
+	for leak := false; !leak; {
+		select {
+		case ev := <-h.Events:
+			log.add(ev)
+			if ev.State != nil && ev.State.To == message.StateRecovering {
+				t.Fatal("state trace crossed an inbound-partitioned link")
+			}
+		case <-deadline:
+			leak = true
+		}
+	}
+	if !journalHas(inj, "partition", "drop") {
+		t.Fatal("partition never dropped a frame; scenario is vacuous")
+	}
+
+	inj.Clear("partition")
+	driveState(t, ent, h, message.StateRecovering, log, 15*time.Second)
+	drainInto(h, log, 200*time.Millisecond)
+	if dups := log.duplicates(); dups != 0 {
+		t.Fatalf("%d duplicate deliveries around the partition", dups)
+	}
+}
+
+// TestChaosBandwidthCapDelaysButDelivers squeezes the broker→tracker
+// direction through a 64 KiB/s virtual link: deliveries queue behind
+// each other but every report still arrives.
+func TestChaosBandwidthCapDelaysButDelivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	tb, inj := chaosHarness(t, 23, harness.Options{Brokers: 1, Detector: tolerantDetector()})
+	ent, err := tb.StartEntity("slow-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("slow-tracker", 0, "slow-entity", topic.AllClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	inj.Set("bw", chaos.When(chaos.From(tb.Addrs[0]), chaos.Bandwidth(64*1024)))
+	for i := 1; i <= 4; i++ {
+		driveState(t, ent, h, core.StateForRound(i), log, 20*time.Second)
+	}
+	if !journalHas(inj, "bw", "delay=") {
+		t.Fatal("bandwidth cap never delayed a frame; scenario is vacuous")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/brokerdir"
 	"entitytrace/internal/core"
@@ -37,6 +38,8 @@ func main() {
 		name          = flag.String("name", "", "broker name (default: identity common name)")
 		tdnAddrs      = flag.String("tdn", "", "comma-separated TDN addresses for token validation")
 		connect       = flag.String("connect", "", "peer broker address to link with")
+		linkRetry     = flag.Duration("link-retry", 250*time.Millisecond, "initial redial delay for the -connect persistent link")
+		linkRetryMax  = flag.Duration("link-retry-max", 30*time.Second, "redial delay ceiling for the -connect persistent link")
 		dirAddr       = flag.String("dir", "", "broker directory to register with (optional)")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7190) serving /stats, /metrics, /healthz and /debug/pprof")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
@@ -109,9 +112,12 @@ func main() {
 	}
 	mgr.Start()
 	if *connect != "" {
-		// Persistent links re-dial and re-sync subscriptions when the
-		// peer broker restarts.
-		b.ConnectToPersistent(tr, *connect, 2*time.Second)
+		// Persistent links re-dial under exponential backoff and re-sync
+		// subscriptions when the peer broker restarts.
+		b.ConnectToPersistentBackoff(tr, *connect, backoff.Config{
+			Initial: *linkRetry,
+			Max:     *linkRetryMax,
+		})
 	}
 	fmt.Printf("brokerd: %s serving on %s (%s)\n", brokerName, l.Addr(), *transportName)
 	if *adminAddr != "" {

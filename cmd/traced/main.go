@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/brokerdir"
 	"entitytrace/internal/core"
@@ -41,6 +42,8 @@ func main() {
 		loadEvery     = flag.Duration("load-interval", 5*time.Second, "load-report interval (0 disables)")
 		simulateLoad  = flag.Bool("simulate-load", false, "report seeded synthetic load instead of process load")
 		topicLifetime = flag.Duration("topic-lifetime", 24*time.Hour, "trace-topic lifetime (§3.1)")
+		reconnect     = flag.Bool("reconnect", false, "redial the broker and resume the session when the connection drops")
+		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 	)
 	flag.Parse()
@@ -90,7 +93,7 @@ func main() {
 		}
 	}
 	allowed := splitCSV(*allow)
-	ent, err := core.StartTracing(core.EntityConfig{
+	cfg := core.EntityConfig{
 		Identity:         id,
 		Verifier:         verifier,
 		Registry:         registry,
@@ -102,7 +105,16 @@ func main() {
 		TopicLifetime:    *topicLifetime,
 		LoadProvider:     provider,
 		LoadInterval:     *loadEvery,
-	})
+	}
+	if *reconnect {
+		// On connection loss: redial under backoff, re-register the same
+		// advertisement and re-run the key/delegation handshake.
+		cfg.Redial = func() (*broker.Client, error) {
+			return broker.Connect(tr, *brokerAddr, id.Credential.Entity)
+		}
+		cfg.ReconnectBackoff = backoff.Config{Initial: *redialDelay}
+	}
+	ent, err := core.StartTracing(cfg)
 	if err != nil {
 		fail("starting tracing: %v", err)
 	}

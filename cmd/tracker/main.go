@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/brokerdir"
 	"entitytrace/internal/core"
@@ -38,6 +39,8 @@ func main() {
 		entity        = flag.String("entity", "", "traced entity to follow")
 		classesFlag   = flag.String("classes", "changes,state", "trace classes: changes,all,state,load,net (or 'everything')")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
+		reconnect     = flag.Bool("reconnect", false, "redial the broker, re-subscribe and re-announce interest when the connection drops")
+		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
 	)
 	flag.Parse()
 	if *identityPath == "" || *entity == "" {
@@ -80,13 +83,20 @@ func main() {
 	if err != nil {
 		fail("connecting to broker: %v", err)
 	}
-	tk, err := core.NewTracker(core.TrackerConfig{
+	cfg := core.TrackerConfig{
 		Identity:  id,
 		Verifier:  verifier,
 		Discovery: discovery,
 		Resolver:  core.NewCachingResolver(core.TDNResolver(discovery)),
 		Client:    client,
-	})
+	}
+	if *reconnect {
+		cfg.Redial = func() (*broker.Client, error) {
+			return broker.Connect(tr, *brokerAddr, id.Credential.Entity)
+		}
+		cfg.ReconnectBackoff = backoff.Config{Initial: *redialDelay}
+	}
+	tk, err := core.NewTracker(cfg)
 	if err != nil {
 		fail("creating tracker: %v", err)
 	}

@@ -1,0 +1,121 @@
+// Package backoff provides the exponential-backoff-with-jitter policy
+// shared by every reconnect path in the system: broker↔broker persistent
+// links, traced-entity session resume and tracker resubscription. Keeping
+// the policy in one place means every retry loop paces itself the same
+// way under chaos testing, and the deterministic jitter (seeded, not
+// wall-clock derived) lets fault-injection tests replay identically.
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultInitial = 100 * time.Millisecond
+	DefaultMax     = 30 * time.Second
+	DefaultFactor  = 2.0
+	DefaultJitter  = 0.2
+)
+
+// Config tunes a Policy. The zero value selects the defaults above.
+type Config struct {
+	// Initial is the delay before the first retry.
+	Initial time.Duration
+	// Max caps the grown delay.
+	Max time.Duration
+	// Factor multiplies the delay after each failed attempt (>= 1).
+	Factor float64
+	// Jitter spreads each delay uniformly over [d*(1-J), d*(1+J)] so
+	// that a fleet of reconnecting peers does not thunder in lockstep.
+	// Negative disables jitter; zero selects DefaultJitter.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible. Zero is a valid,
+	// fixed seed: policies are deterministic unless told otherwise.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Initial <= 0 {
+		c.Initial = DefaultInitial
+	}
+	if c.Max <= 0 {
+		c.Max = DefaultMax
+	}
+	if c.Max < c.Initial {
+		c.Max = c.Initial
+	}
+	if c.Factor < 1 {
+		c.Factor = DefaultFactor
+	}
+	if c.Jitter == 0 {
+		c.Jitter = DefaultJitter
+	}
+	if c.Jitter < 0 {
+		c.Jitter = 0
+	}
+	if c.Jitter > 1 {
+		c.Jitter = 1
+	}
+	return c
+}
+
+// Policy produces the successive delays of one retry loop. It is safe
+// for concurrent use, though retry loops are typically single-goroutine.
+type Policy struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	attempt int
+}
+
+// New creates a policy from cfg (zero-value fields select defaults).
+func New(cfg Config) *Policy {
+	cfg = cfg.withDefaults()
+	return &Policy{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the attempt counter. The n-th delay (0-based) is
+// min(Initial*Factor^n, Max), jittered.
+func (p *Policy) Next() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := float64(p.cfg.Initial)
+	for i := 0; i < p.attempt; i++ {
+		d *= p.cfg.Factor
+		if d >= float64(p.cfg.Max) {
+			d = float64(p.cfg.Max)
+			break
+		}
+	}
+	p.attempt++
+	if p.cfg.Jitter > 0 {
+		d *= 1 - p.cfg.Jitter + 2*p.cfg.Jitter*p.rng.Float64()
+	}
+	out := time.Duration(d)
+	if out > time.Duration(float64(p.cfg.Max)*(1+p.cfg.Jitter)) {
+		out = p.cfg.Max
+	}
+	if out <= 0 {
+		out = time.Nanosecond
+	}
+	return out
+}
+
+// Reset returns the policy to the initial delay after a success.
+func (p *Policy) Reset() {
+	p.mu.Lock()
+	p.attempt = 0
+	p.mu.Unlock()
+}
+
+// Attempts reports how many delays have been handed out since the last
+// Reset.
+func (p *Policy) Attempts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attempt
+}

@@ -1,0 +1,64 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGrowthAndCap(t *testing.T) {
+	p := New(Config{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1})
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Next(); got != w {
+			t.Fatalf("delay %d: got %v want %v", i, got, w)
+		}
+	}
+	if p.Attempts() != len(want) {
+		t.Fatalf("attempts = %d", p.Attempts())
+	}
+	p.Reset()
+	if got := p.Next(); got != 10*time.Millisecond {
+		t.Fatalf("post-reset delay %v", got)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	mk := func() *Policy {
+		return New(Config{Initial: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5, Seed: 7})
+	}
+	a, b := mk(), mk()
+	base := 100 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if base > time.Second {
+			lo, hi = 500*time.Millisecond, 1500*time.Millisecond
+		}
+		if da < lo || da > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, da, lo, hi)
+		}
+		if base < time.Second {
+			base *= 2
+		}
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	d := p.Next()
+	lo := time.Duration(float64(DefaultInitial) * (1 - DefaultJitter))
+	hi := time.Duration(float64(DefaultInitial) * (1 + DefaultJitter))
+	if d < lo || d > hi {
+		t.Fatalf("first default delay %v outside [%v, %v]", d, lo, hi)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"entitytrace/internal/backoff"
+	"entitytrace/internal/clock"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
 	"entitytrace/internal/obs"
@@ -25,6 +27,9 @@ var (
 	mViolations     = obs.Default.Counter("broker_violations_total")
 	mDisconnectsDoS = obs.Default.Counter(obs.WithLabel("broker_disconnects_total", "reason", "dos"))
 	mExpired        = obs.Default.Counter("broker_expired_total")
+	mLinkDials      = obs.Default.Counter("broker_link_dial_attempts_total")
+	mLinkUp         = obs.Default.Counter("broker_link_established_total")
+	mLinkLost       = obs.Default.Counter("broker_link_lost_total")
 )
 
 // Guard inspects messages arriving from peers before they are routed.
@@ -53,6 +58,9 @@ type Config struct {
 	// Log is the structured logger; when set it takes precedence over
 	// Logf. Nil with a nil Logf silences diagnostics.
 	Log *obs.Logger
+	// Clock paces persistent-link redial backoff; nil means the real
+	// clock. Tests inject clock.Fake to step reconnect schedules.
+	Clock clock.Clock
 }
 
 // Defaults for Config zero values.
@@ -75,6 +83,7 @@ type Stats struct {
 // Broker is one router node in the broker network.
 type Broker struct {
 	cfg  Config
+	clk  clock.Clock
 	name string
 	log  *obs.Logger
 
@@ -154,8 +163,12 @@ func New(cfg Config) *Broker {
 	if log == nil {
 		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
 	return &Broker{
 		cfg:       cfg,
+		clk:       cfg.Clock,
 		name:      cfg.Name,
 		log:       log.With("broker", cfg.Name),
 		peers:     make(map[*peer]struct{}),
@@ -275,14 +288,34 @@ func (b *Broker) dialLink(tr transport.Transport, addr string) (*peer, error) {
 }
 
 // ConnectToPersistent maintains a broker link across failures: it dials
-// addr, runs the link until it drops, and re-dials after retry until the
-// broker closes. Subscription state is re-synchronized on every
-// reconnection, so routing recovers automatically when a neighbouring
-// broker restarts.
+// addr, runs the link until it drops, and re-dials until the broker
+// closes, pacing attempts with exponential backoff seeded from retry as
+// the initial delay (retry <= 0 selects backoff.DefaultInitial).
+// Subscription state is re-synchronized on every reconnection, so
+// routing recovers automatically when a neighbouring broker restarts.
 func (b *Broker) ConnectToPersistent(tr transport.Transport, addr string, retry time.Duration) {
+	b.ConnectToPersistentBackoff(tr, addr, backoff.Config{Initial: retry, Max: maxRetryCap(retry)})
+}
+
+// maxRetryCap keeps the legacy fixed-interval callers' worst-case redial
+// delay within one order of magnitude of what they asked for, rather
+// than letting it grow to the 30s default cap.
+func maxRetryCap(retry time.Duration) time.Duration {
 	if retry <= 0 {
-		retry = time.Second
+		return 0 // backoff defaults
 	}
+	return 8 * retry
+}
+
+// ConnectToPersistentBackoff is ConnectToPersistent with full control
+// over the redial pacing. Each failed dial (or lost link) waits the
+// policy's next delay; a link that establishes resets the policy so the
+// next outage starts again from the initial delay. Dial attempts,
+// establishments and losses are counted on the obs registry
+// (broker_link_dial_attempts_total, broker_link_established_total,
+// broker_link_lost_total).
+func (b *Broker) ConnectToPersistentBackoff(tr transport.Transport, addr string, cfg backoff.Config) {
+	policy := backoff.New(cfg)
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -292,16 +325,24 @@ func (b *Broker) ConnectToPersistent(tr transport.Transport, addr string, retry 
 				return
 			default:
 			}
+			mLinkDials.Inc()
 			p, err := b.dialLink(tr, addr)
 			if err == nil {
+				mLinkUp.Inc()
+				policy.Reset()
 				b.log.Info("link established", "peer", addr)
 				b.peerLoop(p)
+				mLinkLost.Inc()
 				b.log.Warn("link lost", "peer", addr)
 			}
+			delay := policy.Next()
+			b.log.Debug("link redial scheduled", "peer", addr, "delay", delay.String())
+			t := b.clk.NewTimer(delay)
 			select {
 			case <-b.done:
+				t.Stop()
 				return
-			case <-time.After(retry):
+			case <-t.C():
 			}
 		}
 	}()

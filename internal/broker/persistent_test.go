@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/message"
 	"entitytrace/internal/topic"
 	"entitytrace/internal/transport"
@@ -80,6 +81,74 @@ func TestPersistentLinkSurvivesBrokerRestart(t *testing.T) {
 	}
 	e := recvEnvelope(t, got, "post-restart delivery")
 	if string(e.Payload) != "after" {
+		t.Fatalf("payload %q", e.Payload)
+	}
+}
+
+// TestPersistentLinkBackoffEstablishesLate starts the redial loop before
+// any listener exists at the target address: dial attempts fail and back
+// off, and once the peer finally appears the link comes up, syncs
+// subscriptions and routes. Link metrics must reflect the struggle
+// (more dial attempts than establishments).
+func TestPersistentLinkBackoffEstablishesLate(t *testing.T) {
+	tr := transport.NewInproc()
+	dials0, up0 := mLinkDials.Value(), mLinkUp.Value()
+
+	b1 := New(Config{Name: "edge-late"})
+	defer b1.Close()
+	l1, err := tr.Listen("edge-late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Serve(l1)
+
+	// No listener at "hub-late" yet: every dial fails.
+	b1.ConnectToPersistentBackoff(tr, "hub-late", backoff.Config{
+		Initial: 5 * time.Millisecond,
+		Max:     20 * time.Millisecond,
+		Seed:    3,
+	})
+
+	sub, err := Connect(tr, "edge-late", "subscriber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	got := make(chan *message.Envelope, 16)
+	tp := topic.MustParse("/late/topic")
+	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let several failed attempts accumulate before the peer exists.
+	waitFor(t, "failed dial attempts", func() bool { return mLinkDials.Value() >= dials0+3 })
+
+	hub := New(Config{Name: "hub-late"})
+	defer hub.Close()
+	lh, err := tr.Listen("hub-late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Serve(lh)
+
+	waitFor(t, "late link propagation", func() bool { return hub.HasSubscription(tp.String()) })
+	if up := mLinkUp.Value() - up0; up < 1 {
+		t.Fatalf("broker_link_established_total delta = %d", up)
+	}
+	if dials := mLinkDials.Value() - dials0; dials < 4 {
+		t.Fatalf("broker_link_dial_attempts_total delta = %d, want >= 4", dials)
+	}
+
+	pub, err := Connect(tr, "hub-late", "publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish(message.New(message.TypeData, tp, "publisher", []byte("eventually"))); err != nil {
+		t.Fatal(err)
+	}
+	e := recvEnvelope(t, got, "late-link delivery")
+	if string(e.Payload) != "eventually" {
 		t.Fatalf("payload %q", e.Payload)
 	}
 }

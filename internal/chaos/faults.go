@@ -1,0 +1,193 @@
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Event describes one frame crossing a chaotic connection. Faults are
+// evaluated on the receive path of the wrapped connection, so each frame
+// generates exactly one event even when both endpoints of a link share
+// the same injector-wrapped transport.
+type Event struct {
+	// Conn is the injector-assigned connection sequence number
+	// (deterministic as long as connections are established in a
+	// deterministic order).
+	Conn uint64
+	// Link is the listener-side address of the connection: the bound
+	// address for accepted connections, the dialed address for dialed
+	// ones. It names the logical link a fault targets.
+	Link string
+	// ToListener reports the frame's direction: true when it flows
+	// dialer→listener (the event fires on the accepted side), false
+	// when it flows listener→dialer (the event fires on the dialed
+	// side). Asymmetric partitions match on this.
+	ToListener bool
+	// Now is the injector clock's current time.
+	Now time.Time
+	// Frame is the frame under consideration. Faults must not mutate it
+	// in place; Verdict.Frame carries replacements.
+	Frame []byte
+}
+
+// Verdict is a fault's decision about one frame. The zero value passes
+// the frame through untouched.
+type Verdict struct {
+	// Drop discards the frame.
+	Drop bool
+	// Frame, when non-nil, replaces the frame bytes (corruption).
+	Frame []byte
+	// Copies delivers the frame 1+Copies times (duplication).
+	Copies int
+	// Delay postpones delivery (latency / bandwidth shaping).
+	Delay time.Duration
+	// Hold stashes the frame and releases it after the next frame on
+	// the same connection delivers (reordering).
+	Hold bool
+}
+
+// Fault inspects frame events and renders verdicts. Implementations are
+// shared across all connections of an injector and must be safe for
+// concurrent use; per-connection state should key on Event.Conn. The
+// rng is the event connection's deterministic source — faults must draw
+// randomness only from it so runs replay identically.
+type Fault interface {
+	Apply(ev *Event, rng *rand.Rand) Verdict
+}
+
+// FaultFunc adapts a function to Fault.
+type FaultFunc func(ev *Event, rng *rand.Rand) Verdict
+
+// Apply implements Fault.
+func (f FaultFunc) Apply(ev *Event, rng *rand.Rand) Verdict { return f(ev, rng) }
+
+// Matcher selects the frame events a fault applies to.
+type Matcher func(*Event) bool
+
+// OnLink matches both directions of connections dialed to or accepted
+// at addr.
+func OnLink(addr string) Matcher {
+	return func(ev *Event) bool { return ev.Link == addr }
+}
+
+// Toward matches frames flowing dialer→listener on the link at addr:
+// one half of an asymmetric partition.
+func Toward(addr string) Matcher {
+	return func(ev *Event) bool { return ev.Link == addr && ev.ToListener }
+}
+
+// From matches frames flowing listener→dialer on the link at addr: the
+// other half of an asymmetric partition.
+func From(addr string) Matcher {
+	return func(ev *Event) bool { return ev.Link == addr && !ev.ToListener }
+}
+
+// When gates a fault behind a matcher; unmatched events pass through.
+func When(m Matcher, f Fault) Fault {
+	return FaultFunc(func(ev *Event, rng *rand.Rand) Verdict {
+		if !m(ev) {
+			return Verdict{}
+		}
+		return f.Apply(ev, rng)
+	})
+}
+
+// Drop discards every matched frame: combined with Toward/From it forms
+// asymmetric partitions, with OnLink a full partition.
+func Drop() Fault {
+	return FaultFunc(func(*Event, *rand.Rand) Verdict { return Verdict{Drop: true} })
+}
+
+// Loss drops frames with probability rate.
+func Loss(rate float64) Fault {
+	return FaultFunc(func(_ *Event, rng *rand.Rand) Verdict {
+		return Verdict{Drop: rate > 0 && rng.Float64() < rate}
+	})
+}
+
+// Duplicate delivers copies extra copies of a frame with probability
+// prob. copies < 1 is treated as 1.
+func Duplicate(prob float64, copies int) Fault {
+	if copies < 1 {
+		copies = 1
+	}
+	return FaultFunc(func(_ *Event, rng *rand.Rand) Verdict {
+		if prob > 0 && rng.Float64() < prob {
+			return Verdict{Copies: copies}
+		}
+		return Verdict{}
+	})
+}
+
+// Reorder holds a frame back with probability prob, releasing it after
+// the next frame on the same connection delivers: adjacent frames swap.
+func Reorder(prob float64) Fault {
+	return FaultFunc(func(_ *Event, rng *rand.Rand) Verdict {
+		if prob > 0 && rng.Float64() < prob {
+			return Verdict{Hold: true}
+		}
+		return Verdict{}
+	})
+}
+
+// Corrupt flips 1..maxFlips random bytes of a frame with probability
+// prob. maxFlips < 1 is treated as 1. Empty frames pass through.
+func Corrupt(prob float64, maxFlips int) Fault {
+	if maxFlips < 1 {
+		maxFlips = 1
+	}
+	return FaultFunc(func(ev *Event, rng *rand.Rand) Verdict {
+		if prob <= 0 || rng.Float64() >= prob || len(ev.Frame) == 0 {
+			return Verdict{}
+		}
+		cp := append([]byte(nil), ev.Frame...)
+		flips := 1 + rng.Intn(maxFlips)
+		for i := 0; i < flips; i++ {
+			cp[rng.Intn(len(cp))] ^= byte(1 + rng.Intn(255))
+		}
+		return Verdict{Frame: cp}
+	})
+}
+
+// Latency delays every frame by d plus a uniform random [0, jitter)
+// component.
+func Latency(d, jitter time.Duration) Fault {
+	return FaultFunc(func(_ *Event, rng *rand.Rand) Verdict {
+		delay := d
+		if jitter > 0 {
+			delay += time.Duration(rng.Int63n(int64(jitter)))
+		}
+		return Verdict{Delay: delay}
+	})
+}
+
+// Bandwidth caps each connection's delivery rate at bytesPerSec with a
+// simple virtual-clock model: each frame occupies the link for
+// len/rate, and frames arriving while the link is busy wait their turn.
+func Bandwidth(bytesPerSec float64) Fault {
+	b := &bandwidth{bps: bytesPerSec, freeAt: make(map[uint64]time.Time)}
+	return b
+}
+
+type bandwidth struct {
+	bps    float64
+	mu     sync.Mutex
+	freeAt map[uint64]time.Time // conn -> when the virtual link idles
+}
+
+func (b *bandwidth) Apply(ev *Event, _ *rand.Rand) Verdict {
+	if b.bps <= 0 || len(ev.Frame) == 0 {
+		return Verdict{}
+	}
+	cost := time.Duration(float64(len(ev.Frame)) / b.bps * float64(time.Second))
+	b.mu.Lock()
+	at := b.freeAt[ev.Conn]
+	if at.Before(ev.Now) {
+		at = ev.Now
+	}
+	delay := at.Sub(ev.Now) + cost
+	b.freeAt[ev.Conn] = at.Add(cost)
+	b.mu.Unlock()
+	return Verdict{Delay: delay}
+}

@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Step is one entry in a scheduled fault timeline. After the given
+// delay (relative to the previous step), the named fault slot is set
+// (Fault non-nil) or cleared (Fault nil), and optionally the affected
+// connections are flapped.
+type Step struct {
+	// After is the delay since the previous step (or Play for the
+	// first step).
+	After time.Duration
+	// Name is the fault slot to set or clear. Empty performs no fault
+	// change (useful for pure-flap steps).
+	Name string
+	// Fault, when non-nil, is installed under Name; when nil, Name is
+	// cleared.
+	Fault Fault
+	// Flap force-closes live connections when the step fires: all of
+	// them if FlapLink is empty, else just that link's.
+	Flap     bool
+	FlapLink string
+}
+
+// Play executes the steps sequentially on the injector clock. It
+// returns a stop function (idempotent, cancels remaining steps) and a
+// channel closed when the timeline finishes or is stopped. Driven by a
+// clock.Fake, a timeline replays identically under Advance.
+func (inj *Injector) Play(steps []Step) (stop func(), done <-chan struct{}) {
+	quit := make(chan struct{})
+	fin := make(chan struct{})
+	var once sync.Once
+	stopOnce := func() { once.Do(func() { close(quit) }) }
+	go func() {
+		defer close(fin)
+		for _, s := range steps {
+			if s.After > 0 {
+				t := inj.clk.NewTimer(s.After)
+				select {
+				case <-t.C():
+				case <-quit:
+					t.Stop()
+					return
+				}
+			} else {
+				select {
+				case <-quit:
+					return
+				default:
+				}
+			}
+			if s.Name != "" {
+				if s.Fault != nil {
+					inj.Set(s.Name, s.Fault)
+					inj.record(0, "", "timeline", "set "+s.Name)
+				} else {
+					inj.Clear(s.Name)
+					inj.record(0, "", "timeline", "clear "+s.Name)
+				}
+			}
+			if s.Flap {
+				if s.FlapLink != "" {
+					inj.FlapLink(s.FlapLink)
+				} else {
+					inj.Flap()
+				}
+			}
+		}
+	}()
+	return stopOnce, fin
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/clock"
 	"entitytrace/internal/credential"
@@ -65,6 +66,16 @@ type EntityConfig struct {
 	LoadInterval time.Duration
 	// RegisterTimeout bounds the registration round trip.
 	RegisterTimeout time.Duration
+	// Redial, when set, enables automatic reconnect: when the broker
+	// connection drops, the entity dials a replacement client via Redial
+	// (paced by ReconnectBackoff), re-registers its existing trace-topic
+	// advertisement and re-runs the key/delegation handshake — resuming
+	// the session, including its authorization state, without operator
+	// involvement.
+	Redial func() (*broker.Client, error)
+	// ReconnectBackoff paces Redial attempts; the zero value selects
+	// the backoff package defaults.
+	ReconnectBackoff backoff.Config
 }
 
 // TracedEntity is a live tracing session from the entity's side: it
@@ -79,6 +90,7 @@ type TracedEntity struct {
 	rotateMu sync.Mutex
 
 	mu         sync.Mutex
+	cl         *broker.Client // current broker connection (swapped on reconnect)
 	ad         *tdn.Advertisement
 	session    ident.SessionID
 	brokerCert *credential.Credential
@@ -124,6 +136,7 @@ func StartTracing(cfg EntityConfig) (*TracedEntity, error) {
 	}
 	te := &TracedEntity{
 		cfg:    cfg,
+		cl:     cfg.Client,
 		signer: signer,
 		state:  message.StateInitializing,
 		done:   make(chan struct{}),
@@ -140,6 +153,13 @@ func StartTracing(cfg EntityConfig) (*TracedEntity, error) {
 }
 
 func (te *TracedEntity) entity() ident.EntityID { return te.cfg.Identity.Credential.Entity }
+
+// client returns the current broker connection; reconnect swaps it.
+func (te *TracedEntity) client() *broker.Client {
+	te.mu.Lock()
+	defer te.mu.Unlock()
+	return te.cl
+}
 
 // Entity returns the entity's identifier.
 func (te *TracedEntity) Entity() ident.EntityID { return te.entity() }
@@ -213,8 +233,9 @@ func (te *TracedEntity) register(ad *tdn.Advertisement) (ident.SessionID, *crede
 	if err != nil {
 		return ident.Nil, nil, nil, err
 	}
+	cl := te.client()
 	respCh := make(chan *message.Envelope, 1)
-	if err := te.cfg.Client.Subscribe(respTopic, func(env *message.Envelope) {
+	if err := cl.Subscribe(respTopic, func(env *message.Envelope) {
 		select {
 		case respCh <- env:
 		default:
@@ -222,7 +243,7 @@ func (te *TracedEntity) register(ad *tdn.Advertisement) (ident.SessionID, *crede
 	}); err != nil {
 		return ident.Nil, nil, nil, fmt.Errorf("core: subscribing to registration response: %w", err)
 	}
-	defer te.cfg.Client.Unsubscribe(respTopic)
+	defer cl.Unsubscribe(respTopic)
 
 	reg := &message.Registration{
 		Entity:           te.entity(),
@@ -236,7 +257,7 @@ func (te *TracedEntity) register(ad *tdn.Advertisement) (ident.SessionID, *crede
 	if err := env.Sign(te.signer); err != nil {
 		return ident.Nil, nil, nil, err
 	}
-	if err := te.cfg.Client.Publish(env); err != nil {
+	if err := cl.Publish(env); err != nil {
 		return ident.Nil, nil, nil, fmt.Errorf("core: publishing registration: %w", err)
 	}
 
@@ -245,7 +266,7 @@ func (te *TracedEntity) register(ad *tdn.Advertisement) (ident.SessionID, *crede
 	case resp = <-respCh:
 	case <-te.cfg.Clock.After(te.cfg.RegisterTimeout):
 		return ident.Nil, nil, nil, errors.New("core: registration timed out")
-	case <-te.cfg.Client.Done():
+	case <-cl.Done():
 		return ident.Nil, nil, nil, errors.New("core: broker connection lost during registration")
 	}
 	if resp.Type == message.TypeError {
@@ -288,6 +309,7 @@ func (te *TracedEntity) register(ad *tdn.Advertisement) (ident.SessionID, *crede
 // delegation handshake. When rotating, the previous session topic is
 // unsubscribed afterwards.
 func (te *TracedEntity) establishSession(ad *tdn.Advertisement, rotating bool) error {
+	cl := te.client()
 	session, brokerCred, brokerPub, err := te.register(ad)
 	if err != nil {
 		return err
@@ -297,7 +319,7 @@ func (te *TracedEntity) establishSession(ad *tdn.Advertisement, rotating bool) e
 	if err != nil {
 		return err
 	}
-	if err := te.cfg.Client.Subscribe(in, te.handleBrokerMessage); err != nil {
+	if err := cl.Subscribe(in, te.handleBrokerMessage); err != nil {
 		return fmt.Errorf("core: subscribing to session topic: %w", err)
 	}
 
@@ -318,7 +340,7 @@ func (te *TracedEntity) establishSession(ad *tdn.Advertisement, rotating bool) e
 		return err
 	}
 	if rotating && !oldIn.IsZero() {
-		_ = te.cfg.Client.Unsubscribe(oldIn)
+		_ = cl.Unsubscribe(oldIn)
 	}
 	return nil
 }
@@ -369,6 +391,13 @@ func (te *TracedEntity) startLoops() {
 		go func() {
 			defer te.wg.Done()
 			te.loadLoop()
+		}()
+	}
+	if te.cfg.Redial != nil {
+		te.wg.Add(1)
+		go func() {
+			defer te.wg.Done()
+			te.reconnectLoop()
 		}()
 	}
 }
@@ -463,7 +492,7 @@ func (te *TracedEntity) sendSigned(t message.Type, payload []byte) error {
 		return err
 	}
 	te.originateSpan(env)
-	return te.cfg.Client.Publish(env)
+	return te.client().Publish(env)
 }
 
 // originateSpan opts the envelope into per-hop tracing, stamped with the
@@ -498,13 +527,13 @@ func (te *TracedEntity) send(t message.Type, payload []byte) error {
 		env.Payload = ct
 		env.Flags |= message.FlagEncrypted
 		te.originateSpan(env)
-		return te.cfg.Client.Publish(env)
+		return te.client().Publish(env)
 	}
 	if err := env.Sign(te.signer); err != nil {
 		return err
 	}
 	te.originateSpan(env)
-	return te.cfg.Client.Publish(env)
+	return te.client().Publish(env)
 }
 
 // handleBrokerMessage answers pings and other broker->entity traffic.
@@ -613,7 +642,7 @@ func (te *TracedEntity) Kill() {
 	te.stopped = true
 	te.mu.Unlock()
 	close(te.done)
-	_ = te.cfg.Client.Close()
+	_ = te.client().Close()
 	te.wg.Wait()
 }
 
@@ -633,5 +662,5 @@ func (te *TracedEntity) Stop() error {
 	te.mu.Unlock()
 	close(te.done)
 	te.wg.Wait()
-	return te.cfg.Client.Close()
+	return te.client().Close()
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+
+	"entitytrace/internal/backoff"
+	"entitytrace/internal/broker"
+	"entitytrace/internal/clock"
+	"entitytrace/internal/obs"
+)
+
+// Reconnect metrics, labelled by role so entity and tracker recovery
+// show up separately on /metrics.
+var (
+	mReconnAttemptEntity  = obs.Default.Counter(obs.WithLabel("core_reconnect_attempts_total", "role", "entity"))
+	mReconnOKEntity       = obs.Default.Counter(obs.WithLabel("core_reconnects_total", "role", "entity"))
+	mReconnAttemptTracker = obs.Default.Counter(obs.WithLabel("core_reconnect_attempts_total", "role", "tracker"))
+	mReconnOKTracker      = obs.Default.Counter(obs.WithLabel("core_reconnects_total", "role", "tracker"))
+	mSessionResumes       = obs.Default.Counter("core_session_resumes_total")
+)
+
+var errStopped = errors.New("core: stopped")
+
+// reconnector runs the watch→dial→resume loop shared by traced entities
+// and trackers: wait for the current broker connection to drop, then
+// redial under exponential backoff until resume succeeds, repeating for
+// the life of the session.
+type reconnector struct {
+	clk     clock.Clock
+	done    <-chan struct{}
+	policy  *backoff.Policy
+	client  func() *broker.Client          // current connection
+	redial  func() (*broker.Client, error) // dial a replacement
+	resume  func(cl *broker.Client) error  // install cl and re-establish session state
+	attempt *obs.Counter
+	success *obs.Counter
+}
+
+func (r *reconnector) run() {
+	for {
+		cl := r.client()
+		select {
+		case <-r.done:
+			return
+		case <-cl.Done():
+		}
+		for {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			t := r.clk.NewTimer(r.policy.Next())
+			select {
+			case <-r.done:
+				t.Stop()
+				return
+			case <-t.C():
+			}
+			r.attempt.Inc()
+			ncl, err := r.redial()
+			if err != nil {
+				continue
+			}
+			if err := r.resume(ncl); err != nil {
+				ncl.Close()
+				continue
+			}
+			r.policy.Reset()
+			r.success.Inc()
+			mSessionResumes.Inc()
+			break
+		}
+	}
+}
+
+// reconnectLoop resumes the traced-entity session after connection loss:
+// re-register the existing advertisement with the broker and re-run the
+// key/delegation handshake, which re-publishes the entity's
+// authorization state (§4.3) for the fresh session.
+func (te *TracedEntity) reconnectLoop() {
+	r := &reconnector{
+		clk:    te.cfg.Clock,
+		done:   te.done,
+		policy: backoff.New(te.cfg.ReconnectBackoff),
+		client: te.client,
+		redial: te.cfg.Redial,
+		resume: func(cl *broker.Client) error {
+			te.mu.Lock()
+			if te.stopped {
+				te.mu.Unlock()
+				return errStopped
+			}
+			ad := te.ad
+			te.cl = cl
+			te.mu.Unlock()
+			return te.establishSession(ad, false)
+		},
+		attempt: mReconnAttemptEntity,
+		success: mReconnOKEntity,
+	}
+	r.run()
+}

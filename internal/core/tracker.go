@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/clock"
 	"entitytrace/internal/credential"
@@ -49,6 +50,15 @@ type TrackerConfig struct {
 	// Log is the structured logger; when set it takes precedence over
 	// Logf.
 	Log *obs.Logger
+	// Redial, when set, enables automatic reconnect: when the broker
+	// connection drops, the tracker dials a replacement client via
+	// Redial (paced by ReconnectBackoff), re-subscribes every live
+	// watch's topics and re-issues gauge interest so brokers resume
+	// publishing without waiting for the next gauge round.
+	Redial func() (*broker.Client, error)
+	// ReconnectBackoff paces Redial attempts; the zero value selects
+	// the backoff package defaults.
+	ReconnectBackoff backoff.Config
 }
 
 // Tracker-side delivery accounting and end-to-end path timing.
@@ -72,8 +82,19 @@ type Tracker struct {
 	caching *CachingResolver
 
 	mu      sync.Mutex
+	cl      *broker.Client // current broker connection (swapped on reconnect)
 	watches map[ident.UUID]*Watch
 	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// watchSub is one broker subscription of a watch, remembered with its
+// handler so reconnect can re-issue it on a fresh client.
+type watchSub struct {
+	tp      topic.Topic
+	handler func(*message.Envelope)
 }
 
 // Watch is a live trace subscription for one traced entity.
@@ -89,7 +110,7 @@ type Watch struct {
 	mu       sync.Mutex
 	traceKey *secure.SymmetricKey
 	stopped  bool
-	subs     []topic.Topic
+	subs     []watchSub
 	// counters for observability and benchmarks
 	delivered uint64
 	rejected  uint64
@@ -113,7 +134,7 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 	if log == nil {
 		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
 	}
-	tk := &Tracker{cfg: cfg, log: log, watches: make(map[ident.UUID]*Watch)}
+	tk := &Tracker{cfg: cfg, cl: cfg.Client, log: log, watches: make(map[ident.UUID]*Watch), done: make(chan struct{})}
 	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
 		tk.caching = cr
 	} else if cfg.Resolver == nil {
@@ -122,7 +143,59 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 		}))
 		tk.cfg.Resolver = tk.caching
 	}
+	if cfg.Redial != nil {
+		tk.wg.Add(1)
+		go func() {
+			defer tk.wg.Done()
+			tk.reconnectLoop()
+		}()
+	}
 	return tk, nil
+}
+
+// client returns the current broker connection; reconnect swaps it.
+func (tk *Tracker) client() *broker.Client {
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	return tk.cl
+}
+
+// reconnectLoop resumes tracking after connection loss: every live
+// watch's subscriptions are re-issued on the fresh client, then interest
+// is re-announced so brokers begin publishing again immediately (§3.5).
+func (tk *Tracker) reconnectLoop() {
+	r := &reconnector{
+		clk:    tk.cfg.Clock,
+		done:   tk.done,
+		policy: backoff.New(tk.cfg.ReconnectBackoff),
+		client: tk.client,
+		redial: tk.cfg.Redial,
+		resume: func(cl *broker.Client) error {
+			tk.mu.Lock()
+			if tk.closed {
+				tk.mu.Unlock()
+				return errStopped
+			}
+			tk.cl = cl
+			watches := make([]*Watch, 0, len(tk.watches))
+			for _, w := range tk.watches {
+				watches = append(watches, w)
+			}
+			tk.mu.Unlock()
+			for _, w := range watches {
+				if err := w.resubscribe(cl); err != nil {
+					return err
+				}
+			}
+			for _, w := range watches {
+				w.sendInterest()
+			}
+			return nil
+		},
+		attempt: mReconnAttemptTracker,
+		success: mReconnOKTracker,
+	}
+	r.run()
 }
 
 
@@ -194,30 +267,32 @@ func (tk *Tracker) Track(ad *tdn.Advertisement, classes topic.ClassSet, handler 
 	// Subscribe to each selected derivative topic (§3.4: "subscribe to
 	// the appropriate constrained topics over which different types of
 	// trace info is published").
+	cl := tk.client()
 	for _, class := range classes.Classes() {
 		class := class
 		tp := topic.ForClass(ad.TopicID, class)
-		if err := tk.cfg.Client.Subscribe(tp, func(env *message.Envelope) {
+		handler := func(env *message.Envelope) {
 			w.handleTrace(class, env)
-		}); err != nil {
+		}
+		if err := cl.Subscribe(tp, handler); err != nil {
 			w.unsubscribeAll()
 			return nil, fmt.Errorf("core: subscribing to %s: %w", tp, err)
 		}
-		w.subs = append(w.subs, tp)
+		w.subs = append(w.subs, watchSub{tp, handler})
 	}
 	// Gauge-interest probes (§3.5).
 	probeTopic := topic.GaugeInterest(ad.TopicID)
-	if err := tk.cfg.Client.Subscribe(probeTopic, w.handleGaugeInterest); err != nil {
+	if err := cl.Subscribe(probeTopic, w.handleGaugeInterest); err != nil {
 		w.unsubscribeAll()
 		return nil, err
 	}
-	w.subs = append(w.subs, probeTopic)
+	w.subs = append(w.subs, watchSub{probeTopic, w.handleGaugeInterest})
 	// Key deliveries for secured traces (§5.1).
-	if err := tk.cfg.Client.Subscribe(keyTopic, w.handleKeyDelivery); err != nil {
+	if err := cl.Subscribe(keyTopic, w.handleKeyDelivery); err != nil {
 		w.unsubscribeAll()
 		return nil, err
 	}
-	w.subs = append(w.subs, keyTopic)
+	w.subs = append(w.subs, watchSub{keyTopic, w.handleKeyDelivery})
 
 	tk.mu.Lock()
 	tk.watches[ad.TopicID] = w
@@ -256,7 +331,10 @@ func (tk *Tracker) Close() error {
 	for _, w := range watches {
 		w.Stop()
 	}
-	return tk.cfg.Client.Close()
+	close(tk.done)
+	err := tk.client().Close()
+	tk.wg.Wait()
+	return err
 }
 
 // Entity returns the traced entity this watch follows.
@@ -303,10 +381,32 @@ func (w *Watch) Stop() {
 }
 
 func (w *Watch) unsubscribeAll() {
-	for _, tp := range w.subs {
-		_ = w.tk.cfg.Client.Unsubscribe(tp)
-	}
+	cl := w.tk.client()
+	w.mu.Lock()
+	subs := w.subs
 	w.subs = nil
+	w.mu.Unlock()
+	for _, s := range subs {
+		_ = cl.Unsubscribe(s.tp)
+	}
+}
+
+// resubscribe re-issues every subscription of this watch on a fresh
+// client after reconnect.
+func (w *Watch) resubscribe(cl *broker.Client) error {
+	w.mu.Lock()
+	stopped := w.stopped
+	subs := append([]watchSub(nil), w.subs...)
+	w.mu.Unlock()
+	if stopped {
+		return nil
+	}
+	for _, s := range subs {
+		if err := cl.Subscribe(s.tp, s.handler); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // handleGaugeInterest answers GUAGE_INTEREST probes (§3.5). The probe
@@ -335,7 +435,7 @@ func (w *Watch) sendInterest() {
 		KeyDeliveryTopic: w.keyTopic.String(),
 	}
 	env := message.New(message.TypeInterestResponse, topic.GaugeInterestResponse(w.traceTopic), w.tk.entity(), ir.Marshal())
-	if err := w.tk.cfg.Client.Publish(env); err != nil {
+	if err := w.tk.client().Publish(env); err != nil {
 		w.tk.log.Error("interest response publish failed", "entity", w.entity, "err", err)
 	}
 }

@@ -1,0 +1,139 @@
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// flapSchedule is a deterministic alternation of healthy and dark
+// bursts, derived from a seed: burst lengths are drawn from a seeded
+// RNG so the scenario is arbitrary but exactly reproducible.
+type flapSchedule struct {
+	bursts []burst
+}
+
+type burst struct {
+	up    bool
+	pings int
+}
+
+func makeFlapSchedule(seed int64, bursts, maxLen int) flapSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := flapSchedule{}
+	up := true
+	for i := 0; i < bursts; i++ {
+		s.bursts = append(s.bursts, burst{up: up, pings: 1 + rng.Intn(maxLen)})
+		up = !up
+	}
+	return s
+}
+
+// drive runs the schedule against a detector, one ping per step, and
+// returns the verdict trajectory as a printable string (for replay
+// comparison) plus the worst verdict observed.
+func (s flapSchedule) drive(t *testing.T, d *Detector, cfg Config) (string, Verdict) {
+	t.Helper()
+	now := time.Unix(0, 0)
+	trajectory := ""
+	worst := Healthy
+	for _, b := range s.bursts {
+		for i := 0; i < b.pings; i++ {
+			n := d.NextPingNumber(now)
+			if b.up {
+				if _, ok := d.HandleResponse(n, now.Add(2*time.Millisecond)); !ok {
+					t.Fatal("live response rejected")
+				}
+			}
+			now = now.Add(cfg.ResponseTimeout)
+			v, _ := d.Expire(now)
+			trajectory += fmt.Sprintf("%d", int(v))
+			if v > worst {
+				worst = v
+			}
+		}
+	}
+	return trajectory, worst
+}
+
+// TestFlapConvergence drives the detector through seeded flapping where
+// every dark burst stays below the failure threshold: suspicion may come
+// and go, but the detector must converge back to Healthy after each
+// recovery and never declare FAILED — the chaos-suite invariant that
+// link flaps alone don't kill a live entity.
+func TestFlapConvergence(t *testing.T) {
+	cfg := testConfig()
+	failAfter := cfg.SuspicionThreshold + cfg.FailureThreshold
+	for seed := int64(1); seed <= 5; seed++ {
+		d, err := NewDetector(cfg, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Dark bursts capped one miss short of the FAILED threshold.
+		s := makeFlapSchedule(seed, 40, failAfter-1)
+		_, worst := s.drive(t, d, cfg)
+		if worst == Failed {
+			t.Fatalf("seed %d: sub-threshold flapping reached FAILED", seed)
+		}
+		// Converge: one answered ping settles any residual suspicion.
+		now := time.Unix(1_000, 0)
+		n := d.NextPingNumber(now)
+		d.HandleResponse(n, now.Add(time.Millisecond))
+		if d.Verdict() != Healthy {
+			t.Fatalf("seed %d: verdict %v after recovery, want Healthy", seed, d.Verdict())
+		}
+		if d.ConsecutiveMisses() != 0 {
+			t.Fatalf("seed %d: residual misses after recovery", seed)
+		}
+	}
+}
+
+// TestFlapScheduleDeterministic replays the same seed twice and a
+// different seed once: identical seeds must yield identical verdict
+// trajectories (the fault framework's same-seed/same-schedule promise
+// applied to the detector), different seeds almost surely not.
+func TestFlapScheduleDeterministic(t *testing.T) {
+	cfg := testConfig()
+	run := func(seed int64) string {
+		d, err := NewDetector(cfg, time.Unix(0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		traj, _ := makeFlapSchedule(seed, 60, 6).drive(t, d, cfg)
+		return traj
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged:\n a=%s\n b=%s", a, b)
+	}
+	if c := run(43); c == a {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+// TestSustainedOutageFailsDespitePriorFlaps confirms the other side of
+// convergence: flapping history must not mask a real failure. After an
+// arbitrary flap run, a sustained dark burst past both thresholds must
+// reach FAILED.
+func TestSustainedOutageFailsDespitePriorFlaps(t *testing.T) {
+	cfg := testConfig()
+	d, err := NewDetector(cfg, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	makeFlapSchedule(7, 20, cfg.SuspicionThreshold).drive(t, d, cfg)
+	// Recover once, then go permanently dark.
+	now := time.Unix(2_000, 0)
+	n := d.NextPingNumber(now)
+	d.HandleResponse(n, now.Add(time.Millisecond))
+	misses := cfg.SuspicionThreshold + cfg.FailureThreshold
+	for i := 0; i < misses; i++ {
+		d.NextPingNumber(now)
+		now = now.Add(cfg.ResponseTimeout)
+		d.Expire(now)
+	}
+	if d.Verdict() != Failed {
+		t.Fatalf("verdict %v after %d consecutive misses, want Failed", d.Verdict(), misses)
+	}
+}

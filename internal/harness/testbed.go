@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/clock"
 	"entitytrace/internal/core"
@@ -49,6 +50,31 @@ type Options struct {
 	InterestTTL time.Duration
 	// KeyBits sizes all RSA keys (default secure.PaperRSABits).
 	KeyBits int
+	// ShapeSeed seeds the PerHopLatency shaping wrapper (default 1);
+	// experiments that sweep seeds set it explicitly.
+	ShapeSeed int64
+	// WrapTransport, when set, wraps the (possibly shaped) transport
+	// before any broker, entity or tracker uses it — the hook the chaos
+	// injector plugs into.
+	WrapTransport func(transport.Transport) transport.Transport
+	// ViolationLimit overrides the brokers' per-peer violation budget.
+	// Chaos corruption runs raise it so injected garbage does not
+	// exhaust a legitimate peer's allowance (§5.2 punishes real
+	// attackers; the injector is not one).
+	ViolationLimit int
+	// PersistentLinks connects the broker chain with backoff-paced
+	// persistent links instead of one-shot dials, so the topology heals
+	// after link flaps.
+	PersistentLinks bool
+	// LinkBackoff paces persistent-link redial (zero selects fast
+	// test-friendly defaults).
+	LinkBackoff backoff.Config
+	// Reconnect wires automatic redial + session resume into every
+	// entity and tracker the testbed starts.
+	Reconnect bool
+	// ReconnectBackoff paces entity/tracker redial (zero selects fast
+	// test-friendly defaults).
+	ReconnectBackoff backoff.Config
 }
 
 func (o *Options) setDefaults() {
@@ -78,6 +104,22 @@ func (o *Options) setDefaults() {
 	if o.KeyBits <= 0 {
 		o.KeyBits = secure.PaperRSABits
 	}
+	if o.ShapeSeed == 0 {
+		o.ShapeSeed = 1
+	}
+}
+
+// fastBackoff returns cfg, substituting test-friendly defaults (quick
+// initial retry, bounded cap, fixed seed) for a zero value.
+func fastBackoff(cfg backoff.Config, seed int64) backoff.Config {
+	if cfg == (backoff.Config{}) {
+		return backoff.Config{
+			Initial: 20 * time.Millisecond,
+			Max:     500 * time.Millisecond,
+			Seed:    seed,
+		}
+	}
+	return cfg
 }
 
 // Testbed is a running system: CA, TDN, broker chain with trace
@@ -112,7 +154,13 @@ func New(opts Options) (*Testbed, error) {
 		}
 	}
 	if opts.PerHopLatency > 0 {
-		tr = transport.NewShaped(tr, transport.ShapeConfig{Latency: opts.PerHopLatency, Seed: 1})
+		tr, err = transport.NewShaped(tr, transport.ShapeConfig{Latency: opts.PerHopLatency, Seed: opts.ShapeSeed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opts.WrapTransport != nil {
+		tr = opts.WrapTransport(tr)
 	}
 	tb.tr = tr
 
@@ -136,7 +184,11 @@ func New(opts Options) (*Testbed, error) {
 	for i := 0; i < opts.Brokers; i++ {
 		resolver := core.NewCachingResolver(core.NodeResolver(tb.Node))
 		guard := core.NewTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew)
-		b := broker.New(broker.Config{Name: fmt.Sprintf("hb%d", i), Guard: guard})
+		b := broker.New(broker.Config{
+			Name:           fmt.Sprintf("hb%d", i),
+			Guard:          guard,
+			ViolationLimit: opts.ViolationLimit,
+		})
 		l, err := tb.listen()
 		if err != nil {
 			tb.Close()
@@ -167,7 +219,10 @@ func New(opts Options) (*Testbed, error) {
 		tb.Managers = append(tb.Managers, mgr)
 		tb.Addrs = append(tb.Addrs, l.Addr())
 		if i > 0 {
-			if err := b.ConnectTo(tb.tr, tb.Addrs[i-1]); err != nil {
+			if opts.PersistentLinks {
+				b.ConnectToPersistentBackoff(tb.tr, tb.Addrs[i-1],
+					fastBackoff(opts.LinkBackoff, opts.ShapeSeed+int64(i)))
+			} else if err := b.ConnectTo(tb.tr, tb.Addrs[i-1]); err != nil {
 				tb.Close()
 				return nil, err
 			}
@@ -212,11 +267,12 @@ func (tb *Testbed) StartEntity(name string, brokerIdx int) (*core.TracedEntity, 
 	if err != nil {
 		return nil, err
 	}
-	cl, err := broker.Connect(tb.tr, tb.Addrs[brokerIdx], ident.EntityID(name))
+	addr := tb.Addrs[brokerIdx]
+	cl, err := broker.Connect(tb.tr, addr, ident.EntityID(name))
 	if err != nil {
 		return nil, err
 	}
-	ent, err := core.StartTracing(core.EntityConfig{
+	cfg := core.EntityConfig{
 		Identity:         id,
 		Verifier:         tb.Verifier,
 		Registry:         tb.Node,
@@ -226,7 +282,14 @@ func (tb *Testbed) StartEntity(name string, brokerIdx int) (*core.TracedEntity, 
 		AllowAnyTracker:  true,
 		TokenKeyBits:     tb.Opts.KeyBits,
 		TokenValidity:    time.Hour,
-	})
+	}
+	if tb.Opts.Reconnect {
+		cfg.Redial = func() (*broker.Client, error) {
+			return broker.Connect(tb.tr, addr, ident.EntityID(name))
+		}
+		cfg.ReconnectBackoff = fastBackoff(tb.Opts.ReconnectBackoff, tb.Opts.ShapeSeed)
+	}
+	ent, err := core.StartTracing(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -252,17 +315,25 @@ func (tb *Testbed) StartTracker(name string, brokerIdx int, entity string, class
 	if err != nil {
 		return nil, err
 	}
-	cl, err := broker.Connect(tb.tr, tb.Addrs[brokerIdx], ident.EntityID(name))
+	addr := tb.Addrs[brokerIdx]
+	cl, err := broker.Connect(tb.tr, addr, ident.EntityID(name))
 	if err != nil {
 		return nil, err
 	}
-	tk, err := core.NewTracker(core.TrackerConfig{
+	cfg := core.TrackerConfig{
 		Identity:  id,
 		Verifier:  tb.Verifier,
 		Discovery: tb.Node,
 		Resolver:  core.NewCachingResolver(core.NodeResolver(tb.Node)),
 		Client:    cl,
-	})
+	}
+	if tb.Opts.Reconnect {
+		cfg.Redial = func() (*broker.Client, error) {
+			return broker.Connect(tb.tr, addr, ident.EntityID(name))
+		}
+		cfg.ReconnectBackoff = fastBackoff(tb.Opts.ReconnectBackoff, tb.Opts.ShapeSeed+1)
+	}
+	tk, err := core.NewTracker(cfg)
 	if err != nil {
 		cl.Close()
 		return nil, err

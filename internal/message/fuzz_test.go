@@ -28,6 +28,22 @@ func FuzzUnmarshalEnvelope(f *testing.F) {
 	f.Add(empty.Marshal()) // span trailer with zero hops
 	f.Add([]byte{})
 	f.Add([]byte{1})
+	// Truncated span trailers: cut the spanned wire at several points
+	// inside the trailer so mutations start from half-parsed hop records.
+	spannedWire := spanned.Marshal()
+	plainLen := len(e.Marshal())
+	for _, cut := range []int{1, 2, len(spanned.Marshal()[plainLen:]) / 2, len(spannedWire) - plainLen - 1} {
+		if cut > 0 && plainLen+cut < len(spannedWire) {
+			f.Add(append([]byte(nil), spannedWire[:plainLen+cut]...))
+		}
+	}
+	// Flipped signature bytes: parseable envelopes whose signatures can
+	// no longer verify, seeding the corrupted-frame handling paths.
+	for _, pos := range []int{0, len(e.Signature) / 2, len(e.Signature) - 1} {
+		flipped := e.Clone()
+		flipped.Signature[pos] ^= 0xFF
+		f.Add(flipped.Marshal())
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := Unmarshal(data)
 		if err != nil {

@@ -1,0 +1,128 @@
+package token
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"entitytrace/internal/clock"
+)
+
+// TestExpiryBoundaries drives a fake clock across every edge of the
+// validity window: issuance, the exact NotBefore/NotAfter instants, and
+// each side of the skew tolerance (§4.3's NTP-bounded clock model).
+func TestExpiryBoundaries(t *testing.T) {
+	start := time.Unix(1_000_000, 0)
+	const validity = time.Minute
+	d := grant(t, RightPublish, validity, start)
+	notAfter := start.Add(validity)
+
+	// Chronological order: the fake clock only moves forward (Set
+	// refuses to travel back), so it starts at the earliest probe.
+	cases := []struct {
+		name    string
+		at      time.Time
+		skew    time.Duration
+		wantErr error
+	}{
+		{"before window beyond skew", start.Add(-MaxClockSkew - time.Nanosecond), MaxClockSkew, ErrExpired},
+		{"before window within skew", start.Add(-MaxClockSkew), MaxClockSkew, nil},
+		{"exactly NotBefore", start, MaxClockSkew, nil},
+		{"mid window", start.Add(validity / 2), MaxClockSkew, nil},
+		{"exactly NotAfter", notAfter, MaxClockSkew, nil},
+		{"expired with tighter skew", notAfter.Add(MinClockSkew + time.Nanosecond), MinClockSkew, ErrExpired},
+		{"expired within skew", notAfter.Add(MaxClockSkew), MaxClockSkew, nil},
+		{"expired one tick beyond skew", notAfter.Add(MaxClockSkew + time.Nanosecond), MaxClockSkew, ErrExpired},
+		{"expired long after", notAfter.Add(time.Hour), MaxClockSkew, ErrExpired},
+	}
+	fc := clock.NewFake(cases[0].at)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fc.Set(tc.at)
+			_, err := d.Token.Verify(ownerPair.Public, fc.Now(), tc.skew, RightPublish)
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("Verify at %v: %v", tc.at, err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("Verify at %v: err=%v, want %v", tc.at, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestClockSkewAsymmetry checks that the skew tolerance widens the
+// window on both ends and that negative skew selects the default.
+func TestClockSkewAsymmetry(t *testing.T) {
+	start := time.Unix(2_000_000, 0)
+	d := grant(t, RightPublish, time.Minute, start)
+	end := start.Add(time.Minute)
+
+	// Negative skew selects DefaultClockSkew: a point inside the default
+	// tolerance verifies, a point outside does not.
+	if _, err := d.Token.Verify(ownerPair.Public, end.Add(DefaultClockSkew), -1, RightPublish); err != nil {
+		t.Fatalf("default-skew grace rejected: %v", err)
+	}
+	if _, err := d.Token.Verify(ownerPair.Public, end.Add(DefaultClockSkew+time.Millisecond), -1, RightPublish); !errors.Is(err, ErrExpired) {
+		t.Fatalf("beyond default skew accepted, err=%v", err)
+	}
+	// Zero skew means the window is exact.
+	if _, err := d.Token.Verify(ownerPair.Public, end.Add(time.Nanosecond), 0, RightPublish); !errors.Is(err, ErrExpired) {
+		t.Fatalf("zero-skew grace accepted, err=%v", err)
+	}
+	if _, err := d.Token.Verify(ownerPair.Public, start.Add(-time.Nanosecond), 0, RightPublish); !errors.Is(err, ErrExpired) {
+		t.Fatalf("zero-skew early accepted, err=%v", err)
+	}
+}
+
+// TestRevocationList exercises revoke/reuse/compact: a verified token
+// that gets revoked must fail the guard-side Check until it would have
+// expired anyway, at which point Compact retires the entry.
+func TestRevocationList(t *testing.T) {
+	start := time.Unix(3_000_000, 0)
+	fc := clock.NewFake(start)
+	const validity = time.Minute
+	d := grant(t, RightPublish, validity, fc.Now())
+	rl := NewRevocationList()
+
+	if err := rl.Check(d.Token); err != nil {
+		t.Fatalf("fresh token flagged revoked: %v", err)
+	}
+	rl.Revoke(d.Token)
+	if !rl.Revoked(d.Token) {
+		t.Fatal("revoked token not flagged")
+	}
+	// Reuse after revoke: the signature and window still verify — the
+	// cryptography has no revocation concept — so the guard must consult
+	// the list.
+	if _, err := d.Token.Verify(ownerPair.Public, fc.Now(), DefaultClockSkew, RightPublish); err != nil {
+		t.Fatalf("revoked token should still pass pure Verify: %v", err)
+	}
+	if err := rl.Check(d.Token); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("Check = %v, want ErrRevoked", err)
+	}
+
+	// A reissued token (fresh delegate key, later window) is a distinct
+	// digest and is not covered by the old revocation.
+	fc.Advance(time.Second)
+	d2 := grant(t, RightPublish, validity, fc.Now())
+	if rl.Revoked(d2.Token) {
+		t.Fatal("reissued token inherited revocation")
+	}
+
+	// Compact keeps the entry while the token could still be replayed...
+	fc.Set(start.Add(validity))
+	if n := rl.Compact(fc.Now(), DefaultClockSkew); n != 0 {
+		t.Fatalf("Compact dropped %d live entries", n)
+	}
+	// ...and drops it once the window plus skew has passed.
+	fc.Set(start.Add(validity + DefaultClockSkew + time.Millisecond))
+	if n := rl.Compact(fc.Now(), DefaultClockSkew); n != 1 {
+		t.Fatalf("Compact dropped %d entries, want 1", n)
+	}
+	if rl.Len() != 0 {
+		t.Fatalf("list length %d after compact", rl.Len())
+	}
+	if rl.Revoked(d.Token) {
+		t.Fatal("expired revocation still reported")
+	}
+}

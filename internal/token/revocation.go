@@ -1,0 +1,82 @@
+package token
+
+import (
+	"crypto/sha256"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrRevoked reports a token that was explicitly revoked before use.
+var ErrRevoked = errors.New("token: revoked")
+
+// Digest identifies a token by the SHA-256 of its signed byte image; two
+// tokens share a digest only if every signed field matches.
+func (t *Token) Digest() [32]byte {
+	return sha256.Sum256(t.signingBytes())
+}
+
+// RevocationList is a set of explicitly revoked tokens. The paper ties a
+// token's life primarily to its short validity window (§4.3); revocation
+// covers the gap between a compromise and the window's natural end —
+// e.g. a traced entity rotating its trace topic after a suspected
+// broker compromise (§5.2). Entries expire with the token they revoke,
+// so the list stays bounded by the number of live tokens.
+type RevocationList struct {
+	mu      sync.Mutex
+	revoked map[[32]byte]int64 // digest -> token NotAfter (unix nanos)
+}
+
+// NewRevocationList creates an empty revocation list.
+func NewRevocationList() *RevocationList {
+	return &RevocationList{revoked: make(map[[32]byte]int64)}
+}
+
+// Revoke marks the token revoked until its validity window ends.
+func (rl *RevocationList) Revoke(t *Token) {
+	rl.mu.Lock()
+	rl.revoked[t.Digest()] = t.NotAfter
+	rl.mu.Unlock()
+}
+
+// Revoked reports whether t is on the list.
+func (rl *RevocationList) Revoked(t *Token) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	_, ok := rl.revoked[t.Digest()]
+	return ok
+}
+
+// Check returns ErrRevoked when t is on the list and nil otherwise, for
+// composition with Verify in guard paths.
+func (rl *RevocationList) Check(t *Token) error {
+	if rl.Revoked(t) {
+		return ErrRevoked
+	}
+	return nil
+}
+
+// Compact drops entries whose tokens have expired on their own (past
+// NotAfter plus skew) — revoking them no longer adds anything.
+func (rl *RevocationList) Compact(now time.Time, skew time.Duration) int {
+	if skew < 0 {
+		skew = DefaultClockSkew
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	dropped := 0
+	for d, notAfter := range rl.revoked {
+		if now.After(time.Unix(0, notAfter).Add(skew)) {
+			delete(rl.revoked, d)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Len reports the number of live revocations.
+func (rl *RevocationList) Len() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.revoked)
+}

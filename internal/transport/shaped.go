@@ -1,10 +1,17 @@
 package transport
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"time"
 )
+
+// ErrSeedRequired reports a ShapeConfig that requests randomized
+// behaviour (loss or jitter) without an explicit seed. Deriving a seed
+// implicitly (e.g. from the wall clock) would make "deterministic"
+// experiments silently flaky, so callers must choose one.
+var ErrSeedRequired = errors.New("transport: ShapeConfig.Seed must be non-zero when LossRate or Jitter is set")
 
 // Shaped wraps another transport, injecting deterministic-seedable
 // artificial latency and loss on received frames. The paper's testbed is
@@ -24,14 +31,20 @@ type ShapeConfig struct {
 	Jitter time.Duration
 	// LossRate drops frames with the given probability in [0, 1).
 	LossRate float64
-	// Seed makes the loss/jitter sequence reproducible; 0 derives a
-	// seed from the current time.
+	// Seed makes the loss/jitter sequence reproducible. It is required
+	// (non-zero) whenever LossRate or Jitter introduces randomness;
+	// pure-latency shaping may leave it zero.
 	Seed int64
 }
 
-// NewShaped wraps inner with the given shaping.
-func NewShaped(inner Transport, cfg ShapeConfig) *Shaped {
-	return &Shaped{inner: inner, cfg: cfg}
+// NewShaped wraps inner with the given shaping. It fails with
+// ErrSeedRequired if cfg requests randomized behaviour without an
+// explicit seed.
+func NewShaped(inner Transport, cfg ShapeConfig) (*Shaped, error) {
+	if cfg.Seed == 0 && (cfg.LossRate > 0 || cfg.Jitter > 0) {
+		return nil, ErrSeedRequired
+	}
+	return &Shaped{inner: inner, cfg: cfg}, nil
 }
 
 // Name implements Transport.
@@ -79,11 +92,9 @@ type shapedConn struct {
 }
 
 func newShapedConn(c Conn, cfg ShapeConfig) *shapedConn {
-	seed := cfg.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	return &shapedConn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	// NewShaped guarantees Seed is explicit whenever randomness is in
+	// play, so the sequence below replays across runs.
+	return &shapedConn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Recv applies loss and latency on the receive path; shaping receive

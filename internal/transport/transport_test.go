@@ -365,7 +365,10 @@ func TestRegistry(t *testing.T) {
 
 func TestShapedLatency(t *testing.T) {
 	base := NewInproc()
-	shaped := NewShaped(base, ShapeConfig{Latency: 20 * time.Millisecond, Seed: 1})
+	shaped, err := NewShaped(base, ShapeConfig{Latency: 20 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := shaped.Listen("lat")
 	if err != nil {
 		t.Fatal(err)
@@ -393,9 +396,28 @@ func TestShapedLatency(t *testing.T) {
 	}
 }
 
+func TestShapedRequiresExplicitSeed(t *testing.T) {
+	base := NewInproc()
+	for _, cfg := range []ShapeConfig{
+		{LossRate: 0.1},
+		{Jitter: time.Millisecond},
+	} {
+		if _, err := NewShaped(base, cfg); !errors.Is(err, ErrSeedRequired) {
+			t.Fatalf("NewShaped(%+v) err = %v, want ErrSeedRequired", cfg, err)
+		}
+	}
+	// Pure-latency shaping has no randomness and needs no seed.
+	if _, err := NewShaped(base, ShapeConfig{Latency: time.Millisecond}); err != nil {
+		t.Fatalf("latency-only shaping rejected: %v", err)
+	}
+}
+
 func TestShapedLoss(t *testing.T) {
 	base := NewInproc()
-	shaped := NewShaped(base, ShapeConfig{LossRate: 0.5, Seed: 42})
+	shaped, err := NewShaped(base, ShapeConfig{LossRate: 0.5, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l, err := shaped.Listen("loss")
 	if err != nil {
 		t.Fatal(err)
