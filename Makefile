@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover bench fuzz chaos repro examples clean
+.PHONY: all build test race verify cover bench flood fuzz chaos repro examples clean
 
 all: build test
 
@@ -21,6 +21,7 @@ verify: build
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
 	$(GO) test -race -run 'TestChaos' -count=1 .
+	$(GO) test -race -run 'TestExportFloodBench' -count=1 .
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
 # injector, failure-detector and reconnect tests, all race-enabled. Every
@@ -36,6 +37,13 @@ cover:
 # Full benchmark sweep (the testing.B mirror of the paper's evaluation).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Overload-protection benchmark: healthy throughput/latency vs. the same
+# broker under a flooding publisher and a stalled consumer. Race-enabled
+# so the protections are exercised under contention; writes
+# BENCH_flood.json.
+flood:
+	$(GO) test -race -run 'TestExportFloodBench' -count=1 -v .
 
 # Short fuzz campaigns over every wire parser.
 fuzz:

@@ -15,9 +15,12 @@ package entitytrace
 
 import (
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"entitytrace/internal/broker"
 	"entitytrace/internal/chaos"
 	"entitytrace/internal/core"
 	"entitytrace/internal/failure"
@@ -345,5 +348,219 @@ func TestChaosBandwidthCapDelaysButDelivers(t *testing.T) {
 	}
 	if !journalHas(inj, "bw", "delay=") {
 		t.Fatal("bandwidth cap never delayed a frame; scenario is vacuous")
+	}
+}
+
+// stallRecvTransport wraps a transport so a dialed connection delivers
+// its first passRecvs inbound frames normally and then stops reading —
+// the consumer equivalent of a wedged process: it still subscribes and
+// acks, then never drains another byte.
+type stallRecvTransport struct {
+	transport.Transport
+	passRecvs int
+}
+
+func (s *stallRecvTransport) Dial(addr string) (transport.Conn, error) {
+	conn, err := s.Transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &stallRecvConn{Conn: conn, pass: int32(s.passRecvs), stalled: make(chan struct{})}, nil
+}
+
+type stallRecvConn struct {
+	transport.Conn
+	pass    int32
+	stalled chan struct{}
+	once    sync.Once
+}
+
+func (c *stallRecvConn) Recv() ([]byte, error) {
+	if atomic.AddInt32(&c.pass, -1) >= 0 {
+		return c.Conn.Recv()
+	}
+	<-c.stalled
+	return nil, transport.ErrClosed
+}
+
+func (c *stallRecvConn) Close() error {
+	c.once.Do(func() { close(c.stalled) })
+	return c.Conn.Close()
+}
+
+// TestChaosSlowConsumerEvictedHealthyTrackerFlows is the head-of-line
+// isolation scenario: a consumer subscribed to the same trace topic as a
+// healthy tracker stops reading mid-run while a flooder piles frames
+// onto it. The broker must keep state traces flowing to the healthy
+// tracker within the usual delivery bounds (no fan-out blocked behind
+// the stalled pipe), shed the stalled peer's backlog, evict it with the
+// slow-consumer reason, and quarantine its principal.
+func TestChaosSlowConsumerEvictedHealthyTrackerFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	tb, _ := chaosHarness(t, 29, harness.Options{
+		Brokers:              1,
+		Detector:             tolerantDetector(),
+		EgressQueue:          64,
+		SlowConsumerDeadline: 100 * time.Millisecond,
+	})
+	ent, err := tb.StartEntity("hol-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("hol-tracker", 0, "hol-entity", topic.NewClassSet(topic.ClassStateTransitions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	// The staller subscribes to the same trace topic as the healthy
+	// tracker plus the flood topic, acks both subscriptions, then stops
+	// reading forever.
+	holTopic := topic.MustParse("/chaos/hol")
+	stallTr := &stallRecvTransport{Transport: tb.Transport(), passRecvs: 2}
+	staller, err := broker.Connect(stallTr, tb.Addrs[0], "hol-staller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer staller.Close()
+	traceTopic := topic.StateTransitions(h.Watch.TraceTopic())
+	if err := staller.Subscribe(traceTopic, func(*message.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := staller.Subscribe(holTopic, func(*message.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	flooder, err := broker.Connect(tb.Transport(), tb.Addrs[0], "hol-flooder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flooder.Close()
+
+	b := tb.Brokers[0]
+	// Saturate the stalled peer's pipe, then prove healthy delivery is
+	// not blocked behind it while it is saturated-but-connected.
+	for i := 0; i < 1500; i++ {
+		if err := flooder.Publish(message.New(message.TypeData, holTopic, "hol-flooder", []byte("flood"))); err != nil {
+			t.Fatalf("flooder publish %d: %v", i, err)
+		}
+	}
+	driveState(t, ent, h, message.StateRecovering, log, 15*time.Second)
+
+	// Keep the pressure on until the slow-consumer deadline trips.
+	floodDeadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(floodDeadline) && b.Snapshot().SlowConsumerEvictions == 0 {
+		for i := 0; i < 100; i++ {
+			_ = flooder.Publish(message.New(message.TypeData, holTopic, "hol-flooder", []byte("flood")))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s := b.Snapshot()
+	if s.SlowConsumerEvictions == 0 {
+		t.Fatal("stalled consumer never evicted")
+	}
+	if s.EgressSheds == 0 {
+		t.Fatal("no frames shed from the stalled peer's queue")
+	}
+
+	// Healthy delivery continues after the eviction.
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	// The evicted principal is quarantined: its reconnect is refused with
+	// the typed reason, so its client backs off instead of hot-looping.
+	recl, err := broker.Connect(tb.Transport(), tb.Addrs[0], "hol-staller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recl.Close()
+	select {
+	case <-recl.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("quarantined reconnect not refused")
+	}
+	if r := recl.DisconnectReason(); r != broker.ReasonQuarantined {
+		t.Fatalf("reconnect DisconnectReason = %v, want quarantined", r)
+	}
+	if b.Snapshot().QuarantineRejects == 0 {
+		t.Fatal("quarantine reject not counted")
+	}
+}
+
+// TestChaosFloodingPublisherThrottledNotStarving verifies ingress
+// admission control under load: an authorized client flooding as fast as
+// it can is throttled at the broker (counted, not evicted — the
+// violation budget here is effectively unlimited), while a well-behaved
+// entity's state traces keep delivering through the same broker.
+func TestChaosFloodingPublisherThrottledNotStarving(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite skipped in short mode")
+	}
+	tb, _ := chaosHarness(t, 31, harness.Options{
+		Brokers:      1,
+		Detector:     tolerantDetector(),
+		PublishRate:  200,
+		PublishBurst: 50,
+	})
+	ent, err := tb.StartEntity("fair-entity", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("fair-tracker", 0, "fair-entity", topic.NewClassSet(topic.ClassStateTransitions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := newStateLog()
+	driveState(t, ent, h, message.StateReady, log, 15*time.Second)
+
+	flooder, err := broker.Connect(tb.Transport(), tb.Addrs[0], "rate-flooder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flooder.Close()
+	floodTopic := topic.MustParse("/chaos/flood")
+	stop := make(chan struct{})
+	var floodWG sync.WaitGroup
+	floodWG.Add(1)
+	go func() {
+		defer floodWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = flooder.Publish(message.New(message.TypeData, floodTopic, "rate-flooder", []byte("x")))
+		}
+	}()
+
+	// Wait until admission control is demonstrably engaged, then prove
+	// healthy traffic keeps delivering while the flood continues.
+	b := tb.Brokers[0]
+	throttleDeadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(throttleDeadline) && b.Snapshot().Throttled < 100 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if b.Snapshot().Throttled < 100 {
+		t.Fatal("flooding publisher was never throttled; scenario is vacuous")
+	}
+	for i := 1; i <= 3; i++ {
+		driveState(t, ent, h, core.StateForRound(i), log, 20*time.Second)
+	}
+	close(stop)
+	floodWG.Wait()
+
+	s := b.Snapshot()
+	// Throttling is admission control, not punishment at this violation
+	// budget: the flooder must still be connected.
+	select {
+	case <-flooder.Done():
+		t.Fatalf("flooder evicted (reason %v) despite unlimited violation budget", flooder.DisconnectReason())
+	default:
+	}
+	if s.Disconnects != 0 {
+		t.Fatalf("unexpected disconnects during throttling run: %+v", s)
 	}
 }

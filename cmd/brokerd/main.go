@@ -42,6 +42,11 @@ func main() {
 		linkRetryMax  = flag.Duration("link-retry-max", 30*time.Second, "redial delay ceiling for the -connect persistent link")
 		dirAddr       = flag.String("dir", "", "broker directory to register with (optional)")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7190) serving /stats, /metrics, /healthz and /debug/pprof")
+		egressQueue   = flag.Int("egress-queue", broker.DefaultEgressQueue, "per-peer outbound queue bound in frames; oldest data is shed when full")
+		slowDeadline  = flag.Duration("slow-consumer-deadline", broker.DefaultSlowConsumerDeadline, "how long a peer's egress queue may stay saturated before eviction")
+		pubRate       = flag.Float64("pub-rate", 0, "per-publisher admission rate in envelopes/sec (0 disables rate limiting)")
+		pubBurst      = flag.Int("pub-burst", 0, "token-bucket burst for -pub-rate (0 means max(1, rate))")
+		quarantine    = flag.Duration("quarantine", broker.DefaultQuarantineDuration, "how long an evicted principal's reconnects are refused (negative disables)")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
 	)
@@ -91,9 +96,14 @@ func main() {
 		}))
 	}
 	b := broker.New(broker.Config{
-		Name:  brokerName,
-		Guard: core.NewTokenGuard(resolver, verifier, nil, token.DefaultClockSkew),
-		Log:   log,
+		Name:                 brokerName,
+		Guard:                core.NewTokenGuard(resolver, verifier, nil, token.DefaultClockSkew),
+		EgressQueue:          *egressQueue,
+		SlowConsumerDeadline: *slowDeadline,
+		PublishRate:          *pubRate,
+		PublishBurst:         *pubBurst,
+		QuarantineDuration:   *quarantine,
+		Log:                  log,
 	})
 	l, err := tr.Listen(*listen)
 	if err != nil {
@@ -183,6 +193,10 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker) {
 			"violations":     snap.Violations,
 			"disconnects":    snap.Disconnects,
 			"expired":        snap.Expired,
+			"egressSheds":           snap.EgressSheds,
+			"slowConsumerEvictions": snap.SlowConsumerEvictions,
+			"throttled":             snap.Throttled,
+			"quarantineRejects":     snap.QuarantineRejects,
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)

@@ -1,0 +1,240 @@
+// Flood benchmark: quantifies the broker's overload protection by
+// measuring delivered throughput and per-message latency for a healthy
+// publisher/subscriber pair, first on an idle broker and then while two
+// misbehaving peers attack it — a flooding publisher held back by
+// per-publisher rate limiting and a stalled consumer that must be shed
+// and evicted rather than block the fan-out. Results are archived in
+// BENCH_flood.json alongside BENCH_obs.json.
+//
+// Run with: make flood (race-enabled; also part of make verify)
+package entitytrace
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// floodScenario summarizes one measured run for BENCH_flood.json.
+type floodScenario struct {
+	Sent       int     `json:"sent"`
+	Received   int     `json:"received"`
+	Throughput float64 `json:"delivered_per_sec"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// measureFlood publishes count timestamped envelopes on tp at the given
+// pace and waits for their receipt, reading latencies out of hist. The
+// receipt counter is shared with the subscriber handler.
+func measureFlood(t *testing.T, pub *broker.Client, tp topic.Topic, received *atomic.Int64, hist *obs.Histogram, count int, pace time.Duration) floodScenario {
+	t.Helper()
+	received.Store(0)
+	before := hist.Count()
+	start := time.Now()
+	payload := make([]byte, 16)
+	for i := 0; i < count; i++ {
+		binary.BigEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
+		if err := pub.Publish(message.New(message.TypeData, tp, "flood-pub", payload)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(pace)
+	}
+	// Receipt is asynchronous; wait until deliveries stop arriving or
+	// everything sent has landed.
+	deadline := time.Now().Add(10 * time.Second)
+	last := int64(-1)
+	for time.Now().Before(deadline) {
+		n := received.Load()
+		if int(n) >= count {
+			break
+		}
+		if n == last {
+			break // drained: whatever is missing was shed
+		}
+		last = n
+		time.Sleep(50 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	snap := hist.Snapshot()
+	return floodScenario{
+		Sent:       count,
+		Received:   int(received.Load()),
+		Throughput: float64(hist.Count()-before) / elapsed.Seconds(),
+		P50Ms:      snap.P50,
+		P99Ms:      snap.P99,
+		MaxMs:      snap.Max,
+	}
+}
+
+// TestExportFloodBench measures the healthy pair's delivered throughput
+// and latency distribution on an idle broker, then repeats the run while
+// a flooding publisher and a stalled consumer misbehave, and writes both
+// to BENCH_flood.json. The protections must hold: the flooder is
+// throttled (not serviced), the stalled consumer is shed and evicted,
+// and the healthy pair still gets its traffic through.
+func TestExportFloodBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping BENCH_flood.json export in -short mode")
+	}
+	const (
+		msgs        = 2000
+		pace        = 500 * time.Microsecond // ~2000 msgs/s offered load
+		publishRate = 5000                   // flooder's ~50k/s tight loop is mostly refused
+	)
+	tr := transport.NewInproc()
+	bk := broker.New(broker.Config{
+		Name:                 "flood-bench",
+		EgressQueue:          256,
+		SlowConsumerDeadline: 200 * time.Millisecond,
+		PublishRate:          publishRate,
+		PublishBurst:         1000,
+		// Keep the flooder connected (merely throttled) for the whole
+		// measured window instead of escalating to a DoS eviction.
+		ViolationLimit: 1 << 20,
+	})
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Serve(l)
+	defer bk.Close()
+
+	tp := topic.MustParse("/bench/flood/measured")
+	reg := obs.NewRegistry()
+	hHealthy := reg.Histogram("flood_healthy_ms", nil)
+	hDegraded := reg.Histogram("flood_degraded_ms", nil)
+
+	sub, err := broker.Connect(tr, l.Addr(), "flood-sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var received atomic.Int64
+	var hist atomic.Pointer[obs.Histogram]
+	hist.Store(hHealthy)
+	if err := sub.Subscribe(tp, func(env *message.Envelope) {
+		if len(env.Payload) >= 8 {
+			sent := int64(binary.BigEndian.Uint64(env.Payload))
+			hist.Load().Observe(float64(time.Now().UnixNano()-sent) / 1e6)
+		}
+		received.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := broker.Connect(tr, l.Addr(), "flood-pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Warm up the path (goroutine scheduling, inproc buffers) into a
+	// throwaway histogram so the healthy baseline isn't skewed by
+	// first-run effects.
+	hWarm := reg.Histogram("flood_warmup_ms", nil)
+	hist.Store(hWarm)
+	measureFlood(t, pub, tp, &received, hWarm, 200, pace)
+	hist.Store(hHealthy)
+
+	healthy := measureFlood(t, pub, tp, &received, hHealthy, msgs, pace)
+	if healthy.Received < msgs*95/100 {
+		t.Fatalf("healthy run delivered %d/%d", healthy.Received, msgs)
+	}
+
+	// Degrade the broker: a publisher flooding a side topic as fast as it
+	// can, and a consumer of the measured topic that wedges after its
+	// subscribe ack and never drains another frame.
+	flooder, err := broker.Connect(tr, l.Addr(), "flood-offender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flooder.Close()
+	floodTp := topic.MustParse("/bench/flood/noise")
+	stop := make(chan struct{})
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		junk := make([]byte, 16)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if flooder.Publish(message.New(message.TypeData, floodTp, "flood-offender", junk)) != nil {
+				return
+			}
+		}
+	}()
+	stallTr := &stallRecvTransport{Transport: tr, passRecvs: 2}
+	staller, err := broker.Connect(stallTr, l.Addr(), "flood-staller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer staller.Close()
+	if err := staller.Subscribe(tp, func(*message.Envelope) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	hist.Store(hDegraded)
+	degraded := measureFlood(t, pub, tp, &received, hDegraded, msgs, pace)
+	close(stop)
+	<-floodDone
+	if degraded.Received < msgs*90/100 {
+		t.Fatalf("degraded run delivered %d/%d: misbehaving peers starved healthy traffic", degraded.Received, msgs)
+	}
+
+	// The measured window must have exercised the protections; keep
+	// publishing until the stalled consumer's eviction is recorded in
+	// case it was still inside its deadline when the run ended.
+	evictDeadline := time.Now().Add(15 * time.Second)
+	for bk.Snapshot().SlowConsumerEvictions == 0 && time.Now().Before(evictDeadline) {
+		// Short payload: the subscriber skips the latency sample.
+		if err := pub.Publish(message.New(message.TypeData, tp, "flood-pub", nil)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := bk.Snapshot()
+	if snap.Throttled == 0 {
+		t.Fatal("flooding publisher was never throttled")
+	}
+	if snap.SlowConsumerEvictions == 0 {
+		t.Fatal("stalled consumer was never evicted")
+	}
+
+	out := struct {
+		Description string        `json:"description"`
+		PublishRate float64       `json:"publish_rate_per_sec"`
+		EgressQueue int           `json:"egress_queue_frames"`
+		Healthy     floodScenario `json:"healthy"`
+		Degraded    floodScenario `json:"with_misbehaving_peers"`
+		Broker      broker.Stats  `json:"broker_stats"`
+	}{
+		Description: "delivered throughput and latency for a healthy publisher/subscriber pair on an idle broker vs. under a rate-limited flooding publisher plus a stalled (shed+evicted) consumer",
+		PublishRate: publishRate,
+		EgressQueue: 256,
+		Healthy:     healthy,
+		Degraded:    degraded,
+		Broker:      snap,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_flood.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_flood.json (healthy p99=%.3fms degraded p99=%.3fms throttled=%d sheds=%d evictions=%d)",
+		healthy.P99Ms, degraded.P99Ms, snap.Throttled, snap.EgressSheds, snap.SlowConsumerEvictions)
+}

@@ -44,13 +44,43 @@ type Config struct {
 	Name string
 	// Guard optionally vets inbound messages (may be nil).
 	Guard Guard
-	// ViolationLimit is the number of guard/authorization violations
-	// tolerated per peer before the broker "will terminate communications
-	// with such an entity" (§5.2). Zero means DefaultViolationLimit.
+	// ViolationLimit is the decaying violation score at which the broker
+	// "will terminate communications with such an entity" (§5.2). A
+	// plain violation weighs 1; throttled publishes weigh less. Zero
+	// means DefaultViolationLimit.
 	ViolationLimit int
+	// ViolationHalfLife is the half-life of each peer's violation score:
+	// the accumulated score halves every such interval, so sporadic
+	// legitimate failures never add up to an unjust disconnect. Zero
+	// means DefaultViolationHalfLife; negative disables decay (the
+	// seed's monotonic-counter behaviour).
+	ViolationHalfLife time.Duration
 	// DedupeWindow is the number of recently seen message IDs remembered
 	// for duplicate suppression. Zero means DefaultDedupeWindow.
 	DedupeWindow int
+	// EgressQueue bounds each peer's outbound data queue (frames). When
+	// the queue is full the oldest data frame is shed to admit the new
+	// one; control frames have their own priority lane and are never
+	// shed. Zero means DefaultEgressQueue.
+	EgressQueue int
+	// SlowConsumerDeadline is how long a peer's egress queue may stay
+	// saturated (continuously shedding) before the peer is classified a
+	// slow consumer and evicted with a typed DISCONNECT. Zero means
+	// DefaultSlowConsumerDeadline.
+	SlowConsumerDeadline time.Duration
+	// PublishRate, when positive, throttles each client publisher to
+	// this many envelopes per second (token bucket, burst PublishBurst)
+	// at ingress — before the envelope is unmarshaled or its signature
+	// verified. Broker links are exempt (they aggregate many sources).
+	// Zero disables rate limiting.
+	PublishRate float64
+	// PublishBurst is the token-bucket depth for PublishRate. Zero
+	// selects max(1, PublishRate).
+	PublishBurst int
+	// QuarantineDuration is how long an evicted principal's reconnects
+	// are refused (typed DISCONNECT(quarantined) at hello). Zero means
+	// DefaultQuarantineDuration; negative disables quarantine.
+	QuarantineDuration time.Duration
 	// Logf receives diagnostic output; nil silences it. Superseded by
 	// Log but still honoured (wrapped in a structured logger) so older
 	// callers keep working.
@@ -65,19 +95,36 @@ type Config struct {
 
 // Defaults for Config zero values.
 const (
-	DefaultViolationLimit = 8
-	DefaultDedupeWindow   = 8192
+	DefaultViolationLimit       = 8
+	DefaultViolationHalfLife    = 30 * time.Second
+	DefaultDedupeWindow         = 8192
+	DefaultEgressQueue          = 512
+	DefaultSlowConsumerDeadline = 3 * time.Second
+	DefaultQuarantineDuration   = 30 * time.Second
 )
+
+// throttleViolationWeight is how much one rate-limited publish adds to
+// the offender score: sustained flooding escalates to a DoS disconnect
+// (§5.2 repeat offenders) while a short burst merely gets throttled.
+const throttleViolationWeight = 0.125
+
+// evictGrace is how long an eviction waits for the writer to flush the
+// typed DISCONNECT before the connection is force-closed regardless.
+const evictGrace = 250 * time.Millisecond
 
 // Stats counts broker activity; read with Snapshot.
 type Stats struct {
-	Published      uint64 // envelopes accepted from peers or local publishers
-	DeliveredLocal uint64 // envelopes handed to local subscribers
-	Forwarded      uint64 // envelopes sent over links
-	Duplicates     uint64 // envelopes dropped by dedupe
-	Violations     uint64 // guard or authorization failures
-	Disconnects    uint64 // peers dropped for violations
-	Expired        uint64 // envelopes dropped for exhausted TTL
+	Published             uint64 // envelopes accepted from peers or local publishers
+	DeliveredLocal        uint64 // envelopes handed to local subscribers
+	Forwarded             uint64 // envelopes sent over links
+	Duplicates            uint64 // envelopes dropped by dedupe
+	Violations            uint64 // guard or authorization failures (throttles included)
+	Disconnects           uint64 // peers evicted (all reasons)
+	Expired               uint64 // envelopes dropped for exhausted TTL
+	EgressSheds           uint64 // data frames shed from full egress queues
+	SlowConsumerEvictions uint64 // peers evicted for sustained egress saturation
+	Throttled             uint64 // publishes rejected by per-publisher rate limiting
+	QuarantineRejects     uint64 // reconnects refused while quarantined
 }
 
 // Broker is one router node in the broker network.
@@ -106,6 +153,9 @@ type Broker struct {
 	disconnectMu sync.Mutex
 	onDisconnect []func(entity ident.EntityID)
 
+	// quar refuses reconnects from recently evicted principals (§5.2).
+	quar *quarantine
+
 	stats struct {
 		published      atomic.Uint64
 		deliveredLocal atomic.Uint64
@@ -114,6 +164,10 @@ type Broker struct {
 		violations     atomic.Uint64
 		disconnects    atomic.Uint64
 		expired        atomic.Uint64
+		sheds          atomic.Uint64
+		slowEvictions  atomic.Uint64
+		throttled      atomic.Uint64
+		quarRejects    atomic.Uint64
 	}
 
 	wg sync.WaitGroup
@@ -134,18 +188,25 @@ type localSub struct {
 // peer is one connection: either a client entity or a neighbouring
 // broker link.
 type peer struct {
-	conn       transport.Conn
-	isBroker   bool
-	name       string
-	principal  topic.Principal
-	sendMu     sync.Mutex
-	violations int
+	conn      transport.Conn
+	isBroker  bool
+	name      string
+	principal topic.Principal
+	// out is the peer's bounded egress queue, drained by a dedicated
+	// writer goroutine (no routing goroutine ever blocks on this peer's
+	// connection).
+	out *egress
+	// score and bucket are touched only by the peer's receive loop (one
+	// goroutine), so neither needs locking.
+	score  violationScore
+	bucket pubBucket
 	// advertised tracks which topics we have propagated SUBs for over
 	// this link (broker links only).
 	advertised map[string]struct{}
 	// subs tracks this peer's own subscriptions.
-	subs   map[string]struct{}
-	closed atomic.Bool
+	subs    map[string]struct{}
+	closed  atomic.Bool
+	evicted atomic.Bool
 }
 
 // New creates a broker node.
@@ -156,8 +217,26 @@ func New(cfg Config) *Broker {
 	if cfg.ViolationLimit <= 0 {
 		cfg.ViolationLimit = DefaultViolationLimit
 	}
+	if cfg.ViolationHalfLife == 0 {
+		cfg.ViolationHalfLife = DefaultViolationHalfLife
+	}
 	if cfg.DedupeWindow <= 0 {
 		cfg.DedupeWindow = DefaultDedupeWindow
+	}
+	if cfg.EgressQueue <= 0 {
+		cfg.EgressQueue = DefaultEgressQueue
+	}
+	if cfg.SlowConsumerDeadline <= 0 {
+		cfg.SlowConsumerDeadline = DefaultSlowConsumerDeadline
+	}
+	if cfg.PublishRate > 0 && cfg.PublishBurst <= 0 {
+		cfg.PublishBurst = int(cfg.PublishRate)
+		if cfg.PublishBurst < 1 {
+			cfg.PublishBurst = 1
+		}
+	}
+	if cfg.QuarantineDuration == 0 {
+		cfg.QuarantineDuration = DefaultQuarantineDuration
 	}
 	log := cfg.Log
 	if log == nil {
@@ -177,6 +256,7 @@ func New(cfg Config) *Broker {
 		local:     make(map[string][]*localSub),
 		pending:   make(map[transport.Conn]struct{}),
 		seen:      make(map[ident.UUID]struct{}),
+		quar:      newQuarantine(),
 		done:      make(chan struct{}),
 	}
 }
@@ -239,6 +319,18 @@ func (b *Broker) handleInbound(conn transport.Conn) {
 	}
 	c, err := parseControl(frame[1:])
 	if err != nil || c.Kind != ctrlHello {
+		conn.Close()
+		return
+	}
+	// Quarantined principals are refused before a peer is even
+	// registered: the typed DISCONNECT is the first and only frame of
+	// the connection, so the client's reconnect logic can back off
+	// instead of hot-looping (§5.2 repeat-offender handling).
+	if !c.IsBroker && b.quar.active(c.Name, b.clk.Now()) {
+		b.stats.quarRejects.Add(1)
+		mQuarantineRejct.Inc()
+		b.log.Warn("quarantined reconnect refused", "peer", c.Name)
+		_ = conn.Send(disconnectFrame(ReasonQuarantined, "principal quarantined"))
 		conn.Close()
 		return
 	}
@@ -348,12 +440,14 @@ func (b *Broker) ConnectToPersistentBackoff(tr transport.Transport, addr string,
 	}()
 }
 
-// newPeer registers a connection as a peer.
+// newPeer registers a connection as a peer and starts its egress
+// writer.
 func (b *Broker) newPeer(conn transport.Conn, isBroker bool, name string) *peer {
 	p := &peer{
 		conn:       conn,
 		isBroker:   isBroker,
 		name:       name,
+		out:        newEgress(conn, b.cfg.EgressQueue),
 		advertised: make(map[string]struct{}),
 		subs:       make(map[string]struct{}),
 	}
@@ -368,6 +462,11 @@ func (b *Broker) newPeer(conn transport.Conn, isBroker bool, name string) *peer 
 		return nil
 	}
 	b.peers[p] = struct{}{}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		p.out.run()
+	}()
 	return p
 }
 
@@ -393,6 +492,16 @@ func (b *Broker) peerLoop(p *peer) {
 				return
 			}
 		case frameEnvelope:
+			// Per-publisher admission control runs before the envelope is
+			// even unmarshaled: a flooding client is rejected before its
+			// traffic costs any parsing or signature-verification CPU.
+			if b.cfg.PublishRate > 0 && !p.isBroker &&
+				!p.bucket.allow(b.clk.Now(), b.cfg.PublishRate, float64(b.cfg.PublishBurst)) {
+				b.stats.throttled.Add(1)
+				mThrottled.Inc()
+				b.punishWeighted(p, throttleViolationWeight, errThrottled)
+				continue
+			}
 			env, err := message.Unmarshal(frame[1:])
 			if err != nil {
 				b.punish(p, fmt.Errorf("bad envelope: %w", err))
@@ -462,34 +571,118 @@ func (b *Broker) ack(p *peer, id uint64) {
 	if p.isBroker || id == 0 {
 		return
 	}
-	p.send(append([]byte{frameControl}, marshalControl(&control{Kind: ctrlAck, ID: id})...))
+	b.sendCtrl(p, &control{Kind: ctrlAck, ID: id})
 }
 
 func (b *Broker) deny(p *peer, id uint64, reason string) {
 	if p.isBroker || id == 0 {
 		return
 	}
-	p.send(append([]byte{frameControl}, marshalControl(&control{Kind: ctrlDeny, ID: id, Reason: reason})...))
+	b.sendCtrl(p, &control{Kind: ctrlDeny, ID: id, Reason: reason})
 }
+
+// sendCtrl queues a control frame on the peer's priority lane. A peer
+// that cannot absorb even control traffic is wedged beyond rescue and
+// evicted on the spot.
+func (b *Broker) sendCtrl(p *peer, c *control) {
+	if !p.out.enqueueCtrl(append([]byte{frameControl}, marshalControl(c)...)) {
+		b.evictPeer(p, ReasonSlowConsumer, "control queue overflow")
+	}
+}
+
+// disconnectFrame builds the typed DISCONNECT notice.
+func disconnectFrame(reason DisconnectReason, detail string) []byte {
+	c := &control{Kind: ctrlDisconnect, ID: uint64(reason), Reason: detail}
+	return append([]byte{frameControl}, marshalControl(c)...)
+}
+
+// errThrottled names the rate-limit violation for logs.
+var errThrottled = errors.New("broker: publish rate exceeded")
 
 // punish counts a violation against a peer and disconnects it past the
 // limit (§5.2: "In the case of multiple bogus attempts by a malicious
 // entity, the broker will terminate communications with such an
 // entity").
 func (b *Broker) punish(p *peer, err error) {
+	b.punishWeighted(p, 1, err)
+}
+
+// punishWeighted adds weight to the peer's decaying offender score and
+// evicts it once the score crosses the violation limit. Sub-unit
+// weights (throttling) log at debug so a flood cannot spam the log.
+// The score itself is only touched from the peer's receive loop.
+func (b *Broker) punishWeighted(p *peer, weight float64, err error) {
 	b.stats.violations.Add(1)
 	mViolations.Inc()
-	b.log.Warn("violation", "peer", p.name, "err", err)
-	b.mu.Lock()
-	p.violations++
-	over := p.violations >= b.cfg.ViolationLimit
-	b.mu.Unlock()
-	if over {
-		b.stats.disconnects.Add(1)
+	if weight >= 1 {
+		b.log.Warn("violation", "peer", p.name, "err", err)
+	} else {
+		b.log.Debug("violation", "peer", p.name, "weight", weight, "err", err)
+	}
+	score := p.score.add(b.clk.Now(), weight, b.cfg.ViolationHalfLife)
+	if score >= float64(b.cfg.ViolationLimit) {
+		b.evictPeer(p, ReasonDoS, err.Error())
+	}
+}
+
+// evictPeer terminates a peer deliberately: its queued data is shed, a
+// typed DISCONNECT is queued on the control lane, the principal is
+// quarantined, and the connection is force-closed after a short grace
+// in case the pipe is too wedged to flush the notice. Idempotent.
+func (b *Broker) evictPeer(p *peer, reason DisconnectReason, detail string) {
+	if !p.evicted.CompareAndSwap(false, true) {
+		return
+	}
+	b.stats.disconnects.Add(1)
+	switch reason {
+	case ReasonSlowConsumer:
+		b.stats.slowEvictions.Add(1)
+		mSlowEvictions.Inc()
+	case ReasonDoS:
 		mDisconnectsDoS.Inc()
-		b.log.Warn("disconnecting peer", "peer", p.name, "violations", p.violations, "reason", "dos")
-		p.closed.Store(true)
+	}
+	// DoS and slow-consumer evictions open a fresh quarantine window; a
+	// quarantine eviction (Banish) already set its own window, which must
+	// not be overwritten with the default duration.
+	if !p.isBroker && reason != ReasonQuarantined && b.cfg.QuarantineDuration > 0 {
+		b.quar.ban(p.name, b.clk.Now(), b.cfg.QuarantineDuration)
+	}
+	b.log.Warn("evicting peer", "peer", p.name, "reason", reason.String(), "detail", detail)
+	if dropped := p.out.shedAll(); dropped > 0 {
+		b.stats.sheds.Add(uint64(dropped))
+		mEgressSheds.Add(uint64(dropped))
+	}
+	p.out.enqueueCtrl(disconnectFrame(reason, detail))
+	p.out.beginClose()
+	p.closed.Store(true)
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		t := b.clk.NewTimer(evictGrace)
+		select {
+		case <-t.C():
+		case <-b.done:
+			t.Stop()
+		}
 		p.conn.Close()
+	}()
+}
+
+// Banish quarantines a principal for d and evicts any currently
+// connected peers carrying it — the administrative form of §5.2's
+// repeat-offender handling.
+func (b *Broker) Banish(entity ident.EntityID, d time.Duration) {
+	b.quar.ban(string(entity), b.clk.Now(), d)
+	b.mu.Lock()
+	var victims []*peer
+	for p := range b.peers {
+		if !p.isBroker && p.name == string(entity) {
+			victims = append(victims, p)
+		}
+	}
+	b.mu.Unlock()
+	for _, p := range victims {
+		b.evictPeer(p, ReasonQuarantined, "banished")
 	}
 }
 
@@ -505,6 +698,7 @@ func (b *Broker) OnClientDisconnect(f func(entity ident.EntityID)) {
 
 // removePeer unregisters a peer and drops its subscriptions.
 func (b *Broker) removePeer(p *peer) {
+	p.out.beginClose()
 	p.conn.Close()
 	b.mu.Lock()
 	if _, ok := b.peers[p]; !ok {
@@ -672,7 +866,7 @@ func (b *Broker) refreshLinks(ts string) {
 		if !a.sub {
 			kind = ctrlUnsub
 		}
-		a.p.send(append([]byte{frameControl}, marshalControl(&control{Kind: kind, Topic: ts})...))
+		b.sendCtrl(a.p, &control{Kind: kind, Topic: ts})
 	}
 }
 
@@ -696,17 +890,7 @@ func (b *Broker) syncLinkSubscriptions(p *peer) {
 	}
 	b.mu.Unlock()
 	for _, ts := range topics {
-		p.send(append([]byte{frameControl}, marshalControl(&control{Kind: ctrlSub, Topic: ts})...))
-	}
-}
-
-// send transmits a frame to the peer, tolerating failures (the peer loop
-// notices the closed connection).
-func (p *peer) send(frame []byte) {
-	p.sendMu.Lock()
-	defer p.sendMu.Unlock()
-	if err := p.conn.Send(frame); err != nil {
-		p.closed.Store(true)
+		b.sendCtrl(p, &control{Kind: ctrlSub, Topic: ts})
 	}
 }
 
@@ -811,13 +995,25 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 		fwd.AddHop(b.name, time.Now())
 	}
 	frame := append([]byte{frameEnvelope}, fwd.Marshal()...)
+	now := b.clk.Now()
 	for _, p := range remote {
 		if p.isBroker && (!prop || fwd.TTL == 0) {
 			continue
 		}
 		b.stats.forwarded.Add(1)
 		mForwarded.Inc()
-		p.send(frame)
+		// Non-blocking enqueue: a stalled peer sheds its own oldest frames
+		// instead of head-of-line-blocking this fan-out, and once it has
+		// been continuously saturated past the deadline it is evicted as a
+		// slow consumer.
+		shed, stalledFor := p.out.enqueueData(frame, now)
+		if shed > 0 {
+			b.stats.sheds.Add(uint64(shed))
+			mEgressSheds.Add(uint64(shed))
+			if stalledFor >= b.cfg.SlowConsumerDeadline {
+				b.evictPeer(p, ReasonSlowConsumer, "egress queue saturated")
+			}
+		}
 	}
 }
 
@@ -841,13 +1037,17 @@ func (b *Broker) firstSighting(id ident.UUID) bool {
 // Snapshot returns current counters.
 func (b *Broker) Snapshot() Stats {
 	return Stats{
-		Published:      b.stats.published.Load(),
-		DeliveredLocal: b.stats.deliveredLocal.Load(),
-		Forwarded:      b.stats.forwarded.Load(),
-		Duplicates:     b.stats.duplicates.Load(),
-		Violations:     b.stats.violations.Load(),
-		Disconnects:    b.stats.disconnects.Load(),
-		Expired:        b.stats.expired.Load(),
+		Published:             b.stats.published.Load(),
+		DeliveredLocal:        b.stats.deliveredLocal.Load(),
+		Forwarded:             b.stats.forwarded.Load(),
+		Duplicates:            b.stats.duplicates.Load(),
+		Violations:            b.stats.violations.Load(),
+		Disconnects:           b.stats.disconnects.Load(),
+		Expired:               b.stats.expired.Load(),
+		EgressSheds:           b.stats.sheds.Load(),
+		SlowConsumerEvictions: b.stats.slowEvictions.Load(),
+		Throttled:             b.stats.throttled.Load(),
+		QuarantineRejects:     b.stats.quarRejects.Load(),
 	}
 }
 
@@ -898,6 +1098,7 @@ func (b *Broker) Close() {
 	}
 	for _, p := range peers {
 		p.closed.Store(true)
+		p.out.beginClose()
 		p.conn.Close()
 	}
 	for _, c := range pending {

@@ -20,10 +20,27 @@ var (
 	ErrSubscribeDenied = errors.New("broker: subscription denied")
 	// ErrClientClosed reports use of a closed client.
 	ErrClientClosed = errors.New("broker: client closed")
+	// ErrWriteTimeout reports a frame write that stayed blocked past the
+	// client's write timeout — the broker (or the pipe to it) stopped
+	// reading. The connection is torn down so Done fires and reconnect
+	// logic can take over.
+	ErrWriteTimeout = errors.New("broker: write timed out")
 )
 
 // subscribeTimeout bounds the wait for a subscription acknowledgement.
 const subscribeTimeout = 10 * time.Second
+
+// DefaultWriteTimeout bounds each frame write to the broker when
+// ConnectOpts.WriteTimeout is zero. Without it a publish into a dead TCP
+// peer blocks forever.
+const DefaultWriteTimeout = 10 * time.Second
+
+// ConnectOpts tunes a client connection.
+type ConnectOpts struct {
+	// WriteTimeout bounds each outbound frame write. Zero selects
+	// DefaultWriteTimeout; negative disables the deadline entirely.
+	WriteTimeout time.Duration
+}
 
 // Handler consumes envelopes delivered to a client subscription.
 type Handler func(*message.Envelope)
@@ -44,7 +61,11 @@ type Client struct {
 
 	defaultHandler atomic.Value // Handler
 	nextID         atomic.Uint64
-	done           chan struct{}
+	// reason records the typed DISCONNECT cause announced by the broker
+	// before it dropped the connection (zero = ReasonNone).
+	reason       atomic.Uint64
+	writeTimeout time.Duration
+	done         chan struct{}
 }
 
 type wildHandler struct {
@@ -52,10 +73,19 @@ type wildHandler struct {
 	h  Handler
 }
 
-// Connect dials a broker and performs the client handshake.
+// Connect dials a broker and performs the client handshake with default
+// options.
 func Connect(tr transport.Transport, addr string, entity ident.EntityID) (*Client, error) {
+	return ConnectWith(tr, addr, entity, ConnectOpts{})
+}
+
+// ConnectWith dials a broker with explicit options.
+func ConnectWith(tr transport.Transport, addr string, entity ident.EntityID, opts ConnectOpts) (*Client, error) {
 	if err := entity.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.WriteTimeout == 0 {
+		opts.WriteTimeout = DefaultWriteTimeout
 	}
 	conn, err := tr.Dial(addr)
 	if err != nil {
@@ -67,11 +97,12 @@ func Connect(tr transport.Transport, addr string, entity ident.EntityID) (*Clien
 		return nil, err
 	}
 	c := &Client{
-		entity:   entity,
-		conn:     conn,
-		handlers: make(map[string][]Handler),
-		pending:  make(map[uint64]chan *control),
-		done:     make(chan struct{}),
+		entity:       entity,
+		conn:         conn,
+		handlers:     make(map[string][]Handler),
+		pending:      make(map[uint64]chan *control),
+		writeTimeout: opts.WriteTimeout,
+		done:         make(chan struct{}),
 	}
 	go c.recvLoop()
 	return c, nil
@@ -100,6 +131,10 @@ func (c *Client) recvLoop() {
 		case frameControl:
 			ctl, err := parseControl(frame[1:])
 			if err != nil {
+				continue
+			}
+			if ctl.Kind == ctrlDisconnect {
+				c.reason.Store(uint64(ctl.ID))
 				continue
 			}
 			if ctl.Kind == ctrlAck || ctl.Kind == ctrlDeny {
@@ -161,7 +196,7 @@ func (c *Client) Subscribe(tp topic.Topic, h Handler) error {
 	c.mu.Unlock()
 
 	sub := &control{Kind: ctrlSub, ID: id, Topic: tp.String()}
-	if err := c.conn.Send(append([]byte{frameControl}, marshalControl(sub)...)); err != nil {
+	if err := c.sendTimed(append([]byte{frameControl}, marshalControl(sub)...)); err != nil {
 		return err
 	}
 	select {
@@ -210,11 +245,14 @@ func (c *Client) Unsubscribe(tp topic.Topic) error {
 	}
 	c.mu.Unlock()
 	unsub := &control{Kind: ctrlUnsub, ID: c.nextID.Add(1), Topic: ts}
-	return c.conn.Send(append([]byte{frameControl}, marshalControl(unsub)...))
+	return c.sendTimed(append([]byte{frameControl}, marshalControl(unsub)...))
 }
 
 // Publish sends an envelope into the broker network. The envelope's
-// Source must be the client's entity (brokers drop spoofed sources).
+// Source must be the client's entity (brokers drop spoofed sources). The
+// write is bounded by the connection's write timeout: if the broker has
+// stopped reading, Publish returns ErrWriteTimeout and tears the
+// connection down rather than blocking forever.
 func (c *Client) Publish(env *message.Envelope) error {
 	c.mu.Lock()
 	closed := c.closed
@@ -222,7 +260,29 @@ func (c *Client) Publish(env *message.Envelope) error {
 	if closed {
 		return ErrClientClosed
 	}
-	return c.conn.Send(append([]byte{frameEnvelope}, env.Marshal()...))
+	return c.sendTimed(append([]byte{frameEnvelope}, env.Marshal()...))
+}
+
+// sendTimed writes one frame under the write deadline. On timeout the
+// client shuts down: closing the connection both unblocks the stuck
+// writer goroutine and fires Done so reconnect machinery takes over — a
+// write that cannot complete within the deadline means the broker-side
+// pipe is dead or wedged, and no later write would fare better.
+func (c *Client) sendTimed(frame []byte) error {
+	if c.writeTimeout < 0 {
+		return c.conn.Send(frame)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.conn.Send(frame) }()
+	t := time.NewTimer(c.writeTimeout)
+	defer t.Stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-t.C:
+		c.shutdown()
+		return ErrWriteTimeout
+	}
 }
 
 // Close tears down the connection.
@@ -234,7 +294,7 @@ func (c *Client) Close() error {
 	}
 	c.mu.Unlock()
 	bye := &control{Kind: ctrlBye}
-	_ = c.conn.Send(append([]byte{frameControl}, marshalControl(bye)...))
+	_ = c.sendTimed(append([]byte{frameControl}, marshalControl(bye)...))
 	err := c.conn.Close()
 	c.shutdown()
 	return err
@@ -260,3 +320,13 @@ func (c *Client) shutdown() {
 // Done is closed when the connection drops; entities use it to detect
 // broker failure.
 func (c *Client) Done() <-chan struct{} { return c.done }
+
+// DisconnectReason returns the typed cause the broker announced before
+// terminating the connection, or ReasonNone when the connection dropped
+// without one (network failure, orderly close, broker crash). Reconnect
+// logic backs off harder when Evicted() is true: the broker threw this
+// client out deliberately, so hot-looping against it only feeds the
+// quarantine.
+func (c *Client) DisconnectReason() DisconnectReason {
+	return DisconnectReason(c.reason.Load())
+}

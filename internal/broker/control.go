@@ -38,7 +38,58 @@ const (
 	ctrlDeny
 	// ctrlBye announces orderly shutdown.
 	ctrlBye
+	// ctrlDisconnect is a broker→client notice that the broker is about
+	// to terminate the connection, carrying a typed reason (§5.2 / §3.3
+	// of PROTOCOL.md). The DisconnectReason code travels in the ID field;
+	// Reason holds free-form detail. Best effort: a peer whose pipe is
+	// already full may never read it, but a quarantined reconnect always
+	// receives one as the first (and only) frame of the new connection.
+	ctrlDisconnect
 )
+
+// DisconnectReason is the typed cause carried by a DISCONNECT control
+// frame. The numeric values are wire format (PROTOCOL.md §3.3) — do not
+// reorder.
+type DisconnectReason uint64
+
+const (
+	// ReasonNone means the connection dropped without a broker-announced
+	// cause (network failure, orderly BYE, broker shutdown).
+	ReasonNone DisconnectReason = 0
+	// ReasonDoS: the peer's decaying violation score crossed the limit
+	// ("the broker will terminate communications with such an entity",
+	// §5.2).
+	ReasonDoS DisconnectReason = 1
+	// ReasonSlowConsumer: the peer's egress queue stayed saturated past
+	// the slow-consumer deadline and the broker shed then evicted it.
+	ReasonSlowConsumer DisconnectReason = 2
+	// ReasonQuarantined: the peer's principal is temporarily banned;
+	// reconnects are refused until the quarantine lapses.
+	ReasonQuarantined DisconnectReason = 3
+)
+
+// String names the reason for logs and metrics labels.
+func (r DisconnectReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonDoS:
+		return "dos"
+	case ReasonSlowConsumer:
+		return "slow-consumer"
+	case ReasonQuarantined:
+		return "quarantined"
+	default:
+		return fmt.Sprintf("reason-%d", uint64(r))
+	}
+}
+
+// Evicted reports whether the reason represents a deliberate broker
+// eviction — the cases where a reconnecting client should back off hard
+// instead of hot-looping against a broker that just threw it out.
+func (r DisconnectReason) Evicted() bool {
+	return r == ReasonDoS || r == ReasonSlowConsumer || r == ReasonQuarantined
+}
 
 // control is the parsed form of a control frame.
 type control struct {
@@ -96,7 +147,7 @@ func parseControl(b []byte) (*control, error) {
 	if len(rest) != 0 {
 		return nil, errors.New("broker: trailing control bytes")
 	}
-	if c.Kind < ctrlHello || c.Kind > ctrlBye {
+	if c.Kind < ctrlHello || c.Kind > ctrlDisconnect {
 		return nil, fmt.Errorf("broker: unknown control kind %d", c.Kind)
 	}
 	return c, nil

@@ -1,0 +1,213 @@
+package broker
+
+import (
+	"sync"
+	"time"
+
+	"entitytrace/internal/obs"
+	"entitytrace/internal/transport"
+)
+
+// Egress metrics, process-wide across broker instances.
+var (
+	mEgressDepth     = obs.Default.Gauge("broker_egress_queue_depth")
+	mEgressSheds     = obs.Default.Counter("broker_egress_sheds_total")
+	mSlowEvictions   = obs.Default.Counter("broker_slow_consumer_evictions_total")
+	mThrottled       = obs.Default.Counter("broker_publish_throttled_total")
+	mQuarantineRejct = obs.Default.Counter("broker_quarantine_rejects_total")
+)
+
+// egress is a peer's bounded outbound queue, drained by one dedicated
+// writer goroutine, so a peer that stops reading stalls only its own
+// writer — never the routing goroutine that fans a message out (the
+// seed's synchronous per-peer send head-of-line-blocked every delivery
+// behind the slowest subscriber).
+//
+// Two priority classes share the writer: control frames (ACK/DENY/SUB/
+// DISCONNECT) always transmit before queued data frames, and are never
+// shed. Data frames beyond the bound shed oldest-first — for an
+// availability-tracking workload a fresher trace supersedes a staler
+// one, so dropping from the head loses the least information.
+type egress struct {
+	conn transport.Conn
+
+	mu        sync.Mutex
+	wake      chan struct{} // 1-buffered writer wakeup
+	ctrl      [][]byte      // control frames: priority, never shed
+	data      [][]byte      // data frames: bounded, shed oldest on overflow
+	dataHead  int           // index of the logical head within data
+	bound     int           // max queued data frames
+	ctrlBound int           // max queued control frames (hopeless peer past it)
+	// stalledSince is the time the data queue first overflowed and has
+	// not recovered since; zero while healthy. The writer clears it when
+	// the queue drains below half the bound (hysteresis, so a consumer
+	// that trickle-reads without catching up still accumulates stall
+	// time).
+	stalledSince time.Time
+	sheds        uint64
+	closing      bool // flush remaining control frames, then close conn
+	dead         bool // writer exited (send error or close)
+}
+
+// egressCtrlSlack is how many control frames beyond the data bound the
+// control queue tolerates before the peer is declared hopeless.
+const egressCtrlSlack = 64
+
+func newEgress(conn transport.Conn, bound int) *egress {
+	return &egress{
+		conn:      conn,
+		wake:      make(chan struct{}, 1),
+		bound:     bound,
+		ctrlBound: bound + egressCtrlSlack,
+	}
+}
+
+func (e *egress) signal() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueCtrl queues a priority control frame. It reports false when the
+// control queue itself is full — a peer that cannot even absorb control
+// traffic is beyond rescue and should be closed by the caller.
+func (e *egress) enqueueCtrl(frame []byte) bool {
+	e.mu.Lock()
+	if e.dead {
+		e.mu.Unlock()
+		return true // connection already torn down; nothing to escalate
+	}
+	if len(e.ctrl) >= e.ctrlBound {
+		e.mu.Unlock()
+		return false
+	}
+	e.ctrl = append(e.ctrl, frame)
+	mEgressDepth.Add(1)
+	e.mu.Unlock()
+	e.signal()
+	return true
+}
+
+// enqueueData queues a data frame, shedding the oldest queued frame when
+// the bound is hit. It returns the number of frames shed by this call
+// (0 or 1) and, when the queue is saturated, how long it has
+// continuously been so — the caller turns that into a slow-consumer
+// eviction once it exceeds the deadline.
+func (e *egress) enqueueData(frame []byte, now time.Time) (shed int, stalledFor time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dead || e.closing {
+		return 0, 0
+	}
+	if e.queuedData() >= e.bound {
+		// Shed the oldest queued frame to admit the new one.
+		e.data[e.dataHead] = nil
+		e.dataHead++
+		e.compact()
+		e.sheds++
+		shed = 1
+		mEgressDepth.Add(-1)
+		if e.stalledSince.IsZero() {
+			e.stalledSince = now
+		}
+		stalledFor = now.Sub(e.stalledSince)
+	}
+	e.data = append(e.data, frame)
+	mEgressDepth.Add(1)
+	e.signal()
+	return shed, stalledFor
+}
+
+// queuedData returns the number of live data frames. Callers hold e.mu.
+func (e *egress) queuedData() int { return len(e.data) - e.dataHead }
+
+// compact reclaims the consumed prefix of the data slice once it grows
+// past the live region. Callers hold e.mu.
+func (e *egress) compact() {
+	if e.dataHead > len(e.data)/2 && e.dataHead > 16 {
+		n := copy(e.data, e.data[e.dataHead:])
+		for i := n; i < len(e.data); i++ {
+			e.data[i] = nil
+		}
+		e.data = e.data[:n]
+		e.dataHead = 0
+	}
+}
+
+// shedAll drops every queued data frame (eviction: the peer will never
+// read them) and returns how many were dropped.
+func (e *egress) shedAll() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := e.queuedData()
+	e.data = nil
+	e.dataHead = 0
+	e.sheds += uint64(n)
+	mEgressDepth.Add(-int64(n))
+	return n
+}
+
+// beginClose asks the writer to flush remaining control frames and then
+// close the connection. Data frames are not flushed.
+func (e *egress) beginClose() {
+	e.mu.Lock()
+	e.closing = true
+	e.mu.Unlock()
+	e.signal()
+}
+
+// run is the writer loop: it drains control frames before data frames
+// until the connection dies or beginClose has been honoured. It owns all
+// conn.Send calls for the peer.
+func (e *egress) run() {
+	for {
+		e.mu.Lock()
+		for len(e.ctrl) == 0 && e.queuedData() == 0 && !e.closing && !e.dead {
+			e.mu.Unlock()
+			<-e.wake
+			e.mu.Lock()
+		}
+		if e.dead || (e.closing && len(e.ctrl) == 0) {
+			// Drop whatever data remains and leave.
+			drop := int64(len(e.ctrl) + e.queuedData())
+			e.ctrl, e.data, e.dataHead = nil, nil, 0
+			e.dead = true
+			e.mu.Unlock()
+			mEgressDepth.Add(-drop)
+			e.conn.Close()
+			return
+		}
+		var frame []byte
+		if len(e.ctrl) > 0 {
+			frame = e.ctrl[0]
+			e.ctrl = e.ctrl[1:]
+		} else {
+			frame = e.data[e.dataHead]
+			e.data[e.dataHead] = nil
+			e.dataHead++
+			e.compact()
+		}
+		e.mu.Unlock()
+
+		err := e.conn.Send(frame)
+
+		e.mu.Lock()
+		mEgressDepth.Add(-1)
+		if err != nil {
+			drop := int64(len(e.ctrl) + e.queuedData())
+			e.ctrl, e.data, e.dataHead = nil, nil, 0
+			e.dead = true
+			e.mu.Unlock()
+			mEgressDepth.Add(-drop)
+			e.conn.Close()
+			return
+		}
+		// A completed send with the queue back under half the bound means
+		// the consumer is draining again: clear the stall clock.
+		if e.queuedData() <= e.bound/2 {
+			e.stalledSince = time.Time{}
+		}
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,96 @@
+package broker
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// pubBucket is a per-publisher token bucket. Admission is checked at
+// ingress, before the envelope is even unmarshaled, so a flooding
+// publisher is throttled before signature verification burns CPU
+// (§5.2's DoS coping pushed to the cheapest possible point). It is
+// accessed only from the owning peer's receive loop, so it needs no
+// lock.
+type pubBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// allow consumes one token if available, refilling at rate tokens/sec up
+// to burst. The first call initializes a full bucket.
+func (b *pubBucket) allow(now time.Time, rate, burst float64) bool {
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+rate*dt.Seconds())
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// violationScore is the decaying §5.2 offender score that replaces the
+// seed's monotonically increasing violation counter: each violation adds
+// its weight, and the accumulated score halves every half-life. A
+// long-lived legitimate peer with sporadic failures therefore never
+// accumulates into an unjust disconnect, while a burst or sustained
+// attack still crosses the limit quickly.
+type violationScore struct {
+	score float64
+	at    time.Time // last decay application
+}
+
+// add decays the score to now, adds weight, and returns the new score.
+func (v *violationScore) add(now time.Time, weight float64, halfLife time.Duration) float64 {
+	if !v.at.IsZero() && halfLife > 0 {
+		if dt := now.Sub(v.at); dt > 0 {
+			v.score *= math.Exp2(-float64(dt) / float64(halfLife))
+		}
+	}
+	v.at = now
+	v.score += weight
+	return v.score
+}
+
+// quarantine tracks principals whose reconnects are temporarily refused
+// after an eviction (§5.2 repeat offenders): a banned entity that
+// redials is sent a typed DISCONNECT(quarantined) and dropped before it
+// can cost the broker anything further.
+type quarantine struct {
+	mu    sync.Mutex
+	until map[string]time.Time
+}
+
+func newQuarantine() *quarantine {
+	return &quarantine{until: make(map[string]time.Time)}
+}
+
+// ban quarantines the principal until now+d.
+func (q *quarantine) ban(principal string, now time.Time, d time.Duration) {
+	if d <= 0 || principal == "" {
+		return
+	}
+	q.mu.Lock()
+	q.until[principal] = now.Add(d)
+	q.mu.Unlock()
+}
+
+// active reports whether principal is currently quarantined, lazily
+// dropping lapsed entries.
+func (q *quarantine) active(principal string, now time.Time) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	until, ok := q.until[principal]
+	if !ok {
+		return false
+	}
+	if now.Before(until) {
+		return true
+	}
+	delete(q.until, principal)
+	return false
+}

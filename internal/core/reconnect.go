@@ -17,6 +17,7 @@ var (
 	mReconnAttemptTracker = obs.Default.Counter(obs.WithLabel("core_reconnect_attempts_total", "role", "tracker"))
 	mReconnOKTracker      = obs.Default.Counter(obs.WithLabel("core_reconnects_total", "role", "tracker"))
 	mSessionResumes       = obs.Default.Counter("core_session_resumes_total")
+	mEvictedBackoffs      = obs.Default.Counter("core_evicted_backoffs_total")
 )
 
 var errStopped = errors.New("core: stopped")
@@ -44,6 +45,7 @@ func (r *reconnector) run() {
 			return
 		case <-cl.Done():
 		}
+		r.evictedPenalty(cl)
 		for {
 			select {
 			case <-r.done:
@@ -64,6 +66,7 @@ func (r *reconnector) run() {
 			}
 			if err := r.resume(ncl); err != nil {
 				ncl.Close()
+				r.evictedPenalty(ncl)
 				continue
 			}
 			r.policy.Reset()
@@ -71,6 +74,18 @@ func (r *reconnector) run() {
 			mSessionResumes.Inc()
 			break
 		}
+	}
+}
+
+// evictedPenalty advances the backoff schedule an extra step when the
+// broker announced a deliberate eviction (DoS, slow consumer,
+// quarantine): a thrown-out client that redials at the ordinary cadence
+// just hammers the quarantine window, so it waits as if one extra
+// attempt had already failed.
+func (r *reconnector) evictedPenalty(cl *broker.Client) {
+	if cl != nil && cl.DisconnectReason().Evicted() {
+		r.policy.Next()
+		mEvictedBackoffs.Inc()
 	}
 }
 

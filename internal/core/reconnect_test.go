@@ -145,6 +145,51 @@ func TestTrackerReconnectRestoresWatches(t *testing.T) {
 	}
 }
 
+// TestEvictedReconnectBacksOffThenRecovers evicts a connected entity via
+// an administrative ban: the reconnect loop must recognize the typed
+// eviction (on the dropped connection and on each quarantine-refused
+// redial) and advance its backoff schedule extra steps instead of
+// hot-looping, then resume normally once the quarantine lapses.
+func TestEvictedReconnectBacksOffThenRecovers(t *testing.T) {
+	tb := newTestbed(t, 1)
+	penalties0, ok0 := mEvictedBackoffs.Value(), mReconnOKEntity.Value()
+
+	ent, err := tb.startEntity("svc-banished", 0, func(cfg *EntityConfig) {
+		cfg.Redial = tb.redialer("svc-banished", 0)
+		cfg.ReconnectBackoff = fastReconnect()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ent.Stop()
+
+	tb.brokers[0].Banish("svc-banished", 600*time.Millisecond)
+	select {
+	case <-ent.client().Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("banished entity's connection not dropped")
+	}
+	// The eviction itself plus at least one quarantine-refused redial
+	// must each have advanced the backoff an extra step.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && mEvictedBackoffs.Value()-penalties0 < 2 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := mEvictedBackoffs.Value() - penalties0; d < 2 {
+		t.Fatalf("core_evicted_backoffs_total delta = %d, want >= 2", d)
+	}
+
+	// Once the quarantine lapses the ordinary reconnect machinery brings
+	// the session back without intervention.
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && mReconnOKEntity.Value()-ok0 < 1 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d := mReconnOKEntity.Value() - ok0; d < 1 {
+		t.Fatalf("entity never resumed after quarantine lapsed (reconnects delta = %d)", d)
+	}
+}
+
 // TestReconnectLoopStopsCleanly ensures Stop/Close tear down the
 // reconnect goroutines without hanging, both mid-session and while a
 // redial cycle is in flight.

@@ -62,6 +62,20 @@ type Options struct {
 	// exhaust a legitimate peer's allowance (§5.2 punishes real
 	// attackers; the injector is not one).
 	ViolationLimit int
+	// EgressQueue overrides the brokers' per-peer egress queue bound
+	// (zero selects the broker default).
+	EgressQueue int
+	// SlowConsumerDeadline overrides how long a peer's egress queue may
+	// stay saturated before the peer is evicted (zero selects the broker
+	// default).
+	SlowConsumerDeadline time.Duration
+	// PublishRate/PublishBurst enable per-publisher token-bucket
+	// admission control on every broker (zero PublishRate disables).
+	PublishRate  float64
+	PublishBurst int
+	// QuarantineDuration overrides how long evicted principals' reconnects
+	// are refused (zero selects the broker default; negative disables).
+	QuarantineDuration time.Duration
 	// PersistentLinks connects the broker chain with backoff-paced
 	// persistent links instead of one-shot dials, so the topology heals
 	// after link flaps.
@@ -185,9 +199,14 @@ func New(opts Options) (*Testbed, error) {
 		resolver := core.NewCachingResolver(core.NodeResolver(tb.Node))
 		guard := core.NewTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew)
 		b := broker.New(broker.Config{
-			Name:           fmt.Sprintf("hb%d", i),
-			Guard:          guard,
-			ViolationLimit: opts.ViolationLimit,
+			Name:                 fmt.Sprintf("hb%d", i),
+			Guard:                guard,
+			ViolationLimit:       opts.ViolationLimit,
+			EgressQueue:          opts.EgressQueue,
+			SlowConsumerDeadline: opts.SlowConsumerDeadline,
+			PublishRate:          opts.PublishRate,
+			PublishBurst:         opts.PublishBurst,
+			QuarantineDuration:   opts.QuarantineDuration,
 		})
 		l, err := tb.listen()
 		if err != nil {
