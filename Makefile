@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover bench flood fuzz chaos repro examples clean
+.PHONY: all build test race verify cover bench flood hotpath benchdiff fuzz chaos repro examples clean
 
 all: build test
 
@@ -22,6 +22,7 @@ verify: build
 	$(GO) test -race ./internal/...
 	$(GO) test -race -run 'TestChaos' -count=1 .
 	$(GO) test -race -run 'TestExportFloodBench' -count=1 .
+	$(GO) test -run 'TestExportHotpathBench' -count=1 .
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
 # injector, failure-detector and reconnect tests, all race-enabled. Every
@@ -44,6 +45,28 @@ bench:
 # BENCH_flood.json.
 flood:
 	$(GO) test -race -run 'TestExportFloodBench' -count=1 -v .
+
+# Hot-path benchmark: §4.3 guard verification with and without the
+# verified-token cache, zero-alloc forward framing, and multi-publisher
+# fan-out throughput. Writes BENCH_hotpath.json (not race-enabled: the
+# numbers are the point).
+hotpath:
+	$(GO) test -run 'TestExportHotpathBench' -count=1 -v .
+
+# Mechanical perf comparison for this and future perf PRs: run the
+# hot-path benchmarks 5x, then diff against the stashed baseline with
+# cmd/benchdiff (mean ± stderr). First run records the baseline; commit
+# or stash your changes, run again, and the table shows the deltas.
+# Refresh the baseline by deleting bench_baseline.txt.
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|FanoutMultiPublisher|Envelope
+benchdiff:
+	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
+	@if [ -f bench_baseline.txt ]; then \
+		$(GO) run ./cmd/benchdiff bench_baseline.txt bench_head.txt; \
+	else \
+		cp bench_head.txt bench_baseline.txt; \
+		echo "benchdiff: baseline recorded in bench_baseline.txt; re-run after your change"; \
+	fi
 
 # Short fuzz campaigns over every wire parser.
 fuzz:

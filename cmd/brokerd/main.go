@@ -47,6 +47,7 @@ func main() {
 		pubRate       = flag.Float64("pub-rate", 0, "per-publisher admission rate in envelopes/sec (0 disables rate limiting)")
 		pubBurst      = flag.Int("pub-burst", 0, "token-bucket burst for -pub-rate (0 means max(1, rate))")
 		quarantine    = flag.Duration("quarantine", broker.DefaultQuarantineDuration, "how long an evicted principal's reconnects are refused (negative disables)")
+		guardCache    = flag.Int("guard-cache", core.DefaultTokenCacheSize, "verified-token cache entries for trace authorization (0 disables caching)")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
 	)
@@ -95,9 +96,16 @@ func main() {
 			return nil, core.ErrUnknownTopic
 		}))
 	}
+	// The verified-token cache memoizes §4.3 verifications per token
+	// byte string; -guard-cache=0 runs every trace through the full
+	// pipeline (byte-for-byte seed behaviour).
+	var tokenCache *core.TokenCache
+	if *guardCache > 0 {
+		tokenCache = core.NewTokenCache(*guardCache)
+	}
 	b := broker.New(broker.Config{
 		Name:                 brokerName,
-		Guard:                core.NewTokenGuard(resolver, verifier, nil, token.DefaultClockSkew),
+		Guard:                core.NewCachedTokenGuard(resolver, verifier, nil, token.DefaultClockSkew, tokenCache),
 		EgressQueue:          *egressQueue,
 		SlowConsumerDeadline: *slowDeadline,
 		PublishRate:          *pubRate,
@@ -131,7 +139,7 @@ func main() {
 	}
 	fmt.Printf("brokerd: %s serving on %s (%s)\n", brokerName, l.Addr(), *transportName)
 	if *adminAddr != "" {
-		go serveAdmin(*adminAddr, brokerName, b, mgr)
+		go serveAdmin(*adminAddr, brokerName, b, mgr, tokenCache)
 	}
 
 	// Register with the broker directory and refresh periodically so
@@ -170,7 +178,7 @@ func main() {
 // registry, text or JSON), /debug/pprof, an enriched /healthz, and
 // /stats — a JSON snapshot of this broker's routing counters and session
 // counts, kept for existing tooling.
-func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker) {
+func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, tokenCache *core.TokenCache) {
 	mux := obs.NewAdminMux(obs.Default, func() map[string]any {
 		return map[string]any{
 			"broker":        name,
@@ -182,21 +190,26 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker) {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		snap := b.Snapshot()
 		out := map[string]any{
-			"broker":         name,
-			"peers":          b.PeerCount(),
-			"subscriptions":  b.SubscriptionCount(),
-			"sessions":       mgr.SessionCount(),
-			"published":      snap.Published,
-			"deliveredLocal": snap.DeliveredLocal,
-			"forwarded":      snap.Forwarded,
-			"duplicates":     snap.Duplicates,
-			"violations":     snap.Violations,
-			"disconnects":    snap.Disconnects,
-			"expired":        snap.Expired,
+			"broker":                name,
+			"peers":                 b.PeerCount(),
+			"subscriptions":         b.SubscriptionCount(),
+			"sessions":              mgr.SessionCount(),
+			"published":             snap.Published,
+			"deliveredLocal":        snap.DeliveredLocal,
+			"forwarded":             snap.Forwarded,
+			"duplicates":            snap.Duplicates,
+			"violations":            snap.Violations,
+			"disconnects":           snap.Disconnects,
+			"expired":               snap.Expired,
 			"egressSheds":           snap.EgressSheds,
 			"slowConsumerEvictions": snap.SlowConsumerEvictions,
 			"throttled":             snap.Throttled,
 			"quarantineRejects":     snap.QuarantineRejects,
+		}
+		if tokenCache != nil {
+			// Guard-cache hit/miss/eviction/invalidation counters (also on
+			// /metrics as guard_cache_*_total, aggregated process-wide).
+			out["guardCache"] = tokenCache.Stats()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)

@@ -28,6 +28,7 @@ import (
 type floodScenario struct {
 	Sent       int     `json:"sent"`
 	Received   int     `json:"received"`
+	Offered    float64 `json:"offered_per_sec"`
 	Throughput float64 `json:"delivered_per_sec"`
 	P50Ms      float64 `json:"p50_ms"`
 	P99Ms      float64 `json:"p99_ms"`
@@ -37,6 +38,16 @@ type floodScenario struct {
 // measureFlood publishes count timestamped envelopes on tp at the given
 // pace and waits for their receipt, reading latencies out of hist. The
 // receipt counter is shared with the subscriber handler.
+//
+// Pacing is an absolute schedule — message i is due at start+i*pace —
+// not a per-message sleep. Sleeping per message compounds the timer's
+// overshoot into the offered load, and the overshoot depends on how
+// busy the scheduler is, so an idle ("healthy") broker was offered
+// *less* load than an attacked one and the archived throughputs were
+// not comparable. With the absolute schedule a run that falls behind
+// skips sleeping until it catches up, so both scenarios offer the same
+// count/(count*pace) load and the delivered-throughput numbers read as
+// a regression signal.
 func measureFlood(t *testing.T, pub *broker.Client, tp topic.Topic, received *atomic.Int64, hist *obs.Histogram, count int, pace time.Duration) floodScenario {
 	t.Helper()
 	received.Store(0)
@@ -44,12 +55,15 @@ func measureFlood(t *testing.T, pub *broker.Client, tp topic.Topic, received *at
 	start := time.Now()
 	payload := make([]byte, 16)
 	for i := 0; i < count; i++ {
+		if wait := time.Until(start.Add(time.Duration(i) * pace)); wait > 0 {
+			time.Sleep(wait)
+		}
 		binary.BigEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
 		if err := pub.Publish(message.New(message.TypeData, tp, "flood-pub", payload)); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(pace)
 	}
+	sendElapsed := time.Since(start)
 	// Receipt is asynchronous; wait until deliveries stop arriving or
 	// everything sent has landed.
 	deadline := time.Now().Add(10 * time.Second)
@@ -70,6 +84,7 @@ func measureFlood(t *testing.T, pub *broker.Client, tp topic.Topic, received *at
 	return floodScenario{
 		Sent:       count,
 		Received:   int(received.Load()),
+		Offered:    float64(count) / sendElapsed.Seconds(),
 		Throughput: float64(hist.Count()-before) / elapsed.Seconds(),
 		P50Ms:      snap.P50,
 		P99Ms:      snap.P99,
@@ -192,6 +207,11 @@ func TestExportFloodBench(t *testing.T) {
 	<-floodDone
 	if degraded.Received < msgs*90/100 {
 		t.Fatalf("degraded run delivered %d/%d: misbehaving peers starved healthy traffic", degraded.Received, msgs)
+	}
+	// The two scenarios are only comparable if they offered the same
+	// load; the absolute pacing schedule must keep them within noise.
+	if ratio := degraded.Offered / healthy.Offered; ratio < 0.75 || ratio > 1.33 {
+		t.Fatalf("offered load diverged: healthy %.0f/s vs degraded %.0f/s", healthy.Offered, degraded.Offered)
 	}
 
 	// The measured window must have exercised the protections; keep

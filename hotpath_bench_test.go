@@ -1,0 +1,299 @@
+// Hot-path benchmark suite: the routing-broker fast path under the
+// verified-token cache, the lock-light routing index, and the
+// zero-alloc forward framing. Pairs cached against uncached guard
+// verification, measures multi-publisher fan-out throughput, and
+// records allocs/op on the forward path; TestExportHotpathBench
+// archives the numbers in BENCH_hotpath.json.
+//
+// Run with: make hotpath (also part of make verify), or
+// go test -bench 'TraceVerification|ForwardFrame|Fanout' -benchmem .
+package entitytrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/core"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// BenchmarkTraceVerificationCached measures the §4.3 check with a warm
+// verified-token cache: the per-hit work is the topic/advertisement/
+// window re-validation plus the one unavoidable RSA verification of the
+// delegate signature. Pair with BenchmarkTraceVerification (the
+// uncached pipeline) for the speedup.
+func BenchmarkTraceVerificationCached(b *testing.B) {
+	env, tt, resolver, verifier := benchVerificationFixture(b)
+	cache := core.NewTokenCache(0)
+	now := time.Now()
+	if err := core.VerifyTraceCached(env, tt, resolver, verifier, now, token.DefaultClockSkew, cache); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := core.VerifyTraceCached(env, tt, resolver, verifier, now, token.DefaultClockSkew, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := cache.Stats(); st.Hits < uint64(b.N) {
+		b.Fatalf("cache hits = %d over %d iterations: benchmark not measuring the hit path", st.Hits, b.N)
+	}
+}
+
+// BenchmarkGuardCachedTrace measures the full guard closure (topic
+// inspection + cached verification) as the broker invokes it per trace.
+func BenchmarkGuardCachedTrace(b *testing.B) {
+	env, _, resolver, verifier := benchVerificationFixture(b)
+	guard := core.NewCachedTokenGuard(resolver, verifier, nil, 0, core.NewTokenCache(0))
+	p := topic.EntityPrincipal("bench-owner")
+	if err := guard(env, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := guard(env, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchForwardEnvelope builds an envelope shaped like a steady-state
+// trace on the forward path: signed, token-bearing, span-free.
+func benchForwardEnvelope() *message.Envelope {
+	env := message.New(message.TraceAllsWell,
+		topic.AllUpdates(ident.NewUUID()), "fwd-entity", make([]byte, 256))
+	env.Token = make([]byte, 300)
+	env.Signature = make([]byte, 128)
+	return env
+}
+
+// BenchmarkForwardFrame measures the broker's TTL-decrement forward
+// framing on the fast path: one exact-size allocation, the decremented
+// TTL folded into serialization, no Clone.
+func BenchmarkForwardFrame(b *testing.B) {
+	env := benchForwardEnvelope()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := make([]byte, 1, 1+env.WireSize())
+		frame = env.AppendWire(frame, env.TTL-1)
+		_ = frame
+	}
+}
+
+// BenchmarkForwardFrameClone measures the seed's forward framing —
+// deep-copy the envelope, mutate the TTL, marshal, concatenate — as the
+// baseline the zero-alloc path replaces.
+func BenchmarkForwardFrameClone(b *testing.B) {
+	env := benchForwardEnvelope()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fwd := env.Clone()
+		fwd.TTL--
+		frame := append(make([]byte, 1), fwd.Marshal()...)
+		_ = frame
+	}
+}
+
+// fanoutPublishers/fanoutSubscribers shape the fan-out benchmark: the
+// publishers contend on the routing index (reads, after the RWMutex
+// change) while exact and wildcard subscribers both match every
+// message.
+const (
+	fanoutPublishers  = 4
+	fanoutSubscribers = 2 // one exact, one wildcard
+)
+
+// benchFanout publishes total messages from fanoutPublishers concurrent
+// clients and waits until every subscriber saw every message; it
+// returns the delivery count (total × fanoutSubscribers).
+func benchFanout(tb testing.TB, tr *transport.Inproc, addr string, pubs []*broker.Client,
+	delivered *atomic.Int64, total int) int {
+	tb.Helper()
+	delivered.Store(0)
+	tp := topic.MustParse("/bench/hotpath/fanout")
+	payload := make([]byte, 256)
+	var wg sync.WaitGroup
+	per := total / len(pubs)
+	for _, pub := range pubs {
+		wg.Add(1)
+		go func(pub *broker.Client) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := pub.Publish(message.New(message.TypeData, tp, pub.Entity(), payload)); err != nil {
+					tb.Errorf("fan-out publish: %v", err)
+					return
+				}
+			}
+		}(pub)
+	}
+	wg.Wait()
+	want := int64(per * len(pubs) * fanoutSubscribers)
+	deadline := time.Now().Add(30 * time.Second)
+	for delivered.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if n := delivered.Load(); n < want {
+		tb.Fatalf("fan-out delivered %d/%d", n, want)
+	}
+	return int(want)
+}
+
+// fanoutFixture stands up one broker, fanoutPublishers publishers, and
+// an exact plus a wildcard subscriber on the measured topic.
+func fanoutFixture(tb testing.TB) (*transport.Inproc, *broker.Broker, []*broker.Client, *atomic.Int64, func()) {
+	tb.Helper()
+	tr := transport.NewInproc()
+	// The egress queue must hold a full benchmark burst: this measures
+	// routing throughput, not PR 3's shedding (BENCH_flood.json does).
+	bk := broker.New(broker.Config{Name: "hotpath-fanout", EgressQueue: 16384})
+	l, err := tr.Listen("")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bk.Serve(l)
+	var delivered atomic.Int64
+	closers := []func(){bk.Close}
+	count := func(*message.Envelope) { delivered.Add(1) }
+	for i, sub := range []string{"/bench/hotpath/fanout", "/bench/hotpath/*"} {
+		c, err := broker.Connect(tr, l.Addr(), ident.EntityID(fmt.Sprintf("fanout-sub-%d", i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		closers = append(closers, func() { c.Close() })
+		if err := c.Subscribe(topic.MustParse(sub), count); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	pubs := make([]*broker.Client, fanoutPublishers)
+	for i := range pubs {
+		c, err := broker.Connect(tr, l.Addr(), ident.EntityID(fmt.Sprintf("fanout-pub-%d", i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		closers = append(closers, func() { c.Close() })
+		pubs[i] = c
+	}
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	return tr, bk, pubs, &delivered, cleanup
+}
+
+// BenchmarkFanoutMultiPublisher measures delivered fan-out throughput
+// with concurrent publishers contending on the routing index.
+func BenchmarkFanoutMultiPublisher(b *testing.B) {
+	tr, _, pubs, delivered, cleanup := fanoutFixture(b)
+	defer cleanup()
+	benchFanout(b, tr, "", pubs, delivered, 2*fanoutPublishers) // warm-up
+	b.ResetTimer()
+	n := benchFanout(b, tr, "", pubs, delivered, b.N+len(pubs)) // ≥ b.N messages
+	b.StopTimer()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "deliveries/s")
+}
+
+// --- BENCH_hotpath.json export ---------------------------------------------
+
+type hotpathBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func runHotpathBench(f func(*testing.B)) hotpathBench {
+	r := testing.Benchmark(f)
+	return hotpathBench{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// TestExportHotpathBench runs the cached/uncached guard pair, the
+// forward-framing pair, and the multi-publisher fan-out, and writes the
+// numbers to BENCH_hotpath.json. The cache must deliver the issue's
+// promised ≥3× reduction in guard verification ns/op, and the
+// zero-alloc framing must allocate less than the Clone path.
+func TestExportHotpathBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping BENCH_hotpath.json export in -short mode")
+	}
+	uncached := runHotpathBench(BenchmarkTraceVerification)
+	cached := runHotpathBench(BenchmarkTraceVerificationCached)
+	guardCached := runHotpathBench(BenchmarkGuardCachedTrace)
+	frame := runHotpathBench(BenchmarkForwardFrame)
+	frameClone := runHotpathBench(BenchmarkForwardFrameClone)
+
+	speedup := uncached.NsPerOp / cached.NsPerOp
+	if speedup < 3 {
+		t.Fatalf("cached guard speedup = %.2fx, want >= 3x (uncached %.0f ns/op, cached %.0f ns/op)",
+			speedup, uncached.NsPerOp, cached.NsPerOp)
+	}
+	if frame.AllocsPerOp >= frameClone.AllocsPerOp {
+		t.Fatalf("forward framing allocs/op = %d, clone baseline = %d: no reduction",
+			frame.AllocsPerOp, frameClone.AllocsPerOp)
+	}
+
+	// Fan-out throughput, measured directly (fixed batch, wall clock).
+	tr, _, pubs, delivered, cleanup := fanoutFixture(t)
+	defer cleanup()
+	benchFanout(t, tr, "", pubs, delivered, 400) // warm-up
+	const fanoutMsgs = 4000
+	start := time.Now()
+	deliveries := benchFanout(t, tr, "", pubs, delivered, fanoutMsgs)
+	fanoutPerSec := float64(deliveries) / time.Since(start).Seconds()
+
+	out := struct {
+		Description  string       `json:"description"`
+		GuardUncache hotpathBench `json:"guard_verify_uncached"`
+		GuardCached  hotpathBench `json:"guard_verify_cached"`
+		GuardFull    hotpathBench `json:"guard_closure_cached"`
+		Speedup      float64      `json:"cached_speedup_x"`
+		FwdFrame     hotpathBench `json:"forward_frame"`
+		FwdClone     hotpathBench `json:"forward_frame_clone_baseline"`
+		Fanout       struct {
+			Publishers    int     `json:"publishers"`
+			Subscribers   int     `json:"subscribers"`
+			Messages      int     `json:"messages"`
+			DeliveriesSec float64 `json:"deliveries_per_sec"`
+		} `json:"fanout"`
+	}{
+		Description:  "broker hot path: §4.3 guard verification uncached vs. verified-token-cache hit, forward framing (exact-size AppendWire vs. Clone+Marshal), and multi-publisher fan-out throughput on the RWMutex routing index",
+		GuardUncache: uncached,
+		GuardCached:  cached,
+		GuardFull:    guardCached,
+		Speedup:      speedup,
+		FwdFrame:     frame,
+		FwdClone:     frameClone,
+	}
+	out.Fanout.Publishers = fanoutPublishers
+	out.Fanout.Subscribers = fanoutSubscribers
+	out.Fanout.Messages = fanoutMsgs
+	out.Fanout.DeliveriesSec = fanoutPerSec
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_hotpath.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_hotpath.json (uncached %.0f ns/op, cached %.0f ns/op, %.1fx; frame %d allocs vs %d; fanout %.0f deliveries/s)",
+		uncached.NsPerOp, cached.NsPerOp, speedup, frame.AllocsPerOp, frameClone.AllocsPerOp, fanoutPerSec)
+}

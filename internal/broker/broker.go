@@ -134,21 +134,33 @@ type Broker struct {
 	name string
 	log  *obs.Logger
 
-	mu    sync.Mutex
+	// mu guards the routing index (peers, subs, wildcards, local) and
+	// lifecycle state. The index is read-mostly: every publish takes the
+	// read lock in deliver, so concurrent publishers proceed in parallel
+	// and only subscription churn (rare) takes the write lock.
+	mu    sync.RWMutex
 	peers map[*peer]struct{}
 	// subs maps exact subscription topic strings to the peers holding
 	// them. Wildcard subscriptions are included and matched by scan.
-	subs      map[string]map[subscriberRef]struct{}
-	wildcards map[string]struct{} // subscription strings ending in /*
+	subs map[string]map[subscriberRef]struct{}
+	// wildcards holds subscriptions ending in /* pre-parsed, so the
+	// per-publish wildcard scan never re-runs topic.Parse.
+	wildcards map[string]topic.Topic
 	local     map[string][]*localSub
 	listeners []transport.Listener
 	pending   map[transport.Conn]struct{} // conns awaiting hello
 	closed    bool
 	done      chan struct{}
 
+	// propCache memoizes propagatable() per topic string (bounded by
+	// propCacheMax, counted in propCacheN) so the constrained-grammar
+	// parse does not re-run on every publish.
+	propCache  sync.Map // string -> bool
+	propCacheN atomic.Int64
+
 	seenMu   sync.Mutex
 	seen     map[ident.UUID]struct{}
-	seenFIFO []ident.UUID
+	seenRing *uuidRing
 
 	disconnectMu sync.Mutex
 	onDisconnect []func(entity ident.EntityID)
@@ -252,10 +264,11 @@ func New(cfg Config) *Broker {
 		log:       log.With("broker", cfg.Name),
 		peers:     make(map[*peer]struct{}),
 		subs:      make(map[string]map[subscriberRef]struct{}),
-		wildcards: make(map[string]struct{}),
+		wildcards: make(map[string]topic.Topic),
 		local:     make(map[string][]*localSub),
 		pending:   make(map[transport.Conn]struct{}),
-		seen:      make(map[ident.UUID]struct{}),
+		seen:      make(map[ident.UUID]struct{}, cfg.DedupeWindow),
+		seenRing:  newUUIDRing(cfg.DedupeWindow),
 		quar:      newQuarantine(),
 		done:      make(chan struct{}),
 	}
@@ -263,7 +276,6 @@ func New(cfg Config) *Broker {
 
 // Name returns the broker's name.
 func (b *Broker) Name() string { return b.name }
-
 
 // Serve accepts connections from l until the broker or listener closes.
 // It returns immediately; accepting happens on background goroutines.
@@ -745,7 +757,7 @@ func (b *Broker) addSubscription(p *peer, tp topic.Topic) {
 	}
 	set[subscriberRef{p: p}] = struct{}{}
 	if tp.IsWildcard() {
-		b.wildcards[ts] = struct{}{}
+		b.wildcards[ts] = tp
 	}
 	b.mu.Unlock()
 	b.refreshLinks(ts)
@@ -783,7 +795,7 @@ func (b *Broker) SubscribeLocal(tp topic.Topic, handler func(*message.Envelope))
 	}
 	set[subscriberRef{}] = struct{}{}
 	if tp.IsWildcard() {
-		b.wildcards[ts] = struct{}{}
+		b.wildcards[ts] = tp
 	}
 	b.mu.Unlock()
 	b.refreshLinks(ts)
@@ -826,6 +838,26 @@ func propagatable(ts string) bool {
 	return c.Dist.Propagates()
 }
 
+// propCacheMax bounds the propagation memo: topic strings are
+// publisher-controlled, so an uncapped memo would be a memory-growth
+// vector. Past the cap the answer is computed without being stored.
+const propCacheMax = 8192
+
+// propagates is propagatable memoized per broker: the grammar parse is
+// pure, and deliver asks the same question for every publish on a topic.
+func (b *Broker) propagates(ts string) bool {
+	if v, ok := b.propCache.Load(ts); ok {
+		return v.(bool)
+	}
+	v := propagatable(ts)
+	if b.propCacheN.Load() < propCacheMax {
+		if _, loaded := b.propCache.LoadOrStore(ts, v); !loaded {
+			b.propCacheN.Add(1)
+		}
+	}
+	return v
+}
+
 // refreshLinks reconciles the SUB state of every broker link for one
 // topic: a link should hold our SUB iff some subscriber other than that
 // link wants the topic and the topic propagates.
@@ -835,8 +867,8 @@ func (b *Broker) refreshLinks(ts string) {
 		sub bool
 	}
 	var actions []action
+	prop := b.propagates(ts)
 	b.mu.Lock()
-	prop := propagatable(ts)
 	set := b.subs[ts]
 	for p := range b.peers {
 		if !p.isBroker {
@@ -875,7 +907,7 @@ func (b *Broker) syncLinkSubscriptions(p *peer) {
 	b.mu.Lock()
 	topics := make([]string, 0, len(b.subs))
 	for ts, set := range b.subs {
-		if !propagatable(ts) {
+		if !b.propagates(ts) {
 			continue
 		}
 		for ref := range set {
@@ -940,15 +972,39 @@ func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Princi
 	return nil
 }
 
+// deliverScratch pools the per-delivery collection state so routing an
+// envelope does not allocate a fresh dedupe map and fan-out slices for
+// every publish.
+type deliverScratch struct {
+	locals []*localSub
+	remote []*peer
+	seen   map[*peer]struct{}
+}
+
+var deliverScratchPool = sync.Pool{
+	New: func() any {
+		return &deliverScratch{seen: make(map[*peer]struct{}, 8)}
+	},
+}
+
+func (sc *deliverScratch) release() {
+	clear(sc.locals)
+	clear(sc.remote)
+	sc.locals = sc.locals[:0]
+	sc.remote = sc.remote[:0]
+	clear(sc.seen)
+	deliverScratchPool.Put(sc)
+}
+
 // deliver hands the envelope to local subscribers and forwards it to
-// interested links.
+// interested links. It holds only the routing index's read lock while
+// collecting subscribers, so concurrent publishers do not serialize.
 func (b *Broker) deliver(from *peer, env *message.Envelope) {
 	ts := env.Topic.String()
-	var locals []*localSub
-	var remote []*peer
-	b.mu.Lock()
+	sc := deliverScratchPool.Get().(*deliverScratch)
+	defer sc.release()
+	b.mu.RLock()
 	// Exact subscriptions.
-	seenPeer := make(map[*peer]struct{})
 	collect := func(subTopic string) {
 		for ref := range b.subs[subTopic] {
 			if ref.p == nil {
@@ -957,47 +1013,57 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 			if ref.p == from {
 				continue
 			}
-			if _, dup := seenPeer[ref.p]; dup {
+			if _, dup := sc.seen[ref.p]; dup {
 				continue
 			}
-			seenPeer[ref.p] = struct{}{}
-			remote = append(remote, ref.p)
+			sc.seen[ref.p] = struct{}{}
+			sc.remote = append(sc.remote, ref.p)
 		}
-		locals = append(locals, b.local[subTopic]...)
+		sc.locals = append(sc.locals, b.local[subTopic]...)
 	}
 	collect(ts)
-	// Wildcard subscriptions.
-	for wts := range b.wildcards {
+	// Wildcard subscriptions, stored pre-parsed.
+	for wts, wtp := range b.wildcards {
 		if wts == ts {
 			continue
 		}
-		wtp, err := topic.Parse(wts)
-		if err == nil && env.Topic.Matches(wtp) {
+		if env.Topic.Matches(wtp) {
 			collect(wts)
 		}
 	}
-	b.mu.Unlock()
+	b.mu.RUnlock()
 
-	for _, ls := range locals {
+	for _, ls := range sc.locals {
 		b.stats.deliveredLocal.Add(1)
 		mDeliveredLocal.Inc()
 		ls.handler(env)
 	}
-	if len(remote) == 0 {
+	if len(sc.remote) == 0 {
 		return
 	}
-	prop := propagatable(ts)
-	fwd := env.Clone()
-	fwd.TTL--
-	// Stamp the hop only on envelopes whose originator opted into span
-	// tracing; plain envelopes forward byte-identically to the seed.
-	if fwd.Span != nil {
+	prop := b.propagates(ts)
+	// Build the forwarded frame in one exactly-sized allocation. The TTL
+	// decrement is folded into serialization (AppendWire emits ttl-1 in
+	// place of the envelope's TTL byte), so the common case — no span —
+	// forwards without cloning the envelope at all. Span-stamping brokers
+	// still clone: AddHop mutates shared state.
+	fwdTTL := env.TTL - 1
+	var frame []byte
+	if env.Span == nil {
+		frame = make([]byte, 1, 1+env.WireSize())
+		frame[0] = frameEnvelope
+		frame = env.AppendWire(frame, fwdTTL)
+	} else {
+		fwd := env.Clone()
+		fwd.TTL = fwdTTL
 		fwd.AddHop(b.name, time.Now())
+		frame = make([]byte, 1, 1+fwd.WireSize())
+		frame[0] = frameEnvelope
+		frame = fwd.AppendWire(frame, fwdTTL)
 	}
-	frame := append([]byte{frameEnvelope}, fwd.Marshal()...)
 	now := b.clk.Now()
-	for _, p := range remote {
-		if p.isBroker && (!prop || fwd.TTL == 0) {
+	for _, p := range sc.remote {
+		if p.isBroker && (!prop || fwdTTL == 0) {
 			continue
 		}
 		b.stats.forwarded.Add(1)
@@ -1018,6 +1084,8 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 }
 
 // firstSighting records the message ID, reporting whether it was new.
+// The window is a fixed-size ring: the displaced oldest ID leaves the
+// map, and no per-message allocation occurs once the window fills.
 func (b *Broker) firstSighting(id ident.UUID) bool {
 	b.seenMu.Lock()
 	defer b.seenMu.Unlock()
@@ -1025,10 +1093,7 @@ func (b *Broker) firstSighting(id ident.UUID) bool {
 		return false
 	}
 	b.seen[id] = struct{}{}
-	b.seenFIFO = append(b.seenFIFO, id)
-	if len(b.seenFIFO) > b.cfg.DedupeWindow {
-		old := b.seenFIFO[0]
-		b.seenFIFO = b.seenFIFO[1:]
+	if old, evicted := b.seenRing.push(id); evicted {
 		delete(b.seen, old)
 	}
 	return true
@@ -1053,23 +1118,23 @@ func (b *Broker) Snapshot() Stats {
 
 // PeerCount reports connected peers (clients + links).
 func (b *Broker) PeerCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.peers)
 }
 
 // SubscriptionCount reports distinct subscribed topic strings.
 func (b *Broker) SubscriptionCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.subs)
 }
 
 // HasSubscription reports whether any subscriber holds exactly ts; the
 // tests and the tracing layer use it to await propagation.
 func (b *Broker) HasSubscription(ts string) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	_, ok := b.subs[ts]
 	return ok
 }

@@ -638,7 +638,15 @@ func TestDiamondTopologyNoStorm(t *testing.T) {
 	if err := sub.Subscribe(tp, func(e *message.Envelope) { got <- e }); err != nil {
 		t.Fatal(err)
 	}
-	waitFor(t, "propagation to a", func() bool { return brokers["a"].HasSubscription(tp.String()) })
+	// Both diamond branches must carry interest before publishing:
+	// broker a needs the subscription registered by b AND c, or the
+	// message takes a single path and no duplicate ever reaches d.
+	waitFor(t, "propagation to a via both branches", func() bool {
+		a := brokers["a"]
+		a.mu.RLock()
+		defer a.mu.RUnlock()
+		return len(a.subs[tp.String()]) >= 2
+	})
 
 	pub, _ := Connect(tr, addrs["a"], "pub")
 	defer pub.Close()

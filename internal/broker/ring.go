@@ -1,0 +1,42 @@
+package broker
+
+import "entitytrace/internal/ident"
+
+// uuidRing is a fixed-capacity FIFO of message IDs backing the dedupe
+// window. The seed kept this FIFO as a slice advanced with s = s[1:],
+// which pins the backing array's consumed prefix and forces append to
+// reallocate forever; the ring reuses one allocation for the broker's
+// lifetime.
+type uuidRing struct {
+	buf  []ident.UUID
+	head int // index of the oldest element
+	n    int // populated count
+}
+
+// newUUIDRing allocates a ring holding up to capacity IDs.
+func newUUIDRing(capacity int) *uuidRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &uuidRing{buf: make([]ident.UUID, capacity)}
+}
+
+// push appends id; when the ring is full it overwrites and returns the
+// displaced oldest entry with evicted=true.
+func (r *uuidRing) push(id ident.UUID) (old ident.UUID, evicted bool) {
+	if r.n == len(r.buf) {
+		old = r.buf[r.head]
+		r.buf[r.head] = id
+		r.head = (r.head + 1) % len(r.buf)
+		return old, true
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = id
+	r.n++
+	return ident.UUID{}, false
+}
+
+// len reports the populated count.
+func (r *uuidRing) len() int { return r.n }
+
+// cap reports the ring's fixed capacity.
+func (r *uuidRing) cap() int { return len(r.buf) }

@@ -1,0 +1,90 @@
+package broker
+
+import (
+	"testing"
+
+	"entitytrace/internal/ident"
+)
+
+// TestUUIDRingEviction drives the dedupe ring through fill, wrap and
+// steady-state overwrite, checking FIFO order of the displaced IDs.
+func TestUUIDRingEviction(t *testing.T) {
+	const capacity = 4
+	r := newUUIDRing(capacity)
+	if r.cap() != capacity {
+		t.Fatalf("cap = %d, want %d", r.cap(), capacity)
+	}
+	ids := make([]ident.UUID, 3*capacity)
+	for i := range ids {
+		ids[i] = ident.NewUUID()
+	}
+	// Filling must not evict.
+	for i := 0; i < capacity; i++ {
+		if old, evicted := r.push(ids[i]); evicted {
+			t.Fatalf("push %d evicted %v before ring was full", i, old)
+		}
+		if r.len() != i+1 {
+			t.Fatalf("len = %d after %d pushes", r.len(), i+1)
+		}
+	}
+	// Every further push displaces the oldest ID, in insertion order.
+	for i := capacity; i < len(ids); i++ {
+		old, evicted := r.push(ids[i])
+		if !evicted {
+			t.Fatalf("push %d did not evict with a full ring", i)
+		}
+		if want := ids[i-capacity]; old != want {
+			t.Fatalf("push %d evicted %v, want %v (FIFO order)", i, old, want)
+		}
+		if r.len() != capacity {
+			t.Fatalf("len = %d, want %d (fixed at capacity)", r.len(), capacity)
+		}
+	}
+}
+
+// TestUUIDRingMinCapacity verifies the degenerate capacity is clamped so
+// a misconfigured window cannot panic the dedupe path.
+func TestUUIDRingMinCapacity(t *testing.T) {
+	r := newUUIDRing(0)
+	if r.cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", r.cap())
+	}
+	a, b := ident.NewUUID(), ident.NewUUID()
+	if _, evicted := r.push(a); evicted {
+		t.Fatal("first push evicted")
+	}
+	old, evicted := r.push(b)
+	if !evicted || old != a {
+		t.Fatalf("second push: evicted=%v old=%v, want eviction of %v", evicted, old, a)
+	}
+}
+
+// TestFirstSightingWindow exercises the broker-level dedupe semantics on
+// the ring: IDs inside the window are duplicates, IDs displaced out of
+// the window are forgotten and admitted again.
+func TestFirstSightingWindow(t *testing.T) {
+	b := New(Config{Name: "ring-test", DedupeWindow: 3})
+	defer b.Close()
+	ids := []ident.UUID{ident.NewUUID(), ident.NewUUID(), ident.NewUUID(), ident.NewUUID()}
+	for i, id := range ids[:3] {
+		if !b.firstSighting(id) {
+			t.Fatalf("id %d reported as duplicate on first sighting", i)
+		}
+	}
+	for i, id := range ids[:3] {
+		if b.firstSighting(id) {
+			t.Fatalf("id %d not recognized as duplicate inside window", i)
+		}
+	}
+	// A fourth ID displaces ids[0]; the displaced ID is new again (and
+	// its re-admission displaces ids[1], leaving ids[2] in the window).
+	if !b.firstSighting(ids[3]) {
+		t.Fatal("fresh id reported as duplicate")
+	}
+	if !b.firstSighting(ids[0]) {
+		t.Fatal("displaced id still reported as duplicate")
+	}
+	if b.firstSighting(ids[2]) {
+		t.Fatal("id still inside window admitted twice")
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"sync"
@@ -143,43 +144,134 @@ func traceTopicOf(tp topic.Topic) (ident.UUID, bool) {
 // randomly generated delegate key.
 func VerifyTrace(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
 	verifier *credential.Verifier, now time.Time, skew time.Duration) error {
+	_, err := verifyTraceFull(env, traceTopic, resolver, verifier, now, skew)
+	return err
+}
+
+// verifyTraceFull is the uncached pipeline; on success it also returns
+// the established facts so VerifyTraceCached can memoize them.
+func verifyTraceFull(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
+	verifier *credential.Verifier, now time.Time, skew time.Duration) (*verifiedToken, error) {
 	if len(env.Token) == 0 {
 		mDropNoToken.Inc()
-		return errors.New("core: trace message lacks authorization token")
+		return nil, errors.New("core: trace message lacks authorization token")
 	}
 	tok, err := token.Unmarshal(env.Token)
 	if err != nil {
 		mDropBadToken.Inc()
-		return fmt.Errorf("core: trace token: %w", err)
+		return nil, fmt.Errorf("core: trace token: %w", err)
 	}
 	if tok.TraceTopic != traceTopic {
 		mDropBadToken.Inc()
-		return fmt.Errorf("core: token topic %v does not match message topic %v", tok.TraceTopic, traceTopic)
+		return nil, fmt.Errorf("core: token topic %v does not match message topic %v", tok.TraceTopic, traceTopic)
 	}
 	ad, err := resolver.ResolveAd(traceTopic)
 	if err != nil {
 		mDropUnknownTopic.Inc()
-		return err
+		return nil, err
 	}
 	ownerPub, err := ad.Verify(verifier, now)
 	if err != nil {
 		mDropBadAd.Inc()
-		return fmt.Errorf("core: advertisement: %w", err)
+		return nil, fmt.Errorf("core: advertisement: %w", err)
 	}
 	if tok.Owner != ad.Owner {
 		mDropUnauthorized.Inc()
-		return fmt.Errorf("core: token owner %q is not topic owner %q", tok.Owner, ad.Owner)
+		return nil, fmt.Errorf("core: token owner %q is not topic owner %q", tok.Owner, ad.Owner)
 	}
 	delegatePub, err := tok.Verify(ownerPub, now, skew, token.RightPublish)
 	if err != nil {
 		mDropUnauthorized.Inc()
-		return fmt.Errorf("core: token: %w", err)
+		return nil, fmt.Errorf("core: token: %w", err)
 	}
 	if err := env.VerifySignature(delegatePub, traceSigHash); err != nil {
 		mDropBadSignature.Inc()
-		return fmt.Errorf("core: delegate signature: %w", err)
+		return nil, fmt.Errorf("core: delegate signature: %w", err)
 	}
+	return &verifiedToken{
+		topic:     traceTopic,
+		ad:        ad,
+		delegate:  delegatePub,
+		notBefore: tok.NotBefore,
+		notAfter:  tok.NotAfter,
+	}, nil
+}
+
+// VerifyTraceCached is VerifyTrace accelerated by a verified-token
+// cache. On a hit — byte-identical token already verified — only the
+// cheap per-message conditions re-run: topic match, advertisement
+// identity, skew-tolerant validity-window check against now, and the one
+// unavoidable RSA verification of the envelope's delegate signature. The
+// expensive X.509 advertisement chain and RSA token-owner checks are
+// skipped. Any stale or inapplicable entry (expired window, different
+// advertisement, different topic) is invalidated and the full pipeline
+// re-runs, so rejections carry exactly the uncached error and drop
+// reason. A nil cache degenerates to VerifyTrace.
+func VerifyTraceCached(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
+	verifier *credential.Verifier, now time.Time, skew time.Duration, cache *TokenCache) error {
+	if cache == nil {
+		return VerifyTrace(env, traceTopic, resolver, verifier, now, skew)
+	}
+	if len(env.Token) == 0 {
+		mDropNoToken.Inc()
+		return errors.New("core: trace message lacks authorization token")
+	}
+	d := sha256.Sum256(env.Token)
+	if e, ok := cache.lookup(d); ok {
+		if valid, err := applyCached(env, e, traceTopic, resolver, verifier, now, skew); valid {
+			cache.hit()
+			return err
+		}
+		// Stale: expired mid-cache, advertisement replaced, or topic
+		// mismatch. Drop the entry and fall through so the rejection (or
+		// re-acceptance under a renewed advertisement) is byte-identical
+		// to the uncached path.
+		cache.invalidate(d)
+	}
+	cache.miss()
+	e, err := verifyTraceFull(env, traceTopic, resolver, verifier, now, skew)
+	if err != nil {
+		return err
+	}
+	cache.insert(d, e)
 	return nil
+}
+
+// applyCached re-validates the per-hit conditions for a cache entry.
+// valid=false means the entry no longer applies and the caller must fall
+// back to the full pipeline; valid=true means the entry settled the
+// verification with the returned error (nil for accept, or the delegate
+// signature rejection).
+func applyCached(env *message.Envelope, e *verifiedToken, traceTopic ident.UUID,
+	resolver AdResolver, verifier *credential.Verifier, now time.Time, skew time.Duration) (valid bool, err error) {
+	if e.topic != traceTopic {
+		return false, nil
+	}
+	ad, adErr := resolver.ResolveAd(traceTopic)
+	if adErr != nil || ad != e.ad {
+		return false, nil
+	}
+	// The advertisement's own lifetime is clock-checked here (the cheap
+	// half of ad.Verify); past it the entry is stale and the full
+	// pipeline reproduces the uncached bad_advertisement rejection.
+	if now.UnixNano() > ad.ExpiresAt {
+		return false, nil
+	}
+	if skew < 0 {
+		skew = token.DefaultClockSkew
+	}
+	nb := time.Unix(0, e.notBefore).Add(-skew)
+	na := time.Unix(0, e.notAfter).Add(skew)
+	if now.Before(nb) || now.After(na) {
+		return false, nil
+	}
+	// The per-message delegate-signature verification is never cached:
+	// every envelope's signature is distinct and must be checked.
+	if sigErr := env.VerifySignature(e.delegate, traceSigHash); sigErr != nil {
+		mDropBadSignature.Inc()
+		return true, fmt.Errorf("core: delegate signature: %w", sigErr)
+	}
+	return true, nil
 }
 
 // NewTokenGuard builds the broker.Guard of §4.3/§5.2: messages on trace
@@ -188,6 +280,15 @@ func VerifyTrace(env *message.Envelope, traceTopic ident.UUID, resolver AdResolv
 // through.
 func NewTokenGuard(resolver AdResolver, verifier *credential.Verifier,
 	now func() time.Time, skew time.Duration) broker.Guard {
+	return NewCachedTokenGuard(resolver, verifier, now, skew, nil)
+}
+
+// NewCachedTokenGuard is NewTokenGuard with a verified-token cache
+// accelerating steady-state traces (§6.3's signing-cost idea applied
+// broker-side). A nil cache reproduces NewTokenGuard's behaviour
+// byte-for-byte.
+func NewCachedTokenGuard(resolver AdResolver, verifier *credential.Verifier,
+	now func() time.Time, skew time.Duration, cache *TokenCache) broker.Guard {
 	if now == nil {
 		now = time.Now
 	}
@@ -199,6 +300,6 @@ func NewTokenGuard(resolver AdResolver, verifier *credential.Verifier,
 		if !isTrace {
 			return nil
 		}
-		return VerifyTrace(env, tt, resolver, verifier, now(), skew)
+		return VerifyTraceCached(env, tt, resolver, verifier, now(), skew, cache)
 	}
 }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/tdn"
+)
+
+// Guard-cache traffic counters, process-wide like the drop counters
+// above (per-instance numbers stay available via TokenCache.Stats).
+var (
+	mGuardCacheHits          = obs.Default.Counter("guard_cache_hits_total")
+	mGuardCacheMisses        = obs.Default.Counter("guard_cache_misses_total")
+	mGuardCacheEvictions     = obs.Default.Counter("guard_cache_evictions_total")
+	mGuardCacheInvalidations = obs.Default.Counter("guard_cache_invalidations_total")
+)
+
+// DefaultTokenCacheSize bounds the verified-token cache when callers do
+// not choose a size. One entry exists per distinct token byte string; an
+// entity re-delegates once per token validity window, so even large
+// broker populations stay far below this.
+const DefaultTokenCacheSize = 4096
+
+// tokenDigest keys the cache: a SHA-256 over the raw token bytes
+// attached to the envelope. Any change to the token — a tampered byte, a
+// re-issued delegation, a rotated topic's fresh token — changes the
+// digest, so a cached verdict can never be applied to different bytes.
+type tokenDigest = [sha256.Size]byte
+
+// verifiedToken is one cached §4.3 verification outcome: the facts that
+// were established by the expensive checks (X.509 advertisement chain,
+// RSA token-owner signature, delegate-key parse) and everything needed
+// to re-validate the cheap, per-message conditions on each hit.
+type verifiedToken struct {
+	// topic is the trace topic the token delegates publish rights on; a
+	// hit only applies to envelopes for this exact topic.
+	topic ident.UUID
+	// ad is the advertisement the token was verified against. Compared
+	// by pointer on every hit: if the resolver now returns a different
+	// advertisement (topic re-registered, cache re-primed, rotation) the
+	// entry is stale and the full pipeline re-runs.
+	ad *tdn.Advertisement
+	// delegate is the parsed randomly generated public key; the one
+	// per-message RSA verification always runs against it.
+	delegate *rsa.PublicKey
+	// notBefore/notAfter are the token's validity bounds (Unix nanos),
+	// clock-checked with skew tolerance on every hit so expiry is
+	// honoured mid-cache.
+	notBefore, notAfter int64
+}
+
+// TokenCacheStats is a point-in-time snapshot of one cache's activity.
+type TokenCacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Size          int    `json:"size"`
+	Capacity      int    `json:"capacity"`
+}
+
+// TokenCache memoizes successful §4.3 token verifications so steady-state
+// traces pay only the one unavoidable per-message delegate-signature
+// verification. It is bounded (FIFO eviction) and safe for concurrent
+// use; hits take only a read lock. A nil *TokenCache is valid and means
+// caching disabled — every call falls through to the full pipeline.
+type TokenCache struct {
+	mu      sync.RWMutex
+	entries map[tokenDigest]*verifiedToken
+	// order is a fixed-capacity insertion-order ring used for eviction;
+	// it never reallocates after construction.
+	order []tokenDigest
+	head  int // oldest entry when full
+	n     int // populated ring slots
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// NewTokenCache creates a cache bounded to size entries; size <= 0
+// selects DefaultTokenCacheSize. Callers that want caching disabled pass
+// a nil *TokenCache instead.
+func NewTokenCache(size int) *TokenCache {
+	if size <= 0 {
+		size = DefaultTokenCacheSize
+	}
+	return &TokenCache{
+		entries: make(map[tokenDigest]*verifiedToken, size),
+		order:   make([]tokenDigest, size),
+	}
+}
+
+// lookup returns the cached entry for the digest, if any. It counts
+// neither a hit nor a miss: the caller decides after re-validating the
+// per-hit conditions (topic match, advertisement identity, validity
+// window).
+func (c *TokenCache) lookup(d tokenDigest) (*verifiedToken, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	e, ok := c.entries[d]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+// insert stores a freshly verified token, evicting the oldest entry when
+// full. Re-inserting a present digest refreshes the entry in place.
+func (c *TokenCache) insert(d tokenDigest, e *verifiedToken) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, present := c.entries[d]; present {
+		c.entries[d] = e
+		c.mu.Unlock()
+		return
+	}
+	if c.n == len(c.order) {
+		old := c.order[c.head]
+		// The ring can reference digests already removed by invalidate;
+		// only a live removal counts as an eviction.
+		if _, live := c.entries[old]; live {
+			delete(c.entries, old)
+			c.evictions.Add(1)
+			mGuardCacheEvictions.Inc()
+		}
+		c.order[c.head] = d
+		c.head = (c.head + 1) % len(c.order)
+	} else {
+		c.order[(c.head+c.n)%len(c.order)] = d
+		c.n++
+	}
+	c.entries[d] = e
+	// Invalidated slots leave the ring over-counting live entries; if the
+	// map is somehow still over capacity (cannot happen with the ring at
+	// capacity), the map is the authority — nothing further to do.
+	c.mu.Unlock()
+}
+
+// invalidate drops one entry (stale hit: expired window, changed
+// advertisement, rotated topic). The ring slot is left behind and
+// reconciled lazily by insert.
+func (c *TokenCache) invalidate(d tokenDigest) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	_, present := c.entries[d]
+	if present {
+		delete(c.entries, d)
+	}
+	c.mu.Unlock()
+	if present {
+		c.invalidations.Add(1)
+		mGuardCacheInvalidations.Inc()
+	}
+}
+
+// InvalidateAll empties the cache; hosting brokers call it when their
+// view of advertisements changes wholesale (e.g. trust-anchor reload).
+func (c *TokenCache) InvalidateAll() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	for d := range c.entries {
+		delete(c.entries, d)
+	}
+	c.head, c.n = 0, 0
+	c.mu.Unlock()
+	if n > 0 {
+		c.invalidations.Add(uint64(n))
+		mGuardCacheInvalidations.Add(uint64(n))
+	}
+}
+
+// Len reports the number of live entries.
+func (c *TokenCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the cache's counters.
+func (c *TokenCache) Stats() TokenCacheStats {
+	if c == nil {
+		return TokenCacheStats{}
+	}
+	c.mu.RLock()
+	size, capacity := len(c.entries), len(c.order)
+	c.mu.RUnlock()
+	return TokenCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Size:          size,
+		Capacity:      capacity,
+	}
+}
+
+func (c *TokenCache) hit() {
+	if c == nil {
+		return
+	}
+	c.hits.Add(1)
+	mGuardCacheHits.Inc()
+}
+
+func (c *TokenCache) miss() {
+	if c == nil {
+		return
+	}
+	c.misses.Add(1)
+	mGuardCacheMisses.Inc()
+}

@@ -89,6 +89,11 @@ type Options struct {
 	// ReconnectBackoff paces entity/tracker redial (zero selects fast
 	// test-friendly defaults).
 	ReconnectBackoff backoff.Config
+	// GuardCache sizes each broker's verified-token cache. Zero selects
+	// the default size (cache enabled, so the testbed exercises the
+	// cached hot path like production brokerd); negative disables
+	// caching, reproducing the uncached §4.3 pipeline on every trace.
+	GuardCache int
 }
 
 func (o *Options) setDefaults() {
@@ -197,7 +202,11 @@ func New(opts Options) (*Testbed, error) {
 
 	for i := 0; i < opts.Brokers; i++ {
 		resolver := core.NewCachingResolver(core.NodeResolver(tb.Node))
-		guard := core.NewTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew)
+		var tokenCache *core.TokenCache
+		if opts.GuardCache >= 0 {
+			tokenCache = core.NewTokenCache(opts.GuardCache)
+		}
+		guard := core.NewCachedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache)
 		b := broker.New(broker.Config{
 			Name:                 fmt.Sprintf("hb%d", i),
 			Guard:                guard,

@@ -4,6 +4,7 @@ import (
 	"crypto/rsa"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"entitytrace/internal/ident"
@@ -219,12 +220,16 @@ func New(t Type, tp topic.Topic, source ident.EntityID, payload []byte) *Envelop
 // Time returns the timestamp as a time.Time.
 func (e *Envelope) Time() time.Time { return time.Unix(0, e.Timestamp) }
 
-// marshalBody serializes everything except the signature. includeTTL
-// distinguishes the wire form (TTL present) from the signed form: TTL is
-// mutable routing state, decremented at every forwarding broker, so it
-// must be excluded from signatures (like the mutable header fields of
-// IPsec AH).
-func (e *Envelope) marshalBody(w *writer, includeTTL bool) {
+// ttlExcluded selects the signed form in marshalBody: TTL is mutable
+// routing state, decremented at every forwarding broker, so it must be
+// excluded from signatures (like the mutable header fields of IPsec AH).
+const ttlExcluded = -1
+
+// marshalBody serializes everything except the signature. ttl is the
+// TTL byte to emit, or ttlExcluded for the signed form; forwarding
+// brokers pass the decremented value so re-marshaling does not require
+// mutating (and therefore cloning) the envelope.
+func (e *Envelope) marshalBody(w *writer, ttl int) {
 	w.u8(envelopeVersion)
 	w.uuid(e.ID)
 	w.u16(uint16(e.Type))
@@ -233,20 +238,64 @@ func (e *Envelope) marshalBody(w *writer, includeTTL bool) {
 	w.i64(e.Timestamp)
 	w.u64(e.SeqNum)
 	w.uuid(e.RequestID)
-	if includeTTL {
-		w.u8(e.TTL)
+	if ttl != ttlExcluded {
+		w.u8(uint8(ttl))
 	}
 	w.u16(e.Flags)
 	w.bytes(e.Payload)
 	w.bytes(e.Token)
 }
 
+// bodySize returns the exact serialized size of marshalBody's output so
+// buffers can be allocated once, with withTTL selecting the wire form.
+func (e *Envelope) bodySize(withTTL bool) int {
+	n := 1 + 16 + 2 + // version, ID, type
+		4 + len(e.Topic.String()) +
+		4 + len(e.Source) +
+		8 + 8 + 16 + // timestamp, seqnum, request ID
+		2 + // flags
+		4 + len(e.Payload) +
+		4 + len(e.Token)
+	if withTTL {
+		n++
+	}
+	return n
+}
+
+// WireSize returns the exact length Marshal would produce, so frame
+// buffers can be sized without a trial serialization.
+func (e *Envelope) WireSize() int {
+	return e.bodySize(true) + 4 + len(e.Signature) + e.Span.wireSize()
+}
+
 // SigningBytes returns the canonical byte string a signature covers: the
 // full body excluding the signature itself and the mutable TTL.
 func (e *Envelope) SigningBytes() []byte {
-	var w writer
-	e.marshalBody(&w, false)
+	w := writer{buf: make([]byte, 0, e.bodySize(false))}
+	e.marshalBody(&w, ttlExcluded)
 	return w.buf
+}
+
+// signingScratch pools the transient buffers Sign and VerifySignature
+// serialize into: the canonical bytes only live for the duration of one
+// hash, and brokers re-verify a delegate signature on every forwarded
+// trace, so these allocations are pure hot-path garbage.
+var signingScratch = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// withSigningBytes invokes f with the pooled canonical signing bytes.
+func (e *Envelope) withSigningBytes(f func(b []byte) error) error {
+	bp := signingScratch.Get().(*[]byte)
+	w := writer{buf: (*bp)[:0]}
+	e.marshalBody(&w, ttlExcluded)
+	err := f(w.buf)
+	*bp = w.buf
+	signingScratch.Put(bp)
+	return err
 }
 
 // Envelope crypto latencies, the per-hop costs of the paper's §5
@@ -261,11 +310,17 @@ var (
 // encrypting this message digest with its private key).
 func (e *Envelope) Sign(s *secure.Signer) error {
 	start := time.Now()
-	sig, err := s.Sign(e.SigningBytes())
+	err := e.withSigningBytes(func(b []byte) error {
+		sig, err := s.Sign(b)
+		if err != nil {
+			return err
+		}
+		e.Signature = sig
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	e.Signature = sig
 	mSignLatency.ObserveDuration(time.Since(start))
 	return nil
 }
@@ -276,7 +331,9 @@ func (e *Envelope) VerifySignature(pub *rsa.PublicKey, h secure.Hash) error {
 		return errors.New("message: envelope is unsigned")
 	}
 	start := time.Now()
-	err := secure.Verify(pub, h, e.SigningBytes(), e.Signature)
+	err := e.withSigningBytes(func(b []byte) error {
+		return secure.Verify(pub, h, b, e.Signature)
+	})
 	if err == nil {
 		mVerifyLatency.ObserveDuration(time.Since(start))
 	}
@@ -284,10 +341,19 @@ func (e *Envelope) VerifySignature(pub *rsa.PublicKey, h secure.Hash) error {
 }
 
 // Marshal serializes the envelope including any signature, followed by
-// the optional span annotation.
+// the optional span annotation. The buffer is sized exactly, so the
+// serialization costs one allocation.
 func (e *Envelope) Marshal() []byte {
-	var w writer
-	e.marshalBody(&w, true)
+	return e.AppendWire(make([]byte, 0, e.WireSize()), e.TTL)
+}
+
+// AppendWire appends the envelope's wire form to dst with ttl in place
+// of e.TTL, and returns the extended buffer. Forwarding brokers use it
+// to emit the TTL-decremented frame without cloning the envelope:
+// everything except the TTL byte is emitted byte-identically.
+func (e *Envelope) AppendWire(dst []byte, ttl uint8) []byte {
+	w := writer{buf: dst}
+	e.marshalBody(&w, int(ttl))
 	w.bytes(e.Signature)
 	if e.Span != nil {
 		e.Span.marshal(&w)

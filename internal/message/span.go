@@ -58,6 +58,23 @@ func (s *Span) Clone() *Span {
 	return cp
 }
 
+// wireSize returns the exact serialized size of the span section (0 for
+// an absent span), mirroring marshal.
+func (s *Span) wireSize() int {
+	if s == nil {
+		return 0
+	}
+	n := 1 + 16 + 1 // marker, trace ID, hop count
+	hops := len(s.Hops)
+	if hops > MaxHops {
+		hops = MaxHops
+	}
+	for _, h := range s.Hops[:hops] {
+		n += 4 + len(h.Node) + 8
+	}
+	return n
+}
+
 // marshal appends the span wire section: marker, trace ID, hop count,
 // hops.
 func (s *Span) marshal(w *writer) {

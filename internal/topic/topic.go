@@ -23,6 +23,10 @@ var ErrBadTopic = errors.New("topic: malformed topic")
 // construct topics with Parse or Build.
 type Topic struct {
 	segments []string
+	// str caches the canonical form: topics are parsed once but
+	// stringified on every routing decision, so String must not
+	// re-join segments per call.
+	str string
 }
 
 // Parse validates and parses a topic string. Topics must start with '/'
@@ -42,7 +46,7 @@ func Parse(s string) (Topic, error) {
 			return Topic{}, fmt.Errorf("%w: %q (wildcard only allowed as final segment)", ErrBadTopic, s)
 		}
 	}
-	return Topic{segments: raw}, nil
+	return Topic{segments: raw, str: s}, nil
 }
 
 // MustParse is Parse for statically known strings; it panics on error.
@@ -66,6 +70,9 @@ func Build(segments ...string) (Topic, error) {
 func (t Topic) String() string {
 	if len(t.segments) == 0 {
 		return ""
+	}
+	if t.str != "" {
+		return t.str
 	}
 	return "/" + strings.Join(t.segments, "/")
 }
