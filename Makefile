@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover bench flood hotpath benchdiff fuzz chaos repro examples clean
+.PHONY: all build test race verify cover trace bench flood hotpath benchdiff fuzz chaos repro examples clean
 
 all: build test
 
@@ -23,6 +23,8 @@ verify: build
 	$(GO) test -race -run 'TestChaos' -count=1 .
 	$(GO) test -race -run 'TestExportFloodBench' -count=1 .
 	$(GO) test -run 'TestExportHotpathBench' -count=1 .
+	$(MAKE) trace
+	$(MAKE) cover
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
 # injector, failure-detector and reconnect tests, all race-enabled. Every
@@ -32,8 +34,25 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/failure/
 	$(GO) test -race -count=1 -run 'Reconnect|PersistentLink' ./internal/core/ ./internal/broker/
 
+# Coverage over the internal packages, with a hard floor on internal/obs:
+# the flight recorder and trace assembly are the operator's only window
+# into a misbehaving deployment, so their behaviour stays pinned by tests.
+OBS_COVER_FLOOR = 85
 cover:
 	$(GO) test -cover ./internal/...
+	@pct=$$($(GO) test -cover ./internal/obs/ | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+	if [ -z "$$pct" ]; then echo "cover: could not parse internal/obs coverage"; exit 1; fi; \
+	ok=$$(awk -v p="$$pct" -v f="$(OBS_COVER_FLOOR)" 'BEGIN{print (p >= f) ? 1 : 0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "cover: internal/obs coverage $$pct% is below the $(OBS_COVER_FLOOR)% floor"; exit 1; \
+	fi; \
+	echo "cover: internal/obs $$pct% >= $(OBS_COVER_FLOOR)% floor"
+
+# Tracing smoke: the tracectl end-to-end suite against a 3-broker chain —
+# waterfall rendering, guard-drop visibility in tail, tail's since-cursor
+# and the self-monitoring broker map (see trace_e2e_test.go).
+trace:
+	$(GO) test -race -run 'TestTraceCtl' -count=1 -v .
 
 # Full benchmark sweep (the testing.B mirror of the paper's evaluation).
 bench:
@@ -58,7 +77,7 @@ hotpath:
 # cmd/benchdiff (mean ± stderr). First run records the baseline; commit
 # or stash your changes, run again, and the table shows the deltas.
 # Refresh the baseline by deleting bench_baseline.txt.
-HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|FanoutMultiPublisher|Envelope
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope
 benchdiff:
 	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
 	@if [ -f bench_baseline.txt ]; then \

@@ -48,6 +48,10 @@ func main() {
 		pubBurst      = flag.Int("pub-burst", 0, "token-bucket burst for -pub-rate (0 means max(1, rate))")
 		quarantine    = flag.Duration("quarantine", broker.DefaultQuarantineDuration, "how long an evicted principal's reconnects are refused (negative disables)")
 		guardCache    = flag.Int("guard-cache", core.DefaultTokenCacheSize, "verified-token cache entries for trace authorization (0 disables caching)")
+		flightEvents  = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables recording)")
+		traceSample   = flag.Int("trace-sample", obs.DefaultFlightSample, "record 1-in-N healthy flight events (drops are always recorded; 1 records everything)")
+		healthEvery   = flag.Duration("health-interval", 10*time.Second, "self-monitoring snapshot period on the system-health topic (0 disables)")
+		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
 	)
@@ -103,9 +107,18 @@ func main() {
 	if *guardCache > 0 {
 		tokenCache = core.NewTokenCache(*guardCache)
 	}
+	// The flight recorder keeps the broker's recent routing decisions in
+	// a bounded ring, shared between the guard (verdict events) and the
+	// broker (ingress/route/egress/drop events); /trace serves it and
+	// SIGQUIT dumps it.
+	var flight *obs.FlightRecorder
+	if *flightEvents > 0 {
+		flight = obs.NewFlightRecorder(brokerName, *flightEvents, *traceSample)
+	}
 	b := broker.New(broker.Config{
 		Name:                 brokerName,
-		Guard:                core.NewCachedTokenGuard(resolver, verifier, nil, token.DefaultClockSkew, tokenCache),
+		Guard:                core.NewObservedTokenGuard(resolver, verifier, nil, token.DefaultClockSkew, tokenCache, flight),
+		Flight:               flight,
 		EgressQueue:          *egressQueue,
 		SlowConsumerDeadline: *slowDeadline,
 		PublishRate:          *pubRate,
@@ -119,11 +132,13 @@ func main() {
 	}
 	b.Serve(l)
 	mgr, err := core.NewTraceBroker(core.BrokerConfig{
-		Broker:   b,
-		Identity: id,
-		Verifier: verifier,
-		Resolver: resolver,
-		Log:      log,
+		Broker:         b,
+		Identity:       id,
+		Verifier:       verifier,
+		Resolver:       resolver,
+		Log:            log,
+		HealthInterval: *healthEvery,
+		TokenCache:     tokenCache,
 	})
 	if err != nil {
 		fail("trace manager: %v", err)
@@ -139,7 +154,7 @@ func main() {
 	}
 	fmt.Printf("brokerd: %s serving on %s (%s)\n", brokerName, l.Addr(), *transportName)
 	if *adminAddr != "" {
-		go serveAdmin(*adminAddr, brokerName, b, mgr, tokenCache)
+		go serveAdmin(*adminAddr, brokerName, b, mgr, tokenCache, flight)
 	}
 
 	// Register with the broker directory and refresh periodically so
@@ -154,6 +169,11 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// SIGQUIT dumps the flight recorder to stderr without stopping the
+	// broker — the post-incident "what did you decide recently" escape
+	// hatch when no admin endpoint is up.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
 	ticker := time.NewTicker(10 * time.Second)
 	defer ticker.Stop()
 	for {
@@ -162,6 +182,13 @@ func main() {
 			if dirClient != nil {
 				_ = dirClient.Register(brokerName, *transportName, l.Addr(), float64(b.PeerCount()))
 			}
+		case <-quit:
+			if flight == nil {
+				fmt.Fprintln(os.Stderr, "brokerd: flight recorder disabled (-flight 0)")
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "brokerd: flight dump (SIGQUIT)\n")
+			_ = flight.WriteJSON(os.Stderr, obs.FlightFilter{})
 		case <-stop:
 			fmt.Println("brokerd: shutting down")
 			if dirClient != nil {
@@ -169,16 +196,20 @@ func main() {
 			}
 			mgr.Close()
 			b.Close()
+			if *metricsDump {
+				obs.Default.WriteText(os.Stdout)
+			}
 			return
 		}
 	}
 }
 
 // serveAdmin exposes operational state over HTTP: /metrics (process-wide
-// registry, text or JSON), /debug/pprof, an enriched /healthz, and
-// /stats — a JSON snapshot of this broker's routing counters and session
-// counts, kept for existing tooling.
-func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, tokenCache *core.TokenCache) {
+// registry, text or JSON), /debug/pprof, an enriched /healthz, /trace
+// (flight-recorder events for tracectl), and /stats — a JSON snapshot of
+// this broker's routing counters and session counts, kept for existing
+// tooling.
+func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, tokenCache *core.TokenCache, flight *obs.FlightRecorder) {
 	mux := obs.NewAdminMux(obs.Default, func() map[string]any {
 		return map[string]any{
 			"broker":        name,
@@ -205,6 +236,11 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, toke
 			"slowConsumerEvictions": snap.SlowConsumerEvictions,
 			"throttled":             snap.Throttled,
 			"quarantineRejects":     snap.QuarantineRejects,
+			// Hops refused because an envelope span was already at
+			// MaxHops; nonzero means some flows' tails are invisible to
+			// trace assembly.
+			"spanHopsTruncated": obs.Default.Counter("span_hops_truncated_total").Value(),
+			"flightHead":        flight.Head(),
 		}
 		if tokenCache != nil {
 			// Guard-cache hit/miss/eviction/invalidation counters (also on
@@ -214,6 +250,7 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, toke
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
 	})
+	mux.Handle("/trace", obs.FlightHandler(flight))
 	fmt.Printf("brokerd: admin endpoint on http://%s/metrics\n", addr)
 	if err := obs.ServeAdmin(addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "brokerd: admin endpoint: %v\n", err)

@@ -30,6 +30,7 @@ func main() {
 		dataDir       = flag.String("data", "", "directory for durable advertisement storage (empty = memory only)")
 		sweepEvery    = flag.Duration("sweep", time.Minute, "expired-advertisement sweep interval")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7090) serving /metrics, /healthz and /debug/pprof")
+		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
 	)
@@ -103,6 +104,9 @@ func main() {
 		case <-stop:
 			fmt.Println("tdnd: shutting down")
 			srv.Close()
+			if *metricsDump {
+				obs.Default.WriteText(os.Stdout)
+			}
 			return
 		}
 	}

@@ -1,0 +1,93 @@
+// Command tracectl is the tracing fabric's debugging console: it renders
+// end-to-end waterfalls for a trace ID from the brokers' flight
+// recorders, tails live flight events, and draws a broker map from the
+// self-monitoring snapshots on the system-health topic.
+//
+//	tracectl -admins http://127.0.0.1:7190,http://127.0.0.1:7191 trace <uuid>
+//	tracectl -admins http://127.0.0.1:7190 tail [-interval 1s] [-rounds 10]
+//	tracectl -broker 127.0.0.1:7100 map [-watch 3s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"entitytrace/internal/ident"
+	"entitytrace/internal/tracectl"
+	"entitytrace/internal/transport"
+)
+
+func main() {
+	var (
+		admins        = flag.String("admins", "", "comma-separated broker admin base URLs (for trace and tail)")
+		brokerAddr    = flag.String("broker", "", "broker address to subscribe through (for map)")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp (for map)")
+		name          = flag.String("name", "tracectl", "client entity name used on the broker connection (for map)")
+		watch         = flag.Duration("watch", 3*time.Second, "how long map collects health snapshots")
+		interval      = flag.Duration("interval", time.Second, "tail poll interval")
+		rounds        = flag.Int("rounds", 1, "tail poll rounds (1 polls once)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fail("need a subcommand: trace <uuid> | tail | map")
+	}
+	cl := &tracectl.Client{Admins: splitCSV(*admins)}
+	switch args[0] {
+	case "trace":
+		if len(args) != 2 {
+			fail("usage: tracectl -admins ... trace <uuid>")
+		}
+		if len(cl.Admins) == 0 {
+			fail("trace needs -admins")
+		}
+		if err := cl.Waterfall(os.Stdout, args[1]); err != nil {
+			fail("%v", err)
+		}
+	case "tail":
+		if len(cl.Admins) == 0 {
+			fail("tail needs -admins")
+		}
+		n, err := cl.Tail(os.Stdout, *interval, *rounds)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("tracectl: %d events\n", n)
+	case "map":
+		if *brokerAddr == "" {
+			fail("map needs -broker")
+		}
+		tr, err := transport.New(*transportName)
+		if err != nil {
+			fail("%v", err)
+		}
+		snaps, err := tracectl.WatchHealth(tr, *brokerAddr, ident.EntityID(*name), *watch)
+		if err != nil {
+			fail("%v", err)
+		}
+		tracectl.RenderMap(os.Stdout, snaps)
+	default:
+		fail("unknown subcommand %q (want trace|tail|map)", args[0])
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracectl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -44,6 +44,7 @@ func main() {
 		topicLifetime = flag.Duration("topic-lifetime", 24*time.Hour, "trace-topic lifetime (§3.1)")
 		reconnect     = flag.Bool("reconnect", false, "redial the broker and resume the session when the connection drops")
 		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7290) serving /metrics, /healthz and /debug/pprof")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 	)
 	flag.Parse()
@@ -120,6 +121,21 @@ func main() {
 	}
 	fmt.Printf("traced: %s registered (topic %s, session %s, secure=%v, symmetric=%v)\n",
 		ent.Entity(), ent.TraceTopic(), ent.SessionID(), *secureTraces, *symmetric)
+	if *adminAddr != "" {
+		mux := obs.NewAdminMux(obs.Default, func() map[string]any {
+			return map[string]any{
+				"entity":  string(ent.Entity()),
+				"topic":   ent.TraceTopic().String(),
+				"session": ent.SessionID().String(),
+			}
+		})
+		go func() {
+			fmt.Printf("traced: admin endpoint on http://%s/metrics\n", *adminAddr)
+			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "traced: admin endpoint: %v\n", err)
+			}
+		}()
+	}
 	if err := ent.SetState(message.StateReady); err != nil {
 		fail("reporting READY: %v", err)
 	}

@@ -38,6 +38,7 @@ func main() {
 		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
 		entity        = flag.String("entity", "", "traced entity to follow")
 		classesFlag   = flag.String("classes", "changes,state", "trace classes: changes,all,state,load,net (or 'everything')")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7390) serving /metrics, /healthz and /debug/pprof")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		reconnect     = flag.Bool("reconnect", false, "redial the broker, re-subscribe and re-announce interest when the connection drops")
 		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
@@ -107,6 +108,21 @@ func main() {
 		fail("discovery: %v (are you in the entity's discovery restrictions?)", err)
 	}
 	fmt.Printf("tracker: discovered trace topic %s for %s (owner-verified)\n", ad.TopicID, *entity)
+	if *adminAddr != "" {
+		mux := obs.NewAdminMux(obs.Default, func() map[string]any {
+			return map[string]any{
+				"tracker": string(id.Credential.Entity),
+				"entity":  *entity,
+				"topic":   ad.TopicID.String(),
+			}
+		})
+		go func() {
+			fmt.Printf("tracker: admin endpoint on http://%s/metrics\n", *adminAddr)
+			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "tracker: admin endpoint: %v\n", err)
+			}
+		}()
+	}
 
 	w, err := tk.Track(ad, classes, func(ev core.Event) {
 		latency := ev.ReceivedAt.Sub(ev.SentAt).Round(100 * time.Microsecond)

@@ -22,6 +22,7 @@ import (
 	"entitytrace/internal/core"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/token"
 	"entitytrace/internal/topic"
 	"entitytrace/internal/transport"
@@ -154,13 +155,15 @@ func benchFanout(tb testing.TB, tr *transport.Inproc, addr string, pubs []*broke
 }
 
 // fanoutFixture stands up one broker, fanoutPublishers publishers, and
-// an exact plus a wildcard subscriber on the measured topic.
-func fanoutFixture(tb testing.TB) (*transport.Inproc, *broker.Broker, []*broker.Client, *atomic.Int64, func()) {
+// an exact plus a wildcard subscriber on the measured topic. flight,
+// when non-nil, enables the broker's flight recorder so the sampled
+// hot-path overhead shows up in the throughput.
+func fanoutFixture(tb testing.TB, flight *obs.FlightRecorder) (*transport.Inproc, *broker.Broker, []*broker.Client, *atomic.Int64, func()) {
 	tb.Helper()
 	tr := transport.NewInproc()
 	// The egress queue must hold a full benchmark burst: this measures
 	// routing throughput, not PR 3's shedding (BENCH_flood.json does).
-	bk := broker.New(broker.Config{Name: "hotpath-fanout", EgressQueue: 16384})
+	bk := broker.New(broker.Config{Name: "hotpath-fanout", EgressQueue: 16384, Flight: flight})
 	l, err := tr.Listen("")
 	if err != nil {
 		tb.Fatal(err)
@@ -199,13 +202,32 @@ func fanoutFixture(tb testing.TB) (*transport.Inproc, *broker.Broker, []*broker.
 // BenchmarkFanoutMultiPublisher measures delivered fan-out throughput
 // with concurrent publishers contending on the routing index.
 func BenchmarkFanoutMultiPublisher(b *testing.B) {
-	tr, _, pubs, delivered, cleanup := fanoutFixture(b)
+	tr, _, pubs, delivered, cleanup := fanoutFixture(b, nil)
 	defer cleanup()
 	benchFanout(b, tr, "", pubs, delivered, 2*fanoutPublishers) // warm-up
 	b.ResetTimer()
 	n := benchFanout(b, tr, "", pubs, delivered, b.N+len(pubs)) // ≥ b.N messages
 	b.StopTimer()
 	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "deliveries/s")
+}
+
+// BenchmarkFanoutFlightSampled is BenchmarkFanoutMultiPublisher with the
+// flight recorder at its default 1-in-N sampling rate: the per-envelope
+// cost is one atomic add, plus the ring append for the sampled few.
+// Compare against BenchmarkFanoutMultiPublisher for the recording
+// overhead on the routing hot path.
+func BenchmarkFanoutFlightSampled(b *testing.B) {
+	flight := obs.NewFlightRecorder("hotpath-fanout", obs.DefaultFlightEvents, obs.DefaultFlightSample)
+	tr, _, pubs, delivered, cleanup := fanoutFixture(b, flight)
+	defer cleanup()
+	benchFanout(b, tr, "", pubs, delivered, 2*fanoutPublishers) // warm-up
+	b.ResetTimer()
+	n := benchFanout(b, tr, "", pubs, delivered, b.N+len(pubs))
+	b.StopTimer()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "deliveries/s")
+	// Small b.N rounds may sample nothing (1-in-64); the JSON export's
+	// fixed 4000-message batch asserts the recorder actually fired.
+	_ = flight
 }
 
 // --- BENCH_hotpath.json export ---------------------------------------------
@@ -250,14 +272,38 @@ func TestExportHotpathBench(t *testing.T) {
 			frame.AllocsPerOp, frameClone.AllocsPerOp)
 	}
 
-	// Fan-out throughput, measured directly (fixed batch, wall clock).
-	tr, _, pubs, delivered, cleanup := fanoutFixture(t)
-	defer cleanup()
-	benchFanout(t, tr, "", pubs, delivered, 400) // warm-up
+	// Fan-out throughput with and without the flight recorder sampling at
+	// its default rate — this PR's recording overhead on the routing hot
+	// path. Single throughput batches are dominated by scheduler and
+	// frequency noise (back-to-back runs swing ±20% either direction), so
+	// the two configurations run interleaved and each reports its best of
+	// three batches.
 	const fanoutMsgs = 4000
-	start := time.Now()
-	deliveries := benchFanout(t, tr, "", pubs, delivered, fanoutMsgs)
-	fanoutPerSec := float64(deliveries) / time.Since(start).Seconds()
+	const fanoutRounds = 3
+	flight := obs.NewFlightRecorder("hotpath-export", obs.DefaultFlightEvents, obs.DefaultFlightSample)
+	measureFanout := func(fr *obs.FlightRecorder) float64 {
+		tr, _, pubs, delivered, cleanup := fanoutFixture(t, fr)
+		defer cleanup()
+		benchFanout(t, tr, "", pubs, delivered, 400) // warm-up
+		start := time.Now()
+		deliveries := benchFanout(t, tr, "", pubs, delivered, fanoutMsgs)
+		return float64(deliveries) / time.Since(start).Seconds()
+	}
+	var fanoutPerSec, fanoutFlightPerSec float64
+	for round := 0; round < fanoutRounds; round++ {
+		fanoutPerSec = max(fanoutPerSec, measureFanout(nil))
+		fanoutFlightPerSec = max(fanoutFlightPerSec, measureFanout(flight))
+	}
+	if flight.Head() == 0 {
+		t.Fatal("flight recorder saw no events during the sampled fan-out runs")
+	}
+	flightOverheadPct := (fanoutPerSec - fanoutFlightPerSec) / fanoutPerSec * 100
+	// Coarse regression backstop; the ≤5% acceptance bound on forward
+	// framing is held by benchdiff's repeated paired runs.
+	if fanoutFlightPerSec < 0.6*fanoutPerSec {
+		t.Fatalf("flight-sampled fan-out = %.0f deliveries/s vs %.0f unsampled: sampling overhead out of bounds",
+			fanoutFlightPerSec, fanoutPerSec)
+	}
 
 	out := struct {
 		Description  string       `json:"description"`
@@ -273,8 +319,13 @@ func TestExportHotpathBench(t *testing.T) {
 			Messages      int     `json:"messages"`
 			DeliveriesSec float64 `json:"deliveries_per_sec"`
 		} `json:"fanout"`
+		FanoutFlight struct {
+			SampleN       int     `json:"sample_1_in_n"`
+			DeliveriesSec float64 `json:"deliveries_per_sec"`
+			OverheadPct   float64 `json:"overhead_pct_vs_unsampled"`
+		} `json:"fanout_flight_sampled"`
 	}{
-		Description:  "broker hot path: §4.3 guard verification uncached vs. verified-token-cache hit, forward framing (exact-size AppendWire vs. Clone+Marshal), and multi-publisher fan-out throughput on the RWMutex routing index",
+		Description:  "broker hot path: §4.3 guard verification uncached vs. verified-token-cache hit, forward framing (exact-size AppendWire vs. Clone+Marshal), and multi-publisher fan-out throughput on the RWMutex routing index, with and without the flight recorder sampling at its default rate",
 		GuardUncache: uncached,
 		GuardCached:  cached,
 		GuardFull:    guardCached,
@@ -286,6 +337,9 @@ func TestExportHotpathBench(t *testing.T) {
 	out.Fanout.Subscribers = fanoutSubscribers
 	out.Fanout.Messages = fanoutMsgs
 	out.Fanout.DeliveriesSec = fanoutPerSec
+	out.FanoutFlight.SampleN = obs.DefaultFlightSample
+	out.FanoutFlight.DeliveriesSec = fanoutFlightPerSec
+	out.FanoutFlight.OverheadPct = flightOverheadPct
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

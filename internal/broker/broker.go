@@ -3,6 +3,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,6 +82,13 @@ type Config struct {
 	// are refused (typed DISCONNECT(quarantined) at hello). Zero means
 	// DefaultQuarantineDuration; negative disables quarantine.
 	QuarantineDuration time.Duration
+	// Flight, when non-nil, records this broker's routing decisions —
+	// ingress, drops, route fan-out, egress enqueues/sheds, evictions,
+	// quarantine rejections — into the bounded flight-recorder ring for
+	// post-hoc inspection via /trace. Guard verdicts are recorded by the
+	// guard itself: pair this with core.NewObservedTokenGuard sharing the
+	// same recorder. Nil disables recording at the cost of one nil check.
+	Flight *obs.FlightRecorder
 	// Logf receives diagnostic output; nil silences it. Superseded by
 	// Log but still honoured (wrapped in a structured logger) so older
 	// callers keep working.
@@ -341,6 +349,9 @@ func (b *Broker) handleInbound(conn transport.Conn) {
 	if !c.IsBroker && b.quar.active(c.Name, b.clk.Now()) {
 		b.stats.quarRejects.Add(1)
 		mQuarantineRejct.Inc()
+		if b.cfg.Flight != nil {
+			b.cfg.Flight.Record(obs.FlightEvent{Kind: obs.FlightQuarantine, Peer: c.Name})
+		}
 		b.log.Warn("quarantined reconnect refused", "peer", c.Name)
 		_ = conn.Send(disconnectFrame(ReasonQuarantined, "principal quarantined"))
 		conn.Close()
@@ -511,6 +522,12 @@ func (b *Broker) peerLoop(p *peer) {
 				!p.bucket.allow(b.clk.Now(), b.cfg.PublishRate, float64(b.cfg.PublishBurst)) {
 				b.stats.throttled.Add(1)
 				mThrottled.Inc()
+				if b.cfg.Flight != nil {
+					// The frame is rejected before parsing, so no trace ID.
+					b.cfg.Flight.Record(obs.FlightEvent{
+						Kind: obs.FlightDrop, Peer: p.name, Reason: "throttled",
+					})
+				}
 				b.punishWeighted(p, throttleViolationWeight, errThrottled)
 				continue
 			}
@@ -660,6 +677,13 @@ func (b *Broker) evictPeer(p *peer, reason DisconnectReason, detail string) {
 		b.quar.ban(p.name, b.clk.Now(), b.cfg.QuarantineDuration)
 	}
 	b.log.Warn("evicting peer", "peer", p.name, "reason", reason.String(), "detail", detail)
+	if b.cfg.Flight != nil {
+		b.cfg.Flight.Record(obs.FlightEvent{
+			Kind:   obs.FlightEvict,
+			Peer:   p.name,
+			Reason: reason.String() + ": " + detail,
+		})
+	}
 	if dropped := p.out.shedAll(); dropped > 0 {
 		b.stats.sheds.Add(uint64(dropped))
 		mEgressSheds.Add(uint64(dropped))
@@ -939,36 +963,85 @@ func (b *Broker) routeFrom(p *peer, env *message.Envelope) {
 	}
 }
 
+// flightTraceOf derives the flight-recorder correlation ID for an
+// envelope: the span's TraceID when present, the envelope ID otherwise.
+func flightTraceOf(env *message.Envelope) obs.FlightTrace {
+	if env.Span != nil {
+		return obs.FlightTrace(env.Span.TraceID)
+	}
+	return obs.FlightTrace(env.ID)
+}
+
+// flightPeerName names the ingress source for flight events.
+func flightPeerName(from *peer) string {
+	if from == nil {
+		return "local"
+	}
+	return from.name
+}
+
+// recordDrop appends an always-on drop event to the flight recorder
+// (no-op when recording is disabled).
+func (b *Broker) recordDrop(from *peer, env *message.Envelope, reason string) {
+	if b.cfg.Flight == nil {
+		return
+	}
+	b.cfg.Flight.Record(obs.FlightEvent{
+		Kind:   obs.FlightDrop,
+		Trace:  flightTraceOf(env),
+		Peer:   flightPeerName(from),
+		Topic:  env.Topic.String(),
+		Reason: reason,
+	})
+}
+
 // route authorizes, dedupes and distributes an envelope. from is nil for
 // local (broker-originated) publishes.
 func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Principal) error {
+	// One atomic add decides whether this envelope's healthy events
+	// (ingress, route, egress) are recorded; drops are always recorded.
+	sampled := b.cfg.Flight.Sampled()
+	if sampled {
+		b.cfg.Flight.Record(obs.FlightEvent{
+			Kind:  obs.FlightIngress,
+			Trace: flightTraceOf(env),
+			Peer:  flightPeerName(from),
+			Topic: env.Topic.String(),
+		})
+	}
 	// Duplicate suppression (also guards against routing loops).
 	if !b.firstSighting(env.ID) {
 		b.stats.duplicates.Add(1)
 		mDuplicates.Inc()
+		b.recordDrop(from, env, "duplicate")
 		return nil
 	}
 	if env.TTL == 0 {
 		b.stats.expired.Add(1)
 		mExpired.Inc()
+		b.recordDrop(from, env, "ttl_expired")
 		return nil
 	}
 	// Source spoofing check: a client's envelopes must carry its own
 	// entity identifier. Broker links aggregate many sources.
 	if from != nil && !from.isBroker && env.Source != ident.EntityID(from.name) {
+		b.recordDrop(from, env, "spoofed_source")
 		return fmt.Errorf("broker: source %q spoofed by client %q", env.Source, from.name)
 	}
 	if err := topic.Authorize(env.Topic, principal, true); err != nil {
+		b.recordDrop(from, env, "unauthorized_topic")
 		return err
 	}
 	if b.cfg.Guard != nil {
+		// Guard rejections are recorded by the guard itself (with the
+		// drop reason and cache outcome); see Config.Flight.
 		if err := b.cfg.Guard(env, principal); err != nil {
 			return err
 		}
 	}
 	b.stats.published.Add(1)
 	mPublished.Inc()
-	b.deliver(from, env)
+	b.deliver(from, env, sampled)
 	return nil
 }
 
@@ -999,7 +1072,8 @@ func (sc *deliverScratch) release() {
 // deliver hands the envelope to local subscribers and forwards it to
 // interested links. It holds only the routing index's read lock while
 // collecting subscribers, so concurrent publishers do not serialize.
-func (b *Broker) deliver(from *peer, env *message.Envelope) {
+// sampled carries route's per-envelope flight-sampling decision.
+func (b *Broker) deliver(from *peer, env *message.Envelope, sampled bool) {
 	ts := env.Topic.String()
 	sc := deliverScratchPool.Get().(*deliverScratch)
 	defer sc.release()
@@ -1033,6 +1107,14 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 	}
 	b.mu.RUnlock()
 
+	if sampled {
+		b.cfg.Flight.Record(obs.FlightEvent{
+			Kind:  obs.FlightRoute,
+			Trace: flightTraceOf(env),
+			N:     len(sc.remote),
+			N2:    len(sc.locals),
+		})
+	}
 	for _, ls := range sc.locals {
 		b.stats.deliveredLocal.Add(1)
 		mDeliveredLocal.Inc()
@@ -1068,6 +1150,13 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 		}
 		b.stats.forwarded.Add(1)
 		mForwarded.Inc()
+		if sampled {
+			b.cfg.Flight.Record(obs.FlightEvent{
+				Kind:  obs.FlightEgress,
+				Trace: flightTraceOf(env),
+				Peer:  p.name,
+			})
+		}
 		// Non-blocking enqueue: a stalled peer sheds its own oldest frames
 		// instead of head-of-line-blocking this fan-out, and once it has
 		// been continuously saturated past the deadline it is evicted as a
@@ -1076,6 +1165,14 @@ func (b *Broker) deliver(from *peer, env *message.Envelope) {
 		if shed > 0 {
 			b.stats.sheds.Add(uint64(shed))
 			mEgressSheds.Add(uint64(shed))
+			if b.cfg.Flight != nil {
+				b.cfg.Flight.Record(obs.FlightEvent{
+					Kind:  obs.FlightShed,
+					Trace: flightTraceOf(env),
+					Peer:  p.name,
+					N:     shed,
+				})
+			}
 			if stalledFor >= b.cfg.SlowConsumerDeadline {
 				b.evictPeer(p, ReasonSlowConsumer, "egress queue saturated")
 			}
@@ -1114,6 +1211,59 @@ func (b *Broker) Snapshot() Stats {
 		Throttled:             b.stats.throttled.Load(),
 		QuarantineRejects:     b.stats.quarRejects.Load(),
 	}
+}
+
+// PeerHealth is one peer's row in a broker health snapshot.
+type PeerHealth struct {
+	// Name is the peer's entity ID or broker name.
+	Name string
+	// IsBroker distinguishes links from client connections.
+	IsBroker bool
+	// Queued is the peer's current egress data-queue depth (frames).
+	Queued int
+	// Score is the peer's decaying offender score as of its last update.
+	Score float64
+}
+
+// Health is a point-in-time topology/health snapshot of one broker: the
+// self-monitoring payload published on the system-health topic and
+// rendered by tracectl's broker map.
+type Health struct {
+	// Name is the broker's name.
+	Name string
+	// Peers lists connected peers (links and clients), sorted by name.
+	Peers []PeerHealth
+	// Subscriptions counts distinct subscribed topic strings.
+	Subscriptions int
+	// Stats is the broker's counter snapshot.
+	Stats Stats
+	// FlightHead is the flight recorder's latest sequence number (0 when
+	// recording is disabled).
+	FlightHead uint64
+}
+
+// Health snapshots the broker's topology and per-peer queue/offender
+// state.
+func (b *Broker) Health() Health {
+	h := Health{Name: b.name, Stats: b.Snapshot(), FlightHead: b.cfg.Flight.Head()}
+	b.mu.RLock()
+	h.Subscriptions = len(b.subs)
+	peers := make([]*peer, 0, len(b.peers))
+	for p := range b.peers {
+		peers = append(peers, p)
+	}
+	b.mu.RUnlock()
+	h.Peers = make([]PeerHealth, 0, len(peers))
+	for _, p := range peers {
+		h.Peers = append(h.Peers, PeerHealth{
+			Name:     p.name,
+			IsBroker: p.isBroker,
+			Queued:   p.out.depth(),
+			Score:    p.score.current(),
+		})
+	}
+	sort.Slice(h.Peers, func(i, j int) bool { return h.Peers[i].Name < h.Peers[j].Name })
+	return h
 }
 
 // PeerCount reports connected peers (clients + links).

@@ -122,6 +122,14 @@ func (e *egress) enqueueData(frame []byte, now time.Time) (shed int, stalledFor 
 // queuedData returns the number of live data frames. Callers hold e.mu.
 func (e *egress) queuedData() int { return len(e.data) - e.dataHead }
 
+// depth reports the current live data-frame count for health snapshots;
+// safe from any goroutine.
+func (e *egress) depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queuedData()
+}
+
 // compact reclaims the consumed prefix of the data slice once it grows
 // past the live region. Callers hold e.mu.
 func (e *egress) compact() {

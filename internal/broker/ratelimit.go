@@ -3,6 +3,7 @@ package broker
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,21 +40,34 @@ func (b *pubBucket) allow(now time.Time, rate, burst float64) bool {
 // long-lived legitimate peer with sporadic failures therefore never
 // accumulates into an unjust disconnect, while a burst or sustained
 // attack still crosses the limit quickly.
+//
+// Writes happen only from the owning peer's receive loop; the score
+// itself is kept as atomic float bits so health snapshots can read it
+// from other goroutines without a lock.
 type violationScore struct {
-	score float64
-	at    time.Time // last decay application
+	bits atomic.Uint64 // math.Float64bits of the score
+	at   time.Time     // last decay application; owner goroutine only
 }
 
 // add decays the score to now, adds weight, and returns the new score.
+// Owner goroutine only.
 func (v *violationScore) add(now time.Time, weight float64, halfLife time.Duration) float64 {
+	score := math.Float64frombits(v.bits.Load())
 	if !v.at.IsZero() && halfLife > 0 {
 		if dt := now.Sub(v.at); dt > 0 {
-			v.score *= math.Exp2(-float64(dt) / float64(halfLife))
+			score *= math.Exp2(-float64(dt) / float64(halfLife))
 		}
 	}
 	v.at = now
-	v.score += weight
-	return v.score
+	score += weight
+	v.bits.Store(math.Float64bits(score))
+	return score
+}
+
+// current returns the score as of its last update (no decay applied);
+// safe from any goroutine.
+func (v *violationScore) current() float64 {
+	return math.Float64frombits(v.bits.Load())
 }
 
 // quarantine tracks principals whose reconnects are temporarily refused

@@ -70,6 +70,10 @@ type Event struct {
 	// originator did not opt in), so entity→broker→…→tracker paths can
 	// be reconstructed at the delivery end.
 	Hops []message.Hop
+	// TraceID correlates this delivery with flight-recorder events on
+	// the brokers it traversed: the span's trace ID when the flow
+	// carries one, else the envelope ID.
+	TraceID ident.UUID
 }
 
 // String renders the event compactly for logs and examples.
@@ -105,6 +109,9 @@ func decodeTraceEvent(env *message.Envelope, class topic.TraceClass, payload []b
 	}
 	if env.Span != nil {
 		ev.Hops = append([]message.Hop(nil), env.Span.Hops...)
+		ev.TraceID = env.Span.TraceID
+	} else {
+		ev.TraceID = env.ID
 	}
 	switch env.Type {
 	case message.TraceInitializing, message.TraceRecovering, message.TraceReady, message.TraceShutdown:

@@ -209,32 +209,51 @@ func verifyTraceFull(env *message.Envelope, traceTopic ident.UUID, resolver AdRe
 // reason. A nil cache degenerates to VerifyTrace.
 func VerifyTraceCached(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
 	verifier *credential.Verifier, now time.Time, skew time.Duration, cache *TokenCache) error {
+	_, err := verifyTraceCachedOutcome(env, traceTopic, resolver, verifier, now, skew, cache)
+	return err
+}
+
+// Cache outcomes reported by verifyTraceCachedOutcome and recorded on
+// guard flight events.
+const (
+	cacheBypass = "bypass" // caching disabled (nil cache)
+	cacheHit    = "hit"    // byte-identical token already verified
+	cacheStale  = "stale"  // entry invalidated; full pipeline re-ran
+	cacheMiss   = "miss"   // unseen token; full pipeline ran
+)
+
+// verifyTraceCachedOutcome is VerifyTraceCached also reporting how the
+// verified-token cache participated, for flight-recorder guard events.
+func verifyTraceCachedOutcome(env *message.Envelope, traceTopic ident.UUID, resolver AdResolver,
+	verifier *credential.Verifier, now time.Time, skew time.Duration, cache *TokenCache) (string, error) {
 	if cache == nil {
-		return VerifyTrace(env, traceTopic, resolver, verifier, now, skew)
+		return cacheBypass, VerifyTrace(env, traceTopic, resolver, verifier, now, skew)
 	}
 	if len(env.Token) == 0 {
 		mDropNoToken.Inc()
-		return errors.New("core: trace message lacks authorization token")
+		return cacheMiss, errors.New("core: trace message lacks authorization token")
 	}
 	d := sha256.Sum256(env.Token)
+	outcome := cacheMiss
 	if e, ok := cache.lookup(d); ok {
 		if valid, err := applyCached(env, e, traceTopic, resolver, verifier, now, skew); valid {
 			cache.hit()
-			return err
+			return cacheHit, err
 		}
 		// Stale: expired mid-cache, advertisement replaced, or topic
 		// mismatch. Drop the entry and fall through so the rejection (or
 		// re-acceptance under a renewed advertisement) is byte-identical
 		// to the uncached path.
 		cache.invalidate(d)
+		outcome = cacheStale
 	}
 	cache.miss()
 	e, err := verifyTraceFull(env, traceTopic, resolver, verifier, now, skew)
 	if err != nil {
-		return err
+		return outcome, err
 	}
 	cache.insert(d, e)
-	return nil
+	return outcome, nil
 }
 
 // applyCached re-validates the per-hit conditions for a cache entry.
@@ -289,6 +308,20 @@ func NewTokenGuard(resolver AdResolver, verifier *credential.Verifier,
 // byte-for-byte.
 func NewCachedTokenGuard(resolver AdResolver, verifier *credential.Verifier,
 	now func() time.Time, skew time.Duration, cache *TokenCache) broker.Guard {
+	return NewObservedTokenGuard(resolver, verifier, now, skew, cache, nil)
+}
+
+// NewObservedTokenGuard is NewCachedTokenGuard additionally recording
+// every guard verdict into a flight recorder: drops always (with the
+// rejection reason and how the verified-token cache participated),
+// accepts at the recorder's healthy-traffic sampling rate, each with the
+// verification's wall-clock cost. A nil recorder reproduces
+// NewCachedTokenGuard exactly; brokers share one recorder between this
+// guard and broker.Config.Flight so a trace's guard verdict interleaves
+// with its routing events.
+func NewObservedTokenGuard(resolver AdResolver, verifier *credential.Verifier,
+	now func() time.Time, skew time.Duration, cache *TokenCache,
+	flight *obs.FlightRecorder) broker.Guard {
 	if now == nil {
 		now = time.Now
 	}
@@ -300,6 +333,33 @@ func NewCachedTokenGuard(resolver AdResolver, verifier *credential.Verifier,
 		if !isTrace {
 			return nil
 		}
-		return VerifyTraceCached(env, tt, resolver, verifier, now(), skew, cache)
+		if flight == nil {
+			return VerifyTraceCached(env, tt, resolver, verifier, now(), skew, cache)
+		}
+		start := now()
+		outcome, err := verifyTraceCachedOutcome(env, tt, resolver, verifier, start, skew, cache)
+		if err != nil || flight.Sampled() {
+			ev := obs.FlightEvent{
+				Kind:     obs.FlightGuard,
+				Topic:    env.Topic.String(),
+				Cache:    outcome,
+				DurNanos: now().Sub(start).Nanoseconds(),
+			}
+			if env.Span != nil {
+				ev.Trace = obs.FlightTrace(env.Span.TraceID)
+			} else {
+				ev.Trace = obs.FlightTrace(env.ID)
+			}
+			if from.IsBroker {
+				ev.Peer = "broker"
+			} else {
+				ev.Peer = string(from.Entity)
+			}
+			if err != nil {
+				ev.Reason = err.Error()
+			}
+			flight.Record(ev)
+		}
+		return err
 	}
 }

@@ -67,6 +67,14 @@ type BrokerConfig struct {
 	NetMetricsEvery int
 	// Skew is the token-validation clock-skew tolerance (§4.3).
 	Skew time.Duration
+	// HealthInterval, when positive, publishes a periodic topology/health
+	// snapshot of the hosting broker on the system-health derivative
+	// topic (topic.SystemHealth) — the fabric monitoring itself with its
+	// own trace machinery. Zero disables self-monitoring.
+	HealthInterval time.Duration
+	// TokenCache, when set, has its hit/miss statistics included in the
+	// health snapshots (it is otherwise owned by the broker's guard).
+	TokenCache *TokenCache
 	// Logf receives diagnostics; nil silences them. Superseded by Log
 	// but still honoured for older callers.
 	Logf func(format string, args ...any)
@@ -90,6 +98,7 @@ type TraceBroker struct {
 	sessions map[ident.SessionID]*session
 	byEntity map[ident.EntityID]ident.SessionID
 	closed   bool
+	done     chan struct{}
 	wg       sync.WaitGroup
 }
 
@@ -175,6 +184,7 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 		signer:   signer,
 		sessions: make(map[ident.SessionID]*session),
 		byEntity: make(map[ident.EntityID]ident.SessionID),
+		done:     make(chan struct{}),
 	}
 	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
 		tb.caching = cr
@@ -193,10 +203,78 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 func (tb *TraceBroker) Resolver() AdResolver { return tb.cfg.Resolver }
 
 // Start subscribes to the registration topic (§3.2) and begins watching
-// for client disconnects (§3.3 DISCONNECT traces).
+// for client disconnects (§3.3 DISCONNECT traces). With HealthInterval
+// set it also starts the self-monitoring publisher.
 func (tb *TraceBroker) Start() {
 	tb.cancelRg = tb.cfg.Broker.SubscribeLocal(topic.Registration(), tb.handleRegistration)
 	tb.cfg.Broker.OnClientDisconnect(tb.handleDisconnect)
+	if tb.cfg.HealthInterval > 0 {
+		tb.wg.Add(1)
+		go func() {
+			defer tb.wg.Done()
+			tb.healthLoop()
+		}()
+	}
+}
+
+// mHealthSnapshots counts published self-monitoring snapshots.
+var mHealthSnapshots = obs.Default.Counter("core_health_snapshots_total")
+
+// healthLoop periodically publishes the hosting broker's topology/health
+// snapshot on the system-health topic. The broker principal may publish
+// there (Publish-Only with the broker as constrainer) and no
+// authorization token applies (the topic is not a per-trace-topic
+// derivative), so the snapshot needs no signing machinery — its
+// authenticity rests on broker-link trust, like pings.
+func (tb *TraceBroker) healthLoop() {
+	clk := tb.cfg.Clock
+	for {
+		timer := clk.NewTimer(tb.cfg.HealthInterval)
+		select {
+		case <-timer.C():
+		case <-tb.done:
+			timer.Stop()
+			return
+		}
+		tb.PublishHealth()
+	}
+}
+
+// PublishHealth publishes one self-monitoring snapshot immediately; the
+// health loop calls it on every tick, and tests or admin handlers may
+// call it directly.
+func (tb *TraceBroker) PublishHealth() {
+	h := tb.cfg.Broker.Health()
+	bh := &message.BrokerHealth{
+		Broker:        h.Name,
+		AtNanos:       tb.cfg.Clock.Now().UnixNano(),
+		Subscriptions: uint32(h.Subscriptions),
+		Published:     h.Stats.Published,
+		Forwarded:     h.Stats.Forwarded,
+		Duplicates:    h.Stats.Duplicates,
+		Violations:    h.Stats.Violations,
+		Disconnects:   h.Stats.Disconnects,
+		EgressSheds:   h.Stats.EgressSheds,
+		Throttled:     h.Stats.Throttled,
+		FlightHead:    h.FlightHead,
+	}
+	if tb.cfg.TokenCache != nil {
+		cs := tb.cfg.TokenCache.Stats()
+		bh.GuardHits, bh.GuardMisses = cs.Hits, cs.Misses
+	}
+	for _, p := range h.Peers {
+		bh.Peers = append(bh.Peers, message.BrokerHealthPeer{
+			Name:     p.Name,
+			IsBroker: p.IsBroker,
+			Queued:   uint32(p.Queued),
+			Score:    p.Score,
+		})
+	}
+	env := message.New(message.TraceBrokerHealth, topic.SystemHealth(), "", bh.Marshal())
+	mHealthSnapshots.Inc()
+	if err := tb.cfg.Broker.Publish(env); err != nil {
+		tb.log.Warn("health snapshot publish failed", "err", err)
+	}
 }
 
 // handleDisconnect publishes a DISCONNECT trace when a traced entity's
@@ -233,6 +311,7 @@ func (tb *TraceBroker) Close() {
 		return
 	}
 	tb.closed = true
+	close(tb.done)
 	sessions := make([]*session, 0, len(tb.sessions))
 	for _, s := range tb.sessions {
 		sessions = append(sessions, s)
@@ -450,13 +529,18 @@ func (s *session) handleEntityMessage(env *message.Envelope) {
 		return
 	}
 	now := s.tb.cfg.Clock.Now()
+	// The entity's inbound span (its own hop zero plus any relaying
+	// brokers) seeds the span of the traces derived from this message, so
+	// trackers see one continuous entity→broker(s)→tracker flow under the
+	// entity envelope's trace ID.
+	origin := env.Span
 	switch env.Type {
 	case message.TypePingResponse:
-		s.onPingResponse(payload, now)
+		s.onPingResponse(payload, now, origin)
 	case message.TypeStateReport:
-		s.onStateReport(payload, now)
+		s.onStateReport(payload, now, origin)
 	case message.TypeLoadReport:
-		s.onLoadReport(payload, now)
+		s.onLoadReport(payload, now, origin)
 	case message.TypeDelegation:
 		s.onDelegation(payload)
 	case message.TypeKeyDelivery:
@@ -566,7 +650,7 @@ func (s *session) onKeyDelivery(payload []byte) {
 }
 
 // onPingResponse feeds the detector and publishes ALLS_WELL (§3.3).
-func (s *session) onPingResponse(payload []byte, now time.Time) {
+func (s *session) onPingResponse(payload []byte, now time.Time, origin *message.Span) {
 	pr, err := message.UnmarshalPingResponse(payload)
 	if err != nil {
 		return
@@ -585,7 +669,7 @@ func (s *session) onPingResponse(payload []byte, now time.Time) {
 	pingBytes := s.pingBytes
 	publishNet := s.answered%s.tb.cfg.NetMetricsEvery == 0
 	s.mu.Unlock()
-	s.publishTrace(message.TraceAllsWell, topic.ClassAllUpdates,
+	s.publishTraceFrom(origin, message.TraceAllsWell, topic.ClassAllUpdates,
 		fmt.Sprintf("ping %d rtt=%s", pr.Number, rtt), nil)
 	if publishNet {
 		m := s.det.NetworkMetrics()
@@ -602,13 +686,13 @@ func (s *session) onPingResponse(payload []byte, now time.Time) {
 		if m.MeanRTT > 0 {
 			nr.BandwidthBps = float64(pingBytes) / m.MeanRTT.Seconds()
 		}
-		s.publishTrace(message.TraceNetworkMetrics, topic.ClassNetworkMetrics,
+		s.publishTraceFrom(origin, message.TraceNetworkMetrics, topic.ClassNetworkMetrics,
 			"link metrics from ping history", nr.Marshal())
 	}
 }
 
 // onStateReport republises entity state transitions (§3.3).
-func (s *session) onStateReport(payload []byte, now time.Time) {
+func (s *session) onStateReport(payload []byte, now time.Time, origin *message.Span) {
 	sr, err := message.UnmarshalStateReport(payload)
 	if err != nil {
 		return
@@ -616,7 +700,7 @@ func (s *session) onStateReport(payload []byte, now time.Time) {
 	s.mu.Lock()
 	s.state = sr.To
 	s.mu.Unlock()
-	s.publishTrace(sr.To.TraceType(), topic.ClassStateTransitions,
+	s.publishTraceFrom(origin, sr.To.TraceType(), topic.ClassStateTransitions,
 		fmt.Sprintf("state %s -> %s", sr.From, sr.To), sr.Marshal())
 	if sr.To == message.StateShutdown {
 		s.end("entity shut down", true)
@@ -625,12 +709,12 @@ func (s *session) onStateReport(payload []byte, now time.Time) {
 }
 
 // onLoadReport republishes load information (§3.3).
-func (s *session) onLoadReport(payload []byte, now time.Time) {
+func (s *session) onLoadReport(payload []byte, now time.Time, origin *message.Span) {
 	lr, err := message.UnmarshalLoadReport(payload)
 	if err != nil {
 		return
 	}
-	s.publishTrace(message.TraceLoadInformation, topic.ClassLoad,
+	s.publishTraceFrom(origin, message.TraceLoadInformation, topic.ClassLoad,
 		fmt.Sprintf("cpu=%.1f%% workload=%.2f", lr.CPUPercent, lr.Workload), lr.Marshal())
 	_ = now
 }
@@ -730,7 +814,7 @@ func (s *session) publishGaugeInterest() {
 		env.Flags |= message.FlagSecured
 	}
 	mGaugeRounds.Inc()
-	s.signAndPublish(env)
+	s.signAndPublish(env, nil)
 }
 
 // handleInterestResponse records tracker interest and, for secured
@@ -802,7 +886,7 @@ func (s *session) deliverTraceKey(ir *message.InterestResponse, trackerPub *rsa.
 		return
 	}
 	env := message.New(message.TypeKeyDelivery, tp, "", wire)
-	s.signAndPublish(env)
+	s.signAndPublish(env, nil)
 	mKeyDeliveries.Inc()
 	s.tb.log.Info("trace key delivered", "session", s.sessionID, "tracker", ir.Tracker)
 }
@@ -836,6 +920,14 @@ func (s *session) hasInterest(class topic.TraceClass) bool {
 // change notifications are always published (JOIN precedes any gauged
 // interest; failure notices are the scheme's raison d'être).
 func (s *session) publishTrace(tt message.Type, class topic.TraceClass, detail string, body []byte) {
+	s.publishTraceFrom(nil, tt, class, detail, body)
+}
+
+// publishTraceFrom is publishTrace threading the originating entity
+// message's span into the derived trace, so end-to-end assembly sees
+// one flow from the entity's hop zero through every broker to the
+// tracker.
+func (s *session) publishTraceFrom(origin *message.Span, tt message.Type, class topic.TraceClass, detail string, body []byte) {
 	s.mu.Lock()
 	silent := s.silent
 	s.mu.Unlock()
@@ -846,12 +938,17 @@ func (s *session) publishTrace(tt message.Type, class topic.TraceClass, detail s
 		mTracesSuppressed.Inc()
 		return
 	}
-	s.publishTraceAlways(tt, class, detail, body)
+	s.publishTraceAlwaysFrom(origin, tt, class, detail, body)
 }
 
 // publishTraceAlways publishes regardless of interest and silence (used
 // for the silent-mode notice itself and terminal FAILED traces).
 func (s *session) publishTraceAlways(tt message.Type, class topic.TraceClass, detail string, body []byte) {
+	s.publishTraceAlwaysFrom(nil, tt, class, detail, body)
+}
+
+// publishTraceAlwaysFrom is publishTraceAlways with span threading.
+func (s *session) publishTraceAlwaysFrom(origin *message.Span, tt message.Type, class topic.TraceClass, detail string, body []byte) {
 	te := &message.TraceEvent{
 		Entity:     s.entity,
 		TraceTopic: s.traceTopic,
@@ -877,12 +974,15 @@ func (s *session) publishTraceAlways(tt message.Type, class topic.TraceClass, de
 		env.Flags |= message.FlagEncrypted
 	}
 	mTracesPublished.Inc()
-	s.signAndPublish(env)
+	s.signAndPublish(env, origin)
 }
 
 // signAndPublish attaches the authorization token, signs with the
 // delegate key (§4.3) and injects the envelope into the broker network.
-func (s *session) signAndPublish(env *message.Envelope) {
+// origin, when non-nil, is the span of the entity message this trace
+// derives from: its trace ID and hops carry over, so the derived trace
+// continues the entity's flow instead of starting a fresh one.
+func (s *session) signAndPublish(env *message.Envelope, origin *message.Span) {
 	s.mu.Lock()
 	tokenBytes := s.tokenBytes
 	delegate := s.delegate
@@ -895,7 +995,12 @@ func (s *session) signAndPublish(env *message.Envelope) {
 		return
 	}
 	// Originate the per-hop span AFTER signing: the annotation sits
-	// outside the signed byte range and starts with this broker's stamp.
+	// outside the signed byte range and starts with this broker's stamp
+	// (preceded by the entity-side hops when the trace derives from an
+	// entity message).
+	if origin != nil && len(origin.Hops) > 0 {
+		env.Span = origin.Clone()
+	}
 	env.StartSpan()
 	env.AddHop(s.tb.cfg.Broker.Name(), s.tb.cfg.Clock.Now())
 	if err := s.tb.cfg.Broker.Publish(env); err != nil {

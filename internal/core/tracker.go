@@ -72,6 +72,24 @@ var (
 	mTraceEndToEnd = obs.Default.Histogram("trace_end_to_end_ms", nil)
 )
 
+// e2eSecondsBuckets are the upper bounds of the per-stage end-to-end
+// latency histograms, in seconds (100µs .. 10s).
+var e2eSecondsBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Per-stage end-to-end latency attribution, fed from skew-normalized
+// trace assemblies (internal/obs Assemble): the full entity→tracker
+// path plus its entity→broker, broker→broker and broker→tracker
+// segments.
+var (
+	mE2ETotal         = obs.Default.Histogram(obs.WithLabel("e2e_latency_seconds", "stage", "total"), e2eSecondsBuckets)
+	mE2EEntityBroker  = obs.Default.Histogram(obs.WithLabel("e2e_latency_seconds", "stage", "entity_to_broker"), e2eSecondsBuckets)
+	mE2EBrokerBroker  = obs.Default.Histogram(obs.WithLabel("e2e_latency_seconds", "stage", "broker_to_broker"), e2eSecondsBuckets)
+	mE2EBrokerTracker = obs.Default.Histogram(obs.WithLabel("e2e_latency_seconds", "stage", "broker_to_tracker"), e2eSecondsBuckets)
+)
+
 // Tracker consumes traces for entities it is authorized to track (§3.4):
 // it discovers trace topics with its credentials, subscribes to the
 // derivative topics it cares about, answers gauge-interest probes, and
@@ -520,9 +538,38 @@ func (w *Watch) handleTrace(class topic.TraceClass, env *message.Envelope) {
 	mTrackerDelivered.Inc()
 	if env.Span != nil {
 		observeSpan(env.Span)
+		w.observePath(env.Span, string(ev.Entity), now)
 	}
 	if !stopped {
 		handler(ev)
+	}
+}
+
+// observePath reassembles the delivered flow (span hops plus the local
+// receive hop) with clock-skew normalization and attributes each segment
+// to a path stage: the first segment leaving the traced entity is
+// entity→broker, the segment arriving here is broker→tracker, and
+// everything in between is broker→broker forwarding.
+func (w *Watch) observePath(sp *message.Span, entity string, now time.Time) {
+	hops := make([]obs.HopRecord, 0, len(sp.Hops)+1)
+	for _, h := range sp.Hops {
+		hops = append(hops, obs.HopRecord{Node: h.Node, AtNanos: h.AtNanos})
+	}
+	hops = append(hops, obs.HopRecord{Node: string(w.tk.entity()), AtNanos: now.UnixNano()})
+	asm := obs.Assemble(hops)
+	if asm == nil || len(asm.Segments) == 0 {
+		return
+	}
+	mE2ETotal.Observe(float64(asm.TotalNanos) / 1e9)
+	for i, seg := range asm.Segments {
+		h := mE2EBrokerBroker
+		switch {
+		case i == 0 && seg.From == entity:
+			h = mE2EEntityBroker
+		case i == len(asm.Segments)-1:
+			h = mE2EBrokerTracker
+		}
+		h.Observe(float64(seg.Nanos) / 1e9)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"entitytrace/internal/credential"
 	"entitytrace/internal/failure"
 	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/stats"
 	"entitytrace/internal/tdn"
@@ -94,6 +95,18 @@ type Options struct {
 	// cached hot path like production brokerd); negative disables
 	// caching, reproducing the uncached §4.3 pipeline on every trace.
 	GuardCache int
+	// FlightEvents enables a per-broker flight recorder of that many
+	// events (zero disables; negative selects obs.DefaultFlightEvents).
+	// Recorders appear in Testbed.Flights, indexed like Brokers.
+	FlightEvents int
+	// FlightSample is the healthy-path sampling period of the flight
+	// recorders (1 records everything; zero selects
+	// obs.DefaultFlightSample). Drops and guard rejections are always
+	// recorded regardless.
+	FlightSample int
+	// HealthInterval enables periodic broker self-monitoring snapshots
+	// on the system health topic (zero disables).
+	HealthInterval time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -151,6 +164,9 @@ type Testbed struct {
 	Brokers  []*broker.Broker
 	Managers []*core.TraceBroker
 	Addrs    []string
+	// Flights holds each broker's flight recorder, indexed like Brokers
+	// (nil entries when Options.FlightEvents is zero).
+	Flights []*obs.FlightRecorder
 
 	tr       transport.Transport
 	entities []*core.TracedEntity
@@ -206,10 +222,23 @@ func New(opts Options) (*Testbed, error) {
 		if opts.GuardCache >= 0 {
 			tokenCache = core.NewTokenCache(opts.GuardCache)
 		}
-		guard := core.NewCachedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache)
+		var flight *obs.FlightRecorder
+		if opts.FlightEvents != 0 {
+			size := opts.FlightEvents
+			if size < 0 {
+				size = obs.DefaultFlightEvents
+			}
+			sample := opts.FlightSample
+			if sample <= 0 {
+				sample = obs.DefaultFlightSample
+			}
+			flight = obs.NewFlightRecorder(fmt.Sprintf("hb%d", i), size, sample)
+		}
+		guard := core.NewObservedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache, flight)
 		b := broker.New(broker.Config{
 			Name:                 fmt.Sprintf("hb%d", i),
 			Guard:                guard,
+			Flight:               flight,
 			ViolationLimit:       opts.ViolationLimit,
 			EgressQueue:          opts.EgressQueue,
 			SlowConsumerDeadline: opts.SlowConsumerDeadline,
@@ -229,14 +258,16 @@ func New(opts Options) (*Testbed, error) {
 			return nil, err
 		}
 		mgr, err := core.NewTraceBroker(core.BrokerConfig{
-			Broker:        b,
-			Identity:      brokerID,
-			Verifier:      tb.Verifier,
-			Resolver:      resolver,
-			Clock:         clock.Real{},
-			Detector:      opts.Detector,
-			GaugeInterval: opts.GaugeInterval,
-			InterestTTL:   opts.InterestTTL,
+			Broker:         b,
+			Identity:       brokerID,
+			Verifier:       tb.Verifier,
+			Resolver:       resolver,
+			Clock:          clock.Real{},
+			Detector:       opts.Detector,
+			GaugeInterval:  opts.GaugeInterval,
+			InterestTTL:    opts.InterestTTL,
+			HealthInterval: opts.HealthInterval,
+			TokenCache:     tokenCache,
 		})
 		if err != nil {
 			tb.Close()
@@ -245,6 +276,7 @@ func New(opts Options) (*Testbed, error) {
 		mgr.Start()
 		tb.Brokers = append(tb.Brokers, b)
 		tb.Managers = append(tb.Managers, mgr)
+		tb.Flights = append(tb.Flights, flight)
 		tb.Addrs = append(tb.Addrs, l.Addr())
 		if i > 0 {
 			if opts.PersistentLinks {

@@ -74,6 +74,10 @@ const (
 	// Load and network information.
 	TraceLoadInformation
 	TraceNetworkMetrics
+	// Broker self-monitoring: periodic topology/health snapshots on the
+	// system-health derivative topic (appended after the Table 1 types so
+	// existing wire values are unchanged).
+	TraceBrokerHealth
 
 	lastType
 )
@@ -141,6 +145,8 @@ func (t Type) String() string {
 		return "LOAD_INFORMATION"
 	case TraceNetworkMetrics:
 		return "NETWORK_METRICS"
+	case TraceBrokerHealth:
+		return "BROKER_HEALTH"
 	default:
 		return fmt.Sprintf("Type(%d)", uint16(t))
 	}

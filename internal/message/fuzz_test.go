@@ -26,6 +26,14 @@ func FuzzUnmarshalEnvelope(f *testing.F) {
 	empty := e.Clone()
 	empty.StartSpan()
 	f.Add(empty.Marshal()) // span trailer with zero hops
+	// Span trailer at exactly MaxHops: the largest hop count the parser
+	// accepts, so mutations probe the boundary (MaxHops+1 must reject).
+	full := e.Clone()
+	full.StartSpan()
+	for i := 0; i < MaxHops; i++ {
+		full.AddHop("n", time.Unix(0, int64(i)))
+	}
+	f.Add(full.Marshal())
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	// Truncated span trailers: cut the spanned wire at several points
@@ -79,6 +87,8 @@ func FuzzPayloadParsers(f *testing.F) {
 	f.Add((&Delegation{TokenBytes: []byte{1}}).Marshal())
 	f.Add((&TraceEvent{Entity: "e"}).Marshal())
 	f.Add((&ErrorReport{Code: 1}).Marshal())
+	f.Add((&BrokerHealth{Broker: "b", Published: 1,
+		Peers: []BrokerHealthPeer{{Name: "p", IsBroker: true, Queued: 2, Score: 0.5}}}).Marshal())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// None of these may panic on arbitrary input.
 		_, _ = UnmarshalRegistration(data)
@@ -94,5 +104,6 @@ func FuzzPayloadParsers(f *testing.F) {
 		_, _ = UnmarshalDelegation(data)
 		_, _ = UnmarshalTraceEvent(data)
 		_, _ = UnmarshalErrorReport(data)
+		_, _ = UnmarshalBrokerHealth(data)
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"entitytrace/internal/ident"
+	"entitytrace/internal/obs"
 )
 
 // Per-hop tracing (observability layer): an envelope may carry an
@@ -17,9 +18,14 @@ import (
 // bytes, so the feature is wire-compatible and pay-as-you-go.
 
 // MaxHops bounds the hop list against hostile or looping growth; AddHop
-// silently stops recording past the bound (the TTL bounds actual
-// forwarding far earlier).
+// stops recording past the bound (the TTL bounds actual forwarding far
+// earlier) and counts each refused hop in span_hops_truncated_total.
 const MaxHops = 32
+
+// mSpanTruncated counts hops refused by AddHop because the span was
+// already at MaxHops — a nonzero value means flows exist whose tails are
+// invisible to trace assembly.
+var mSpanTruncated = obs.Default.Counter("span_hops_truncated_total")
 
 // spanMarker introduces the optional trailing span section.
 const spanMarker = 0x01
@@ -126,9 +132,14 @@ func (e *Envelope) StartSpan() *Span {
 
 // AddHop stamps a traversal on the envelope's span. Envelopes without a
 // span are left untouched, so hop accounting costs nothing unless the
-// originator opted in with StartSpan.
+// originator opted in with StartSpan. Hops past MaxHops are refused and
+// counted in span_hops_truncated_total.
 func (e *Envelope) AddHop(node string, at time.Time) {
-	if e.Span == nil || len(e.Span.Hops) >= MaxHops {
+	if e.Span == nil {
+		return
+	}
+	if len(e.Span.Hops) >= MaxHops {
+		mSpanTruncated.Inc()
 		return
 	}
 	e.Span.Hops = append(e.Span.Hops, Hop{Node: node, AtNanos: at.UnixNano()})

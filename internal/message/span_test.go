@@ -125,11 +125,17 @@ func sampleEnvelopeSeedWire(e *Envelope) []byte {
 func TestSpanHopBound(t *testing.T) {
 	e := sampleEnvelope()
 	e.StartSpan()
+	before := mSpanTruncated.Value()
 	for i := 0; i < MaxHops+10; i++ {
 		e.AddHop("n", time.Unix(0, int64(i)))
 	}
 	if got := len(e.Span.Hops); got != MaxHops {
 		t.Fatalf("hops = %d, want capped at %d", got, MaxHops)
+	}
+	// Refused hops are not silent: each increments the truncation
+	// counter surfaced in /stats, so invisible flow tails are detectable.
+	if got := mSpanTruncated.Value() - before; got != 10 {
+		t.Fatalf("span_hops_truncated_total advanced by %d, want 10", got)
 	}
 	back, err := Unmarshal(e.Marshal())
 	if err != nil {

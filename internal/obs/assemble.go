@@ -1,0 +1,137 @@
+package obs
+
+import "sort"
+
+// Trace assembly: reconstructing one end-to-end flow
+// (entity→broker→…→tracker) from the per-hop span trailer, with
+// clock-skew normalization. Every hop timestamp comes from a different
+// node's clock (§4.3 assumes only an NTP-style bound), so raw adjacent
+// deltas can be negative or inflated; the assembly anchors the flow's
+// total duration to the first and last hop and redistributes it over the
+// per-segment deltas, so per-stage attributions always sum to the
+// observed total and are never negative.
+
+// HopRecord is one node traversal: the node's name and its local
+// Unix-nanosecond clock when the flow passed through. It mirrors the
+// envelope span's hop without importing the message package (obs is a
+// leaf below it).
+type HopRecord struct {
+	Node    string `json:"node"`
+	AtNanos int64  `json:"at_nanos"`
+}
+
+// Segment is one inter-node leg of an assembled flow. Nanos is the
+// skew-normalized attribution; RawNanos the as-measured clock delta
+// (negative under skew).
+type Segment struct {
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Nanos    int64  `json:"nanos"`
+	RawNanos int64  `json:"raw_nanos"`
+}
+
+// Assembly is a reconstructed flow: the traversal-ordered hops, the
+// normalized inter-node segments, and the skew accounting.
+type Assembly struct {
+	Hops     []HopRecord `json:"hops"`
+	Segments []Segment   `json:"segments"`
+	// TotalNanos is the flow's end-to-end duration anchored to the first
+	// and last hop timestamps (0 when fewer than two hops, or when even
+	// the anchor pair is skew-inverted).
+	TotalNanos int64 `json:"total_nanos"`
+	// SkewNanos totals the negative raw deltas that were clamped — a
+	// measure of how much inter-node clock skew distorted this flow.
+	SkewNanos int64 `json:"skew_nanos"`
+	// Scaled reports that per-segment attributions were rescaled so they
+	// sum to TotalNanos.
+	Scaled bool `json:"scaled,omitempty"`
+}
+
+// Assemble reconstructs a flow from its hops, which must be in
+// traversal order (the span trailer's order). Normalization: negative
+// adjacent deltas are clamped to zero and accounted in SkewNanos; the
+// remaining positive deltas are scaled so the segments sum to the
+// first→last anchor duration. When the anchor itself is inverted
+// (first hop's clock ahead of the last's) the clamped raw deltas are
+// reported unscaled and TotalNanos is their sum.
+func Assemble(hops []HopRecord) *Assembly {
+	a := &Assembly{Hops: hops}
+	if len(hops) < 2 {
+		return a
+	}
+	total := hops[len(hops)-1].AtNanos - hops[0].AtNanos
+	var sum int64
+	a.Segments = make([]Segment, 0, len(hops)-1)
+	for i := 1; i < len(hops); i++ {
+		raw := hops[i].AtNanos - hops[i-1].AtNanos
+		clamped := raw
+		if clamped < 0 {
+			a.SkewNanos += -clamped
+			clamped = 0
+		}
+		sum += clamped
+		a.Segments = append(a.Segments, Segment{
+			From:     hops[i-1].Node,
+			To:       hops[i].Node,
+			Nanos:    clamped,
+			RawNanos: raw,
+		})
+	}
+	if total < 0 {
+		// Even the anchor pair is inverted; the clamped deltas are the
+		// best available estimate.
+		a.SkewNanos += -total
+		a.TotalNanos = sum
+		return a
+	}
+	a.TotalNanos = total
+	if sum != total && sum > 0 {
+		// Redistribute the anchored total over the positive deltas so the
+		// segments sum exactly to it (integer remainder goes to the last
+		// nonzero segment).
+		var distributed int64
+		lastNonZero := -1
+		for i := range a.Segments {
+			if a.Segments[i].Nanos == 0 {
+				continue
+			}
+			scaled := a.Segments[i].Nanos * total / sum
+			a.Segments[i].Nanos = scaled
+			distributed += scaled
+			lastNonZero = i
+		}
+		if lastNonZero >= 0 {
+			a.Segments[lastNonZero].Nanos += total - distributed
+		}
+		a.Scaled = true
+	} else if sum == 0 && total > 0 {
+		// All deltas clamped or zero: attribute the whole flow to the
+		// final segment (the anchor says time passed somewhere).
+		a.Segments[len(a.Segments)-1].Nanos = total
+		a.Scaled = true
+	}
+	return a
+}
+
+// MergeHops stable-sorts hop records by timestamp, deduplicating exact
+// (node, timestamp) repeats. It reconstructs traversal order for hop
+// sets gathered out of order — chaos-reordered delivery, or hops
+// recovered from several brokers' flight recorders — before Assemble.
+// Under inter-node clock skew the sort can differ from the true
+// traversal order; spans carried in-envelope should be assembled in
+// their recorded order instead.
+func MergeHops(lists ...[]HopRecord) []HopRecord {
+	var out []HopRecord
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtNanos < out[j].AtNanos })
+	dedup := out[:0]
+	for i, h := range out {
+		if i > 0 && h == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, h)
+	}
+	return dedup
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// hopsAt builds a hop list from (node, timestamp) pairs.
+func hopsAt(pairs ...any) []HopRecord {
+	var out []HopRecord
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, HopRecord{Node: pairs[i].(string), AtNanos: int64(pairs[i+1].(int))})
+	}
+	return out
+}
+
+func TestAssembleEmptyAndSingle(t *testing.T) {
+	if a := Assemble(nil); a.TotalNanos != 0 || len(a.Segments) != 0 {
+		t.Fatalf("empty assembly = %+v", a)
+	}
+	a := Assemble(hopsAt("only", 100))
+	if a.TotalNanos != 0 || len(a.Segments) != 0 || a.SkewNanos != 0 {
+		t.Fatalf("single-hop assembly = %+v", a)
+	}
+}
+
+func TestAssembleWellOrdered(t *testing.T) {
+	a := Assemble(hopsAt("entity", 0, "hb0", 100, "hb1", 250, "tracker", 400))
+	if a.TotalNanos != 400 {
+		t.Fatalf("total = %d, want 400", a.TotalNanos)
+	}
+	if a.SkewNanos != 0 || a.Scaled {
+		t.Fatalf("clean flow reported skew/scaling: %+v", a)
+	}
+	want := []Segment{
+		{From: "entity", To: "hb0", Nanos: 100, RawNanos: 100},
+		{From: "hb0", To: "hb1", Nanos: 150, RawNanos: 150},
+		{From: "hb1", To: "tracker", Nanos: 150, RawNanos: 150},
+	}
+	if !reflect.DeepEqual(a.Segments, want) {
+		t.Fatalf("segments = %+v", a.Segments)
+	}
+}
+
+// TestAssembleSkewClamped: a middle node's clock runs behind, producing
+// a negative raw delta. The attribution clamps it, accounts the skew,
+// and rescales the rest so the segments still sum to the anchored total.
+func TestAssembleSkewClamped(t *testing.T) {
+	a := Assemble(hopsAt("entity", 0, "hb0", 300, "hb1", 200, "tracker", 500))
+	if a.TotalNanos != 500 {
+		t.Fatalf("total = %d, want anchor 500", a.TotalNanos)
+	}
+	if a.SkewNanos != 100 {
+		t.Fatalf("skew = %d, want 100", a.SkewNanos)
+	}
+	if !a.Scaled {
+		t.Fatal("clamped flow not marked scaled")
+	}
+	var sum int64
+	for _, s := range a.Segments {
+		if s.Nanos < 0 {
+			t.Fatalf("negative attribution: %+v", s)
+		}
+		sum += s.Nanos
+	}
+	if sum != a.TotalNanos {
+		t.Fatalf("segments sum to %d, want %d", sum, a.TotalNanos)
+	}
+	if a.Segments[1].RawNanos != -100 {
+		t.Fatalf("raw delta = %d, want -100 preserved", a.Segments[1].RawNanos)
+	}
+}
+
+// TestAssembleInvertedAnchor: the first hop's clock is ahead of the
+// last's, so even the flow's total is unmeasurable; the clamped deltas
+// are the best estimate and nothing is scaled against the bogus anchor.
+func TestAssembleInvertedAnchor(t *testing.T) {
+	a := Assemble(hopsAt("entity", 1000, "hb0", 1100, "tracker", 900))
+	if a.TotalNanos != 100 {
+		t.Fatalf("total = %d, want clamped-delta sum 100", a.TotalNanos)
+	}
+	if a.SkewNanos != 200+100 {
+		t.Fatalf("skew = %d, want 300 (inverted segment + inverted anchor)", a.SkewNanos)
+	}
+	if a.Scaled {
+		t.Fatal("inverted anchor must not claim scaled attribution")
+	}
+}
+
+// TestAssembleZeroDeltaPrefix: identical timestamps on the early hops
+// (sub-resolution processing) contribute nothing; the final segment
+// carries the whole anchored duration without any rescaling.
+func TestAssembleZeroDeltaPrefix(t *testing.T) {
+	a := Assemble(hopsAt("a", 0, "b", 0, "c", 0, "d", 900))
+	if a.TotalNanos != 900 {
+		t.Fatalf("total = %d, want 900", a.TotalNanos)
+	}
+	var sum int64
+	for _, s := range a.Segments {
+		sum += s.Nanos
+	}
+	if sum != 900 || a.Scaled || a.SkewNanos != 0 {
+		t.Fatalf("segments sum = %d scaled=%v skew=%d, want 900/false/0", sum, a.Scaled, a.SkewNanos)
+	}
+	if last := a.Segments[len(a.Segments)-1]; last.Nanos != 900 {
+		t.Fatalf("final segment = %+v, want the full 900", last)
+	}
+}
+
+// TestMergeHopsChaosReorder reconstructs traversal order from hop sets
+// delivered out of order — the chaos injector's reorder fault applied to
+// span fragments gathered from several brokers. Any seeded shuffle of
+// any partition into sub-lists must assemble identically to the in-order
+// flow.
+func TestMergeHopsChaosReorder(t *testing.T) {
+	ordered := hopsAt("entity", 10, "hb0", 120, "hb1", 240, "hb2", 380, "tracker", 500)
+	want := Assemble(ordered)
+	rng := rand.New(rand.NewSource(42)) // fixed seed: failures replay
+	for round := 0; round < 50; round++ {
+		shuffled := append([]HopRecord(nil), ordered...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		// Partition into 1..3 fragments, as if recovered from several
+		// brokers' flight recorders.
+		cut1 := rng.Intn(len(shuffled) + 1)
+		cut2 := cut1 + rng.Intn(len(shuffled)+1-cut1)
+		merged := MergeHops(shuffled[:cut1], shuffled[cut1:cut2], shuffled[cut2:])
+		if !reflect.DeepEqual(merged, ordered) {
+			t.Fatalf("round %d: merged = %+v, want traversal order", round, merged)
+		}
+		if got := Assemble(merged); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: reordered assembly = %+v, want %+v", round, got, want)
+		}
+	}
+}
+
+func TestMergeHopsDeduplicates(t *testing.T) {
+	a := hopsAt("entity", 10, "hb0", 120)
+	b := hopsAt("hb0", 120, "hb1", 240) // hb0@120 repeated across fragments
+	merged := MergeHops(a, b)
+	want := hopsAt("entity", 10, "hb0", 120, "hb1", 240)
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged = %+v, want exact duplicates removed", merged)
+	}
+	// Same node at a new timestamp is a genuine revisit, not a duplicate.
+	revisit := MergeHops(hopsAt("hb0", 120, "hb0", 130))
+	if len(revisit) != 2 {
+		t.Fatalf("revisit collapsed: %+v", revisit)
+	}
+}
+
+func TestMergeHopsStableOnTies(t *testing.T) {
+	// Equal timestamps on different nodes: stable sort keeps first-seen
+	// order within the tie instead of flapping between runs.
+	merged := MergeHops(hopsAt("a", 100, "b", 100, "c", 50))
+	want := hopsAt("c", 50, "a", 100, "b", 100)
+	if !reflect.DeepEqual(merged, want) {
+		t.Fatalf("merged = %+v, want stable tie order", merged)
+	}
+}

@@ -1,0 +1,414 @@
+package obs
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a bounded, lock-light ring of structured routing
+// events every broker keeps about its own recent decisions — ingress,
+// guard verdict, route decision, egress enqueue/shed, eviction and
+// quarantine. The ring answers "what did this broker decide about trace
+// #X, and when?" after the fact, without logs and without a collector:
+// the events are exported as JSON over the admin endpoint
+// (/trace?id=<uuid>&last=<n>) and dumped on SIGQUIT.
+//
+// The hot-path contract is one atomic add for the sampling decision;
+// only events that pass sampling (or that record a drop, which is
+// always-on) take the ring mutex for the append. Events are plain value
+// structs reused in place inside the ring, so steady-state recording
+// allocates only when a field (reason string) must be materialized.
+
+// DefaultFlightEvents is the ring capacity daemons use unless told
+// otherwise: enough to hold several seconds of sampled steady-state
+// traffic plus every recent drop.
+const DefaultFlightEvents = 4096
+
+// DefaultFlightSample is the healthy-traffic sampling rate: 1-in-N
+// ingress/route/egress events are recorded. Drops, sheds, evictions and
+// quarantine rejections bypass sampling entirely.
+const DefaultFlightSample = 64
+
+// FlightKind classifies a flight-recorder event.
+type FlightKind uint8
+
+// Flight event kinds, in rough pipeline order.
+const (
+	FlightIngress    FlightKind = iota // envelope arrived from a peer (or local publish)
+	FlightGuard                        // §4.3 guard verdict (accept or drop)
+	FlightDrop                         // routing rejection before delivery (duplicate, TTL, spoof, topic authz, throttle)
+	FlightRoute                        // route decision: local and remote fan-out counts
+	FlightEgress                       // frame enqueued toward one remote peer
+	FlightShed                         // frames shed from a peer's egress queue
+	FlightEvict                        // peer eviction
+	FlightQuarantine                   // connection rejected while quarantined
+)
+
+var flightKindNames = [...]string{
+	FlightIngress:    "ingress",
+	FlightGuard:      "guard",
+	FlightDrop:       "drop",
+	FlightRoute:      "route",
+	FlightEgress:     "egress",
+	FlightShed:       "shed",
+	FlightEvict:      "evict",
+	FlightQuarantine: "quarantine",
+}
+
+// String returns the wire/JSON name of the kind.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return "unknown(" + strconv.Itoa(int(k)) + ")"
+}
+
+// MarshalJSON encodes the kind as its string name.
+func (k FlightKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind from its string name.
+func (k *FlightKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for i, name := range flightKindNames {
+		if name == s {
+			*k = FlightKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown flight kind %q", s)
+}
+
+// FlightTrace is the 128-bit trace correlation ID carried by flight
+// events — the envelope's span TraceID, or the envelope ID when no span
+// is attached. Stored raw (no string formatting on the record path) and
+// rendered in canonical UUID form only at JSON time.
+type FlightTrace [16]byte
+
+// IsZero reports an absent trace ID (events such as evictions are not
+// tied to one envelope).
+func (t FlightTrace) IsZero() bool { return t == FlightTrace{} }
+
+// String formats the trace ID in the canonical 8-4-4-4-12 form.
+func (t FlightTrace) String() string {
+	var b [36]byte
+	hex.Encode(b[0:8], t[0:4])
+	b[8] = '-'
+	hex.Encode(b[9:13], t[4:6])
+	b[13] = '-'
+	hex.Encode(b[14:18], t[6:8])
+	b[18] = '-'
+	hex.Encode(b[19:23], t[8:10])
+	b[23] = '-'
+	hex.Encode(b[24:36], t[10:16])
+	return string(b[:])
+}
+
+// ParseFlightTrace parses the canonical textual form.
+func ParseFlightTrace(s string) (FlightTrace, error) {
+	var t FlightTrace
+	if len(s) != 36 || s[8] != '-' || s[13] != '-' || s[18] != '-' || s[23] != '-' {
+		return t, fmt.Errorf("obs: malformed trace id %q", s)
+	}
+	hexOnly := s[0:8] + s[9:13] + s[14:18] + s[19:23] + s[24:36]
+	raw, err := hex.DecodeString(hexOnly)
+	if err != nil {
+		return t, fmt.Errorf("obs: malformed trace id %q", s)
+	}
+	copy(t[:], raw)
+	return t, nil
+}
+
+// MarshalJSON encodes the trace ID as a UUID string, or null when zero.
+func (t FlightTrace) MarshalJSON() ([]byte, error) {
+	if t.IsZero() {
+		return []byte("null"), nil
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a UUID string or null.
+func (t *FlightTrace) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*t = FlightTrace{}
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseFlightTrace(s)
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// FlightEvent is one recorded broker decision. Which optional fields are
+// set depends on Kind:
+//
+//	ingress:    Peer (source, "local" for a local publish), Topic
+//	guard:      Peer (publishing principal), Topic, Cache (hit/miss/
+//	            stale/bypass/off), DurNanos (verification time), Reason
+//	            set on drops
+//	drop:       Peer, Topic, Reason (duplicate, ttl_expired,
+//	            spoofed_source, unauthorized_topic, throttled)
+//	route:      N (remote fan-out), N2 (local deliveries)
+//	egress:     Peer (destination)
+//	shed:       Peer (destination), N (frames shed)
+//	evict:      Peer, Reason
+//	quarantine: Peer
+type FlightEvent struct {
+	Seq      uint64      `json:"seq"`
+	AtNanos  int64       `json:"at_nanos"`
+	Kind     FlightKind  `json:"kind"`
+	Trace    FlightTrace `json:"trace_id,omitempty"`
+	Peer     string      `json:"peer,omitempty"`
+	Topic    string      `json:"topic,omitempty"`
+	Reason   string      `json:"reason,omitempty"`
+	Cache    string      `json:"cache,omitempty"`
+	DurNanos int64       `json:"dur_nanos,omitempty"`
+	N        int         `json:"n,omitempty"`
+	N2       int         `json:"n2,omitempty"`
+}
+
+// Time returns the event timestamp.
+func (e FlightEvent) Time() time.Time { return time.Unix(0, e.AtNanos) }
+
+// FlightRecorder is the per-broker bounded event ring. A nil recorder is
+// valid and disables recording: Sampled reports false and Record is a
+// no-op, so call sites need no branches.
+type FlightRecorder struct {
+	node    string
+	sampleN uint64
+	tick    atomic.Uint64
+
+	mu   sync.Mutex
+	ring []FlightEvent
+	next int // next write slot
+	n    int // populated slots
+	seq  uint64
+}
+
+// NewFlightRecorder creates a recorder for the named node with a ring of
+// size events (<=0 selects DefaultFlightEvents) sampling 1-in-sampleN
+// healthy events (<=0 selects DefaultFlightSample; 1 records
+// everything).
+func NewFlightRecorder(node string, size, sampleN int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightEvents
+	}
+	if sampleN <= 0 {
+		sampleN = DefaultFlightSample
+	}
+	return &FlightRecorder{node: node, sampleN: uint64(sampleN), ring: make([]FlightEvent, size)}
+}
+
+// Node returns the recorder's node name ("" for nil).
+func (r *FlightRecorder) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// SampleN returns the healthy-traffic sampling rate (0 for nil).
+func (r *FlightRecorder) SampleN() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.sampleN)
+}
+
+// Sampled is the hot-path sampling decision for healthy traffic: one
+// atomic add, true for 1-in-N calls. Callers make the decision once per
+// envelope and record all of that envelope's healthy events (ingress,
+// route, egress) or none, so sampled flows are complete. Drops bypass
+// Sampled and go straight to Record. A nil recorder reports false.
+func (r *FlightRecorder) Sampled() bool {
+	if r == nil {
+		return false
+	}
+	return r.tick.Add(1)%r.sampleN == 0
+}
+
+// Record appends the event to the ring, stamping its sequence number
+// and, when AtNanos is zero, the current time. No-op on nil.
+func (r *FlightRecorder) Record(ev FlightEvent) {
+	if r == nil {
+		return
+	}
+	if ev.AtNanos == 0 {
+		ev.AtNanos = time.Now().UnixNano()
+	}
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.ring[r.next] = ev
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Head returns the most recently assigned sequence number (0 if nothing
+// recorded or nil).
+func (r *FlightRecorder) Head() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// FlightFilter selects events from a recorder snapshot. The zero value
+// selects the newest DefaultFlightQuery events of any trace.
+type FlightFilter struct {
+	// Trace, when non-zero, keeps only events stamped with this trace ID.
+	Trace FlightTrace
+	// Since, when non-zero, keeps only events with Seq > Since (tailing).
+	Since uint64
+	// Last, when > 0, keeps only the newest Last events after the other
+	// filters; <= 0 selects DefaultFlightQuery.
+	Last int
+}
+
+// DefaultFlightQuery bounds /trace responses when the request does not
+// say how many events it wants.
+const DefaultFlightQuery = 256
+
+// Events snapshots the ring, oldest first, applying the filter.
+func (r *FlightRecorder) Events(f FlightFilter) []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	all := make([]FlightEvent, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		all = append(all, r.ring[(start+i)%len(r.ring)])
+	}
+	r.mu.Unlock()
+
+	out := all[:0]
+	for _, ev := range all {
+		if !f.Trace.IsZero() && ev.Trace != f.Trace {
+			continue
+		}
+		if f.Since != 0 && ev.Seq <= f.Since {
+			continue
+		}
+		out = append(out, ev)
+	}
+	last := f.Last
+	if last <= 0 {
+		last = DefaultFlightQuery
+	}
+	if len(out) > last {
+		out = out[len(out)-last:]
+	}
+	return out
+}
+
+// FlightDump is the JSON document served by /trace and written on
+// SIGQUIT: the node's name, its ring head sequence, and the selected
+// events oldest first.
+type FlightDump struct {
+	Node   string        `json:"node"`
+	Head   uint64        `json:"head"`
+	Events []FlightEvent `json:"events"`
+}
+
+// Dump snapshots the recorder into the exported document form.
+func (r *FlightRecorder) Dump(f FlightFilter) FlightDump {
+	return FlightDump{Node: r.Node(), Head: r.Head(), Events: r.Events(f)}
+}
+
+// WriteJSON writes the filtered dump as indented JSON (the SIGQUIT
+// format).
+func (r *FlightRecorder) WriteJSON(w io.Writer, f FlightFilter) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Dump(f))
+}
+
+// ParseFlightDump parses the JSON document produced by Dump/WriteJSON
+// and the /trace endpoint. It is the inverse tracectl uses.
+func ParseFlightDump(b []byte) (*FlightDump, error) {
+	var d FlightDump
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, err
+	}
+	for i, ev := range d.Events {
+		if int(ev.Kind) >= len(flightKindNames) {
+			return nil, fmt.Errorf("obs: event %d: unknown flight kind %d", i, ev.Kind)
+		}
+	}
+	return &d, nil
+}
+
+// errNoRecorder reports a /trace request against a daemon with the
+// flight recorder disabled.
+var errNoRecorder = errors.New("obs: flight recorder disabled")
+
+// FlightHandler serves the recorder as JSON:
+//
+//	GET /trace?id=<uuid>&last=<n>&since=<seq>
+//
+// id filters to one trace ID, last bounds the event count (default
+// DefaultFlightQuery), since selects only events after the given
+// sequence number (for tailing). A nil recorder answers 503.
+func FlightHandler(r *FlightRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, errNoRecorder.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		var f FlightFilter
+		q := req.URL.Query()
+		if id := q.Get("id"); id != "" {
+			t, err := ParseFlightTrace(id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Trace = t
+		}
+		if last := q.Get("last"); last != "" {
+			n, err := strconv.Atoi(last)
+			if err != nil || n < 0 {
+				http.Error(w, "obs: bad last parameter", http.StatusBadRequest)
+				return
+			}
+			f.Last = n
+		}
+		if since := q.Get("since"); since != "" {
+			n, err := strconv.ParseUint(since, 10, 64)
+			if err != nil {
+				http.Error(w, "obs: bad since parameter", http.StatusBadRequest)
+				return
+			}
+			f.Since = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Dump(f))
+	})
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightTraceRoundTrip(t *testing.T) {
+	tr := FlightTrace{0x0f, 0x3c, 0xaa, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d}
+	s := tr.String()
+	if len(s) != 36 {
+		t.Fatalf("canonical form has length %d: %q", len(s), s)
+	}
+	back, err := ParseFlightTrace(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != tr {
+		t.Fatalf("round trip changed trace: %s != %s", back, tr)
+	}
+	if _, err := ParseFlightTrace("not-a-uuid"); err == nil {
+		t.Fatal("malformed trace id accepted")
+	}
+	var zero FlightTrace
+	if !zero.IsZero() || tr.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+	b, err := json.Marshal(zero)
+	if err != nil || string(b) != "null" {
+		t.Fatalf("zero trace marshals to %q (%v), want null", b, err)
+	}
+}
+
+func TestFlightKindJSON(t *testing.T) {
+	for k := FlightIngress; k <= FlightQuarantine; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back FlightKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Fatalf("kind %s round-tripped to %s", k, back)
+		}
+	}
+	var k FlightKind
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Fatal("unknown kind name accepted")
+	}
+}
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	r := NewFlightRecorder("b0", 4, 1)
+	for i := 0; i < 10; i++ {
+		r.Record(FlightEvent{Kind: FlightIngress, AtNanos: int64(i + 1), N: i})
+	}
+	if got := r.Head(); got != 10 {
+		t.Fatalf("head = %d, want 10", got)
+	}
+	evs := r.Events(FlightFilter{})
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// Oldest first, and only the newest 4 survive the wrap.
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderFilters(t *testing.T) {
+	r := NewFlightRecorder("b0", 64, 1)
+	t1 := FlightTrace{1}
+	t2 := FlightTrace{2}
+	r.Record(FlightEvent{Kind: FlightIngress, Trace: t1, AtNanos: 1})
+	r.Record(FlightEvent{Kind: FlightDrop, Trace: t2, AtNanos: 2})
+	r.Record(FlightEvent{Kind: FlightRoute, Trace: t1, AtNanos: 3})
+
+	byTrace := r.Events(FlightFilter{Trace: t1})
+	if len(byTrace) != 2 || byTrace[0].Kind != FlightIngress || byTrace[1].Kind != FlightRoute {
+		t.Fatalf("trace filter returned %+v", byTrace)
+	}
+	since := r.Events(FlightFilter{Since: 2})
+	if len(since) != 1 || since[0].Seq != 3 {
+		t.Fatalf("since filter returned %+v", since)
+	}
+	last := r.Events(FlightFilter{Last: 1})
+	if len(last) != 1 || last[0].Seq != 3 {
+		t.Fatalf("last filter returned %+v", last)
+	}
+}
+
+func TestFlightSampling(t *testing.T) {
+	r := NewFlightRecorder("b0", 8, 4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if r.Sampled() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-4 sampling hit %d of 400", hits)
+	}
+	every := NewFlightRecorder("b0", 8, 1)
+	for i := 0; i < 10; i++ {
+		if !every.Sampled() {
+			t.Fatal("sampleN=1 must record everything")
+		}
+	}
+}
+
+func TestNilFlightRecorderIsNoop(t *testing.T) {
+	var r *FlightRecorder
+	if r.Sampled() {
+		t.Fatal("nil recorder sampled")
+	}
+	r.Record(FlightEvent{Kind: FlightDrop}) // must not panic
+	if r.Head() != 0 || r.Events(FlightFilter{}) != nil || r.Node() != "" || r.SampleN() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder("b0", 128, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if r.Sampled() {
+					r.Record(FlightEvent{Kind: FlightIngress, AtNanos: int64(i + 1)})
+				}
+				_ = r.Events(FlightFilter{Last: 5})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Head() == 0 {
+		t.Fatal("nothing recorded")
+	}
+}
+
+func TestFlightDumpJSONRoundTrip(t *testing.T) {
+	r := NewFlightRecorder("hb1", 16, 1)
+	r.Record(FlightEvent{Kind: FlightIngress, Trace: FlightTrace{9}, Peer: "entity-1", Topic: "/t", AtNanos: 5})
+	r.Record(FlightEvent{Kind: FlightGuard, Trace: FlightTrace{9}, Cache: "hit", DurNanos: 1200, AtNanos: 6})
+	r.Record(FlightEvent{Kind: FlightDrop, Peer: "x", Reason: "unauthorized_topic", AtNanos: 7})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf, FlightFilter{}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFlightDump(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Node != "hb1" || d.Head != 3 || len(d.Events) != 3 {
+		t.Fatalf("parsed dump %+v", d)
+	}
+	if d.Events[1].Kind != FlightGuard || d.Events[1].Cache != "hit" || d.Events[1].DurNanos != 1200 {
+		t.Fatalf("guard event did not survive: %+v", d.Events[1])
+	}
+	if d.Events[0].Trace != (FlightTrace{9}) {
+		t.Fatalf("trace id did not survive: %+v", d.Events[0])
+	}
+	if _, err := ParseFlightDump([]byte(`{"node":"x","events":[{"kind":"bogus"}]}`)); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	r := NewFlightRecorder("hb0", 16, 1)
+	tr := FlightTrace{7}
+	r.Record(FlightEvent{Kind: FlightIngress, Trace: tr, AtNanos: 1})
+	r.Record(FlightEvent{Kind: FlightRoute, Trace: tr, AtNanos: 2})
+	r.Record(FlightEvent{Kind: FlightIngress, Trace: FlightTrace{8}, AtNanos: 3})
+	srv := httptest.NewServer(FlightHandler(r))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/trace?id=" + tr.String() + "&last=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseFlightDump(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Events) != 2 {
+		t.Fatalf("id filter returned %d events, want 2", len(d.Events))
+	}
+
+	for _, bad := range []string{"?id=zzz", "?last=-1", "?since=x"} {
+		resp, err := srv.Client().Get(srv.URL + "/trace" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s answered %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	off := httptest.NewServer(FlightHandler(nil))
+	defer off.Close()
+	resp2, err := off.Client().Get(off.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 503 {
+		t.Fatalf("nil recorder answered %d, want 503", resp2.StatusCode)
+	}
+}
+
+func TestFlightRecordStampsTime(t *testing.T) {
+	r := NewFlightRecorder("b0", 4, 1)
+	before := time.Now().UnixNano()
+	r.Record(FlightEvent{Kind: FlightEvict, Peer: "p"})
+	ev := r.Events(FlightFilter{})[0]
+	if ev.AtNanos < before {
+		t.Fatalf("AtNanos %d not stamped", ev.AtNanos)
+	}
+	if !strings.Contains(ev.Kind.String(), "evict") {
+		t.Fatalf("kind renders as %q", ev.Kind)
+	}
+}
+
+// FuzzParseFlightDump hammers the /trace JSON parser (the format
+// tracectl consumes): it must never panic, and any dump it accepts must
+// re-encode and re-parse to the same event count and kinds.
+func FuzzParseFlightDump(f *testing.F) {
+	r := NewFlightRecorder("hb0", 8, 1)
+	r.Record(FlightEvent{Kind: FlightIngress, Trace: FlightTrace{1}, Peer: "entity-1", Topic: "/Constrained/Traces/x", AtNanos: 1})
+	r.Record(FlightEvent{Kind: FlightGuard, Cache: "miss", DurNanos: 900, Reason: "token expired", AtNanos: 2})
+	r.Record(FlightEvent{Kind: FlightRoute, N: 2, N2: 1, AtNanos: 3})
+	r.Record(FlightEvent{Kind: FlightShed, Peer: "hb1", N: 17, AtNanos: 4})
+	var buf bytes.Buffer
+	_ = r.WriteJSON(&buf, FlightFilter{})
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"node":"","head":0,"events":[]}`))
+	f.Add([]byte(`{"events":[{"kind":"quarantine","trace_id":null}]}`))
+	f.Add([]byte(`{"events":[{"kind":"drop","trace_id":"00000000-0000-0000-0000-000000000001"}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ParseFlightDump(data)
+		if err != nil {
+			return
+		}
+		re, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("accepted dump does not re-encode: %v", err)
+		}
+		back, err := ParseFlightDump(re)
+		if err != nil {
+			t.Fatalf("re-encoded dump does not re-parse: %v", err)
+		}
+		if len(back.Events) != len(d.Events) {
+			t.Fatal("round trip changed event count")
+		}
+		for i := range d.Events {
+			if back.Events[i].Kind != d.Events[i].Kind || back.Events[i].Trace != d.Events[i].Trace {
+				t.Fatal("round trip changed event identity")
+			}
+		}
+	})
+}

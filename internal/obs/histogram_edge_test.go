@@ -1,0 +1,100 @@
+package obs
+
+import "testing"
+
+// Edge cases of the fixed-bucket histogram: empty snapshots, a single
+// observation, and values outside the configured bucket range on either
+// side. The steady-state and concurrency behaviour is covered in
+// obs_test.go; these pin down the boundaries trace assembly and the
+// e2e_latency_seconds stage histograms depend on.
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	snap := h.Snapshot()
+	if snap.Count != 0 {
+		t.Fatalf("count = %d, want 0", snap.Count)
+	}
+	if snap.P50 != 0 || snap.P90 != 0 || snap.P99 != 0 {
+		t.Fatalf("empty quantiles = %v/%v/%v, want zeros", snap.P50, snap.P90, snap.P99)
+	}
+	if len(snap.Buckets) != 4 { // 3 bounds + overflow
+		t.Fatalf("buckets = %d, want 4", len(snap.Buckets))
+	}
+	for _, b := range snap.Buckets {
+		if b.Count != 0 {
+			t.Fatalf("empty histogram has nonzero bucket %+v", b)
+		}
+	}
+	if snap.Buckets[len(snap.Buckets)-1].Le != "+Inf" {
+		t.Fatalf("overflow bucket le = %q", snap.Buckets[len(snap.Buckets)-1].Le)
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	snap := h.Snapshot()
+	if snap.Count != 1 || h.Count() != 1 {
+		t.Fatalf("count = %d/%d, want 1", snap.Count, h.Count())
+	}
+	if snap.Min != 1.5 || snap.Max != 1.5 || snap.Mean != 1.5 {
+		t.Fatalf("moments = min %v max %v mean %v, want all 1.5", snap.Min, snap.Max, snap.Mean)
+	}
+	if snap.StdDev != 0 {
+		t.Fatalf("stddev = %v, want 0 for one observation", snap.StdDev)
+	}
+	// All quantiles interpolate inside the (1, 2] bucket that holds the
+	// single value — never outside it.
+	for _, q := range []float64{snap.P50, snap.P90, snap.P99} {
+		if q <= 1 || q > 2 {
+			t.Fatalf("quantile %v outside the observation's bucket (1, 2]", q)
+		}
+	}
+}
+
+func TestHistogramBelowRange(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(-5) // below every bound: lands in the first bucket
+	h.Observe(0)
+	snap := h.Snapshot()
+	if snap.Buckets[0].Count != 2 {
+		t.Fatalf("first bucket = %d, want both sub-range values", snap.Buckets[0].Count)
+	}
+	if snap.Min != -5 || snap.Max != 0 {
+		t.Fatalf("min/max = %v/%v", snap.Min, snap.Max)
+	}
+	// Interpolation in the first bucket runs from an implicit lower bound
+	// of zero; the estimate stays within [0, 1].
+	if snap.P99 < 0 || snap.P99 > 1 {
+		t.Fatalf("p99 = %v, want within the first bucket [0, 1]", snap.P99)
+	}
+}
+
+func TestHistogramAboveRange(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(1e9) // far past the last bound: overflow bucket
+	}
+	snap := h.Snapshot()
+	last := snap.Buckets[len(snap.Buckets)-1]
+	if last.Le != "+Inf" || last.Count != 10 {
+		t.Fatalf("overflow bucket = %+v, want all 10", last)
+	}
+	// The overflow bucket has no upper bound to interpolate against, so
+	// every quantile inside it reports the observed maximum.
+	if snap.P50 != 1e9 || snap.P99 != 1e9 {
+		t.Fatalf("overflow quantiles = %v/%v, want observed max", snap.P50, snap.P99)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := newHistogram([]float64{4, 1, 2})
+	h.Observe(1.5)
+	snap := h.Snapshot()
+	if snap.Buckets[0].Le != "1" || snap.Buckets[1].Le != "2" || snap.Buckets[2].Le != "4" {
+		t.Fatalf("bounds not sorted: %+v", snap.Buckets)
+	}
+	if snap.Buckets[0].Count != 0 || snap.Buckets[1].Count != 1 {
+		t.Fatalf("cumulative counts wrong: %+v", snap.Buckets)
+	}
+}

@@ -18,7 +18,23 @@ const (
 	SuffixLoad                = "Load"
 	SuffixNetworkMetrics      = "NetworkMetrics"
 	SuffixInterest            = "Interest"
+	SuffixSystem              = "System"
+	SuffixHealth              = "Health"
 )
+
+// SystemHealth returns the constrained derivative topic carrying broker
+// self-monitoring snapshots:
+// /Constrained/Traces/Broker/Publish-Only/System/Health. The fabric
+// monitors itself with its own derivative-topic mechanism: Publish-Only
+// with the broker as constrainer means only brokers may publish health
+// snapshots while anyone may subscribe, and the default Disseminate
+// distribution propagates them network-wide, so one subscription
+// anywhere observes every broker. The "System" segment is deliberately
+// not a UUID, so the topic falls outside the per-trace-topic token
+// guard.
+func SystemHealth() Topic {
+	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixHealth)
+}
 
 // Registration returns the constrained topic on which trace registration
 // messages are issued (§3.2). The broker is the only subscriber;

@@ -1,0 +1,372 @@
+// Package tracectl is the debugging console for the tracing fabric: it
+// fetches flight-recorder dumps from broker admin endpoints, renders
+// end-to-end waterfalls for a trace ID, tails live flight events, and
+// draws a broker map from the self-monitoring snapshots published on
+// the system-health topic. The cmd/tracectl binary is a thin flag
+// wrapper over this package so every operation is testable in-process.
+package tracectl
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// Client talks to broker admin endpoints (the /trace handler).
+type Client struct {
+	// Admins are admin base URLs, e.g. http://127.0.0.1:9100.
+	Admins []string
+	// HTTP overrides the HTTP client (default: 5 s timeout).
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// fetch retrieves one flight dump from an admin base URL with the given
+// query string.
+func (c *Client) fetch(admin, query string) (*obs.FlightDump, error) {
+	u := strings.TrimSuffix(admin, "/") + "/trace"
+	if query != "" {
+		u += "?" + query
+	}
+	resp, err := c.httpClient().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tracectl: %s: %s: %s", u, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return obs.ParseFlightDump(body)
+}
+
+// FetchAll queries every admin endpoint with the same filter, skipping
+// unreachable ones. It fails only when no endpoint answered.
+func (c *Client) FetchAll(query string) ([]*obs.FlightDump, error) {
+	var dumps []*obs.FlightDump
+	var errs []string
+	for _, a := range c.Admins {
+		d, err := c.fetch(a, query)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		dumps = append(dumps, d)
+	}
+	if len(dumps) == 0 {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("tracectl: no admin endpoint answered: %s", strings.Join(errs, "; "))
+		}
+		return nil, fmt.Errorf("tracectl: no admin endpoints configured")
+	}
+	return dumps, nil
+}
+
+// nodeEvent pairs a flight event with the node that recorded it, for
+// cross-broker merged views.
+type nodeEvent struct {
+	Node string
+	Ev   obs.FlightEvent
+}
+
+// mergeEvents flattens dumps into one timestamp-ordered list.
+func mergeEvents(dumps []*obs.FlightDump) []nodeEvent {
+	var out []nodeEvent
+	for _, d := range dumps {
+		for _, ev := range d.Events {
+			out = append(out, nodeEvent{Node: d.Node, Ev: ev})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ev.AtNanos < out[j].Ev.AtNanos })
+	return out
+}
+
+// formatEvent renders one event line relative to a base timestamp.
+func formatEvent(w io.Writer, node string, ev obs.FlightEvent, base int64) {
+	at := time.Duration(ev.AtNanos - base)
+	fmt.Fprintf(w, "  %+11s  %-8s %-10s", at.Round(time.Microsecond), node, ev.Kind)
+	if ev.Peer != "" {
+		fmt.Fprintf(w, " peer=%s", ev.Peer)
+	}
+	if ev.Kind == obs.FlightRoute {
+		fmt.Fprintf(w, " remote=%d local=%d", ev.N, ev.N2)
+	} else if ev.N != 0 {
+		fmt.Fprintf(w, " n=%d", ev.N)
+	}
+	if ev.Cache != "" {
+		fmt.Fprintf(w, " cache=%s", ev.Cache)
+	}
+	if ev.DurNanos != 0 {
+		fmt.Fprintf(w, " dur=%s", time.Duration(ev.DurNanos).Round(time.Microsecond))
+	}
+	if ev.Reason != "" {
+		fmt.Fprintf(w, " reason=%q", ev.Reason)
+	}
+	// The trace ID makes tail lines feed `tracectl trace <uuid>` directly.
+	if ev.Trace != (obs.FlightTrace{}) {
+		fmt.Fprintf(w, " trace=%s", ev.Trace)
+	}
+	if ev.Topic != "" {
+		fmt.Fprintf(w, " topic=%s", ev.Topic)
+	}
+	fmt.Fprintln(w)
+}
+
+// Waterfall fetches the flight events for one trace ID from every admin
+// endpoint and renders the merged entity→broker(s)→tracker flow: the
+// chronological event list, the reconstructed path, and skew-normalized
+// per-stage latencies (within-broker processing vs inter-broker wire
+// legs).
+func (c *Client) Waterfall(w io.Writer, id string) error {
+	t, err := obs.ParseFlightTrace(id)
+	if err != nil {
+		return err
+	}
+	dumps, err := c.FetchAll("id=" + url.QueryEscape(t.String()))
+	if err != nil {
+		return err
+	}
+	return RenderWaterfall(w, t, dumps)
+}
+
+// RenderWaterfall renders the waterfall for trace t from the given
+// dumps (the testable core of Waterfall).
+func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) error {
+	events := mergeEvents(dumps)
+	kept := events[:0]
+	for _, ne := range events {
+		if ne.Ev.Trace == t {
+			kept = append(kept, ne)
+		}
+	}
+	events = kept
+	if len(events) == 0 {
+		return fmt.Errorf("tracectl: no flight events for trace %s (sampled out, or ring overwritten)", t)
+	}
+
+	// Per-broker first/last event times, in traversal (first-seen) order.
+	type window struct {
+		node        string
+		first, last int64
+	}
+	var order []*window
+	byNode := make(map[string]*window)
+	for _, ne := range events {
+		win, ok := byNode[ne.Node]
+		if !ok {
+			win = &window{node: ne.Node, first: ne.Ev.AtNanos, last: ne.Ev.AtNanos}
+			byNode[ne.Node] = win
+			order = append(order, win)
+			continue
+		}
+		if ne.Ev.AtNanos < win.first {
+			win.first = ne.Ev.AtNanos
+		}
+		if ne.Ev.AtNanos > win.last {
+			win.last = ne.Ev.AtNanos
+		}
+	}
+
+	// Path endpoints: the entity is the non-broker ingress peer on the
+	// first broker; the tracker-side client is the egress peer on the
+	// last broker.
+	path := make([]string, 0, len(order)+2)
+	if first := order[0]; true {
+		for _, ne := range events {
+			if ne.Node == first.node && ne.Ev.Kind == obs.FlightIngress && ne.Ev.Peer != "" && ne.Ev.Peer != "local" {
+				path = append(path, ne.Ev.Peer)
+				break
+			}
+		}
+	}
+	for _, win := range order {
+		path = append(path, win.node)
+	}
+	lastNode := order[len(order)-1].node
+	for i := len(events) - 1; i >= 0; i-- {
+		ne := events[i]
+		if ne.Node == lastNode && ne.Ev.Kind == obs.FlightEgress && ne.Ev.Peer != "" {
+			path = append(path, ne.Ev.Peer)
+			break
+		}
+	}
+
+	fmt.Fprintf(w, "trace %s — %d events across %d broker(s)\n", t, len(events), len(order))
+	fmt.Fprintf(w, "path: %s\n", strings.Join(path, " → "))
+	base := events[0].Ev.AtNanos
+	for _, ne := range events {
+		formatEvent(w, ne.Node, ne.Ev, base)
+	}
+
+	// Stage attribution: each broker's first/last event bound its local
+	// processing; the gap to the next broker's first event is the wire
+	// leg. Assemble normalizes inter-broker clock skew.
+	var hops []obs.HopRecord
+	for _, win := range order {
+		hops = append(hops, obs.HopRecord{Node: win.node, AtNanos: win.first})
+		if win.last != win.first {
+			hops = append(hops, obs.HopRecord{Node: win.node, AtNanos: win.last})
+		}
+	}
+	asm := obs.Assemble(hops)
+	if len(asm.Segments) > 0 {
+		fmt.Fprintln(w, "stages:")
+		for _, seg := range asm.Segments {
+			label := seg.From + " → " + seg.To
+			if seg.From == seg.To {
+				label = "within " + seg.From
+			}
+			fmt.Fprintf(w, "  %-24s %s\n", label, time.Duration(seg.Nanos).Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "  %-24s %s", "total", time.Duration(asm.TotalNanos).Round(time.Microsecond))
+		if asm.SkewNanos != 0 {
+			fmt.Fprintf(w, " (skew clamped: %s)", time.Duration(asm.SkewNanos).Round(time.Microsecond))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Tail polls every admin endpoint and prints newly recorded flight
+// events in one merged, timestamp-ordered stream. It runs rounds poll
+// rounds spaced by interval (rounds <= 0 means poll once) and returns
+// the number of events printed.
+func (c *Client) Tail(w io.Writer, interval time.Duration, rounds int) (int, error) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	since := make(map[string]uint64)
+	printed := 0
+	for round := 0; round < rounds; round++ {
+		if round > 0 {
+			time.Sleep(interval)
+		}
+		var fresh []*obs.FlightDump
+		for _, a := range c.Admins {
+			d, err := c.fetch(a, fmt.Sprintf("since=%d", since[a]))
+			if err != nil {
+				continue
+			}
+			since[a] = d.Head
+			fresh = append(fresh, d)
+		}
+		if len(fresh) == 0 && printed == 0 && round == rounds-1 {
+			return 0, fmt.Errorf("tracectl: no admin endpoint answered")
+		}
+		events := mergeEvents(fresh)
+		if len(events) == 0 {
+			continue
+		}
+		base := events[0].Ev.AtNanos
+		for _, ne := range events {
+			formatEvent(w, ne.Node, ne.Ev, base)
+			printed++
+		}
+	}
+	return printed, nil
+}
+
+// WatchHealth subscribes to the system-health topic via the given
+// broker and collects self-monitoring snapshots for the given duration,
+// returning the latest snapshot per broker. One subscription anywhere
+// sees every broker: the topic's default Disseminate distribution
+// propagates the snapshots network-wide.
+func WatchHealth(tr transport.Transport, addr string, name ident.EntityID, d time.Duration) ([]*message.BrokerHealth, error) {
+	cl, err := broker.Connect(tr, addr, name)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	type keyed struct {
+		bh *message.BrokerHealth
+	}
+	snaps := make(chan *message.BrokerHealth, 256)
+	err = cl.Subscribe(topic.SystemHealth(), func(env *message.Envelope) {
+		if env.Type != message.TraceBrokerHealth {
+			return
+		}
+		bh, err := message.UnmarshalBrokerHealth(env.Payload)
+		if err != nil {
+			return
+		}
+		select {
+		case snaps <- bh:
+		default:
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	latest := make(map[string]*keyed)
+	deadline := time.After(d)
+collect:
+	for {
+		select {
+		case bh := <-snaps:
+			if cur, ok := latest[bh.Broker]; !ok || bh.AtNanos >= cur.bh.AtNanos {
+				latest[bh.Broker] = &keyed{bh}
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+	names := make([]string, 0, len(latest))
+	for n := range latest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*message.BrokerHealth, 0, len(names))
+	for _, n := range names {
+		out = append(out, latest[n].bh)
+	}
+	return out, nil
+}
+
+// RenderMap renders broker self-monitoring snapshots as a topology map:
+// every broker with its peer links, queue depths and offender scores,
+// plus its routing and guard-cache counters.
+func RenderMap(w io.Writer, snaps []*message.BrokerHealth) {
+	if len(snaps) == 0 {
+		fmt.Fprintln(w, "no broker health snapshots observed")
+		return
+	}
+	for _, bh := range snaps {
+		fmt.Fprintf(w, "broker %s  subs=%d  flight-head=%d  at=%s\n",
+			bh.Broker, bh.Subscriptions, bh.FlightHead,
+			time.Unix(0, bh.AtNanos).UTC().Format(time.RFC3339Nano))
+		for i, p := range bh.Peers {
+			branch := "├─"
+			if i == len(bh.Peers)-1 {
+				branch = "└─"
+			}
+			kind := "client"
+			if p.IsBroker {
+				kind = "broker"
+			}
+			fmt.Fprintf(w, "  %s %-16s %-6s queued=%d score=%.1f\n", branch, p.Name, kind, p.Queued, p.Score)
+		}
+		fmt.Fprintf(w, "  stats: published=%d forwarded=%d duplicates=%d violations=%d sheds=%d throttled=%d guard=%d/%d hit/miss\n",
+			bh.Published, bh.Forwarded, bh.Duplicates, bh.Violations,
+			bh.EgressSheds, bh.Throttled, bh.GuardHits, bh.GuardMisses)
+	}
+}
