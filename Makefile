@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover trace bench flood hotpath benchdiff fuzz chaos repro examples clean
+.PHONY: all build test race verify cover trace avail bench flood hotpath benchdiff fuzz chaos repro examples clean
 
 all: build test
 
@@ -24,6 +24,7 @@ verify: build
 	$(GO) test -race -run 'TestExportFloodBench' -count=1 .
 	$(GO) test -run 'TestExportHotpathBench' -count=1 .
 	$(MAKE) trace
+	$(MAKE) avail
 	$(MAKE) cover
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
@@ -34,25 +35,48 @@ chaos:
 	$(GO) test -race -count=1 ./internal/chaos/ ./internal/failure/
 	$(GO) test -race -count=1 -run 'Reconnect|PersistentLink' ./internal/core/ ./internal/broker/
 
-# Coverage over the internal packages, with a hard floor on internal/obs:
-# the flight recorder and trace assembly are the operator's only window
-# into a misbehaving deployment, so their behaviour stays pinned by tests.
+# Coverage over the internal packages. Fails loudly when any internal
+# package has no test files at all, and holds hard floors on the
+# operator-facing packages: internal/obs (flight recorder and trace
+# assembly) and internal/avail (the availability ledger and SLO engine)
+# are the only window into a misbehaving deployment, so their behaviour
+# stays pinned by tests.
 OBS_COVER_FLOOR = 85
+AVAIL_COVER_FLOOR = 80
 cover:
+	@out=$$($(GO) test ./internal/... 2>&1); status=$$?; echo "$$out"; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	missing=$$(echo "$$out" | grep '\[no test files\]' || true); \
+	if [ -n "$$missing" ]; then \
+		echo "cover: internal packages without test files:"; echo "$$missing"; exit 1; \
+	fi
 	$(GO) test -cover ./internal/...
-	@pct=$$($(GO) test -cover ./internal/obs/ | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
-	if [ -z "$$pct" ]; then echo "cover: could not parse internal/obs coverage"; exit 1; fi; \
-	ok=$$(awk -v p="$$pct" -v f="$(OBS_COVER_FLOOR)" 'BEGIN{print (p >= f) ? 1 : 0}'); \
-	if [ "$$ok" != 1 ]; then \
-		echo "cover: internal/obs coverage $$pct% is below the $(OBS_COVER_FLOOR)% floor"; exit 1; \
-	fi; \
-	echo "cover: internal/obs $$pct% >= $(OBS_COVER_FLOOR)% floor"
+	@check() { \
+		pct=$$($(GO) test -cover "./internal/$$1/" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: could not parse internal/$$1 coverage"; exit 1; fi; \
+		ok=$$(awk -v p="$$pct" -v f="$$2" 'BEGIN{print (p >= f) ? 1 : 0}'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "cover: internal/$$1 coverage $$pct% is below the $$2% floor"; exit 1; \
+		fi; \
+		echo "cover: internal/$$1 $$pct% >= $$2% floor"; \
+	}; \
+	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR)
 
 # Tracing smoke: the tracectl end-to-end suite against a 3-broker chain —
 # waterfall rendering, guard-drop visibility in tail, tail's since-cursor
 # and the self-monitoring broker map (see trace_e2e_test.go).
 trace:
 	$(GO) test -race -run 'TestTraceCtl' -count=1 -v .
+
+# Availability smoke: the ledger end-to-end suite — the tracectl board
+# fed by disseminated digests over a 3-broker chain, the /avail admin
+# endpoints, a chaos link-flap, and the scripted flapping entity checked
+# against fake-clock ground truth — then the ledger benchmark export
+# (BENCH_avail.json), which also enforces the tens-of-ns per-event
+# budget. 'TestAvail' deliberately does not match TestExportAvailBench.
+avail:
+	$(GO) test -race -run 'TestAvail' -count=1 -v .
+	$(GO) test -run 'TestExportAvailBench' -count=1 -v .
 
 # Full benchmark sweep (the testing.B mirror of the paper's evaluation).
 bench:
@@ -77,7 +101,7 @@ hotpath:
 # cmd/benchdiff (mean ± stderr). First run records the baseline; commit
 # or stash your changes, run again, and the table shows the deltas.
 # Refresh the baseline by deleting bench_baseline.txt.
-HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail
 benchdiff:
 	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
 	@if [ -f bench_baseline.txt ]; then \

@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"entitytrace/internal/avail"
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/brokerdir"
@@ -51,6 +52,13 @@ func main() {
 		flightEvents  = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables recording)")
 		traceSample   = flag.Int("trace-sample", obs.DefaultFlightSample, "record 1-in-N healthy flight events (drops are always recorded; 1 records everything)")
 		healthEvery   = flag.Duration("health-interval", 10*time.Second, "self-monitoring snapshot period on the system-health topic (0 disables)")
+		availEvery    = flag.Duration("avail-interval", 10*time.Second, "availability digest period on the system-availability topic (0 disables the ledger)")
+		sloTarget     = flag.Float64("slo-target", 0, "default availability SLO target for hosted entities, e.g. 0.999 (0 disables SLO accounting)")
+		sloWindow     = flag.Duration("slo-window", time.Hour, "rolling window the SLO target applies over")
+		burnAlert     = flag.Float64("burn-alert", 0, "error-budget burn rate that raises a burn_alert event (0 disables)")
+		flapCount     = flag.Int("flap-transitions", 0, "up/down transitions within -flap-window that mark an entity FLAPPING (0 keeps the default of 5)")
+		flapWindow    = flag.Duration("flap-window", 0, "window for -flap-transitions (0 keeps the default of 1m)")
+		flapHold      = flag.Duration("flap-hold", 0, "quiet hold-down before a FLAPPING entity settles (0 keeps the default of 30s)")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
@@ -131,6 +139,24 @@ func main() {
 		fail("listen: %v", err)
 	}
 	b.Serve(l)
+	// The availability ledger folds every hosted entity's trace stream
+	// into per-entity uptime state; the broker publishes its digest on
+	// the system-availability topic and serves it on /avail.
+	var ledger *avail.Ledger
+	if *availEvery > 0 {
+		acfg := avail.Config{
+			Registry:        obs.Default,
+			Log:             log,
+			BurnAlert:       *burnAlert,
+			FlapTransitions: *flapCount,
+			FlapWindow:      *flapWindow,
+			FlapHold:        *flapHold,
+		}
+		if slo := (avail.SLO{Target: *sloTarget, Window: *sloWindow}); slo.Valid() {
+			acfg.DefaultSLO = slo
+		}
+		ledger = avail.New(acfg)
+	}
 	mgr, err := core.NewTraceBroker(core.BrokerConfig{
 		Broker:         b,
 		Identity:       id,
@@ -138,6 +164,8 @@ func main() {
 		Resolver:       resolver,
 		Log:            log,
 		HealthInterval: *healthEvery,
+		AvailInterval:  *availEvery,
+		Avail:          ledger,
 		TokenCache:     tokenCache,
 	})
 	if err != nil {
@@ -247,10 +275,25 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, toke
 			// /metrics as guard_cache_*_total, aggregated process-wide).
 			out["guardCache"] = tokenCache.Stats()
 		}
+		// Latency quantile summaries per histogram, so /stats consumers
+		// get tail behaviour without scraping /metrics.
+		hists := map[string]any{}
+		for hname, h := range obs.Default.Snapshot().Histograms {
+			if h.Count == 0 {
+				continue
+			}
+			hists[hname] = map[string]any{
+				"count": h.Count, "p50": h.P50, "p95": h.P95, "p99": h.P99,
+			}
+		}
+		if len(hists) > 0 {
+			out["latency"] = hists
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(out)
 	})
 	mux.Handle("/trace", obs.FlightHandler(flight))
+	mux.Handle("/avail", avail.Handler(mgr.Avail(), name))
 	fmt.Printf("brokerd: admin endpoint on http://%s/metrics\n", addr)
 	if err := obs.ServeAdmin(addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "brokerd: admin endpoint: %v\n", err)

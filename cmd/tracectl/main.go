@@ -1,11 +1,16 @@
 // Command tracectl is the tracing fabric's debugging console: it renders
 // end-to-end waterfalls for a trace ID from the brokers' flight
-// recorders, tails live flight events, and draws a broker map from the
-// self-monitoring snapshots on the system-health topic.
+// recorders, tails live flight events, draws a broker map from the
+// self-monitoring snapshots on the system-health topic, and renders the
+// fleet availability board from the digests on the system-availability
+// topic. Every subcommand also emits machine-readable output with
+// -format json.
 //
 //	tracectl -admins http://127.0.0.1:7190,http://127.0.0.1:7191 trace <uuid>
 //	tracectl -admins http://127.0.0.1:7190 tail [-interval 1s] [-rounds 10]
 //	tracectl -broker 127.0.0.1:7100 map [-watch 3s]
+//	tracectl -broker 127.0.0.1:7100 avail [-watch 3s]
+//	tracectl -admins http://127.0.0.1:7190 avail        (pull /avail instead)
 package main
 
 import (
@@ -16,26 +21,32 @@ import (
 	"time"
 
 	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
 	"entitytrace/internal/tracectl"
 	"entitytrace/internal/transport"
 )
 
 func main() {
 	var (
-		admins        = flag.String("admins", "", "comma-separated broker admin base URLs (for trace and tail)")
-		brokerAddr    = flag.String("broker", "", "broker address to subscribe through (for map)")
-		transportName = flag.String("transport", "tcp", "transport: tcp or udp (for map)")
-		name          = flag.String("name", "tracectl", "client entity name used on the broker connection (for map)")
-		watch         = flag.Duration("watch", 3*time.Second, "how long map collects health snapshots")
+		admins        = flag.String("admins", "", "comma-separated admin base URLs (for trace, tail and pull-mode avail)")
+		brokerAddr    = flag.String("broker", "", "broker address to subscribe through (for map and avail)")
+		transportName = flag.String("transport", "tcp", "transport: tcp or udp (for map and avail)")
+		name          = flag.String("name", "tracectl", "client entity name used on the broker connection (for map and avail)")
+		watch         = flag.Duration("watch", 3*time.Second, "how long map/avail collect snapshots")
 		interval      = flag.Duration("interval", time.Second, "tail poll interval")
 		rounds        = flag.Int("rounds", 1, "tail poll rounds (1 polls once)")
+		format        = flag.String("format", "text", "output format: text or json")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("need a subcommand: trace <uuid> | tail | map")
+		fail("need a subcommand: trace <uuid> | tail | map | avail")
 	}
-	cl := &tracectl.Client{Admins: splitCSV(*admins)}
+	if *format != "text" && *format != "json" {
+		fail("unknown -format %q (want text or json)", *format)
+	}
+	asJSON := *format == "json"
+	cl := &tracectl.Client{Admins: splitCSV(*admins), JSON: asJSON}
 	switch args[0] {
 	case "trace":
 		if len(args) != 2 {
@@ -55,7 +66,9 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		fmt.Printf("tracectl: %d events\n", n)
+		if !asJSON {
+			fmt.Printf("tracectl: %d events\n", n)
+		}
 	case "map":
 		if *brokerAddr == "" {
 			fail("map needs -broker")
@@ -68,9 +81,41 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		tracectl.RenderMap(os.Stdout, snaps)
+		if asJSON {
+			if err := tracectl.RenderMapJSON(os.Stdout, snaps); err != nil {
+				fail("%v", err)
+			}
+		} else {
+			tracectl.RenderMap(os.Stdout, snaps)
+		}
+	case "avail":
+		var digests []*message.AvailabilityDigest
+		var err error
+		switch {
+		case *brokerAddr != "":
+			var tr transport.Transport
+			tr, err = transport.New(*transportName)
+			if err != nil {
+				fail("%v", err)
+			}
+			digests, err = tracectl.WatchAvailability(tr, *brokerAddr, ident.EntityID(*name), *watch)
+		case len(cl.Admins) > 0:
+			digests, err = cl.FetchAvail()
+		default:
+			fail("avail needs -broker (watch the availability topic) or -admins (pull /avail)")
+		}
+		if err != nil {
+			fail("%v", err)
+		}
+		if asJSON {
+			if err := tracectl.RenderAvailJSON(os.Stdout, digests); err != nil {
+				fail("%v", err)
+			}
+		} else {
+			tracectl.RenderAvailBoard(os.Stdout, digests)
+		}
 	default:
-		fail("unknown subcommand %q (want trace|tail|map)", args[0])
+		fail("unknown subcommand %q (want trace|tail|map|avail)", args[0])
 	}
 }
 

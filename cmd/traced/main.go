@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"entitytrace/internal/avail"
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/brokerdir"
@@ -44,7 +45,7 @@ func main() {
 		topicLifetime = flag.Duration("topic-lifetime", 24*time.Hour, "trace-topic lifetime (§3.1)")
 		reconnect     = flag.Bool("reconnect", false, "redial the broker and resume the session when the connection drops")
 		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
-		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7290) serving /metrics, /healthz and /debug/pprof")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7290) serving /metrics, /avail, /healthz and /debug/pprof")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 	)
 	flag.Parse()
@@ -121,6 +122,17 @@ func main() {
 	}
 	fmt.Printf("traced: %s registered (topic %s, session %s, secure=%v, symmetric=%v)\n",
 		ent.Entity(), ent.TraceTopic(), ent.SessionID(), *secureTraces, *symmetric)
+	// The self-ledger records this entity's own availability as seen
+	// from inside the process (registered = up, graceful stop = down),
+	// so /avail answers even when no broker digest covers the entity.
+	ledger := avail.New(avail.Config{Registry: obs.Default})
+	selfObserve := func(kind avail.Kind) {
+		now := time.Now()
+		ledger.Observe(avail.Observation{
+			Entity: string(ent.Entity()), Kind: kind, At: now, SeenAt: now,
+		})
+	}
+	selfObserve(avail.KindUp)
 	if *adminAddr != "" {
 		mux := obs.NewAdminMux(obs.Default, func() map[string]any {
 			return map[string]any{
@@ -129,6 +141,7 @@ func main() {
 				"session": ent.SessionID().String(),
 			}
 		})
+		mux.Handle("/avail", avail.Handler(ledger, string(ent.Entity())))
 		go func() {
 			fmt.Printf("traced: admin endpoint on http://%s/metrics\n", *adminAddr)
 			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {
@@ -144,6 +157,7 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("traced: shutting down gracefully (SHUTDOWN trace)")
+	selfObserve(avail.KindDown)
 	if err := ent.Stop(); err != nil {
 		fail("stop: %v", err)
 	}

@@ -16,6 +16,7 @@ import (
 	"syscall"
 	"time"
 
+	"entitytrace/internal/avail"
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/brokerdir"
@@ -38,7 +39,11 @@ func main() {
 		transportName = flag.String("transport", "tcp", "transport: tcp or udp")
 		entity        = flag.String("entity", "", "traced entity to follow")
 		classesFlag   = flag.String("classes", "changes,state", "trace classes: changes,all,state,load,net (or 'everything')")
-		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7390) serving /metrics, /healthz and /debug/pprof")
+		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7390) serving /metrics, /avail, /healthz and /debug/pprof")
+		noAvail       = flag.Bool("no-avail", false, "disable the availability ledger fed by verified traces")
+		sloTarget     = flag.Float64("slo-target", 0, "availability SLO target for followed entities, e.g. 0.999 (0 disables SLO accounting)")
+		sloWindow     = flag.Duration("slo-window", time.Hour, "rolling window the SLO target applies over")
+		burnAlert     = flag.Float64("burn-alert", 0, "error-budget burn rate that raises a burn_alert event (0 disables)")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		reconnect     = flag.Bool("reconnect", false, "redial the broker, re-subscribe and re-announce interest when the connection drops")
 		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
@@ -91,6 +96,17 @@ func main() {
 		Resolver:  core.NewCachingResolver(core.TDNResolver(discovery)),
 		Client:    client,
 	}
+	// The availability ledger derives per-entity uptime, flap and SLO
+	// state from the verified trace stream; /avail serves its digest.
+	var ledger *avail.Ledger
+	if !*noAvail {
+		acfg := avail.Config{Registry: obs.Default, BurnAlert: *burnAlert}
+		if slo := (avail.SLO{Target: *sloTarget, Window: *sloWindow}); slo.Valid() {
+			acfg.DefaultSLO = slo
+		}
+		ledger = avail.New(acfg)
+		cfg.Avail = ledger
+	}
 	if *reconnect {
 		cfg.Redial = func() (*broker.Client, error) {
 			return broker.Connect(tr, *brokerAddr, id.Credential.Entity)
@@ -116,6 +132,7 @@ func main() {
 				"topic":   ad.TopicID.String(),
 			}
 		})
+		mux.Handle("/avail", avail.Handler(ledger, string(id.Credential.Entity)))
 		go func() {
 			fmt.Printf("tracker: admin endpoint on http://%s/metrics\n", *adminAddr)
 			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {

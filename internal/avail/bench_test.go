@@ -1,0 +1,67 @@
+package avail
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"entitytrace/internal/clock"
+)
+
+// BenchmarkAvailObserve measures the ledger's steady-state cost — the
+// observation confirms the current state — as paid on the tracker's
+// verified delivery path: one map read, one per-entity lock, one
+// timestamp store.
+func BenchmarkAvailObserve(b *testing.B) {
+	l := New(Config{Clock: clock.NewFake(t0)})
+	seen := t0.Add(time.Second)
+	l.Observe(Observation{Entity: "bench", Kind: KindUp, SeenAt: seen})
+	ob := Observation{Entity: "bench", Kind: KindUp, SeenAt: seen}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Observe(ob)
+	}
+}
+
+// BenchmarkAvailObserveTransition measures the slow path: every
+// observation flips the state, closing an interval and running flap
+// accounting.
+func BenchmarkAvailObserveTransition(b *testing.B) {
+	l := New(Config{Clock: clock.NewFake(t0), FlapWindow: time.Nanosecond})
+	seen := t0.Add(time.Second)
+	l.Observe(Observation{Entity: "bench", Kind: KindUp, SeenAt: seen})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := KindDown
+		if i%2 == 1 {
+			k = KindUp
+		}
+		l.Observe(Observation{Entity: "bench", Kind: k, SeenAt: seen.Add(time.Duration(i) * time.Millisecond)})
+	}
+}
+
+// BenchmarkAvailDigest measures a full fleet snapshot: 256 entities
+// with SLOs, every row deriving windows, MTBF/MTTR and budget.
+func BenchmarkAvailDigest(b *testing.B) {
+	fc := clock.NewFake(t0)
+	l := New(Config{Clock: fc, DefaultSLO: SLO{Target: 0.999, Window: time.Hour}})
+	for i := 0; i < 256; i++ {
+		e := fmt.Sprintf("entity-%03d", i)
+		l.Observe(Observation{Entity: e, Kind: KindUp})
+		fc.Advance(time.Millisecond)
+		if i%3 == 0 {
+			l.Observe(Observation{Entity: e, Kind: KindDown})
+			fc.Advance(time.Millisecond)
+			l.Observe(Observation{Entity: e, Kind: KindUp})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := l.Digest("bench"); len(d.Rows) != 256 {
+			b.Fatalf("rows = %d", len(d.Rows))
+		}
+	}
+}

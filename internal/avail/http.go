@@ -1,0 +1,49 @@
+package avail
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"entitytrace/internal/message"
+)
+
+// Handler serves the ledger as JSON for the /avail admin endpoint,
+// mirroring the /trace flight-recorder endpoint: the body is one
+// AvailabilityDigest (reporter, timestamp, one row per entity). The
+// optional ?entity= query restricts the digest to one entity. A nil
+// ledger answers 503 so a node that runs without availability tracking
+// still mounts the route.
+func Handler(l *Ledger, node string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l == nil {
+			http.Error(w, "availability ledger disabled", http.StatusServiceUnavailable)
+			return
+		}
+		d := l.Digest(node)
+		if entity := r.URL.Query().Get("entity"); entity != "" {
+			rows := d.Rows[:0:0]
+			for _, row := range d.Rows {
+				if row.Entity == entity {
+					rows = append(rows, row)
+				}
+			}
+			d.Rows = rows
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ParseDigest decodes the JSON body served by Handler.
+func ParseDigest(b []byte) (*message.AvailabilityDigest, error) {
+	var d message.AvailabilityDigest
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("avail: bad digest dump: %w", err)
+	}
+	return &d, nil
+}

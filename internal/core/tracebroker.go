@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"entitytrace/internal/avail"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/clock"
 	"entitytrace/internal/credential"
@@ -72,6 +73,17 @@ type BrokerConfig struct {
 	// topic (topic.SystemHealth) — the fabric monitoring itself with its
 	// own trace machinery. Zero disables self-monitoring.
 	HealthInterval time.Duration
+	// AvailInterval, when positive, publishes a periodic
+	// AvailabilityDigest of every entity this broker hosts on the
+	// system-availability topic (topic.SystemAvailability), so one
+	// subscription anywhere sees fleet-wide availability. The digest is
+	// derived from a broker-side avail.Ledger fed by every availability
+	// trace the broker originates.
+	AvailInterval time.Duration
+	// Avail, when set, is the broker-side availability ledger; when nil
+	// and AvailInterval is positive, a default ledger is created.
+	// Supplying it lets callers tune windows, flap damping and SLOs.
+	Avail *avail.Ledger
 	// TokenCache, when set, has its hit/miss statistics included in the
 	// health snapshots (it is otherwise owned by the broker's guard).
 	TokenCache *TokenCache
@@ -92,6 +104,7 @@ type TraceBroker struct {
 	log      *obs.Logger
 	signer   *secure.Signer // broker credential signer (responses)
 	caching  *CachingResolver
+	avail    *avail.Ledger // nil when availability tracking is off
 	cancelRg func()
 
 	mu       sync.Mutex
@@ -195,8 +208,16 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 		}))
 		tb.cfg.Resolver = tb.caching
 	}
+	tb.avail = cfg.Avail
+	if tb.avail == nil && cfg.AvailInterval > 0 {
+		tb.avail = avail.New(avail.Config{Clock: cfg.Clock, Registry: obs.Default, Log: log})
+	}
 	return tb, nil
 }
+
+// Avail returns the broker-side availability ledger (nil when
+// availability tracking is disabled); admin endpoints serve it.
+func (tb *TraceBroker) Avail() *avail.Ledger { return tb.avail }
 
 // Resolver returns the resolver the trace broker validates tokens with;
 // pass it to NewTokenGuard for the owning broker node.
@@ -213,6 +234,13 @@ func (tb *TraceBroker) Start() {
 		go func() {
 			defer tb.wg.Done()
 			tb.healthLoop()
+		}()
+	}
+	if tb.avail != nil && tb.cfg.AvailInterval > 0 {
+		tb.wg.Add(1)
+		go func() {
+			defer tb.wg.Done()
+			tb.availLoop()
 		}()
 	}
 }
@@ -274,6 +302,45 @@ func (tb *TraceBroker) PublishHealth() {
 	mHealthSnapshots.Inc()
 	if err := tb.cfg.Broker.Publish(env); err != nil {
 		tb.log.Warn("health snapshot publish failed", "err", err)
+	}
+}
+
+// mAvailDigests counts published availability digests.
+var mAvailDigests = obs.Default.Counter("core_avail_digests_total")
+
+// availLoop periodically publishes the broker's availability digest on
+// the system-availability topic; like the health snapshot it needs no
+// token machinery (broker-constrained Publish-Only, non-derivative
+// topic), so its authenticity rests on broker-link trust.
+func (tb *TraceBroker) availLoop() {
+	clk := tb.cfg.Clock
+	for {
+		timer := clk.NewTimer(tb.cfg.AvailInterval)
+		select {
+		case <-timer.C():
+		case <-tb.done:
+			timer.Stop()
+			return
+		}
+		tb.PublishAvailability()
+	}
+}
+
+// PublishAvailability publishes one availability digest immediately;
+// the avail loop calls it every tick, and tests or admin handlers may
+// call it directly. Brokers with nothing in their ledger stay quiet.
+func (tb *TraceBroker) PublishAvailability() {
+	if tb.avail == nil {
+		return
+	}
+	d := tb.avail.Digest(tb.cfg.Broker.Name())
+	if len(d.Rows) == 0 {
+		return
+	}
+	env := message.New(message.TraceAvailabilityDigest, topic.SystemAvailability(), "", d.Marshal())
+	mAvailDigests.Inc()
+	if err := tb.cfg.Broker.Publish(env); err != nil {
+		tb.log.Warn("availability digest publish failed", "err", err)
 	}
 }
 
@@ -935,6 +1002,9 @@ func (s *session) publishTraceFrom(origin *message.Span, tt message.Type, class 
 		return
 	}
 	if class != topic.ClassChangeNotifications && !s.hasInterest(class) {
+		// Interest suppression hides the trace from the network, not from
+		// the broker's own availability ledger.
+		s.observeAvail(tt)
 		mTracesSuppressed.Inc()
 		return
 	}
@@ -947,8 +1017,35 @@ func (s *session) publishTraceAlways(tt message.Type, class topic.TraceClass, de
 	s.publishTraceAlwaysFrom(nil, tt, class, detail, body)
 }
 
+// observeAvail feeds a trace the broker originates about this session
+// into its availability ledger. Failure traces carry the detector's
+// last-contact time as the event stamp, so the ledger's time-to-detect
+// measures how stale the broker's knowledge was when the verdict fell.
+func (s *session) observeAvail(tt message.Type) {
+	l := s.tb.avail
+	if l == nil {
+		return
+	}
+	kind, ok := avail.KindForType(tt)
+	if !ok {
+		return
+	}
+	ob := avail.Observation{
+		Entity: string(s.entity),
+		Kind:   kind,
+		SeenAt: s.tb.cfg.Clock.Now(),
+	}
+	if kind != avail.KindUp {
+		if last := s.det.LastPingAt(); !last.IsZero() {
+			ob.At = last
+		}
+	}
+	l.Observe(ob)
+}
+
 // publishTraceAlwaysFrom is publishTraceAlways with span threading.
 func (s *session) publishTraceAlwaysFrom(origin *message.Span, tt message.Type, class topic.TraceClass, detail string, body []byte) {
+	s.observeAvail(tt)
 	te := &message.TraceEvent{
 		Entity:     s.entity,
 		TraceTopic: s.traceTopic,

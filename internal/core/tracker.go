@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"entitytrace/internal/avail"
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/clock"
@@ -50,6 +51,12 @@ type TrackerConfig struct {
 	// Log is the structured logger; when set it takes precedence over
 	// Logf.
 	Log *obs.Logger
+	// Avail, when set, receives availability observations derived from
+	// every verified trace: the ledger runs directly on the delivery
+	// path (its steady-state update is a few tens of nanoseconds) and
+	// turns the stream into uptime ratios, MTBF/MTTR, flap state and
+	// time-to-detect per tracked entity.
+	Avail *avail.Ledger
 	// Redial, when set, enables automatic reconnect: when the broker
 	// connection drops, the tracker dials a replacement client via
 	// Redial (paced by ReconnectBackoff), re-subscribes every live
@@ -540,9 +547,38 @@ func (w *Watch) handleTrace(class topic.TraceClass, env *message.Envelope) {
 		observeSpan(env.Span)
 		w.observePath(env.Span, string(ev.Entity), now)
 	}
+	if w.tk.cfg.Avail != nil {
+		w.observeAvail(ev, now)
+	}
 	if !stopped {
 		handler(ev)
 	}
+}
+
+// observeAvail feeds the verified trace into the availability ledger.
+// Only confirmed-down observations pay for hop conversion: their span
+// lets the ledger skew-correct time-to-detect the same way the
+// waterfall normalizes stage latencies.
+func (w *Watch) observeAvail(ev Event, now time.Time) {
+	kind, ok := avail.KindForType(ev.Type)
+	if !ok {
+		return
+	}
+	ob := avail.Observation{
+		Entity: string(ev.Entity),
+		Kind:   kind,
+		At:     ev.SentAt,
+		SeenAt: now,
+	}
+	if kind == avail.KindDown && len(ev.Hops) > 0 {
+		hops := make([]obs.HopRecord, 0, len(ev.Hops)+1)
+		for _, h := range ev.Hops {
+			hops = append(hops, obs.HopRecord{Node: h.Node, AtNanos: h.AtNanos})
+		}
+		hops = append(hops, obs.HopRecord{Node: string(w.tk.entity()), AtNanos: now.UnixNano()})
+		ob.Hops = hops
+	}
+	w.tk.cfg.Avail.Observe(ob)
 }
 
 // observePath reassembles the delivered flow (span hops plus the local

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"entitytrace/internal/avail"
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
 	"entitytrace/internal/clock"
@@ -107,6 +108,17 @@ type Options struct {
 	// HealthInterval enables periodic broker self-monitoring snapshots
 	// on the system health topic (zero disables).
 	HealthInterval time.Duration
+	// AvailInterval enables per-broker availability digests on the
+	// system-availability topic every interval (zero disables broker
+	// ledgers and digests).
+	AvailInterval time.Duration
+	// Avail is the template config for every availability ledger the
+	// testbed creates (per broker when AvailInterval is set, and per
+	// tracker always); zero-value fields take the avail.New defaults.
+	Avail avail.Config
+	// AvailSLO, when valid, is the default availability objective
+	// applied to those ledgers.
+	AvailSLO avail.SLO
 }
 
 func (o *Options) setDefaults() {
@@ -267,6 +279,8 @@ func New(opts Options) (*Testbed, error) {
 			GaugeInterval:  opts.GaugeInterval,
 			InterestTTL:    opts.InterestTTL,
 			HealthInterval: opts.HealthInterval,
+			AvailInterval:  opts.AvailInterval,
+			Avail:          tb.newLedger(opts.AvailInterval > 0),
 			TokenCache:     tokenCache,
 		})
 		if err != nil {
@@ -294,6 +308,19 @@ func New(opts Options) (*Testbed, error) {
 // Transport exposes the testbed's transport so callers can attach extra
 // raw clients (observers, adversaries) to its brokers.
 func (tb *Testbed) Transport() transport.Transport { return tb.tr }
+
+// newLedger builds one availability ledger from the options template
+// (nil unless enabled).
+func (tb *Testbed) newLedger(enabled bool) *avail.Ledger {
+	if !enabled {
+		return nil
+	}
+	cfg := tb.Opts.Avail
+	if tb.Opts.AvailSLO.Valid() {
+		cfg.DefaultSLO = tb.Opts.AvailSLO
+	}
+	return avail.New(cfg)
+}
 
 func (tb *Testbed) listen() (transport.Listener, error) {
 	if tb.Opts.Transport == "inproc" {
@@ -362,6 +389,9 @@ type TrackerHandle struct {
 	Tracker *core.Tracker
 	Watch   *core.Watch
 	Events  chan core.Event
+	// Avail is the tracker's availability ledger, fed by every verified
+	// trace this tracker delivers.
+	Avail *avail.Ledger
 }
 
 // StartTracker brings up a tracker on broker brokerIdx following the
@@ -380,12 +410,14 @@ func (tb *Testbed) StartTracker(name string, brokerIdx int, entity string, class
 	if err != nil {
 		return nil, err
 	}
+	ledger := tb.newLedger(true)
 	cfg := core.TrackerConfig{
 		Identity:  id,
 		Verifier:  tb.Verifier,
 		Discovery: tb.Node,
 		Resolver:  core.NewCachingResolver(core.NodeResolver(tb.Node)),
 		Client:    cl,
+		Avail:     ledger,
 	}
 	if tb.Opts.Reconnect {
 		cfg.Redial = func() (*broker.Client, error) {
@@ -415,7 +447,7 @@ func (tb *Testbed) StartTracker(name string, brokerIdx int, entity string, class
 		return nil, err
 	}
 	tb.trackers = append(tb.trackers, tk)
-	return &TrackerHandle{Tracker: tk, Watch: w, Events: events}, nil
+	return &TrackerHandle{Tracker: tk, Watch: w, Events: events, Avail: ledger}, nil
 }
 
 // AwaitTraceKey blocks until the §5.1 trace key reaches the watch.

@@ -78,6 +78,10 @@ const (
 	// system-health derivative topic (appended after the Table 1 types so
 	// existing wire values are unchanged).
 	TraceBrokerHealth
+	// Availability analytics: periodic per-broker ledger digests on the
+	// system-availability derivative topic (appended to keep existing
+	// wire values stable).
+	TraceAvailabilityDigest
 
 	lastType
 )
@@ -147,6 +151,8 @@ func (t Type) String() string {
 		return "NETWORK_METRICS"
 	case TraceBrokerHealth:
 		return "BROKER_HEALTH"
+	case TraceAvailabilityDigest:
+		return "AVAILABILITY_DIGEST"
 	default:
 		return fmt.Sprintf("Type(%d)", uint16(t))
 	}

@@ -648,3 +648,132 @@ func UnmarshalBrokerHealth(b []byte) (*BrokerHealth, error) {
 	}
 	return bh, nil
 }
+
+// AvailabilityRow is one entity's row in an availability digest: the
+// ledger-derived state, uptime ratios, MTBF/MTTR, flap and detection
+// statistics, and the SLO error-budget position.
+type AvailabilityRow struct {
+	// Entity names the tracked entity.
+	Entity string
+	// State is the ledger state (avail.State numeric value: 0 Unknown,
+	// 1 Up, 2 Suspect, 3 Down, 4 Flapping).
+	State uint8
+	// SinceNanos is the wall-clock time the current state was entered.
+	SinceNanos int64
+	// Transitions counts up<->down transitions observed so far.
+	Transitions uint32
+	// Flaps counts flap episodes (entries into FLAPPING).
+	Flaps uint32
+	// DowntimeNanos is cumulative observed downtime.
+	DowntimeNanos int64
+	// Uptime5m/1h/24h are rolling-window uptime ratios in [0,1]; -1
+	// marks a window with no observations yet.
+	Uptime5m  float64
+	Uptime1h  float64
+	Uptime24h float64
+	// MTBFNanos/MTTRNanos are mean time between failures / to recovery;
+	// zero when no complete cycle has been observed.
+	MTBFNanos int64
+	MTTRNanos int64
+	// DetectLastNanos/DetectMaxNanos are the skew-corrected
+	// time-to-detect of the most recent failure and the worst seen.
+	DetectLastNanos int64
+	DetectMaxNanos  int64
+	// BudgetRemaining is the SLO error budget remaining as a fraction of
+	// the whole budget in [0,1]; -1 when no SLO is configured.
+	BudgetRemaining float64
+	// BurnRate is the current error-budget burn rate (1.0 = burning
+	// exactly at the sustainable SLO rate); -1 when no SLO is set.
+	BurnRate float64
+	// Breaches counts SLO breach episodes.
+	Breaches uint32
+}
+
+// AvailabilityDigest is the payload of a TraceAvailabilityDigest
+// message: the periodic fleet-availability snapshot a broker publishes
+// about the entities it hosts on the system-availability derivative
+// topic, so a single subscription anywhere observes fleet-wide
+// availability the same way the system-health topic exposes broker
+// health.
+type AvailabilityDigest struct {
+	// Reporter names the publishing node (a broker, or a tracker when
+	// serialized for the /avail admin endpoint).
+	Reporter string
+	// AtNanos is the reporter's local clock at digest time.
+	AtNanos int64
+	// Rows carries one entry per tracked entity.
+	Rows []AvailabilityRow
+}
+
+// maxAvailRows bounds the parsed row list (the wire format stores the
+// count in a u16; a reporter with more entities truncates its digest).
+const maxAvailRows = 4096
+
+// Marshal serializes the availability digest.
+func (ad *AvailabilityDigest) Marshal() []byte {
+	var w writer
+	w.str(ad.Reporter)
+	w.i64(ad.AtNanos)
+	rows := ad.Rows
+	if len(rows) > maxAvailRows {
+		rows = rows[:maxAvailRows]
+	}
+	w.u16(uint16(len(rows)))
+	for _, row := range rows {
+		w.str(row.Entity)
+		w.u8(row.State)
+		w.i64(row.SinceNanos)
+		w.u32(row.Transitions)
+		w.u32(row.Flaps)
+		w.i64(row.DowntimeNanos)
+		w.f64(row.Uptime5m)
+		w.f64(row.Uptime1h)
+		w.f64(row.Uptime24h)
+		w.i64(row.MTBFNanos)
+		w.i64(row.MTTRNanos)
+		w.i64(row.DetectLastNanos)
+		w.i64(row.DetectMaxNanos)
+		w.f64(row.BudgetRemaining)
+		w.f64(row.BurnRate)
+		w.u32(row.Breaches)
+	}
+	return w.buf
+}
+
+// UnmarshalAvailabilityDigest parses an availability digest payload.
+func UnmarshalAvailabilityDigest(b []byte) (*AvailabilityDigest, error) {
+	r := newReader(b)
+	ad := &AvailabilityDigest{}
+	ad.Reporter = r.str()
+	ad.AtNanos = r.i64()
+	n := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > maxAvailRows {
+		return nil, fmt.Errorf("message: availability digest row count %d exceeds %d", n, maxAvailRows)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		row := AvailabilityRow{Entity: r.str()}
+		row.State = r.u8()
+		row.SinceNanos = r.i64()
+		row.Transitions = r.u32()
+		row.Flaps = r.u32()
+		row.DowntimeNanos = r.i64()
+		row.Uptime5m = r.f64()
+		row.Uptime1h = r.f64()
+		row.Uptime24h = r.f64()
+		row.MTBFNanos = r.i64()
+		row.MTTRNanos = r.i64()
+		row.DetectLastNanos = r.i64()
+		row.DetectMaxNanos = r.i64()
+		row.BudgetRemaining = r.f64()
+		row.BurnRate = r.f64()
+		row.Breaches = r.u32()
+		ad.Rows = append(ad.Rows, row)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ad, nil
+}

@@ -93,6 +93,7 @@ type HistogramSnapshot struct {
 	Max     float64       `json:"max"`
 	P50     float64       `json:"p50"`
 	P90     float64       `json:"p90"`
+	P95     float64       `json:"p95"`
 	P99     float64       `json:"p99"`
 	Buckets []BucketCount `json:"buckets"`
 }
@@ -127,6 +128,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	snap.P50 = h.quantile(raw, cum, 0.50, snap.Max)
 	snap.P90 = h.quantile(raw, cum, 0.90, snap.Max)
+	snap.P95 = h.quantile(raw, cum, 0.95, snap.Max)
 	snap.P99 = h.quantile(raw, cum, 0.99, snap.Max)
 	return snap
 }

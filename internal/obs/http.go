@@ -53,6 +53,7 @@ func writeTextSnapshot(w io.Writer, snap Snapshot) {
 			fmt.Fprintf(w, "%s_max %s\n", name, fnum(h.Max))
 			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, fnum(h.P50))
 			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, fnum(h.P90))
+			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %s\n", name, fnum(h.P95))
 			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, fnum(h.P99))
 		}
 	}

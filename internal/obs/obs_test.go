@@ -97,6 +97,12 @@ func TestHistogramQuantiles(t *testing.T) {
 	if snap.P99 < 3.5 || snap.P99 > 4.0 {
 		t.Fatalf("p99 = %v, want ~4", snap.P99)
 	}
+	if snap.P95 < 3.5 || snap.P95 > 4.0 {
+		t.Fatalf("p95 = %v, want ~3.8", snap.P95)
+	}
+	if snap.P95 > snap.P99 {
+		t.Fatalf("p95 %v > p99 %v", snap.P95, snap.P99)
+	}
 	// Values beyond the last bound land in +Inf and report the max.
 	h2 := newHistogram([]float64{1})
 	h2.Observe(50)
@@ -276,6 +282,9 @@ func TestMetricsHandler(t *testing.T) {
 		"# TYPE ping_rtt_ms histogram",
 		`ping_rtt_ms_bucket{le="2.5"} 1`,
 		"ping_rtt_ms_count 1",
+		`ping_rtt_ms{quantile="0.5"}`,
+		`ping_rtt_ms{quantile="0.95"}`,
+		`ping_rtt_ms{quantile="0.99"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("text exposition missing %q:\n%s", want, body)

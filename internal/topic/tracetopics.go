@@ -20,6 +20,7 @@ const (
 	SuffixInterest            = "Interest"
 	SuffixSystem              = "System"
 	SuffixHealth              = "Health"
+	SuffixAvailability        = "Availability"
 )
 
 // SystemHealth returns the constrained derivative topic carrying broker
@@ -34,6 +35,18 @@ const (
 // guard.
 func SystemHealth() Topic {
 	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixHealth)
+}
+
+// SystemAvailability returns the constrained derivative topic carrying
+// per-broker availability digests:
+// /Constrained/Traces/Broker/Publish-Only/System/Availability. It
+// mirrors SystemHealth(): Publish-Only with the broker as constrainer
+// means only brokers may publish digests while anyone may subscribe,
+// and the default Disseminate distribution propagates them
+// network-wide, so one subscription anywhere sees the availability of
+// every entity in the fleet.
+func SystemAvailability() Topic {
+	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixAvailability)
 }
 
 // Registration returns the constrained topic on which trace registration

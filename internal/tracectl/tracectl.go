@@ -7,6 +7,7 @@
 package tracectl
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,6 +30,9 @@ type Client struct {
 	Admins []string
 	// HTTP overrides the HTTP client (default: 5 s timeout).
 	HTTP *http.Client
+	// JSON switches the fetch-based subcommands (trace, tail) from the
+	// text view to machine-readable JSON output.
+	JSON bool
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -85,8 +89,8 @@ func (c *Client) FetchAll(query string) ([]*obs.FlightDump, error) {
 // nodeEvent pairs a flight event with the node that recorded it, for
 // cross-broker merged views.
 type nodeEvent struct {
-	Node string
-	Ev   obs.FlightEvent
+	Node string          `json:"node"`
+	Ev   obs.FlightEvent `json:"event"`
 }
 
 // mergeEvents flattens dumps into one timestamp-ordered list.
@@ -136,7 +140,8 @@ func formatEvent(w io.Writer, node string, ev obs.FlightEvent, base int64) {
 // endpoint and renders the merged entity→broker(s)→tracker flow: the
 // chronological event list, the reconstructed path, and skew-normalized
 // per-stage latencies (within-broker processing vs inter-broker wire
-// legs).
+// legs). With Client.JSON set, the assembled waterfall is emitted as a
+// JSON document instead of the text view.
 func (c *Client) Waterfall(w io.Writer, id string) error {
 	t, err := obs.ParseFlightTrace(id)
 	if err != nil {
@@ -146,12 +151,29 @@ func (c *Client) Waterfall(w io.Writer, id string) error {
 	if err != nil {
 		return err
 	}
+	if c.JSON {
+		return RenderWaterfallJSON(w, t, dumps)
+	}
 	return RenderWaterfall(w, t, dumps)
 }
 
-// RenderWaterfall renders the waterfall for trace t from the given
-// dumps (the testable core of Waterfall).
-func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) error {
+// Waterfall is the assembled view of one trace across brokers: the
+// reconstructed path, the merged event list, and the skew-normalized
+// stage latencies. It is what both the text and JSON waterfall
+// renderers consume.
+type Waterfall struct {
+	Trace  string         `json:"trace"`
+	Path   []string       `json:"path"`
+	Events []nodeEvent    `json:"events"`
+	Stages []obs.Segment  `json:"stages,omitempty"`
+	// TotalNanos and SkewNanos mirror the obs.Assembly totals.
+	TotalNanos int64 `json:"total_nanos"`
+	SkewNanos  int64 `json:"skew_nanos,omitempty"`
+}
+
+// AssembleWaterfall filters the dumps down to trace t and builds the
+// merged waterfall (the testable core of the trace subcommand).
+func AssembleWaterfall(t obs.FlightTrace, dumps []*obs.FlightDump) (*Waterfall, error) {
 	events := mergeEvents(dumps)
 	kept := events[:0]
 	for _, ne := range events {
@@ -161,7 +183,7 @@ func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) er
 	}
 	events = kept
 	if len(events) == 0 {
-		return fmt.Errorf("tracectl: no flight events for trace %s (sampled out, or ring overwritten)", t)
+		return nil, fmt.Errorf("tracectl: no flight events for trace %s (sampled out, or ring overwritten)", t)
 	}
 
 	// Per-broker first/last event times, in traversal (first-seen) order.
@@ -211,13 +233,6 @@ func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) er
 		}
 	}
 
-	fmt.Fprintf(w, "trace %s — %d events across %d broker(s)\n", t, len(events), len(order))
-	fmt.Fprintf(w, "path: %s\n", strings.Join(path, " → "))
-	base := events[0].Ev.AtNanos
-	for _, ne := range events {
-		formatEvent(w, ne.Node, ne.Ev, base)
-	}
-
 	// Stage attribution: each broker's first/last event bound its local
 	// processing; the gap to the next broker's first event is the wire
 	// leg. Assemble normalizes inter-broker clock skew.
@@ -229,18 +244,45 @@ func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) er
 		}
 	}
 	asm := obs.Assemble(hops)
-	if len(asm.Segments) > 0 {
+	return &Waterfall{
+		Trace:      t.String(),
+		Path:       path,
+		Events:     events,
+		Stages:     asm.Segments,
+		TotalNanos: asm.TotalNanos,
+		SkewNanos:  asm.SkewNanos,
+	}, nil
+}
+
+// RenderWaterfall renders the waterfall for trace t from the given
+// dumps as the human-readable text view.
+func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) error {
+	wf, err := AssembleWaterfall(t, dumps)
+	if err != nil {
+		return err
+	}
+	brokers := make(map[string]bool)
+	for _, ne := range wf.Events {
+		brokers[ne.Node] = true
+	}
+	fmt.Fprintf(w, "trace %s — %d events across %d broker(s)\n", wf.Trace, len(wf.Events), len(brokers))
+	fmt.Fprintf(w, "path: %s\n", strings.Join(wf.Path, " → "))
+	base := wf.Events[0].Ev.AtNanos
+	for _, ne := range wf.Events {
+		formatEvent(w, ne.Node, ne.Ev, base)
+	}
+	if len(wf.Stages) > 0 {
 		fmt.Fprintln(w, "stages:")
-		for _, seg := range asm.Segments {
+		for _, seg := range wf.Stages {
 			label := seg.From + " → " + seg.To
 			if seg.From == seg.To {
 				label = "within " + seg.From
 			}
 			fmt.Fprintf(w, "  %-24s %s\n", label, time.Duration(seg.Nanos).Round(time.Microsecond))
 		}
-		fmt.Fprintf(w, "  %-24s %s", "total", time.Duration(asm.TotalNanos).Round(time.Microsecond))
-		if asm.SkewNanos != 0 {
-			fmt.Fprintf(w, " (skew clamped: %s)", time.Duration(asm.SkewNanos).Round(time.Microsecond))
+		fmt.Fprintf(w, "  %-24s %s", "total", time.Duration(wf.TotalNanos).Round(time.Microsecond))
+		if wf.SkewNanos != 0 {
+			fmt.Fprintf(w, " (skew clamped: %s)", time.Duration(wf.SkewNanos).Round(time.Microsecond))
 		}
 		fmt.Fprintln(w)
 	}
@@ -250,7 +292,9 @@ func RenderWaterfall(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) er
 // Tail polls every admin endpoint and prints newly recorded flight
 // events in one merged, timestamp-ordered stream. It runs rounds poll
 // rounds spaced by interval (rounds <= 0 means poll once) and returns
-// the number of events printed.
+// the number of events printed. With Client.JSON set, each event is
+// printed as one JSON object per line (node + event) instead of the
+// text rendering.
 func (c *Client) Tail(w io.Writer, interval time.Duration, rounds int) (int, error) {
 	if rounds <= 0 {
 		rounds = 1
@@ -279,11 +323,40 @@ func (c *Client) Tail(w io.Writer, interval time.Duration, rounds int) (int, err
 		}
 		base := events[0].Ev.AtNanos
 		for _, ne := range events {
-			formatEvent(w, ne.Node, ne.Ev, base)
+			if c.JSON {
+				if err := json.NewEncoder(w).Encode(ne); err != nil {
+					return printed, err
+				}
+			} else {
+				formatEvent(w, ne.Node, ne.Ev, base)
+			}
 			printed++
 		}
 	}
 	return printed, nil
+}
+
+// RenderWaterfallJSON emits the assembled waterfall as one indented
+// JSON document.
+func RenderWaterfallJSON(w io.Writer, t obs.FlightTrace, dumps []*obs.FlightDump) error {
+	wf, err := AssembleWaterfall(t, dumps)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wf)
+}
+
+// RenderMapJSON emits the broker self-monitoring snapshots as one
+// indented JSON document (the machine-readable form of RenderMap).
+func RenderMapJSON(w io.Writer, snaps []*message.BrokerHealth) error {
+	if snaps == nil {
+		snaps = []*message.BrokerHealth{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snaps)
 }
 
 // WatchHealth subscribes to the system-health topic via the given
