@@ -12,17 +12,25 @@ build:
 test:
 	$(GO) test ./...
 
+# Focused race gate over the crypto and transport hot paths touched by
+# the session-key/batching work: the broker (egress coalescing, batch
+# ingest), the secure layer (session-key derivation and the pooled HMAC
+# schedule) with its differential harness, the transports, and the
+# mid-stream renegotiation chaos scenario. Uncached (-count=1) so verify
+# always exercises them fresh.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/broker/ ./internal/secure/... ./internal/transport/ ./internal/message/
+	$(GO) test -race -count=1 -run 'TestChaosSession' .
 
 # Tier-1 gate: everything CI runs before a merge.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
+	$(MAKE) race
 	$(GO) test -race -run 'TestChaos' -count=1 .
 	$(GO) test -race -run 'TestExportFloodBench' -count=1 .
-	$(GO) test -run 'TestExportHotpathBench' -count=1 .
+	HOTPATH_EXPORT=1 $(GO) test -run 'TestExportHotpathBench' -count=1 .
 	$(MAKE) trace
 	$(MAKE) avail
 	$(MAKE) cover
@@ -40,9 +48,11 @@ chaos:
 # operator-facing packages: internal/obs (flight recorder and trace
 # assembly) and internal/avail (the availability ledger and SLO engine)
 # are the only window into a misbehaving deployment, so their behaviour
-# stays pinned by tests.
+# stays pinned by tests — and internal/secure (RSA guard chain plus the
+# session-key schedule), where an untested branch is a crypto bug.
 OBS_COVER_FLOOR = 85
 AVAIL_COVER_FLOOR = 80
+SECURE_COVER_FLOOR = 85
 cover:
 	@out=$$($(GO) test ./internal/... 2>&1); status=$$?; echo "$$out"; \
 	if [ $$status -ne 0 ]; then exit $$status; fi; \
@@ -60,7 +70,7 @@ cover:
 		fi; \
 		echo "cover: internal/$$1 $$pct% >= $$2% floor"; \
 	}; \
-	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR)
+	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR)
 
 # Tracing smoke: the tracectl end-to-end suite against a 3-broker chain —
 # waterfall rendering, guard-drop visibility in tail, tail's since-cursor
@@ -94,14 +104,14 @@ flood:
 # fan-out throughput. Writes BENCH_hotpath.json (not race-enabled: the
 # numbers are the point).
 hotpath:
-	$(GO) test -run 'TestExportHotpathBench' -count=1 -v .
+	HOTPATH_EXPORT=1 $(GO) test -run 'TestExportHotpathBench' -count=1 -v .
 
 # Mechanical perf comparison for this and future perf PRs: run the
 # hot-path benchmarks 5x, then diff against the stashed baseline with
 # cmd/benchdiff (mean ± stderr). First run records the baseline; commit
 # or stash your changes, run again, and the table shows the deltas.
 # Refresh the baseline by deleting bench_baseline.txt.
-HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch
 benchdiff:
 	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
 	@if [ -f bench_baseline.txt ]; then \
@@ -117,6 +127,7 @@ fuzz:
 	$(GO) test ./internal/message/ -fuzz FuzzPayloadParsers -fuzztime 20s -run xxx
 	$(GO) test ./internal/token/ -fuzz FuzzUnmarshalToken -fuzztime 20s -run xxx
 	$(GO) test ./internal/tdn/ -fuzz FuzzUnmarshalAdvertisement -fuzztime 20s -run xxx
+	$(GO) test ./internal/broker/ -fuzz FuzzParseBatch -fuzztime 20s -run xxx
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
 	"entitytrace/internal/transport"
@@ -49,6 +51,9 @@ func main() {
 		pubBurst      = flag.Int("pub-burst", 0, "token-bucket burst for -pub-rate (0 means max(1, rate))")
 		quarantine    = flag.Duration("quarantine", broker.DefaultQuarantineDuration, "how long an evicted principal's reconnects are refused (negative disables)")
 		guardCache    = flag.Int("guard-cache", core.DefaultTokenCacheSize, "verified-token cache entries for trace authorization (0 disables caching)")
+		sessionKeys   = flag.Bool("session-keys", false, "enable §6.3 session-key signing amortization: steady-state traces carry HMAC session tags instead of per-message RSA signatures")
+		batchBytes    = flag.Int("batch-bytes", 0, "egress drain coalescing byte budget per batch frame (0 disables batching)")
+		batchLatency  = flag.Duration("batch-latency", 0, "how long an underfull egress batch may linger for more frames (0 flushes immediately)")
 		flightEvents  = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables recording)")
 		traceSample   = flag.Int("trace-sample", obs.DefaultFlightSample, "record 1-in-N healthy flight events (drops are always recorded; 1 records everything)")
 		healthEvery   = flag.Duration("health-interval", 10*time.Second, "self-monitoring snapshot period on the system-health topic (0 disables)")
@@ -123,15 +128,38 @@ func main() {
 	if *flightEvents > 0 {
 		flight = obs.NewFlightRecorder(brokerName, *flightEvents, *traceSample)
 	}
+	// With -session-keys the guard verifies session-tagged envelopes
+	// against the negotiated key store; unknown sessions trigger a
+	// renegotiation request through the trace manager (bound below, after
+	// it exists).
+	var guard broker.Guard
+	var sessions *core.SessionStore
+	var sessionRequester atomic.Pointer[func(ident.UUID, [secure.SessionIDLen]byte)]
+	if *sessionKeys {
+		sessions = core.NewSessionStore(0)
+		guard = core.NewSessionTokenGuard(resolver, verifier, nil, token.DefaultClockSkew,
+			tokenCache, flight, core.SessionGuardConfig{
+				Store: sessions,
+				OnUnknownSession: func(tt ident.UUID, sid [secure.SessionIDLen]byte) {
+					if fn := sessionRequester.Load(); fn != nil {
+						(*fn)(tt, sid)
+					}
+				},
+			})
+	} else {
+		guard = core.NewObservedTokenGuard(resolver, verifier, nil, token.DefaultClockSkew, tokenCache, flight)
+	}
 	b := broker.New(broker.Config{
 		Name:                 brokerName,
-		Guard:                core.NewObservedTokenGuard(resolver, verifier, nil, token.DefaultClockSkew, tokenCache, flight),
+		Guard:                guard,
 		Flight:               flight,
 		EgressQueue:          *egressQueue,
 		SlowConsumerDeadline: *slowDeadline,
 		PublishRate:          *pubRate,
 		PublishBurst:         *pubBurst,
 		QuarantineDuration:   *quarantine,
+		BatchBytes:           *batchBytes,
+		BatchLatency:         *batchLatency,
 		Log:                  log,
 	})
 	l, err := tr.Listen(*listen)
@@ -167,9 +195,15 @@ func main() {
 		AvailInterval:  *availEvery,
 		Avail:          ledger,
 		TokenCache:     tokenCache,
+		SessionKeys:    *sessionKeys,
+		Sessions:       sessions,
 	})
 	if err != nil {
 		fail("trace manager: %v", err)
+	}
+	if *sessionKeys {
+		fn := mgr.SessionRequester()
+		sessionRequester.Store(&fn)
 	}
 	mgr.Start()
 	if *connect != "" {

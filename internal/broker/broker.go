@@ -69,6 +69,17 @@ type Config struct {
 	// slow consumer and evicted with a typed DISCONNECT. Zero means
 	// DefaultSlowConsumerDeadline.
 	SlowConsumerDeadline time.Duration
+	// BatchBytes, when positive, enables egress drain coalescing: each
+	// writer pass packs queued data frames up to this many bytes into
+	// one frameBatch send (PROTOCOL.md §3.7), amortizing the per-frame
+	// transport cost under fan-out load. Control frames are never
+	// batched. Zero disables batching.
+	BatchBytes int
+	// BatchLatency, when positive (and BatchBytes enabled), lets an
+	// underfull drain linger once this long for more frames before
+	// flushing, bounding the extra latency batching may add. Zero
+	// flushes every drain immediately.
+	BatchLatency time.Duration
 	// PublishRate, when positive, throttles each client publisher to
 	// this many envelopes per second (token bucket, burst PublishBurst)
 	// at ingress — before the envelope is unmarshaled or its signature
@@ -470,7 +481,7 @@ func (b *Broker) newPeer(conn transport.Conn, isBroker bool, name string) *peer 
 		conn:       conn,
 		isBroker:   isBroker,
 		name:       name,
-		out:        newEgress(conn, b.cfg.EgressQueue),
+		out:        newEgress(conn, b.cfg.EgressQueue, b.cfg.BatchBytes, b.cfg.BatchLatency),
 		advertised: make(map[string]struct{}),
 		subs:       make(map[string]struct{}),
 	}
@@ -515,28 +526,23 @@ func (b *Broker) peerLoop(p *peer) {
 				return
 			}
 		case frameEnvelope:
-			// Per-publisher admission control runs before the envelope is
-			// even unmarshaled: a flooding client is rejected before its
-			// traffic costs any parsing or signature-verification CPU.
-			if b.cfg.PublishRate > 0 && !p.isBroker &&
-				!p.bucket.allow(b.clk.Now(), b.cfg.PublishRate, float64(b.cfg.PublishBurst)) {
-				b.stats.throttled.Add(1)
-				mThrottled.Inc()
-				if b.cfg.Flight != nil {
-					// The frame is rejected before parsing, so no trace ID.
-					b.cfg.Flight.Record(obs.FlightEvent{
-						Kind: obs.FlightDrop, Peer: p.name, Reason: "throttled",
-					})
-				}
-				b.punishWeighted(p, throttleViolationWeight, errThrottled)
-				continue
-			}
-			env, err := message.Unmarshal(frame[1:])
+			b.ingestEnvelope(p, frame[1:])
+		case frameBatch:
+			// A coalesced egress drain from a peer (PROTOCOL.md §3.7):
+			// split strictly, then ingest every sub-envelope in order. A
+			// malformed batch is rejected as a whole — no prefix of it is
+			// routed.
+			frames, err := parseBatch(frame[1:])
 			if err != nil {
-				b.punish(p, fmt.Errorf("bad envelope: %w", err))
+				b.punish(p, fmt.Errorf("bad batch frame: %w", err))
 				continue
 			}
-			b.routeFrom(p, env)
+			for _, f := range frames {
+				b.ingestEnvelope(p, f[1:])
+				if p.closed.Load() {
+					break
+				}
+			}
 		default:
 			b.punish(p, fmt.Errorf("unknown frame kind %d", frame[0]))
 		}
@@ -544,6 +550,39 @@ func (b *Broker) peerLoop(p *peer) {
 			return
 		}
 	}
+}
+
+// ingestEnvelope admits one envelope body (the bytes after the
+// frameEnvelope kind byte) from a peer: rate-limit before parsing, then
+// unmarshal and route. Both the single-envelope and batch ingress paths
+// funnel through here so admission control and violation accounting are
+// identical per envelope regardless of framing.
+func (b *Broker) ingestEnvelope(p *peer, body []byte) {
+	// Per-publisher admission control runs before the envelope is even
+	// unmarshaled: a flooding client is rejected before its traffic
+	// costs any parsing or signature-verification CPU.
+	if b.cfg.PublishRate > 0 && !p.isBroker &&
+		!p.bucket.allow(b.clk.Now(), b.cfg.PublishRate, float64(b.cfg.PublishBurst)) {
+		b.stats.throttled.Add(1)
+		mThrottled.Inc()
+		if b.cfg.Flight != nil {
+			// The frame is rejected before parsing, so no trace ID.
+			b.cfg.Flight.Record(obs.FlightEvent{
+				Kind: obs.FlightDrop, Peer: p.name, Reason: "throttled",
+			})
+		}
+		b.punishWeighted(p, throttleViolationWeight, errThrottled)
+		return
+	}
+	// Shared parse: the read loop hands over a freshly allocated frame
+	// (every transport copies on receive), so the envelope fields can
+	// alias it instead of re-copying — see message.UnmarshalShared.
+	env, err := message.UnmarshalShared(body)
+	if err != nil {
+		b.punish(p, fmt.Errorf("bad envelope: %w", err))
+		return
+	}
+	b.routeFrom(p, env)
 }
 
 // handleControl processes a control frame; it reports whether the peer
@@ -732,10 +771,17 @@ func (b *Broker) OnClientDisconnect(f func(entity ident.EntityID)) {
 	b.onDisconnect = append(b.onDisconnect, f)
 }
 
-// removePeer unregisters a peer and drops its subscriptions.
+// removePeer unregisters a peer and drops its subscriptions. An
+// evicted peer's connection is not closed here: evictPeer has already
+// queued the typed DISCONNECT, and closing now would race the egress
+// writer's flush of it — the writer closes the conn once the control
+// lane drains, with the evictGrace timer as the backstop for a peer
+// that has stopped reading.
 func (b *Broker) removePeer(p *peer) {
 	p.out.beginClose()
-	p.conn.Close()
+	if !p.closed.Load() {
+		p.conn.Close()
+	}
 	b.mu.Lock()
 	if _, ok := b.peers[p]; !ok {
 		b.mu.Unlock()
@@ -956,9 +1002,17 @@ func (b *Broker) Publish(env *message.Envelope) error {
 	return b.route(nil, env, topic.BrokerPrincipal())
 }
 
+// ErrNoPunish, wrapped into a guard rejection, marks a drop that is not
+// the delivering peer's fault: the envelope is discarded but no
+// violation is scored against the peer. The session-key layer uses it
+// for tags referencing a session this broker has not (or no longer)
+// installed — a correct forwarder delivering such a message is evidence
+// the verifier should renegotiate, not that the peer misbehaves.
+var ErrNoPunish = errors.New("broker: drop without violation")
+
 // routeFrom handles an envelope received from a peer.
 func (b *Broker) routeFrom(p *peer, env *message.Envelope) {
-	if err := b.route(p, env, p.principal); err != nil {
+	if err := b.route(p, env, p.principal); err != nil && !errors.Is(err, ErrNoPunish) {
 		b.punish(p, err)
 	}
 }

@@ -147,11 +147,24 @@ func (c *Client) recvLoop() {
 				}
 			}
 		case frameEnvelope:
-			env, err := message.Unmarshal(frame[1:])
+			env, err := message.UnmarshalShared(frame[1:])
 			if err != nil {
 				continue
 			}
 			c.dispatch(env)
+		case frameBatch:
+			// A coalesced egress drain from the broker (PROTOCOL.md §3.7).
+			frames, err := parseBatch(frame[1:])
+			if err != nil {
+				continue
+			}
+			for _, f := range frames {
+				env, err := message.UnmarshalShared(f[1:])
+				if err != nil {
+					continue
+				}
+				c.dispatch(env)
+			}
 		}
 	}
 }
@@ -261,6 +274,41 @@ func (c *Client) Publish(env *message.Envelope) error {
 		return ErrClientClosed
 	}
 	return c.sendTimed(append([]byte{frameEnvelope}, env.Marshal()...))
+}
+
+// PublishBatch sends several envelopes in one frameBatch write
+// (PROTOCOL.md §3.7): the publisher-side counterpart of egress drain
+// coalescing, amortizing the per-frame transport cost for producers
+// that emit bursts. The broker ingests the envelopes in order with the
+// same admission control the single-envelope path applies. An empty
+// slice is a no-op; a single envelope degrades to Publish.
+func (c *Client) PublishBatch(envs []*message.Envelope) error {
+	switch len(envs) {
+	case 0:
+		return nil
+	case 1:
+		return c.Publish(envs[0])
+	}
+	if len(envs) > maxBatchFrames {
+		return fmt.Errorf("broker: batch of %d exceeds %d frames", len(envs), maxBatchFrames)
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClientClosed
+	}
+	size := 1
+	for _, env := range envs {
+		size += 4 + 1 + env.WireSize()
+	}
+	frames := make([][]byte, len(envs))
+	for i, env := range envs {
+		f := make([]byte, 1, 1+env.WireSize())
+		f[0] = frameEnvelope
+		frames[i] = env.AppendWire(f, env.TTL)
+	}
+	return c.sendTimed(appendBatch(make([]byte, 0, size), frames))
 }
 
 // sendTimed writes one frame under the write deadline. On timeout the

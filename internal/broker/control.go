@@ -16,11 +16,85 @@ import (
 )
 
 // Frame kinds on the wire: a one-byte discriminator precedes either a
-// control body or a marshaled message envelope.
+// control body, a marshaled message envelope, or a batch of envelope
+// frames coalesced by the egress writer (PROTOCOL.md §3.7).
 const (
 	frameControl  byte = 1
 	frameEnvelope byte = 2
+	frameBatch    byte = 3
 )
+
+// Batch framing bounds. A batch frame is frameBatch followed by
+// repeated [u32 length][sub-frame] entries, where every sub-frame is a
+// complete frameEnvelope frame (kind byte included). Control frames are
+// never batched — they ride the priority lane — and batches never nest.
+const (
+	// maxBatchFrames bounds the entries one batch may carry.
+	maxBatchFrames = 4096
+	// maxBatchFrameLen bounds one sub-frame's length (matches the message
+	// reader's field cap).
+	maxBatchFrameLen = 16 << 20
+)
+
+// appendBatch appends the batch wire form of frames to dst: the
+// frameBatch kind byte, then each frame length-prefixed. The caller
+// guarantees frames is non-empty and every entry is a frameEnvelope
+// frame.
+func appendBatch(dst []byte, frames [][]byte) []byte {
+	dst = append(dst, frameBatch)
+	for _, f := range frames {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// batchWireSize returns the exact length appendBatch would produce.
+func batchWireSize(frames [][]byte) int {
+	n := 1
+	for _, f := range frames {
+		n += 4 + len(f)
+	}
+	return n
+}
+
+// parseBatch splits a batch frame body (after the kind byte) into its
+// sub-frames. It is strict: at least one entry, every entry a non-empty
+// frameEnvelope frame within the length cap, no trailing bytes, no
+// nested batches — so a truncated, oversized or interleaved frame is
+// rejected as a whole rather than partially applied.
+func parseBatch(b []byte) ([][]byte, error) {
+	if len(b) == 0 {
+		return nil, errors.New("broker: empty batch frame")
+	}
+	var frames [][]byte
+	for len(b) > 0 {
+		if len(frames) >= maxBatchFrames {
+			return nil, fmt.Errorf("broker: batch exceeds %d frames", maxBatchFrames)
+		}
+		if len(b) < 4 {
+			return nil, errors.New("broker: truncated batch length prefix")
+		}
+		n := binary.BigEndian.Uint32(b[:4])
+		b = b[4:]
+		if n == 0 {
+			return nil, errors.New("broker: empty batch sub-frame")
+		}
+		if n > maxBatchFrameLen {
+			return nil, fmt.Errorf("broker: batch sub-frame length %d exceeds %d", n, maxBatchFrameLen)
+		}
+		if int(n) > len(b) {
+			return nil, errors.New("broker: truncated batch sub-frame")
+		}
+		f := b[:n]
+		b = b[n:]
+		if f[0] != frameEnvelope {
+			return nil, fmt.Errorf("broker: batch sub-frame kind %d (only envelopes batch)", f[0])
+		}
+		frames = append(frames, f)
+	}
+	return frames, nil
+}
 
 // Control message kinds.
 type ctrlKind uint8

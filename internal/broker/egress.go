@@ -15,6 +15,8 @@ var (
 	mSlowEvictions   = obs.Default.Counter("broker_slow_consumer_evictions_total")
 	mThrottled       = obs.Default.Counter("broker_publish_throttled_total")
 	mQuarantineRejct = obs.Default.Counter("broker_quarantine_rejects_total")
+	mBatchSends      = obs.Default.Counter("broker_egress_batch_sends_total")
+	mBatchFrames     = obs.Default.Counter("broker_egress_batched_frames_total")
 )
 
 // egress is a peer's bounded outbound queue, drained by one dedicated
@@ -30,6 +32,15 @@ var (
 // one, so dropping from the head loses the least information.
 type egress struct {
 	conn transport.Conn
+
+	// batchBytes > 0 enables drain coalescing: each writer pass packs as
+	// many queued data frames as fit under the byte budget into one
+	// frameBatch send. batchLatency > 0 additionally lets an underfull
+	// drain linger once, waiting for more frames to accumulate, before
+	// flushing — bounding the latency a coalesced frame can be held.
+	// Control frames are never batched and always preempt the linger.
+	batchBytes   int
+	batchLatency time.Duration
 
 	mu        sync.Mutex
 	wake      chan struct{} // 1-buffered writer wakeup
@@ -53,12 +64,14 @@ type egress struct {
 // control queue tolerates before the peer is declared hopeless.
 const egressCtrlSlack = 64
 
-func newEgress(conn transport.Conn, bound int) *egress {
+func newEgress(conn transport.Conn, bound, batchBytes int, batchLatency time.Duration) *egress {
 	return &egress{
-		conn:      conn,
-		wake:      make(chan struct{}, 1),
-		bound:     bound,
-		ctrlBound: bound + egressCtrlSlack,
+		conn:         conn,
+		wake:         make(chan struct{}, 1),
+		bound:        bound,
+		ctrlBound:    bound + egressCtrlSlack,
+		batchBytes:   batchBytes,
+		batchLatency: batchLatency,
 	}
 }
 
@@ -165,10 +178,49 @@ func (e *egress) beginClose() {
 	e.signal()
 }
 
+// popBatchLocked removes and returns the longest prefix of queued data
+// frames that fits the batch byte budget (always at least one frame,
+// even when that frame alone exceeds the budget) and the frame cap.
+// Callers hold e.mu.
+func (e *egress) popBatchLocked() [][]byte {
+	var frames [][]byte
+	size := 1 // frameBatch kind byte
+	for e.queuedData() > 0 && len(frames) < maxBatchFrames {
+		f := e.data[e.dataHead]
+		if len(frames) > 0 && size+4+len(f) > e.batchBytes {
+			break
+		}
+		size += 4 + len(f)
+		frames = append(frames, f)
+		e.data[e.dataHead] = nil
+		e.dataHead++
+	}
+	e.compact()
+	return frames
+}
+
+// batchUnderfullLocked reports whether the queued data would not yet
+// fill the batch byte budget — the condition under which a linger pass
+// waits for more. Callers hold e.mu.
+func (e *egress) batchUnderfullLocked() bool {
+	size := 1
+	for i := e.dataHead; i < len(e.data); i++ {
+		size += 4 + len(e.data[i])
+		if size >= e.batchBytes {
+			return false
+		}
+	}
+	return true
+}
+
 // run is the writer loop: it drains control frames before data frames
 // until the connection dies or beginClose has been honoured. It owns all
-// conn.Send calls for the peer.
+// conn.Send calls for the peer. With batching enabled, each data pass
+// coalesces the queue (up to batchBytes) into one frameBatch send; an
+// underfull pass may linger once, up to batchLatency, for more frames —
+// control frames and closure interrupt the linger immediately.
 func (e *egress) run() {
+	lingered := false
 	for {
 		e.mu.Lock()
 		for len(e.ctrl) == 0 && e.queuedData() == 0 && !e.closing && !e.dead {
@@ -187,21 +239,48 @@ func (e *egress) run() {
 			return
 		}
 		var frame []byte
+		consumed := int64(1)
 		if len(e.ctrl) > 0 {
 			frame = e.ctrl[0]
 			e.ctrl = e.ctrl[1:]
-		} else {
+		} else if e.batchBytes <= 0 {
 			frame = e.data[e.dataHead]
 			e.data[e.dataHead] = nil
 			e.dataHead++
 			e.compact()
+		} else {
+			if e.batchLatency > 0 && !lingered && !e.closing && e.batchUnderfullLocked() {
+				// Underfull drain: hold the frames once, bounded by the
+				// latency budget, hoping to amortize the send. A control
+				// frame or closure signals the wake channel and cuts the
+				// linger short.
+				lingered = true
+				e.mu.Unlock()
+				t := time.NewTimer(e.batchLatency)
+				select {
+				case <-e.wake:
+				case <-t.C:
+				}
+				t.Stop()
+				continue
+			}
+			frames := e.popBatchLocked()
+			if len(frames) == 1 {
+				frame = frames[0]
+			} else {
+				frame = appendBatch(make([]byte, 0, batchWireSize(frames)), frames)
+				mBatchSends.Inc()
+				mBatchFrames.Add(uint64(len(frames)))
+			}
+			consumed = int64(len(frames))
+			lingered = false
 		}
 		e.mu.Unlock()
 
 		err := e.conn.Send(frame)
 
 		e.mu.Lock()
-		mEgressDepth.Add(-1)
+		mEgressDepth.Add(-consumed)
 		if err != nil {
 			drop := int64(len(e.ctrl) + e.queuedData())
 			e.ctrl, e.data, e.dataHead = nil, nil, 0

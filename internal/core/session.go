@@ -1,0 +1,527 @@
+package core
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+)
+
+// This file implements the verifier and publisher halves of the §6.3
+// signing-cost optimization. After the one full token + RSA
+// verification (performed on the SESSION_KEY_RESPONSE envelope, or
+// locally at the hosting broker), a verifier installs the derived
+// session key into a SessionStore; steady-state envelopes then
+// authenticate with an HMAC-SHA256 session tag checked here in
+// well under a microsecond instead of ~13µs of RSA. Every rejection the
+// RSA path would produce has a session-path twin, so the two paths
+// return identical accept/reject verdicts on identical streams — the
+// property internal/secure/difftest proves.
+
+// Session-path drop accounting, the §6.3 counterpart of the RSA-path
+// reasons above.
+var (
+	mDropUnknownSession = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "unknown_session"))
+	mDropSessionExpired = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "session_expired"))
+	mDropSessionTopic   = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "session_topic_mismatch"))
+	mDropBadSessionTag  = obs.Default.Counter(obs.WithLabel("traces_dropped_total", "reason", "bad_session_tag"))
+)
+
+// Session store metrics.
+var (
+	mSessionInstalls    = obs.Default.Counter("session_keys_installed_total")
+	mSessionInvalidated = obs.Default.Counter("session_keys_invalidated_total")
+	mSessionHits        = obs.Default.Counter("session_verify_hits_total")
+	mSessionUnknown     = obs.Default.Counter("session_verify_unknown_total")
+)
+
+// Session-path rejections. ErrUnknownSession wraps broker.ErrNoPunish:
+// a tag referencing a session the verifier has not installed (fresh
+// negotiation, restart, invalidation) is dropped without scoring a
+// violation against the delivering peer, and triggers renegotiation.
+var (
+	ErrUnknownSession = fmt.Errorf("core: unknown session (%w)", broker.ErrNoPunish)
+	ErrSessionExpired = errors.New("core: session key expired")
+)
+
+// DefaultSessionStoreSize bounds the number of concurrently installed
+// session keys.
+const DefaultSessionStoreSize = 4096
+
+// SessionStore holds the session keys a verifier has installed, keyed
+// by session ID, with a secondary index by bound-token digest so token
+// rotation or revocation can invalidate every session it anchored. All
+// methods are safe for concurrent use; lookups take only a read lock.
+type SessionStore struct {
+	mu      sync.RWMutex
+	max     int
+	m       map[[secure.SessionIDLen]byte]*sessionEntry
+	byToken map[[32]byte][][secure.SessionIDLen]byte
+	fifo    [][secure.SessionIDLen]byte
+}
+
+type sessionEntry struct {
+	key   *secure.SessionKey
+	topic ident.UUID
+}
+
+// NewSessionStore creates a store bounded at max keys (0 means
+// DefaultSessionStoreSize). Past the bound the oldest installation is
+// evicted; its publisher renegotiates on the resulting unknown-session
+// drop.
+func NewSessionStore(max int) *SessionStore {
+	if max <= 0 {
+		max = DefaultSessionStoreSize
+	}
+	return &SessionStore{
+		max:     max,
+		m:       make(map[[secure.SessionIDLen]byte]*sessionEntry),
+		byToken: make(map[[32]byte][][secure.SessionIDLen]byte),
+	}
+}
+
+// Install registers a session key for a trace topic, replacing any
+// previous key with the same ID.
+func (s *SessionStore) Install(traceTopic ident.UUID, k *secure.SessionKey) {
+	id := k.ID()
+	s.mu.Lock()
+	if _, exists := s.m[id]; !exists {
+		if len(s.fifo) >= s.max {
+			evict := s.fifo[0]
+			s.fifo = s.fifo[1:]
+			s.removeLocked(evict)
+		}
+		s.fifo = append(s.fifo, id)
+	}
+	s.m[id] = &sessionEntry{key: k, topic: traceTopic}
+	d := k.TokenDigest()
+	s.byToken[d] = append(s.byToken[d], id)
+	s.mu.Unlock()
+	mSessionInstalls.Inc()
+}
+
+// lookup returns the entry for id, if installed.
+func (s *SessionStore) lookup(id [secure.SessionIDLen]byte) (*sessionEntry, bool) {
+	s.mu.RLock()
+	e, ok := s.m[id]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+// Lookup returns the installed key for id and its trace topic.
+func (s *SessionStore) Lookup(id [secure.SessionIDLen]byte) (*secure.SessionKey, ident.UUID, bool) {
+	e, ok := s.lookup(id)
+	if !ok {
+		return nil, ident.Nil, false
+	}
+	return e.key, e.topic, true
+}
+
+// removeLocked deletes id from the primary map (caller holds mu).
+func (s *SessionStore) removeLocked(id [secure.SessionIDLen]byte) {
+	e, ok := s.m[id]
+	if !ok {
+		return
+	}
+	delete(s.m, id)
+	d := e.key.TokenDigest()
+	ids := s.byToken[d]
+	for i, other := range ids {
+		if other == id {
+			s.byToken[d] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(s.byToken[d]) == 0 {
+		delete(s.byToken, d)
+	}
+}
+
+// Invalidate removes a session key; subsequent tags referencing it are
+// unknown-session drops forcing full verification or renegotiation.
+func (s *SessionStore) Invalidate(id [secure.SessionIDLen]byte) {
+	s.mu.Lock()
+	_, ok := s.m[id]
+	s.removeLocked(id)
+	s.mu.Unlock()
+	if ok {
+		mSessionInvalidated.Inc()
+	}
+}
+
+// InvalidateToken removes every session bound to the token with the
+// given raw-byte digest — the hard fallback on token rotation or
+// revocation. It returns the number of sessions removed.
+func (s *SessionStore) InvalidateToken(tokenDigest [32]byte) int {
+	s.mu.Lock()
+	ids := append([][secure.SessionIDLen]byte(nil), s.byToken[tokenDigest]...)
+	for _, id := range ids {
+		s.removeLocked(id)
+	}
+	s.mu.Unlock()
+	for range ids {
+		mSessionInvalidated.Inc()
+	}
+	return len(ids)
+}
+
+// InvalidateAll empties the store.
+func (s *SessionStore) InvalidateAll() {
+	s.mu.Lock()
+	n := len(s.m)
+	s.m = make(map[[secure.SessionIDLen]byte]*sessionEntry)
+	s.byToken = make(map[[32]byte][][secure.SessionIDLen]byte)
+	s.fifo = s.fifo[:0]
+	s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		mSessionInvalidated.Inc()
+	}
+}
+
+// Len reports the number of installed sessions.
+func (s *SessionStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// VerifyTraceSession checks a session-tagged envelope against the
+// store: the session must be installed, bound to the message's trace
+// topic, inside its validity window (the same skew tolerance the token
+// check applies, so expiry verdicts match the RSA path), and the
+// HMAC-SHA256 tag must verify over the same canonical bytes an RSA
+// signature would cover. An expired window or a failed tag invalidates
+// the session — the hard fallback: nothing further authenticates under
+// that session ID until full RSA verification re-establishes it.
+func VerifyTraceSession(env *message.Envelope, traceTopic ident.UUID,
+	store *SessionStore, now time.Time, skew time.Duration) error {
+	sid, err := env.SessionID()
+	if err != nil {
+		mDropBadSessionTag.Inc()
+		return fmt.Errorf("core: session tag: %w", err)
+	}
+	e, ok := store.lookup(sid)
+	if !ok {
+		mDropUnknownSession.Inc()
+		mSessionUnknown.Inc()
+		return ErrUnknownSession
+	}
+	if e.topic != traceTopic {
+		mDropSessionTopic.Inc()
+		return fmt.Errorf("core: session %x is bound to topic %v, not %v", sid[:4], e.topic, traceTopic)
+	}
+	if skew < 0 {
+		skew = token.DefaultClockSkew
+	}
+	if !e.key.ValidAt(now, skew) {
+		store.Invalidate(sid)
+		mDropSessionExpired.Inc()
+		return ErrSessionExpired
+	}
+	if err := env.VerifySessionTag(e.key); err != nil {
+		// Hard fallback: any tag failure kills the session, so a
+		// compromised or corrupted stream cannot keep probing a live key;
+		// the publisher must pass full RSA verification to re-establish.
+		store.Invalidate(sid)
+		mDropBadSessionTag.Inc()
+		return fmt.Errorf("core: session tag: %w", err)
+	}
+	mSessionHits.Inc()
+	return nil
+}
+
+// Session-path cache outcomes recorded on guard flight events, extending
+// the RSA-path set (bypass/hit/stale/miss).
+const (
+	cacheSession        = "session"         // session tag verified
+	cacheSessionUnknown = "session_unknown" // tag referenced an uninstalled session
+	cacheSessionReject  = "session_reject"  // tag or window verification failed
+)
+
+// SessionGuardConfig configures NewSessionTokenGuard beyond the
+// RSA-path parameters.
+type SessionGuardConfig struct {
+	// Store holds the installed session keys (required).
+	Store *SessionStore
+	// OnUnknownSession, when non-nil, is invoked (outside any lock) for
+	// each unknown-session drop so the hosting layer can publish a
+	// SESSION_KEY_REQUEST. Callers are expected to rate-limit.
+	OnUnknownSession func(traceTopic ident.UUID, sessionID [secure.SessionIDLen]byte)
+}
+
+// NewSessionTokenGuard extends NewObservedTokenGuard with the §6.3
+// session path: envelopes carrying FlagSessionTag verify against the
+// session store; everything else takes the existing RSA pipeline
+// unchanged. Both paths share the flight recorder, so a trace's guard
+// verdict shows which mechanism settled it.
+func NewSessionTokenGuard(resolver AdResolver, verifier *credential.Verifier,
+	now func() time.Time, skew time.Duration, cache *TokenCache,
+	flight *obs.FlightRecorder, sg SessionGuardConfig) broker.Guard {
+	if sg.Store == nil {
+		return NewObservedTokenGuard(resolver, verifier, now, skew, cache, flight)
+	}
+	rsaGuard := NewObservedTokenGuard(resolver, verifier, now, skew, cache, flight)
+	if now == nil {
+		now = time.Now
+	}
+	if skew <= 0 {
+		skew = token.DefaultClockSkew
+	}
+	return func(env *message.Envelope, from topic.Principal) error {
+		if env.Flags&message.FlagSessionTag == 0 {
+			return rsaGuard(env, from)
+		}
+		tt, isTrace := traceTopicOf(env.Topic)
+		if !isTrace {
+			return nil
+		}
+		start := now()
+		err := VerifyTraceSession(env, tt, sg.Store, start, skew)
+		if errors.Is(err, ErrUnknownSession) && sg.OnUnknownSession != nil {
+			if sid, sidErr := env.SessionID(); sidErr == nil {
+				sg.OnUnknownSession(tt, sid)
+			}
+		}
+		if flight != nil && (err != nil || flight.Sampled()) {
+			outcome := cacheSession
+			if errors.Is(err, ErrUnknownSession) {
+				outcome = cacheSessionUnknown
+			} else if err != nil {
+				outcome = cacheSessionReject
+			}
+			ev := obs.FlightEvent{
+				Kind:     obs.FlightGuard,
+				Topic:    env.Topic.String(),
+				Cache:    outcome,
+				DurNanos: now().Sub(start).Nanoseconds(),
+				Trace:    flightTraceID(env),
+			}
+			if from.IsBroker {
+				ev.Peer = "broker"
+			} else {
+				ev.Peer = string(from.Entity)
+			}
+			if err != nil {
+				ev.Reason = err.Error()
+			}
+			flight.Record(ev)
+		}
+		return err
+	}
+}
+
+// flightTraceID derives the flight correlation ID for an envelope.
+func flightTraceID(env *message.Envelope) obs.FlightTrace {
+	if env.Span != nil {
+		return obs.FlightTrace(env.Span.TraceID)
+	}
+	return obs.FlightTrace(env.ID)
+}
+
+// SessionPublisher is the publisher half of §6.3: it owns the current
+// session parameters for one (token, trace topic) pair, signs
+// steady-state envelopes with the session key, falls back to the RSA
+// delegate signature whenever the session is outside its window, and
+// rekeys on token rotation. All methods are safe for concurrent use.
+type SessionPublisher struct {
+	mu         sync.RWMutex
+	traceTopic ident.UUID
+	principal  string
+	tokenBytes []byte
+	delegate   *secure.Signer
+	params     *secure.SessionParams
+	key        *secure.SessionKey
+	now        func() time.Time
+	maxLife    time.Duration
+	onRekey    func(*secure.SessionKey)
+}
+
+// DefaultSessionMaxLife caps a session's validity window; shorter
+// windows bound the damage of a leaked symmetric key (the token window
+// still applies on top).
+const DefaultSessionMaxLife = 10 * time.Minute
+
+// NewSessionPublisher creates a publisher for the given delegation.
+// now supplies the clock (required for deterministic tests); maxLife
+// caps each session window (0 means DefaultSessionMaxLife).
+func NewSessionPublisher(traceTopic ident.UUID, principal string, tokenBytes []byte,
+	delegate *secure.Signer, now func() time.Time, maxLife time.Duration) *SessionPublisher {
+	if now == nil {
+		now = time.Now
+	}
+	if maxLife <= 0 {
+		maxLife = DefaultSessionMaxLife
+	}
+	return &SessionPublisher{
+		traceTopic: traceTopic,
+		principal:  principal,
+		tokenBytes: append([]byte(nil), tokenBytes...),
+		delegate:   delegate,
+		now:        now,
+		maxLife:    maxLife,
+	}
+}
+
+// OnRekey installs a hook invoked with the fresh session key after
+// every successful rekey (including those SealedParamsFor and Sign
+// trigger internally) — typically to install the key into the hosting
+// broker's own SessionStore. The hook runs under the publisher's lock
+// and must not call back into the publisher.
+func (sp *SessionPublisher) OnRekey(fn func(*secure.SessionKey)) {
+	sp.mu.Lock()
+	sp.onRekey = fn
+	sp.mu.Unlock()
+}
+
+// Rekey mints fresh session parameters bound to the current token:
+// window = [now, min(now+maxLife, token.NotAfter)]. It returns the new
+// parameters for distribution. Rekey fails if the token window has
+// already closed — the RSA fallback then also rejects, keeping the
+// paths aligned.
+func (sp *SessionPublisher) Rekey() (*secure.SessionParams, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.rekeyLocked()
+}
+
+func (sp *SessionPublisher) rekeyLocked() (*secure.SessionParams, error) {
+	tok, err := token.Unmarshal(sp.tokenBytes)
+	if err != nil {
+		return nil, fmt.Errorf("core: session rekey: %w", err)
+	}
+	nb := sp.now().UnixNano()
+	na := nb + sp.maxLife.Nanoseconds()
+	if tok.NotAfter < na {
+		na = tok.NotAfter
+	}
+	if na <= nb {
+		return nil, fmt.Errorf("core: session rekey: token window closed")
+	}
+	params, err := secure.NewSessionParams(sha256.Sum256(sp.tokenBytes), nb, na)
+	if err != nil {
+		return nil, err
+	}
+	key, err := params.Derive(sp.traceTopic.String(), sp.principal)
+	if err != nil {
+		return nil, err
+	}
+	sp.params, sp.key = params, key
+	if sp.onRekey != nil {
+		sp.onRekey(key)
+	}
+	return params, nil
+}
+
+// SetToken installs a rotated token and delegate signer and rekeys,
+// returning the new parameters (token rotation always changes the
+// bound digest, so the old session dies with the old token).
+func (sp *SessionPublisher) SetToken(tokenBytes []byte, delegate *secure.Signer) (*secure.SessionParams, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.tokenBytes = append([]byte(nil), tokenBytes...)
+	sp.delegate = delegate
+	return sp.rekeyLocked()
+}
+
+// Key returns the current session key (nil before the first Rekey).
+func (sp *SessionPublisher) Key() *secure.SessionKey {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return sp.key
+}
+
+// Params returns the current session parameters for distribution (nil
+// before the first Rekey).
+func (sp *SessionPublisher) Params() *secure.SessionParams {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return sp.params
+}
+
+// TraceTopic returns the topic the publisher's sessions are bound to.
+func (sp *SessionPublisher) TraceTopic() ident.UUID { return sp.traceTopic }
+
+// Principal returns the derivation principal.
+func (sp *SessionPublisher) Principal() string { return sp.principal }
+
+// SealedParamsFor seals the current parameters to a verifier's public
+// key, rekeying first if no live session exists.
+func (sp *SessionPublisher) SealedParamsFor(pub *rsa.PublicKey) ([]byte, error) {
+	sp.mu.Lock()
+	if sp.key == nil || !sp.key.ValidAt(sp.now(), 0) {
+		if _, err := sp.rekeyLocked(); err != nil {
+			sp.mu.Unlock()
+			return nil, err
+		}
+	}
+	params := sp.params
+	sp.mu.Unlock()
+	return params.SealTo(pub)
+}
+
+// sessionRequestMinInterval rate-limits SESSION_KEY_REQUEST publishes
+// per requester (per session ID for brokers, per watch for trackers):
+// an unknown-session burst collapses into one renegotiation.
+const sessionRequestMinInterval = time.Second
+
+// OpenSessionKeyResponse authenticates and opens a SESSION_KEY_RESPONSE
+// envelope: full §4.3 verification of the envelope (token + delegate RSA
+// signature — the one expensive check the session path amortizes), then
+// the sealed parameters are opened with the recipient's credential key,
+// bound against the verified token's raw bytes, and the session key is
+// derived. The derivation principal is the token owner, matching the
+// publisher side.
+func OpenSessionKeyResponse(env *message.Envelope, sr *message.SessionKeyResponse,
+	priv *rsa.PrivateKey, resolver AdResolver, verifier *credential.Verifier,
+	now time.Time, skew time.Duration) (*secure.SessionKey, error) {
+	if err := VerifyTrace(env, sr.TraceTopic, resolver, verifier, now, skew); err != nil {
+		return nil, fmt.Errorf("core: session key response: %w", err)
+	}
+	tok, err := token.Unmarshal(env.Token)
+	if err != nil {
+		return nil, fmt.Errorf("core: session key response token: %w", err)
+	}
+	params, err := secure.OpenSessionParams(priv, sr.Sealed)
+	if err != nil {
+		return nil, fmt.Errorf("core: session key response: %w", err)
+	}
+	if params.TokenDigest != sha256.Sum256(env.Token) {
+		return nil, errors.New("core: session params bound to a different token")
+	}
+	return params.Derive(sr.TraceTopic.String(), string(tok.Owner))
+}
+
+// Sign authenticates env: with the session key (tag + token omitted —
+// the wire saving of §6.3) while the session window is open, otherwise
+// with the RSA delegate signature and attached token, rekeying for the
+// next message. The returned mechanism reports which path was used.
+func (sp *SessionPublisher) Sign(env *message.Envelope) (sessionSigned bool, err error) {
+	sp.mu.RLock()
+	key, delegate, tokenBytes := sp.key, sp.delegate, sp.tokenBytes
+	sp.mu.RUnlock()
+	if key != nil && key.ValidAt(sp.now(), 0) {
+		return true, env.SignSession(key)
+	}
+	// Session window closed (or never opened): hard fallback to full RSA
+	// while a fresh session is minted for subsequent messages.
+	if key != nil {
+		sp.mu.Lock()
+		if sp.key == key {
+			_, _ = sp.rekeyLocked()
+		}
+		sp.mu.Unlock()
+	}
+	env.Token = tokenBytes
+	return false, env.Sign(delegate)
+}

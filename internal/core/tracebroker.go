@@ -37,6 +37,9 @@ var (
 	mGaugeRounds      = obs.Default.Counter("gauge_interest_rounds_total")
 	mKeyDeliveries    = obs.Default.Counter("key_deliveries_total")
 	mPingRTT          = obs.Default.Histogram("ping_rtt_ms", nil)
+	// §6.3 session-key negotiation traffic.
+	mSessionKeyRequests   = obs.Default.Counter("session_key_requests_total")
+	mSessionKeyDeliveries = obs.Default.Counter("session_key_deliveries_total")
 )
 
 // BrokerConfig configures a TraceBroker.
@@ -87,6 +90,21 @@ type BrokerConfig struct {
 	// TokenCache, when set, has its hit/miss statistics included in the
 	// health snapshots (it is otherwise owned by the broker's guard).
 	TokenCache *TokenCache
+	// SessionKeys enables the §6.3 signing-cost optimization: hosted
+	// sessions mint per-(token, topic) symmetric session keys, sign
+	// steady-state traces with HMAC session tags instead of RSA, and
+	// distribute the keys sealed to credentialed verifiers (trackers via
+	// their key-delivery topics, other brokers on request).
+	SessionKeys bool
+	// Sessions is the session-key store shared with the hosting broker's
+	// guard (NewSessionTokenGuard); required when SessionKeys is set so
+	// the broker can verify its own publishers' tags. When nil and
+	// SessionKeys is set, a default store is created (retrieve it with
+	// Sessions()).
+	Sessions *SessionStore
+	// SessionMaxLife caps each negotiated session validity window. Zero
+	// selects DefaultSessionMaxLife.
+	SessionMaxLife time.Duration
 	// Logf receives diagnostics; nil silences them. Superseded by Log
 	// but still honoured for older callers.
 	Logf func(format string, args ...any)
@@ -113,6 +131,14 @@ type TraceBroker struct {
 	closed   bool
 	done     chan struct{}
 	wg       sync.WaitGroup
+
+	// Session-key renegotiation state (§6.3): when this broker's guard
+	// sees a tag for a session it has not installed, it asks the
+	// publisher's hosting broker for the sealed parameters — at most
+	// once per session ID per sessionRequestMinInterval.
+	sessReqMu   sync.Mutex
+	sessReqLast map[[secure.SessionIDLen]byte]time.Time
+	cancelSk    func()
 }
 
 // session is the broker-side state for one traced entity (§3.2-§3.3).
@@ -146,6 +172,12 @@ type session struct {
 	interest map[topic.TraceClass]map[ident.EntityID]time.Time
 	// keyDelivered tracks which trackers already hold the trace key.
 	keyDelivered map[ident.EntityID]bool
+
+	// sp, when session keys are enabled, signs steady-state traces with
+	// HMAC session tags (§6.3); sessionKeySent maps each tracker to the
+	// session ID it last received, so rekeys re-deliver.
+	sp             *SessionPublisher
+	sessionKeySent map[ident.EntityID][secure.SessionIDLen]byte
 
 	entityToBroker topic.Topic
 	brokerToEntity topic.Topic
@@ -212,8 +244,19 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 	if tb.avail == nil && cfg.AvailInterval > 0 {
 		tb.avail = avail.New(avail.Config{Clock: cfg.Clock, Registry: obs.Default, Log: log})
 	}
+	if cfg.SessionKeys {
+		if tb.cfg.Sessions == nil {
+			tb.cfg.Sessions = NewSessionStore(0)
+		}
+		tb.sessReqLast = make(map[[secure.SessionIDLen]byte]time.Time)
+	}
 	return tb, nil
 }
+
+// Sessions returns the broker's session-key store (nil when session
+// keys are disabled); pass it to NewSessionTokenGuard for the owning
+// broker node.
+func (tb *TraceBroker) Sessions() *SessionStore { return tb.cfg.Sessions }
 
 // Avail returns the broker-side availability ledger (nil when
 // availability tracking is disabled); admin endpoints serve it.
@@ -229,6 +272,12 @@ func (tb *TraceBroker) Resolver() AdResolver { return tb.cfg.Resolver }
 func (tb *TraceBroker) Start() {
 	tb.cancelRg = tb.cfg.Broker.SubscribeLocal(topic.Registration(), tb.handleRegistration)
 	tb.cfg.Broker.OnClientDisconnect(tb.handleDisconnect)
+	if tb.cfg.SessionKeys {
+		// Sealed session-key responses for this broker's own renegotiation
+		// requests (§6.3) arrive on its delivery topic.
+		tb.cancelSk = tb.cfg.Broker.SubscribeLocal(
+			topic.SessionKeyDelivery(tb.cfg.Broker.Name()), tb.handleSessionKeyResponse)
+	}
 	if tb.cfg.HealthInterval > 0 {
 		tb.wg.Add(1)
 		go func() {
@@ -387,6 +436,9 @@ func (tb *TraceBroker) Close() {
 	if tb.cancelRg != nil {
 		tb.cancelRg()
 	}
+	if tb.cancelSk != nil {
+		tb.cancelSk()
+	}
 	for _, s := range sessions {
 		s.end("", false)
 	}
@@ -482,6 +534,9 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 		keyDelivered: make(map[ident.EntityID]bool),
 		done:         make(chan struct{}),
 	}
+	if tb.cfg.SessionKeys {
+		s.sessionKeySent = make(map[ident.EntityID][secure.SessionIDLen]byte)
+	}
 	s.entityToBroker = topic.EntityToBrokerSession(s.traceTopic, s.sessionID)
 	var terr error
 	s.brokerToEntity, terr = topic.BrokerToEntitySession(s.entity, s.traceTopic, s.sessionID)
@@ -517,6 +572,12 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 		tb.cfg.Broker.SubscribeLocal(s.entityToBroker, s.handleEntityMessage),
 		tb.cfg.Broker.SubscribeLocal(topic.GaugeInterestResponse(s.traceTopic), s.handleInterestResponse),
 	)
+	if tb.cfg.SessionKeys {
+		// Verifiers that see an unknown session tag ask for the sealed
+		// parameters here (§6.3 renegotiation).
+		s.cancelSubs = append(s.cancelSubs,
+			tb.cfg.Broker.SubscribeLocal(topic.SessionKeyRequests(s.traceTopic), s.handleSessionKeyRequest))
+	}
 
 	// Respond with the sealed session identifier and broker credential.
 	resp := &message.RegistrationResponse{
@@ -668,6 +729,7 @@ func (s *session) onDelegation(payload []byte) {
 	first := !s.active
 	s.active = true
 	s.mu.Unlock()
+	s.installSessionPublisher(del.TokenBytes, delegate)
 	if first {
 		// "The first time a traced entity registers with a broker, the
 		// broker issues a JOIN trace" (§3.3).
@@ -922,11 +984,109 @@ func (s *session) handleInterestResponse(env *message.Envelope) {
 		traceKey = s.traceKey
 		s.keyDelivered[ir.Tracker] = true
 	}
+	sp := s.sp
+	sentID := s.sessionKeySent[ir.Tracker]
 	s.mu.Unlock()
 
 	if needKey {
 		s.deliverTraceKey(ir, trackerPub, traceKey)
 	}
+	// Session-key distribution piggybacks on the §5.1 interest exchange:
+	// every credentialed interested tracker receives the current sealed
+	// session parameters on its key-delivery topic, re-delivered whenever
+	// a rekey changed the session ID since the last delivery.
+	if sp != nil && ir.KeyDeliveryTopic != "" {
+		if k := sp.Key(); k != nil && k.ID() != sentID {
+			if s.deliverSessionParams(ir.Tracker, ir.KeyDeliveryTopic, trackerPub) {
+				s.mu.Lock()
+				s.sessionKeySent[ir.Tracker] = k.ID()
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// installSessionPublisher mints (or, on token rotation, re-keys) the
+// §6.3 session publisher for this session's delegation. Every rekey
+// installs the derived key into the hosting broker's own session store,
+// so the guard in front of this broker verifies its own publishers'
+// tags without RSA.
+func (s *session) installSessionPublisher(tokenBytes []byte, delegate *secure.Signer) {
+	if !s.tb.cfg.SessionKeys {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sp == nil {
+		sp := NewSessionPublisher(s.traceTopic, string(s.entity), tokenBytes, delegate,
+			s.tb.cfg.Clock.Now, s.tb.cfg.SessionMaxLife)
+		sp.OnRekey(func(k *secure.SessionKey) {
+			s.tb.cfg.Sessions.Install(s.traceTopic, k)
+		})
+		if _, err := sp.Rekey(); err != nil {
+			s.tb.log.Warn("session rekey failed", "session", s.sessionID, "err", err)
+			return
+		}
+		s.sp = sp
+		return
+	}
+	if _, err := s.sp.SetToken(tokenBytes, delegate); err != nil {
+		s.tb.log.Warn("session rekey failed", "session", s.sessionID, "err", err)
+	}
+}
+
+// handleSessionKeyRequest answers a verifier's §6.3 renegotiation
+// request: the requester proves a CA-issued credential and names a
+// delivery topic; the current session parameters are sealed to the
+// credential key and published there. Bad requests are ignored — the
+// requester simply stays on (or falls back to) the RSA path.
+func (s *session) handleSessionKeyRequest(env *message.Envelope) {
+	if env.Type != message.TypeSessionKeyRequest {
+		return
+	}
+	sr, err := message.UnmarshalSessionKeyRequest(env.Payload)
+	if err != nil || sr.TraceTopic != s.traceTopic || sr.DeliveryTopic == "" {
+		return
+	}
+	cred := &credential.Credential{Entity: sr.Requester, Cert: sr.CertDER}
+	pub, err := s.tb.cfg.Verifier.Verify(cred)
+	if err != nil {
+		s.tb.log.Warn("session key request rejected", "session", s.sessionID,
+			"requester", sr.Requester, "err", err)
+		return
+	}
+	s.deliverSessionParams(sr.Requester, sr.DeliveryTopic, pub)
+}
+
+// deliverSessionParams seals the current §6.3 session parameters to a
+// verifier's credential key and publishes the SESSION_KEY_RESPONSE on
+// its delivery topic. The response envelope itself carries the token
+// and the RSA delegate signature — it is the one full §4.3 verification
+// the session path amortizes. It reports whether a response was
+// published.
+func (s *session) deliverSessionParams(recipient ident.EntityID, deliveryTopic string, pub *rsa.PublicKey) bool {
+	s.mu.Lock()
+	sp := s.sp
+	s.mu.Unlock()
+	if sp == nil {
+		return false
+	}
+	sealed, err := sp.SealedParamsFor(pub)
+	if err != nil {
+		s.tb.log.Warn("session params seal failed", "session", s.sessionID,
+			"recipient", recipient, "err", err)
+		return false
+	}
+	tp, err := topic.Parse(deliveryTopic)
+	if err != nil {
+		return false
+	}
+	resp := &message.SessionKeyResponse{TraceTopic: s.traceTopic, Recipient: recipient, Sealed: sealed}
+	env := message.New(message.TypeSessionKeyResponse, tp, "", resp.Marshal())
+	s.signAndPublish(env, nil)
+	mSessionKeyDeliveries.Inc()
+	s.tb.log.Info("session key delivered", "session", s.sessionID, "recipient", recipient)
+	return true
 }
 
 // deliverTraceKey seals the secret trace key to a tracker (§5.1): the
@@ -1071,7 +1231,13 @@ func (s *session) publishTraceAlwaysFrom(origin *message.Span, tt message.Type, 
 		env.Flags |= message.FlagEncrypted
 	}
 	mTracesPublished.Inc()
-	s.signAndPublish(env, origin)
+	// High-rate steady-state classes ride the §6.3 session path; one-shot
+	// change notifications and state transitions keep the RSA signature so
+	// they verify everywhere immediately, even at verifiers that have not
+	// negotiated the session yet.
+	allowSession := class == topic.ClassAllUpdates || class == topic.ClassLoad ||
+		class == topic.ClassNetworkMetrics
+	s.publishSigned(env, origin, allowSession)
 }
 
 // signAndPublish attaches the authorization token, signs with the
@@ -1080,16 +1246,32 @@ func (s *session) publishTraceAlwaysFrom(origin *message.Span, tt message.Type, 
 // derives from: its trace ID and hops carry over, so the derived trace
 // continues the entity's flow instead of starting a fresh one.
 func (s *session) signAndPublish(env *message.Envelope, origin *message.Span) {
+	s.publishSigned(env, origin, false)
+}
+
+// publishSigned authenticates and publishes one broker-originated
+// envelope. allowSession selects the §6.3 session tag when a live
+// session key exists; the publisher transparently falls back to the
+// token + RSA delegate signature when the session window has closed
+// (rekeying for the next message) or session keys are off.
+func (s *session) publishSigned(env *message.Envelope, origin *message.Span, allowSession bool) {
 	s.mu.Lock()
 	tokenBytes := s.tokenBytes
 	delegate := s.delegate
+	sp := s.sp
 	s.mu.Unlock()
 	if delegate == nil {
 		return
 	}
-	env.Token = tokenBytes
-	if err := env.Sign(delegate); err != nil {
-		return
+	if allowSession && sp != nil {
+		if _, err := sp.Sign(env); err != nil {
+			return
+		}
+	} else {
+		env.Token = tokenBytes
+		if err := env.Sign(delegate); err != nil {
+			return
+		}
 	}
 	// Originate the per-hop span AFTER signing: the annotation sits
 	// outside the signed byte range and starts with this broker's stamp
@@ -1103,6 +1285,84 @@ func (s *session) signAndPublish(env *message.Envelope, origin *message.Span) {
 	if err := s.tb.cfg.Broker.Publish(env); err != nil {
 		s.tb.log.Error("publish failed", "session", s.sessionID, "type", env.Type, "err", err)
 	}
+}
+
+// --- session-key renegotiation (§6.3), broker as verifier ----------------
+
+// SessionRequester returns the OnUnknownSession callback to wire into
+// this broker's NewSessionTokenGuard: it publishes a rate-limited
+// SESSION_KEY_REQUEST naming this broker's delivery topic, so the
+// hosting broker of the unknown session's publisher re-seals the
+// current parameters to this broker's credential. The publish happens
+// on a fresh goroutine — the guard runs on the routing path and must
+// not publish re-entrantly.
+func (tb *TraceBroker) SessionRequester() func(ident.UUID, [secure.SessionIDLen]byte) {
+	return func(tt ident.UUID, sid [secure.SessionIDLen]byte) {
+		now := tb.cfg.Clock.Now()
+		tb.sessReqMu.Lock()
+		if tb.sessReqLast == nil {
+			tb.sessReqMu.Unlock()
+			return
+		}
+		if last, ok := tb.sessReqLast[sid]; ok && now.Sub(last) < sessionRequestMinInterval {
+			tb.sessReqMu.Unlock()
+			return
+		}
+		tb.sessReqLast[sid] = now
+		if len(tb.sessReqLast) > DefaultSessionStoreSize {
+			for id, at := range tb.sessReqLast {
+				if now.Sub(at) >= sessionRequestMinInterval {
+					delete(tb.sessReqLast, id)
+				}
+			}
+		}
+		tb.sessReqMu.Unlock()
+		mSessionKeyRequests.Inc()
+		go tb.publishSessionKeyRequest(tt, sid)
+	}
+}
+
+// publishSessionKeyRequest asks the hosting broker of tt's publisher
+// for the sealed session parameters, naming this broker's credential
+// and delivery topic.
+func (tb *TraceBroker) publishSessionKeyRequest(tt ident.UUID, sid [secure.SessionIDLen]byte) {
+	req := &message.SessionKeyRequest{
+		TraceTopic:    tt,
+		SessionID:     sid,
+		// The requester identifies by its credential entity (the name the
+		// CA signed), not the broker's wire name — the responder verifies
+		// the cert against exactly this identity.
+		Requester:     tb.cfg.Identity.Credential.Entity,
+		CertDER:       tb.cfg.Identity.Credential.Cert,
+		DeliveryTopic: topic.SessionKeyDelivery(tb.cfg.Broker.Name()).String(),
+	}
+	env := message.New(message.TypeSessionKeyRequest, topic.SessionKeyRequests(tt), "", req.Marshal())
+	if err := tb.cfg.Broker.Publish(env); err != nil {
+		tb.log.Warn("session key request publish failed", "topic", tt, "err", err)
+	}
+}
+
+// handleSessionKeyResponse installs a sealed session key negotiated for
+// this broker: the response envelope is fully verified on the RSA path
+// first (the single §4.3 check the session path amortizes), opened with
+// the broker's credential key, bound against the verified token, and
+// the derived key installed into the guard's store.
+func (tb *TraceBroker) handleSessionKeyResponse(env *message.Envelope) {
+	if env.Type != message.TypeSessionKeyResponse || tb.cfg.Sessions == nil {
+		return
+	}
+	sr, err := message.UnmarshalSessionKeyResponse(env.Payload)
+	if err != nil || sr.Recipient != tb.cfg.Identity.Credential.Entity {
+		return
+	}
+	key, err := OpenSessionKeyResponse(env, sr, tb.cfg.Identity.Private,
+		tb.cfg.Resolver, tb.cfg.Verifier, tb.cfg.Clock.Now(), tb.cfg.Skew)
+	if err != nil {
+		tb.log.Warn("session key response rejected", "topic", sr.TraceTopic, "err", err)
+		return
+	}
+	tb.cfg.Sessions.Install(sr.TraceTopic, key)
+	tb.log.Info("session key installed", "topic", sr.TraceTopic)
 }
 
 // end terminates a session, optionally publishing a DISCONNECT trace.

@@ -105,6 +105,11 @@ type Tracker struct {
 	cfg     TrackerConfig
 	log     *obs.Logger
 	caching *CachingResolver
+	// sessions holds §6.3 session keys delivered by hosting brokers, so
+	// session-tagged traces verify with one HMAC instead of RSA. Always
+	// present: a tracker that never receives keys simply rejects
+	// session-tagged envelopes as unknown (and asks for the key).
+	sessions *SessionStore
 
 	mu      sync.Mutex
 	cl      *broker.Client // current broker connection (swapped on reconnect)
@@ -136,6 +141,8 @@ type Watch struct {
 	traceKey *secure.SymmetricKey
 	stopped  bool
 	subs     []watchSub
+	// sessReqLast rate-limits session-key renegotiation requests.
+	sessReqLast time.Time
 	// counters for observability and benchmarks
 	delivered uint64
 	rejected  uint64
@@ -159,7 +166,8 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 	if log == nil {
 		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
 	}
-	tk := &Tracker{cfg: cfg, cl: cfg.Client, log: log, watches: make(map[ident.UUID]*Watch), done: make(chan struct{})}
+	tk := &Tracker{cfg: cfg, cl: cfg.Client, log: log, watches: make(map[ident.UUID]*Watch),
+		sessions: NewSessionStore(0), done: make(chan struct{})}
 	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
 		tk.caching = cr
 	} else if cfg.Resolver == nil {
@@ -225,6 +233,10 @@ func (tk *Tracker) reconnectLoop() {
 
 
 func (tk *Tracker) entity() ident.EntityID { return tk.cfg.Identity.Credential.Entity }
+
+// Sessions returns the tracker's §6.3 session-key store (tests and
+// chaos harnesses inspect and poison it).
+func (tk *Tracker) Sessions() *SessionStore { return tk.sessions }
 
 // Entity returns the tracker's identifier.
 func (tk *Tracker) Entity() ident.EntityID { return tk.entity() }
@@ -442,11 +454,52 @@ func (w *Watch) handleGaugeInterest(env *message.Envelope) {
 		return
 	}
 	now := w.tk.cfg.Clock.Now()
-	if err := VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew); err != nil {
+	if err := w.verifyEnv(env, now); err != nil {
 		w.reject("gauge probe: %v", err)
 		return
 	}
 	w.sendInterest()
+}
+
+// verifyEnv authenticates one broker-published envelope: session-tagged
+// envelopes check against the tracker's session store (§6.3) — one HMAC
+// instead of a token parse and an RSA verify — with an unknown session
+// triggering a rate-limited renegotiation request; everything else
+// takes the full RSA path.
+func (w *Watch) verifyEnv(env *message.Envelope, now time.Time) error {
+	if env.Flags&message.FlagSessionTag != 0 {
+		err := VerifyTraceSession(env, w.traceTopic, w.tk.sessions, now, w.tk.cfg.Skew)
+		if errors.Is(err, ErrUnknownSession) {
+			w.requestSessionKey(now)
+		}
+		return err
+	}
+	return VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew)
+}
+
+// requestSessionKey publishes a rate-limited SESSION_KEY_REQUEST for
+// this watch's topic, asking the hosting broker to seal the current
+// session parameters to the tracker's credential; the response arrives
+// on the watch's key-delivery topic.
+func (w *Watch) requestSessionKey(now time.Time) {
+	w.mu.Lock()
+	if w.stopped || (!w.sessReqLast.IsZero() && now.Sub(w.sessReqLast) < sessionRequestMinInterval) {
+		w.mu.Unlock()
+		return
+	}
+	w.sessReqLast = now
+	w.mu.Unlock()
+	mSessionKeyRequests.Inc()
+	req := &message.SessionKeyRequest{
+		TraceTopic:    w.traceTopic,
+		Requester:     w.tk.entity(),
+		CertDER:       w.tk.cfg.Identity.Credential.Cert,
+		DeliveryTopic: w.keyTopic.String(),
+	}
+	env := message.New(message.TypeSessionKeyRequest, topic.SessionKeyRequests(w.traceTopic), w.tk.entity(), req.Marshal())
+	if err := w.tk.client().Publish(env); err != nil {
+		w.tk.log.Warn("session key request publish failed", "entity", w.entity, "err", err)
+	}
 }
 
 // sendInterest publishes the tracker's interest set with its credential
@@ -467,13 +520,17 @@ func (w *Watch) sendInterest() {
 
 // handleKeyDelivery opens a sealed trace key (§5.1).
 func (w *Watch) handleKeyDelivery(env *message.Envelope) {
+	if env.Type == message.TypeSessionKeyResponse {
+		w.handleSessionKey(env)
+		return
+	}
 	if env.Type != message.TypeKeyDelivery {
 		return
 	}
 	now := w.tk.cfg.Clock.Now()
 	// Key deliveries are broker trace messages: token + delegate
 	// signature.
-	if err := VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew); err != nil {
+	if err := w.verifyEnv(env, now); err != nil {
 		w.reject("key delivery: %v", err)
 		return
 	}
@@ -504,10 +561,30 @@ func (w *Watch) handleKeyDelivery(env *message.Envelope) {
 		"algorithm", tkd.Algorithm, "padding", tkd.Padding)
 }
 
+// handleSessionKey installs a sealed §6.3 session key: the response
+// envelope is fully RSA-verified (the one expensive check the session
+// path amortizes), opened with the tracker's credential key, bound
+// against the response's token and installed in the tracker-wide store.
+func (w *Watch) handleSessionKey(env *message.Envelope) {
+	now := w.tk.cfg.Clock.Now()
+	sr, err := message.UnmarshalSessionKeyResponse(env.Payload)
+	if err != nil || sr.TraceTopic != w.traceTopic || sr.Recipient != w.tk.entity() {
+		return
+	}
+	key, err := OpenSessionKeyResponse(env, sr, w.tk.cfg.Identity.Private,
+		w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew)
+	if err != nil {
+		w.reject("session key response: %v", err)
+		return
+	}
+	w.tk.sessions.Install(w.traceTopic, key)
+	w.tk.log.Info("session key received", "entity", w.entity)
+}
+
 // handleTrace verifies, decrypts and dispatches one trace message.
 func (w *Watch) handleTrace(class topic.TraceClass, env *message.Envelope) {
 	now := w.tk.cfg.Clock.Now()
-	if err := VerifyTrace(env, w.traceTopic, w.tk.cfg.Resolver, w.tk.cfg.Verifier, now, w.tk.cfg.Skew); err != nil {
+	if err := w.verifyEnv(env, now); err != nil {
 		w.reject("trace on %s: %v", class, err)
 		return
 	}

@@ -7,6 +7,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"entitytrace/internal/avail"
@@ -42,6 +43,17 @@ type Options struct {
 	Security bool
 	// Symmetric enables the §6.3 signing-cost optimization.
 	Symmetric bool
+	// SessionKeys enables the §6.3 session-tag signing amortization on
+	// every broker: steady-state traces carry HMAC session tags verified
+	// against negotiated session keys instead of per-message RSA.
+	SessionKeys bool
+	// BatchBytes enables egress drain coalescing on every broker: each
+	// writer pass packs queued frames under this byte budget into one
+	// batch send (zero disables).
+	BatchBytes int
+	// BatchLatency bounds how long an underfull batch drain may linger
+	// for more frames (zero flushes immediately).
+	BatchLatency time.Duration
 	// Detector overrides failure detection tuning (zero selects a
 	// 100 ms ping interval suitable for experiments).
 	Detector failure.Config
@@ -246,7 +258,26 @@ func New(opts Options) (*Testbed, error) {
 			}
 			flight = obs.NewFlightRecorder(fmt.Sprintf("hb%d", i), size, sample)
 		}
-		guard := core.NewObservedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache, flight)
+		var guard broker.Guard
+		var sessions *core.SessionStore
+		// requester is bound after the trace manager exists; the guard's
+		// unknown-session hook reads it atomically (the guard may already
+		// run on peer goroutines by then).
+		var requester atomic.Pointer[func(ident.UUID, [secure.SessionIDLen]byte)]
+		if opts.SessionKeys {
+			sessions = core.NewSessionStore(0)
+			guard = core.NewSessionTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew,
+				tokenCache, flight, core.SessionGuardConfig{
+					Store: sessions,
+					OnUnknownSession: func(tt ident.UUID, sid [secure.SessionIDLen]byte) {
+						if fn := requester.Load(); fn != nil {
+							(*fn)(tt, sid)
+						}
+					},
+				})
+		} else {
+			guard = core.NewObservedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache, flight)
+		}
 		b := broker.New(broker.Config{
 			Name:                 fmt.Sprintf("hb%d", i),
 			Guard:                guard,
@@ -257,6 +288,8 @@ func New(opts Options) (*Testbed, error) {
 			PublishRate:          opts.PublishRate,
 			PublishBurst:         opts.PublishBurst,
 			QuarantineDuration:   opts.QuarantineDuration,
+			BatchBytes:           opts.BatchBytes,
+			BatchLatency:         opts.BatchLatency,
 		})
 		l, err := tb.listen()
 		if err != nil {
@@ -282,10 +315,16 @@ func New(opts Options) (*Testbed, error) {
 			AvailInterval:  opts.AvailInterval,
 			Avail:          tb.newLedger(opts.AvailInterval > 0),
 			TokenCache:     tokenCache,
+			SessionKeys:    opts.SessionKeys,
+			Sessions:       sessions,
 		})
 		if err != nil {
 			tb.Close()
 			return nil, err
+		}
+		if opts.SessionKeys {
+			fn := mgr.SessionRequester()
+			requester.Store(&fn)
 		}
 		mgr.Start()
 		tb.Brokers = append(tb.Brokers, b)

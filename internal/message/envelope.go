@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"entitytrace/internal/ident"
@@ -83,13 +84,27 @@ const (
 	// wire values stable).
 	TraceAvailabilityDigest
 
+	// Session-key negotiation (§6.3 signing-cost optimization): protocol
+	// messages appended after the trace block so existing wire values are
+	// unchanged. TypeSessionKeyRequest asks the publisher's hosting
+	// broker for the sealed session parameters of a session ID;
+	// TypeSessionKeyResponse delivers them sealed to the requester's RSA
+	// credential.
+	TypeSessionKeyRequest
+	TypeSessionKeyResponse
+
 	lastType
 )
 
+// firstSessionType marks the end of the Table 1 trace block: the
+// session-key control types appended after it are protocol messages,
+// not traces.
+const firstSessionType = TypeSessionKeyRequest
+
 // IsTrace reports whether the type is one of Table 1's trace types.
-// (TraceInitializing aliases firstTraceType, so every value from there to
-// lastType is a trace.)
-func (t Type) IsTrace() bool { return t >= firstTraceType && t < lastType }
+// (TraceInitializing aliases firstTraceType; the session-key control
+// types appended after the trace block are excluded.)
+func (t Type) IsTrace() bool { return t >= firstTraceType && t < firstSessionType }
 
 // Valid reports whether t is a known message type.
 func (t Type) Valid() bool { return t < lastType }
@@ -153,6 +168,10 @@ func (t Type) String() string {
 		return "BROKER_HEALTH"
 	case TraceAvailabilityDigest:
 		return "AVAILABILITY_DIGEST"
+	case TypeSessionKeyRequest:
+		return "SESSION_KEY_REQUEST"
+	case TypeSessionKeyResponse:
+		return "SESSION_KEY_RESPONSE"
 	default:
 		return fmt.Sprintf("Type(%d)", uint16(t))
 	}
@@ -167,6 +186,13 @@ const (
 	// secured (§5.1: "it also sets a flag indicating that the traces will
 	// be secured").
 	FlagSecured
+	// FlagSessionTag marks an envelope authenticated by an HMAC-SHA256
+	// session tag (§6.3 signing-cost optimization) instead of a
+	// per-message RSA delegate signature: Signature holds the 16-byte
+	// session ID followed by the 32-byte tag. The flag is part of
+	// SigningBytes, so stripping or adding it invalidates both the tag
+	// and any RSA signature — a downgrade attack cannot go unnoticed.
+	FlagSessionTag
 )
 
 // envelopeVersion is the wire format version byte.
@@ -337,6 +363,88 @@ func (e *Envelope) Sign(s *secure.Signer) error {
 	return nil
 }
 
+// Session-path authentication metrics, the amortized counterpart of the
+// RSA sign/verify histograms above. Unlike the RSA ops (tens of µs, two
+// clock reads are noise), a session tag is sub-µs work where the clock
+// reads alone cost ~12% — so these histograms sample 1-in-N, the same
+// trade the flight recorder makes on the routing path.
+var (
+	mSessionSignLatency   = obs.Default.Histogram("envelope_session_sign_ms", nil)
+	mSessionVerifyLatency = obs.Default.Histogram("envelope_session_verify_ms", nil)
+	sessionLatTick        atomic.Uint64
+)
+
+// sessionLatSample is the 1-in-N sampling rate for the session-tag
+// latency histograms.
+const sessionLatSample = 64
+
+// ErrNoSessionTag reports an envelope that does not carry a session tag
+// (FlagSessionTag clear or Signature malformed).
+var ErrNoSessionTag = errors.New("message: envelope has no session tag")
+
+// SignSession authenticates the envelope with a session tag instead of
+// an RSA signature: sets FlagSessionTag and writes sessionID||tag into
+// Signature, where the tag is HMAC-SHA256 over SigningBytes (which
+// includes the flag, binding the choice of mechanism).
+func (e *Envelope) SignSession(k *secure.SessionKey) error {
+	timed := sessionLatTick.Add(1)%sessionLatSample == 0
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	e.Flags |= FlagSessionTag
+	id := k.ID()
+	err := e.withSigningBytes(func(b []byte) error {
+		sig := make([]byte, 0, secure.SessionIDLen+secure.SessionTagLen)
+		sig = append(sig, id[:]...)
+		e.Signature = k.AppendTag(sig, b)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if timed {
+		mSessionSignLatency.ObserveDuration(time.Since(start))
+	}
+	return nil
+}
+
+// SessionID extracts the session identifier from a session-tagged
+// envelope's signature field. Returns ErrNoSessionTag if the envelope is
+// not session-tagged or the field is too short to hold an ID and tag.
+func (e *Envelope) SessionID() ([secure.SessionIDLen]byte, error) {
+	var id [secure.SessionIDLen]byte
+	if e.Flags&FlagSessionTag == 0 {
+		return id, ErrNoSessionTag
+	}
+	if len(e.Signature) != secure.SessionIDLen+secure.SessionTagLen {
+		return id, fmt.Errorf("%w: signature length %d", ErrNoSessionTag, len(e.Signature))
+	}
+	copy(id[:], e.Signature[:secure.SessionIDLen])
+	return id, nil
+}
+
+// VerifySessionTag checks the session tag against k. The caller is
+// responsible for looking k up by SessionID and enforcing its validity
+// window and token binding.
+func (e *Envelope) VerifySessionTag(k *secure.SessionKey) error {
+	if e.Flags&FlagSessionTag == 0 || len(e.Signature) != secure.SessionIDLen+secure.SessionTagLen {
+		return ErrNoSessionTag
+	}
+	timed := sessionLatTick.Add(1)%sessionLatSample == 0
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
+	err := e.withSigningBytes(func(b []byte) error {
+		return k.VerifyTag(b, e.Signature[secure.SessionIDLen:])
+	})
+	if err == nil && timed {
+		mSessionVerifyLatency.ObserveDuration(time.Since(start))
+	}
+	return err
+}
+
 // VerifySignature checks the attached signature against pub.
 func (e *Envelope) VerifySignature(pub *rsa.PublicKey, h secure.Hash) error {
 	if len(e.Signature) == 0 {
@@ -373,9 +481,22 @@ func (e *Envelope) AppendWire(dst []byte, ttl uint8) []byte {
 	return w.buf
 }
 
-// Unmarshal parses a wire-format envelope.
+// Unmarshal parses a wire-format envelope. The returned envelope owns
+// copies of all variable-length fields.
 func Unmarshal(b []byte) (*Envelope, error) {
-	r := newReader(b)
+	return unmarshalReader(newReader(b))
+}
+
+// UnmarshalShared parses a wire-format envelope whose Payload, Token and
+// Signature alias b. Receive loops use it on freshly allocated frame
+// buffers they own — the per-field copies are the dominant allocation on
+// the routing hot path. The caller must not modify b afterwards; use
+// Unmarshal (or Clone the result) when buffer lifetime is unclear.
+func UnmarshalShared(b []byte) (*Envelope, error) {
+	return unmarshalReader(newSharedReader(b))
+}
+
+func unmarshalReader(r *reader) (*Envelope, error) {
 	if v := r.u8(); r.err == nil && v != envelopeVersion {
 		return nil, fmt.Errorf("message: unsupported envelope version %d", v)
 	}

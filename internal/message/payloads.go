@@ -777,3 +777,93 @@ func UnmarshalAvailabilityDigest(b []byte) (*AvailabilityDigest, error) {
 	}
 	return ad, nil
 }
+
+// SessionKeyRequest is the payload of a TypeSessionKeyRequest message
+// (§6.3 signing-cost optimization): a verifier — an intermediate broker
+// or a tracker — that saw a session tag it cannot check asks the
+// publisher's hosting broker for the sealed session parameters. The
+// requester proves who it is with its X.509 credential; the responder
+// seals the parameters to the credential's public key and publishes
+// them on DeliveryTopic.
+type SessionKeyRequest struct {
+	// TraceTopic is the trace topic UUID the session publishes on.
+	TraceTopic ident.UUID
+	// SessionID names the session whose parameters are requested (zero
+	// for "the current session of this topic").
+	SessionID [16]byte
+	// Requester names the asking principal (a broker name or tracker
+	// entity ID).
+	Requester ident.EntityID
+	// CertDER is the requester's credential; the responder verifies it
+	// against the shared CA before sealing anything to it.
+	CertDER []byte
+	// DeliveryTopic is where the requester listens for the sealed
+	// SessionKeyResponse.
+	DeliveryTopic string
+}
+
+// Marshal serializes the session-key request.
+func (sr *SessionKeyRequest) Marshal() []byte {
+	var w writer
+	w.uuid(sr.TraceTopic)
+	w.buf = append(w.buf, sr.SessionID[:]...)
+	w.str(string(sr.Requester))
+	w.bytes(sr.CertDER)
+	w.str(sr.DeliveryTopic)
+	return w.buf
+}
+
+// UnmarshalSessionKeyRequest parses a session-key request payload.
+func UnmarshalSessionKeyRequest(b []byte) (*SessionKeyRequest, error) {
+	r := newReader(b)
+	sr := &SessionKeyRequest{}
+	sr.TraceTopic = r.uuid()
+	sid := r.uuid()
+	copy(sr.SessionID[:], sid[:])
+	sr.Requester = ident.EntityID(r.str())
+	sr.CertDER = r.bytes()
+	sr.DeliveryTopic = r.str()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// SessionKeyResponse is the payload of a TypeSessionKeyResponse message:
+// the session parameters sealed to one requester's RSA credential. The
+// envelope carrying it is signed with the publisher's RSA delegate key
+// and carries the authorization token, so the requester performs the
+// one full token + RSA verification of §6.3 on the response itself
+// before trusting the session key inside.
+type SessionKeyResponse struct {
+	// TraceTopic is the trace topic UUID the session publishes on.
+	TraceTopic ident.UUID
+	// Recipient names the principal the blob is sealed to; other
+	// subscribers of a shared delivery topic skip it.
+	Recipient ident.EntityID
+	// Sealed is secure.SessionParams sealed to the recipient's public
+	// key (SealTo/OpenSessionParams).
+	Sealed []byte
+}
+
+// Marshal serializes the session-key response.
+func (sp *SessionKeyResponse) Marshal() []byte {
+	var w writer
+	w.uuid(sp.TraceTopic)
+	w.str(string(sp.Recipient))
+	w.bytes(sp.Sealed)
+	return w.buf
+}
+
+// UnmarshalSessionKeyResponse parses a session-key response payload.
+func UnmarshalSessionKeyResponse(b []byte) (*SessionKeyResponse, error) {
+	r := newReader(b)
+	sp := &SessionKeyResponse{}
+	sp.TraceTopic = r.uuid()
+	sp.Recipient = ident.EntityID(r.str())
+	sp.Sealed = r.bytes()
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}

@@ -47,14 +47,20 @@ func (w *writer) bytes(b []byte) {
 
 func (w *writer) str(s string) { w.bytes([]byte(s)) }
 
-// reader consumes wire bytes, latching the first error.
+// reader consumes wire bytes, latching the first error. A shared reader
+// returns sub-slices of the input from bytes() instead of copies — only
+// safe when the caller owns the buffer and never reuses it (receive
+// paths, where every transport hands over a freshly allocated frame).
 type reader struct {
-	b   []byte
-	off int
-	err error
+	b      []byte
+	off    int
+	err    error
+	shared bool
 }
 
 func newReader(b []byte) *reader { return &reader{b: b} }
+
+func newSharedReader(b []byte) *reader { return &reader{b: b, shared: true} }
 
 func (r *reader) fail(err error) {
 	if r.err == nil {
@@ -120,7 +126,10 @@ func (r *reader) uuid() ident.UUID {
 	return u
 }
 
-// bytes reads a u32 length prefix and returns a copy of the data.
+// bytes reads a u32 length prefix and returns the data: a copy by
+// default, a capacity-clipped sub-slice of the input when the reader is
+// shared (the receive hot path, where the field copies are the dominant
+// allocation cost).
 func (r *reader) bytes() []byte {
 	n := r.u32()
 	if r.err != nil {
@@ -133,6 +142,9 @@ func (r *reader) bytes() []byte {
 	b := r.take(int(n))
 	if b == nil {
 		return nil
+	}
+	if r.shared {
+		return b[:len(b):len(b)]
 	}
 	return append([]byte(nil), b...)
 }

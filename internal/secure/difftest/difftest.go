@@ -1,0 +1,319 @@
+// Package difftest is a differential crypto harness for the §6.3
+// signing-cost optimization: it replays identical logical envelope
+// streams through the full RSA verification pipeline (core.VerifyTrace,
+// §4.3) and the amortized session-tag pipeline (core.VerifyTraceSession)
+// and asserts the two produce byte-identical accept/reject verdict
+// strings. The session path is an optimization, never a relaxation — any
+// stream an adversary can craft (expired windows, rotated tokens,
+// revoked topics, tampered payloads, replays, downgrade re-framing) must
+// settle to the same verdict on both paths.
+//
+// All time flows through an internal/clock fake, so every validity
+// window — token and session alike — is evaluated at deterministic
+// instants and the verdict strings are reproducible bit for bit.
+package difftest
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sync"
+	"testing"
+	"time"
+
+	"entitytrace/internal/clock"
+	"entitytrace/internal/core"
+	"entitytrace/internal/credential"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/secure"
+	"entitytrace/internal/tdn"
+	"entitytrace/internal/token"
+	"entitytrace/internal/topic"
+)
+
+// Shared CA fixture: RSA keygen dominates setup cost, so the authority,
+// verifier, and TDN identity are built once per test binary.
+var (
+	fxOnce     sync.Once
+	fxCA       *credential.Authority
+	fxVerifier *credential.Verifier
+	fxTDNIdent *credential.Identity
+	fxErr      error
+)
+
+func fixture(t *testing.T) {
+	t.Helper()
+	fxOnce.Do(func() {
+		fxCA, fxErr = credential.NewAuthority("difftest-ca", credential.WithKeyBits(secure.PaperRSABits))
+		if fxErr != nil {
+			return
+		}
+		if fxVerifier, fxErr = credential.NewVerifier(fxCA.CACertificate()); fxErr != nil {
+			return
+		}
+		fxTDNIdent, fxErr = fxCA.Issue("difftest-tdn")
+	})
+	if fxErr != nil {
+		t.Fatal(fxErr)
+	}
+}
+
+// revocableResolver wraps the TDN resolver so scenarios can model §5.2
+// topic abandonment: a revoked topic stops resolving, which is how the
+// RSA path learns a publisher's authority has been withdrawn.
+type revocableResolver struct {
+	inner   core.AdResolver
+	mu      sync.Mutex
+	revoked map[ident.UUID]bool
+}
+
+func (r *revocableResolver) ResolveAd(id ident.UUID) (*tdn.Advertisement, error) {
+	r.mu.Lock()
+	dead := r.revoked[id]
+	r.mu.Unlock()
+	if dead {
+		return nil, core.ErrUnknownTopic
+	}
+	return r.inner.ResolveAd(id)
+}
+
+func (r *revocableResolver) revoke(id ident.UUID) {
+	r.mu.Lock()
+	r.revoked[id] = true
+	r.mu.Unlock()
+}
+
+// World is one differential universe: a fake clock, a CA-backed
+// verifier, a TDN node for advertisements, and a session store standing
+// in for a verifying broker's installed keys.
+type World struct {
+	T        *testing.T
+	Clock    *clock.Fake
+	Node     *tdn.Node
+	Resolver *revocableResolver
+	Store    *core.SessionStore
+	Skew     time.Duration
+}
+
+// NewWorld builds a universe. The fake clock starts at wall time (the
+// CA's X.509 validity is anchored there) but every subsequent instant is
+// driven explicitly by the scenario.
+func NewWorld(t *testing.T) *World {
+	t.Helper()
+	fixture(t)
+	node, err := tdn.NewNode(fxTDNIdent, fxVerifier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &World{
+		T:        t,
+		Clock:    clock.NewFake(time.Now()),
+		Node:     node,
+		Resolver: &revocableResolver{inner: core.NodeResolver(node), revoked: make(map[ident.UUID]bool)},
+		Store:    core.NewSessionStore(0),
+		Skew:     token.DefaultClockSkew,
+	}
+}
+
+// Publisher owns one trace topic and holds the live signing materials
+// for both paths: the delegate RSA key (token path) and the derived
+// session key (tag path), with windows mirroring each other as the
+// SessionPublisher keeps them in production.
+type Publisher struct {
+	w        *World
+	Name     ident.EntityID
+	Topic    ident.UUID
+	identity *credential.Identity
+
+	TokenBytes []byte
+	Delegate   *secure.Signer
+	Params     *secure.SessionParams
+	Key        *secure.SessionKey
+}
+
+// NewPublisher issues an identity, advertises a trace topic, and
+// delegates publish rights for validFor starting at the fake clock's
+// now. The matching session key is derived and installed in the world's
+// store, as if negotiation had completed.
+func (w *World) NewPublisher(name ident.EntityID, validFor time.Duration) *Publisher {
+	w.T.Helper()
+	id, err := fxCA.Issue(name)
+	if err != nil {
+		w.T.Fatal(err)
+	}
+	signer, err := id.Signer(secure.SHA1)
+	if err != nil {
+		w.T.Fatal(err)
+	}
+	req := &tdn.CreateRequest{
+		Owner:      name,
+		OwnerCert:  id.Credential.Cert,
+		Descriptor: "Availability/Traces/" + string(name),
+		AllowAny:   true,
+		RequestID:  ident.NewRequestID(),
+	}
+	if err := req.Sign(signer); err != nil {
+		w.T.Fatal(err)
+	}
+	ad, err := w.Node.CreateTopic(req)
+	if err != nil {
+		w.T.Fatal(err)
+	}
+	p := &Publisher{w: w, Name: name, Topic: ad.TopicID, identity: id}
+	p.Rotate(validFor)
+	return p
+}
+
+// Rotate re-delegates: a fresh token (and delegate key) is granted from
+// the fake clock's now, and a fresh session key with the token's exact
+// validity window is derived and installed. This is what the
+// SessionPublisher does on every token renewal.
+func (p *Publisher) Rotate(validFor time.Duration) {
+	p.w.T.Helper()
+	signer, err := p.identity.Signer(secure.SHA1)
+	if err != nil {
+		p.w.T.Fatal(err)
+	}
+	now := p.w.Clock.Now()
+	del, err := token.Grant(p.Name, p.Topic, token.RightPublish, validFor, now, signer, secure.PaperRSABits)
+	if err != nil {
+		p.w.T.Fatal(err)
+	}
+	delegate, err := secure.NewSigner(del.PrivateKey, core.TraceSigHash)
+	if err != nil {
+		p.w.T.Fatal(err)
+	}
+	p.TokenBytes = del.Token.Marshal()
+	p.Delegate = delegate
+	params, err := secure.NewSessionParams(sha256.Sum256(p.TokenBytes), del.Token.NotBefore, del.Token.NotAfter)
+	if err != nil {
+		p.w.T.Fatal(err)
+	}
+	key, err := params.Derive(p.Topic.String(), string(p.Name))
+	if err != nil {
+		p.w.T.Fatal(err)
+	}
+	p.Params = params
+	p.Key = key
+	p.w.Store.Install(p.Topic, key)
+}
+
+// Renegotiate reinstalls the current session key. In production this is
+// the SESSION_KEY_REQUEST/RESPONSE exchange a verifier falls back to
+// after a hard invalidation; here it is the one harness step that models
+// that full-RSA-verified recovery.
+func (p *Publisher) Renegotiate() { p.w.Store.Install(p.Topic, p.Key) }
+
+// Revoke withdraws the publisher's authority on both paths at once:
+// the topic stops resolving (§5.2 abandonment, killing the RSA chain)
+// and every session derived from the current token is invalidated.
+func (p *Publisher) Revoke() {
+	p.w.Resolver.revoke(p.Topic)
+	p.w.Store.InvalidateToken(sha256.Sum256(p.TokenBytes))
+}
+
+// Pair is one logical publish rendered for both pipelines: identical
+// type, topic, timestamp, and payload; only the authentication trailer
+// differs (token + RSA delegate signature vs session ID + HMAC tag).
+type Pair struct {
+	RSA     *message.Envelope
+	Session *message.Envelope
+}
+
+// Emit renders one logical trace event as a Pair, stamped with the fake
+// clock's now.
+func (p *Publisher) Emit(detail string) *Pair {
+	p.w.T.Helper()
+	te := &message.TraceEvent{Entity: p.Name, TraceTopic: p.Topic, Detail: detail}
+	mk := func() *message.Envelope {
+		env := message.New(message.TraceAllsWell, topic.AllUpdates(p.Topic), "", te.Marshal())
+		env.Timestamp = p.w.Clock.Now().UnixNano()
+		return env
+	}
+	rsaEnv := mk()
+	rsaEnv.Token = p.TokenBytes
+	if err := rsaEnv.Sign(p.Delegate); err != nil {
+		p.w.T.Fatal(err)
+	}
+	sessEnv := mk()
+	if err := sessEnv.SignSession(p.Key); err != nil {
+		p.w.T.Fatal(err)
+	}
+	return &Pair{RSA: rsaEnv, Session: sessEnv}
+}
+
+// Mutate applies the same adversarial edit to both renderings.
+func (pr *Pair) Mutate(f func(*message.Envelope)) *Pair {
+	f(pr.RSA)
+	f(pr.Session)
+	return pr
+}
+
+// VerifyRSA runs the full §4.3 pipeline at the fake clock's now.
+func (w *World) VerifyRSA(tt ident.UUID, env *message.Envelope) error {
+	return core.VerifyTrace(env, tt, w.Resolver, fxVerifier, w.Clock.Now(), w.Skew)
+}
+
+// VerifySession runs the amortized §6.3 pipeline at the fake clock's now.
+func (w *World) VerifySession(tt ident.UUID, env *message.Envelope) error {
+	return core.VerifyTraceSession(env, tt, w.Store, w.Clock.Now(), w.Skew)
+}
+
+// Route dispatches exactly as the broker guard does: FlagSessionTag
+// selects the session pipeline, everything else takes the RSA pipeline.
+// Downgrade scenarios depend on this — re-framing an envelope moves it
+// between pipelines, and both must still reject it.
+func (w *World) Route(tt ident.UUID, env *message.Envelope) error {
+	if env.Flags&message.FlagSessionTag != 0 {
+		return w.VerifySession(tt, env)
+	}
+	return w.VerifyRSA(tt, env)
+}
+
+// Verdicts accumulates one byte per step per pipeline: 'A' for accept,
+// 'R' for reject. The differential contract is that the two strings are
+// byte-identical at the end of every scenario.
+type Verdicts struct {
+	RSA     []byte
+	Session []byte
+}
+
+func mark(err error) byte {
+	if err == nil {
+		return 'A'
+	}
+	return 'R'
+}
+
+// Step verifies both renderings of a pair through their own pipelines
+// and records the verdict pair.
+func (v *Verdicts) Step(w *World, tt ident.UUID, pr *Pair) (rsaErr, sessErr error) {
+	rsaErr = w.VerifyRSA(tt, pr.RSA)
+	sessErr = w.VerifySession(tt, pr.Session)
+	v.RSA = append(v.RSA, mark(rsaErr))
+	v.Session = append(v.Session, mark(sessErr))
+	return rsaErr, sessErr
+}
+
+// StepRouted verifies both renderings through flag-based routing (the
+// guard's dispatch), for scenarios where the mutation changes which
+// pipeline an envelope lands on.
+func (v *Verdicts) StepRouted(w *World, tt ident.UUID, pr *Pair) (rsaErr, sessErr error) {
+	rsaErr = w.Route(tt, pr.RSA)
+	sessErr = w.Route(tt, pr.Session)
+	v.RSA = append(v.RSA, mark(rsaErr))
+	v.Session = append(v.Session, mark(sessErr))
+	return rsaErr, sessErr
+}
+
+// AssertIdentical fails the test unless the two verdict strings are
+// byte-identical and match want (a string of 'A'/'R').
+func (v *Verdicts) AssertIdentical(t *testing.T, want string) {
+	t.Helper()
+	if !bytes.Equal(v.RSA, v.Session) {
+		t.Fatalf("verdict divergence:\n  rsa     %s\n  session %s", v.RSA, v.Session)
+	}
+	if want != "" && string(v.RSA) != want {
+		t.Fatalf("verdicts = %s, want %s", v.RSA, want)
+	}
+}

@@ -21,6 +21,7 @@ const (
 	SuffixSystem              = "System"
 	SuffixHealth              = "Health"
 	SuffixAvailability        = "Availability"
+	SuffixSessionKeys         = "SessionKeys"
 )
 
 // SystemHealth returns the constrained derivative topic carrying broker
@@ -130,6 +131,34 @@ func GaugeInterest(traceTopic ident.UUID) Topic {
 // /Constrained/Traces/Broker/Subscribe-Only/<TraceTopic>/Interest (§3.5).
 func GaugeInterestResponse(traceTopic ident.UUID) Topic {
 	return MustParse("/Constrained/Traces/Broker/Subscribe-Only/" + traceTopic.String() + "/" + SuffixInterest)
+}
+
+// SessionKeyRequests returns the topic on which verifiers ask the
+// publisher's hosting broker for sealed §6.3 session parameters:
+// /Constrained/Traces/Broker/Subscribe-Only/<TraceTopic>/SessionKeys.
+// Subscribe-Only with the broker as constrainer mirrors the
+// gauge-interest response topic: only brokers subscribe (the hosting
+// broker, locally), while any principal — an intermediate broker or a
+// tracker — may publish a request, and the default Disseminate
+// distribution carries the request across the fabric to wherever the
+// session lives.
+func SessionKeyRequests(traceTopic ident.UUID) Topic {
+	return MustParse("/Constrained/Traces/Broker/Subscribe-Only/" + traceTopic.String() + "/" + SuffixSessionKeys)
+}
+
+// SessionKeyDelivery returns the topic on which a requesting broker
+// receives sealed session parameters:
+// /Constrained/Traces/Broker/Publish-Only/System/SessionKeys/<name>.
+// Publish-Only with the broker as constrainer means only brokers may
+// publish responses; the "System" segment is deliberately not a UUID, so
+// the topic falls outside the per-trace-topic token guard — the
+// response envelope instead carries the publisher's token and RSA
+// delegate signature, which the requester verifies in full before
+// trusting the sealed key (the one RSA verification §6.3 amortizes).
+// Trackers do not use this topic: their responses arrive on the
+// key-delivery topic they announce in interest responses.
+func SessionKeyDelivery(name string) Topic {
+	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixSessionKeys + "/" + name)
 }
 
 // TraceClass names a selectable category of trace information a tracker
