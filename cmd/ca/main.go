@@ -19,14 +19,15 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("dir", "pki", "PKI directory")
-		bits = flag.Int("bits", secure.DefaultRSABits, "RSA modulus size")
-		name = flag.String("name", "entitytrace-ca", "CA common name (init only)")
+		dir    = flag.String("dir", "pki", "PKI directory")
+		bits   = flag.Int("bits", secure.DefaultRSABits, "RSA modulus size")
+		name   = flag.String("name", "entitytrace-ca", "CA common name (init only)")
+		broker = flag.Bool("broker", false, "issue broker-role certificates (OU marker; required for brokerd identities when -session-keys is on)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("usage: ca [-dir pki] init | issue <entity>...")
+		fail("usage: ca [-dir pki] init | [-broker] issue <entity>...")
 	}
 	switch args[0] {
 	case "init":
@@ -50,7 +51,12 @@ func main() {
 			fail("loading CA: %v", err)
 		}
 		for _, entity := range args[1:] {
-			id, err := a.Issue(ident.EntityID(entity))
+			var id *credential.Identity
+			if *broker {
+				id, err = a.IssueBroker(ident.EntityID(entity))
+			} else {
+				id, err = a.Issue(ident.EntityID(entity))
+			}
 			if err != nil {
 				fail("issuing %s: %v", entity, err)
 			}
@@ -58,7 +64,11 @@ func main() {
 			if err != nil {
 				fail("saving %s: %v", entity, err)
 			}
-			fmt.Printf("issued %s -> %s\n", entity, path)
+			role := ""
+			if *broker {
+				role = " (broker role)"
+			}
+			fmt.Printf("issued %s%s -> %s\n", entity, role, path)
 		}
 	default:
 		fail("unknown subcommand %q", args[0])

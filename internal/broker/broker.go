@@ -776,10 +776,13 @@ func (b *Broker) OnClientDisconnect(f func(entity ident.EntityID)) {
 // queued the typed DISCONNECT, and closing now would race the egress
 // writer's flush of it — the writer closes the conn once the control
 // lane drains, with the evictGrace timer as the backstop for a peer
-// that has stopped reading.
+// that has stopped reading. The check consults p.evicted (not
+// p.closed): eviction CASes it before queueing the DISCONNECT, so a
+// concurrent evictPeer that has queued the notice but not yet reached
+// its closed.Store can never see its flush cut short here.
 func (b *Broker) removePeer(p *peer) {
 	p.out.beginClose()
-	if !p.closed.Load() {
+	if !p.evicted.Load() {
 		p.conn.Close()
 	}
 	b.mu.Lock()

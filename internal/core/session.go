@@ -92,11 +92,16 @@ func NewSessionStore(max int) *SessionStore {
 }
 
 // Install registers a session key for a trace topic, replacing any
-// previous key with the same ID.
+// previous key with the same ID. Re-installing an existing ID (repeated
+// SESSION_KEY_RESPONSE deliveries, renegotiation re-requests) first
+// drops the old entry's token-index slot, so byToken never accumulates
+// duplicates and InvalidateToken counts each session once.
 func (s *SessionStore) Install(traceTopic ident.UUID, k *secure.SessionKey) {
 	id := k.ID()
 	s.mu.Lock()
-	if _, exists := s.m[id]; !exists {
+	if old, exists := s.m[id]; exists {
+		s.dropTokenIndexLocked(old.key.TokenDigest(), id)
+	} else {
 		if len(s.fifo) >= s.max {
 			evict := s.fifo[0]
 			s.fifo = s.fifo[1:]
@@ -135,7 +140,12 @@ func (s *SessionStore) removeLocked(id [secure.SessionIDLen]byte) {
 		return
 	}
 	delete(s.m, id)
-	d := e.key.TokenDigest()
+	s.dropTokenIndexLocked(e.key.TokenDigest(), id)
+}
+
+// dropTokenIndexLocked removes id from the byToken bucket for digest d,
+// deleting the bucket when it empties (caller holds mu).
+func (s *SessionStore) dropTokenIndexLocked(d [32]byte, id [secure.SessionIDLen]byte) {
 	ids := s.byToken[d]
 	for i, other := range ids {
 		if other == id {
@@ -342,9 +352,16 @@ type SessionPublisher struct {
 	delegate   *secure.Signer
 	params     *secure.SessionParams
 	key        *secure.SessionKey
-	now        func() time.Time
-	maxLife    time.Duration
-	onRekey    func(*secure.SessionKey)
+	// distributed reports whether the current key has reached at least
+	// one external verifier (MarkDistributed). Sign keeps the RSA
+	// fallback until then, so a rekey never opens a window where tags
+	// reference a session no verifier has installed yet — those traces
+	// (ALLS_WELL heartbeats among them) would be dropped as
+	// unknown-session and could feed false failure suspicion.
+	distributed bool
+	now         func() time.Time
+	maxLife     time.Duration
+	onRekey     func(*secure.SessionKey)
 }
 
 // DefaultSessionMaxLife caps a session's validity window; shorter
@@ -417,10 +434,23 @@ func (sp *SessionPublisher) rekeyLocked() (*secure.SessionParams, error) {
 		return nil, err
 	}
 	sp.params, sp.key = params, key
+	sp.distributed = false
 	if sp.onRekey != nil {
 		sp.onRekey(key)
 	}
 	return params, nil
+}
+
+// MarkDistributed records that the session with the given ID has been
+// delivered to at least one external verifier; Sign then switches from
+// the RSA fallback to session tags. A stale ID (the publisher has since
+// rekeyed) is ignored.
+func (sp *SessionPublisher) MarkDistributed(id [secure.SessionIDLen]byte) {
+	sp.mu.Lock()
+	if sp.key != nil && sp.key.ID() == id {
+		sp.distributed = true
+	}
+	sp.mu.Unlock()
 }
 
 // SetToken installs a rotated token and delegate signer and rekeys,
@@ -456,18 +486,22 @@ func (sp *SessionPublisher) TraceTopic() ident.UUID { return sp.traceTopic }
 func (sp *SessionPublisher) Principal() string { return sp.principal }
 
 // SealedParamsFor seals the current parameters to a verifier's public
-// key, rekeying first if no live session exists.
-func (sp *SessionPublisher) SealedParamsFor(pub *rsa.PublicKey) ([]byte, error) {
+// key, rekeying first if no live session exists. It also returns the ID
+// of the session actually sealed (which a rekey may have just minted),
+// so the caller can MarkDistributed exactly that session once the
+// response is on the wire.
+func (sp *SessionPublisher) SealedParamsFor(pub *rsa.PublicKey) ([]byte, [secure.SessionIDLen]byte, error) {
 	sp.mu.Lock()
 	if sp.key == nil || !sp.key.ValidAt(sp.now(), 0) {
 		if _, err := sp.rekeyLocked(); err != nil {
 			sp.mu.Unlock()
-			return nil, err
+			return nil, [secure.SessionIDLen]byte{}, err
 		}
 	}
-	params := sp.params
+	params, id := sp.params, sp.key.ID()
 	sp.mu.Unlock()
-	return params.SealTo(pub)
+	sealed, err := params.SealTo(pub)
+	return sealed, id, err
 }
 
 // sessionRequestMinInterval rate-limits SESSION_KEY_REQUEST publishes
@@ -503,19 +537,25 @@ func OpenSessionKeyResponse(env *message.Envelope, sr *message.SessionKeyRespons
 }
 
 // Sign authenticates env: with the session key (tag + token omitted —
-// the wire saving of §6.3) while the session window is open, otherwise
-// with the RSA delegate signature and attached token, rekeying for the
-// next message. The returned mechanism reports which path was used.
+// the wire saving of §6.3) while the session window is open AND the key
+// has been distributed to at least one verifier, otherwise with the RSA
+// delegate signature and attached token, rekeying for the next message
+// when the window has closed. Gating tags on distribution closes the
+// rekey gap: the first messages after every rekey stay on the RSA path
+// (universally verifiable) until a SESSION_KEY_RESPONSE lands, instead
+// of being dropped as unknown-session by every verifier still holding
+// the old key. The returned mechanism reports which path was used.
 func (sp *SessionPublisher) Sign(env *message.Envelope) (sessionSigned bool, err error) {
 	sp.mu.RLock()
-	key, delegate, tokenBytes := sp.key, sp.delegate, sp.tokenBytes
+	key, delegate, tokenBytes, distributed := sp.key, sp.delegate, sp.tokenBytes, sp.distributed
 	sp.mu.RUnlock()
-	if key != nil && key.ValidAt(sp.now(), 0) {
+	if key != nil && distributed && key.ValidAt(sp.now(), 0) {
 		return true, env.SignSession(key)
 	}
-	// Session window closed (or never opened): hard fallback to full RSA
-	// while a fresh session is minted for subsequent messages.
-	if key != nil {
+	// Session window closed (or never opened): mint a fresh session for
+	// subsequent messages. An undistributed-but-live key needs no rekey —
+	// it is waiting on delivery, not expiry.
+	if key != nil && !key.ValidAt(sp.now(), 0) {
 		sp.mu.Lock()
 		if sp.key == key {
 			_, _ = sp.rekeyLocked()

@@ -40,6 +40,14 @@ var (
 	// §6.3 session-key negotiation traffic.
 	mSessionKeyRequests   = obs.Default.Counter("session_key_requests_total")
 	mSessionKeyDeliveries = obs.Default.Counter("session_key_deliveries_total")
+	// Refused SESSION_KEY_REQUESTs by reason: rate-limited before any
+	// crypto, malformed/unsafe delivery topic, credential failure, or a
+	// valid credential with no standing for this topic (neither an
+	// interested tracker nor a broker-role certificate).
+	mSessKeyRejRate   = obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "rate_limited"))
+	mSessKeyRejTopic  = obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "bad_delivery_topic"))
+	mSessKeyRejCred   = obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "bad_credential"))
+	mSessKeyRejUnauth = obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "unauthorized"))
 )
 
 // BrokerConfig configures a TraceBroker.
@@ -174,16 +182,52 @@ type session struct {
 	keyDelivered map[ident.EntityID]bool
 
 	// sp, when session keys are enabled, signs steady-state traces with
-	// HMAC session tags (§6.3); sessionKeySent maps each tracker to the
-	// session ID it last received, so rekeys re-deliver.
-	sp             *SessionPublisher
-	sessionKeySent map[ident.EntityID][secure.SessionIDLen]byte
+	// HMAC session tags (§6.3); sessionKeyRecips remembers every verifier
+	// the session parameters were delivered to (tracker or peer broker),
+	// with the session ID it last received — interest rounds re-deliver on
+	// ID mismatch, and a rekey proactively pushes the fresh parameters to
+	// all of them so the publisher leaves the RSA fallback quickly.
+	sp               *SessionPublisher
+	sessionKeyRecips map[ident.EntityID]*sessionKeyRecipient
+
+	// Responder-side SESSION_KEY_REQUEST rate limiting (§6.3): at most
+	// one admitted request per requester and sessionKeyRespBurst per
+	// session within each sessionRequestMinInterval window, enforced
+	// before any credential or RSA work.
+	skReqLast     map[ident.EntityID]time.Time
+	skWindowStart time.Time
+	skWindowCount int
 
 	entityToBroker topic.Topic
 	brokerToEntity topic.Topic
 	cancelSubs     []func()
 	done           chan struct{}
 }
+
+// sessionKeyRecipient records one verifier that holds (or held) this
+// session's sealed parameters: the session ID it last received plus the
+// delivery topic and credential key needed to push a fresh seal after a
+// rekey.
+type sessionKeyRecipient struct {
+	id            [secure.SessionIDLen]byte
+	deliveryTopic string
+	pub           *rsa.PublicKey
+}
+
+// sessionKeyMaxRecipients bounds the per-session recipient memory; past
+// it new verifiers still get on-request deliveries but are not tracked
+// for proactive rekey pushes (they renegotiate on the unknown-session
+// drop instead).
+const sessionKeyMaxRecipients = 256
+
+// sessionKeyRespBurst caps how many SESSION_KEY_REQUESTs one session
+// answers per sessionRequestMinInterval window, regardless of requester
+// identity — cycling requester names must not turn into unbounded
+// credential-verify + RSA-seal work.
+const sessionKeyRespBurst = 8
+
+// sessionKeyReqTrack bounds the per-requester rate-limit map.
+const sessionKeyReqTrack = 1024
 
 // NewTraceBroker attaches a trace manager to a broker node. Call Start
 // to begin accepting registrations.
@@ -535,7 +579,8 @@ func (tb *TraceBroker) handleRegistration(env *message.Envelope) {
 		done:         make(chan struct{}),
 	}
 	if tb.cfg.SessionKeys {
-		s.sessionKeySent = make(map[ident.EntityID][secure.SessionIDLen]byte)
+		s.sessionKeyRecips = make(map[ident.EntityID]*sessionKeyRecipient)
+		s.skReqLast = make(map[ident.EntityID]time.Time)
 	}
 	s.entityToBroker = topic.EntityToBrokerSession(s.traceTopic, s.sessionID)
 	var terr error
@@ -985,7 +1030,10 @@ func (s *session) handleInterestResponse(env *message.Envelope) {
 		s.keyDelivered[ir.Tracker] = true
 	}
 	sp := s.sp
-	sentID := s.sessionKeySent[ir.Tracker]
+	var sentID [secure.SessionIDLen]byte
+	if rec := s.sessionKeyRecips[ir.Tracker]; rec != nil {
+		sentID = rec.id
+	}
 	s.mu.Unlock()
 
 	if needKey {
@@ -997,11 +1045,7 @@ func (s *session) handleInterestResponse(env *message.Envelope) {
 	// a rekey changed the session ID since the last delivery.
 	if sp != nil && ir.KeyDeliveryTopic != "" {
 		if k := sp.Key(); k != nil && k.ID() != sentID {
-			if s.deliverSessionParams(ir.Tracker, ir.KeyDeliveryTopic, trackerPub) {
-				s.mu.Lock()
-				s.sessionKeySent[ir.Tracker] = k.ID()
-				s.mu.Unlock()
-			}
+			s.deliverSessionParams(ir.Tracker, ir.KeyDeliveryTopic, trackerPub)
 		}
 	}
 }
@@ -1022,6 +1066,12 @@ func (s *session) installSessionPublisher(tokenBytes []byte, delegate *secure.Si
 			s.tb.cfg.Clock.Now, s.tb.cfg.SessionMaxLife)
 		sp.OnRekey(func(k *secure.SessionKey) {
 			s.tb.cfg.Sessions.Install(s.traceTopic, k)
+			// Push the fresh parameters to every verifier that held the
+			// previous session (on a fresh goroutine: the hook runs under
+			// the publisher's lock, and redelivery seals and publishes).
+			// Until a push or interest round lands, Sign stays on the RSA
+			// fallback — the rekey never opens an unknown-session gap.
+			go s.redeliverSessionParams(k.ID())
 		})
 		if _, err := sp.Rekey(); err != nil {
 			s.tb.log.Warn("session rekey failed", "session", s.sessionID, "err", err)
@@ -1036,34 +1086,131 @@ func (s *session) installSessionPublisher(tokenBytes []byte, delegate *secure.Si
 }
 
 // handleSessionKeyRequest answers a verifier's §6.3 renegotiation
-// request: the requester proves a CA-issued credential and names a
-// delivery topic; the current session parameters are sealed to the
-// credential key and published there. Bad requests are ignored — the
+// request. Admission runs in cost order: the rate limiter first (a
+// request flood must not buy credential-verify + RSA-seal work), then
+// the delivery-topic shape check, then credential verification, and
+// finally authorization — the session parameters are a shared MAC
+// secret, so they are sealed only to requesters with standing for this
+// trace topic, mirroring the §5.1 trace-key gate: a tracker currently
+// registered through the interest exchange (delivered only to its own
+// key-delivery topic), or a credential carrying the broker role
+// (credential.BrokerOU), which relaying brokers present. Any merely
+// CA-credentialed entity is refused — holding the key would let it
+// forge steady-state traces every session-holding verifier accepts.
+// Bad requests are ignored beyond a counter and a log line — the
 // requester simply stays on (or falls back to) the RSA path.
 func (s *session) handleSessionKeyRequest(env *message.Envelope) {
 	if env.Type != message.TypeSessionKeyRequest {
 		return
 	}
 	sr, err := message.UnmarshalSessionKeyRequest(env.Payload)
-	if err != nil || sr.TraceTopic != s.traceTopic || sr.DeliveryTopic == "" {
+	if err != nil || sr.TraceTopic != s.traceTopic || sr.DeliveryTopic == "" || sr.Requester == "" {
+		return
+	}
+	now := s.tb.cfg.Clock.Now()
+	if !s.admitSessionKeyRequest(sr.Requester, now) {
+		mSessKeyRejRate.Inc()
+		return
+	}
+	tp, err := topic.Parse(sr.DeliveryTopic)
+	if err != nil {
+		mSessKeyRejTopic.Inc()
+		s.tb.log.Warn("session key request rejected", "session", s.sessionID,
+			"requester", sr.Requester, "reason", "bad_delivery_topic", "err", err)
 		return
 	}
 	cred := &credential.Credential{Entity: sr.Requester, Cert: sr.CertDER}
 	pub, err := s.tb.cfg.Verifier.Verify(cred)
 	if err != nil {
+		mSessKeyRejCred.Inc()
 		s.tb.log.Warn("session key request rejected", "session", s.sessionID,
-			"requester", sr.Requester, "err", err)
+			"requester", sr.Requester, "reason", "bad_credential", "err", err)
+		return
+	}
+	switch {
+	case s.interestedTracker(sr.Requester, now):
+		// A registered tracker's response goes only to its own
+		// key-delivery topic — never a requester-chosen constrained topic
+		// whose guard would score the response against this broker.
+		want, werr := keyDeliveryTopic(sr.Requester, s.traceTopic)
+		if werr != nil || !tp.Equal(want) {
+			mSessKeyRejTopic.Inc()
+			s.tb.log.Warn("session key request rejected", "session", s.sessionID,
+				"requester", sr.Requester, "reason", "bad_delivery_topic", "topic", sr.DeliveryTopic)
+			return
+		}
+	case cred.IsBroker():
+		if !topic.IsSessionKeyDelivery(tp) {
+			mSessKeyRejTopic.Inc()
+			s.tb.log.Warn("session key request rejected", "session", s.sessionID,
+				"requester", sr.Requester, "reason", "bad_delivery_topic", "topic", sr.DeliveryTopic)
+			return
+		}
+	default:
+		mSessKeyRejUnauth.Inc()
+		s.tb.log.Warn("session key request rejected", "session", s.sessionID,
+			"requester", sr.Requester, "reason", "unauthorized")
 		return
 	}
 	s.deliverSessionParams(sr.Requester, sr.DeliveryTopic, pub)
+}
+
+// admitSessionKeyRequest applies the responder-side rate limits: one
+// request per requester and sessionKeyRespBurst total per
+// sessionRequestMinInterval window. It is the cheapest check in the
+// request pipeline and therefore runs first.
+func (s *session) admitSessionKeyRequest(requester ident.EntityID, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.skReqLast == nil {
+		return false // session keys off
+	}
+	if now.Sub(s.skWindowStart) >= sessionRequestMinInterval {
+		s.skWindowStart = now
+		s.skWindowCount = 0
+	}
+	if s.skWindowCount >= sessionKeyRespBurst {
+		return false
+	}
+	if last, ok := s.skReqLast[requester]; ok && now.Sub(last) < sessionRequestMinInterval {
+		return false
+	}
+	if len(s.skReqLast) >= sessionKeyReqTrack {
+		for e, at := range s.skReqLast {
+			if now.Sub(at) >= sessionRequestMinInterval {
+				delete(s.skReqLast, e)
+			}
+		}
+		if len(s.skReqLast) >= sessionKeyReqTrack {
+			return false
+		}
+	}
+	s.skReqLast[requester] = now
+	s.skWindowCount++
+	return true
+}
+
+// interestedTracker reports whether the entity holds an unexpired §5.1
+// interest registration for any trace class of this session.
+func (s *session) interestedTracker(e ident.EntityID, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.interest {
+		if expiry, ok := m[e]; ok && now.Before(expiry) {
+			return true
+		}
+	}
+	return false
 }
 
 // deliverSessionParams seals the current §6.3 session parameters to a
 // verifier's credential key and publishes the SESSION_KEY_RESPONSE on
 // its delivery topic. The response envelope itself carries the token
 // and the RSA delegate signature — it is the one full §4.3 verification
-// the session path amortizes. It reports whether a response was
-// published.
+// the session path amortizes. A published response marks the sealed
+// session distributed (unblocking session-tag signing) and remembers
+// the recipient for proactive rekey pushes. It reports whether a
+// response was published.
 func (s *session) deliverSessionParams(recipient ident.EntityID, deliveryTopic string, pub *rsa.PublicKey) bool {
 	s.mu.Lock()
 	sp := s.sp
@@ -1071,7 +1218,7 @@ func (s *session) deliverSessionParams(recipient ident.EntityID, deliveryTopic s
 	if sp == nil {
 		return false
 	}
-	sealed, err := sp.SealedParamsFor(pub)
+	sealed, id, err := sp.SealedParamsFor(pub)
 	if err != nil {
 		s.tb.log.Warn("session params seal failed", "session", s.sessionID,
 			"recipient", recipient, "err", err)
@@ -1084,9 +1231,44 @@ func (s *session) deliverSessionParams(recipient ident.EntityID, deliveryTopic s
 	resp := &message.SessionKeyResponse{TraceTopic: s.traceTopic, Recipient: recipient, Sealed: sealed}
 	env := message.New(message.TypeSessionKeyResponse, tp, "", resp.Marshal())
 	s.signAndPublish(env, nil)
+	s.mu.Lock()
+	if rec, ok := s.sessionKeyRecips[recipient]; ok {
+		rec.id, rec.deliveryTopic, rec.pub = id, deliveryTopic, pub
+	} else if len(s.sessionKeyRecips) < sessionKeyMaxRecipients {
+		s.sessionKeyRecips[recipient] = &sessionKeyRecipient{id: id, deliveryTopic: deliveryTopic, pub: pub}
+	}
+	s.mu.Unlock()
+	sp.MarkDistributed(id)
 	mSessionKeyDeliveries.Inc()
 	s.tb.log.Info("session key delivered", "session", s.sessionID, "recipient", recipient)
 	return true
+}
+
+// redeliverSessionParams pushes the session parameters with the given
+// ID to every remembered recipient that does not hold them yet — the
+// proactive half of rekey distribution, invoked from the publisher's
+// OnRekey hook.
+func (s *session) redeliverSessionParams(id [secure.SessionIDLen]byte) {
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	type target struct {
+		entity ident.EntityID
+		topic  string
+		pub    *rsa.PublicKey
+	}
+	targets := make([]target, 0, len(s.sessionKeyRecips))
+	for e, rec := range s.sessionKeyRecips {
+		if rec.id != id {
+			targets = append(targets, target{entity: e, topic: rec.deliveryTopic, pub: rec.pub})
+		}
+	}
+	s.mu.Unlock()
+	for _, t := range targets {
+		s.deliverSessionParams(t.entity, t.topic, t.pub)
+	}
 }
 
 // deliverTraceKey seals the secret trace key to a tracker (§5.1): the

@@ -33,6 +33,13 @@ var (
 	ErrRevoked = errors.New("credential: certificate revoked")
 )
 
+// BrokerOU is the X.509 OrganizationalUnit the authority stamps into
+// broker certificates (IssueBroker). Peer-broker privileges — today,
+// requesting §6.3 session keys for sessions the broker relays — are
+// granted only to credentials carrying it, so a plain entity or tracker
+// certificate cannot claim broker standing just by asking.
+const BrokerOU = "entitytrace-broker"
+
 // Credential binds an entity identifier to its certificate and,
 // for the holder, the matching private key.
 type Credential struct {
@@ -54,6 +61,22 @@ func (c *Credential) Certificate() (*x509.Certificate, error) {
 	}
 	c.parsed = parsed
 	return parsed, nil
+}
+
+// IsBroker reports whether the certificate carries the broker role
+// (OU=BrokerOU). It reads only the parsed subject — callers must have
+// verified the certificate chains to the authority before trusting it.
+func (c *Credential) IsBroker() bool {
+	cert, err := c.Certificate()
+	if err != nil {
+		return false
+	}
+	for _, ou := range cert.Subject.OrganizationalUnit {
+		if ou == BrokerOU {
+			return true
+		}
+	}
+	return false
 }
 
 // PublicKey extracts the RSA public key bound by the certificate.
@@ -177,10 +200,29 @@ func (a *Authority) Issue(entity ident.EntityID) (*Identity, error) {
 	return a.IssueForKey(entity, pair.Public, pair.Private)
 }
 
+// IssueBroker creates a broker identity: like Issue, but the subject
+// carries OU=BrokerOU, the role marker verifiers require before
+// honouring broker-only requests (session-key renegotiation for relayed
+// sessions).
+func (a *Authority) IssueBroker(entity ident.EntityID) (*Identity, error) {
+	if err := entity.Validate(); err != nil {
+		return nil, err
+	}
+	pair, err := secure.GenerateKeyPair(a.keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return a.issueForKey(entity, pair.Public, pair.Private, []string{BrokerOU})
+}
+
 // IssueForKey certifies an existing key pair for the given entity. The
 // private key is only embedded in the returned Identity; pass nil if the
 // caller does not hold it.
 func (a *Authority) IssueForKey(entity ident.EntityID, pub *rsa.PublicKey, priv *rsa.PrivateKey) (*Identity, error) {
+	return a.issueForKey(entity, pub, priv, nil)
+}
+
+func (a *Authority) issueForKey(entity ident.EntityID, pub *rsa.PublicKey, priv *rsa.PrivateKey, ou []string) (*Identity, error) {
 	if err := entity.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,11 +236,15 @@ func (a *Authority) IssueForKey(entity ident.EntityID, pub *rsa.PublicKey, priv 
 	now := time.Now()
 	tmpl := &x509.Certificate{
 		SerialNumber: serial,
-		Subject:      pkix.Name{CommonName: string(entity), Organization: []string{"entitytrace"}},
-		NotBefore:    now.Add(-5 * time.Minute),
-		NotAfter:     now.Add(a.life),
-		KeyUsage:     x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
-		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
+		Subject: pkix.Name{
+			CommonName:         string(entity),
+			Organization:       []string{"entitytrace"},
+			OrganizationalUnit: ou,
+		},
+		NotBefore:   now.Add(-5 * time.Minute),
+		NotAfter:    now.Add(a.life),
+		KeyUsage:    x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
 	}
 	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.cert, pub, a.key)
 	if err != nil {

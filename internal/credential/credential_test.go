@@ -198,3 +198,29 @@ func TestWithLifetime(t *testing.T) {
 		t.Fatalf("lifetime = %v", got)
 	}
 }
+
+func TestIssueBrokerRole(t *testing.T) {
+	a := testAuthority(t)
+	b, err := a.IssueBroker("broker-north")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Credential.IsBroker() {
+		t.Fatal("IssueBroker certificate lacks the broker role")
+	}
+	plain, err := a.Issue("service-beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Credential.IsBroker() {
+		t.Fatal("plain entity certificate claims the broker role")
+	}
+	// Broker certificates verify like any other credential.
+	v, err := NewVerifier(a.CACertificate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(&b.Credential); err != nil {
+		t.Fatalf("verify broker credential: %v", err)
+	}
+}

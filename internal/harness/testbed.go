@@ -297,7 +297,10 @@ func New(opts Options) (*Testbed, error) {
 			return nil, err
 		}
 		b.Serve(l)
-		brokerID, err := tb.CA.Issue(ident.EntityID(fmt.Sprintf("harness-broker-%d", i)))
+		// Broker identities carry the broker role (OU marker): hosting
+		// brokers only honour session-key requests from interested trackers
+		// or broker-role credentials.
+		brokerID, err := tb.CA.IssueBroker(ident.EntityID(fmt.Sprintf("harness-broker-%d", i)))
 		if err != nil {
 			tb.Close()
 			return nil, err

@@ -207,3 +207,23 @@ func TestUUIDTopicSegments(t *testing.T) {
 		t.Fatalf("session topic has %d segments", tp.Len())
 	}
 }
+
+func TestIsSessionKeyDelivery(t *testing.T) {
+	if !IsSessionKeyDelivery(SessionKeyDelivery("hb0")) {
+		t.Fatal("canonical SessionKeyDelivery topic not recognized")
+	}
+	tt := ident.NewUUID()
+	bad := []string{
+		"/Constrained/Traces/Broker/Publish-Only/System/SessionKeys",     // missing name
+		"/Constrained/Traces/Broker/Publish-Only/System/SessionKeys/a/b", // extra segment
+		"/Constrained/Traces/Broker/Subscribe-Only/System/SessionKeys/a", // wrong direction
+		"/Constrained/Traces/Broker/Publish-Only/System/SessionKeys/*",   // wildcard name
+		"/Constrained/Traces/Broker/Publish-Only/" + tt.String() + "/AllUpdates", // guarded trace topic
+		"/Constrained/Traces/tracker-1/Subscribe-Only/Keys/" + tt.String(),       // tracker key topic
+	}
+	for _, s := range bad {
+		if IsSessionKeyDelivery(MustParse(s)) {
+			t.Errorf("IsSessionKeyDelivery(%q) = true, want false", s)
+		}
+	}
+}

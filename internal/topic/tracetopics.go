@@ -161,6 +161,21 @@ func SessionKeyDelivery(name string) Topic {
 	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixSessionKeys + "/" + name)
 }
 
+// IsSessionKeyDelivery reports whether tp has the exact shape of a
+// SessionKeyDelivery topic. Hosting brokers validate a broker
+// requester's DeliveryTopic against this before publishing a
+// SESSION_KEY_RESPONSE: a requester-chosen topic of any other shape —
+// in particular a per-trace-topic constrained topic whose token guard
+// would reject the response and score a violation against the
+// responding broker — is refused.
+func IsSessionKeyDelivery(tp Topic) bool {
+	s := tp.segments
+	return len(s) == 7 &&
+		s[0] == "Constrained" && s[1] == "Traces" && s[2] == "Broker" &&
+		s[3] == "Publish-Only" && s[4] == SuffixSystem && s[5] == SuffixSessionKeys &&
+		s[6] != Wildcard
+}
+
 // TraceClass names a selectable category of trace information a tracker
 // may register interest in (§3.5: "any combination of change
 // notifications, all-updates, state transitions, load information or

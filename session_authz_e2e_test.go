@@ -1,0 +1,166 @@
+// Session-key authorization scenarios (§6.3 + §5.2): the sealed session
+// parameters are a shared MAC secret, so the hosting broker must refuse
+// to seal them to anyone without standing for the trace topic. A
+// merely-credentialed insider (the §5.2 malicious-but-credentialed
+// model) must get nothing — holding the key would let it forge
+// steady-state traces, ALLS_WELL heartbeats included, that every
+// session-holding verifier accepts. Standing means: a tracker currently
+// registered through the §5.1 interest exchange (served only on its own
+// key-delivery topic), or a broker-role credential (served only on a
+// key-delivery-shaped topic). Responses are also rate-limited per
+// requester before any credential or RSA work.
+package entitytrace
+
+import (
+	"testing"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/harness"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/topic"
+)
+
+func TestSessionKeyRequestAuthorization(t *testing.T) {
+	rejUnauth := obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "unauthorized"))
+	rejTopic := obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "bad_delivery_topic"))
+	rejRate := obs.Default.Counter(obs.WithLabel("session_key_requests_rejected_total", "reason", "rate_limited"))
+
+	tb, err := harness.New(harness.Options{
+		Brokers:       1,
+		SessionKeys:   true,
+		GaugeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if _, err := tb.StartEntity("authz-entity", 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := tb.StartTracker("authz-tracker", 0, "authz-entity", topic.AllClasses())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Happy path first: the interested tracker negotiates a session key
+	// through the §5.1 interest exchange without any extra ceremony.
+	waitSession(t, "interested tracker negotiates a session key", func() bool {
+		return h.Tracker.Sessions().Len() > 0
+	})
+	tt := h.Watch.TraceTopic()
+
+	request := func(cl *broker.Client, requester string, cert []byte, delivery string) {
+		t.Helper()
+		req := &message.SessionKeyRequest{
+			TraceTopic:    tt,
+			Requester:     ident.EntityID(requester),
+			CertDER:       cert,
+			DeliveryTopic: delivery,
+		}
+		// The envelope source is the publishing client (the broker's
+		// anti-spoof check enforces that); the claimed requester lives in
+		// the payload and is what the responder authorizes.
+		env := message.New(message.TypeSessionKeyRequest, topic.SessionKeyRequests(tt), cl.Entity(), req.Marshal())
+		if err := cl.Publish(env); err != nil {
+			t.Fatalf("publishing request as %s: %v", requester, err)
+		}
+	}
+	connect := func(name string) *broker.Client {
+		t.Helper()
+		cl, err := broker.Connect(tb.Transport(), tb.Addrs[0], ident.EntityID(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		return cl
+	}
+
+	// A valid CA credential with no standing: neither interested nor a
+	// broker. The request must be refused even though the delivery topic
+	// has the exact shape an interested tracker would use.
+	mallory, err := tb.CA.Issue("mallory")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcl := connect("mallory")
+	mTopic := topic.MustParse("/Constrained/Traces/mallory/Subscribe-Only/Keys/" + tt.String())
+	mGot := make(chan message.Type, 8)
+	if err := mcl.Subscribe(mTopic, func(env *message.Envelope) { mGot <- env.Type }); err != nil {
+		t.Fatal(err)
+	}
+	unauth0 := rejUnauth.Value()
+	request(mcl, "mallory", mallory.Credential.Cert, mTopic.String())
+	waitSession(t, "unauthorized requester counted", func() bool {
+		return rejUnauth.Value() > unauth0
+	})
+	select {
+	case typ := <-mGot:
+		t.Fatalf("uninterested credentialed requester received a %v response", typ)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// A broker-role credential on a key-delivery-shaped topic is served:
+	// this is the relaying-peer renegotiation path.
+	peerX, err := tb.CA.IssueBroker("peer-broker-x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xcl := connect("peer-broker-x")
+	xTopic := topic.SessionKeyDelivery("peer-broker-x")
+	xGot := make(chan message.Type, 8)
+	if err := xcl.Subscribe(xTopic, func(env *message.Envelope) { xGot <- env.Type }); err != nil {
+		t.Fatal(err)
+	}
+	request(xcl, "peer-broker-x", peerX.Credential.Cert, xTopic.String())
+	select {
+	case typ := <-xGot:
+		if typ != message.TypeSessionKeyResponse {
+			t.Fatalf("broker-role requester received %v, want SESSION_KEY_RESPONSE", typ)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("broker-role requester received no response")
+	}
+
+	// An immediate repeat from the same requester hits the responder-side
+	// rate limit — before any credential verification or RSA sealing.
+	rate0 := rejRate.Value()
+	request(xcl, "peer-broker-x", peerX.Credential.Cert, xTopic.String())
+	waitSession(t, "repeat request rate-limited", func() bool {
+		return rejRate.Value() > rate0
+	})
+
+	// A broker-role credential pointing the delivery at a guarded trace
+	// topic is refused: publishing the response there would score token
+	// violations against the responding broker (an eviction vector).
+	peerY, err := tb.CA.IssueBroker("peer-broker-y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ycl := connect("peer-broker-y")
+	topic0 := rejTopic.Value()
+	request(ycl, "peer-broker-y", peerY.Credential.Cert, topic.AllUpdates(tt).String())
+	waitSession(t, "trace-topic delivery refused", func() bool {
+		return rejTopic.Value() > topic0
+	})
+
+	// An interested tracker's name with a redirected delivery topic is
+	// refused too: interest grants delivery only to that tracker's own
+	// key-delivery topic.
+	trackerDup, err := tb.CA.Issue("authz-tracker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topic1 := rejTopic.Value()
+	request(mcl, "authz-tracker", trackerDup.Credential.Cert, mTopic.String())
+	waitSession(t, "redirected tracker delivery refused", func() bool {
+		return rejTopic.Value() > topic1
+	})
+	select {
+	case typ := <-mGot:
+		t.Fatalf("redirected delivery topic received a %v response", typ)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
