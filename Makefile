@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover trace avail bench flood hotpath benchdiff fuzz chaos repro examples clean
+.PHONY: all build test race verify cover trace avail durable bench flood hotpath benchdiff fuzz chaos repro examples clean
 
 all: build test
 
@@ -19,7 +19,7 @@ test:
 # mid-stream renegotiation chaos scenario. Uncached (-count=1) so verify
 # always exercises them fresh.
 race:
-	$(GO) test -race -count=1 ./internal/broker/ ./internal/secure/... ./internal/transport/ ./internal/message/
+	$(GO) test -race -count=1 ./internal/broker/ ./internal/secure/... ./internal/transport/ ./internal/message/ ./internal/durable/
 	$(GO) test -race -count=1 -run 'TestChaosSession' .
 
 # Tier-1 gate: everything CI runs before a merge.
@@ -33,6 +33,7 @@ verify: build
 	HOTPATH_EXPORT=1 $(GO) test -run 'TestExportHotpathBench' -count=1 .
 	$(MAKE) trace
 	$(MAKE) avail
+	$(MAKE) durable
 	$(MAKE) cover
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
@@ -53,6 +54,7 @@ chaos:
 OBS_COVER_FLOOR = 85
 AVAIL_COVER_FLOOR = 80
 SECURE_COVER_FLOOR = 85
+DURABLE_COVER_FLOOR = 85
 cover:
 	@out=$$($(GO) test ./internal/... 2>&1); status=$$?; echo "$$out"; \
 	if [ $$status -ne 0 ]; then exit $$status; fi; \
@@ -70,7 +72,7 @@ cover:
 		fi; \
 		echo "cover: internal/$$1 $$pct% >= $$2% floor"; \
 	}; \
-	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR)
+	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR) && check durable $(DURABLE_COVER_FLOOR)
 
 # Tracing smoke: the tracectl end-to-end suite against a 3-broker chain —
 # waterfall rendering, guard-drop visibility in tail, tail's since-cursor
@@ -87,6 +89,17 @@ trace:
 avail:
 	$(GO) test -race -run 'TestAvail' -count=1 -v .
 	$(GO) test -run 'TestExportAvailBench' -count=1 -v .
+
+# Durability smoke: the durable-log unit suite race-enabled, the crash
+# e2e suite (SIGKILL-equivalent broker crash + same-log-dir restart with
+# gap-free, duplicate-free ledgers; tamper refusal on recovery; late
+# tracker history replay), then the benchmark export (BENCH_durable.json),
+# which enforces the §3.8 acceptance bound: persist-before-fan-out within
+# 10% of the PR 7 batched fan-out baseline.
+durable:
+	$(GO) test -race -count=1 ./internal/durable/
+	$(GO) test -race -run 'TestDurable' -count=1 -v .
+	DURABLE_EXPORT=1 $(GO) test -run 'TestExportDurableBench' -count=1 -v .
 
 # Full benchmark sweep (the testing.B mirror of the paper's evaluation).
 bench:
@@ -111,7 +124,7 @@ hotpath:
 # cmd/benchdiff (mean ± stderr). First run records the baseline; commit
 # or stash your changes, run again, and the table shows the deltas.
 # Refresh the baseline by deleting bench_baseline.txt.
-HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch|Durable
 benchdiff:
 	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
 	@if [ -f bench_baseline.txt ]; then \
@@ -128,6 +141,8 @@ fuzz:
 	$(GO) test ./internal/token/ -fuzz FuzzUnmarshalToken -fuzztime 20s -run xxx
 	$(GO) test ./internal/tdn/ -fuzz FuzzUnmarshalAdvertisement -fuzztime 20s -run xxx
 	$(GO) test ./internal/broker/ -fuzz FuzzParseBatch -fuzztime 20s -run xxx
+	$(GO) test ./internal/durable/ -fuzz FuzzSegmentParse -fuzztime 20s -run xxx
+	$(GO) test ./internal/broker/ -fuzz FuzzReplayFrame -fuzztime 20s -run xxx
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

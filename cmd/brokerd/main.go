@@ -9,6 +9,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -24,6 +25,7 @@ import (
 	"entitytrace/internal/brokerdir"
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
+	"entitytrace/internal/durable"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
@@ -64,6 +66,10 @@ func main() {
 		flapCount     = flag.Int("flap-transitions", 0, "up/down transitions within -flap-window that mark an entity FLAPPING (0 keeps the default of 5)")
 		flapWindow    = flag.Duration("flap-window", 0, "window for -flap-transitions (0 keeps the default of 1m)")
 		flapHold      = flag.Duration("flap-hold", 0, "quiet hold-down before a FLAPPING entity settles (0 keeps the default of 30s)")
+		logDir        = flag.String("log-dir", "", "durable trace-log directory; enables persist-before-fan-out and ack'd replay of constrained trace topics (empty disables durability)")
+		logRetention  = flag.Duration("log-retention", 24*time.Hour, "how long sealed durable-log segments are retained (0 keeps them until -log-segment-bytes pressure)")
+		logSegBytes   = flag.Int64("log-segment-bytes", 8<<20, "durable-log segment roll size in bytes")
+		logFsync      = flag.String("log-fsync", "batch", "durable-log fsync policy: batch (group commit), always (per append), or never (page cache only)")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
@@ -149,9 +155,32 @@ func main() {
 	} else {
 		guard = core.NewObservedTokenGuard(resolver, verifier, nil, token.DefaultClockSkew, tokenCache, flight)
 	}
+	// The durable trace log persists constrained trace derivatives
+	// before fan-out and serves ack'd replay (PROTOCOL.md §3.8).
+	// Recovery verifies every sealed segment's hash chain; a tampered or
+	// truncated log is refused outright rather than silently served.
+	var store *durable.Store
+	if *logDir != "" {
+		fsync, ok := durable.ParseFsyncPolicy(*logFsync)
+		if !ok {
+			fail("bad -log-fsync %q (want batch, always or never)", *logFsync)
+		}
+		store, err = durable.Open(*logDir, durable.Options{
+			SegmentBytes: *logSegBytes,
+			Retention:    *logRetention,
+			Fsync:        fsync,
+		})
+		if errors.Is(err, durable.ErrTampered) {
+			fail("durable log refused: %v\nthe log at %s fails hash-chain verification; restore it from a clean copy or move it aside", err, *logDir)
+		}
+		if err != nil {
+			fail("durable log: %v", err)
+		}
+	}
 	b := broker.New(broker.Config{
 		Name:                 brokerName,
 		Guard:                guard,
+		Durable:              store,
 		Flight:               flight,
 		EgressQueue:          *egressQueue,
 		SlowConsumerDeadline: *slowDeadline,
@@ -162,11 +191,6 @@ func main() {
 		BatchLatency:         *batchLatency,
 		Log:                  log,
 	})
-	l, err := tr.Listen(*listen)
-	if err != nil {
-		fail("listen: %v", err)
-	}
-	b.Serve(l)
 	// The availability ledger folds every hosted entity's trace stream
 	// into per-entity uptime state; the broker publishes its digest on
 	// the system-availability topic and serves it on /avail.
@@ -206,6 +230,14 @@ func main() {
 		sessionRequester.Store(&fn)
 	}
 	mgr.Start()
+	// Accept connections only after the manager's subscriptions are live,
+	// so a client redialing a restarted broker cannot publish its
+	// registration into the void and stall for a RegisterTimeout.
+	l, err := tr.Listen(*listen)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	b.Serve(l)
 	if *connect != "" {
 		// Persistent links re-dial under exponential backoff and re-sync
 		// subscriptions when the peer broker restarts.
@@ -216,7 +248,7 @@ func main() {
 	}
 	fmt.Printf("brokerd: %s serving on %s (%s)\n", brokerName, l.Addr(), *transportName)
 	if *adminAddr != "" {
-		go serveAdmin(*adminAddr, brokerName, b, mgr, tokenCache, flight)
+		go serveAdmin(*adminAddr, brokerName, b, mgr, tokenCache, flight, store)
 	}
 
 	// Register with the broker directory and refresh periodically so
@@ -258,6 +290,11 @@ func main() {
 			}
 			mgr.Close()
 			b.Close()
+			// After the broker: no publishes are appending any more, so
+			// the final sync captures everything.
+			if store != nil {
+				store.Close()
+			}
 			if *metricsDump {
 				obs.Default.WriteText(os.Stdout)
 			}
@@ -271,7 +308,7 @@ func main() {
 // (flight-recorder events for tracectl), and /stats — a JSON snapshot of
 // this broker's routing counters and session counts, kept for existing
 // tooling.
-func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, tokenCache *core.TokenCache, flight *obs.FlightRecorder) {
+func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, tokenCache *core.TokenCache, flight *obs.FlightRecorder, store *durable.Store) {
 	mux := obs.NewAdminMux(obs.Default, func() map[string]any {
 		return map[string]any{
 			"broker":        name,
@@ -303,6 +340,11 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, toke
 			// trace assembly.
 			"spanHopsTruncated": obs.Default.Counter("span_hops_truncated_total").Value(),
 			"flightHead":        flight.Head(),
+			"replayRecords":     snap.ReplayRecords,
+			"redeliveries":      snap.Redeliveries,
+		}
+		if store != nil {
+			out["durable"] = store.Stats()
 		}
 		if tokenCache != nil {
 			// Guard-cache hit/miss/eviction/invalidation counters (also on

@@ -1,0 +1,280 @@
+// Durable-log benchmark suite: append throughput under each fsync
+// policy, catch-up replay scan rate, and the publish-path overhead of
+// persist-before-fan-out on the batched routing hot path.
+// TestExportDurableBench archives the numbers in BENCH_durable.json and
+// holds the acceptance bound: fan-out with durability enabled stays
+// within 10% of PR 7's batched baseline.
+//
+// Run with: make durable, or
+// go test -bench 'Durable' -benchmem .
+package entitytrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/durable"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// durableBenchPayload is the record size for the append and replay
+// benchmarks — the ballpark of a signed, token-bearing trace envelope.
+const durableBenchPayload = 512
+
+// benchAppend measures sequential appends of durableBenchPayload-byte
+// records under the given fsync policy.
+func benchAppend(b *testing.B, fsync durable.FsyncPolicy) {
+	store, err := durable.Open(b.TempDir(), durable.Options{Fsync: fsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	payload := make([]byte, durableBenchPayload)
+	b.SetBytes(durableBenchPayload)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Append("/bench/durable/append", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appends/s")
+}
+
+// BenchmarkDurableAppendFsyncNever is the upper bound: buffered
+// sequential writes with CRC and hash-chain accounting, no syscalls to
+// stable storage.
+func BenchmarkDurableAppendFsyncNever(b *testing.B) { benchAppend(b, durable.FsyncNever) }
+
+// BenchmarkDurableAppendFsyncBatch group-commits on the FlushInterval
+// pacer — the default operating point for brokers.
+func BenchmarkDurableAppendFsyncBatch(b *testing.B) { benchAppend(b, durable.FsyncBatch) }
+
+// BenchmarkDurableAppendFsyncAlways pays one fsync per record — the
+// lose-nothing configuration the crash e2e runs under.
+func BenchmarkDurableAppendFsyncAlways(b *testing.B) { benchAppend(b, durable.FsyncAlways) }
+
+// durableReplayRecords is the backlog each catch-up scan replays.
+const durableReplayRecords = 32768
+
+// BenchmarkDurableReplayCatchUp measures the since-cursor scan a
+// reconnecting tracker triggers: read the full backlog from offset zero
+// in replay-pump-sized batches. One op is one complete catch-up.
+func BenchmarkDurableReplayCatchUp(b *testing.B) {
+	store, err := durable.Open(b.TempDir(), durable.Options{Fsync: durable.FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	lg, err := store.Ensure("/bench/durable/replay")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, durableBenchPayload)
+	for i := 0; i < durableReplayRecords; i++ {
+		if _, err := lg.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(durableReplayRecords * durableBenchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cursor := uint64(1) // ReadFrom's from is inclusive
+		var n int
+		for {
+			recs, err := lg.ReadFrom(cursor, 256, 1<<20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+			n += len(recs)
+			cursor = recs[len(recs)-1].Offset + 1
+		}
+		if n != durableReplayRecords {
+			b.Fatalf("catch-up scan read %d records, want %d", n, durableReplayRecords)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*durableReplayRecords/b.Elapsed().Seconds(), "records/s")
+}
+
+// durableFanoutFixture is batchedFanoutFixture with a durable store on
+// the publish path and an always-persist predicate, so every benchmark
+// envelope pays the full persist-before-fan-out cost (the bench topic is
+// not a trace derivative, which the default predicate would skip).
+func durableFanoutFixture(tb testing.TB, dir string) (*transport.Inproc, []*broker.Client, *atomic.Int64, func()) {
+	tb.Helper()
+	store, err := durable.Open(dir, durable.Options{Fsync: fanoutFsyncPolicy()})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr := transport.NewInproc()
+	bk := broker.New(broker.Config{
+		Name:           "durable-fanout",
+		EgressQueue:    16384,
+		BatchBytes:     32 << 10,
+		BatchLatency:   time.Millisecond,
+		Durable:        store,
+		DurablePersist: func(topic.Topic) bool { return true },
+	})
+	l, err := tr.Listen("")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	bk.Serve(l)
+	var delivered atomic.Int64
+	closers := []func(){store.Close, bk.Close}
+	count := func(*message.Envelope) { delivered.Add(1) }
+	for i, sub := range []string{"/bench/hotpath/fanout", "/bench/hotpath/*"} {
+		c, err := broker.Connect(tr, l.Addr(), ident.EntityID(fmt.Sprintf("dfanout-sub-%d", i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		closers = append(closers, func() { c.Close() })
+		if err := c.Subscribe(topic.MustParse(sub), count); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	pubs := make([]*broker.Client, fanoutPublishers)
+	for i := range pubs {
+		c, err := broker.Connect(tr, l.Addr(), ident.EntityID(fmt.Sprintf("dfanout-pub-%d", i)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		closers = append(closers, func() { c.Close() })
+		pubs[i] = c
+	}
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	return tr, pubs, &delivered, cleanup
+}
+
+// BenchmarkFanoutDurable measures delivered fan-out throughput with
+// every published envelope persisted to the durable log before fan-out.
+// Compare BenchmarkFanoutBatched (same framing, no persistence) for the
+// publish-path overhead of durability.
+func BenchmarkFanoutDurable(b *testing.B) {
+	_, pubs, delivered, cleanup := durableFanoutFixture(b, b.TempDir())
+	defer cleanup()
+	benchFanoutBatched(b, pubs, delivered, 2*batchChunk*fanoutPublishers) // warm-up
+	b.ResetTimer()
+	n := benchFanoutBatched(b, pubs, delivered, b.N+batchChunk*fanoutPublishers)
+	b.StopTimer()
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "deliveries/s")
+}
+
+// pr7FanoutBaseline is the batched multi-publisher fan-out throughput
+// recorded in BENCH_hotpath.json at the PR 7 commit, on the same
+// reference hardware. Persist-before-fan-out must stay within 10% of it.
+const pr7FanoutBaseline = 487670.56
+
+// TestExportDurableBench runs the fsync-policy append benchmarks, the
+// catch-up replay scan, and the durable fan-out, and writes the numbers
+// to BENCH_durable.json. The acceptance bound is the issue's: fan-out
+// with durability enabled within 10% of the PR 7 batched baseline.
+func TestExportDurableBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping BENCH_durable.json export in -short mode")
+	}
+	// Serial-step gate, as with the other exports: under a parallel
+	// `go test ./...` sweep the throughput bounds measure core
+	// contention instead of the code, and the committed JSON would be
+	// overwritten with degraded numbers.
+	if os.Getenv("DURABLE_EXPORT") == "" {
+		t.Skip("set DURABLE_EXPORT=1 (make durable) to run the benchmark export")
+	}
+
+	appendNever := runHotpathBench(BenchmarkDurableAppendFsyncNever)
+	appendBatch := runHotpathBench(BenchmarkDurableAppendFsyncBatch)
+	appendAlways := runHotpathBench(BenchmarkDurableAppendFsyncAlways)
+	replay := runHotpathBench(BenchmarkDurableReplayCatchUp)
+	replayPerSec := float64(durableReplayRecords) / (replay.NsPerOp / 1e9)
+
+	// Throughput batches are noisy (scheduler and frequency swings), so
+	// the durable fan-out keeps its best of three fixed-size batches —
+	// the same protocol that recorded the PR 7 baseline.
+	const fanoutMsgs = 4000
+	measure := func() float64 {
+		_, pubs, delivered, cleanup := durableFanoutFixture(t, t.TempDir())
+		defer cleanup()
+		benchFanoutBatched(t, pubs, delivered, 2*batchChunk*fanoutPublishers) // warm-up
+		start := time.Now()
+		deliveries := benchFanoutBatched(t, pubs, delivered, fanoutMsgs)
+		return float64(deliveries) / time.Since(start).Seconds()
+	}
+	var fanoutPerSec float64
+	for round := 0; round < 3; round++ {
+		fanoutPerSec = max(fanoutPerSec, measure())
+	}
+	ratio := fanoutPerSec / pr7FanoutBaseline
+	if ratio < 0.9 {
+		t.Fatalf("durable fan-out = %.0f deliveries/s, %.2fx the PR 7 baseline %.0f: want >= 0.9x",
+			fanoutPerSec, ratio, pr7FanoutBaseline)
+	}
+
+	out := struct {
+		Description  string       `json:"description"`
+		AppendNever  hotpathBench `json:"append_fsync_never"`
+		AppendBatch  hotpathBench `json:"append_fsync_batch"`
+		AppendAlways hotpathBench `json:"append_fsync_always"`
+		RecordBytes  int          `json:"record_payload_bytes"`
+		Replay       struct {
+			BacklogRecords int     `json:"backlog_records"`
+			RecordsSec     float64 `json:"records_per_sec"`
+		} `json:"replay_catch_up"`
+		FanoutDurable struct {
+			Publishers    int     `json:"publishers"`
+			Subscribers   int     `json:"subscribers"`
+			Messages      int     `json:"messages"`
+			DeliveriesSec float64 `json:"deliveries_per_sec"`
+			VsPR7Baseline float64 `json:"ratio_vs_pr7_batched_x"`
+		} `json:"fanout_durable"`
+	}{
+		Description:  "durable trace log (§3.8): segment append throughput per fsync policy, since-cursor catch-up replay scan rate, and batched multi-publisher fan-out with persist-before-fan-out on every envelope vs PR 7's non-durable batched baseline",
+		AppendNever:  appendNever,
+		AppendBatch:  appendBatch,
+		AppendAlways: appendAlways,
+		RecordBytes:  durableBenchPayload,
+	}
+	out.Replay.BacklogRecords = durableReplayRecords
+	out.Replay.RecordsSec = replayPerSec
+	out.FanoutDurable.Publishers = fanoutPublishers
+	out.FanoutDurable.Subscribers = fanoutSubscribers
+	out.FanoutDurable.Messages = fanoutMsgs
+	out.FanoutDurable.DeliveriesSec = fanoutPerSec
+	out.FanoutDurable.VsPR7Baseline = ratio
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_durable.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_durable.json (append never %.0f ns/op, batch %.0f, always %.0f; replay %.0f records/s; durable fanout %.0f deliveries/s, %.2fx PR 7)",
+		appendNever.NsPerOp, appendBatch.NsPerOp, appendAlways.NsPerOp, replayPerSec, fanoutPerSec, ratio)
+}
+
+// fanoutFsyncPolicy lets ad-hoc runs flip the fan-out fixture's fsync
+// policy (DURABLE_FANOUT_FSYNC=never|always); the default is the
+// broker's FsyncBatch operating point.
+func fanoutFsyncPolicy() durable.FsyncPolicy {
+	if p, ok := durable.ParseFsyncPolicy(os.Getenv("DURABLE_FANOUT_FSYNC")); ok && os.Getenv("DURABLE_FANOUT_FSYNC") != "" {
+		return p
+	}
+	return durable.FsyncBatch
+}

@@ -10,6 +10,7 @@ import (
 
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/clock"
+	"entitytrace/internal/durable"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
 	"entitytrace/internal/obs"
@@ -110,6 +111,20 @@ type Config struct {
 	// Clock paces persistent-link redial backoff; nil means the real
 	// clock. Tests inject clock.Fake to step reconnect schedules.
 	Clock clock.Clock
+	// Durable, when non-nil, persists envelopes on selected topics to
+	// the append-only tamper-evident log before fan-out, and enables
+	// REPLAY/ACK cursor serving (PROTOCOL.md §3.8). The broker does not
+	// own the store: the caller opens it (recovery happens there) and
+	// closes it after the broker.
+	Durable *durable.Store
+	// DurablePersist overrides the persistence predicate: which topics
+	// append to the durable log. Nil selects the per-trace-topic
+	// derivative class topics (topic.IsTraceDerivative).
+	DurablePersist func(tp topic.Topic) bool
+	// Redeliver paces per-cursor retransmission when a replay
+	// subscriber stops acking. Zero Initial selects the package
+	// default (250ms initial, 5s cap).
+	Redeliver backoff.Config
 }
 
 // Defaults for Config zero values.
@@ -144,6 +159,8 @@ type Stats struct {
 	SlowConsumerEvictions uint64 // peers evicted for sustained egress saturation
 	Throttled             uint64 // publishes rejected by per-publisher rate limiting
 	QuarantineRejects     uint64 // reconnects refused while quarantined
+	ReplayRecords         uint64 // offset-annotated records served by replay pumps
+	Redeliveries          uint64 // records retransmitted after a missed-ack rewind
 }
 
 // Broker is one router node in the broker network.
@@ -199,6 +216,8 @@ type Broker struct {
 		slowEvictions  atomic.Uint64
 		throttled      atomic.Uint64
 		quarRejects    atomic.Uint64
+		replayRecords  atomic.Uint64
+		redeliveries   atomic.Uint64
 	}
 
 	wg sync.WaitGroup
@@ -238,6 +257,13 @@ type peer struct {
 	subs    map[string]struct{}
 	closed  atomic.Bool
 	evicted atomic.Bool
+	// cursors holds this peer's replay cursors by exact topic string
+	// (client connections that sent ctrlReplay); hasCursors lets the
+	// delivery hot path skip the map lock for the common cursor-less
+	// peer. Guarded by curMu.
+	curMu      sync.Mutex
+	cursors    map[string]*replayCursor
+	hasCursors atomic.Bool
 }
 
 // New creates a broker node.
@@ -537,12 +563,7 @@ func (b *Broker) peerLoop(p *peer) {
 				b.punish(p, fmt.Errorf("bad batch frame: %w", err))
 				continue
 			}
-			for _, f := range frames {
-				b.ingestEnvelope(p, f[1:])
-				if p.closed.Load() {
-					break
-				}
-			}
+			b.ingestBatch(p, frames)
 		default:
 			b.punish(p, fmt.Errorf("unknown frame kind %d", frame[0]))
 		}
@@ -558,6 +579,17 @@ func (b *Broker) peerLoop(p *peer) {
 // funnel through here so admission control and violation accounting are
 // identical per envelope regardless of framing.
 func (b *Broker) ingestEnvelope(p *peer, body []byte) {
+	env := b.parseIngress(p, body)
+	if env == nil {
+		return
+	}
+	b.routeFrom(p, env)
+}
+
+// parseIngress rate-limits and parses one envelope body from p. It
+// returns nil (after scoring the violation) when the frame is throttled
+// or malformed.
+func (b *Broker) parseIngress(p *peer, body []byte) *message.Envelope {
 	// Per-publisher admission control runs before the envelope is even
 	// unmarshaled: a flooding client is rejected before its traffic
 	// costs any parsing or signature-verification CPU.
@@ -572,7 +604,7 @@ func (b *Broker) ingestEnvelope(p *peer, body []byte) {
 			})
 		}
 		b.punishWeighted(p, throttleViolationWeight, errThrottled)
-		return
+		return nil
 	}
 	// Shared parse: the read loop hands over a freshly allocated frame
 	// (every transport copies on receive), so the envelope fields can
@@ -580,9 +612,70 @@ func (b *Broker) ingestEnvelope(p *peer, body []byte) {
 	env, err := message.UnmarshalShared(body)
 	if err != nil {
 		b.punish(p, fmt.Errorf("bad envelope: %w", err))
+		return nil
+	}
+	return env
+}
+
+// ingestBatch admits every envelope of a coalesced publish frame, then
+// persists the durable ones with one group append per topic before any
+// of them fan out. The persisted bytes are the original wire encodings,
+// so the batch path skips re-marshaling entirely; persist-before-fan-out
+// (PROTOCOL.md §3.8) still holds for each envelope because delivery only
+// starts after every group append returns.
+func (b *Broker) ingestBatch(p *peer, frames [][]byte) {
+	if b.cfg.Durable == nil {
+		for _, f := range frames {
+			b.ingestEnvelope(p, f[1:])
+			if p.closed.Load() {
+				return
+			}
+		}
 		return
 	}
-	b.routeFrom(p, env)
+	type admitted struct {
+		env     *message.Envelope
+		sampled bool
+	}
+	envs := make([]admitted, 0, len(frames))
+	var byTopic map[string][][]byte
+	for _, f := range frames {
+		body := f[1:]
+		env := b.parseIngress(p, body)
+		if env == nil {
+			if p.closed.Load() {
+				break
+			}
+			continue
+		}
+		sampled := b.cfg.Flight.Sampled()
+		ok, err := b.admit(p, env, p.principal, sampled)
+		if err != nil && !errors.Is(err, ErrNoPunish) {
+			b.punish(p, err)
+		}
+		if ok {
+			if b.persistable(env.Topic) {
+				if byTopic == nil {
+					byTopic = make(map[string][][]byte, 1)
+				}
+				ts := env.Topic.String()
+				byTopic[ts] = append(byTopic[ts], body)
+			}
+			envs = append(envs, admitted{env, sampled})
+		}
+		if p.closed.Load() {
+			break
+		}
+	}
+	for ts, payloads := range byTopic {
+		if _, err := b.cfg.Durable.AppendBatch(ts, payloads); err != nil {
+			mDurableAppendErrs.Inc()
+			b.log.Warn("durable append failed", "topic", ts, "err", err)
+		}
+	}
+	for _, a := range envs {
+		b.finishRoute(p, a.env, a.sampled)
+	}
 }
 
 // handleControl processes a control frame; it reports whether the peer
@@ -607,8 +700,13 @@ func (b *Broker) handleControl(p *peer, c *control) bool {
 		tp, err := topic.Parse(c.Topic)
 		if err == nil {
 			b.removeSubscription(p, tp)
+			p.dropCursor(c.Topic)
 		}
 		b.ack(p, c.ID)
+	case ctrlReplay:
+		b.handleReplay(p, c)
+	case ctrlAckCur:
+		b.handleAckCur(p, c)
 	case ctrlBye:
 		return true
 	case ctrlHello:
@@ -781,6 +879,7 @@ func (b *Broker) OnClientDisconnect(f func(entity ident.EntityID)) {
 // concurrent evictPeer that has queued the notice but not yet reached
 // its closed.Store can never see its flush cut short here.
 func (b *Broker) removePeer(p *peer) {
+	p.stopCursors()
 	p.out.beginClose()
 	if !p.evicted.Load() {
 		p.conn.Close()
@@ -1058,6 +1157,31 @@ func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Princi
 	// One atomic add decides whether this envelope's healthy events
 	// (ingress, route, egress) are recorded; drops are always recorded.
 	sampled := b.cfg.Flight.Sampled()
+	ok, err := b.admit(from, env, principal, sampled)
+	if !ok {
+		return err
+	}
+	// Persist before fan-out (PROTOCOL.md §3.8): an authorized envelope
+	// on a durable topic reaches the append-only log before any
+	// subscriber sees it, so replay can always reconstruct what was
+	// delivered. Append failure degrades durability, not liveness — the
+	// envelope still fans out, and the error is counted and logged.
+	if b.cfg.Durable != nil && b.persistable(env.Topic) {
+		if _, err := b.cfg.Durable.Append(env.Topic.String(), env.Marshal()); err != nil {
+			mDurableAppendErrs.Inc()
+			b.log.Warn("durable append failed", "topic", env.Topic.String(), "err", err)
+		}
+	}
+	b.finishRoute(from, env, sampled)
+	return nil
+}
+
+// admit runs every pre-persist stage of the publish pipeline — flight
+// ingress sampling, duplicate suppression, TTL, source-spoofing,
+// authorization, and the pluggable guard. It reports whether the
+// envelope should proceed to persistence and fan-out; ok=false with a
+// nil error is a silent drop (duplicate or expired).
+func (b *Broker) admit(from *peer, env *message.Envelope, principal topic.Principal, sampled bool) (ok bool, err error) {
 	if sampled {
 		b.cfg.Flight.Record(obs.FlightEvent{
 			Kind:  obs.FlightIngress,
@@ -1071,35 +1195,40 @@ func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Princi
 		b.stats.duplicates.Add(1)
 		mDuplicates.Inc()
 		b.recordDrop(from, env, "duplicate")
-		return nil
+		return false, nil
 	}
 	if env.TTL == 0 {
 		b.stats.expired.Add(1)
 		mExpired.Inc()
 		b.recordDrop(from, env, "ttl_expired")
-		return nil
+		return false, nil
 	}
 	// Source spoofing check: a client's envelopes must carry its own
 	// entity identifier. Broker links aggregate many sources.
 	if from != nil && !from.isBroker && env.Source != ident.EntityID(from.name) {
 		b.recordDrop(from, env, "spoofed_source")
-		return fmt.Errorf("broker: source %q spoofed by client %q", env.Source, from.name)
+		return false, fmt.Errorf("broker: source %q spoofed by client %q", env.Source, from.name)
 	}
 	if err := topic.Authorize(env.Topic, principal, true); err != nil {
 		b.recordDrop(from, env, "unauthorized_topic")
-		return err
+		return false, err
 	}
 	if b.cfg.Guard != nil {
 		// Guard rejections are recorded by the guard itself (with the
 		// drop reason and cache outcome); see Config.Flight.
 		if err := b.cfg.Guard(env, principal); err != nil {
-			return err
+			return false, err
 		}
 	}
+	return true, nil
+}
+
+// finishRoute is the post-persist tail of the publish pipeline: count
+// the publish and fan out to subscribers and links.
+func (b *Broker) finishRoute(from *peer, env *message.Envelope, sampled bool) {
 	b.stats.published.Add(1)
 	mPublished.Inc()
 	b.deliver(from, env, sampled)
-	return nil
 }
 
 // deliverScratch pools the per-delivery collection state so routing an
@@ -1205,6 +1334,12 @@ func (b *Broker) deliver(from *peer, env *message.Envelope, sampled bool) {
 		if p.isBroker && (!prop || fwdTTL == 0) {
 			continue
 		}
+		// A peer holding a replay cursor on this exact topic is served
+		// solely by its pump: the log is the single ordered source, so
+		// catch-up and live delivery cannot race or duplicate.
+		if p.hasCursors.Load() && p.cursorFor(ts) != nil {
+			continue
+		}
 		b.stats.forwarded.Add(1)
 		mForwarded.Inc()
 		if sampled {
@@ -1267,6 +1402,8 @@ func (b *Broker) Snapshot() Stats {
 		SlowConsumerEvictions: b.stats.slowEvictions.Load(),
 		Throttled:             b.stats.throttled.Load(),
 		QuarantineRejects:     b.stats.quarRejects.Load(),
+		ReplayRecords:         b.stats.replayRecords.Load(),
+		Redeliveries:          b.stats.redeliveries.Load(),
 	}
 }
 

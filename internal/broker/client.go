@@ -18,6 +18,9 @@ var (
 	// ErrSubscribeDenied reports a subscription rejected by the broker's
 	// authorization checks.
 	ErrSubscribeDenied = errors.New("broker: subscription denied")
+	// ErrReplayDenied reports a replay request the broker refused: no
+	// durable log, a non-durable topic, or no active subscription.
+	ErrReplayDenied = errors.New("broker: replay denied")
 	// ErrClientClosed reports use of a closed client.
 	ErrClientClosed = errors.New("broker: client closed")
 	// ErrWriteTimeout reports a frame write that stayed blocked past the
@@ -45,6 +48,13 @@ type ConnectOpts struct {
 // Handler consumes envelopes delivered to a client subscription.
 type Handler func(*message.Envelope)
 
+// DurableHandler consumes offset-annotated envelopes served by a
+// replay pump (frameDurable). The offset is the record's position in
+// the broker's durable topic log: strictly increasing within one
+// uninterrupted stream, repeating only on redelivery — dedupe on it,
+// process, then Ack it (PROTOCOL.md §3.8).
+type DurableHandler func(offset uint64, env *message.Envelope)
+
 // Client is an entity's connection to its broker: the funnel through
 // which it publishes messages into the network and receives messages for
 // its subscriptions (§2: "an entity uses this broker, which it is
@@ -56,6 +66,7 @@ type Client struct {
 	mu       sync.Mutex
 	handlers map[string][]Handler // topic string -> handlers
 	wild     []wildHandler
+	durable  map[string]DurableHandler // topic string -> replay handler
 	pending  map[uint64]chan *control
 	closed   bool
 
@@ -152,6 +163,27 @@ func (c *Client) recvLoop() {
 				continue
 			}
 			c.dispatch(env)
+		case frameDurable:
+			// An offset-annotated replay/live record from a pump
+			// (PROTOCOL.md §3.8). A registered durable handler gets the
+			// offset; otherwise the envelope degrades to plain dispatch.
+			offset, inner, err := parseDurable(frame[1:])
+			if err != nil {
+				continue
+			}
+			env, err := message.UnmarshalShared(inner[1:])
+			if err != nil {
+				continue
+			}
+			ts := env.Topic.String()
+			c.mu.Lock()
+			dh := c.durable[ts]
+			c.mu.Unlock()
+			if dh != nil {
+				dh(offset, env)
+			} else {
+				c.dispatch(env)
+			}
 		case frameBatch:
 			// A coalesced egress drain from the broker (PROTOCOL.md §3.7).
 			frames, err := parseBatch(frame[1:])
@@ -238,6 +270,85 @@ func (c *Client) Subscribe(tp topic.Topic, h Handler) error {
 	return nil
 }
 
+// Replay asks the broker to serve the (already subscribed) durable
+// topic from its log starting after since — the highest offset this
+// consumer has processed, 0 for everything retained — and registers h
+// for the offset-annotated stream. From the broker's ack onward the
+// topic is served exclusively by its replay pump: catch-up records
+// first, then live appends, in log order. Call Ack as records are
+// processed; un-acked records are redelivered with backoff. A deny
+// (no durable log at this broker, topic not persisted) leaves the
+// plain live subscription in place.
+func (c *Client) Replay(tp topic.Topic, since uint64, h DurableHandler) error {
+	if tp.IsZero() {
+		return fmt.Errorf("broker: replay of zero topic")
+	}
+	ts := tp.String()
+	id := c.nextID.Add(1)
+	ch := make(chan *control, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	// Register before sending: the pump's first records can arrive
+	// ahead of the ack.
+	if c.durable == nil {
+		c.durable = make(map[string]DurableHandler)
+	}
+	c.durable[ts] = h
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	replay := &control{Kind: ctrlReplay, ID: id, Topic: ts, Cursor: since}
+	if err := c.sendTimed(append([]byte{frameControl}, marshalControl(replay)...)); err != nil {
+		c.dropDurable(ts)
+		return err
+	}
+	select {
+	case ctl := <-ch:
+		if ctl == nil {
+			c.dropDurable(ts)
+			return ErrClientClosed
+		}
+		if ctl.Kind == ctrlDeny {
+			c.dropDurable(ts)
+			return fmt.Errorf("%w: %s", ErrReplayDenied, ctl.Reason)
+		}
+	case <-c.done:
+		c.dropDurable(ts)
+		return ErrClientClosed
+	case <-time.After(subscribeTimeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		c.dropDurable(ts)
+		return fmt.Errorf("broker: replay of %s timed out", tp)
+	}
+	return nil
+}
+
+func (c *Client) dropDurable(ts string) {
+	c.mu.Lock()
+	delete(c.durable, ts)
+	c.mu.Unlock()
+}
+
+// Ack advances this client's replay cursor on tp: offset is the
+// highest contiguously processed record. Fire-and-forget — the broker
+// applies it monotonically, so a lost or reordered ack only delays
+// cursor progress (and at worst causes an offset-deduped redelivery).
+func (c *Client) Ack(tp topic.Topic, offset uint64) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClientClosed
+	}
+	ack := &control{Kind: ctrlAckCur, Topic: tp.String(), Cursor: offset}
+	return c.sendTimed(append([]byte{frameControl}, marshalControl(ack)...))
+}
+
 // Unsubscribe withdraws interest in a topic and removes its handlers.
 func (c *Client) Unsubscribe(tp topic.Topic) error {
 	c.mu.Lock()
@@ -247,6 +358,7 @@ func (c *Client) Unsubscribe(tp topic.Topic) error {
 	}
 	ts := tp.String()
 	delete(c.handlers, ts)
+	delete(c.durable, ts)
 	if tp.IsWildcard() {
 		kept := c.wild[:0]
 		for _, wh := range c.wild {

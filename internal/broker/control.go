@@ -22,7 +22,38 @@ const (
 	frameControl  byte = 1
 	frameEnvelope byte = 2
 	frameBatch    byte = 3
+	// frameDurable is a broker→client envelope annotated with its
+	// durable-log offset: [kind][u64 offset][envelope frame]. Replay
+	// pumps use it so the consumer can dedupe and ack by offset
+	// (PROTOCOL.md §3.8).
+	frameDurable byte = 4
 )
+
+// appendDurable appends the durable wire form: kind byte, offset, and
+// the complete envelope frame (its own kind byte included).
+func appendDurable(dst []byte, offset uint64, envFrame []byte) []byte {
+	dst = append(dst, frameDurable)
+	dst = binary.BigEndian.AppendUint64(dst, offset)
+	return append(dst, envFrame...)
+}
+
+// parseDurable splits a durable frame body (after the kind byte) into
+// its offset and the inner envelope frame. Strict: the inner frame must
+// be a non-empty frameEnvelope within the length cap.
+func parseDurable(b []byte) (uint64, []byte, error) {
+	if len(b) < 9 {
+		return 0, nil, errors.New("broker: truncated durable frame")
+	}
+	offset := binary.BigEndian.Uint64(b[:8])
+	inner := b[8:]
+	if len(inner) > maxBatchFrameLen {
+		return 0, nil, fmt.Errorf("broker: durable frame length %d exceeds %d", len(inner), maxBatchFrameLen)
+	}
+	if inner[0] != frameEnvelope {
+		return 0, nil, fmt.Errorf("broker: durable inner frame kind %d (only envelopes replay)", inner[0])
+	}
+	return offset, inner, nil
+}
 
 // Batch framing bounds. A batch frame is frameBatch followed by
 // repeated [u32 length][sub-frame] entries, where every sub-frame is a
@@ -119,6 +150,14 @@ const (
 	// already full may never read it, but a quarantined reconnect always
 	// receives one as the first (and only) frame of the new connection.
 	ctrlDisconnect
+	// ctrlReplay asks the broker to serve a subscribed durable topic
+	// from the log: ID correlates the ack/deny, Cursor is the highest
+	// offset the subscriber has already processed (0 for everything
+	// retained). PROTOCOL.md §3.8.
+	ctrlReplay
+	// ctrlAckCur advances a replay subscription's ack cursor: Cursor is
+	// the highest contiguously processed offset. Fire-and-forget.
+	ctrlAckCur
 )
 
 // DisconnectReason is the typed cause carried by a DISCONNECT control
@@ -175,7 +214,13 @@ type control struct {
 	ID     uint64
 	Topic  string
 	Reason string
+	// Replay/AckCur field: a durable-log offset. Marshaled only for
+	// those kinds, so older control frames keep their exact wire form.
+	Cursor uint64
 }
+
+// hasCursor reports whether kind carries the trailing Cursor field.
+func (k ctrlKind) hasCursor() bool { return k == ctrlReplay || k == ctrlAckCur }
 
 // marshalControl encodes a control frame body (without the frame kind
 // byte).
@@ -191,6 +236,9 @@ func marshalControl(c *control) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, c.ID)
 	buf = appendString(buf, c.Topic)
 	buf = appendString(buf, c.Reason)
+	if c.Kind.hasCursor() {
+		buf = binary.BigEndian.AppendUint64(buf, c.Cursor)
+	}
 	return buf
 }
 
@@ -218,10 +266,17 @@ func parseControl(b []byte) (*control, error) {
 	if c.Reason, rest, err = readString(rest); err != nil {
 		return nil, err
 	}
+	if c.Kind.hasCursor() {
+		if len(rest) < 8 {
+			return nil, errors.New("broker: truncated cursor field")
+		}
+		c.Cursor = binary.BigEndian.Uint64(rest[:8])
+		rest = rest[8:]
+	}
 	if len(rest) != 0 {
 		return nil, errors.New("broker: trailing control bytes")
 	}
-	if c.Kind < ctrlHello || c.Kind > ctrlDisconnect {
+	if c.Kind < ctrlHello || c.Kind > ctrlAckCur {
 		return nil, fmt.Errorf("broker: unknown control kind %d", c.Kind)
 	}
 	return c, nil

@@ -2,6 +2,7 @@ package core
 
 import (
 	"crypto/sha256"
+	"fmt"
 	"testing"
 	"time"
 
@@ -252,5 +253,33 @@ func TestInterestedTrackerExpiry(t *testing.T) {
 	}
 	if s.interestedTracker("unknown", now) {
 		t.Fatal("unregistered tracker has standing")
+	}
+}
+
+// A full recipient table must evict its longest-idle entry to admit a
+// new verifier — the old behavior silently dropped every arrival past
+// capacity, so a churn of short-lived trackers permanently locked
+// later ones out of proactive rekey pushes.
+func TestSessionKeyRecipientEvictsOldestWhenFull(t *testing.T) {
+	s := &session{sessionKeyRecips: make(map[ident.EntityID]*sessionKeyRecipient)}
+	var id [secure.SessionIDLen]byte
+	for i := 0; i < sessionKeyMaxRecipients; i++ {
+		s.rememberRecipient(ident.EntityID(fmt.Sprintf("tracker-%04d", i)), id, "/t", nil)
+	}
+	// Refresh the very first recipient: it becomes the most recent.
+	s.rememberRecipient("tracker-0000", id, "/t", nil)
+
+	s.rememberRecipient("tracker-new", id, "/t", nil)
+	if got := len(s.sessionKeyRecips); got != sessionKeyMaxRecipients {
+		t.Fatalf("table size = %d, want %d", got, sessionKeyMaxRecipients)
+	}
+	if _, ok := s.sessionKeyRecips["tracker-new"]; !ok {
+		t.Fatal("new recipient was dropped instead of admitted")
+	}
+	if _, ok := s.sessionKeyRecips["tracker-0000"]; !ok {
+		t.Fatal("recently refreshed recipient was evicted")
+	}
+	if _, ok := s.sessionKeyRecips["tracker-0001"]; ok {
+		t.Fatal("longest-idle recipient survived a full-table insert")
 	}
 }

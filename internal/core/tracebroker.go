@@ -40,6 +40,10 @@ var (
 	// §6.3 session-key negotiation traffic.
 	mSessionKeyRequests   = obs.Default.Counter("session_key_requests_total")
 	mSessionKeyDeliveries = obs.Default.Counter("session_key_deliveries_total")
+	// Recipients evicted from a full sessionKeyRecips table to admit a
+	// newer verifier; evictees renegotiate on the next unknown-session
+	// drop instead of receiving proactive rekey pushes.
+	mSessionKeyRecipsEvicted = obs.Default.Counter("session_key_recips_evicted_total")
 	// Refused SESSION_KEY_REQUESTs by reason: rate-limited before any
 	// crypto, malformed/unsafe delivery topic, credential failure, or a
 	// valid credential with no standing for this topic (neither an
@@ -189,6 +193,7 @@ type session struct {
 	// all of them so the publisher leaves the RSA fallback quickly.
 	sp               *SessionPublisher
 	sessionKeyRecips map[ident.EntityID]*sessionKeyRecipient
+	recipSeq         uint64
 
 	// Responder-side SESSION_KEY_REQUEST rate limiting (§6.3): at most
 	// one admitted request per requester and sessionKeyRespBurst per
@@ -212,12 +217,16 @@ type sessionKeyRecipient struct {
 	id            [secure.SessionIDLen]byte
 	deliveryTopic string
 	pub           *rsa.PublicKey
+	// seq orders recipients by last delivery, so a full table evicts
+	// the longest-idle verifier rather than refusing new ones.
+	seq uint64
 }
 
-// sessionKeyMaxRecipients bounds the per-session recipient memory; past
-// it new verifiers still get on-request deliveries but are not tracked
-// for proactive rekey pushes (they renegotiate on the unknown-session
-// drop instead).
+// sessionKeyMaxRecipients bounds the per-session recipient memory; a
+// full table evicts its longest-idle recipient to admit a new verifier
+// (counted by session_key_recips_evicted_total) — the evictee simply
+// renegotiates on its next unknown-session drop instead of receiving
+// proactive rekey pushes.
 const sessionKeyMaxRecipients = 256
 
 // sessionKeyRespBurst caps how many SESSION_KEY_REQUESTs one session
@@ -1231,17 +1240,38 @@ func (s *session) deliverSessionParams(recipient ident.EntityID, deliveryTopic s
 	resp := &message.SessionKeyResponse{TraceTopic: s.traceTopic, Recipient: recipient, Sealed: sealed}
 	env := message.New(message.TypeSessionKeyResponse, tp, "", resp.Marshal())
 	s.signAndPublish(env, nil)
-	s.mu.Lock()
-	if rec, ok := s.sessionKeyRecips[recipient]; ok {
-		rec.id, rec.deliveryTopic, rec.pub = id, deliveryTopic, pub
-	} else if len(s.sessionKeyRecips) < sessionKeyMaxRecipients {
-		s.sessionKeyRecips[recipient] = &sessionKeyRecipient{id: id, deliveryTopic: deliveryTopic, pub: pub}
-	}
-	s.mu.Unlock()
+	s.rememberRecipient(recipient, id, deliveryTopic, pub)
 	sp.MarkDistributed(id)
 	mSessionKeyDeliveries.Inc()
 	s.tb.log.Info("session key delivered", "session", s.sessionID, "recipient", recipient)
 	return true
+}
+
+// rememberRecipient records (or refreshes) a verifier holding this
+// session's sealed parameters. A full table evicts the longest-idle
+// recipient — refreshes bump recency — so a churn of new verifiers can
+// no longer silently lock every later arrival out of proactive rekey
+// pushes.
+func (s *session) rememberRecipient(recipient ident.EntityID, id [secure.SessionIDLen]byte, deliveryTopic string, pub *rsa.PublicKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recipSeq++
+	if rec, ok := s.sessionKeyRecips[recipient]; ok {
+		rec.id, rec.deliveryTopic, rec.pub, rec.seq = id, deliveryTopic, pub, s.recipSeq
+		return
+	}
+	if len(s.sessionKeyRecips) >= sessionKeyMaxRecipients {
+		var oldest ident.EntityID
+		oldestSeq := uint64(1<<64 - 1)
+		for e, rec := range s.sessionKeyRecips {
+			if rec.seq < oldestSeq {
+				oldest, oldestSeq = e, rec.seq
+			}
+		}
+		delete(s.sessionKeyRecips, oldest)
+		mSessionKeyRecipsEvicted.Inc()
+	}
+	s.sessionKeyRecips[recipient] = &sessionKeyRecipient{id: id, deliveryTopic: deliveryTopic, pub: pub, seq: s.recipSeq}
 }
 
 // redeliverSessionParams pushes the session parameters with the given
@@ -1509,8 +1539,8 @@ func (tb *TraceBroker) SessionRequester() func(ident.UUID, [secure.SessionIDLen]
 // and delivery topic.
 func (tb *TraceBroker) publishSessionKeyRequest(tt ident.UUID, sid [secure.SessionIDLen]byte) {
 	req := &message.SessionKeyRequest{
-		TraceTopic:    tt,
-		SessionID:     sid,
+		TraceTopic: tt,
+		SessionID:  sid,
 		// The requester identifies by its credential entity (the name the
 		// CA signed), not the broker's wire name — the responder verifies
 		// the cert against exactly this identity.

@@ -66,12 +66,27 @@ type TrackerConfig struct {
 	// ReconnectBackoff paces Redial attempts; the zero value selects
 	// the backoff package defaults.
 	ReconnectBackoff backoff.Config
+	// Replay enables durable catch-up (PROTOCOL.md §3.8): every
+	// trace-class subscription is accompanied by a REPLAY request from
+	// the watch's last acknowledged log offset, so traces published
+	// while the tracker was disconnected are redelivered. The watch
+	// dedupes by offset and by trace timestamp, so the availability
+	// ledger observes each transition exactly once even across broker
+	// restarts. Brokers without a durable log deny the request and the
+	// tracker degrades to live-only delivery.
+	Replay bool
 }
 
 // Tracker-side delivery accounting and end-to-end path timing.
 var (
 	mTrackerDelivered = obs.Default.Counter("tracker_delivered_total")
 	mTrackerRejected  = obs.Default.Counter("tracker_rejected_total")
+	// tracker_replay_dupes_total counts deliveries dropped by the §3.8
+	// exactly-once guards: a durable record at or below the watch's ack
+	// cursor, or a trace whose timestamp does not advance the per-class
+	// high-water mark (the Subscribe→Replay overlap window and
+	// cross-restart offset spaces both land here).
+	mTrackerReplayDupes = obs.Default.Counter("tracker_replay_dupes_total")
 	// trace_hop_ms observes each adjacent-hop delta of a delivered
 	// envelope's span; trace_end_to_end_ms observes first-to-last.
 	// Both are subject to inter-node clock skew.
@@ -146,6 +161,17 @@ type Watch struct {
 	// counters for observability and benchmarks
 	delivered uint64
 	rejected  uint64
+	// Durable replay state (PROTOCOL.md §3.8), per trace class.
+	// durCursor is the highest durable-log offset processed this
+	// connection — the fast dedupe path for pump retransmissions, reset
+	// on reconnect because a restarted broker may serve a new offset
+	// space. lastAt is the highest trace timestamp handed to the ledger
+	// and handler; it survives reconnects and is what makes delivery
+	// exactly-once across the Subscribe→Replay overlap window and
+	// broker restarts.
+	replayOn  bool
+	durCursor [topic.NumTraceClasses]uint64
+	lastAt    [topic.NumTraceClasses]int64
 }
 
 // NewTracker connects a tracker runtime to its broker client.
@@ -230,7 +256,6 @@ func (tk *Tracker) reconnectLoop() {
 	}
 	r.run()
 }
-
 
 func (tk *Tracker) entity() ident.EntityID { return tk.cfg.Identity.Credential.Entity }
 
@@ -330,6 +355,14 @@ func (tk *Tracker) Track(ad *tdn.Advertisement, classes topic.ClassSet, handler 
 		return nil, err
 	}
 	w.subs = append(w.subs, watchSub{keyTopic, w.handleKeyDelivery})
+
+	// Durable catch-up: replay the retained log of every class topic so
+	// traces published before this tracker arrived still reach the
+	// ledger (§3.8).
+	if err := w.startReplay(cl); err != nil {
+		w.unsubscribeAll()
+		return nil, err
+	}
 
 	tk.mu.Lock()
 	tk.watches[ad.TopicID] = w
@@ -443,7 +476,64 @@ func (w *Watch) resubscribe(cl *broker.Client) error {
 			return err
 		}
 	}
+	return w.startReplay(cl)
+}
+
+// startReplay issues a durable REPLAY for each class topic of this
+// watch from the last acknowledged offset (§3.8). A broker denial —
+// durability not enabled there — degrades the watch to live-only
+// delivery; any other failure is a connection error and propagates.
+func (w *Watch) startReplay(cl *broker.Client) error {
+	if !w.tk.cfg.Replay {
+		return nil
+	}
+	w.mu.Lock()
+	w.replayOn = true
+	w.mu.Unlock()
+	for _, class := range w.classes.Classes() {
+		class := class
+		tp := topic.ForClass(w.traceTopic, class)
+		w.mu.Lock()
+		since := w.durCursor[class]
+		// A fresh connection may land on a restarted broker serving a
+		// new offset space, so the offset floor resets; the lastAt
+		// high-water mark keeps redelivered traces exactly-once.
+		w.durCursor[class] = 0
+		w.mu.Unlock()
+		err := cl.Replay(tp, since, func(offset uint64, env *message.Envelope) {
+			w.handleDurableTrace(class, offset, env)
+		})
+		if errors.Is(err, broker.ErrReplayDenied) {
+			w.tk.log.Warn("durable replay denied; tracking live-only",
+				"entity", w.entity, "topic", tp.String(), "err", err)
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: replay on %s: %w", tp, err)
+		}
+	}
 	return nil
+}
+
+// handleDurableTrace processes one offset-annotated record from a
+// replay pump: records at or below the offset floor are pump
+// retransmissions and drop immediately; everything else takes the
+// normal verification path (whose timestamp guard catches duplicates
+// spanning offset spaces) and is then acknowledged so the broker
+// advances its redelivery cursor.
+func (w *Watch) handleDurableTrace(class topic.TraceClass, offset uint64, env *message.Envelope) {
+	w.mu.Lock()
+	if offset <= w.durCursor[class] {
+		w.mu.Unlock()
+		mTrackerReplayDupes.Inc()
+		return
+	}
+	w.durCursor[class] = offset
+	w.mu.Unlock()
+	w.handleTrace(class, env)
+	if err := w.tk.client().Ack(topic.ForClass(w.traceTopic, class), offset); err != nil {
+		w.tk.log.Warn("durable ack failed", "entity", w.entity, "err", err)
+	}
 }
 
 // handleGaugeInterest answers GUAGE_INTEREST probes (§3.5). The probe
@@ -615,6 +705,19 @@ func (w *Watch) handleTrace(class topic.TraceClass, env *message.Envelope) {
 		return
 	}
 	w.mu.Lock()
+	if w.replayOn {
+		// Exactly-once floor (§3.8): a trace whose timestamp does not
+		// advance the per-class high-water mark was already delivered —
+		// via the live path during the Subscribe→Replay window, or in a
+		// previous offset space before a broker restart.
+		at := ev.SentAt.UnixNano()
+		if at <= w.lastAt[class] {
+			w.mu.Unlock()
+			mTrackerReplayDupes.Inc()
+			return
+		}
+		w.lastAt[class] = at
+	}
 	w.delivered++
 	handler := w.handler
 	stopped := w.stopped

@@ -1,0 +1,143 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk segment format. A topic log is a directory of segment files,
+// each named seg-<base>.log where <base> is the offset of the first
+// record in the segment (offsets are 1-based and contiguous across
+// segments). Every segment starts with a fixed header:
+//
+//	magic      u32   0x45544C31 ("ETL1")
+//	version    u8    1
+//	base       u64   offset of the first record
+//	prevChain  [32]byte  chain hash of the predecessor segment
+//
+// followed by length-prefixed records:
+//
+//	length     u32   payload length (bounded by maxRecordLen)
+//	crc        u32   CRC-32 (IEEE) over at‖payload
+//	at         i64   append wall-clock, unix nanoseconds
+//	payload    [length]byte
+//
+// The chain hash of a segment is SHA-256 over the exact file bytes —
+// header plus every record — as written. A segment's final chain hash
+// is stamped into its successor's header, so flipping any byte of a
+// sealed segment breaks the chain and recovery refuses the log with a
+// typed error (ErrTampered). The active (last) segment has no
+// successor; its records are individually guarded by the CRC, and a
+// torn tail — an incomplete record after the last valid one, the
+// signature of a crash mid-append — is truncated away on recovery
+// rather than refused.
+const (
+	segMagic      = 0x45544C31
+	segVersion    = 1
+	segHeaderLen  = 4 + 1 + 8 + chainLen
+	recHeaderLen  = 4 + 4 + 8
+	chainLen      = 32
+	maxRecordLen  = 16 << 20
+	idxMagic      = 0x45544958 // "ETIX"
+	idxHeaderLen  = 4 + 4
+	idxEntryLen   = 4
+	maxIdxEntries = 1 << 26
+)
+
+// appendSegmentHeader serializes a segment header.
+func appendSegmentHeader(dst []byte, base uint64, prevChain [chainLen]byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, segMagic)
+	dst = append(dst, segVersion)
+	dst = binary.BigEndian.AppendUint64(dst, base)
+	return append(dst, prevChain[:]...)
+}
+
+// parseSegmentHeader decodes and validates a segment header prefix.
+func parseSegmentHeader(b []byte) (base uint64, prevChain [chainLen]byte, err error) {
+	if len(b) < segHeaderLen {
+		return 0, prevChain, fmt.Errorf("durable: short segment header: %d bytes", len(b))
+	}
+	if binary.BigEndian.Uint32(b) != segMagic {
+		return 0, prevChain, fmt.Errorf("durable: bad segment magic %#x", binary.BigEndian.Uint32(b))
+	}
+	if b[4] != segVersion {
+		return 0, prevChain, fmt.Errorf("durable: unsupported segment version %d", b[4])
+	}
+	base = binary.BigEndian.Uint64(b[5:])
+	copy(prevChain[:], b[13:13+chainLen])
+	return base, prevChain, nil
+}
+
+// appendRecord serializes one record (header + payload) onto dst.
+func appendRecord(dst []byte, at int64, payload []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	var atb [8]byte
+	binary.BigEndian.PutUint64(atb[:], uint64(at))
+	crc.Write(atb[:])
+	crc.Write(payload)
+	dst = binary.BigEndian.AppendUint32(dst, crc.Sum32())
+	dst = append(dst, atb[:]...)
+	return append(dst, payload...)
+}
+
+// parseRecord decodes the record at the start of b. It returns the
+// record timestamp, its payload (aliasing b), and the total encoded
+// length consumed. err is non-nil when the bytes cannot be a complete,
+// CRC-valid record — the caller decides whether that means a torn tail
+// (active segment) or tampering (sealed segment).
+func parseRecord(b []byte) (at int64, payload []byte, n int, err error) {
+	if len(b) < recHeaderLen {
+		return 0, nil, 0, fmt.Errorf("durable: short record header: %d bytes", len(b))
+	}
+	length := binary.BigEndian.Uint32(b)
+	if length == 0 || length > maxRecordLen {
+		return 0, nil, 0, fmt.Errorf("durable: record length %d out of bounds", length)
+	}
+	total := recHeaderLen + int(length)
+	if len(b) < total {
+		return 0, nil, 0, fmt.Errorf("durable: record truncated: need %d bytes, have %d", total, len(b))
+	}
+	want := binary.BigEndian.Uint32(b[4:])
+	crc := crc32.NewIEEE()
+	crc.Write(b[8:total])
+	if crc.Sum32() != want {
+		return 0, nil, 0, fmt.Errorf("durable: record crc mismatch")
+	}
+	at = int64(binary.BigEndian.Uint64(b[8:]))
+	return at, b[recHeaderLen:total], total, nil
+}
+
+// appendIndex serializes a segment index: record start positions in
+// file order, so offset o within a segment based at b is entry o-b.
+func appendIndex(dst []byte, positions []uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, idxMagic)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(positions)))
+	for _, p := range positions {
+		dst = binary.BigEndian.AppendUint32(dst, p)
+	}
+	return dst
+}
+
+// parseIndex decodes a segment index file.
+func parseIndex(b []byte) ([]uint32, error) {
+	if len(b) < idxHeaderLen {
+		return nil, fmt.Errorf("durable: short index: %d bytes", len(b))
+	}
+	if binary.BigEndian.Uint32(b) != idxMagic {
+		return nil, fmt.Errorf("durable: bad index magic")
+	}
+	count := binary.BigEndian.Uint32(b[4:])
+	if count > maxIdxEntries {
+		return nil, fmt.Errorf("durable: index count %d out of bounds", count)
+	}
+	if len(b) != idxHeaderLen+int(count)*idxEntryLen {
+		return nil, fmt.Errorf("durable: index size mismatch: %d entries, %d bytes", count, len(b))
+	}
+	pos := make([]uint32, count)
+	for i := range pos {
+		pos[i] = binary.BigEndian.Uint32(b[idxHeaderLen+i*idxEntryLen:])
+	}
+	return pos, nil
+}

@@ -7,6 +7,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"entitytrace/internal/clock"
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
+	"entitytrace/internal/durable"
 	"entitytrace/internal/failure"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
@@ -103,6 +105,12 @@ type Options struct {
 	// ReconnectBackoff paces entity/tracker redial (zero selects fast
 	// test-friendly defaults).
 	ReconnectBackoff backoff.Config
+	// TrackerReconnectBackoff, when non-zero, paces tracker redial
+	// separately from entities. Crash-recovery tests slow it down to
+	// open a deterministic window in which the entity is already back
+	// and publishing while the tracker is still away — the gap that
+	// only durable replay can close.
+	TrackerReconnectBackoff backoff.Config
 	// GuardCache sizes each broker's verified-token cache. Zero selects
 	// the default size (cache enabled, so the testbed exercises the
 	// cached hot path like production brokerd); negative disables
@@ -131,6 +139,20 @@ type Options struct {
 	// AvailSLO, when valid, is the default availability objective
 	// applied to those ledgers.
 	AvailSLO avail.SLO
+	// LogDir enables per-broker durable trace logs (PROTOCOL.md §3.8)
+	// rooted at this directory, one subdirectory per broker. Trackers
+	// the testbed starts request catch-up replay automatically, and
+	// StopBroker/RestartBroker exercise crash recovery on the same
+	// directory.
+	LogDir string
+	// LogRetention bounds how long sealed durable-log segments are kept
+	// (zero keeps them for the durable package default).
+	LogRetention time.Duration
+	// LogSegmentBytes overrides the durable-log segment roll size.
+	LogSegmentBytes int64
+	// LogFsync selects the durable-log fsync policy (default FsyncBatch;
+	// crash-recovery tests use FsyncAlways so every append survives).
+	LogFsync durable.FsyncPolicy
 }
 
 func (o *Options) setDefaults() {
@@ -191,6 +213,9 @@ type Testbed struct {
 	// Flights holds each broker's flight recorder, indexed like Brokers
 	// (nil entries when Options.FlightEvents is zero).
 	Flights []*obs.FlightRecorder
+	// Stores holds each broker's durable trace-log store, indexed like
+	// Brokers (nil entries unless Options.LogDir is set).
+	Stores []*durable.Store
 
 	tr       transport.Transport
 	entities []*core.TracedEntity
@@ -241,110 +266,195 @@ func New(opts Options) (*Testbed, error) {
 	}
 
 	for i := 0; i < opts.Brokers; i++ {
-		resolver := core.NewCachingResolver(core.NodeResolver(tb.Node))
-		var tokenCache *core.TokenCache
-		if opts.GuardCache >= 0 {
-			tokenCache = core.NewTokenCache(opts.GuardCache)
-		}
-		var flight *obs.FlightRecorder
-		if opts.FlightEvents != 0 {
-			size := opts.FlightEvents
-			if size < 0 {
-				size = obs.DefaultFlightEvents
-			}
-			sample := opts.FlightSample
-			if sample <= 0 {
-				sample = obs.DefaultFlightSample
-			}
-			flight = obs.NewFlightRecorder(fmt.Sprintf("hb%d", i), size, sample)
-		}
-		var guard broker.Guard
-		var sessions *core.SessionStore
-		// requester is bound after the trace manager exists; the guard's
-		// unknown-session hook reads it atomically (the guard may already
-		// run on peer goroutines by then).
-		var requester atomic.Pointer[func(ident.UUID, [secure.SessionIDLen]byte)]
-		if opts.SessionKeys {
-			sessions = core.NewSessionStore(0)
-			guard = core.NewSessionTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew,
-				tokenCache, flight, core.SessionGuardConfig{
-					Store: sessions,
-					OnUnknownSession: func(tt ident.UUID, sid [secure.SessionIDLen]byte) {
-						if fn := requester.Load(); fn != nil {
-							(*fn)(tt, sid)
-						}
-					},
-				})
-		} else {
-			guard = core.NewObservedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache, flight)
-		}
-		b := broker.New(broker.Config{
-			Name:                 fmt.Sprintf("hb%d", i),
-			Guard:                guard,
-			Flight:               flight,
-			ViolationLimit:       opts.ViolationLimit,
-			EgressQueue:          opts.EgressQueue,
-			SlowConsumerDeadline: opts.SlowConsumerDeadline,
-			PublishRate:          opts.PublishRate,
-			PublishBurst:         opts.PublishBurst,
-			QuarantineDuration:   opts.QuarantineDuration,
-			BatchBytes:           opts.BatchBytes,
-			BatchLatency:         opts.BatchLatency,
-		})
-		l, err := tb.listen()
-		if err != nil {
+		if err := tb.startBroker(i, ""); err != nil {
 			tb.Close()
 			return nil, err
 		}
-		b.Serve(l)
-		// Broker identities carry the broker role (OU marker): hosting
-		// brokers only honour session-key requests from interested trackers
-		// or broker-role credentials.
-		brokerID, err := tb.CA.IssueBroker(ident.EntityID(fmt.Sprintf("harness-broker-%d", i)))
-		if err != nil {
+		if err := tb.linkBroker(i); err != nil {
 			tb.Close()
 			return nil, err
-		}
-		mgr, err := core.NewTraceBroker(core.BrokerConfig{
-			Broker:         b,
-			Identity:       brokerID,
-			Verifier:       tb.Verifier,
-			Resolver:       resolver,
-			Clock:          clock.Real{},
-			Detector:       opts.Detector,
-			GaugeInterval:  opts.GaugeInterval,
-			InterestTTL:    opts.InterestTTL,
-			HealthInterval: opts.HealthInterval,
-			AvailInterval:  opts.AvailInterval,
-			Avail:          tb.newLedger(opts.AvailInterval > 0),
-			TokenCache:     tokenCache,
-			SessionKeys:    opts.SessionKeys,
-			Sessions:       sessions,
-		})
-		if err != nil {
-			tb.Close()
-			return nil, err
-		}
-		if opts.SessionKeys {
-			fn := mgr.SessionRequester()
-			requester.Store(&fn)
-		}
-		mgr.Start()
-		tb.Brokers = append(tb.Brokers, b)
-		tb.Managers = append(tb.Managers, mgr)
-		tb.Flights = append(tb.Flights, flight)
-		tb.Addrs = append(tb.Addrs, l.Addr())
-		if i > 0 {
-			if opts.PersistentLinks {
-				b.ConnectToPersistentBackoff(tb.tr, tb.Addrs[i-1],
-					fastBackoff(opts.LinkBackoff, opts.ShapeSeed+int64(i)))
-			} else if err := b.ConnectTo(tb.tr, tb.Addrs[i-1]); err != nil {
-				tb.Close()
-				return nil, err
-			}
 		}
 	}
 	return tb, nil
+}
+
+// startBroker builds broker i with its guard, trace manager and (when
+// Options.LogDir is set) durable store, and serves it. An empty
+// listenAddr picks a fresh address; a concrete one reuses it (restart).
+// Index i == len(tb.Brokers) appends a new node; an existing index is
+// replaced in place.
+func (tb *Testbed) startBroker(i int, listenAddr string) error {
+	opts := tb.Opts
+	resolver := core.NewCachingResolver(core.NodeResolver(tb.Node))
+	var tokenCache *core.TokenCache
+	if opts.GuardCache >= 0 {
+		tokenCache = core.NewTokenCache(opts.GuardCache)
+	}
+	var flight *obs.FlightRecorder
+	if opts.FlightEvents != 0 {
+		size := opts.FlightEvents
+		if size < 0 {
+			size = obs.DefaultFlightEvents
+		}
+		sample := opts.FlightSample
+		if sample <= 0 {
+			sample = obs.DefaultFlightSample
+		}
+		flight = obs.NewFlightRecorder(fmt.Sprintf("hb%d", i), size, sample)
+	}
+	var guard broker.Guard
+	var sessions *core.SessionStore
+	// requester is bound after the trace manager exists; the guard's
+	// unknown-session hook reads it atomically (the guard may already
+	// run on peer goroutines by then).
+	var requester atomic.Pointer[func(ident.UUID, [secure.SessionIDLen]byte)]
+	if opts.SessionKeys {
+		sessions = core.NewSessionStore(0)
+		guard = core.NewSessionTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew,
+			tokenCache, flight, core.SessionGuardConfig{
+				Store: sessions,
+				OnUnknownSession: func(tt ident.UUID, sid [secure.SessionIDLen]byte) {
+					if fn := requester.Load(); fn != nil {
+						(*fn)(tt, sid)
+					}
+				},
+			})
+	} else {
+		guard = core.NewObservedTokenGuard(resolver, tb.Verifier, nil, token.DefaultClockSkew, tokenCache, flight)
+	}
+	// One durable-log directory per broker, stable across restarts so
+	// recovery replays what the previous incarnation persisted.
+	var store *durable.Store
+	if opts.LogDir != "" {
+		var err error
+		store, err = durable.Open(filepath.Join(opts.LogDir, fmt.Sprintf("hb%d", i)), durable.Options{
+			SegmentBytes: opts.LogSegmentBytes,
+			Retention:    opts.LogRetention,
+			Fsync:        opts.LogFsync,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	b := broker.New(broker.Config{
+		Name:                 fmt.Sprintf("hb%d", i),
+		Guard:                guard,
+		Flight:               flight,
+		Durable:              store,
+		ViolationLimit:       opts.ViolationLimit,
+		EgressQueue:          opts.EgressQueue,
+		SlowConsumerDeadline: opts.SlowConsumerDeadline,
+		PublishRate:          opts.PublishRate,
+		PublishBurst:         opts.PublishBurst,
+		QuarantineDuration:   opts.QuarantineDuration,
+		BatchBytes:           opts.BatchBytes,
+		BatchLatency:         opts.BatchLatency,
+	})
+	// Broker identities carry the broker role (OU marker): hosting
+	// brokers only honour session-key requests from interested trackers
+	// or broker-role credentials.
+	brokerID, err := tb.CA.IssueBroker(ident.EntityID(fmt.Sprintf("harness-broker-%d", i)))
+	if err != nil {
+		b.Close()
+		return err
+	}
+	mgr, err := core.NewTraceBroker(core.BrokerConfig{
+		Broker:         b,
+		Identity:       brokerID,
+		Verifier:       tb.Verifier,
+		Resolver:       resolver,
+		Clock:          clock.Real{},
+		Detector:       opts.Detector,
+		GaugeInterval:  opts.GaugeInterval,
+		InterestTTL:    opts.InterestTTL,
+		HealthInterval: opts.HealthInterval,
+		AvailInterval:  opts.AvailInterval,
+		Avail:          tb.newLedger(opts.AvailInterval > 0),
+		TokenCache:     tokenCache,
+		SessionKeys:    opts.SessionKeys,
+		Sessions:       sessions,
+	})
+	if err != nil {
+		b.Close()
+		return err
+	}
+	if opts.SessionKeys {
+		fn := mgr.SessionRequester()
+		requester.Store(&fn)
+	}
+	mgr.Start()
+	// Accept connections only once the manager's subscriptions are live:
+	// a client redialing a freshly restarted broker would otherwise
+	// publish its registration into the void and stall for a full
+	// RegisterTimeout before retrying.
+	var l transport.Listener
+	if listenAddr == "" {
+		l, err = tb.listen()
+	} else {
+		l, err = tb.tr.Listen(listenAddr)
+	}
+	if err != nil {
+		mgr.Close()
+		b.Close()
+		return err
+	}
+	b.Serve(l)
+	if i == len(tb.Brokers) {
+		tb.Brokers = append(tb.Brokers, b)
+		tb.Managers = append(tb.Managers, mgr)
+		tb.Flights = append(tb.Flights, flight)
+		tb.Stores = append(tb.Stores, store)
+		tb.Addrs = append(tb.Addrs, l.Addr())
+	} else {
+		tb.Brokers[i] = b
+		tb.Managers[i] = mgr
+		tb.Flights[i] = flight
+		tb.Stores[i] = store
+		tb.Addrs[i] = l.Addr()
+	}
+	return nil
+}
+
+// linkBroker dials broker i's chain link to its predecessor.
+func (tb *Testbed) linkBroker(i int) error {
+	if i <= 0 {
+		return nil
+	}
+	if tb.Opts.PersistentLinks {
+		tb.Brokers[i].ConnectToPersistentBackoff(tb.tr, tb.Addrs[i-1],
+			fastBackoff(tb.Opts.LinkBackoff, tb.Opts.ShapeSeed+int64(i)))
+		return nil
+	}
+	return tb.Brokers[i].ConnectTo(tb.tr, tb.Addrs[i-1])
+}
+
+// StopBroker simulates a broker crash: node i's manager and broker go
+// down and the durable store is abandoned without a final sync — the
+// in-process equivalent of SIGKILL, so recovery finds exactly what the
+// write path had already handed to the OS.
+func (tb *Testbed) StopBroker(i int) error {
+	if i < 0 || i >= len(tb.Brokers) {
+		return errors.New("harness: broker index out of range")
+	}
+	tb.Managers[i].Close()
+	tb.Brokers[i].Close()
+	if tb.Stores[i] != nil {
+		tb.Stores[i].Crash()
+	}
+	return nil
+}
+
+// RestartBroker rebuilds a stopped broker i on its original address and
+// durable-log directory: recovery scans and verifies the persisted
+// segments, and reconnecting consumers resume their replay cursors.
+func (tb *Testbed) RestartBroker(i int) error {
+	if i < 0 || i >= len(tb.Brokers) {
+		return errors.New("harness: broker index out of range")
+	}
+	if err := tb.startBroker(i, tb.Addrs[i]); err != nil {
+		return err
+	}
+	return tb.linkBroker(i)
 }
 
 // Transport exposes the testbed's transport so callers can attach extra
@@ -384,6 +494,11 @@ func (tb *Testbed) Close() {
 	}
 	for _, b := range tb.Brokers {
 		b.Close()
+	}
+	for _, s := range tb.Stores {
+		if s != nil {
+			s.Close()
+		}
 	}
 }
 
@@ -440,6 +555,16 @@ type TrackerHandle struct {
 // named entity with the given classes. Its events arrive on the
 // returned channel (buffered; overflow drops).
 func (tb *Testbed) StartTracker(name string, brokerIdx int, entity string, classes topic.ClassSet) (*TrackerHandle, error) {
+	return tb.StartTrackerPaced(name, brokerIdx, entity, classes, backoff.Config{})
+}
+
+// StartTrackerPaced is StartTracker with an explicit reconnect pace for
+// this one tracker, overriding Options.TrackerReconnectBackoff. Crash
+// tests use it to pair a fast-redialing tracker (whose restored
+// interest keeps the manager publishing after a broker restart) with a
+// slow one whose catch-up replay is under test. A zero pace falls back
+// to the testbed-wide options.
+func (tb *Testbed) StartTrackerPaced(name string, brokerIdx int, entity string, classes topic.ClassSet, pace backoff.Config) (*TrackerHandle, error) {
 	if brokerIdx < 0 || brokerIdx >= len(tb.Addrs) {
 		return nil, errors.New("harness: broker index out of range")
 	}
@@ -460,12 +585,21 @@ func (tb *Testbed) StartTracker(name string, brokerIdx int, entity string, class
 		Resolver:  core.NewCachingResolver(core.NodeResolver(tb.Node)),
 		Client:    cl,
 		Avail:     ledger,
+		// Durable brokers serve catch-up replay; trackers use it so the
+		// ledger sees traces published while they were away (§3.8).
+		Replay: tb.Opts.LogDir != "",
 	}
 	if tb.Opts.Reconnect {
 		cfg.Redial = func() (*broker.Client, error) {
 			return broker.Connect(tb.tr, addr, ident.EntityID(name))
 		}
-		cfg.ReconnectBackoff = fastBackoff(tb.Opts.ReconnectBackoff, tb.Opts.ShapeSeed+1)
+		if pace == (backoff.Config{}) {
+			pace = tb.Opts.TrackerReconnectBackoff
+		}
+		if pace == (backoff.Config{}) {
+			pace = tb.Opts.ReconnectBackoff
+		}
+		cfg.ReconnectBackoff = fastBackoff(pace, tb.Opts.ShapeSeed+1)
 	}
 	tk, err := core.NewTracker(cfg)
 	if err != nil {

@@ -176,6 +176,30 @@ func IsSessionKeyDelivery(tp Topic) bool {
 		s[6] != Wildcard
 }
 
+// IsTraceDerivative reports whether tp has the exact shape of a
+// per-trace-topic derivative class topic (Table 2):
+// /Constrained/Traces/Broker/Publish-Only/<TraceTopic-UUID>/<class>.
+// These are the streams the availability ledger is built from, and the
+// default set a broker's durable log persists before fan-out — the
+// system topics (non-UUID "System" segment) and transient interest
+// probes deliberately fall outside it.
+func IsTraceDerivative(tp Topic) bool {
+	s := tp.segments
+	if len(s) != 6 ||
+		s[0] != "Constrained" || s[1] != "Traces" || s[2] != "Broker" || s[3] != "Publish-Only" {
+		return false
+	}
+	if _, err := ident.ParseUUID(s[4]); err != nil {
+		return false
+	}
+	switch s[5] {
+	case SuffixChangeNotifications, SuffixAllUpdates, SuffixStateTransitions,
+		SuffixLoad, SuffixNetworkMetrics:
+		return true
+	}
+	return false
+}
+
 // TraceClass names a selectable category of trace information a tracker
 // may register interest in (§3.5: "any combination of change
 // notifications, all-updates, state transitions, load information or

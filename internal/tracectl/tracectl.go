@@ -162,10 +162,10 @@ func (c *Client) Waterfall(w io.Writer, id string) error {
 // stage latencies. It is what both the text and JSON waterfall
 // renderers consume.
 type Waterfall struct {
-	Trace  string         `json:"trace"`
-	Path   []string       `json:"path"`
-	Events []nodeEvent    `json:"events"`
-	Stages []obs.Segment  `json:"stages,omitempty"`
+	Trace  string        `json:"trace"`
+	Path   []string      `json:"path"`
+	Events []nodeEvent   `json:"events"`
+	Stages []obs.Segment `json:"stages,omitempty"`
 	// TotalNanos and SkewNanos mirror the obs.Assembly totals.
 	TotalNanos int64 `json:"total_nanos"`
 	SkewNanos  int64 `json:"skew_nanos,omitempty"`
@@ -310,6 +310,15 @@ func (c *Client) Tail(w io.Writer, interval time.Duration, rounds int) (int, err
 			d, err := c.fetch(a, fmt.Sprintf("since=%d", since[a]))
 			if err != nil {
 				continue
+			}
+			if d.Head < since[a] {
+				// The node's flight head moved backwards: it restarted
+				// and our cursor is from the old recorder's sequence
+				// space, so every future poll would return nothing.
+				// Resync from the beginning of the new recorder.
+				if d, err = c.fetch(a, "since=0"); err != nil {
+					continue
+				}
 			}
 			since[a] = d.Head
 			fresh = append(fresh, d)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -271,5 +272,43 @@ func TestTailJSON(t *testing.T) {
 		if ne.Node != "t0" {
 			t.Fatalf("tail line node = %q", ne.Node)
 		}
+	}
+}
+
+// A node restart resets its flight recorder's sequence space. Tail must
+// notice the head moving backwards and resync from the start of the new
+// recorder instead of polling with a stale cursor that skips (or hides
+// forever) everything the restarted node records.
+func TestTailResyncsAfterNodeRestart(t *testing.T) {
+	before := obs.NewFlightRecorder("t0", 64, 1)
+	for i := 0; i < 3; i++ {
+		before.Record(obs.FlightEvent{Kind: obs.FlightIngress, Peer: "pre-restart"})
+	}
+	after := obs.NewFlightRecorder("t0", 64, 1)
+	after.Record(obs.FlightEvent{Kind: obs.FlightIngress, Peer: "post-restart"})
+
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// First poll hits the original recorder; every later poll hits
+		// the restarted node's fresh (shorter) recorder.
+		if calls.Add(1) == 1 {
+			obs.FlightHandler(before).ServeHTTP(w, r)
+			return
+		}
+		obs.FlightHandler(after).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	cl := &Client{Admins: []string{srv.URL}, JSON: true}
+	var out bytes.Buffer
+	n, err := cl.Tail(&out, time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("tail printed %d events, want 4 (3 pre-restart + 1 resynced)", n)
+	}
+	if !strings.Contains(out.String(), "post-restart") {
+		t.Fatal("post-restart event missing: stale cursor was not resynced")
 	}
 }
