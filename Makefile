@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover trace avail durable bench flood hotpath benchdiff fuzz chaos repro examples clean
+.PHONY: all build test race verify cover trace avail durable fabric bench flood hotpath benchdiff fuzz chaos repro examples clean
 
 all: build test
 
@@ -19,7 +19,7 @@ test:
 # mid-stream renegotiation chaos scenario. Uncached (-count=1) so verify
 # always exercises them fresh.
 race:
-	$(GO) test -race -count=1 ./internal/broker/ ./internal/secure/... ./internal/transport/ ./internal/message/ ./internal/durable/
+	$(GO) test -race -count=1 ./internal/broker/ ./internal/secure/... ./internal/transport/ ./internal/message/ ./internal/durable/ ./internal/fabric/
 	$(GO) test -race -count=1 -run 'TestChaosSession' .
 
 # Tier-1 gate: everything CI runs before a merge.
@@ -34,6 +34,7 @@ verify: build
 	$(MAKE) trace
 	$(MAKE) avail
 	$(MAKE) durable
+	$(MAKE) fabric
 	$(MAKE) cover
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
@@ -55,6 +56,7 @@ OBS_COVER_FLOOR = 85
 AVAIL_COVER_FLOOR = 80
 SECURE_COVER_FLOOR = 85
 DURABLE_COVER_FLOOR = 85
+FABRIC_COVER_FLOOR = 85
 cover:
 	@out=$$($(GO) test ./internal/... 2>&1); status=$$?; echo "$$out"; \
 	if [ $$status -ne 0 ]; then exit $$status; fi; \
@@ -72,7 +74,7 @@ cover:
 		fi; \
 		echo "cover: internal/$$1 $$pct% >= $$2% floor"; \
 	}; \
-	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR) && check durable $(DURABLE_COVER_FLOOR)
+	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR) && check durable $(DURABLE_COVER_FLOOR) && check fabric $(FABRIC_COVER_FLOOR)
 
 # Tracing smoke: the tracectl end-to-end suite against a 3-broker chain —
 # waterfall rendering, guard-drop visibility in tail, tail's since-cursor
@@ -101,6 +103,18 @@ durable:
 	$(GO) test -race -run 'TestDurable' -count=1 -v .
 	DURABLE_EXPORT=1 $(GO) test -run 'TestExportDurableBench' -count=1 -v .
 
+# Fabric smoke (§3.9): the hash-ring/gossip/orchestrator unit suite
+# race-enabled, the owner-kill chaos scenario, the 16-broker 100k-entity
+# tracking soak under -race, then the capacity-normalized scale
+# benchmark export (BENCH_fabric.json), which enforces the acceptance
+# bound: >= 3x aggregate deliveries/s at 4 shards vs 1 under an
+# identical offered schedule.
+fabric:
+	$(GO) test -race -count=1 ./internal/fabric/
+	$(GO) test -race -run 'TestChaosFabricOwnerKill' -count=1 -v .
+	FABRIC_E2E=1 $(GO) test -race -run 'TestFabricE2E16Brokers100k' -count=1 -v -timeout 20m .
+	FABRIC_EXPORT=1 $(GO) test -run 'TestExportFabricBench' -count=1 -v .
+
 # Full benchmark sweep (the testing.B mirror of the paper's evaluation).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -124,7 +138,7 @@ hotpath:
 # cmd/benchdiff (mean ± stderr). First run records the baseline; commit
 # or stash your changes, run again, and the table shows the deltas.
 # Refresh the baseline by deleting bench_baseline.txt.
-HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch|Durable
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch|Durable|Fabric
 benchdiff:
 	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
 	@if [ -f bench_baseline.txt ]; then \

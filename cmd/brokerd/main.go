@@ -26,6 +26,7 @@ import (
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
 	"entitytrace/internal/durable"
+	"entitytrace/internal/fabric"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
 	"entitytrace/internal/secure"
@@ -46,6 +47,10 @@ func main() {
 		linkRetry     = flag.Duration("link-retry", 250*time.Millisecond, "initial redial delay for the -connect persistent link")
 		linkRetryMax  = flag.Duration("link-retry-max", 30*time.Second, "redial delay ceiling for the -connect persistent link")
 		dirAddr       = flag.String("dir", "", "broker directory to register with (optional)")
+		fabricOn      = flag.Bool("fabric", false, "join the sharded broker fabric: gossip membership, consistent-hash trace-topic ownership, auto-dialed links (PROTOCOL.md §3.9); peers are discovered via -dir and gossip, no -connect wiring needed")
+		vnodes        = flag.Int("vnodes", 0, "virtual nodes per fabric member on the hash ring (0 keeps the default)")
+		gossipEvery   = flag.Duration("gossip-interval", 500*time.Millisecond, "fabric gossip/heartbeat period")
+		failAfter     = flag.Duration("fail-after", 0, "declare a fabric member failed after this heartbeat silence (0 means 5x -gossip-interval)")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7190) serving /stats, /metrics, /healthz and /debug/pprof")
 		egressQueue   = flag.Int("egress-queue", broker.DefaultEgressQueue, "per-peer outbound queue bound in frames; oldest data is shed when full")
 		slowDeadline  = flag.Duration("slow-consumer-deadline", broker.DefaultSlowConsumerDeadline, "how long a peer's egress queue may stay saturated before eviction")
@@ -252,13 +257,38 @@ func main() {
 	}
 
 	// Register with the broker directory and refresh periodically so
-	// entities can discover a valid broker (§3.2 / Ref [3]).
+	// entities can discover a valid broker (§3.2 / Ref [3]). Under
+	// -fabric the fabric owns registration: it refreshes every gossip
+	// interval and carries the ownership-table epoch.
 	var dirClient *brokerdir.Client
 	if *dirAddr != "" {
 		dirClient = brokerdir.NewClient(tr, *dirAddr)
-		if err := dirClient.Register(brokerName, *transportName, l.Addr(), float64(b.PeerCount())); err != nil {
-			fail("directory registration: %v", err)
+		if !*fabricOn {
+			if err := dirClient.Register(brokerName, *transportName, l.Addr(), float64(b.PeerCount())); err != nil {
+				fail("directory registration: %v", err)
+			}
 		}
+	}
+	var fab *fabric.Fabric
+	if *fabricOn {
+		fab, err = fabric.New(fabric.Config{
+			Broker:         b,
+			Name:           brokerName,
+			Transport:      tr,
+			TransportName:  *transportName,
+			Addr:           l.Addr(),
+			Dir:            dirClient,
+			VNodes:         *vnodes,
+			GossipInterval: *gossipEvery,
+			FailAfter:      *failAfter,
+			Log:            log,
+			Store:          store,
+		})
+		if err != nil {
+			fail("fabric: %v", err)
+		}
+		fab.Start()
+		fmt.Printf("brokerd: %s joined fabric (vnodes=%d, gossip=%s)\n", brokerName, *vnodes, *gossipEvery)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -273,7 +303,7 @@ func main() {
 	for {
 		select {
 		case <-ticker.C:
-			if dirClient != nil {
+			if dirClient != nil && fab == nil {
 				_ = dirClient.Register(brokerName, *transportName, l.Addr(), float64(b.PeerCount()))
 			}
 		case <-quit:
@@ -285,7 +315,12 @@ func main() {
 			_ = flight.WriteJSON(os.Stderr, obs.FlightFilter{})
 		case <-stop:
 			fmt.Println("brokerd: shutting down")
-			if dirClient != nil {
+			// A graceful fabric leave gossips the tombstone and hands the
+			// durable tail to the new owners before the broker stops.
+			if fab != nil {
+				fab.Close()
+			}
+			if dirClient != nil && fab == nil {
 				_ = dirClient.Deregister(brokerName)
 			}
 			mgr.Close()
@@ -345,6 +380,13 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, toke
 		}
 		if store != nil {
 			out["durable"] = store.Stats()
+		}
+		if h := b.Health(); h.FabricMembers > 0 {
+			out["fabric"] = map[string]any{
+				"epoch":         h.FabricEpoch,
+				"members":       h.FabricMembers,
+				"ownedPerMille": h.FabricOwnedPerMille,
+			}
 		}
 		if tokenCache != nil {
 			// Guard-cache hit/miss/eviction/invalidation counters (also on

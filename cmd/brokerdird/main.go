@@ -30,6 +30,10 @@ func main() {
 		fail("%v", err)
 	}
 	dir := brokerdir.NewDirectory(*ttl)
+	// The sweeper prunes expired registrations even when nobody queries,
+	// so brokerdir_expired_total tracks dead brokers in real time.
+	stopSweep := dir.StartSweeper(0)
+	defer stopSweep()
 	srv := brokerdir.NewServer(dir)
 	l, err := tr.Listen(*listen)
 	if err != nil {

@@ -187,6 +187,19 @@ type Broker struct {
 	pending   map[transport.Conn]struct{} // conns awaiting hello
 	closed    bool
 	done      chan struct{}
+	// links indexes broker-link peers by name for the fabric's
+	// forward-to-owner unicast (guarded by mu; inbound links are named by
+	// their hello, dialed links by EnsureLink/ConnectTo).
+	links map[string]*peer
+
+	// sharding, when installed (SetSharding), is the fabric ownership
+	// table consulted once per publish; atomic so the hot path never
+	// locks for it.
+	sharding atomic.Pointer[shardingRef]
+
+	// linkMu guards linkDials, the per-name EnsureLink redial loops.
+	linkMu    sync.Mutex
+	linkDials map[string]chan struct{}
 
 	// propCache memoizes propagatable() per topic string (bounded by
 	// propCacheMax, counted in propCacheN) so the constrained-grammar
@@ -311,6 +324,7 @@ func New(cfg Config) *Broker {
 		subs:      make(map[string]map[subscriberRef]struct{}),
 		wildcards: make(map[string]topic.Topic),
 		local:     make(map[string][]*localSub),
+		links:     make(map[string]*peer),
 		pending:   make(map[transport.Conn]struct{}),
 		seen:      make(map[ident.UUID]struct{}, cfg.DedupeWindow),
 		seenRing:  newUUIDRing(cfg.DedupeWindow),
@@ -419,8 +433,15 @@ func (b *Broker) ConnectTo(tr transport.Transport, addr string) error {
 	return nil
 }
 
-// dialLink dials a peer broker and registers the link.
+// dialLink dials a peer broker and registers the link, naming it by
+// address (the hand-wired -link form; fabric links dial by name).
 func (b *Broker) dialLink(tr transport.Transport, addr string) (*peer, error) {
+	return b.dialLinkNamed(tr, addr, addr)
+}
+
+// dialLinkNamed dials a peer broker and registers the link under the
+// given peer name, so the fabric can forward to it by broker name.
+func (b *Broker) dialLinkNamed(tr transport.Transport, addr, name string) (*peer, error) {
 	conn, err := tr.Dial(addr)
 	if err != nil {
 		return nil, err
@@ -430,7 +451,7 @@ func (b *Broker) dialLink(tr transport.Transport, addr string) (*peer, error) {
 		conn.Close()
 		return nil, err
 	}
-	p := b.newPeer(conn, true, addr)
+	p := b.newPeer(conn, true, name)
 	if p == nil {
 		conn.Close()
 		return nil, errors.New("broker: closed")
@@ -522,6 +543,11 @@ func (b *Broker) newPeer(conn transport.Conn, isBroker bool, name string) *peer 
 		return nil
 	}
 	b.peers[p] = struct{}{}
+	if isBroker && name != "" {
+		// Newest link wins the by-name index; removePeer only clears the
+		// entry if it still points at the departing peer.
+		b.links[name] = p
+	}
 	b.wg.Add(1)
 	go func() {
 		defer b.wg.Done()
@@ -624,7 +650,11 @@ func (b *Broker) parseIngress(p *peer, body []byte) *message.Envelope {
 // (PROTOCOL.md §3.8) still holds for each envelope because delivery only
 // starts after every group append returns.
 func (b *Broker) ingestBatch(p *peer, frames [][]byte) {
-	if b.cfg.Durable == nil {
+	// Under a fabric the per-envelope path must run: each envelope of the
+	// batch may be owned by a different shard, and route() applies the
+	// forward-to-owner and origin-persist rules individually. The group
+	// append below would persist before ownership is consulted.
+	if b.cfg.Durable == nil || b.shardingOf() != nil {
 		for _, f := range frames {
 			b.ingestEnvelope(p, f[1:])
 			if p.closed.Load() {
@@ -890,6 +920,9 @@ func (b *Broker) removePeer(p *peer) {
 		return
 	}
 	delete(b.peers, p)
+	if p.isBroker && b.links[p.name] == p {
+		delete(b.links, p.name)
+	}
 	affected := make([]string, 0, len(p.subs))
 	ref := subscriberRef{p: p}
 	for ts := range p.subs {
@@ -1047,7 +1080,7 @@ func (b *Broker) refreshLinks(ts string) {
 			continue
 		}
 		want := false
-		if prop {
+		if prop && b.shardAdvertiseOK(ts, p) {
 			for ref := range set {
 				if ref.p != p {
 					want = true
@@ -1079,7 +1112,7 @@ func (b *Broker) syncLinkSubscriptions(p *peer) {
 	b.mu.Lock()
 	topics := make([]string, 0, len(b.subs))
 	for ts, set := range b.subs {
-		if !b.propagates(ts) {
+		if !b.propagates(ts) || !b.shardAdvertiseOK(ts, p) {
 			continue
 		}
 		for ref := range set {
@@ -1157,6 +1190,15 @@ func (b *Broker) route(from *peer, env *message.Envelope, principal topic.Princi
 	// One atomic add decides whether this envelope's healthy events
 	// (ingress, route, egress) are recorded; drops are always recorded.
 	sampled := b.cfg.Flight.Sampled()
+	// Fabric partitioning (PROTOCOL.md §3.9): a sharded topic owned by
+	// another broker is forwarded to (or fanned in from) its owner
+	// instead of flood-routed; locally owned and unsharded topics take
+	// the ordinary pipeline below.
+	if s := b.shardingOf(); s != nil {
+		if owner, local, sharded := s.Route(env.Topic.String()); sharded && !local {
+			return b.routeShardRemote(from, env, principal, owner, sampled)
+		}
+	}
 	ok, err := b.admit(from, env, principal, sampled)
 	if !ok {
 		return err
@@ -1228,7 +1270,7 @@ func (b *Broker) admit(from *peer, env *message.Envelope, principal topic.Princi
 func (b *Broker) finishRoute(from *peer, env *message.Envelope, sampled bool) {
 	b.stats.published.Add(1)
 	mPublished.Inc()
-	b.deliver(from, env, sampled)
+	b.deliver(from, env, sampled, false)
 }
 
 // deliverScratch pools the per-delivery collection state so routing an
@@ -1259,7 +1301,10 @@ func (sc *deliverScratch) release() {
 // interested links. It holds only the routing index's read lock while
 // collecting subscribers, so concurrent publishers do not serialize.
 // sampled carries route's per-envelope flight-sampling decision.
-func (b *Broker) deliver(from *peer, env *message.Envelope, sampled bool) {
+// skipBrokers suppresses link forwarding: fan-in deliveries from a
+// topic's shard owner go to local subscribers and clients only, which
+// keeps fabric routing one-hop and loop-free.
+func (b *Broker) deliver(from *peer, env *message.Envelope, sampled, skipBrokers bool) {
 	ts := env.Topic.String()
 	sc := deliverScratchPool.Get().(*deliverScratch)
 	defer sc.release()
@@ -1331,7 +1376,7 @@ func (b *Broker) deliver(from *peer, env *message.Envelope, sampled bool) {
 	}
 	now := b.clk.Now()
 	for _, p := range sc.remote {
-		if p.isBroker && (!prop || fwdTTL == 0) {
+		if p.isBroker && (skipBrokers || !prop || fwdTTL == 0) {
 			continue
 		}
 		// A peer holding a replay cursor on this exact topic is served
@@ -1434,12 +1479,25 @@ type Health struct {
 	// FlightHead is the flight recorder's latest sequence number (0 when
 	// recording is disabled).
 	FlightHead uint64
+	// FabricEpoch/FabricMembers/FabricOwnedPerMille snapshot the fabric
+	// ownership table (all zero outside a fabric): the epoch number, the
+	// live member count, and this broker's share of the hash circle in
+	// per-mille.
+	FabricEpoch         uint64
+	FabricMembers       int
+	FabricOwnedPerMille int
 }
 
 // Health snapshots the broker's topology and per-peer queue/offender
 // state.
 func (b *Broker) Health() Health {
 	h := Health{Name: b.name, Stats: b.Snapshot(), FlightHead: b.cfg.Flight.Head()}
+	if s := b.shardingOf(); s != nil {
+		info := s.Info()
+		h.FabricEpoch = info.Epoch
+		h.FabricMembers = info.Members
+		h.FabricOwnedPerMille = info.OwnedPerMille
+	}
 	b.mu.RLock()
 	h.Subscriptions = len(b.subs)
 	peers := make([]*peer, 0, len(b.peers))

@@ -1,0 +1,401 @@
+package broker
+
+import (
+	"time"
+
+	"entitytrace/internal/backoff"
+	"entitytrace/internal/message"
+	"entitytrace/internal/obs"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// Fabric routing counters (PROTOCOL.md §3.9).
+var (
+	mFabricForwards = obs.Default.Counter("broker_fabric_forward_total")
+	mFabricFanIn    = obs.Default.Counter("broker_fabric_fanin_total")
+	mFabricNoRoute  = obs.Default.Counter("broker_fabric_no_route_total")
+)
+
+// ShardInfo is a fabric ownership snapshot surfaced on broker health.
+type ShardInfo struct {
+	// Epoch is the current ownership-table epoch.
+	Epoch uint64
+	// Members is the live fabric member count.
+	Members int
+	// OwnedPerMille is this broker's share of the hash circle.
+	OwnedPerMille int
+}
+
+// Sharding is the fabric ownership table the broker consults on the
+// publish path (implemented by internal/fabric). Route must be safe for
+// unbounded concurrent use and lock-free in steady state: it runs once
+// per published envelope.
+type Sharding interface {
+	// Route maps an exact topic string to its owning broker under the
+	// current epoch. sharded=false means the topic is outside the
+	// partitioned keyspace and routes by ordinary subscription flood;
+	// local=true means this broker owns it.
+	Route(ts string) (owner string, local, sharded bool)
+	// Info snapshots the table for health reporting.
+	Info() ShardInfo
+}
+
+// shardingRef boxes the interface so it can live in an atomic.Pointer.
+type shardingRef struct{ s Sharding }
+
+// SetSharding installs (or, with nil, removes) the fabric ownership
+// table. Installed after construction — the fabric needs the broker to
+// exist first — and read atomically on the publish path, so no routing
+// goroutine ever blocks on it.
+func (b *Broker) SetSharding(s Sharding) {
+	if s == nil {
+		b.sharding.Store(nil)
+		return
+	}
+	b.sharding.Store(&shardingRef{s: s})
+}
+
+// shardingOf returns the installed ownership table, nil when the broker
+// runs outside a fabric.
+func (b *Broker) shardingOf() Sharding {
+	ref := b.sharding.Load()
+	if ref == nil {
+		return nil
+	}
+	return ref.s
+}
+
+// shardAdvertiseOK reports whether this broker's subscription on ts
+// should be advertised over link p. Under a fabric, subscriptions on
+// sharded topics register with the owning shard only — the
+// forward-to-owner rule guarantees every publish reaches the owner, so
+// advertising anywhere else would only re-create the full flooded
+// routing index the fabric exists to shrink. The owner itself
+// advertises to nobody (it is the rendezvous), and wildcards plus
+// unsharded topics keep flood semantics. Callers hold b.mu.
+func (b *Broker) shardAdvertiseOK(ts string, p *peer) bool {
+	s := b.shardingOf()
+	if s == nil {
+		return true
+	}
+	owner, local, sharded := s.Route(ts)
+	if !sharded {
+		return true
+	}
+	if local {
+		return false
+	}
+	return p.name == owner
+}
+
+// RefreshAllLinks re-reconciles every subscribed topic's advertisement
+// state across all links. The fabric invokes it after each ownership
+// epoch change so sharded subscriptions re-register with their new
+// owners and drop off the old ones.
+func (b *Broker) RefreshAllLinks() {
+	b.mu.RLock()
+	topics := make([]string, 0, len(b.subs))
+	for ts := range b.subs {
+		topics = append(topics, ts)
+	}
+	b.mu.RUnlock()
+	for _, ts := range topics {
+		b.refreshLinks(ts)
+	}
+}
+
+// linkByName returns the live broker link with the given name, nil when
+// none is connected.
+func (b *Broker) linkByName(name string) *peer {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	p := b.links[name]
+	if p == nil || p.closed.Load() || p.evicted.Load() {
+		return nil
+	}
+	return p
+}
+
+// LinkUp reports whether a live broker link with the given name is
+// connected (either direction).
+func (b *Broker) LinkUp(name string) bool { return b.linkByName(name) != nil }
+
+// LinkNames lists the names of currently connected broker links, both
+// dialed and inbound.
+func (b *Broker) LinkNames() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.links))
+	for name, p := range b.links {
+		if !p.closed.Load() && !p.evicted.Load() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// EnsureLink maintains a named broker link to addr over tr: an
+// idempotent, per-name redial loop that dials whenever no live link
+// with that name exists (an inbound link from the same broker counts)
+// and backs off between attempts. This is the fabric's auto-dial
+// replacing hand-wired -link lists; DropLink cancels it.
+func (b *Broker) EnsureLink(name string, tr transport.Transport, addr string) {
+	if name == "" || name == b.name {
+		return
+	}
+	b.linkMu.Lock()
+	if b.linkDials == nil {
+		b.linkDials = make(map[string]chan struct{})
+	}
+	if _, ok := b.linkDials[name]; ok {
+		b.linkMu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	b.linkDials[name] = stop
+	b.linkMu.Unlock()
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.linkMu.Lock()
+		delete(b.linkDials, name)
+		b.linkMu.Unlock()
+		return
+	}
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go func() {
+		defer b.wg.Done()
+		b.ensureLinkLoop(name, tr, addr, stop)
+	}()
+}
+
+// linkProbeInterval paces the "is the inbound link still up" check an
+// EnsureLink loop performs while it is not the dialing side.
+const linkProbeInterval = 250 * time.Millisecond
+
+func (b *Broker) ensureLinkLoop(name string, tr transport.Transport, addr string, stop chan struct{}) {
+	policy := backoff.New(backoff.Config{Initial: 50 * time.Millisecond, Max: 2 * time.Second})
+	wait := func(d time.Duration) bool {
+		t := b.clk.NewTimer(d)
+		select {
+		case <-b.done:
+			t.Stop()
+			return false
+		case <-stop:
+			t.Stop()
+			return false
+		case <-t.C():
+			return true
+		}
+	}
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-stop:
+			return
+		default:
+		}
+		if b.LinkUp(name) {
+			// A link with this name is already connected (inbound, or
+			// hand-wired); just watch for it to disappear.
+			policy.Reset()
+			if !wait(linkProbeInterval) {
+				return
+			}
+			continue
+		}
+		mLinkDials.Inc()
+		p, err := b.dialLinkNamed(tr, addr, name)
+		if err == nil {
+			mLinkUp.Inc()
+			policy.Reset()
+			b.log.Info("fabric link established", "peer", name, "addr", addr)
+			b.peerLoop(p)
+			mLinkLost.Inc()
+			b.log.Warn("fabric link lost", "peer", name)
+		}
+		if !wait(policy.Next()) {
+			return
+		}
+	}
+}
+
+// DropLink cancels an EnsureLink loop and closes any live link with
+// that name. The fabric calls it when a member leaves or fails.
+func (b *Broker) DropLink(name string) {
+	b.linkMu.Lock()
+	if stop, ok := b.linkDials[name]; ok {
+		close(stop)
+		delete(b.linkDials, name)
+	}
+	b.linkMu.Unlock()
+	if p := b.linkByName(name); p != nil {
+		p.closed.Store(true)
+		p.out.beginClose()
+		p.conn.Close()
+	}
+}
+
+// routeShardRemote handles an envelope whose topic is owned by another
+// shard (PROTOCOL.md §3.9 forward-to-owner rule). Three cases:
+//
+//   - Fan-in: the envelope arrives over the link FROM its owner. The
+//     owner already admitted, guard-verified and persisted it, so after
+//     duplicate/TTL suppression it goes straight to local subscribers
+//     and client peers — never back over links, which is what keeps
+//     fabric routing loop-free in one hop.
+//   - No route: the owner's link is not up (fabric still assembling, or
+//     mid-rebalance). The broker degrades to the pre-fabric flood path —
+//     full admission, persist, subscription fan-out — rather than drop.
+//   - Forward: full admission runs here (the client's violations are
+//     scored at its own ingress broker, and a client-forbidden publish
+//     cannot be laundered to the owner under the link's broker
+//     principal), the envelope is durably persisted at its origin when
+//     it entered the fabric here (crash-proofing the one hop to the
+//     owner — see the fabric handoff replay), forwarded to the owner
+//     with the TTL decremented, and delivered to local subscribers
+//     directly. The local delivery matters: admission recorded the
+//     envelope ID, so the owner's fan-back over this same link would be
+//     suppressed as a duplicate — co-located subscribers would
+//     otherwise never hear topics owned by another shard.
+func (b *Broker) routeShardRemote(from *peer, env *message.Envelope, principal topic.Principal, owner string, sampled bool) error {
+	if from != nil && from.isBroker && from.name == owner {
+		if sampled {
+			b.cfg.Flight.Record(obs.FlightEvent{
+				Kind:  obs.FlightIngress,
+				Trace: flightTraceOf(env),
+				Peer:  from.name,
+				Topic: env.Topic.String(),
+			})
+		}
+		if !b.firstSighting(env.ID) {
+			b.stats.duplicates.Add(1)
+			mDuplicates.Inc()
+			b.recordDrop(from, env, "duplicate")
+			return nil
+		}
+		if env.TTL == 0 {
+			b.stats.expired.Add(1)
+			mExpired.Inc()
+			b.recordDrop(from, env, "ttl_expired")
+			return nil
+		}
+		b.stats.published.Add(1)
+		mPublished.Inc()
+		mFabricFanIn.Inc()
+		b.deliver(from, env, sampled, true)
+		return nil
+	}
+	link := b.linkByName(owner)
+	if link == nil {
+		mFabricNoRoute.Inc()
+		ok, err := b.admit(from, env, principal, sampled)
+		if !ok {
+			return err
+		}
+		if b.cfg.Durable != nil && b.persistable(env.Topic) {
+			if _, err := b.cfg.Durable.Append(env.Topic.String(), env.Marshal()); err != nil {
+				mDurableAppendErrs.Inc()
+				b.log.Warn("durable append failed", "topic", env.Topic.String(), "err", err)
+			}
+		}
+		b.finishRoute(from, env, sampled)
+		return nil
+	}
+	ok, err := b.admit(from, env, principal, sampled)
+	if !ok {
+		return err
+	}
+	origin := from == nil || !from.isBroker
+	if origin && b.cfg.Durable != nil && b.persistable(env.Topic) {
+		if _, err := b.cfg.Durable.Append(env.Topic.String(), env.Marshal()); err != nil {
+			mDurableAppendErrs.Inc()
+			b.log.Warn("durable append failed", "topic", env.Topic.String(), "err", err)
+		}
+	}
+	b.stats.published.Add(1)
+	mPublished.Inc()
+	b.forwardTo(link, env, sampled)
+	b.deliver(from, env, sampled, true)
+	return nil
+}
+
+// forwardTo frames env with a decremented TTL and enqueues it on one
+// link — the unicast hop of the forward-to-owner rule, with the same
+// shed/slow-consumer handling as fan-out delivery.
+func (b *Broker) forwardTo(p *peer, env *message.Envelope, sampled bool) {
+	fwdTTL := env.TTL - 1
+	var frame []byte
+	if env.Span == nil {
+		frame = make([]byte, 1, 1+env.WireSize())
+		frame[0] = frameEnvelope
+		frame = env.AppendWire(frame, fwdTTL)
+	} else {
+		fwd := env.Clone()
+		fwd.TTL = fwdTTL
+		fwd.AddHop(b.name, time.Now())
+		frame = make([]byte, 1, 1+fwd.WireSize())
+		frame[0] = frameEnvelope
+		frame = fwd.AppendWire(frame, fwdTTL)
+	}
+	b.stats.forwarded.Add(1)
+	mForwarded.Inc()
+	mFabricForwards.Inc()
+	if sampled {
+		b.cfg.Flight.Record(obs.FlightEvent{
+			Kind:  obs.FlightEgress,
+			Trace: flightTraceOf(env),
+			Peer:  p.name,
+		})
+	}
+	shed, stalledFor := p.out.enqueueData(frame, b.clk.Now())
+	if shed > 0 {
+		b.stats.sheds.Add(uint64(shed))
+		mEgressSheds.Add(uint64(shed))
+		if b.cfg.Flight != nil {
+			b.cfg.Flight.Record(obs.FlightEvent{
+				Kind:  obs.FlightShed,
+				Trace: flightTraceOf(env),
+				Peer:  p.name,
+				N:     shed,
+			})
+		}
+		if stalledFor >= b.cfg.SlowConsumerDeadline {
+			b.evictPeer(p, ReasonSlowConsumer, "egress queue saturated")
+		}
+	}
+}
+
+// ReforwardSharded re-routes one durably persisted sharded envelope
+// after an ownership change (the fabric's handoff replay): this broker
+// admitted and persisted it at origin, so admission is bypassed and it
+// goes straight to the current owner — or into local fan-out when this
+// broker has become the owner (its own origin log already holds the
+// record, so nothing is re-persisted). Duplicates the old owner had
+// already fanned out are absorbed downstream by the per-broker ID rings
+// and the trackers' per-trace timestamp dedupe. Reports whether the
+// envelope had somewhere to go.
+func (b *Broker) ReforwardSharded(env *message.Envelope) bool {
+	s := b.shardingOf()
+	if s == nil {
+		return false
+	}
+	owner, local, sharded := s.Route(env.Topic.String())
+	if !sharded {
+		return false
+	}
+	if local {
+		b.deliver(nil, env, false, false)
+		return true
+	}
+	link := b.linkByName(owner)
+	if link == nil {
+		mFabricNoRoute.Inc()
+		return false
+	}
+	b.forwardTo(link, env, false)
+	return true
+}

@@ -13,11 +13,18 @@ import (
 	"sync"
 	"time"
 
+	"entitytrace/internal/obs"
 	"entitytrace/internal/transport"
 )
 
 // ErrNoBrokers reports an empty or fully expired directory.
 var ErrNoBrokers = errors.New("brokerdir: no live brokers")
+
+// mExpired counts registrations dropped for missing their refresh —
+// by the periodic sweep or lazily on lookup. A rising rate means
+// brokers are dying (or partitioned from the directory) faster than
+// they re-register.
+var mExpired = obs.Default.Counter("brokerdir_expired_total")
 
 // DefaultTTL is how long a registration stays valid without refresh.
 const DefaultTTL = 30 * time.Second
@@ -31,6 +38,10 @@ type Entry struct {
 	Addr      string
 	// Load is the broker's self-reported load (e.g. peer count).
 	Load float64
+	// Epoch is the broker's fabric ownership-table epoch (PROTOCOL.md
+	// §3.9); zero for brokers outside a fabric. Carried so joining
+	// brokers and operators can see how converged the fabric's view is.
+	Epoch uint64
 	// RenewedAt is the last refresh time.
 	RenewedAt time.Time
 }
@@ -61,6 +72,12 @@ func (d *Directory) SetTimeFunc(f func() time.Time) { d.now = f }
 
 // Register adds or refreshes a broker registration.
 func (d *Directory) Register(name, transportName, addr string, load float64) error {
+	return d.RegisterEpoch(name, transportName, addr, load, 0)
+}
+
+// RegisterEpoch is Register also carrying the broker's fabric
+// ownership-table epoch.
+func (d *Directory) RegisterEpoch(name, transportName, addr string, load float64, epoch uint64) error {
 	if name == "" || transportName == "" || addr == "" {
 		return errors.New("brokerdir: name, transport and addr are required")
 	}
@@ -71,6 +88,7 @@ func (d *Directory) Register(name, transportName, addr string, load float64) err
 		Transport: transportName,
 		Addr:      addr,
 		Load:      load,
+		Epoch:     epoch,
 		RenewedAt: d.now(),
 	}
 	return nil
@@ -92,12 +110,64 @@ func (d *Directory) live() []*Entry {
 	for name, e := range d.entries {
 		if now.Sub(e.RenewedAt) > d.ttl {
 			delete(d.entries, name)
+			mExpired.Inc()
 			continue
 		}
 		cp := *e
 		out = append(out, &cp)
 	}
 	return out
+}
+
+// Sweep prunes expired registrations immediately, returning how many
+// were dropped. Without it a dead broker lingers until the next lookup
+// happens to walk past it — under rapid churn Pick could keep returning
+// an entry whose broker died within the TTL window; a periodic sweep
+// (see StartSweeper and cmd/brokerdird) bounds that staleness.
+func (d *Directory) Sweep() int {
+	now := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dropped := 0
+	for name, e := range d.entries {
+		if now.Sub(e.RenewedAt) > d.ttl {
+			delete(d.entries, name)
+			mExpired.Inc()
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// StartSweeper runs Sweep every interval (<= 0 selects half the TTL)
+// until the returned stop function is called.
+func (d *Directory) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = d.ttl / 2
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				d.Sweep()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
 }
 
 // Pick returns the least-loaded live broker.
@@ -201,7 +271,7 @@ func (s *Server) dispatch(frame []byte) []byte {
 		if err != nil {
 			return []byte{statusBad}
 		}
-		if err := s.dir.Register(e.Name, e.Transport, e.Addr, e.Load); err != nil {
+		if err := s.dir.RegisterEpoch(e.Name, e.Transport, e.Addr, e.Load, e.Epoch); err != nil {
 			return []byte{statusBad}
 		}
 		return []byte{statusOK}
@@ -247,6 +317,11 @@ func encodeEntry(e *Entry) []byte {
 	var load [8]byte
 	binary.BigEndian.PutUint64(load[:], uint64(e.Load*1e6))
 	buf = append(buf, load[:]...)
+	// Epoch is appended after the original fields; decodeEntry has always
+	// ignored trailing bytes, so pre-epoch peers interoperate.
+	var epoch [8]byte
+	binary.BigEndian.PutUint64(epoch[:], e.Epoch)
+	buf = append(buf, epoch[:]...)
 	return buf
 }
 
@@ -280,6 +355,11 @@ func decodeEntry(b []byte) (*Entry, error) {
 		return nil, errors.New("truncated")
 	}
 	e.Load = float64(binary.BigEndian.Uint64(b[off:off+8])) / 1e6
+	off += 8
+	// Optional trailing epoch (absent from pre-epoch encoders).
+	if off+8 <= len(b) {
+		e.Epoch = binary.BigEndian.Uint64(b[off : off+8])
+	}
 	return e, nil
 }
 
@@ -324,7 +404,13 @@ func (c *Client) call(frame []byte) ([]byte, error) {
 
 // Register announces a broker.
 func (c *Client) Register(name, transportName, addr string, load float64) error {
-	e := &Entry{Name: name, Transport: transportName, Addr: addr, Load: load}
+	return c.RegisterEpoch(name, transportName, addr, load, 0)
+}
+
+// RegisterEpoch is Register also carrying the broker's fabric
+// ownership-table epoch.
+func (c *Client) RegisterEpoch(name, transportName, addr string, load float64, epoch uint64) error {
+	e := &Entry{Name: name, Transport: transportName, Addr: addr, Load: load, Epoch: epoch}
 	resp, err := c.call(append([]byte{opRegister}, encodeEntry(e)...))
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"entitytrace/internal/broker"
@@ -134,6 +135,43 @@ func traceTopicOf(tp topic.Topic) (ident.UUID, bool) {
 		return ident.Nil, false
 	}
 	return id, true
+}
+
+// traceTopicMemo caches traceTopicOf per topic string. The guard runs
+// once per published envelope and the classification re-parses the
+// constrained topic and its UUID every time, which dominates the
+// cache-hit verification path; the set of distinct trace topics a
+// broker sees is small and stable, so a memo removes that cost.
+// Topic strings are publisher-controlled, so the memo is bounded: past
+// the cap, lookups fall back to uncached parsing.
+type traceTopicMemo struct {
+	m sync.Map // string -> traceTopicEntry
+	n atomic.Int64
+}
+
+type traceTopicEntry struct {
+	id      ident.UUID
+	isTrace bool
+}
+
+// traceTopicMemoMax bounds the per-guard topic memo.
+const traceTopicMemoMax = 8192
+
+func newTraceTopicMemo() *traceTopicMemo { return &traceTopicMemo{} }
+
+func (tm *traceTopicMemo) lookup(tp topic.Topic) (ident.UUID, bool) {
+	ts := tp.String()
+	if v, ok := tm.m.Load(ts); ok {
+		e := v.(traceTopicEntry)
+		return e.id, e.isTrace
+	}
+	id, isTrace := traceTopicOf(tp)
+	if tm.n.Load() < traceTopicMemoMax {
+		if _, loaded := tm.m.LoadOrStore(ts, traceTopicEntry{id: id, isTrace: isTrace}); !loaded {
+			tm.n.Add(1)
+		}
+	}
+	return id, isTrace
 }
 
 // VerifyTrace performs the full §4.3 validation of a broker-published
@@ -328,8 +366,9 @@ func NewObservedTokenGuard(resolver AdResolver, verifier *credential.Verifier,
 	if skew <= 0 {
 		skew = token.DefaultClockSkew
 	}
+	topics := newTraceTopicMemo()
 	return func(env *message.Envelope, from topic.Principal) error {
-		tt, isTrace := traceTopicOf(env.Topic)
+		tt, isTrace := topics.lookup(env.Topic)
 		if !isTrace {
 			return nil
 		}

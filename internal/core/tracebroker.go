@@ -387,6 +387,10 @@ func (tb *TraceBroker) PublishHealth() {
 		EgressSheds:   h.Stats.EgressSheds,
 		Throttled:     h.Stats.Throttled,
 		FlightHead:    h.FlightHead,
+
+		FabricEpoch:         h.FabricEpoch,
+		FabricMembers:       uint32(h.FabricMembers),
+		FabricOwnedPerMille: uint32(h.FabricOwnedPerMille),
 	}
 	if tb.cfg.TokenCache != nil {
 		cs := tb.cfg.TokenCache.Stats()

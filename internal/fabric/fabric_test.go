@@ -1,0 +1,404 @@
+package fabric
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"entitytrace/internal/broker"
+	"entitytrace/internal/brokerdir"
+	"entitytrace/internal/durable"
+	"entitytrace/internal/ident"
+	"entitytrace/internal/message"
+	"entitytrace/internal/topic"
+	"entitytrace/internal/transport"
+)
+
+// testCluster is a small fabric of guard-free brokers over the inproc
+// transport, bootstrapped from an in-process directory server.
+type testCluster struct {
+	tr      transport.Transport
+	dir     *brokerdir.Directory
+	dirSrv  *brokerdir.Server
+	dirAddr string
+	brokers []*broker.Broker
+	fabrics []*Fabric
+	addrs   []string
+	stores  []*durable.Store
+	t       *testing.T
+}
+
+func newTestCluster(t *testing.T, n int, logDir string) *testCluster {
+	t.Helper()
+	tc := &testCluster{tr: transport.NewInproc(), t: t}
+	tc.dir = brokerdir.NewDirectory(3 * time.Second)
+	tc.dirSrv = brokerdir.NewServer(tc.dir)
+	dl, err := tc.tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.dirSrv.Serve(dl)
+	tc.dirAddr = dl.Addr()
+	for i := 0; i < n; i++ {
+		tc.addBroker(logDir)
+	}
+	return tc
+}
+
+// addBroker appends one broker + fabric member to the cluster.
+func (tc *testCluster) addBroker(logDir string) int {
+	tc.t.Helper()
+	i := len(tc.brokers)
+	name := fmt.Sprintf("fb%d", i)
+	var store *durable.Store
+	if logDir != "" {
+		var err error
+		store, err = durable.Open(filepath.Join(logDir, name), durable.Options{})
+		if err != nil {
+			tc.t.Fatal(err)
+		}
+	}
+	b := broker.New(broker.Config{Name: name, Durable: store})
+	l, err := tc.tr.Listen("")
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	b.Serve(l)
+	f, err := New(Config{
+		Broker:         b,
+		Transport:      tc.tr,
+		TransportName:  "inproc",
+		Addr:           l.Addr(),
+		Dir:            brokerdir.NewClient(tc.tr, tc.dirAddr),
+		GossipInterval: 25 * time.Millisecond,
+		Store:          store,
+	})
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	f.Start()
+	tc.brokers = append(tc.brokers, b)
+	tc.fabrics = append(tc.fabrics, f)
+	tc.addrs = append(tc.addrs, l.Addr())
+	tc.stores = append(tc.stores, store)
+	return i
+}
+
+func (tc *testCluster) close() {
+	for i, f := range tc.fabrics {
+		if f != nil {
+			f.Close()
+		}
+		tc.brokers[i].Close()
+		if tc.stores[i] != nil {
+			tc.stores[i].Close()
+		}
+	}
+	tc.dirSrv.Close()
+}
+
+// awaitMembers blocks until every running fabric's table covers exactly
+// want members.
+func (tc *testCluster) awaitMembers(want int, timeout time.Duration) {
+	tc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		ok := true
+		for _, f := range tc.fabrics {
+			if f == nil {
+				continue
+			}
+			if len(f.Members()) != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for i, f := range tc.fabrics {
+				if f != nil {
+					tc.t.Logf("fb%d: members=%v epoch=%d", i, f.Members(), f.Epoch())
+				}
+			}
+			tc.t.Fatalf("fabric did not converge to %d members within %v", want, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// traceTopic builds a real sharded derivative topic from a seed.
+func traceTopic(seed byte) topic.Topic {
+	var u ident.UUID
+	for i := range u {
+		u[i] = seed
+	}
+	u[6] = (u[6] & 0x0f) | 0x40
+	u[8] = (u[8] & 0x3f) | 0x80
+	return topic.StateTransitions(u)
+}
+
+func TestFabricConvergesAndAutoLinks(t *testing.T) {
+	tc := newTestCluster(t, 4, "")
+	defer tc.close()
+	tc.awaitMembers(4, 5*time.Second)
+	// Every fabric agrees on the member set and ownership.
+	base := tc.fabrics[0].Members()
+	for i, f := range tc.fabrics {
+		got := f.Members()
+		for j := range base {
+			if got[j] != base[j] {
+				t.Fatalf("fb%d members %v != fb0 %v", i, got, base)
+			}
+		}
+	}
+	for seed := byte(1); seed < 40; seed++ {
+		ts := traceTopic(seed).String()
+		owner0, _, sharded := tc.fabrics[0].Route(ts)
+		if !sharded {
+			t.Fatalf("%s not sharded", ts)
+		}
+		for i := 1; i < len(tc.fabrics); i++ {
+			if owner, _, _ := tc.fabrics[i].Route(ts); owner != owner0 {
+				t.Fatalf("fb%d routes %s to %s, fb0 to %s", i, ts, owner, owner0)
+			}
+		}
+	}
+	// The deterministic dial direction established every pairwise link.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		missing := ""
+		for i, b := range tc.brokers {
+			for j := range tc.brokers {
+				if i == j {
+					continue
+				}
+				if !b.LinkUp(fmt.Sprintf("fb%d", j)) {
+					missing = fmt.Sprintf("fb%d <-> fb%d", i, j)
+				}
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("link %s never came up", missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Health snapshots surface the fabric state.
+	info := tc.fabrics[0].Info()
+	if info.Members != 4 || info.Epoch < 2 || info.OwnedPerMille <= 0 {
+		t.Fatalf("info = %+v, want 4 members, epoch >= 2, nonzero share", info)
+	}
+	h := tc.brokers[0].Health()
+	if h.FabricMembers != 4 || h.FabricEpoch != info.Epoch {
+		t.Fatalf("broker health fabric fields = %d/%d, want 4/%d", h.FabricMembers, h.FabricEpoch, info.Epoch)
+	}
+}
+
+// TestFabricForwardToOwner proves the one-hop ingress rule: a message
+// published at any broker reaches a subscriber attached to any other
+// broker, with the owner doing the fan-out.
+func TestFabricForwardToOwner(t *testing.T) {
+	tc := newTestCluster(t, 3, "")
+	defer tc.close()
+	tc.awaitMembers(3, 5*time.Second)
+
+	for seed := byte(1); seed <= 6; seed++ {
+		tp := traceTopic(seed)
+		got := make(chan string, 16)
+		// Subscribe at a broker that is NOT the owner, via a real client.
+		owner, _, _ := tc.fabrics[0].Route(tp.String())
+		subAt, pubAt := -1, -1
+		for i := range tc.brokers {
+			if fmt.Sprintf("fb%d", i) != owner {
+				if subAt < 0 {
+					subAt = i
+				} else if pubAt < 0 {
+					pubAt = i
+				}
+			}
+		}
+		sub, err := broker.Connect(tc.tr, tc.addrs[subAt], ident.EntityID(fmt.Sprintf("sub-%d", seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Subscribe(tp, func(env *message.Envelope) {
+			got <- string(env.Payload)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Publish broker-side at a third broker (neither owner nor
+		// subscriber host), as the trace manager does on Publish-Only
+		// topics: ingress forwards to the owner, the owner fans out to
+		// the subscriber's broker. Subscription advertisement to the
+		// owner is asynchronous; retry until the route is warm.
+		want := fmt.Sprintf("payload-%d", seed)
+		delivered := false
+		for attempt := 0; attempt < 100 && !delivered; attempt++ {
+			if err := tc.brokers[pubAt].Publish(message.New(message.TypeData, tp, "", []byte(want))); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case p := <-got:
+				if p != want {
+					t.Fatalf("delivered %q, want %q", p, want)
+				}
+				delivered = true
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		if !delivered {
+			t.Fatalf("seed %d: publish at fb%d never reached subscriber at fb%d (owner %s)",
+				seed, pubAt, subAt, owner)
+		}
+		sub.Close()
+	}
+}
+
+// TestFabricGracefulLeaveRebalances verifies a Close tombstones the
+// member and the survivors rebalance without waiting out FailAfter.
+func TestFabricGracefulLeaveRebalances(t *testing.T) {
+	tc := newTestCluster(t, 3, "")
+	defer tc.close()
+	tc.awaitMembers(3, 5*time.Second)
+	leaving := tc.fabrics[2]
+	tc.fabrics[2] = nil
+	start := time.Now()
+	leaving.Close()
+	tc.brokers[2].Close()
+	tc.awaitMembers(2, 5*time.Second)
+	// The tombstone gossip should beat crash detection (5x25ms) by a
+	// wide margin; allow scheduler slack but require it clearly beats
+	// the directory TTL path.
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("graceful leave took %v to rebalance", took)
+	}
+	for i, f := range tc.fabrics {
+		if f == nil {
+			continue
+		}
+		for _, m := range f.Members() {
+			if m == "fb2" {
+				t.Fatalf("fb%d still lists the departed member: %v", i, f.Members())
+			}
+		}
+	}
+}
+
+// TestFabricCrashDetectedAndRebalanced kills a member abruptly (no
+// leave gossip): survivors must fail it via heartbeat silence.
+func TestFabricCrashDetectedAndRebalanced(t *testing.T) {
+	tc := newTestCluster(t, 3, "")
+	defer tc.close()
+	tc.awaitMembers(3, 5*time.Second)
+	dead := tc.fabrics[1]
+	tc.fabrics[1] = nil
+	dead.Kill()
+	tc.brokers[1].Close()
+	tc.awaitMembers(2, 10*time.Second)
+	ts := traceTopic(9).String()
+	owner, _, _ := tc.fabrics[0].Route(ts)
+	if owner == "fb1" {
+		t.Fatalf("dead broker still owns %s", ts)
+	}
+}
+
+// TestFabricHandoffReplaysDurableTail: records persisted at origin for
+// a remote owner are replayed to the new owner when ownership moves.
+func TestFabricHandoffReplaysDurableTail(t *testing.T) {
+	tc := newTestCluster(t, 2, t.TempDir())
+	defer tc.close()
+	tc.awaitMembers(2, 5*time.Second)
+
+	// Find a topic owned by fb1 and publish at fb0, so fb0 persists at
+	// origin while fb1 fans out.
+	var tp topic.Topic
+	for seed := byte(1); ; seed++ {
+		cand := traceTopic(seed)
+		if owner, _, _ := tc.fabrics[0].Route(cand.String()); owner == "fb1" {
+			tp = cand
+			break
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := tc.brokers[0].Publish(message.New(message.TypeData, tp, "", []byte(fmt.Sprintf("m%d", i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Origin persistence is synchronous on the publish path.
+	deadline := time.Now().Add(2 * time.Second)
+	for tc.stores[0].Head(tp.String()) < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("origin log head = %d, want 5", tc.stores[0].Head(tp.String()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the owner. fb0 becomes the sole member and the handoff
+	// replays the tail into local fan-out — observed by a subscriber.
+	got := make(chan string, 16)
+	sub, err := broker.Connect(tc.tr, tc.addrs[0], "handoff-sub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(tp, func(env *message.Envelope) { got <- string(env.Payload) }); err != nil {
+		t.Fatal(err)
+	}
+	dead := tc.fabrics[1]
+	tc.fabrics[1] = nil
+	dead.Kill()
+	tc.brokers[1].Close()
+
+	seen := map[string]bool{}
+	deadline = time.Now().Add(10 * time.Second)
+	for len(seen) < 5 {
+		select {
+		case p := <-got:
+			seen[p] = true
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("handoff replayed %d of 5 records: %v", len(seen), seen)
+		}
+	}
+}
+
+// TestFabricNoFabricBrokerUnaffected pins that a broker without a
+// fabric routes exactly as before (nil sharding).
+func TestFabricNoFabricBrokerUnaffected(t *testing.T) {
+	tr := transport.NewInproc()
+	b := broker.New(broker.Config{Name: "solo"})
+	defer b.Close()
+	l, err := tr.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Serve(l)
+	tp := traceTopic(1)
+	got := make(chan string, 1)
+	sub, err := broker.Connect(tr, l.Addr(), "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(tp, func(env *message.Envelope) { got <- string(env.Payload) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(message.New(message.TypeData, tp, "", []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if p != "x" {
+			t.Fatalf("delivered %q", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery on a fabric-less broker")
+	}
+	if h := b.Health(); h.FabricMembers != 0 {
+		t.Fatalf("fabric-less broker reports %d members", h.FabricMembers)
+	}
+}

@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Row is one member's gossiped state: identity, how to dial it, a
+// monotone heartbeat counter, and the Left tombstone for graceful
+// departures. Rows merge by heartbeat maximum (anti-entropy), so any
+// gossip path eventually converges every node to the same view.
+type Row struct {
+	Name      string
+	Transport string
+	Addr      string
+	// Heartbeat is seeded from the member's start wall-clock (unix
+	// nanoseconds) and advanced every gossip tick, so a restarted broker's
+	// counter is monotone across incarnations and its fresh rows always
+	// win the merge against stale pre-restart gossip.
+	Heartbeat uint64
+	// Left marks a graceful departure; a tombstoned row cannot be
+	// resurrected by stale directory hints or old gossip.
+	Left bool
+}
+
+// member is a Row plus the local observation clock used for failure
+// detection: lastAdvance is when this node last saw the heartbeat move.
+type member struct {
+	Row
+	lastAdvance time.Time
+}
+
+// Membership is one node's gossip-maintained view of the fabric. All
+// methods are safe for concurrent use (the gossip loop and the broker's
+// delivery goroutines both touch it).
+type Membership struct {
+	mu   sync.Mutex
+	self string
+	rows map[string]*member
+}
+
+// NewMembership seeds a view with the local member's own row. The
+// heartbeat starts at the current wall-clock nanoseconds (see
+// Row.Heartbeat).
+func NewMembership(self Row, now time.Time) *Membership {
+	self.Heartbeat = uint64(now.UnixNano())
+	m := &Membership{self: self.Name, rows: make(map[string]*member)}
+	m.rows[self.Name] = &member{Row: self, lastAdvance: now}
+	return m
+}
+
+// Bump advances the local heartbeat. The max with the wall clock keeps
+// the counter above any previous incarnation's even if that incarnation
+// ticked for a long time.
+func (m *Membership) Bump(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.rows[m.self]
+	hb := s.Heartbeat + 1
+	if wall := uint64(now.UnixNano()); wall > hb {
+		hb = wall
+	}
+	s.Heartbeat = hb
+	s.lastAdvance = now
+}
+
+// isLive reports whether a row counts as a live ring member: not
+// tombstoned and confirmed by real gossip (a directory hint's zero
+// heartbeat is a dial target, not a member — see Hint).
+func isLive(r Row) bool { return !r.Left && r.Heartbeat > 0 }
+
+// Merge folds gossiped rows into the view, keeping the entry-wise
+// heartbeat maximum. It reports whether the live member set changed
+// (a live member appeared, or one was tombstoned). Rows about the
+// local member are ignored: only Bump and Leave speak for self.
+func (m *Membership) Merge(rows []Row, now time.Time) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range rows {
+		if r.Name == "" || r.Name == m.self {
+			continue
+		}
+		cur, ok := m.rows[r.Name]
+		if !ok {
+			m.rows[r.Name] = &member{Row: r, lastAdvance: now}
+			if isLive(r) {
+				changed = true
+			}
+			continue
+		}
+		if r.Heartbeat <= cur.Heartbeat {
+			continue
+		}
+		if isLive(r) != isLive(cur.Row) {
+			changed = true
+		}
+		cur.Row = r
+		cur.lastAdvance = now
+	}
+	return changed
+}
+
+// Hint seeds a member learned from the broker directory (which carries
+// no heartbeat): unknown names join with a zero heartbeat, which makes
+// them dial targets but not ring members until their own gossip
+// confirms them — a stale directory entry for a dead broker must not
+// pull it back into the ownership map. Known names (tombstones
+// included) are untouched. It reports whether a new dial target
+// appeared.
+func (m *Membership) Hint(name, transportName, addr string, now time.Time) (changed bool) {
+	if name == "" || name == m.self {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rows[name]; ok {
+		return false
+	}
+	m.rows[name] = &member{
+		Row:         Row{Name: name, Transport: transportName, Addr: addr},
+		lastAdvance: now,
+	}
+	return true
+}
+
+// Sweep fails members whose heartbeat has not advanced within
+// failAfter: live rows are deleted (crash detection), and old
+// tombstones are garbage-collected once every node has had failAfter to
+// observe them. It reports whether the live set changed.
+func (m *Membership) Sweep(now time.Time, failAfter time.Duration) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, r := range m.rows {
+		if name == m.self || now.Sub(r.lastAdvance) <= failAfter {
+			continue
+		}
+		if isLive(r.Row) {
+			changed = true
+		}
+		delete(m.rows, name)
+	}
+	return changed
+}
+
+// Leave tombstones the local member for a graceful departure; the
+// caller gossips the resulting rows one final time.
+func (m *Membership) Leave(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.rows[m.self]
+	s.Heartbeat++
+	if wall := uint64(now.UnixNano()); wall > s.Heartbeat {
+		s.Heartbeat = wall
+	}
+	s.Left = true
+	s.lastAdvance = now
+}
+
+// Live returns the live member names (gossip-confirmed, not
+// tombstoned), sorted — the input to ring construction.
+func (m *Membership) Live() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.rows))
+	for _, r := range m.rows {
+		if isLive(r.Row) {
+			out = append(out, r.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dialable returns every non-tombstoned member with a known address,
+// self excluded — the link targets. Unconfirmed hints are included so
+// the first dial can bootstrap the gossip exchange that confirms them.
+func (m *Membership) Dialable() []Row {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Row, 0, len(m.rows))
+	for _, r := range m.rows {
+		if r.Name == m.self || r.Left || r.Addr == "" {
+			continue
+		}
+		out = append(out, r.Row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Rows snapshots every row (tombstones included) for gossip.
+func (m *Membership) Rows() []Row {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Row, 0, len(m.rows))
+	for _, r := range m.rows {
+		out = append(out, r.Row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns how to reach a live member.
+func (m *Membership) Lookup(name string) (transportName, addr string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, found := m.rows[name]
+	if !found || r.Left {
+		return "", "", false
+	}
+	return r.Transport, r.Addr, true
+}

@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func row(name string, hb uint64) Row {
+	return Row{Name: name, Transport: "inproc", Addr: "addr-" + name, Heartbeat: hb}
+}
+
+func TestMembershipMergeConfirmsAndConverges(t *testing.T) {
+	m := NewMembership(row("a", 0), t0)
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("initial live = %v, want [a]", got)
+	}
+	// A confirmed peer joins the live set.
+	if !m.Merge([]Row{row("b", 10)}, t0) {
+		t.Fatal("merge of a new live member reported no change")
+	}
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("live = %v, want [a b]", got)
+	}
+	// Stale rows (lower heartbeat) never regress the view.
+	stale := row("b", 5)
+	stale.Addr = "old-addr"
+	if m.Merge([]Row{stale}, t0.Add(time.Second)) {
+		t.Fatal("stale row reported a change")
+	}
+	if tr, addr, ok := m.Lookup("b"); !ok || addr != "addr-b" || tr != "inproc" {
+		t.Fatalf("lookup(b) = %q %q %v after stale merge", tr, addr, ok)
+	}
+	// Rows about self are ignored: only Bump and Leave speak for self.
+	evil := row("a", ^uint64(0))
+	evil.Left = true
+	if m.Merge([]Row{evil}, t0) {
+		t.Fatal("merge of a self row reported a change")
+	}
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("live = %v after self-row merge, want [a b]", got)
+	}
+}
+
+func TestMembershipBumpMonotoneAcrossRestart(t *testing.T) {
+	m := NewMembership(row("a", 0), t0)
+	first := m.Rows()[0].Heartbeat
+	if first != uint64(t0.UnixNano()) {
+		t.Fatalf("seed heartbeat = %d, want wall nanos %d", first, t0.UnixNano())
+	}
+	// Ticks advance by one when the wall clock stands still...
+	m.Bump(t0)
+	if got := m.Rows()[0].Heartbeat; got != first+1 {
+		t.Fatalf("bump = %d, want %d", got, first+1)
+	}
+	// ...and jump to wall nanos when it moved past the counter, so a
+	// restarted member always outbids its previous incarnation.
+	later := t0.Add(time.Hour)
+	m.Bump(later)
+	if got := m.Rows()[0].Heartbeat; got != uint64(later.UnixNano()) {
+		t.Fatalf("bump after clock jump = %d, want %d", got, later.UnixNano())
+	}
+}
+
+func TestMembershipHintIsDialableNotLive(t *testing.T) {
+	m := NewMembership(row("a", 0), t0)
+	if !m.Hint("b", "inproc", "addr-b", t0) {
+		t.Fatal("fresh hint reported no change")
+	}
+	if m.Hint("b", "inproc", "other", t0) {
+		t.Fatal("repeat hint reported a change")
+	}
+	if m.Hint("a", "inproc", "self", t0) {
+		t.Fatal("self hint reported a change")
+	}
+	// Hints are dial targets but not ring members until gossip confirms.
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("live = %v after hint, want [a]", got)
+	}
+	dial := m.Dialable()
+	if len(dial) != 1 || dial[0].Name != "b" || dial[0].Addr != "addr-b" {
+		t.Fatalf("dialable = %+v, want [b at addr-b]", dial)
+	}
+	// Real gossip confirms the hint into the live set.
+	m.Merge([]Row{row("b", 3)}, t0)
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("live = %v after confirmation, want [a b]", got)
+	}
+}
+
+func TestMembershipTombstoneNotResurrected(t *testing.T) {
+	m := NewMembership(row("a", 0), t0)
+	m.Merge([]Row{row("b", 10)}, t0)
+	gone := row("b", 11)
+	gone.Left = true
+	if !m.Merge([]Row{gone}, t0) {
+		t.Fatal("tombstone merge reported no change")
+	}
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("live = %v after tombstone, want [a]", got)
+	}
+	// A stale directory hint must not re-add the departed member.
+	if m.Hint("b", "inproc", "addr-b", t0) {
+		t.Fatal("hint resurrected a tombstoned member")
+	}
+	if len(m.Dialable()) != 0 {
+		t.Fatalf("dialable = %v, want none (tombstones are not dialed)", m.Dialable())
+	}
+	// Old pre-departure gossip must not either.
+	if m.Merge([]Row{row("b", 10)}, t0) {
+		t.Fatal("stale gossip resurrected a tombstoned member")
+	}
+	if _, _, ok := m.Lookup("b"); ok {
+		t.Fatal("lookup found a tombstoned member")
+	}
+	// But tombstones still gossip onward until garbage-collected.
+	rows := m.Rows()
+	if len(rows) != 2 || !rows[1].Left {
+		t.Fatalf("rows = %+v, want the b tombstone gossiped", rows)
+	}
+}
+
+func TestMembershipSweepFailsStalled(t *testing.T) {
+	const failAfter = time.Second
+	m := NewMembership(row("a", 0), t0)
+	m.Merge([]Row{row("b", 10), row("c", 20)}, t0)
+	// c keeps heartbeating, b stalls.
+	m.Merge([]Row{row("c", 21)}, t0.Add(900*time.Millisecond))
+	if m.Sweep(t0.Add(999*time.Millisecond), failAfter) {
+		t.Fatal("sweep inside failAfter reported a change")
+	}
+	if !m.Sweep(t0.Add(1100*time.Millisecond), failAfter) {
+		t.Fatal("sweep past failAfter reported no change")
+	}
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a", "c"}) {
+		t.Fatalf("live = %v after sweep, want [a c]", got)
+	}
+	// Self is never swept, however long the fabric idles.
+	m.Sweep(t0.Add(time.Hour), failAfter)
+	if got := m.Live(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("live = %v, want [a] (self survives)", got)
+	}
+}
+
+func TestMembershipLeave(t *testing.T) {
+	m := NewMembership(row("a", 0), t0)
+	before := m.Rows()[0].Heartbeat
+	m.Leave(t0)
+	rows := m.Rows()
+	if !rows[0].Left || rows[0].Heartbeat <= before {
+		t.Fatalf("leave row = %+v, want Left with advanced heartbeat", rows[0])
+	}
+	if got := m.Live(); len(got) != 0 {
+		t.Fatalf("live = %v after leave, want none", got)
+	}
+}
+
+func TestTableRouteMemoized(t *testing.T) {
+	calls := 0
+	shard := func(ts string) (string, bool) {
+		calls++
+		return ts, ts != "/unsharded"
+	}
+	tab := NewTable(7, "b", []string{"a", "b"}, 8, shard)
+	owner1, _, sharded := tab.Route("/topic/x")
+	if !sharded || owner1 == "" {
+		t.Fatalf("route = %q sharded=%v, want an owner", owner1, sharded)
+	}
+	owner2, local, _ := tab.Route("/topic/x")
+	if owner2 != owner1 {
+		t.Fatalf("memoized route %q != first %q", owner2, owner1)
+	}
+	if local != (owner1 == "b") {
+		t.Fatalf("local=%v inconsistent with owner %q", local, owner1)
+	}
+	if calls != 1 {
+		t.Fatalf("shard func ran %d times for one topic, want 1 (memo)", calls)
+	}
+	if _, _, sharded := tab.Route("/unsharded"); sharded {
+		t.Fatal("unsharded topic reported sharded")
+	}
+	if tab.Epoch != 7 {
+		t.Fatalf("epoch = %d, want 7", tab.Epoch)
+	}
+}
+
+func TestTraceShard(t *testing.T) {
+	const uuid = "0f87dc4a-9f5d-4e19-bc2e-5c68ae33ffc8"
+	for _, tc := range []struct {
+		ts      string
+		key     string
+		sharded bool
+	}{
+		{"/Constrained/Traces/Broker/Publish-Only/" + uuid + "/StateTransitions", uuid, true},
+		{"/Constrained/Traces/Broker/Publish-Only/" + uuid + "/Load", uuid, true},
+		{"/Constrained/Traces/Broker/Publish-Only/System/Fabric", "", false},
+		{"/Constrained/Traces/Broker/Publish-Only/System/Health", "", false},
+		{"/plain/app/topic", "", false},
+		{"not a topic", "", false},
+	} {
+		key, sharded := TraceShard(tc.ts)
+		if key != tc.key || sharded != tc.sharded {
+			t.Errorf("TraceShard(%q) = %q %v, want %q %v", tc.ts, key, sharded, tc.key, tc.sharded)
+		}
+	}
+}

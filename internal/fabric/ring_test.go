@@ -1,0 +1,170 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardKeys builds n synthetic shard keys.
+func shardKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossOrders verifies the core fabric invariant:
+// every node computes identical ownership from the same member set, no
+// matter what order it learned the members in.
+func TestRingDeterministicAcrossOrders(t *testing.T) {
+	orders := [][]string{
+		{"b1", "b2", "b3", "b4"},
+		{"b4", "b3", "b2", "b1"},
+		{"b3", "b1", "b4", "b2"},
+		{"b2", "b4", "b1", "b3", "b2", "b1"}, // duplicates collapse
+	}
+	rings := make([]*Ring, len(orders))
+	for i, o := range orders {
+		rings[i] = NewRing(o, 0)
+	}
+	for _, r := range rings {
+		if r.Size() != 4 {
+			t.Fatalf("ring size = %d, want 4", r.Size())
+		}
+	}
+	for _, key := range shardKeys(2000) {
+		want := rings[0].Owner(key)
+		for i := 1; i < len(rings); i++ {
+			if got := rings[i].Owner(key); got != want {
+				t.Fatalf("ownership diverges for %q: ring0=%s ring%d=%s", key, want, i, got)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin verifies the consistent-hashing
+// property: one join moves roughly K/N of a 10k-topic keyspace and
+// nothing more, and every moved topic moves TO the joiner.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	keys := shardKeys(10000)
+	for n := 2; n <= 8; n *= 2 {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("b%02d", i)
+		}
+		before := NewRing(members, 0)
+		joiner := "b99"
+		after := NewRing(append(append([]string(nil), members...), joiner), 0)
+		moved := 0
+		for _, key := range keys {
+			was, is := before.Owner(key), after.Owner(key)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != joiner {
+				t.Fatalf("n=%d: key %q moved %s->%s, not to the joiner", n, key, was, is)
+			}
+		}
+		// Expected movement is K/(N+1); allow 50% relative slack for
+		// hash variance at DefaultVNodes.
+		expect := len(keys) / (n + 1)
+		if moved > expect+expect/2 {
+			t.Fatalf("n=%d: join moved %d of %d keys, expected about %d", n, moved, len(keys), expect)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: join moved nothing — the joiner owns no keyspace", n)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave mirrors the join property: topics only
+// move FROM the leaver, and only about K/N of them.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	keys := shardKeys(10000)
+	members := []string{"b00", "b01", "b02", "b03"}
+	before := NewRing(members, 0)
+	leaver := "b02"
+	after := NewRing([]string{"b00", "b01", "b03"}, 0)
+	moved := 0
+	for _, key := range keys {
+		was, is := before.Owner(key), after.Owner(key)
+		if was == is {
+			continue
+		}
+		moved++
+		if was != leaver {
+			t.Fatalf("key %q moved %s->%s though %s left", key, was, is, leaver)
+		}
+	}
+	expect := len(keys) / len(members)
+	if moved > expect+expect/2 {
+		t.Fatalf("leave moved %d of %d keys, expected about %d", moved, len(keys), expect)
+	}
+}
+
+// TestRingBalance verifies virtual nodes spread a 10k-topic keyspace
+// within ±15% of the fair share at every fabric size the bench runs.
+func TestRingBalance(t *testing.T) {
+	keys := shardKeys(10000)
+	for _, n := range []int{2, 4, 8, 16} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("broker-%02d", i)
+		}
+		r := NewRing(members, 0)
+		counts := make(map[string]int, n)
+		for _, key := range keys {
+			counts[r.Owner(key)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, m := range members {
+			share := float64(counts[m])
+			if share < fair*0.85 || share > fair*1.15 {
+				t.Errorf("n=%d: %s owns %.0f topics, outside ±15%% of fair %.0f", n, m, share, fair)
+			}
+		}
+	}
+}
+
+// TestRingOwnedPerMille checks the health-snapshot balance figure sums
+// to roughly the whole circle and stays near fair share.
+func TestRingOwnedPerMille(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := NewRing(members, 0)
+	total := 0
+	for _, m := range members {
+		pm := r.ownedPerMille(m)
+		if pm < 150 || pm > 350 {
+			t.Errorf("%s owns %d permille, outside [150, 350]", m, pm)
+		}
+		total += pm
+	}
+	if total < 990 || total > 1010 {
+		t.Errorf("shares sum to %d permille, want about 1000", total)
+	}
+	if got := r.ownedPerMille("nobody"); got != 0 {
+		t.Errorf("unknown member owns %d permille, want 0", got)
+	}
+	if got := NewRing(nil, 0).ownedPerMille("a"); got != 0 {
+		t.Errorf("empty ring owns %d permille, want 0", got)
+	}
+}
+
+// TestRingEdgeCases pins empty and single-member behaviour.
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 0)
+	if empty.Owner("anything") != "" {
+		t.Error("empty ring returned an owner")
+	}
+	solo := NewRing([]string{"only"}, 4)
+	for _, key := range shardKeys(100) {
+		if got := solo.Owner(key); got != "only" {
+			t.Fatalf("single-member ring routed %q to %q", key, got)
+		}
+	}
+	if got := NewRing([]string{"", "x", ""}, 1).Size(); got != 1 {
+		t.Errorf("empty names survived dedup: size %d, want 1", got)
+	}
+}

@@ -14,10 +14,12 @@ import (
 	"entitytrace/internal/avail"
 	"entitytrace/internal/backoff"
 	"entitytrace/internal/broker"
+	"entitytrace/internal/brokerdir"
 	"entitytrace/internal/clock"
 	"entitytrace/internal/core"
 	"entitytrace/internal/credential"
 	"entitytrace/internal/durable"
+	"entitytrace/internal/fabric"
 	"entitytrace/internal/failure"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
@@ -153,6 +155,20 @@ type Options struct {
 	// LogFsync selects the durable-log fsync policy (default FsyncBatch;
 	// crash-recovery tests use FsyncAlways so every append survives).
 	LogFsync durable.FsyncPolicy
+	// Fabric assembles the brokers into a sharded fabric (PROTOCOL.md
+	// §3.9) instead of a hand-wired chain: an in-process broker
+	// directory bootstraps discovery, gossip maintains membership, and
+	// links to shard owners are auto-dialed.
+	Fabric bool
+	// VNodes overrides the virtual nodes per fabric member (zero keeps
+	// the fabric default).
+	VNodes int
+	// GossipInterval paces fabric gossip (zero selects a test-friendly
+	// 50ms).
+	GossipInterval time.Duration
+	// FabricFailAfter overrides how long a member's heartbeat may stall
+	// before peers fail it (zero means 5x GossipInterval).
+	FabricFailAfter time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -216,8 +232,17 @@ type Testbed struct {
 	// Stores holds each broker's durable trace-log store, indexed like
 	// Brokers (nil entries unless Options.LogDir is set).
 	Stores []*durable.Store
+	// Fabrics holds each broker's fabric membership, indexed like
+	// Brokers (nil entries unless Options.Fabric is set, or after a
+	// StopBroker crash).
+	Fabrics []*fabric.Fabric
+	// Dir is the in-process broker directory fabrics bootstrap from
+	// (nil unless Options.Fabric is set).
+	Dir *brokerdir.Directory
 
 	tr       transport.Transport
+	dirSrv   *brokerdir.Server
+	dirAddr  string
 	entities []*core.TracedEntity
 	trackers []*core.Tracker
 }
@@ -263,6 +288,20 @@ func New(opts Options) (*Testbed, error) {
 	tb.Node, err = tdn.NewNode(tdnID, tb.Verifier)
 	if err != nil {
 		return nil, err
+	}
+
+	if opts.Fabric {
+		// The directory only bootstraps discovery: registrations refresh
+		// every gossip interval, so a short TTL keeps dead brokers from
+		// lingering as hints.
+		tb.Dir = brokerdir.NewDirectory(5 * time.Second)
+		tb.dirSrv = brokerdir.NewServer(tb.Dir)
+		dl, err := tb.listen()
+		if err != nil {
+			return nil, err
+		}
+		tb.dirSrv.Serve(dl)
+		tb.dirAddr = dl.Addr()
 	}
 
 	for i := 0; i < opts.Brokers; i++ {
@@ -399,25 +438,53 @@ func (tb *Testbed) startBroker(i int, listenAddr string) error {
 		return err
 	}
 	b.Serve(l)
+	var fab *fabric.Fabric
+	if opts.Fabric {
+		gossip := opts.GossipInterval
+		if gossip <= 0 {
+			gossip = 50 * time.Millisecond
+		}
+		fab, err = fabric.New(fabric.Config{
+			Broker:         b,
+			Transport:      tb.tr,
+			TransportName:  opts.Transport,
+			Addr:           l.Addr(),
+			Dir:            brokerdir.NewClient(tb.tr, tb.dirAddr),
+			VNodes:         opts.VNodes,
+			GossipInterval: gossip,
+			FailAfter:      opts.FabricFailAfter,
+			Store:          store,
+		})
+		if err != nil {
+			mgr.Close()
+			b.Close()
+			return err
+		}
+		fab.Start()
+	}
 	if i == len(tb.Brokers) {
 		tb.Brokers = append(tb.Brokers, b)
 		tb.Managers = append(tb.Managers, mgr)
 		tb.Flights = append(tb.Flights, flight)
 		tb.Stores = append(tb.Stores, store)
+		tb.Fabrics = append(tb.Fabrics, fab)
 		tb.Addrs = append(tb.Addrs, l.Addr())
 	} else {
 		tb.Brokers[i] = b
 		tb.Managers[i] = mgr
 		tb.Flights[i] = flight
 		tb.Stores[i] = store
+		tb.Fabrics[i] = fab
 		tb.Addrs[i] = l.Addr()
 	}
 	return nil
 }
 
-// linkBroker dials broker i's chain link to its predecessor.
+// linkBroker dials broker i's chain link to its predecessor. Under
+// Options.Fabric links are auto-dialed by the fabric, so this is a
+// no-op.
 func (tb *Testbed) linkBroker(i int) error {
-	if i <= 0 {
+	if i <= 0 || tb.Opts.Fabric {
 		return nil
 	}
 	if tb.Opts.PersistentLinks {
@@ -435,6 +502,12 @@ func (tb *Testbed) linkBroker(i int) error {
 func (tb *Testbed) StopBroker(i int) error {
 	if i < 0 || i >= len(tb.Brokers) {
 		return errors.New("harness: broker index out of range")
+	}
+	if tb.Fabrics[i] != nil {
+		// Abrupt detach — no leave gossip, no handoff: peers must detect
+		// the crash through the stalled heartbeat.
+		tb.Fabrics[i].Kill()
+		tb.Fabrics[i] = nil
 	}
 	tb.Managers[i].Close()
 	tb.Brokers[i].Close()
@@ -488,6 +561,15 @@ func (tb *Testbed) Close() {
 	}
 	for _, e := range tb.entities {
 		_ = e.Stop()
+	}
+	// Fabrics leave gracefully while their brokers are still up.
+	for _, f := range tb.Fabrics {
+		if f != nil {
+			f.Close()
+		}
+	}
+	if tb.dirSrv != nil {
+		tb.dirSrv.Close()
 	}
 	for _, m := range tb.Managers {
 		m.Close()

@@ -93,6 +93,12 @@ const (
 	TypeSessionKeyRequest
 	TypeSessionKeyResponse
 
+	// TypeFabricGossip carries broker-fabric membership gossip
+	// (PROTOCOL.md §3.9) on the constrained system-fabric topic. Appended
+	// after the session-key block so existing wire values are unchanged;
+	// like those, it is a protocol message, not a trace.
+	TypeFabricGossip
+
 	lastType
 )
 
@@ -172,6 +178,8 @@ func (t Type) String() string {
 		return "SESSION_KEY_REQUEST"
 	case TypeSessionKeyResponse:
 		return "SESSION_KEY_RESPONSE"
+	case TypeFabricGossip:
+		return "FABRIC_GOSSIP"
 	default:
 		return fmt.Sprintf("Type(%d)", uint16(t))
 	}

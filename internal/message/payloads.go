@@ -572,6 +572,15 @@ type BrokerHealth struct {
 	FlightHead uint64
 	// Peers lists connected peers (links and clients).
 	Peers []BrokerHealthPeer
+	// FabricEpoch/FabricMembers/FabricOwnedPerMille describe the broker's
+	// fabric shard state (PROTOCOL.md §3.9): the ownership-table epoch,
+	// the live member count, and the local share of the hash circle in
+	// per-mille. All zero when the broker runs outside a fabric. On the
+	// wire these are an optional trailing block: snapshots recorded
+	// before the fabric existed still parse, with all three left zero.
+	FabricEpoch         uint64
+	FabricMembers       uint32
+	FabricOwnedPerMille uint32
 }
 
 // maxHealthPeers bounds the parsed peer list (a broker with more peers
@@ -609,6 +618,9 @@ func (bh *BrokerHealth) Marshal() []byte {
 		w.u32(p.Queued)
 		w.f64(p.Score)
 	}
+	w.u64(bh.FabricEpoch)
+	w.u32(bh.FabricMembers)
+	w.u32(bh.FabricOwnedPerMille)
 	return w.buf
 }
 
@@ -642,6 +654,12 @@ func UnmarshalBrokerHealth(b []byte) (*BrokerHealth, error) {
 		p.Queued = r.u32()
 		p.Score = r.f64()
 		bh.Peers = append(bh.Peers, p)
+	}
+	// Optional trailing fabric block (absent from pre-fabric snapshots).
+	if r.err == nil && r.off < len(r.b) {
+		bh.FabricEpoch = r.u64()
+		bh.FabricMembers = r.u32()
+		bh.FabricOwnedPerMille = r.u32()
 	}
 	if err := r.done(); err != nil {
 		return nil, err
@@ -866,4 +884,85 @@ func UnmarshalSessionKeyResponse(b []byte) (*SessionKeyResponse, error) {
 		return nil, err
 	}
 	return sp, nil
+}
+
+// FabricMemberRow is one broker's row in a fabric membership gossip
+// message (PROTOCOL.md §3.9): its name, how to dial it, the monotone
+// heartbeat counter, and the Left tombstone for graceful departures.
+type FabricMemberRow struct {
+	Name      string
+	Transport string
+	Addr      string
+	Heartbeat uint64
+	Left      bool
+}
+
+// FabricGossip is the payload of a TypeFabricGossip message: one
+// broker's anti-entropy membership exchange on the system-fabric topic.
+// Receivers fold Rows in by entry-wise heartbeat maximum; Epoch is the
+// sender's current ownership-table epoch, carried for observability
+// (ownership itself is derived from the converged live member set, not
+// from this number).
+type FabricGossip struct {
+	// Broker names the gossiping broker.
+	Broker string
+	// Epoch is the sender's ownership-table epoch.
+	Epoch uint64
+	// Rows is the sender's full membership view, tombstones included.
+	Rows []FabricMemberRow
+}
+
+// maxFabricRows bounds the parsed membership list; a fabric is a broker
+// fleet, not an entity population, so the cap is deliberately small.
+const maxFabricRows = 1024
+
+// Marshal serializes the gossip exchange.
+func (fg *FabricGossip) Marshal() []byte {
+	var w writer
+	w.str(fg.Broker)
+	w.u64(fg.Epoch)
+	rows := fg.Rows
+	if len(rows) > maxFabricRows {
+		rows = rows[:maxFabricRows]
+	}
+	w.u16(uint16(len(rows)))
+	for _, row := range rows {
+		w.str(row.Name)
+		w.str(row.Transport)
+		w.str(row.Addr)
+		w.u64(row.Heartbeat)
+		if row.Left {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+	return w.buf
+}
+
+// UnmarshalFabricGossip parses a fabric gossip payload.
+func UnmarshalFabricGossip(b []byte) (*FabricGossip, error) {
+	r := newReader(b)
+	fg := &FabricGossip{}
+	fg.Broker = r.str()
+	fg.Epoch = r.u64()
+	n := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > maxFabricRows {
+		return nil, fmt.Errorf("message: fabric gossip row count %d exceeds %d", n, maxFabricRows)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		row := FabricMemberRow{Name: r.str()}
+		row.Transport = r.str()
+		row.Addr = r.str()
+		row.Heartbeat = r.u64()
+		row.Left = r.u8() != 0
+		fg.Rows = append(fg.Rows, row)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return fg, nil
 }

@@ -22,6 +22,7 @@ const (
 	SuffixHealth              = "Health"
 	SuffixAvailability        = "Availability"
 	SuffixSessionKeys         = "SessionKeys"
+	SuffixFabric              = "Fabric"
 )
 
 // SystemHealth returns the constrained derivative topic carrying broker
@@ -48,6 +49,19 @@ func SystemHealth() Topic {
 // every entity in the fleet.
 func SystemAvailability() Topic {
 	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixAvailability)
+}
+
+// SystemFabric returns the constrained topic carrying broker-fabric
+// membership gossip (PROTOCOL.md §3.9):
+// /Constrained/Traces/Broker/Publish-Only/System/Fabric. It mirrors
+// SystemHealth(): Publish-Only with the broker as constrainer means
+// only brokers may gossip, the default Disseminate distribution
+// propagates exchanges across whatever links exist (anti-entropy
+// convergence even when two brokers are not directly linked), and the
+// non-UUID "System" segment keeps it outside the per-trace-topic token
+// guard and outside the sharded keyspace.
+func SystemFabric() Topic {
+	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixFabric)
 }
 
 // Registration returns the constrained topic on which trace registration

@@ -436,6 +436,10 @@ func RenderMap(w io.Writer, snaps []*message.BrokerHealth) {
 		fmt.Fprintf(w, "broker %s  subs=%d  flight-head=%d  at=%s\n",
 			bh.Broker, bh.Subscriptions, bh.FlightHead,
 			time.Unix(0, bh.AtNanos).UTC().Format(time.RFC3339Nano))
+		if bh.FabricMembers > 0 {
+			fmt.Fprintf(w, "  fabric: epoch=%d members=%d owned=%d‰\n",
+				bh.FabricEpoch, bh.FabricMembers, bh.FabricOwnedPerMille)
+		}
 		for i, p := range bh.Peers {
 			branch := "├─"
 			if i == len(bh.Peers)-1 {
