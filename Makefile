@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify cover trace avail durable fabric bench flood hotpath benchdiff fuzz chaos repro examples clean
+.PHONY: all build test race verify cover trace avail durable fabric telemetry bench flood hotpath benchdiff fuzz chaos repro examples clean
 
 all: build test
 
@@ -35,6 +35,7 @@ verify: build
 	$(MAKE) avail
 	$(MAKE) durable
 	$(MAKE) fabric
+	$(MAKE) telemetry
 	$(MAKE) cover
 
 # Deterministic fault-injection suite: the root chaos scenarios plus the
@@ -57,6 +58,7 @@ AVAIL_COVER_FLOOR = 80
 SECURE_COVER_FLOOR = 85
 DURABLE_COVER_FLOOR = 85
 FABRIC_COVER_FLOOR = 85
+TELEMETRY_COVER_FLOOR = 85
 cover:
 	@out=$$($(GO) test ./internal/... 2>&1); status=$$?; echo "$$out"; \
 	if [ $$status -ne 0 ]; then exit $$status; fi; \
@@ -74,7 +76,7 @@ cover:
 		fi; \
 		echo "cover: internal/$$1 $$pct% >= $$2% floor"; \
 	}; \
-	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR) && check durable $(DURABLE_COVER_FLOOR) && check fabric $(FABRIC_COVER_FLOOR)
+	check obs $(OBS_COVER_FLOOR) && check avail $(AVAIL_COVER_FLOOR) && check secure $(SECURE_COVER_FLOOR) && check durable $(DURABLE_COVER_FLOOR) && check fabric $(FABRIC_COVER_FLOOR) && check obs/timeseries $(TELEMETRY_COVER_FLOOR)
 
 # Tracing smoke: the tracectl end-to-end suite against a 3-broker chain —
 # waterfall rendering, guard-drop visibility in tail, tail's since-cursor
@@ -115,6 +117,19 @@ fabric:
 	FABRIC_E2E=1 $(GO) test -race -run 'TestFabricE2E16Brokers100k' -count=1 -v -timeout 20m .
 	FABRIC_EXPORT=1 $(GO) test -run 'TestExportFabricBench' -count=1 -v .
 
+# Telemetry smoke (§3.10): the time-series store / alert engine / admin
+# endpoint unit suites race-enabled (including the allocation-free
+# steady-state append gate), the metric-name lint over every registered
+# metric, the 4-broker fleet-top e2e (fleet assembly on the system
+# telemetry topic, one edge-triggered egress-depth episode with its
+# hold-down clear, and the synthesized heartbeat-absent alert for a
+# crashed broker), then the BENCH_obs.json export, which enforces the
+# <3% telemetry-on fan-out overhead budget.
+telemetry:
+	$(GO) test -race -count=1 ./internal/obs/...
+	$(GO) test -race -run 'TestMetricNameLint|TestTelemetryFleetTopE2E' -count=1 -v .
+	$(GO) test -run 'TestExportObsBench' -count=1 -v .
+
 # Full benchmark sweep (the testing.B mirror of the paper's evaluation).
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -138,7 +153,7 @@ hotpath:
 # cmd/benchdiff (mean ± stderr). First run records the baseline; commit
 # or stash your changes, run again, and the table shows the deltas.
 # Refresh the baseline by deleting bench_baseline.txt.
-HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch|Durable|Fabric
+HOTPATH_BENCHES = TraceVerification|GuardCachedTrace|ForwardFrame|Fanout|Envelope|Avail|Session|Batch|Durable|Fabric|Telemetry
 benchdiff:
 	$(GO) test -bench '$(HOTPATH_BENCHES)' -benchmem -count=5 -run '^$$' . > bench_head.txt
 	@if [ -f bench_baseline.txt ]; then \
@@ -157,6 +172,7 @@ fuzz:
 	$(GO) test ./internal/broker/ -fuzz FuzzParseBatch -fuzztime 20s -run xxx
 	$(GO) test ./internal/durable/ -fuzz FuzzSegmentParse -fuzztime 20s -run xxx
 	$(GO) test ./internal/broker/ -fuzz FuzzReplayFrame -fuzztime 20s -run xxx
+	$(GO) test ./internal/message/ -fuzz FuzzTelemetrySnapshot -fuzztime 20s -run xxx
 
 # Regenerate every table and figure of the paper (see EXPERIMENTS.md).
 repro:

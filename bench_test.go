@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
@@ -703,6 +705,106 @@ func TestExportObsBench(t *testing.T) {
 		hPublish.ObserveDuration(time.Since(start))
 	}
 
+	// Telemetry-plane overhead (§3.10 acceptance): the same single-broker
+	// 4-subscriber fan-out measured with telemetry off and with it on at
+	// an aggressive 5 ms cadence plus an armed-but-quiet alert rule, so
+	// the sampling, store-append and rule-evaluation costs all sit on the
+	// measured broker. Interleaved best-of-N trials keep scheduler noise
+	// out of the comparison; telemetry-on must stay within 3% of off.
+	const (
+		fanSubs   = 4
+		fanMsgs   = 10000
+		fanTrials = 5
+	)
+	newFanoutRig := func(interval time.Duration, rules []timeseries.Rule) (func() float64, func()) {
+		tb, err := harness.New(harness.Options{
+			Brokers:           1,
+			TelemetryInterval: interval,
+			TelemetryRules:    rules,
+			// Room for every in-flight frame of a trial, so no trial ever
+			// sheds and both rigs deliver identical work.
+			EgressQueue: fanSubs * fanMsgs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var received atomic.Int64
+		ftp := topic.MustParse("/bench/obs/fanout")
+		var conns []*broker.Client
+		for i := 0; i < fanSubs; i++ {
+			s, err := broker.Connect(tb.Transport(), tb.Addrs[0], ident.EntityID(fmt.Sprintf("fan-sub-%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, s)
+			if err := s.Subscribe(ftp, func(*message.Envelope) { received.Add(1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fp, err := broker.Connect(tb.Transport(), tb.Addrs[0], "fan-pub")
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns = append(conns, fp)
+		trial := func() float64 {
+			received.Store(0)
+			start := time.Now()
+			for i := 0; i < fanMsgs; i++ {
+				if err := fp.Publish(message.New(message.TypeData, ftp, "fan-pub", payload)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(benchTimeout)
+			for received.Load() < fanSubs*fanMsgs {
+				if time.Now().After(deadline) {
+					t.Fatalf("fan-out trial stalled at %d/%d deliveries", received.Load(), fanSubs*fanMsgs)
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return float64(fanSubs*fanMsgs) / time.Since(start).Seconds()
+		}
+		cleanup := func() {
+			for _, c := range conns {
+				c.Close()
+			}
+			tb.Close()
+		}
+		return trial, cleanup
+	}
+	quietRules, err := timeseries.ParseRules(
+		"bench-quiet: broker_egress_queue_depth > 1000000 for 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	offTrial, offCleanup := newFanoutRig(0, nil)
+	defer offCleanup()
+	onTrial, onCleanup := newFanoutRig(5*time.Millisecond, quietRules)
+	defer onCleanup()
+	offTrial() // warm both rigs outside the measured trials
+	onTrial()
+	// A single round's best-of-N can still land 3% apart on a noisy
+	// shared CPU, so the gate re-measures: a genuine regression exceeds
+	// the budget in every round, scheduler noise does not.
+	var offBest, onBest, overheadPct float64
+	withinBudget := false
+	for round := 0; round < 3 && !withinBudget; round++ {
+		offBest, onBest = 0, 0
+		for i := 0; i < fanTrials; i++ {
+			if v := offTrial(); v > offBest {
+				offBest = v
+			}
+			if v := onTrial(); v > onBest {
+				onBest = v
+			}
+		}
+		overheadPct = (offBest - onBest) / offBest * 100
+		withinBudget = onBest >= offBest*0.97
+	}
+	if !withinBudget {
+		t.Fatalf("telemetry-on fan-out %.0f/s is %.1f%% below telemetry-off %.0f/s (budget 3%%) in every round",
+			onBest, overheadPct, offBest)
+	}
+
 	out := struct {
 		Description string                `json:"description"`
 		RSABits     int                   `json:"rsa_bits"`
@@ -710,7 +812,16 @@ func TestExportObsBench(t *testing.T) {
 		SignMs      obs.HistogramSnapshot `json:"sign_ms"`
 		VerifyMs    obs.HistogramSnapshot `json:"verify_ms"`
 		PublishMs   obs.HistogramSnapshot `json:"publish_roundtrip_ms"`
-		Registry    obs.Snapshot          `json:"registry"`
+		Telemetry   struct {
+			IntervalMs    float64 `json:"interval_ms"`
+			FanoutSubs    int     `json:"fanout_subscribers"`
+			OffPerSec     float64 `json:"fanout_off_per_sec"`
+			OnPerSec      float64 `json:"fanout_on_per_sec"`
+			OverheadPct   float64 `json:"overhead_pct"`
+			BudgetPct     float64 `json:"budget_pct"`
+			TrialsPerMode int     `json:"trials_per_mode"`
+		} `json:"telemetry_overhead"`
+		Registry obs.Snapshot `json:"registry"`
 	}{
 		Description: "sign/verify (RSA-SHA1, paper key size) and inproc publish round-trip latency distributions, recorded through internal/obs histograms",
 		RSABits:     secure.PaperRSABits,
@@ -720,6 +831,13 @@ func TestExportObsBench(t *testing.T) {
 		PublishMs:   hPublish.Snapshot(),
 		Registry:    reg.Snapshot(),
 	}
+	out.Telemetry.IntervalMs = 5
+	out.Telemetry.FanoutSubs = fanSubs
+	out.Telemetry.OffPerSec = offBest
+	out.Telemetry.OnPerSec = onBest
+	out.Telemetry.OverheadPct = overheadPct
+	out.Telemetry.BudgetPct = 3
+	out.Telemetry.TrialsPerMode = fanTrials
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -727,8 +845,8 @@ func TestExportObsBench(t *testing.T) {
 	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote BENCH_obs.json (sign p50=%.3fms verify p50=%.3fms publish p50=%.3fms)",
-		out.SignMs.P50, out.VerifyMs.P50, out.PublishMs.P50)
+	t.Logf("wrote BENCH_obs.json (sign p50=%.3fms verify p50=%.3fms publish p50=%.3fms telemetry overhead=%.2f%%)",
+		out.SignMs.P50, out.VerifyMs.P50, out.PublishMs.P50, overheadPct)
 }
 
 // BenchmarkSealOpen measures the hybrid envelope used for registration

@@ -29,6 +29,7 @@ import (
 	"entitytrace/internal/fabric"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
@@ -64,6 +65,9 @@ func main() {
 		flightEvents  = flag.Int("flight", obs.DefaultFlightEvents, "flight-recorder ring size in events (0 disables recording)")
 		traceSample   = flag.Int("trace-sample", obs.DefaultFlightSample, "record 1-in-N healthy flight events (drops are always recorded; 1 records everything)")
 		healthEvery   = flag.Duration("health-interval", 10*time.Second, "self-monitoring snapshot period on the system-health topic (0 disables)")
+		telemEvery    = flag.Duration("telemetry-interval", time.Second, "telemetry sample/snapshot period on the system-telemetry topic (0 disables the telemetry plane)")
+		telemRetain   = flag.String("telemetry-retention", "", "time-series retention as fine@step/coarse@step, e.g. 15m@1s/2h@15s (empty keeps the default)")
+		alertRules    = flag.String("alert-rules", "", "semicolon-separated alert rules, e.g. 'deep-queues: broker_egress_queue_depth > 100 for 2s hold 10s; absent(broker_published_total) for 5s' (PROTOCOL.md §3.10)")
 		availEvery    = flag.Duration("avail-interval", 10*time.Second, "availability digest period on the system-availability topic (0 disables the ledger)")
 		sloTarget     = flag.Float64("slo-target", 0, "default availability SLO target for hosted entities, e.g. 0.999 (0 disables SLO accounting)")
 		sloWindow     = flag.Duration("slo-window", time.Hour, "rolling window the SLO target applies over")
@@ -214,21 +218,45 @@ func main() {
 		}
 		ledger = avail.New(acfg)
 	}
+	// The telemetry plane: retention and alert rules parse up front so a
+	// typo fails the boot, not the first tick.
+	var telemOpts timeseries.Options
+	if *telemRetain != "" {
+		if telemOpts, err = timeseries.ParseRetention(*telemRetain); err != nil {
+			fail("%v", err)
+		}
+	}
+	rules, err := timeseries.ParseRules(*alertRules)
+	if err != nil {
+		fail("%v", err)
+	}
 	mgr, err := core.NewTraceBroker(core.BrokerConfig{
-		Broker:         b,
-		Identity:       id,
-		Verifier:       verifier,
-		Resolver:       resolver,
-		Log:            log,
-		HealthInterval: *healthEvery,
-		AvailInterval:  *availEvery,
-		Avail:          ledger,
-		TokenCache:     tokenCache,
-		SessionKeys:    *sessionKeys,
-		Sessions:       sessions,
+		Broker:            b,
+		Identity:          id,
+		Verifier:          verifier,
+		Resolver:          resolver,
+		Log:               log,
+		HealthInterval:    *healthEvery,
+		AvailInterval:     *availEvery,
+		Avail:             ledger,
+		TokenCache:        tokenCache,
+		SessionKeys:       *sessionKeys,
+		Sessions:          sessions,
+		TelemetryInterval: *telemEvery,
+		TelemetryOptions:  telemOpts,
+		TelemetryRules:    rules,
 	})
 	if err != nil {
 		fail("trace manager: %v", err)
+	}
+	// The process registry (RTTs, guard-cache counters, fabric gauges)
+	// samples into the same per-broker store the health-derived series
+	// live in, so /timeseries serves both families.
+	var sampler *timeseries.Sampler
+	if ts := mgr.Telemetry(); ts != nil {
+		sampler = timeseries.NewSampler(obs.Default, ts, *telemEvery)
+		sampler.Start()
+		defer sampler.Stop()
 	}
 	if *sessionKeys {
 		fn := mgr.SessionRequester()
@@ -412,6 +440,9 @@ func serveAdmin(addr, name string, b *broker.Broker, mgr *core.TraceBroker, toke
 	})
 	mux.Handle("/trace", obs.FlightHandler(flight))
 	mux.Handle("/avail", avail.Handler(mgr.Avail(), name))
+	if ts := mgr.Telemetry(); ts != nil {
+		mux.Handle("/timeseries", timeseries.Handler(ts))
+	}
 	fmt.Printf("brokerd: admin endpoint on http://%s/metrics\n", addr)
 	if err := obs.ServeAdmin(addr, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "brokerd: admin endpoint: %v\n", err)

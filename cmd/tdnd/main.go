@@ -16,6 +16,7 @@ import (
 
 	"entitytrace/internal/credential"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/transport"
 )
@@ -30,6 +31,8 @@ func main() {
 		dataDir       = flag.String("data", "", "directory for durable advertisement storage (empty = memory only)")
 		sweepEvery    = flag.Duration("sweep", time.Minute, "expired-advertisement sweep interval")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7090) serving /metrics, /healthz and /debug/pprof")
+		telemEvery    = flag.Duration("telemetry-interval", time.Second, "registry sampling period for the /timeseries store (0 disables)")
+		telemRetain   = flag.String("telemetry-retention", "", "time-series retention as fine@step/coarse@step, e.g. 15m@1s/2h@15s (empty keeps the default)")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 		verbose       = flag.Bool("v", false, "log at debug level instead of info")
 		logJSON       = flag.Bool("log-json", false, "emit logs as JSON objects instead of key=value text")
@@ -83,6 +86,13 @@ func main() {
 				"advertisements": node.Size(),
 			}
 		})
+		sampler, err := timeseries.MountRegistry(mux, obs.Default, *telemEvery, *telemRetain)
+		if err != nil {
+			fail("%v", err)
+		}
+		if sampler != nil {
+			defer sampler.Stop()
+		}
 		go func() {
 			fmt.Printf("tdnd: admin endpoint on http://%s/metrics\n", *adminAddr)
 			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {

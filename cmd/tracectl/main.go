@@ -3,7 +3,8 @@
 // recorders, tails live flight events, draws a broker map from the
 // self-monitoring snapshots on the system-health topic, and renders the
 // fleet availability board from the digests on the system-availability
-// topic. Every subcommand also emits machine-readable output with
+// topic, and shows a live fleet telemetry board (`top`) assembled from
+// the delta-encoded snapshots on the system-telemetry topic. Every subcommand also emits machine-readable output with
 // -format json.
 //
 //	tracectl -admins http://127.0.0.1:7190,http://127.0.0.1:7191 trace <uuid>
@@ -11,6 +12,7 @@
 //	tracectl -broker 127.0.0.1:7100 map [-watch 3s]
 //	tracectl -broker 127.0.0.1:7100 avail [-watch 3s]
 //	tracectl -admins http://127.0.0.1:7190 avail        (pull /avail instead)
+//	tracectl -broker 127.0.0.1:7100 top [-watch 10s] [-interval 1s]
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 		brokerAddr    = flag.String("broker", "", "broker address to subscribe through (for map and avail)")
 		transportName = flag.String("transport", "tcp", "transport: tcp or udp (for map and avail)")
 		name          = flag.String("name", "tracectl", "client entity name used on the broker connection (for map and avail)")
-		watch         = flag.Duration("watch", 3*time.Second, "how long map/avail collect snapshots")
+		watch         = flag.Duration("watch", 3*time.Second, "how long map/avail/top collect snapshots")
 		interval      = flag.Duration("interval", time.Second, "tail poll interval")
 		rounds        = flag.Int("rounds", 1, "tail poll rounds (1 polls once)")
 		format        = flag.String("format", "text", "output format: text or json")
@@ -40,7 +42,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fail("need a subcommand: trace <uuid> | tail | map | avail")
+		fail("need a subcommand: trace <uuid> | tail | map | avail | top")
 	}
 	if *format != "text" && *format != "json" {
 		fail("unknown -format %q (want text or json)", *format)
@@ -114,8 +116,37 @@ func main() {
 		} else {
 			tracectl.RenderAvailBoard(os.Stdout, digests)
 		}
+	case "top":
+		if *brokerAddr == "" {
+			fail("top needs -broker")
+		}
+		tr, err := transport.New(*transportName)
+		if err != nil {
+			fail("%v", err)
+		}
+		a := tracectl.NewTopAssembler(nil)
+		var onTick func(*tracectl.TopBoard)
+		if !asJSON {
+			// Live mode repaints every tick; JSON mode stays quiet and
+			// emits one board at the end.
+			onTick = func(b *tracectl.TopBoard) {
+				fmt.Print("\033[H\033[2J")
+				tracectl.RenderTop(os.Stdout, b)
+			}
+		}
+		if err := tracectl.WatchTelemetry(tr, *brokerAddr, ident.EntityID(*name),
+			*watch, *interval, a, onTick); err != nil {
+			fail("%v", err)
+		}
+		if asJSON {
+			if err := tracectl.RenderTopJSON(os.Stdout, a.Board()); err != nil {
+				fail("%v", err)
+			}
+		} else {
+			tracectl.RenderTop(os.Stdout, a.Board())
+		}
 	default:
-		fail("unknown subcommand %q (want trace|tail|map|avail)", args[0])
+		fail("unknown subcommand %q (want trace|tail|map|avail|top)", args[0])
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"entitytrace/internal/credential"
 	"entitytrace/internal/message"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/sysinfo"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/transport"
@@ -46,6 +47,8 @@ func main() {
 		reconnect     = flag.Bool("reconnect", false, "redial the broker and resume the session when the connection drops")
 		redialDelay   = flag.Duration("redial", 250*time.Millisecond, "initial redial delay when -reconnect is set")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7290) serving /metrics, /avail, /healthz and /debug/pprof")
+		telemEvery    = flag.Duration("telemetry-interval", time.Second, "registry sampling period for the /timeseries store (0 disables)")
+		telemRetain   = flag.String("telemetry-retention", "", "time-series retention as fine@step/coarse@step, e.g. 15m@1s/2h@15s (empty keeps the default)")
 		metricsDump   = flag.Bool("metrics", false, "dump process metrics (counters, histograms) to stdout at exit")
 	)
 	flag.Parse()
@@ -142,6 +145,13 @@ func main() {
 			}
 		})
 		mux.Handle("/avail", avail.Handler(ledger, string(ent.Entity())))
+		sampler, err := timeseries.MountRegistry(mux, obs.Default, *telemEvery, *telemRetain)
+		if err != nil {
+			fail("%v", err)
+		}
+		if sampler != nil {
+			defer sampler.Stop()
+		}
 		go func() {
 			fmt.Printf("traced: admin endpoint on http://%s/metrics\n", *adminAddr)
 			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {

@@ -24,6 +24,7 @@ import (
 	"entitytrace/internal/credential"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/topic"
 	"entitytrace/internal/transport"
@@ -40,6 +41,8 @@ func main() {
 		entity        = flag.String("entity", "", "traced entity to follow")
 		classesFlag   = flag.String("classes", "changes,state", "trace classes: changes,all,state,load,net (or 'everything')")
 		adminAddr     = flag.String("admin", "", "HTTP admin endpoint (e.g. 127.0.0.1:7390) serving /metrics, /avail, /healthz and /debug/pprof")
+		telemEvery    = flag.Duration("telemetry-interval", time.Second, "registry sampling period for the /timeseries store (0 disables)")
+		telemRetain   = flag.String("telemetry-retention", "", "time-series retention as fine@step/coarse@step, e.g. 15m@1s/2h@15s (empty keeps the default)")
 		noAvail       = flag.Bool("no-avail", false, "disable the availability ledger fed by verified traces")
 		sloTarget     = flag.Float64("slo-target", 0, "availability SLO target for followed entities, e.g. 0.999 (0 disables SLO accounting)")
 		sloWindow     = flag.Duration("slo-window", time.Hour, "rolling window the SLO target applies over")
@@ -133,6 +136,13 @@ func main() {
 			}
 		})
 		mux.Handle("/avail", avail.Handler(ledger, string(id.Credential.Entity)))
+		sampler, err := timeseries.MountRegistry(mux, obs.Default, *telemEvery, *telemRetain)
+		if err != nil {
+			fail("%v", err)
+		}
+		if sampler != nil {
+			defer sampler.Stop()
+		}
 		go func() {
 			fmt.Printf("tracker: admin endpoint on http://%s/metrics\n", *adminAddr)
 			if err := obs.ServeAdmin(*adminAddr, mux); err != nil {

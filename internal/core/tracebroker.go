@@ -15,6 +15,7 @@ import (
 	"entitytrace/internal/ident"
 	"entitytrace/internal/message"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/tdn"
 	"entitytrace/internal/token"
@@ -99,6 +100,19 @@ type BrokerConfig struct {
 	// and AvailInterval is positive, a default ledger is created.
 	// Supplying it lets callers tune windows, flap damping and SLOs.
 	Avail *avail.Ledger
+	// TelemetryInterval, when positive, samples the hosting broker's
+	// health into a per-broker time-series store every tick and publishes
+	// a delta-encoded TELEMETRY_SNAPSHOT on the system-telemetry topic
+	// (topic.SystemTelemetry, PROTOCOL.md §3.10). Zero disables the
+	// telemetry plane.
+	TelemetryInterval time.Duration
+	// TelemetryOptions tunes the store's retention (zero value selects
+	// 15m at 1s fine plus 2h at 15s downsampled).
+	TelemetryOptions timeseries.Options
+	// TelemetryRules, when non-empty, runs the anomaly engine over the
+	// store every telemetry tick; edges are logged and carried as alert
+	// rows in the published snapshots.
+	TelemetryRules []timeseries.Rule
 	// TokenCache, when set, has its hit/miss statistics included in the
 	// health snapshots (it is otherwise owned by the broker's guard).
 	TokenCache *TokenCache
@@ -134,7 +148,8 @@ type TraceBroker struct {
 	log      *obs.Logger
 	signer   *secure.Signer // broker credential signer (responses)
 	caching  *CachingResolver
-	avail    *avail.Ledger // nil when availability tracking is off
+	avail    *avail.Ledger   // nil when availability tracking is off
+	tel      *telemetryPlane // nil when telemetry is off
 	cancelRg func()
 
 	mu       sync.Mutex
@@ -303,6 +318,15 @@ func NewTraceBroker(cfg BrokerConfig) (*TraceBroker, error) {
 		}
 		tb.sessReqLast = make(map[[secure.SessionIDLen]byte]time.Time)
 	}
+	if cfg.TelemetryInterval > 0 {
+		tb.tel = &telemetryPlane{
+			store: timeseries.New(cfg.TelemetryOptions),
+			last:  make(map[string]int64),
+		}
+		if len(cfg.TelemetryRules) > 0 {
+			tb.tel.engine = timeseries.NewEngine(tb.tel.store, cfg.TelemetryRules, log)
+		}
+	}
 	return tb, nil
 }
 
@@ -343,6 +367,13 @@ func (tb *TraceBroker) Start() {
 		go func() {
 			defer tb.wg.Done()
 			tb.availLoop()
+		}()
+	}
+	if tb.tel != nil {
+		tb.wg.Add(1)
+		go func() {
+			defer tb.wg.Done()
+			tb.telemetryLoop()
 		}()
 	}
 }

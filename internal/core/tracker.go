@@ -117,8 +117,13 @@ var (
 // derivative topics it cares about, answers gauge-interest probes, and
 // verifies (and decrypts) every delivered trace.
 type Tracker struct {
-	cfg     TrackerConfig
-	log     *obs.Logger
+	cfg TrackerConfig
+	log *obs.Logger
+	// warnLim rate-limits the per-trace and per-record warning paths
+	// (rejected traces, failed acks, denied replays) to one line per
+	// second per entity, carrying a suppressed count — a broker outage
+	// or a flood of bad traces must not turn the log into the hot path.
+	warnLim *obs.LogLimiter
 	caching *CachingResolver
 	// sessions holds §6.3 session keys delivered by hosting brokers, so
 	// session-tagged traces verify with one HMAC instead of RSA. Always
@@ -192,7 +197,9 @@ func NewTracker(cfg TrackerConfig) (*Tracker, error) {
 	if log == nil {
 		log = obs.NewCallbackLogger(obs.LevelDebug, cfg.Logf)
 	}
-	tk := &Tracker{cfg: cfg, cl: cfg.Client, log: log, watches: make(map[ident.UUID]*Watch),
+	tk := &Tracker{cfg: cfg, cl: cfg.Client, log: log,
+		warnLim:  obs.NewLogLimiter(log, time.Second, cfg.Clock.Now),
+		watches:  make(map[ident.UUID]*Watch),
 		sessions: NewSessionStore(0), done: make(chan struct{})}
 	if cr, ok := cfg.Resolver.(*CachingResolver); ok {
 		tk.caching = cr
@@ -504,7 +511,7 @@ func (w *Watch) startReplay(cl *broker.Client) error {
 			w.handleDurableTrace(class, offset, env)
 		})
 		if errors.Is(err, broker.ErrReplayDenied) {
-			w.tk.log.Warn("durable replay denied; tracking live-only",
+			w.tk.warnLim.Warn(string(w.entity), "durable replay denied; tracking live-only",
 				"entity", w.entity, "topic", tp.String(), "err", err)
 			return nil
 		}
@@ -532,7 +539,7 @@ func (w *Watch) handleDurableTrace(class topic.TraceClass, offset uint64, env *m
 	w.mu.Unlock()
 	w.handleTrace(class, env)
 	if err := w.tk.client().Ack(topic.ForClass(w.traceTopic, class), offset); err != nil {
-		w.tk.log.Warn("durable ack failed", "entity", w.entity, "err", err)
+		w.tk.warnLim.Warn(string(w.entity), "durable ack failed", "entity", w.entity, "err", err)
 	}
 }
 
@@ -810,5 +817,5 @@ func (w *Watch) reject(format string, args ...any) {
 	w.rejected++
 	w.mu.Unlock()
 	mTrackerRejected.Inc()
-	w.tk.log.Warn("trace rejected", "entity", w.entity, "err", fmt.Sprintf(format, args...))
+	w.tk.warnLim.Warn(string(w.entity), "trace rejected", "entity", w.entity, "err", fmt.Sprintf(format, args...))
 }

@@ -32,6 +32,12 @@ var (
 	mGossipRecv  = obs.Default.Counter("fabric_gossip_recv_total")
 	mGossipBad   = obs.Default.Counter("fabric_gossip_bad_total")
 	mHandoffRecs = obs.Default.Counter("fabric_handoff_records_total")
+	// Table-shape gauges, refreshed on every rebuild so registry
+	// samplers (the telemetry plane) see the fabric's current shape
+	// without calling into it. Process-wide: in multi-broker test
+	// processes they track the most recent rebuilder.
+	mMembers       = obs.Default.Gauge("fabric_members")
+	mOwnedPerMille = obs.Default.Gauge("fabric_owned_per_mille")
 )
 
 // TraceShard is the default ShardFunc: the per-trace derivative class
@@ -261,6 +267,8 @@ func (f *Fabric) rebuild() {
 	next := NewTable(old.Epoch+1, f.name, live, f.cfg.VNodes, f.cfg.Shard)
 	f.table.Store(next)
 	mEpochs.Inc()
+	mMembers.Set(int64(len(live)))
+	mOwnedPerMille.Set(int64(next.OwnedPerMille()))
 	f.log.Info("fabric epoch",
 		"epoch", next.Epoch,
 		"members", len(live),

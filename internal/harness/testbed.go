@@ -23,6 +23,7 @@ import (
 	"entitytrace/internal/failure"
 	"entitytrace/internal/ident"
 	"entitytrace/internal/obs"
+	"entitytrace/internal/obs/timeseries"
 	"entitytrace/internal/secure"
 	"entitytrace/internal/stats"
 	"entitytrace/internal/tdn"
@@ -134,6 +135,17 @@ type Options struct {
 	// system-availability topic every interval (zero disables broker
 	// ledgers and digests).
 	AvailInterval time.Duration
+	// TelemetryInterval enables the per-broker telemetry plane
+	// (PROTOCOL.md §3.10): health sampling into a per-broker time-series
+	// store plus delta-encoded snapshots on the system-telemetry topic
+	// every interval (zero disables).
+	TelemetryInterval time.Duration
+	// TelemetryOptions tunes the telemetry stores' retention (zero value
+	// keeps the timeseries defaults).
+	TelemetryOptions timeseries.Options
+	// TelemetryRules runs the anomaly engine over every broker's store
+	// (alert edges ride in the published snapshots).
+	TelemetryRules []timeseries.Rule
 	// Avail is the template config for every availability ledger the
 	// testbed creates (per broker when AvailInterval is set, and per
 	// tracker always); zero-value fields take the avail.New defaults.
@@ -398,20 +410,23 @@ func (tb *Testbed) startBroker(i int, listenAddr string) error {
 		return err
 	}
 	mgr, err := core.NewTraceBroker(core.BrokerConfig{
-		Broker:         b,
-		Identity:       brokerID,
-		Verifier:       tb.Verifier,
-		Resolver:       resolver,
-		Clock:          clock.Real{},
-		Detector:       opts.Detector,
-		GaugeInterval:  opts.GaugeInterval,
-		InterestTTL:    opts.InterestTTL,
-		HealthInterval: opts.HealthInterval,
-		AvailInterval:  opts.AvailInterval,
-		Avail:          tb.newLedger(opts.AvailInterval > 0),
-		TokenCache:     tokenCache,
-		SessionKeys:    opts.SessionKeys,
-		Sessions:       sessions,
+		Broker:            b,
+		Identity:          brokerID,
+		Verifier:          tb.Verifier,
+		Resolver:          resolver,
+		Clock:             clock.Real{},
+		Detector:          opts.Detector,
+		GaugeInterval:     opts.GaugeInterval,
+		InterestTTL:       opts.InterestTTL,
+		HealthInterval:    opts.HealthInterval,
+		AvailInterval:     opts.AvailInterval,
+		Avail:             tb.newLedger(opts.AvailInterval > 0),
+		TokenCache:        tokenCache,
+		SessionKeys:       opts.SessionKeys,
+		Sessions:          sessions,
+		TelemetryInterval: opts.TelemetryInterval,
+		TelemetryOptions:  opts.TelemetryOptions,
+		TelemetryRules:    opts.TelemetryRules,
 	})
 	if err != nil {
 		b.Close()

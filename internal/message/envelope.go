@@ -99,6 +99,13 @@ const (
 	// like those, it is a protocol message, not a trace.
 	TypeFabricGossip
 
+	// TraceTelemetrySnapshot carries a broker's periodic delta-encoded
+	// metric snapshot (PROTOCOL.md §3.10) on the constrained
+	// system-telemetry topic. Appended after the fabric block so
+	// existing wire values are unchanged; like the fabric gossip it is a
+	// protocol message, not a Table 1 trace.
+	TraceTelemetrySnapshot
+
 	lastType
 )
 
@@ -180,6 +187,8 @@ func (t Type) String() string {
 		return "SESSION_KEY_RESPONSE"
 	case TypeFabricGossip:
 		return "FABRIC_GOSSIP"
+	case TraceTelemetrySnapshot:
+		return "TELEMETRY_SNAPSHOT"
 	default:
 		return fmt.Sprintf("Type(%d)", uint16(t))
 	}

@@ -107,3 +107,51 @@ func FuzzPayloadParsers(f *testing.F) {
 		_, _ = UnmarshalBrokerHealth(data)
 	})
 }
+
+// FuzzTelemetrySnapshot hammers the telemetry snapshot parser: it must
+// never panic, stay within the row cap, and anything it accepts must
+// re-marshal and re-parse identically (the delta rows use the zigzag
+// varint helpers, so the corpus seeds negative and large values to walk
+// the multi-byte encodings).
+func FuzzTelemetrySnapshot(f *testing.F) {
+	f.Add((&TelemetrySnapshot{Broker: "hb0", AtNanos: 1, IntervalMillis: 50}).Marshal())
+	f.Add((&TelemetrySnapshot{
+		Broker: "hb1", AtNanos: 1 << 40, FabricEpoch: 3, IntervalMillis: 1000,
+		Rows: []TelemetryRow{
+			{Name: "broker_published_total", Counter: true, Value: 12345},
+			{Name: "broker_egress_queue_depth", Value: 17},
+			{Name: "re_anchor_total", Counter: true, Value: -1 << 50},
+		},
+		Alerts: []TelemetryAlert{
+			{Rule: "deep-queues", Series: "broker_egress_queue_depth",
+				Firing: true, SinceNanos: 42, Value: 170.5},
+			{Rule: "deep-queues", Series: "broker_egress_queue_depth",
+				Firing: false, SinceNanos: 42, Value: 3},
+		},
+	}).Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, err := UnmarshalTelemetrySnapshot(data)
+		if err != nil {
+			return
+		}
+		if len(ts.Rows) > maxTelemetryRows || len(ts.Alerts) > maxTelemetryRows {
+			t.Fatalf("accepted %d rows / %d alerts past the cap", len(ts.Rows), len(ts.Alerts))
+		}
+		back, err := UnmarshalTelemetrySnapshot(ts.Marshal())
+		if err != nil {
+			t.Fatalf("accepted snapshot does not round trip: %v", err)
+		}
+		if back.Broker != ts.Broker || back.AtNanos != ts.AtNanos ||
+			back.FabricEpoch != ts.FabricEpoch || back.IntervalMillis != ts.IntervalMillis ||
+			len(back.Rows) != len(ts.Rows) || len(back.Alerts) != len(ts.Alerts) {
+			t.Fatal("round trip changed snapshot header or counts")
+		}
+		for i := range ts.Rows {
+			if back.Rows[i] != ts.Rows[i] {
+				t.Fatalf("round trip changed row %d: %+v vs %+v", i, ts.Rows[i], back.Rows[i])
+			}
+		}
+	})
+}

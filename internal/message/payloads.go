@@ -966,3 +966,143 @@ func UnmarshalFabricGossip(b []byte) (*FabricGossip, error) {
 	}
 	return fg, nil
 }
+
+// TelemetryRow is one series sample in a telemetry snapshot. Counter
+// rows carry the delta since the broker's previous snapshot (a fresh
+// broker anchors at its current cumulative value), so steady-state
+// snapshots stay small under varint encoding; gauge rows carry the
+// instantaneous value. Receivers fold counter deltas back into
+// cumulative series, re-anchoring when a broker restart makes the
+// stream restart from zero.
+type TelemetryRow struct {
+	// Name is the series name (registry metric or broker-derived).
+	Name string
+	// Counter distinguishes delta-encoded counters from gauges.
+	Counter bool
+	// Value is the gauge value or counter delta.
+	Value int64
+}
+
+// TelemetryAlert is one standing or edge alert row in a telemetry
+// snapshot (the anomaly engine's output, PROTOCOL.md §3.10).
+type TelemetryAlert struct {
+	// Rule names the alert rule.
+	Rule string
+	// Series is the series the rule watches.
+	Series string
+	// Firing is true while the alert stands; a clearing edge row
+	// reports false once.
+	Firing bool
+	// SinceNanos identifies the episode: when the firing edge happened.
+	SinceNanos int64
+	// Value is the observed value at the last evaluation.
+	Value float64
+}
+
+// TelemetrySnapshot is the payload of a TraceTelemetrySnapshot message:
+// one broker's periodic metric sample on the system-telemetry topic,
+// assembled fleet-wide by `tracectl top`. Rows are delta-encoded (see
+// TelemetryRow); IntervalMillis tells receivers the publisher's cadence
+// so they can compute rates and absence windows without configuration.
+type TelemetrySnapshot struct {
+	// Broker names the publishing broker.
+	Broker string
+	// AtNanos is the publisher's local clock at sample time.
+	AtNanos int64
+	// FabricEpoch is the publisher's ownership-table epoch (0 outside a
+	// fabric), so assemblers key fleet views by broker/epoch.
+	FabricEpoch uint64
+	// IntervalMillis is the publisher's telemetry period.
+	IntervalMillis uint32
+	// Rows carries one entry per series.
+	Rows []TelemetryRow
+	// Alerts carries the standing alerts plus this tick's edges.
+	Alerts []TelemetryAlert
+}
+
+// maxTelemetryRows bounds the parsed row and alert lists (the wire
+// format stores each count in a u16; a publisher with more series
+// truncates).
+const maxTelemetryRows = 4096
+
+// Marshal serializes the telemetry snapshot.
+func (ts *TelemetrySnapshot) Marshal() []byte {
+	var w writer
+	w.str(ts.Broker)
+	w.i64(ts.AtNanos)
+	w.u64(ts.FabricEpoch)
+	w.u32(ts.IntervalMillis)
+	rows := ts.Rows
+	if len(rows) > maxTelemetryRows {
+		rows = rows[:maxTelemetryRows]
+	}
+	w.u16(uint16(len(rows)))
+	for _, row := range rows {
+		w.str(row.Name)
+		if row.Counter {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.varint(row.Value)
+	}
+	alerts := ts.Alerts
+	if len(alerts) > maxTelemetryRows {
+		alerts = alerts[:maxTelemetryRows]
+	}
+	w.u16(uint16(len(alerts)))
+	for _, al := range alerts {
+		w.str(al.Rule)
+		w.str(al.Series)
+		if al.Firing {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.i64(al.SinceNanos)
+		w.f64(al.Value)
+	}
+	return w.buf
+}
+
+// UnmarshalTelemetrySnapshot parses a telemetry snapshot payload.
+func UnmarshalTelemetrySnapshot(b []byte) (*TelemetrySnapshot, error) {
+	r := newReader(b)
+	ts := &TelemetrySnapshot{}
+	ts.Broker = r.str()
+	ts.AtNanos = r.i64()
+	ts.FabricEpoch = r.u64()
+	ts.IntervalMillis = r.u32()
+	n := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > maxTelemetryRows {
+		return nil, fmt.Errorf("message: telemetry row count %d exceeds %d", n, maxTelemetryRows)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		row := TelemetryRow{Name: r.str()}
+		row.Counter = r.u8() != 0
+		row.Value = r.varint()
+		ts.Rows = append(ts.Rows, row)
+	}
+	na := int(r.u16())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if na > maxTelemetryRows {
+		return nil, fmt.Errorf("message: telemetry alert count %d exceeds %d", na, maxTelemetryRows)
+	}
+	for i := 0; i < na && r.err == nil; i++ {
+		al := TelemetryAlert{Rule: r.str()}
+		al.Series = r.str()
+		al.Firing = r.u8() != 0
+		al.SinceNanos = r.i64()
+		al.Value = r.f64()
+		ts.Alerts = append(ts.Alerts, al)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}

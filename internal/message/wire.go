@@ -39,6 +39,13 @@ func (w *writer) f64(v float64) {
 }
 func (w *writer) uuid(u ident.UUID) { w.buf = append(w.buf, u[:]...) }
 
+// varint writes v zigzag-encoded as a uvarint: the compact encoding the
+// telemetry snapshot uses for counter deltas and gauge values, where
+// small magnitudes of either sign dominate.
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendUvarint(w.buf, uint64((v<<1)^(v>>63)))
+}
+
 // bytes writes a u32 length prefix followed by the data.
 func (w *writer) bytes(b []byte) {
 	w.u32(uint32(len(b)))
@@ -114,6 +121,20 @@ func (r *reader) u64() uint64 {
 }
 
 func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// varint reads one zigzag-encoded uvarint.
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	u, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	r.off += n
+	return int64(u>>1) ^ -int64(u&1)
+}
 
 func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 

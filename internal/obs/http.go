@@ -23,40 +23,99 @@ func (r *Registry) WriteText(w io.Writer) {
 }
 
 func writeTextSnapshot(w io.Writer, snap Snapshot) {
-	lastType := ""
-	for _, name := range sortedKeys(snap.Counters) {
-		if base := baseName(name); base != lastType {
-			fmt.Fprintf(w, "# TYPE %s counter\n", base)
-			lastType = base
+	lastFamily := ""
+	family := func(base, kind string) {
+		if base == lastFamily {
+			return
 		}
+		fmt.Fprintf(w, "# HELP %s %s %s.\n", base, base, kind)
+		fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		lastFamily = base
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		family(baseName(name), "counter")
 		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
 	}
-	lastType = ""
 	for _, name := range sortedKeys(snap.Gauges) {
-		if base := baseName(name); base != lastType {
-			fmt.Fprintf(w, "# TYPE %s gauge\n", base)
-			lastType = base
-		}
+		family(baseName(name), "gauge")
 		fmt.Fprintf(w, "%s %d\n", name, snap.Gauges[name])
 	}
-	for _, name := range sortedKeys(snap.Histograms) {
+	// Histograms group by base name so labeled variants share one family
+	// header, and their label suffix merges into each derived sample
+	// (`h{x="y"}` renders `h_bucket{x="y",le="..."}` — the base name
+	// never carries the brace suffix into the derived sample name).
+	names := sortedKeys(snap.Histograms)
+	for _, name := range names {
 		h := snap.Histograms[name]
-		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		base, labels := splitLabels(name)
+		family(base, "histogram")
 		for _, b := range h.Buckets {
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, b.Le, b.Count)
+			fmt.Fprintf(w, "%s %d\n", sampleName(base+"_bucket", labels, "le", b.Le), b.Count)
 		}
-		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
-		if h.Count > 0 {
-			fmt.Fprintf(w, "%s_mean %s\n", name, fnum(h.Mean))
-			fmt.Fprintf(w, "%s_stddev %s\n", name, fnum(h.StdDev))
-			fmt.Fprintf(w, "%s_min %s\n", name, fnum(h.Min))
-			fmt.Fprintf(w, "%s_max %s\n", name, fnum(h.Max))
-			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, fnum(h.P50))
-			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, fnum(h.P90))
-			fmt.Fprintf(w, "%s{quantile=\"0.95\"} %s\n", name, fnum(h.P95))
-			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, fnum(h.P99))
+		fmt.Fprintf(w, "%s %d\n", sampleName(base+"_count", labels, "", ""), h.Count)
+		fmt.Fprintf(w, "%s %s\n", sampleName(base+"_sum", labels, "", ""), fnum(h.Mean*float64(h.Count)))
+	}
+	// Quantiles form their own summary families with their own TYPE and
+	// HELP headers — the bare `name{quantile="..."}` lines previously
+	// rode untyped under the histogram family, which strict exposition
+	// parsers reject.
+	for _, name := range names {
+		h := snap.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		base, labels := splitLabels(name)
+		sbase := base + "_summary"
+		family(sbase, "summary")
+		for _, q := range []struct {
+			q string
+			v float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			fmt.Fprintf(w, "%s %s\n", sampleName(sbase, labels, "quantile", q.q), fnum(q.v))
+		}
+		fmt.Fprintf(w, "%s %s\n", sampleName(sbase+"_sum", labels, "", ""), fnum(h.Mean*float64(h.Count)))
+		fmt.Fprintf(w, "%s %d\n", sampleName(sbase+"_count", labels, "", ""), h.Count)
+	}
+	// Spread statistics as per-histogram gauge families.
+	for _, stat := range []string{"mean", "stddev", "min", "max"} {
+		for _, name := range names {
+			h := snap.Histograms[name]
+			if h.Count == 0 {
+				continue
+			}
+			base, labels := splitLabels(name)
+			v := map[string]float64{"mean": h.Mean, "stddev": h.StdDev, "min": h.Min, "max": h.Max}[stat]
+			family(base+"_"+stat, "gauge")
+			fmt.Fprintf(w, "%s %s\n", sampleName(base+"_"+stat, labels, "", ""), fnum(v))
 		}
 	}
+}
+
+// splitLabels splits a metric name into its base and the body of a
+// single trailing {...} label suffix (empty when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// sampleName renders a derived sample name: the base plus the carried
+// label body plus an optional extra label, escaped for exposition.
+func sampleName(base, labels, key, val string) string {
+	if key != "" {
+		extra := key + `="` + escapeLabelValue(val) + `"`
+		if labels != "" {
+			labels += "," + extra
+		} else {
+			labels = extra
+		}
+	}
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
 }
 
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// escapeLabelValue escapes a label value for the text exposition
+// format: backslash, double quote and newline are the only characters
+// the format requires escaping.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// histogramUnitSuffixes are the unit suffixes CheckNames accepts on
+// histogram names — every quantity needs a unit a reader can trust.
+var histogramUnitSuffixes = []string{"_ms", "_us", "_ns", "_seconds", "_bytes"}
+
+// CheckNames lints every metric name in a snapshot against the
+// conventions this codebase (and the Prometheus ecosystem) relies on:
+//
+//   - base names match [a-zA-Z_][a-zA-Z0-9_]*
+//   - counters end in _total; gauges and histograms do not
+//   - histograms carry a unit suffix (ms/us/ns/seconds/bytes)
+//   - no base name is registered under more than one metric kind
+//
+// It returns one human-readable violation per problem (empty when
+// clean); a unit test over the process registry keeps new metrics
+// honest.
+func CheckNames(snap Snapshot) []string {
+	var out []string
+	kinds := map[string]string{} // base -> kind first seen
+	note := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	check := func(names []string, kind string) {
+		for _, name := range names {
+			base := baseName(name)
+			if !validMetricName(base) {
+				note("%s %q: base name %q is not a valid metric name", kind, name, base)
+			}
+			if prev, ok := kinds[base]; ok && prev != kind {
+				note("%s %q: base name %q already registered as a %s", kind, name, base, prev)
+			} else {
+				kinds[base] = kind
+			}
+			switch kind {
+			case "counter":
+				if !strings.HasSuffix(base, "_total") {
+					note("counter %q: missing _total suffix", name)
+				}
+			case "gauge", "histogram":
+				if strings.HasSuffix(base, "_total") {
+					note("%s %q: _total suffix is reserved for counters", kind, name)
+				}
+			}
+			if kind == "histogram" {
+				ok := false
+				for _, suf := range histogramUnitSuffixes {
+					if strings.HasSuffix(base, suf) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					note("histogram %q: missing unit suffix (one of %s)",
+						name, strings.Join(histogramUnitSuffixes, " "))
+				}
+			}
+		}
+	}
+	check(sortedKeys(snap.Counters), "counter")
+	check(sortedKeys(snap.Gauges), "gauge")
+	check(sortedKeys(snap.Histograms), "histogram")
+	sort.Strings(out)
+	return out
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

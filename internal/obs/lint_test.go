@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":        "plain",
+		`back\slash`:   `back\\slash`,
+		`qu"ote`:       `qu\"ote`,
+		"new\nline":    `new\nline`,
+		"uni-✓-code":   "uni-✓-code",
+		`all\"` + "\n": `all\\\"\n`,
+	} {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := WithLabel("drops_total", "reason", `ba"d`); got != `drops_total{reason="ba\"d"}` {
+		t.Errorf("WithLabel = %q", got)
+	}
+}
+
+func TestCheckNamesClean(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("traces_published_total")
+	reg.Counter(WithLabel("drops_total", "reason", "expired"))
+	reg.Gauge("egress_queue_depth")
+	reg.Histogram("ping_rtt_ms", nil)
+	reg.Histogram("frame_size_bytes", nil)
+	if v := CheckNames(reg.Snapshot()); len(v) != 0 {
+		t.Fatalf("clean registry flagged: %v", v)
+	}
+}
+
+func TestCheckNamesViolations(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("missing_suffix")   // counter without _total
+	reg.Gauge("wrong_total")        // gauge with _total
+	reg.Gauge("9starts_with_digit") // invalid base name
+	reg.Histogram("latency", nil)   // histogram without a unit
+	reg.Histogram("shadow_ms", nil) // same base under two kinds...
+	reg.Gauge("shadow_ms")          // ...gauge shadows the histogram
+	v := CheckNames(reg.Snapshot())
+	wantSubstrings := []string{
+		`counter "missing_suffix": missing _total suffix`,
+		`gauge "wrong_total": _total suffix is reserved`,
+		`"9starts_with_digit" is not a valid metric name`,
+		`histogram "latency": missing unit suffix`,
+		`already registered as a`,
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, got := range v {
+			if strings.Contains(got, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no violation matching %q in %v", want, v)
+		}
+	}
+	if len(v) != len(wantSubstrings) {
+		t.Errorf("got %d violations, want %d: %v", len(v), len(wantSubstrings), v)
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"ok_name":  true,
+		"_leading": true,
+		"CamelOK9": true,
+		"":         false,
+		"9lead":    false,
+		"has-dash": false,
+		"has.dot":  false,
+	} {
+		if got := validMetricName(name); got != want {
+			t.Errorf("validMetricName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -10,7 +10,6 @@
 package obs
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -132,7 +131,10 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 // conventional name{key="value"} form, so related counters (e.g. drop
 // reasons) group together in the exposition.
 func WithLabel(name, key, value string) string {
-	return fmt.Sprintf("%s{%s=%q}", name, key, value)
+	// Escape for the text exposition format, not Go syntax: %q would
+	// render non-ASCII and control characters as Go escapes no
+	// exposition parser understands.
+	return name + "{" + key + `="` + escapeLabelValue(value) + `"}`
 }
 
 // Snapshot is a point-in-time copy of every metric in a registry.

@@ -225,8 +225,8 @@ func TestLoggerJSONStringer(t *testing.T) {
 
 func TestNilLoggerIsSilent(t *testing.T) {
 	var l *Logger
-	l.Info("nothing")                     // must not panic
-	l.With("k", "v").Error("still fine")  // nil propagates through With
+	l.Info("nothing")                    // must not panic
+	l.With("k", "v").Error("still fine") // nil propagates through With
 	if l.Enabled(LevelError) {
 		t.Fatal("nil logger reports enabled")
 	}
@@ -279,12 +279,16 @@ func TestMetricsHandler(t *testing.T) {
 		"traces_published_total 7",
 		`traces_dropped_total{reason="bad_signature"} 1`,
 		"core_sessions_active 2",
+		"# HELP traces_published_total traces_published_total counter.",
 		"# TYPE ping_rtt_ms histogram",
 		`ping_rtt_ms_bucket{le="2.5"} 1`,
 		"ping_rtt_ms_count 1",
-		`ping_rtt_ms{quantile="0.5"}`,
-		`ping_rtt_ms{quantile="0.95"}`,
-		`ping_rtt_ms{quantile="0.99"}`,
+		"ping_rtt_ms_sum 1.5",
+		"# TYPE ping_rtt_ms_summary summary",
+		"# HELP ping_rtt_ms_summary ping_rtt_ms_summary summary.",
+		`ping_rtt_ms_summary{quantile="0.5"}`,
+		`ping_rtt_ms_summary{quantile="0.95"}`,
+		`ping_rtt_ms_summary{quantile="0.99"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("text exposition missing %q:\n%s", want, body)

@@ -1,0 +1,220 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRules(t *testing.T) {
+	rules, err := ParseRules(
+		"deep-queues: broker_egress_queue_depth > 100 for 2s hold 10s; " +
+			"rate(broker_published_total) < 0.5 for 5s; " +
+			"absent(broker_published_total) for 3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	r := rules[0]
+	if r.Name != "deep-queues" || r.Kind != Threshold || r.Series != "broker_egress_queue_depth" ||
+		r.Less || r.Value != 100 || r.For != 2*time.Second || r.Hold != 10*time.Second {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = rules[1]
+	if r.Kind != RateOfChange || r.Series != "broker_published_total" || !r.Less || r.Value != 0.5 ||
+		r.For != 5*time.Second || r.Hold != 0 {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	if r.Name != "rate(broker_published_total) < 0.5 for 5s" {
+		t.Fatalf("unnamed rule keeps source text, got %q", r.Name)
+	}
+	if r.holdDown() != 5*time.Second {
+		t.Fatalf("zero Hold defaults to For, got %v", r.holdDown())
+	}
+	r = rules[2]
+	if r.Kind != Absent || r.Series != "broker_published_total" || r.For != 3*time.Second {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+	if got, err := ParseRules("  ;  ; "); err != nil || len(got) != 0 {
+		t.Fatalf("blank rules: %v %v", got, err)
+	}
+	for _, bad := range []string{
+		"x > 1",                   // missing for
+		"x > 1 for",               // missing duration
+		"x > 1 for 0s",            // non-positive for
+		"x > 1 for 2s hold",       // dangling hold
+		"x > 1 for 2s hold -1s",   // non-positive hold
+		"x > 1 for 2s extra junk", // trailing tokens
+		"x >= 1 for 2s",           // unsupported operator leaves bound unparsable
+		"x for 2s",                // no comparison
+		": x > 1 for 2s",          // empty name
+		"x > nope for 2s",         // bad bound
+		"absent() for 2s",         // empty series
+		"x > 1 < 2 for 2s",        // both operators
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		}
+	}
+}
+
+// evalAt drives the engine through one sample+eval tick.
+func evalAt(e *Engine, s *Series, atSec, v int64) []Alert {
+	s.Append(atSec*sec, v)
+	return e.Eval(atSec * sec)
+}
+
+func TestThresholdEdgeTriggering(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("depth", Gauge)
+	rules, err := ParseRules("deep: depth > 100 for 2s hold 3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(st, rules, nil)
+
+	// Below threshold: nothing.
+	if edges := evalAt(e, s, 1, 50); len(edges) != 0 {
+		t.Fatalf("fired below threshold: %+v", edges)
+	}
+	// Above threshold but not yet held For: armed, no edge.
+	if edges := evalAt(e, s, 2, 150); len(edges) != 0 {
+		t.Fatalf("fired before For window: %+v", edges)
+	}
+	if edges := evalAt(e, s, 3, 160); len(edges) != 0 {
+		t.Fatalf("fired at 1s of 2s window: %+v", edges)
+	}
+	// Held 2s: exactly one firing edge.
+	edges := evalAt(e, s, 4, 170)
+	if len(edges) != 1 || !edges[0].Firing || edges[0].Rule != "deep" || edges[0].Value != 170 {
+		t.Fatalf("want one firing edge, got %+v", edges)
+	}
+	fired := edges[0].SinceNanos
+	if fired != 4*sec {
+		t.Fatalf("SinceNanos = %d", fired)
+	}
+	// Still firing: standing, no repeat edge.
+	if edges := evalAt(e, s, 5, 180); len(edges) != 0 {
+		t.Fatalf("repeat edge while standing: %+v", edges)
+	}
+	if f := e.Firing(); len(f) != 1 || f[0].SinceNanos != fired {
+		t.Fatalf("Firing() = %+v", f)
+	}
+	// Dips below, then flaps back up before the 3s hold-down: no clear.
+	if edges := evalAt(e, s, 6, 90); len(edges) != 0 {
+		t.Fatalf("cleared without hold-down: %+v", edges)
+	}
+	if edges := evalAt(e, s, 7, 150); len(edges) != 0 {
+		t.Fatalf("flap produced an edge: %+v", edges)
+	}
+	// Falls and stays below for the hold-down: exactly one clearing edge,
+	// same episode (SinceNanos preserved).
+	evalAt(e, s, 8, 90)
+	evalAt(e, s, 9, 80)
+	evalAt(e, s, 10, 70)
+	edges = e.Eval(11 * sec)
+	if len(edges) != 1 || edges[0].Firing || edges[0].SinceNanos != fired {
+		t.Fatalf("want one clearing edge of the same episode, got %+v", edges)
+	}
+	if f := e.Firing(); len(f) != 0 {
+		t.Fatalf("still firing after clear: %+v", f)
+	}
+	// A fresh breach starts a new episode with a new SinceNanos.
+	evalAt(e, s, 12, 200)
+	evalAt(e, s, 13, 200)
+	edges = evalAt(e, s, 14, 200)
+	if len(edges) != 1 || !edges[0].Firing || edges[0].SinceNanos == fired {
+		t.Fatalf("want a new episode, got %+v", edges)
+	}
+}
+
+func TestAbsentRule(t *testing.T) {
+	st := New(Options{})
+	rules, err := ParseRules("hb: absent(heartbeat) for 3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(st, rules, nil)
+	// Series never registered: absent by definition, fires immediately
+	// (the For window is the condition, not a second wait).
+	edges := e.Eval(10 * sec)
+	if len(edges) != 1 || !edges[0].Firing || edges[0].Rule != "hb" {
+		t.Fatalf("never-seen series: %+v", edges)
+	}
+	// Samples resume and keep coming for the hold-down (3s): clears.
+	s := st.Series("heartbeat", Gauge)
+	s.Append(11*sec, 1)
+	if edges := e.Eval(11 * sec); len(edges) != 0 {
+		t.Fatalf("cleared without hold-down: %+v", edges)
+	}
+	s.Append(12*sec, 1)
+	e.Eval(12 * sec)
+	s.Append(13*sec, 1)
+	e.Eval(13 * sec)
+	s.Append(14*sec, 1)
+	edges = e.Eval(14 * sec)
+	if len(edges) != 1 || edges[0].Firing {
+		t.Fatalf("want clearing edge, got %+v", edges)
+	}
+	// Silence for the window fires again immediately.
+	edges = e.Eval(17*sec + 1)
+	if len(edges) != 1 || !edges[0].Firing {
+		t.Fatalf("want re-fire after silence, got %+v", edges)
+	}
+}
+
+func TestRateOfChangeRule(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("pub_total", Counter)
+	rules, err := ParseRules("hot: rate(pub_total) > 50 for 2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(st, rules, nil)
+	// 10/s: below bound.
+	v := int64(0)
+	for at := int64(1); at <= 4; at++ {
+		v += 10
+		if edges := evalAt(e, s, at, v); len(edges) != 0 {
+			t.Fatalf("fired at 10/s: %+v", edges)
+		}
+	}
+	// Jump to 100/s; the mean window rate must cross 50 and hold 2s.
+	var fired bool
+	for at := int64(5); at <= 12 && !fired; at++ {
+		v += 100
+		fired = len(evalAt(e, s, at, v)) == 1
+	}
+	if !fired {
+		t.Fatal("rate rule never fired at 100/s")
+	}
+	// No samples at all: rate rule stays quiet instead of erroring.
+	st2 := New(Options{})
+	e2 := NewEngine(st2, rules, nil)
+	if edges := e2.Eval(1 * sec); len(edges) != 0 {
+		t.Fatalf("rate rule fired on missing series: %+v", edges)
+	}
+}
+
+func TestThresholdLess(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("members", Gauge)
+	rules, err := ParseRules("lonely: members < 2 for 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(st, rules, nil)
+	evalAt(e, s, 1, 5)
+	evalAt(e, s, 2, 1)
+	edges := evalAt(e, s, 3, 1)
+	if len(edges) != 1 || !edges[0].Firing {
+		t.Fatalf("less-than rule: %+v", edges)
+	}
+	if rules[0].Kind.String() != "threshold" {
+		t.Fatalf("kind string %q", rules[0].Kind.String())
+	}
+	if (Rule{Kind: RateOfChange}).Kind.String() != "rate" || (Rule{Kind: Absent}).Kind.String() != "absent" {
+		t.Fatal("kind strings")
+	}
+}

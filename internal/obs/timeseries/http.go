@@ -1,0 +1,141 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"entitytrace/internal/obs"
+)
+
+// SeriesDump is one series' slice of a /timeseries response.
+type SeriesDump struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+	// Rates accompanies counter series: the per-second rate between
+	// consecutive points, reset-re-anchored.
+	Rates []FPoint `json:"rates,omitempty"`
+}
+
+// Handler serves GET /timeseries over a store:
+//
+//	?series=a,b   comma-separated names (empty lists every name, no points)
+//	?since=5m     lookback duration, or absolute unix seconds
+//	?step=15s     thinning step (empty keeps native resolution)
+//	?format=prom  Prometheus-style range text instead of JSON
+//
+// JSON responses are {"series":[{name,kind,points:[{t,v}],rates:...}]};
+// the prom format emits one "name value timestamp_ms" sample per line,
+// families separated by a # comment — the text shape of a range query,
+// scrapeable by anything that reads exposition samples.
+func Handler(store *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		names := splitNames(q.Get("series"))
+		if len(names) == 0 {
+			// Name listing: the discovery call tracectl and humans start
+			// from.
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{"series": store.Names()})
+			return
+		}
+		since, err := parseSince(q.Get("since"), time.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var step int64
+		if v := q.Get("step"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("timeseries: bad step %q", v), http.StatusBadRequest)
+				return
+			}
+			step = int64(d)
+		}
+		var dumps []SeriesDump
+		for _, name := range names {
+			s := store.Get(name)
+			if s == nil {
+				http.Error(w, fmt.Sprintf("timeseries: unknown series %q", name), http.StatusNotFound)
+				return
+			}
+			d := SeriesDump{Name: name, Kind: s.Kind().String(), Points: s.Query(since, step)}
+			if s.Kind() == Counter {
+				d.Rates = Rate(d.Points)
+			}
+			dumps = append(dumps, d)
+		}
+		if q.Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			for _, d := range dumps {
+				fmt.Fprintf(w, "# %s %s\n", d.Name, d.Kind)
+				for _, p := range d.Points {
+					fmt.Fprintf(w, "%s %d %d\n", d.Name, p.V, p.T/int64(time.Millisecond))
+				}
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"series": dumps})
+	})
+}
+
+// MountRegistry is the one-line daemon wiring for the telemetry plane's
+// local store: it builds a store with the given retention (empty keeps
+// defaults), starts a sampler of reg into it at interval, and mounts
+// the /timeseries handler on mux. A non-positive interval disables
+// sampling and mounts nothing. The returned sampler (nil when disabled)
+// should be stopped at shutdown.
+func MountRegistry(mux *http.ServeMux, reg *obs.Registry, interval time.Duration, retention string) (*Sampler, error) {
+	if interval <= 0 || mux == nil {
+		return nil, nil
+	}
+	var opts Options
+	if retention != "" {
+		var err error
+		if opts, err = ParseRetention(retention); err != nil {
+			return nil, err
+		}
+	}
+	store := New(opts)
+	mux.Handle("/timeseries", Handler(store))
+	s := NewSampler(reg, store, interval)
+	s.Start()
+	return s, nil
+}
+
+func splitNames(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseSince accepts a lookback duration ("5m") or absolute unix
+// seconds; empty means everything retained.
+func parseSince(s string, now time.Time) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			d = -d
+		}
+		return now.Add(-d).UnixNano(), nil
+	}
+	if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return sec * int64(time.Second), nil
+	}
+	return 0, fmt.Errorf("timeseries: bad since %q (want duration or unix seconds)", s)
+}

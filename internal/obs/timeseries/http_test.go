@@ -1,0 +1,132 @@
+package timeseries
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"entitytrace/internal/obs"
+)
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerListingAndQuery(t *testing.T) {
+	st := New(Options{})
+	g := st.Series("depth", Gauge)
+	c := st.Series("pub_total", Counter)
+	for i := int64(1); i <= 5; i++ {
+		g.Append(i*sec, i*10)
+		c.Append(i*sec, i*100)
+	}
+	h := Handler(st)
+
+	// No series param: name listing.
+	code, body := get(t, h, "/timeseries")
+	if code != http.StatusOK {
+		t.Fatalf("listing: %d %s", code, body)
+	}
+	var listing struct {
+		Series []string `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Series) != 2 || listing.Series[0] != "depth" {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// Query both; the counter carries rates.
+	code, body = get(t, h, "/timeseries?series=depth,pub_total&step=1s")
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	var resp struct {
+		Series []SeriesDump `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Series) != 2 {
+		t.Fatalf("got %d series", len(resp.Series))
+	}
+	if d := resp.Series[0]; d.Kind != "gauge" || len(d.Points) != 5 || d.Rates != nil {
+		t.Fatalf("depth dump = %+v", d)
+	}
+	if d := resp.Series[1]; d.Kind != "counter" || len(d.Rates) != 4 || d.Rates[0].V != 100 {
+		t.Fatalf("pub_total dump = %+v", d)
+	}
+
+	// Prom text format.
+	code, body = get(t, h, "/timeseries?series=depth&format=prom")
+	if code != http.StatusOK || !strings.Contains(body, "# depth gauge\n") ||
+		!strings.Contains(body, "depth 50 5000\n") {
+		t.Fatalf("prom format: %d %q", code, body)
+	}
+
+	// Errors.
+	if code, _ = get(t, h, "/timeseries?series=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown series: %d", code)
+	}
+	if code, _ = get(t, h, "/timeseries?series=depth&step=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad step: %d", code)
+	}
+	if code, _ = get(t, h, "/timeseries?series=depth&since=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad since: %d", code)
+	}
+}
+
+func TestParseSince(t *testing.T) {
+	now := time.Unix(10_000, 0)
+	if got, err := parseSince("", now); err != nil || got != 0 {
+		t.Fatalf("empty since: %d %v", got, err)
+	}
+	if got, err := parseSince("5m", now); err != nil || got != now.Add(-5*time.Minute).UnixNano() {
+		t.Fatalf("duration since: %d %v", got, err)
+	}
+	if got, err := parseSince("9000", now); err != nil || got != 9000*sec {
+		t.Fatalf("unix since: %d %v", got, err)
+	}
+}
+
+func TestMountRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("reqs_total").Add(3)
+	mux := http.NewServeMux()
+	sampler, err := MountRegistry(mux, reg, 5*time.Millisecond, "1m@5ms/10m@1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampler == nil {
+		t.Fatal("sampler nil")
+	}
+	defer sampler.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for sampler.Store().Get("reqs_total") == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	code, body := get(t, mux, "/timeseries?series=reqs_total")
+	if code != http.StatusOK || !strings.Contains(body, `"name":"reqs_total"`) {
+		t.Fatalf("mounted handler: %d %s", code, body)
+	}
+
+	// Disabled or unmountable: nil sampler, no error.
+	if s, err := MountRegistry(mux, reg, 0, ""); s != nil || err != nil {
+		t.Fatalf("interval 0: %v %v", s, err)
+	}
+	if s, err := MountRegistry(nil, reg, time.Second, ""); s != nil || err != nil {
+		t.Fatalf("nil mux: %v %v", s, err)
+	}
+	// Bad retention propagates.
+	if _, err := MountRegistry(http.NewServeMux(), reg, time.Second, "bogus"); err == nil {
+		t.Fatal("bad retention accepted")
+	}
+}

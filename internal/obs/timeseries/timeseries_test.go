@@ -1,0 +1,305 @@
+package timeseries
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"entitytrace/internal/obs"
+)
+
+const sec = int64(time.Second)
+
+func TestAppendQueryRoundtrip(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("x", Gauge)
+	base := int64(1_000_000) * sec
+	for i := int64(0); i < 300; i++ {
+		s.Append(base+i*sec, i*i-40*i) // non-monotone values, negative deltas included
+	}
+	pts := s.Query(0, 0)
+	if len(pts) != 300 {
+		t.Fatalf("got %d points, want 300", len(pts))
+	}
+	for i, p := range pts {
+		want := int64(i)*int64(i) - 40*int64(i)
+		if p.T != base+int64(i)*sec || p.V != want {
+			t.Fatalf("point %d = %+v, want T=%d V=%d", i, p, base+int64(i)*sec, want)
+		}
+	}
+	if got := s.Latest(); got.V != 299*299-40*299 {
+		t.Fatalf("Latest = %+v", got)
+	}
+}
+
+func TestAppendDropsNonIncreasingTimestamps(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("x", Gauge)
+	s.Append(10*sec, 1)
+	s.Append(10*sec, 2) // same timestamp: dropped
+	s.Append(9*sec, 3)  // going backwards: dropped
+	s.Append(11*sec, 4)
+	pts := s.Query(0, 0)
+	if len(pts) != 2 || pts[0].V != 1 || pts[1].V != 4 {
+		t.Fatalf("got %+v, want [{10s 1} {11s 4}]", pts)
+	}
+}
+
+func TestRetentionWraparound(t *testing.T) {
+	// Retention 10s @ 1s -> 2 blocks of 128 samples; well before 600
+	// appends the ring must wrap and discard the oldest block.
+	st := New(Options{Step: time.Second, Retention: 10 * time.Second,
+		CoarseStep: time.Hour, CoarseRetention: 2 * time.Hour})
+	s := st.Series("x", Gauge)
+	const n = 600
+	for i := int64(0); i < n; i++ {
+		s.Append(i*sec, i)
+	}
+	pts := s.Query((n-1)*sec, 0) // since == newest: fine ring answers
+	if len(pts) != 1 || pts[0].V != n-1 {
+		t.Fatalf("newest query = %+v", pts)
+	}
+	all := s.Query(599*sec-5*sec, 0)
+	// Everything returned must be contiguous and correct after the wrap.
+	for i := 1; i < len(all); i++ {
+		if all[i].T != all[i-1].T+sec || all[i].V != all[i-1].V+1 {
+			t.Fatalf("discontinuity at %d: %+v -> %+v", i, all[i-1], all[i])
+		}
+	}
+	if last := all[len(all)-1]; last.V != n-1 {
+		t.Fatalf("last = %+v, want V=%d", last, n-1)
+	}
+	// The ring holds at most 2 blocks x 128 samples; the start of history
+	// must have been discarded.
+	fineAll := s.fine.decode()
+	if len(fineAll) > 2*blockSamples {
+		t.Fatalf("fine ring retained %d samples, cap is %d", len(fineAll), 2*blockSamples)
+	}
+	if fineAll[0].T == 0 {
+		t.Fatalf("oldest sample survived %d appends; ring did not wrap", n)
+	}
+}
+
+func TestDownsampleBoundary(t *testing.T) {
+	// Coarse step 10s: each coarse point must be the closing (last fine)
+	// sample before a 10s boundary.
+	st := New(Options{Step: time.Second, Retention: 10 * time.Second,
+		CoarseStep: 10 * time.Second, CoarseRetention: time.Hour})
+	s := st.Series("x", Counter)
+	const n = 1000
+	for i := int64(0); i < n; i++ {
+		s.Append(i*sec, i*3)
+	}
+	coarse := s.coarse.decode()
+	if len(coarse) == 0 {
+		t.Fatal("no coarse samples after 1000 fine appends")
+	}
+	for _, p := range coarse {
+		// Boundary closing sample: timestamp ends a 10s bucket (t = 10k-1
+		// seconds for this 1s cadence) and the value is the fine value then.
+		if (p.T/sec+1)%10 != 0 {
+			t.Fatalf("coarse point %+v not at a bucket-closing second", p)
+		}
+		if p.V != (p.T/sec)*3 {
+			t.Fatalf("coarse point %+v: want V=%d", p, (p.T/sec)*3)
+		}
+	}
+	// A query reaching past the fine ring's retention must fall through to
+	// coarse history and stay sorted across the junction.
+	all := s.Query(0, 0)
+	if all[0].T >= s.fine.oldest() {
+		t.Fatalf("deep query lost coarse history: starts at %d, fine oldest %d", all[0].T, s.fine.oldest())
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].T <= all[i-1].T {
+			t.Fatalf("merged query not sorted at %d: %d then %d", i, all[i-1].T, all[i].T)
+		}
+	}
+}
+
+func TestQueryStepThinning(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("x", Gauge)
+	const base = 1000
+	for i := int64(0); i < 30; i++ {
+		s.Append((base+i)*sec, i)
+	}
+	pts := s.Query(0, 10*sec)
+	// Last point of each 10s bucket: t=1009, t=1019, t=1029.
+	want := []int64{9, 19, 29}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points %+v, want %v", len(pts), pts, want)
+	}
+	for i, p := range pts {
+		if p.T != (base+want[i])*sec || p.V != want[i] {
+			t.Fatalf("point %d = %+v, want t=%ds", i, p, base+want[i])
+		}
+	}
+}
+
+func TestCounterResetReanchor(t *testing.T) {
+	pts := []Point{
+		{T: 0, V: 100},
+		{T: sec, V: 150},    // +50/s
+		{T: 2 * sec, V: 5},  // reset: re-anchor, rate 0
+		{T: 3 * sec, V: 25}, // +20/s
+	}
+	rates := Rate(pts)
+	if len(rates) != 3 {
+		t.Fatalf("got %d rates, want 3", len(rates))
+	}
+	if rates[0].V != 50 || rates[1].V != 0 || rates[2].V != 20 {
+		t.Fatalf("rates = %+v, want [50 0 20]", rates)
+	}
+	if got := Rate(pts[:1]); got != nil {
+		t.Fatalf("Rate of one point = %+v, want nil", got)
+	}
+}
+
+func TestAppendZeroAllocs(t *testing.T) {
+	st := New(Options{})
+	s := st.Series("hot", Counter)
+	tNanos := int64(0)
+	v := int64(0)
+	// Warm up past the first block so the run covers block rollover too.
+	for i := 0; i < blockSamples+1; i++ {
+		tNanos += sec
+		v += 7
+		s.Append(tNanos, v)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		tNanos += sec
+		v += 7
+		s.Append(tNanos, v)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Append allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	// Exercised under -race by `make telemetry`: concurrent appenders on
+	// distinct and shared series racing readers.
+	st := New(Options{Step: time.Millisecond, Retention: 100 * time.Millisecond})
+	var appenders, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		appenders.Add(1)
+		go func(g int) {
+			defer appenders.Done()
+			own := st.Series(fmt.Sprintf("own-%d", g), Gauge)
+			shared := st.Series("shared", Counter)
+			for i := int64(1); i < 3000; i++ {
+				own.Append(i*int64(time.Millisecond), i)
+				shared.Append(i*int64(time.Millisecond)+int64(g), i)
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, name := range st.Names() {
+				s := st.Get(name)
+				_ = s.Query(0, 10*int64(time.Millisecond))
+				_ = s.Latest()
+			}
+		}
+	}()
+	appenders.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(st.Names()); got != 5 {
+		t.Fatalf("got %d series, want 5", got)
+	}
+}
+
+func TestParseRetention(t *testing.T) {
+	o, err := ParseRetention("15m@1s/2h@15s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Retention != 15*time.Minute || o.Step != time.Second ||
+		o.CoarseRetention != 2*time.Hour || o.CoarseStep != 15*time.Second {
+		t.Fatalf("parsed %+v", o)
+	}
+	if o, err = ParseRetention(""); err != nil || o.Step != time.Second {
+		t.Fatalf("empty retention: %+v, %v", o, err)
+	}
+	for _, bad := range []string{"15m@1s", "x@1s/2h@15s", "15m@1s/2h", "1s@15m/2h@15s", "15m/2h"} {
+		if _, err := ParseRetention(bad); err == nil {
+			t.Errorf("ParseRetention(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSamplerSampleOnce(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("reqs_total")
+	g := reg.Gauge("depth")
+	h := reg.Histogram("rtt_ms", nil)
+	st := New(Options{})
+	sm := NewSampler(reg, st, time.Second)
+	now := time.Unix(1000, 0)
+
+	sm.SampleOnce(now) // histogram empty: only _count appears
+	c.Add(5)
+	g.Set(42)
+	h.Observe(3.5)
+	sm.SampleOnce(now.Add(time.Second))
+
+	if s := st.Get("reqs_total"); s == nil || s.Kind() != Counter || s.Latest().V != 5 {
+		t.Fatalf("reqs_total = %+v", s)
+	}
+	if s := st.Get("depth"); s == nil || s.Kind() != Gauge || s.Latest().V != 42 {
+		t.Fatalf("depth = %+v", s)
+	}
+	if s := st.Get("rtt_ms_count"); s == nil || s.Latest().V != 1 {
+		t.Fatalf("rtt_ms_count = %+v", s)
+	}
+	// Millisecond histograms export microsecond quantile gauges; the
+	// quantile is bucket-interpolated, so bound it rather than pin it.
+	if s := st.Get("rtt_p50_us"); s == nil || s.Latest().V < 3000 || s.Latest().V > 5000 {
+		t.Fatalf("rtt_p50_us = %+v", s)
+	}
+	if s := st.Get("rtt_p99_us"); s == nil {
+		t.Fatal("rtt_p99_us missing")
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("ticks_total")
+	st := New(Options{})
+	sm := NewSampler(reg, st, 5*time.Millisecond)
+	sm.Start()
+	sm.Start() // idempotent
+	c.Add(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Get("ticks_total") == nil && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	sm.Stop()
+	sm.Stop() // idempotent
+	if st.Get("ticks_total") == nil {
+		t.Fatal("sampler never sampled")
+	}
+	if sm.Store() != st || sm.Interval() != 5*time.Millisecond {
+		t.Fatal("accessors disagree")
+	}
+}
+
+func TestHistQuantileNames(t *testing.T) {
+	if p50, p99 := histQuantileNames("ping_rtt_ms"); p50 != "ping_rtt_p50_us" || p99 != "ping_rtt_p99_us" {
+		t.Fatalf("got %s %s", p50, p99)
+	}
+	if p50, _ := histQuantileNames("odd"); p50 != "odd_p50_x1000" {
+		t.Fatalf("got %s", p50)
+	}
+}

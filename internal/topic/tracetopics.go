@@ -23,6 +23,7 @@ const (
 	SuffixAvailability        = "Availability"
 	SuffixSessionKeys         = "SessionKeys"
 	SuffixFabric              = "Fabric"
+	SuffixTelemetry           = "Telemetry"
 )
 
 // SystemHealth returns the constrained derivative topic carrying broker
@@ -62,6 +63,19 @@ func SystemAvailability() Topic {
 // guard and outside the sharded keyspace.
 func SystemFabric() Topic {
 	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixFabric)
+}
+
+// SystemTelemetry returns the constrained topic carrying per-broker
+// metric snapshots (PROTOCOL.md §3.10):
+// /Constrained/Traces/Broker/Publish-Only/System/Telemetry. It mirrors
+// SystemHealth(): Publish-Only with the broker as constrainer means
+// only brokers may publish telemetry while anyone may subscribe, the
+// default Disseminate distribution propagates snapshots network-wide
+// (one `tracectl top` subscription anywhere assembles the whole
+// fleet), and the non-UUID "System" segment keeps the topic outside
+// the per-trace-topic token guard and outside the sharded keyspace.
+func SystemTelemetry() Topic {
+	return MustParse("/Constrained/Traces/Broker/Publish-Only/" + SuffixSystem + "/" + SuffixTelemetry)
 }
 
 // Registration returns the constrained topic on which trace registration
